@@ -1,0 +1,54 @@
+// Figure 8: per-group precision/recall of the scrollbar on 20 Google
+// Scholar pages (the paper's per-PC-member detail view). Different groups
+// peak at different scrollbar positions, which is the argument for
+// exposing the scrollbar at all: in most cases NR1 already gives the best
+// precision at near-best recall, but some pages (the paper's Nan / Cong)
+// need deeper prefixes for recall.
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/dime_plus.h"
+#include "src/datagen/presets.h"
+#include "src/datagen/scholar_gen.h"
+
+namespace dime {
+namespace {
+
+// Two-word owner names so name variants ("J Naughton") exist, as on real
+// pages; first names follow the paper's Fig. 8 rows.
+const char* kPageOwners[] = {
+    "Jeffrey Naughton", "Wenfei Fan",      "Nan Tang",      "Cong Yu",
+    "Zhifeng Bao",      "Divyakant Agrawal", "Francesco Bonchi",
+    "Samuel Madden",    "Tamer Ozsu",      "Juliana Freire",
+    "Jeffrey Ullman",   "Divesh Srivastava", "Gustavo Alonso",
+    "Jennifer Widom",   "Anhai Doan",      "Torsten Grust",
+    "Marcelo Arenas",   "Nikos Mamoulis",  "Tim Kraska",
+    "Laks Lakshmanan"};
+
+}  // namespace
+}  // namespace dime
+
+int main() {
+  using namespace dime;
+  bench::PrintTitle("Fig. 8  Scholar per-page precision/recall (NR1..NR3)");
+  ScholarSetup setup = MakeScholarSetup();
+  const size_t num_groups = bench::QuickMode() ? 6 : 20;
+
+  std::printf("%-18s | %5s | %-13s | %-13s | %-13s\n", "Page", "n",
+              "NR1 (P/R)", "NR2 (P/R)", "NR3 (P/R)");
+  bench::PrintRule();
+  for (size_t i = 0; i < num_groups; ++i) {
+    ScholarGenOptions gen = bench::DetailPageOptions(i, bench::QuickMode());
+    Group group = GenerateScholarGroup(kPageOwners[i], gen);
+    DimeResult r =
+        RunDimePlus(group, setup.positive, setup.negative, setup.context);
+    std::printf("%-18s | %5zu |", kPageOwners[i], group.size());
+    for (size_t k = 0; k < r.flagged_by_prefix.size(); ++k) {
+      Prf prf = EvaluateFlagged(group, r.flagged_by_prefix[k]);
+      std::printf(" %.2f / %.2f  |", prf.precision, prf.recall);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,191 @@
+// Micro-benchmarks (google-benchmark) for the hand-rolled primitives the
+// engines are built from: set-similarity kernels, banded edit distance,
+// ontology LCA similarity, signature generation and LDA inference. These
+// are the building blocks whose costs the paper's verification cost model
+// (Section IV-C) approximates.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/datagen/scholar_gen.h"
+#include "src/datagen/presets.h"
+#include "src/index/signature.h"
+#include "src/index/similarity_join.h"
+#include "src/ontology/builtin.h"
+#include "src/sim/edit_distance.h"
+#include "src/sim/set_similarity.h"
+#include "src/sim/weighted_similarity.h"
+#include "src/text/tokenizer.h"
+
+namespace dime {
+namespace {
+
+std::vector<uint32_t> RandomSortedSet(Random* rng, size_t size,
+                                      uint32_t universe) {
+  std::vector<uint32_t> v;
+  while (v.size() < size) {
+    v.push_back(static_cast<uint32_t>(rng->Uniform(universe)));
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  return v;
+}
+
+void BM_SetIntersection(benchmark::State& state) {
+  Random rng(1);
+  size_t size = static_cast<size_t>(state.range(0));
+  auto a = RandomSortedSet(&rng, size, static_cast<uint32_t>(size * 4));
+  auto b = RandomSortedSet(&rng, size, static_cast<uint32_t>(size * 4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectionSize(a, b));
+  }
+}
+BENCHMARK(BM_SetIntersection)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_JaccardSim(benchmark::State& state) {
+  Random rng(2);
+  size_t size = static_cast<size_t>(state.range(0));
+  auto a = RandomSortedSet(&rng, size, static_cast<uint32_t>(size * 4));
+  auto b = RandomSortedSet(&rng, size, static_cast<uint32_t>(size * 4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JaccardSim(a, b));
+  }
+}
+BENCHMARK(BM_JaccardSim)->Arg(8)->Arg(64);
+
+std::string RandomString(Random* rng, size_t len) {
+  std::string s;
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>('a' + rng->Uniform(26)));
+  }
+  return s;
+}
+
+void BM_EditDistanceFull(benchmark::State& state) {
+  Random rng(3);
+  size_t len = static_cast<size_t>(state.range(0));
+  std::string a = RandomString(&rng, len), b = RandomString(&rng, len);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EditDistance(a, b));
+  }
+}
+BENCHMARK(BM_EditDistanceFull)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_EditDistanceBanded(benchmark::State& state) {
+  Random rng(3);
+  size_t len = static_cast<size_t>(state.range(0));
+  std::string a = RandomString(&rng, len);
+  std::string b = a;
+  b[len / 2] = '!';  // distance 1: the band stays narrow
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EditDistanceWithin(a, b, 3));
+  }
+}
+BENCHMARK(BM_EditDistanceBanded)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_OntologySimilarity(benchmark::State& state) {
+  const Ontology& tree = VenueOntology();
+  Random rng(4);
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < 64; ++i) {
+    pairs.emplace_back(static_cast<int>(rng.Uniform(tree.NumNodes())),
+                       static_cast<int>(rng.Uniform(tree.NumNodes())));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ % pairs.size()];
+    benchmark::DoNotOptimize(tree.Similarity(a, b));
+  }
+}
+BENCHMARK(BM_OntologySimilarity);
+
+void BM_KeywordMapping(benchmark::State& state) {
+  const Ontology& tree = VenueOntology();
+  std::vector<std::string> tokens =
+      WordTokenize("efficient query index join towards cleaning systems");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.MapByKeywords(tokens));
+  }
+}
+BENCHMARK(BM_KeywordMapping);
+
+void BM_SignatureGeneration(benchmark::State& state) {
+  ScholarSetup setup = MakeScholarSetup();
+  ScholarGenOptions gen;
+  gen.num_correct = static_cast<size_t>(state.range(0));
+  gen.seed = 5;
+  Group group = GenerateScholarGroup("Sig Bench", gen);
+  PreparedGroup pg =
+      PrepareGroup(group, setup.positive, setup.negative, setup.context);
+  for (auto _ : state) {
+    SignatureGenerator sigs(pg, setup.positive[1].predicates, Direction::kGe,
+                            1);
+    uint64_t total = 0;
+    for (size_t e = 0; e < pg.size(); ++e) {
+      total += sigs.PositiveRuleSignatures(static_cast<int>(e)).size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pg.size()));
+}
+BENCHMARK(BM_SignatureGeneration)->Arg(100)->Arg(400);
+
+void BM_WeightedJaccard(benchmark::State& state) {
+  Random rng(5);
+  size_t size = static_cast<size_t>(state.range(0));
+  auto a = RandomSortedSet(&rng, size, static_cast<uint32_t>(size * 4));
+  auto b = RandomSortedSet(&rng, size, static_cast<uint32_t>(size * 4));
+  std::vector<double> weights(size * 4, 1.0);
+  for (double& w : weights) w = 0.1 + rng.UniformDouble() * 3.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WeightedJaccardSim(a, b, weights));
+  }
+}
+BENCHMARK(BM_WeightedJaccard)->Arg(8)->Arg(64);
+
+void BM_SimilaritySelfJoin(benchmark::State& state) {
+  Random rng(7);
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<std::vector<uint32_t>> records(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0 && rng.Bernoulli(0.3)) {
+      for (uint32_t t : records[i - 1]) {
+        if (!rng.Bernoulli(0.2)) records[i].push_back(t);
+      }
+      continue;
+    }
+    for (uint32_t t = 0; t < 200; ++t) {
+      if (rng.Bernoulli(0.05)) records[i].push_back(t);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SetSimilaritySelfJoin(records, SimFunc::kJaccard, 0.7));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SimilaritySelfJoin)->Arg(200)->Arg(1000);
+
+void BM_PrepareGroup(benchmark::State& state) {
+  ScholarSetup setup = MakeScholarSetup();
+  ScholarGenOptions gen;
+  gen.num_correct = static_cast<size_t>(state.range(0));
+  gen.seed = 6;
+  Group group = GenerateScholarGroup("Prep Bench", gen);
+  for (auto _ : state) {
+    PreparedGroup pg =
+        PrepareGroup(group, setup.positive, setup.negative, setup.context);
+    benchmark::DoNotOptimize(pg.attrs.size());
+  }
+}
+BENCHMARK(BM_PrepareGroup)->Arg(100)->Arg(400);
+
+}  // namespace
+}  // namespace dime
+
+BENCHMARK_MAIN();

@@ -1,0 +1,226 @@
+#include "src/baselines/cr.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+#include "src/core/metrics.h"
+#include "src/sim/set_similarity.h"
+#include "src/text/token_dictionary.h"
+#include "src/text/tokenizer.h"
+
+namespace dime {
+namespace {
+
+/// Sorted-unique token ids of one cluster for one attribute.
+using TokenSet = std::vector<uint32_t>;
+
+TokenSet UnionSets(const TokenSet& a, const TokenSet& b) {
+  TokenSet out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+struct Cluster {
+  std::vector<int> members;
+  std::vector<TokenSet> attr_tokens;  ///< parallel to attribute_attrs
+  std::vector<TokenSet> ref_tokens;   ///< parallel to reference_attrs
+  int version = 0;
+  bool alive = true;
+};
+
+double ClusterSimilarity(const Cluster& a, const Cluster& b, double alpha,
+                         size_t* evals) {
+  ++*evals;
+  double attr_sim = 0.0;
+  if (!a.attr_tokens.empty()) {
+    for (size_t i = 0; i < a.attr_tokens.size(); ++i) {
+      attr_sim += JaccardSim(a.attr_tokens[i], b.attr_tokens[i]);
+    }
+    attr_sim /= static_cast<double>(a.attr_tokens.size());
+  }
+  double rel_sim = 0.0;
+  if (!a.ref_tokens.empty()) {
+    for (size_t i = 0; i < a.ref_tokens.size(); ++i) {
+      rel_sim += JaccardSim(a.ref_tokens[i], b.ref_tokens[i]);
+    }
+    rel_sim /= static_cast<double>(a.ref_tokens.size());
+  }
+  if (a.attr_tokens.empty()) return rel_sim;
+  if (a.ref_tokens.empty()) return attr_sim;
+  return alpha * attr_sim + (1.0 - alpha) * rel_sim;
+}
+
+struct QueueEntry {
+  double sim;
+  int c1, c2;
+  int v1, v2;  ///< cluster versions at push time (stale detection)
+  bool operator<(const QueueEntry& other) const { return sim < other.sim; }
+};
+
+}  // namespace
+
+CrResult RunCr(const Group& group, const CrConfig& config) {
+  CrResult result;
+  const int n = static_cast<int>(group.size());
+  if (n == 0) return result;
+
+  // Tokenize each entity once per configured attribute.
+  TokenDictionary dict;
+  std::vector<Cluster> clusters(n);
+  for (int e = 0; e < n; ++e) {
+    Cluster& c = clusters[e];
+    c.members = {e};
+    for (int attr : config.attribute_attrs) {
+      std::string joined;
+      for (const std::string& v : group.entities[e].value(attr)) {
+        joined += v;
+        joined.push_back(' ');
+      }
+      TokenSet set;
+      for (const std::string& t : WordTokenizeUnique(joined)) {
+        set.push_back(dict.Intern(t));
+      }
+      std::sort(set.begin(), set.end());
+      set.erase(std::unique(set.begin(), set.end()), set.end());
+      c.attr_tokens.push_back(std::move(set));
+    }
+    for (int attr : config.reference_attrs) {
+      TokenSet set;
+      for (const std::string& v : group.entities[e].value(attr)) {
+        set.push_back(dict.Intern(ToLower(std::string(Trim(v)))));
+      }
+      std::sort(set.begin(), set.end());
+      set.erase(std::unique(set.begin(), set.end()), set.end());
+      c.ref_tokens.push_back(std::move(set));
+    }
+  }
+
+  // Candidate neighbors: clusters sharing any token on any configured
+  // attribute (clusters with zero similarity can never merge).
+  std::unordered_map<uint32_t, std::vector<int>> postings;
+  for (int e = 0; e < n; ++e) {
+    std::unordered_set<uint32_t> all;
+    for (const TokenSet& s : clusters[e].attr_tokens) {
+      all.insert(s.begin(), s.end());
+    }
+    for (const TokenSet& s : clusters[e].ref_tokens) {
+      all.insert(s.begin(), s.end());
+    }
+    for (uint32_t t : all) postings[t].push_back(e);
+  }
+  std::vector<std::unordered_set<int>> neighbors(n);
+  for (const auto& [token, list] : postings) {
+    for (size_t i = 0; i < list.size(); ++i) {
+      for (size_t j = i + 1; j < list.size(); ++j) {
+        neighbors[list[i]].insert(list[j]);
+        neighbors[list[j]].insert(list[i]);
+      }
+    }
+  }
+
+  std::priority_queue<QueueEntry> queue;
+  for (int e = 0; e < n; ++e) {
+    for (int other : neighbors[e]) {
+      if (other <= e) continue;
+      double sim = ClusterSimilarity(clusters[e], clusters[other],
+                                     config.alpha,
+                                     &result.similarity_evaluations);
+      if (sim >= config.threshold) {
+        queue.push(QueueEntry{sim, e, other, 0, 0});
+      }
+    }
+  }
+
+  while (!queue.empty()) {
+    QueueEntry top = queue.top();
+    queue.pop();
+    Cluster& a = clusters[top.c1];
+    Cluster& b = clusters[top.c2];
+    if (!a.alive || !b.alive || a.version != top.v1 || b.version != top.v2) {
+      continue;  // stale entry
+    }
+    if (top.sim < config.threshold) break;
+
+    // Merge b into a.
+    ++result.merges;
+    a.members.insert(a.members.end(), b.members.begin(), b.members.end());
+    for (size_t i = 0; i < a.attr_tokens.size(); ++i) {
+      a.attr_tokens[i] = UnionSets(a.attr_tokens[i], b.attr_tokens[i]);
+    }
+    for (size_t i = 0; i < a.ref_tokens.size(); ++i) {
+      a.ref_tokens[i] = UnionSets(a.ref_tokens[i], b.ref_tokens[i]);
+    }
+    b.alive = false;
+    ++a.version;
+    for (int nb : neighbors[top.c2]) {
+      if (nb != top.c1) neighbors[top.c1].insert(nb);
+    }
+    neighbors[top.c2].clear();
+
+    // Refresh similarities from the merged cluster to its neighbors (the
+    // iterative re-evaluation the paper attributes CR's cost to).
+    for (int nb : neighbors[top.c1]) {
+      if (!clusters[nb].alive || nb == top.c1) continue;
+      double sim = ClusterSimilarity(a, clusters[nb], config.alpha,
+                                     &result.similarity_evaluations);
+      if (sim >= config.threshold) {
+        queue.push(QueueEntry{sim, top.c1, nb, a.version,
+                              clusters[nb].version});
+      }
+    }
+  }
+
+  // Collect final clusters, ordered by smallest member.
+  for (Cluster& c : clusters) {
+    if (!c.alive) continue;
+    std::sort(c.members.begin(), c.members.end());
+    result.clusters.push_back(c.members);
+  }
+  std::sort(result.clusters.begin(), result.clusters.end(),
+            [](const std::vector<int>& a, const std::vector<int>& b) {
+              return a[0] < b[0];
+            });
+
+  // Everything outside the largest cluster is flagged.
+  size_t largest = 0;
+  size_t best_size = 0;
+  for (size_t i = 0; i < result.clusters.size(); ++i) {
+    if (result.clusters[i].size() > best_size) {
+      best_size = result.clusters[i].size();
+      largest = i;
+    }
+  }
+  for (size_t i = 0; i < result.clusters.size(); ++i) {
+    if (i == largest) continue;
+    result.flagged.insert(result.flagged.end(), result.clusters[i].begin(),
+                          result.clusters[i].end());
+  }
+  std::sort(result.flagged.begin(), result.flagged.end());
+  return result;
+}
+
+CrResult RunCrBestThreshold(const Group& group, CrConfig config,
+                            const std::vector<double>& thresholds) {
+  DIME_CHECK(group.has_truth());
+  DIME_CHECK(!thresholds.empty());
+  CrResult best;
+  double best_f1 = -1.0;
+  for (double t : thresholds) {
+    config.threshold = t;
+    CrResult r = RunCr(group, config);
+    double f1 = EvaluateFlagged(group, r.flagged).f1;
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      best = std::move(r);
+    }
+  }
+  return best;
+}
+
+}  // namespace dime

@@ -1,0 +1,56 @@
+#ifndef DIME_BASELINES_CR_H_
+#define DIME_BASELINES_CR_H_
+
+#include <vector>
+
+#include "src/core/entity.h"
+
+/// \file cr.h
+/// The CR baseline: collective relational entity resolution in the style of
+/// Bhattacharya & Getoor (TKDD'07), as used in the paper's Exp-1/Exp-5.
+/// Agglomerative clustering over a combined similarity
+///
+///   sim(C1, C2) = alpha * attribute_sim + (1 - alpha) * relational_sim
+///
+/// where attribute_sim averages Jaccard over the word-token sets of the
+/// configured "attribute" attributes and relational_sim averages Jaccard
+/// over the reference sets (co-author names, co-viewed ASINs, ...) of the
+/// configured "reference" attributes. Cluster pairs are merged greedily in
+/// descending similarity until the best similarity drops below the
+/// termination threshold (the paper tries {0.5, 0.6, 0.7} and reports the
+/// best). Entities outside the largest final cluster are reported as
+/// mis-categorized, mirroring the paper's adaptation of CR to this
+/// problem.
+
+namespace dime {
+
+struct CrConfig {
+  std::vector<int> attribute_attrs;  ///< word-token attribute similarity
+  std::vector<int> reference_attrs;  ///< value-list relational similarity
+  double alpha = 0.5;                ///< weight of attribute similarity
+  double threshold = 0.6;            ///< stop merging below this similarity
+  /// Candidate termination thresholds for RunCrBestThreshold. The paper
+  /// tries {0.5, 0.6, 0.7} on its distance scale; the presets provide
+  /// values matched to this implementation's Jaccard-based scale.
+  std::vector<double> candidate_thresholds{0.5, 0.6, 0.7};
+};
+
+struct CrResult {
+  std::vector<std::vector<int>> clusters;  ///< ordered by smallest member
+  std::vector<int> flagged;                ///< outside the largest cluster
+  size_t merges = 0;
+  size_t similarity_evaluations = 0;
+};
+
+/// Runs collective relational clustering on one group.
+CrResult RunCr(const Group& group, const CrConfig& config);
+
+/// Runs CR for each threshold and returns the result whose flagged set has
+/// the best F-measure against the group's ground truth (the paper's "we
+/// tried three termination thresholds and reported the best").
+CrResult RunCrBestThreshold(const Group& group, CrConfig config,
+                            const std::vector<double>& thresholds);
+
+}  // namespace dime
+
+#endif  // DIME_BASELINES_CR_H_

@@ -1,0 +1,162 @@
+#include "src/baselines/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "src/common/logging.h"
+
+namespace dime {
+namespace {
+
+double Gini(size_t pos, size_t total) {
+  if (total == 0) return 0.0;
+  double p = static_cast<double>(pos) / static_cast<double>(total);
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+void DecisionTree::Train(const std::vector<LabeledPair>& pairs,
+                         const DecisionTreeOptions& options) {
+  DIME_CHECK(!pairs.empty());
+  nodes_.clear();
+  std::vector<int> indices(pairs.size());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = static_cast<int>(i);
+  Build(&indices, pairs, 0, options);
+}
+
+int DecisionTree::Build(std::vector<int>* indices,
+                        const std::vector<LabeledPair>& pairs, int depth,
+                        const DecisionTreeOptions& options) {
+  size_t pos = 0;
+  for (int i : *indices) pos += pairs[i].positive ? 1 : 0;
+  const size_t total = indices->size();
+
+  int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_id].label = pos * 2 >= total;
+
+  bool pure = pos == 0 || pos == total;
+  if (pure || depth >= options.max_depth ||
+      total < 2 * options.min_leaf_size) {
+    return node_id;
+  }
+
+  // Best Gini split over all features and observed midpoints.
+  const size_t dim = pairs[(*indices)[0]].features.size();
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double parent_gini = Gini(pos, total);
+
+  std::vector<std::pair<double, bool>> values(total);
+  for (size_t f = 0; f < dim; ++f) {
+    for (size_t i = 0; i < total; ++i) {
+      const LabeledPair& p = pairs[(*indices)[i]];
+      values[i] = {p.features[f], p.positive};
+    }
+    std::sort(values.begin(), values.end());
+    size_t left_pos = 0;
+    for (size_t i = 0; i + 1 < total; ++i) {
+      left_pos += values[i].second ? 1 : 0;
+      if (values[i].first == values[i + 1].first) continue;
+      size_t left_n = i + 1;
+      size_t right_n = total - left_n;
+      if (left_n < options.min_leaf_size || right_n < options.min_leaf_size) {
+        continue;
+      }
+      double weighted =
+          (static_cast<double>(left_n) * Gini(left_pos, left_n) +
+           static_cast<double>(right_n) * Gini(pos - left_pos, right_n)) /
+          static_cast<double>(total);
+      double gain = parent_gini - weighted;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = (values[i].first + values[i + 1].first) / 2.0;
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  std::vector<int> left, right;
+  for (int i : *indices) {
+    if (pairs[i].features[best_feature] < best_threshold) {
+      left.push_back(i);
+    } else {
+      right.push_back(i);
+    }
+  }
+  if (left.empty() || right.empty()) return node_id;
+
+  nodes_[node_id].leaf = false;
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  indices->clear();  // free before recursion
+  int left_id = Build(&left, pairs, depth + 1, options);
+  nodes_[node_id].left = left_id;
+  int right_id = Build(&right, pairs, depth + 1, options);
+  nodes_[node_id].right = right_id;
+  return node_id;
+}
+
+bool DecisionTree::Predict(const std::vector<double>& features) const {
+  DIME_CHECK(!nodes_.empty());
+  int node = 0;
+  while (!nodes_[node].leaf) {
+    node = features[nodes_[node].feature] < nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].label;
+}
+
+std::vector<LearnedRule> DecisionTree::ExtractPositiveRules() const {
+  std::vector<LearnedRule> rules;
+  if (nodes_.empty()) return rules;
+
+  struct Frame {
+    int node;
+    LearnedRule rule;
+    bool pure_lower;  ///< path only used ">= threshold" branches
+  };
+  std::vector<Frame> stack{{0, LearnedRule{}, true}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[f.node];
+    if (node.leaf) {
+      if (node.label && f.pure_lower && !f.rule.predicates.empty()) {
+        rules.push_back(f.rule);
+      }
+      continue;
+    }
+    // Right branch: feature >= threshold (representable).
+    Frame right = f;
+    right.node = node.right;
+    right.rule.predicates.push_back(
+        CandidatePredicate{node.feature, node.threshold});
+    stack.push_back(std::move(right));
+    // Left branch: feature < threshold (upper bound, not representable as a
+    // positive-rule conjunct).
+    Frame left = f;
+    left.node = node.left;
+    left.pure_lower = false;
+    stack.push_back(std::move(left));
+  }
+  return rules;
+}
+
+PairLearner MakeDecisionTreeLearner(const DecisionTreeOptions& options) {
+  return [options](const std::vector<LabeledPair>& train) -> PairClassifier {
+    auto tree = std::make_shared<DecisionTree>();
+    tree->Train(train, options);
+    return [tree](const std::vector<double>& features) {
+      return tree->Predict(features);
+    };
+  };
+}
+
+}  // namespace dime

@@ -1,0 +1,64 @@
+#ifndef DIME_BASELINES_DECISION_TREE_H_
+#define DIME_BASELINES_DECISION_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/rulegen/candidates.h"
+#include "src/rulegen/crossval.h"
+
+/// \file decision_tree.h
+/// The DecisionTree baseline of Exp-6: a CART-style binary tree (Gini
+/// impurity, axis-aligned thresholds on pairwise-similarity features, max
+/// depth 4 as in the paper's setup) used as an ML rule-generation method.
+/// Root-to-positive-leaf paths are readable as match rules, which is why
+/// the paper treats decision trees as a rule-learning competitor.
+
+namespace dime {
+
+struct DecisionTreeOptions {
+  int max_depth = 4;
+  size_t min_leaf_size = 2;
+};
+
+class DecisionTree {
+ public:
+  DecisionTree() = default;
+
+  void Train(const std::vector<LabeledPair>& pairs,
+             const DecisionTreeOptions& options = {});
+
+  /// Predicts "same category" for a feature vector.
+  bool Predict(const std::vector<double>& features) const;
+
+  /// Number of internal nodes + leaves (for tests / inspection).
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Extracts the learned positive paths as LearnedRule conjunctions of
+  /// `feature >= threshold` / implicit upper bounds. Only the lower-bound
+  /// conjuncts are representable as DIME positive rules; paths that
+  /// require an upper bound are skipped.
+  std::vector<LearnedRule> ExtractPositiveRules() const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    bool label = false;     ///< leaf prediction
+    int feature = -1;       ///< split feature (internal)
+    double threshold = 0.0; ///< go left if value < threshold
+    int left = -1;
+    int right = -1;
+  };
+
+  int Build(std::vector<int>* indices, const std::vector<LabeledPair>& pairs,
+            int depth, const DecisionTreeOptions& options);
+
+  std::vector<Node> nodes_;
+};
+
+/// Adapts DecisionTree to the cross-validation PairLearner interface.
+PairLearner MakeDecisionTreeLearner(const DecisionTreeOptions& options = {});
+
+}  // namespace dime
+
+#endif  // DIME_BASELINES_DECISION_TREE_H_

@@ -1,0 +1,132 @@
+#include "src/baselines/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.h"
+#include "src/common/random.h"
+
+namespace dime {
+namespace {
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+KMeansResult RunKMeans(const std::vector<std::vector<double>>& points, int k,
+                       int max_iterations, uint64_t seed) {
+  KMeansResult result;
+  const size_t n = points.size();
+  if (n == 0 || k <= 0) return result;
+  k = std::min<int>(k, static_cast<int>(n));
+
+  // k-means++-style farthest-point seeding.
+  Random rng(seed);
+  result.centroids.push_back(points[rng.Uniform(n)]);
+  std::vector<double> dist(n, std::numeric_limits<double>::max());
+  while (static_cast<int>(result.centroids.size()) < k) {
+    size_t farthest = 0;
+    double best = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      dist[i] = std::min(dist[i],
+                         SquaredDistance(points[i], result.centroids.back()));
+      if (dist[i] > best) {
+        best = dist[i];
+        farthest = i;
+      }
+    }
+    result.centroids.push_back(points[farthest]);
+  }
+
+  result.assignment.assign(n, 0);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    ++result.iterations;
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      int best_c = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (int c = 0; c < k; ++c) {
+        double d = SquaredDistance(points[i], result.centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best_c = c;
+        }
+      }
+      if (best_c != result.assignment[i]) {
+        result.assignment[i] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+
+    const size_t dim = points[0].size();
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      ++counts[result.assignment[i]];
+      for (size_t d = 0; d < dim; ++d) {
+        sums[result.assignment[i]][d] += points[i][d];
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // keep the old centroid
+      for (size_t d = 0; d < dim; ++d) {
+        result.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<int> KMeansDiscover(const Group& group,
+                                const std::vector<FeatureSpec>& specs,
+                                const DimeContext& context, int num_anchors,
+                                uint64_t seed) {
+  const int n = static_cast<int>(group.size());
+  std::vector<int> flagged;
+  if (n < 2) return flagged;
+
+  std::vector<Predicate> preds;
+  preds.reserve(specs.size());
+  for (const FeatureSpec& s : specs) preds.push_back(s.WithThreshold(0.0));
+  PreparedGroup pg = PrepareGroupForPredicates(group, preds, context);
+
+  Random rng(seed);
+  std::vector<size_t> anchors = rng.SampleWithoutReplacement(
+      static_cast<size_t>(n),
+      std::min<size_t>(static_cast<size_t>(num_anchors),
+                       static_cast<size_t>(n)));
+
+  // Embedding: mean per-spec similarity to each anchor.
+  std::vector<std::vector<double>> points(n);
+  for (int e = 0; e < n; ++e) {
+    points[e].reserve(anchors.size());
+    for (size_t a : anchors) {
+      double sum = 0.0;
+      for (const Predicate& p : preds) {
+        sum += PredicateSimilarity(pg, p, e, static_cast<int>(a));
+      }
+      points[e].push_back(sum / static_cast<double>(preds.size()));
+    }
+  }
+
+  KMeansResult km = RunKMeans(points, 2, 50, seed + 1);
+  size_t count0 = 0;
+  for (int a : km.assignment) count0 += a == 0 ? 1 : 0;
+  int minority = count0 * 2 <= static_cast<size_t>(n) ? 0 : 1;
+  for (int e = 0; e < n; ++e) {
+    if (km.assignment[e] == minority) flagged.push_back(e);
+  }
+  return flagged;
+}
+
+}  // namespace dime

@@ -1,0 +1,42 @@
+#ifndef DIME_BASELINES_KMEANS_H_
+#define DIME_BASELINES_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/preprocess.h"
+#include "src/rulegen/candidates.h"
+
+/// \file kmeans.h
+/// The clustering strawman from the paper's related-work discussion: "a
+/// 'perfect' clustering algorithm that computes two partitions ... will
+/// fail". We implement standard Lloyd k-means and a discovery adapter that
+/// embeds each entity by its average similarity to anchor entities,
+/// clusters with k = 2, and flags the smaller cluster. Tests and the
+/// ablation bench use it to demonstrate why size-based outlier clustering
+/// is the wrong tool (correct entities sit in small partitions, some
+/// errors in large ones).
+
+namespace dime {
+
+struct KMeansResult {
+  std::vector<int> assignment;                 ///< cluster id per point
+  std::vector<std::vector<double>> centroids;
+  int iterations = 0;
+};
+
+/// Lloyd's algorithm with deterministic seeding (k-means++-style farthest
+/// selection from `seed`).
+KMeansResult RunKMeans(const std::vector<std::vector<double>>& points, int k,
+                       int max_iterations, uint64_t seed);
+
+/// Discovery adapter: embeds entities by mean feature similarity to
+/// `num_anchors` sampled anchors, 2-means, flags the smaller cluster.
+std::vector<int> KMeansDiscover(const Group& group,
+                                const std::vector<FeatureSpec>& specs,
+                                const DimeContext& context, int num_anchors,
+                                uint64_t seed);
+
+}  // namespace dime
+
+#endif  // DIME_BASELINES_KMEANS_H_

@@ -1,0 +1,112 @@
+#include "src/baselines/sifi.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "src/common/logging.h"
+
+namespace dime {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+int Objective(const SifiStructure& structure,
+              const std::vector<std::vector<double>>& thresholds,
+              const std::vector<LabeledPair>& pairs) {
+  int score = 0;
+  for (const LabeledPair& p : pairs) {
+    if (SifiPredict(structure, thresholds, p.features)) {
+      score += p.positive ? 1 : -1;
+    }
+  }
+  return score;
+}
+
+}  // namespace
+
+bool SifiPredict(const SifiStructure& structure,
+                 const std::vector<std::vector<double>>& thresholds,
+                 const std::vector<double>& features) {
+  for (size_t c = 0; c < structure.conjunctions.size(); ++c) {
+    bool all = true;
+    for (size_t s = 0; s < structure.conjunctions[c].size(); ++s) {
+      if (features[structure.conjunctions[c][s]] < thresholds[c][s] - kEps) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+SifiResult SifiSearch(const std::vector<LabeledPair>& pairs,
+                      const SifiStructure& structure) {
+  DIME_CHECK(!pairs.empty());
+  SifiResult result;
+
+  // Candidate thresholds per spec: the observed feature values (Theorem 3
+  // restricts the search to these), plus a value above the max so a slot
+  // can be effectively disabled.
+  size_t num_specs = pairs[0].features.size();
+  std::vector<std::vector<double>> grid(num_specs);
+  for (size_t s = 0; s < num_specs; ++s) {
+    std::set<double> values;
+    double max_v = 0.0;
+    for (const LabeledPair& p : pairs) {
+      values.insert(p.features[s]);
+      max_v = std::max(max_v, p.features[s]);
+    }
+    grid[s].assign(values.begin(), values.end());
+    grid[s].push_back(max_v + 1.0);
+  }
+
+  // Initialize every slot at the median observed value of its spec.
+  result.thresholds.resize(structure.conjunctions.size());
+  for (size_t c = 0; c < structure.conjunctions.size(); ++c) {
+    for (int spec : structure.conjunctions[c]) {
+      const std::vector<double>& g = grid[spec];
+      result.thresholds[c].push_back(g[g.size() / 2]);
+    }
+  }
+
+  int best = Objective(structure, result.thresholds, pairs);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    ++result.iterations;
+    for (size_t c = 0; c < structure.conjunctions.size(); ++c) {
+      for (size_t s = 0; s < structure.conjunctions[c].size(); ++s) {
+        double original = result.thresholds[c][s];
+        double best_value = original;
+        for (double v : grid[structure.conjunctions[c][s]]) {
+          result.thresholds[c][s] = v;
+          int obj = Objective(structure, result.thresholds, pairs);
+          if (obj > best) {
+            best = obj;
+            best_value = v;
+            improved = true;
+          }
+        }
+        result.thresholds[c][s] = best_value;
+      }
+    }
+    if (result.iterations > 50) break;  // safety net; converges in a few
+  }
+  result.objective = best;
+  return result;
+}
+
+PairLearner MakeSifiLearner(const SifiStructure& structure) {
+  return [structure](const std::vector<LabeledPair>& train) -> PairClassifier {
+    SifiResult fitted = SifiSearch(train, structure);
+    auto thresholds =
+        std::make_shared<std::vector<std::vector<double>>>(fitted.thresholds);
+    return [structure, thresholds](const std::vector<double>& features) {
+      return SifiPredict(structure, *thresholds, features);
+    };
+  };
+}
+
+}  // namespace dime

@@ -1,0 +1,49 @@
+#ifndef DIME_BASELINES_SIFI_H_
+#define DIME_BASELINES_SIFI_H_
+
+#include <vector>
+
+#include "src/rulegen/candidates.h"
+#include "src/rulegen/crossval.h"
+
+/// \file sifi.h
+/// The SIFI baseline of Exp-6 (Wang et al., PVLDB'11: "Entity Matching:
+/// How similar is similar"): the *structure* of the match rule — which
+/// attribute/similarity-function slots appear in which conjunction — is
+/// fixed by an expert, and the system searches for the best thresholds.
+/// We implement the threshold search as coordinate ascent over the finite
+/// candidate thresholds (Theorem 3 grid): repeatedly re-optimize one
+/// slot's threshold holding the others fixed, until F converges. The
+/// expert structure is the weak point the paper exploits: a suboptimal
+/// structure caps achievable F no matter the thresholds.
+
+namespace dime {
+
+/// The expert-given DNF structure: each conjunction lists feature-spec
+/// indices (one threshold slot each).
+struct SifiStructure {
+  std::vector<std::vector<int>> conjunctions;
+};
+
+struct SifiResult {
+  /// Learned thresholds, parallel to the structure.
+  std::vector<std::vector<double>> thresholds;
+  int objective = 0;  ///< |E ∩ S+| - |E ∩ S-| on the training pairs
+  int iterations = 0; ///< coordinate-ascent sweeps until convergence
+};
+
+/// Searches thresholds for `structure` on the training pairs.
+SifiResult SifiSearch(const std::vector<LabeledPair>& pairs,
+                      const SifiStructure& structure);
+
+/// True iff some conjunction has all slots >= its threshold.
+bool SifiPredict(const SifiStructure& structure,
+                 const std::vector<std::vector<double>>& thresholds,
+                 const std::vector<double>& features);
+
+/// Adapts SIFI to the cross-validation PairLearner interface.
+PairLearner MakeSifiLearner(const SifiStructure& structure);
+
+}  // namespace dime
+
+#endif  // DIME_BASELINES_SIFI_H_

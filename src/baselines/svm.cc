@@ -1,0 +1,139 @@
+#include "src/baselines/svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "src/common/logging.h"
+#include "src/common/random.h"
+#include "src/index/union_find.h"
+
+namespace dime {
+
+void LinearSvm::Train(const std::vector<LabeledPair>& pairs,
+                      const SvmOptions& options) {
+  DIME_CHECK(!pairs.empty());
+  const size_t dim = pairs[0].features.size();
+
+  // Standardize features with training statistics.
+  mean_.assign(dim, 0.0);
+  stddev_.assign(dim, 0.0);
+  for (const LabeledPair& p : pairs) {
+    for (size_t i = 0; i < dim; ++i) mean_[i] += p.features[i];
+  }
+  for (size_t i = 0; i < dim; ++i) mean_[i] /= static_cast<double>(pairs.size());
+  for (const LabeledPair& p : pairs) {
+    for (size_t i = 0; i < dim; ++i) {
+      double d = p.features[i] - mean_[i];
+      stddev_[i] += d * d;
+    }
+  }
+  for (size_t i = 0; i < dim; ++i) {
+    stddev_[i] = std::sqrt(stddev_[i] / static_cast<double>(pairs.size()));
+    if (stddev_[i] < 1e-12) stddev_[i] = 1.0;
+  }
+
+  // Balanced class weights: w_c = n / (2 * n_c).
+  size_t n_pos = 0;
+  for (const LabeledPair& p : pairs) n_pos += p.positive ? 1 : 0;
+  size_t n_neg = pairs.size() - n_pos;
+  double w_pos = 1.0, w_neg = 1.0;
+  if (options.balanced_class_weights && n_pos > 0 && n_neg > 0) {
+    w_pos = static_cast<double>(pairs.size()) / (2.0 * n_pos);
+    w_neg = static_cast<double>(pairs.size()) / (2.0 * n_neg);
+  }
+
+  weights_.assign(dim, 0.0);
+  bias_ = 0.0;
+
+  // Pegasos: step 1/(lambda * t), sample uniformly.
+  Random rng(options.seed);
+  uint64_t t = 1;
+  std::vector<double> x(dim);
+  const size_t steps =
+      static_cast<size_t>(options.epochs) * pairs.size();
+  for (size_t step = 0; step < steps; ++step, ++t) {
+    const LabeledPair& p = pairs[rng.Uniform(pairs.size())];
+    for (size_t i = 0; i < dim; ++i) {
+      x[i] = (p.features[i] - mean_[i]) / stddev_[i];
+    }
+    double y = p.positive ? 1.0 : -1.0;
+    double cls_w = p.positive ? w_pos : w_neg;
+    double margin = y * (std::inner_product(x.begin(), x.end(),
+                                            weights_.begin(), 0.0) +
+                         bias_);
+    double eta = 1.0 / (options.lambda * static_cast<double>(t));
+    // L2 shrink on w (not on bias).
+    double shrink = 1.0 - eta * options.lambda;
+    if (shrink < 0.0) shrink = 0.0;
+    for (double& w : weights_) w *= shrink;
+    if (margin < 1.0) {
+      for (size_t i = 0; i < dim; ++i) weights_[i] += eta * cls_w * y * x[i];
+      bias_ += eta * cls_w * y;
+    }
+  }
+}
+
+double LinearSvm::Decision(const std::vector<double>& features) const {
+  DIME_CHECK_EQ(features.size(), weights_.size());
+  double sum = bias_;
+  for (size_t i = 0; i < features.size(); ++i) {
+    sum += weights_[i] * (features[i] - mean_[i]) / stddev_[i];
+  }
+  return sum;
+}
+
+std::vector<int> SvmDiscover(const Group& group,
+                             const std::vector<FeatureSpec>& specs,
+                             const LinearSvm& model,
+                             const DimeContext& context) {
+  const int n = static_cast<int>(group.size());
+  std::vector<int> flagged;
+  if (n == 0) return flagged;
+
+  std::vector<Predicate> preds;
+  preds.reserve(specs.size());
+  for (const FeatureSpec& s : specs) preds.push_back(s.WithThreshold(0.0));
+  PreparedGroup pg = PrepareGroupForPredicates(group, preds, context);
+
+  // Every pair is classified (no transitivity shortcut: that is DIME's
+  // optimization, not the SVM baseline's).
+  UnionFind uf(static_cast<size_t>(n));
+  std::vector<double> features(specs.size());
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      for (size_t s = 0; s < preds.size(); ++s) {
+        features[s] = PredicateSimilarity(pg, preds[s], i, j);
+      }
+      if (model.Predict(features)) uf.Union(i, j);
+    }
+  }
+
+  std::vector<std::vector<int>> components = uf.Components();
+  size_t largest = 0, best_size = 0;
+  for (size_t c = 0; c < components.size(); ++c) {
+    if (components[c].size() > best_size) {
+      best_size = components[c].size();
+      largest = c;
+    }
+  }
+  for (size_t c = 0; c < components.size(); ++c) {
+    if (c == largest) continue;
+    flagged.insert(flagged.end(), components[c].begin(), components[c].end());
+  }
+  std::sort(flagged.begin(), flagged.end());
+  return flagged;
+}
+
+PairLearner MakeSvmLearner(const SvmOptions& options) {
+  return [options](const std::vector<LabeledPair>& train) -> PairClassifier {
+    auto model = std::make_shared<LinearSvm>();
+    model->Train(train, options);
+    return [model](const std::vector<double>& features) {
+      return model->Predict(features);
+    };
+  };
+}
+
+}  // namespace dime

@@ -1,0 +1,62 @@
+#include "src/common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/string_util.h"
+
+namespace dime {
+
+bool ReadTsvFile(const std::string& path, std::vector<TsvRow>* rows) {
+  rows->clear();
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    rows->push_back(Split(line, '\t'));
+  }
+  return true;
+}
+
+std::vector<TsvRow> ParseTsv(const std::string& content) {
+  std::vector<TsvRow> rows;
+  std::istringstream in(content);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    rows.push_back(Split(line, '\t'));
+  }
+  return rows;
+}
+
+bool WriteTsvFile(const std::string& path, const std::vector<TsvRow>& rows) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << FormatTsv(rows);
+  return static_cast<bool>(out);
+}
+
+std::string FormatTsv(const std::vector<TsvRow>& rows) {
+  std::string out;
+  for (const TsvRow& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back('\t');
+      out.append(row[i]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::vector<std::string> SplitMultiValue(const std::string& cell) {
+  return SplitAndTrim(cell, '|');
+}
+
+std::string JoinMultiValue(const std::vector<std::string>& values) {
+  return Join(values, "|");
+}
+
+}  // namespace dime

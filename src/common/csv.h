@@ -1,0 +1,39 @@
+#ifndef DIME_COMMON_CSV_H_
+#define DIME_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+/// \file csv.h
+/// Tab-separated dataset IO. Entities are serialized one per line with
+/// attribute values separated by tabs; multi-valued attributes use '|'
+/// between values (e.g., author lists). This mirrors the flat-file dumps of
+/// the paper's crawled datasets.
+
+namespace dime {
+
+/// One parsed row: a list of cells.
+using TsvRow = std::vector<std::string>;
+
+/// Reads all rows of a TSV file. Returns false (and leaves `rows` empty) if
+/// the file could not be opened.
+bool ReadTsvFile(const std::string& path, std::vector<TsvRow>* rows);
+
+/// Parses TSV content from a string (used by tests and embedded fixtures).
+std::vector<TsvRow> ParseTsv(const std::string& content);
+
+/// Writes rows to a TSV file. Returns false on IO error.
+bool WriteTsvFile(const std::string& path, const std::vector<TsvRow>& rows);
+
+/// Serializes rows into TSV text.
+std::string FormatTsv(const std::vector<TsvRow>& rows);
+
+/// Splits a multi-valued cell on '|' (trimming pieces, dropping empties).
+std::vector<std::string> SplitMultiValue(const std::string& cell);
+
+/// Joins values into a multi-valued cell with '|'.
+std::string JoinMultiValue(const std::vector<std::string>& values);
+
+}  // namespace dime
+
+#endif  // DIME_COMMON_CSV_H_

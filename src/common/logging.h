@@ -1,0 +1,95 @@
+#ifndef DIME_COMMON_LOGGING_H_
+#define DIME_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+/// \file logging.h
+/// Minimal logging and assertion facilities in the spirit of glog.
+///
+/// Usage:
+///   DIME_LOG(INFO) << "built index with " << n << " entries";
+///   DIME_CHECK(x > 0) << "x must be positive, got " << x;
+///   DIME_CHECK_EQ(a, b);
+
+namespace dime {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Returns the process-wide minimum level that is actually emitted.
+LogLevel MinLogLevel();
+
+/// Sets the process-wide minimum emitted level (default: kInfo).
+void SetMinLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and flushes it (with a level prefix) on
+/// destruction. Fatal messages abort the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a log statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Turns a streamed expression into void so CHECK can live in a ternary
+/// (the classic glog trick; '&' binds looser than '<<').
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace dime
+
+#define DIME_LOG_DEBUG ::dime::LogLevel::kDebug
+#define DIME_LOG_INFO ::dime::LogLevel::kInfo
+#define DIME_LOG_WARNING ::dime::LogLevel::kWarning
+#define DIME_LOG_ERROR ::dime::LogLevel::kError
+#define DIME_LOG_FATAL ::dime::LogLevel::kFatal
+
+#define DIME_LOG(severity) \
+  ::dime::internal::LogMessage(DIME_LOG_##severity, __FILE__, __LINE__).stream()
+
+#define DIME_CHECK(condition)                                              \
+  (condition) ? (void)0                                                    \
+              : ::dime::internal::Voidify() &                              \
+                    ::dime::internal::LogMessage(::dime::LogLevel::kFatal, \
+                                                 __FILE__, __LINE__)       \
+                            .stream()                                      \
+                        << "Check failed: " #condition " "
+
+#define DIME_CHECK_EQ(a, b) DIME_CHECK((a) == (b))
+#define DIME_CHECK_NE(a, b) DIME_CHECK((a) != (b))
+#define DIME_CHECK_LT(a, b) DIME_CHECK((a) < (b))
+#define DIME_CHECK_LE(a, b) DIME_CHECK((a) <= (b))
+#define DIME_CHECK_GT(a, b) DIME_CHECK((a) > (b))
+#define DIME_CHECK_GE(a, b) DIME_CHECK((a) >= (b))
+
+#endif  // DIME_COMMON_LOGGING_H_

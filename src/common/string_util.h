@@ -1,0 +1,43 @@
+#ifndef DIME_COMMON_STRING_UTIL_H_
+#define DIME_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file string_util.h
+/// Small string helpers shared by the tokenizers, dataset IO and rule
+/// parsing. All functions are pure and allocation-explicit.
+
+namespace dime {
+
+/// Returns `s` with ASCII letters lower-cased.
+std::string ToLower(std::string_view s);
+
+/// Returns `s` without leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Splits `s` on `delim`. Empty pieces are kept ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Splits `s` on `delim`, trimming each piece and dropping empty pieces.
+std::vector<std::string> SplitAndTrim(std::string_view s, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Returns true if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Returns true if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Parses a double; returns false on malformed input.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Formats `v` with `digits` digits after the decimal point.
+std::string FormatDouble(double v, int digits);
+
+}  // namespace dime
+
+#endif  // DIME_COMMON_STRING_UTIL_H_

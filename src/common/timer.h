@@ -1,0 +1,34 @@
+#ifndef DIME_COMMON_TIMER_H_
+#define DIME_COMMON_TIMER_H_
+
+#include <chrono>
+
+/// \file timer.h
+/// Wall-clock timing used by the benchmark harnesses (Fig. 9, DBGen table).
+
+namespace dime {
+
+/// A simple wall-clock stopwatch. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Returns elapsed seconds since construction / last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Returns elapsed milliseconds since construction / last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dime
+
+#endif  // DIME_COMMON_TIMER_H_

@@ -1,0 +1,47 @@
+#include "src/core/corpus.h"
+
+#include <atomic>
+#include <thread>
+
+namespace dime {
+
+std::vector<DimeResult> RunCorpus(const std::vector<Group>& groups,
+                                  const std::vector<PositiveRule>& positive,
+                                  const std::vector<NegativeRule>& negative,
+                                  const DimeContext& context,
+                                  const CorpusOptions& options) {
+  std::vector<DimeResult> results(groups.size());
+  if (groups.empty()) return results;
+
+  unsigned threads = options.num_threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(groups.size()));
+
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      size_t g = next.fetch_add(1);
+      if (g >= groups.size()) break;
+      PreparedGroup pg =
+          PrepareGroup(groups[g], positive, negative, context);
+      results[g] = options.use_dime_plus
+                       ? RunDimePlus(pg, positive, negative,
+                                     options.dime_plus)
+                       : RunDime(pg, positive, negative);
+    }
+  };
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  return results;
+}
+
+}  // namespace dime

@@ -1,0 +1,34 @@
+#ifndef DIME_CORE_CORPUS_H_
+#define DIME_CORE_CORPUS_H_
+
+#include <vector>
+
+#include "src/core/dime_plus.h"
+
+/// \file corpus.h
+/// Batch driver for whole corpora: the paper's experiments process 200
+/// Scholar pages / thousands of Amazon categories, and groups are
+/// independent, so they parallelize trivially. RunCorpus fans the groups
+/// out over a thread pool and returns per-group results in input order.
+
+namespace dime {
+
+struct CorpusOptions {
+  /// 0 = std::thread::hardware_concurrency().
+  unsigned num_threads = 0;
+  /// false runs the naive Algorithm 1 instead of DIME+.
+  bool use_dime_plus = true;
+  DimePlusOptions dime_plus;
+};
+
+/// Runs the chosen engine on every group (preparation included), in
+/// parallel across groups.
+std::vector<DimeResult> RunCorpus(const std::vector<Group>& groups,
+                                  const std::vector<PositiveRule>& positive,
+                                  const std::vector<NegativeRule>& negative,
+                                  const DimeContext& context,
+                                  const CorpusOptions& options = {});
+
+}  // namespace dime
+
+#endif  // DIME_CORE_CORPUS_H_

@@ -1,0 +1,115 @@
+#include "src/core/dime.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/index/union_find.h"
+
+namespace dime {
+namespace internal {
+
+int PickPivot(const std::vector<std::vector<int>>& partitions) {
+  int pivot = -1;
+  size_t best = 0;
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    if (partitions[i].size() > best) {
+      best = partitions[i].size();
+      pivot = static_cast<int>(i);
+    }
+  }
+  return pivot;
+}
+
+std::vector<std::vector<int>> BuildScrollbar(
+    const std::vector<std::vector<int>>& partitions, int pivot,
+    const std::vector<int>& first_flagging_rule, size_t num_rules) {
+  std::vector<std::vector<int>> by_prefix(num_rules);
+  for (size_t k = 0; k < num_rules; ++k) {
+    std::vector<int>& flagged = by_prefix[k];
+    for (size_t p = 0; p < partitions.size(); ++p) {
+      if (static_cast<int>(p) == pivot) continue;
+      int first = first_flagging_rule[p];
+      if (first >= 0 && first <= static_cast<int>(k)) {
+        flagged.insert(flagged.end(), partitions[p].begin(),
+                       partitions[p].end());
+      }
+    }
+    std::sort(flagged.begin(), flagged.end());
+  }
+  return by_prefix;
+}
+
+}  // namespace internal
+
+DimeResult RunDime(const PreparedGroup& pg,
+                   const std::vector<PositiveRule>& positive,
+                   const std::vector<NegativeRule>& negative) {
+  DimeResult result;
+  const int n = static_cast<int>(pg.size());
+  if (n == 0) {
+    result.flagged_by_prefix.assign(negative.size(), {});
+    return result;
+  }
+
+  // Step 1: check every entity pair against the disjunction of positive
+  // rules; connected components of the match graph are the partitions.
+  UnionFind uf(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      for (const PositiveRule& rule : positive) {
+        ++result.stats.positive_pair_checks;
+        if (EvalPositiveRule(pg, rule, i, j)) {
+          uf.Union(i, j);
+          break;
+        }
+      }
+    }
+  }
+  result.partitions = uf.Components();
+
+  // Step 2: the pivot partition.
+  result.pivot = internal::PickPivot(result.partitions);
+
+  // Step 3: negative rules in sequence. A partition P is mis-categorized
+  // under rule r if some entity of P is dissimilar from EVERY pivot entity
+  // (Example 9: e4 is flagged "because e4 does not have overlapping in
+  // Authors with any entity in P1"). We record the first rule that flags
+  // each partition; the scrollbar prefixes follow from it.
+  std::vector<int> first_flagging(result.partitions.size(), -1);
+  if (result.pivot >= 0) {
+    const std::vector<int>& pivot_entities = result.partitions[result.pivot];
+    for (size_t p = 0; p < result.partitions.size(); ++p) {
+      if (static_cast<int>(p) == result.pivot) continue;
+      for (size_t r = 0; r < negative.size() && first_flagging[p] < 0; ++r) {
+        for (int e : result.partitions[p]) {
+          bool all_dissimilar = true;
+          for (int e_star : pivot_entities) {
+            ++result.stats.negative_pair_checks;
+            if (!EvalNegativeRule(pg, negative[r], e, e_star)) {
+              all_dissimilar = false;
+              break;
+            }
+          }
+          if (all_dissimilar) {
+            first_flagging[p] = static_cast<int>(r);
+            break;
+          }
+        }
+      }
+    }
+  }
+  result.first_flagging_rule = first_flagging;
+  result.flagged_by_prefix = internal::BuildScrollbar(
+      result.partitions, result.pivot, first_flagging, negative.size());
+  return result;
+}
+
+DimeResult RunDime(const Group& group,
+                   const std::vector<PositiveRule>& positive,
+                   const std::vector<NegativeRule>& negative,
+                   const DimeContext& context) {
+  PreparedGroup pg = PrepareGroup(group, positive, negative, context);
+  return RunDime(pg, positive, negative);
+}
+
+}  // namespace dime

@@ -1,0 +1,109 @@
+#ifndef DIME_CORE_DIME_H_
+#define DIME_CORE_DIME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/preprocess.h"
+#include "src/rules/rule.h"
+
+/// \file dime.h
+/// The basic rule-based framework DIME (Algorithm 1):
+///
+///   Step 1  apply the disjunction of positive rules to every entity pair
+///           and take connected components as disjoint partitions;
+///   Step 2  the largest partition is the pivot P* (assumed correct);
+///   Step 3  apply negative rules in sequence: a non-pivot partition P is
+///           mis-categorized under prefix k if some entity of P is
+///           dissimilar from EVERY pivot entity according to one of the
+///           first k negative rules (Example 9: e4 is flagged because it
+///           "does not have overlapping Authors with any entity in P1").
+///
+/// The per-prefix outputs implement the scrollbar of Fig. 3: they are
+/// monotone (each prefix's flagged set contains the previous one), so a
+/// user can slide between conservative and aggressive suggestions.
+
+namespace dime {
+
+/// Output of DIME / DIME+ on one group.
+struct DimeResult {
+  /// Disjoint partitions; each partition's entity indices are ascending and
+  /// partitions are ordered by smallest member.
+  std::vector<std::vector<int>> partitions;
+
+  /// Index into `partitions` of the pivot (-1 for an empty group). Largest
+  /// size wins; ties break toward the smaller partition index.
+  int pivot = -1;
+
+  /// flagged_by_prefix[k] = mis-categorized entity indices (ascending)
+  /// after applying negative rules phi_1 .. phi_{k+1} as a disjunction.
+  /// Monotone in k. Size = number of negative rules.
+  std::vector<std::vector<int>> flagged_by_prefix;
+
+  /// Convenience: the last prefix (all negative rules), or empty if there
+  /// are none.
+  const std::vector<int>& flagged() const {
+    static const std::vector<int>& kEmpty = *new std::vector<int>();
+    return flagged_by_prefix.empty() ? kEmpty : flagged_by_prefix.back();
+  }
+
+  /// Per partition: the index of the first negative rule that flags it
+  /// (-1 = never flagged). Parallel to `partitions`; drives the scrollbar
+  /// and the explanation API (core/explain.h).
+  std::vector<int> first_flagging_rule;
+
+  /// The partition index containing `entity`, or -1. Linear scan — build
+  /// your own entity->partition map for bulk queries.
+  int PartitionOf(int entity) const {
+    for (size_t p = 0; p < partitions.size(); ++p) {
+      for (int e : partitions[p]) {
+        if (e == entity) return static_cast<int>(p);
+      }
+    }
+    return -1;
+  }
+
+  /// Instrumentation for the efficiency study (Fig. 9 / ablations).
+  struct Stats {
+    size_t positive_pair_checks = 0;   ///< rule evaluations in step 1
+    size_t negative_pair_checks = 0;   ///< rule evaluations in step 3
+    size_t candidate_pairs = 0;        ///< pairs surviving the filter (DIME+)
+    size_t partitions_pruned_by_filter = 0;  ///< step-3 signature prunes
+  };
+  Stats stats;
+
+  /// Entity indices of the pivot partition (empty for an empty group).
+  const std::vector<int>& PivotEntities() const {
+    static const std::vector<int>& kEmpty = *new std::vector<int>();
+    return pivot < 0 ? kEmpty : partitions[pivot];
+  }
+};
+
+/// Runs Algorithm 1 (the naive quadratic framework).
+DimeResult RunDime(const PreparedGroup& pg,
+                   const std::vector<PositiveRule>& positive,
+                   const std::vector<NegativeRule>& negative);
+
+/// Convenience wrapper: prepares `group` and runs Algorithm 1.
+DimeResult RunDime(const Group& group,
+                   const std::vector<PositiveRule>& positive,
+                   const std::vector<NegativeRule>& negative,
+                   const DimeContext& context);
+
+/// Shared helpers (used by both engines; exposed for tests).
+namespace internal {
+
+/// Picks the pivot: largest partition, ties toward smaller index.
+int PickPivot(const std::vector<std::vector<int>>& partitions);
+
+/// Turns per-partition "first flagging rule" indices (-1 = never flagged)
+/// into monotone per-prefix entity lists.
+std::vector<std::vector<int>> BuildScrollbar(
+    const std::vector<std::vector<int>>& partitions, int pivot,
+    const std::vector<int>& first_flagging_rule, size_t num_rules);
+
+}  // namespace internal
+}  // namespace dime
+
+#endif  // DIME_CORE_DIME_H_

@@ -1,0 +1,120 @@
+#include "src/core/dime_parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/index/union_find.h"
+
+namespace dime {
+namespace {
+
+unsigned ResolveThreads(unsigned requested) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+DimeResult RunDimeParallel(const PreparedGroup& pg,
+                           const std::vector<PositiveRule>& positive,
+                           const std::vector<NegativeRule>& negative,
+                           const ParallelOptions& options) {
+  DimeResult result;
+  const int n = static_cast<int>(pg.size());
+  if (n == 0) {
+    result.flagged_by_prefix.assign(negative.size(), {});
+    return result;
+  }
+  const unsigned threads = ResolveThreads(options.num_threads);
+
+  // ---- Step 1: scan row blocks concurrently, merge edges afterwards. ----
+  std::vector<std::vector<std::pair<int, int>>> edges(threads);
+  std::vector<size_t> checks(threads, 0);
+  {
+    // Rows are dealt round-robin: row i has n-1-i pairs, so interleaving
+    // balances the triangular workload.
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t]() {
+        // Accumulate locally: shared per-thread slots would false-share a
+        // cache line across all workers.
+        size_t local_checks = 0;
+        std::vector<std::pair<int, int>> local_edges;
+        for (int i = static_cast<int>(t); i < n;
+             i += static_cast<int>(threads)) {
+          for (int j = i + 1; j < n; ++j) {
+            for (const PositiveRule& rule : positive) {
+              ++local_checks;
+              if (EvalPositiveRule(pg, rule, i, j)) {
+                local_edges.emplace_back(i, j);
+                break;
+              }
+            }
+          }
+        }
+        checks[t] = local_checks;
+        edges[t] = std::move(local_edges);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  UnionFind uf(static_cast<size_t>(n));
+  for (unsigned t = 0; t < threads; ++t) {
+    result.stats.positive_pair_checks += checks[t];
+    for (const auto& [i, j] : edges[t]) uf.Union(i, j);
+  }
+  result.partitions = uf.Components();
+
+  // ---- Step 2. -----------------------------------------------------------
+  result.pivot = internal::PickPivot(result.partitions);
+
+  // ---- Step 3: one non-pivot partition per task. --------------------------
+  std::vector<int> first_flagging(result.partitions.size(), -1);
+  if (result.pivot >= 0 && !negative.empty()) {
+    const std::vector<int>& pivot_entities = result.partitions[result.pivot];
+    std::atomic<size_t> next{0};
+    std::vector<size_t> neg_checks(threads, 0);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t]() {
+        size_t local_checks = 0;
+        while (true) {
+          size_t p = next.fetch_add(1);
+          if (p >= result.partitions.size()) break;
+          if (static_cast<int>(p) == result.pivot) continue;
+          for (size_t r = 0;
+               r < negative.size() && first_flagging[p] < 0; ++r) {
+            for (int e : result.partitions[p]) {
+              bool all_dissimilar = true;
+              for (int e_star : pivot_entities) {
+                ++local_checks;
+                if (!EvalNegativeRule(pg, negative[r], e, e_star)) {
+                  all_dissimilar = false;
+                  break;
+                }
+              }
+              if (all_dissimilar) {
+                first_flagging[p] = static_cast<int>(r);
+                break;
+              }
+            }
+          }
+        }
+        neg_checks[t] = local_checks;
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    for (size_t c : neg_checks) result.stats.negative_pair_checks += c;
+  }
+  result.first_flagging_rule = first_flagging;
+  result.flagged_by_prefix = internal::BuildScrollbar(
+      result.partitions, result.pivot, first_flagging, negative.size());
+  return result;
+}
+
+}  // namespace dime

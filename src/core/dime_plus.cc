@@ -1,0 +1,232 @@
+#include "src/core/dime_plus.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "src/common/logging.h"
+#include "src/index/inverted_index.h"
+#include "src/index/union_find.h"
+#include "src/index/verification.h"
+
+namespace dime {
+namespace {
+
+struct PositiveCandidate {
+  double benefit;
+  int rule;
+  int e1;
+  int e2;
+};
+
+struct NegativeCandidate {
+  double benefit;
+  int e;       // entity in the partition under test
+  int e_star;  // entity in the pivot
+};
+
+}  // namespace
+
+DimeResult RunDimePlus(const PreparedGroup& pg,
+                       const std::vector<PositiveRule>& positive,
+                       const std::vector<NegativeRule>& negative,
+                       const DimePlusOptions& options) {
+  DimeResult result;
+  const int n = static_cast<int>(pg.size());
+  if (n == 0) {
+    result.flagged_by_prefix.assign(negative.size(), {});
+    return result;
+  }
+
+  // ---- Step 1: signature-filtered partitioning. -------------------------
+  UnionFind uf(static_cast<size_t>(n));
+  std::vector<InvertedIndex> indexes(positive.size());
+  size_t candidate_volume = 0;
+  for (size_t r = 0; r < positive.size(); ++r) {
+    SignatureGenerator gen(pg, positive[r].predicates, Direction::kGe,
+                           /*rule_tag=*/r + 1, options.signatures);
+    for (int e = 0; e < n; ++e) {
+      indexes[r].Add(e, gen.PositiveRuleSignatures(e));
+    }
+    candidate_volume += indexes[r].CandidateVolume();
+  }
+  result.stats.candidate_pairs = candidate_volume;
+
+  // Two verification strategies, same result:
+  //  * small candidate sets: materialize every candidate with its exact
+  //    benefit B = P / C and verify in descending order (Section IV-C);
+  //  * large candidate sets (long inverted lists, e.g. a page owner's name
+  //    appearing in every entity): stream candidates directly off the
+  //    lists, shortest list first — rare-signature (high-probability)
+  //    pairs still go first, but without the materialization cost, so the
+  //    transitivity skip handles the flood in O(1) per pair.
+  if (options.benefit_order && candidate_volume <= options.exact_benefit_cap) {
+    std::vector<PositiveCandidate> candidates;
+    for (size_t r = 0; r < positive.size(); ++r) {
+      for (const InvertedIndex::CandidatePair& cp :
+           indexes[r].CandidatePairs()) {
+        double prob =
+            SimilarProbability(cp.shared, indexes[r].SignatureCount(cp.e1),
+                               indexes[r].SignatureCount(cp.e2));
+        double cost =
+            RuleVerificationCost(pg, positive[r].predicates, cp.e1, cp.e2);
+        candidates.push_back(PositiveCandidate{PositiveBenefit(prob, cost),
+                                               static_cast<int>(r), cp.e1,
+                                               cp.e2});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const PositiveCandidate& a, const PositiveCandidate& b) {
+                if (a.benefit != b.benefit) return a.benefit > b.benefit;
+                if (a.e1 != b.e1) return a.e1 < b.e1;
+                if (a.e2 != b.e2) return a.e2 < b.e2;
+                return a.rule < b.rule;
+              });
+    for (const PositiveCandidate& c : candidates) {
+      if (options.transitivity_skip && uf.Connected(c.e1, c.e2)) continue;
+      ++result.stats.positive_pair_checks;
+      if (EvalPositiveRule(pg, positive[c.rule], c.e1, c.e2)) {
+        uf.Union(c.e1, c.e2);
+      }
+    }
+  } else {
+    for (size_t r = 0; r < positive.size(); ++r) {
+      indexes[r].ForEachCandidate(
+          options.benefit_order, [&](int e1, int e2) {
+            if (options.transitivity_skip && uf.Connected(e1, e2)) {
+              return true;
+            }
+            ++result.stats.positive_pair_checks;
+            if (EvalPositiveRule(pg, positive[r], e1, e2)) uf.Union(e1, e2);
+            return true;
+          });
+    }
+  }
+  result.partitions = uf.Components();
+
+  // ---- Step 2: pivot. ----------------------------------------------------
+  result.pivot = internal::PickPivot(result.partitions);
+
+  // ---- Step 3: signature-filtered negative rules. ------------------------
+  std::vector<int> first_flagging(result.partitions.size(), -1);
+  if (result.pivot >= 0 && !negative.empty()) {
+    const std::vector<int>& pivot_entities = result.partitions[result.pivot];
+
+    // Lazily built per negative rule: the generator, each pivot entity's
+    // signature set, and a sig -> pivot-entities map used both as the
+    // partition-level filter and for shared-count estimation.
+    std::vector<std::unique_ptr<SignatureGenerator>> gens(negative.size());
+    std::vector<std::vector<std::vector<uint64_t>>> pivot_sigs(
+        negative.size());
+    std::vector<std::unordered_map<uint64_t, std::vector<int>>> pivot_lists(
+        negative.size());
+    auto ensure_rule = [&](size_t r) {
+      if (gens[r] != nullptr) return;
+      gens[r] = std::make_unique<SignatureGenerator>(
+          pg, negative[r].predicates, Direction::kLe,
+          /*rule_tag=*/0x1000 + r, options.signatures);
+      pivot_sigs[r].resize(pivot_entities.size());
+      for (size_t i = 0; i < pivot_entities.size(); ++i) {
+        pivot_sigs[r][i] = gens[r]->NegativeRuleSignatures(pivot_entities[i]);
+        for (uint64_t s : pivot_sigs[r][i]) {
+          pivot_lists[r][s].push_back(static_cast<int>(i));
+        }
+      }
+    };
+
+    for (size_t p = 0; p < result.partitions.size(); ++p) {
+      if (static_cast<int>(p) == result.pivot) continue;
+      const std::vector<int>& members = result.partitions[p];
+      for (size_t r = 0; r < negative.size() && first_flagging[p] < 0; ++r) {
+        ensure_rule(r);
+
+        // Filter: collect the partition's signatures and the per-pair
+        // shared counts against the pivot in one pass.
+        bool any_shared = false;
+        // shared[(member m, pivot i)] -> count
+        std::unordered_map<uint64_t, uint32_t> shared;
+        std::vector<size_t> member_sig_count(members.size(), 0);
+        for (size_t m = 0; m < members.size(); ++m) {
+          std::vector<uint64_t> sigs =
+              gens[r]->NegativeRuleSignatures(members[m]);
+          member_sig_count[m] = sigs.size();
+          for (uint64_t s : sigs) {
+            auto it = pivot_lists[r].find(s);
+            if (it == pivot_lists[r].end()) continue;
+            any_shared = true;
+            for (int i : it->second) {
+              uint64_t key = (static_cast<uint64_t>(m) << 32) |
+                             static_cast<uint32_t>(i);
+              ++shared[key];
+            }
+          }
+        }
+        if (!any_shared) {
+          // No signature of P matches any signature of P*: every cross pair
+          // satisfies the rule, so every member of P is dissimilar from the
+          // whole pivot — flag without verification.
+          first_flagging[p] = static_cast<int>(r);
+          ++result.stats.partitions_pruned_by_filter;
+          break;
+        }
+
+        // Verification: a member flags the partition if it is dissimilar
+        // from EVERY pivot entity. For each member, pivot entities are
+        // checked most-likely-similar first (shared signatures up, cost
+        // down), so a violating pair — which ends this member's scan — is
+        // found as early as possible.
+        for (size_t m = 0;
+             m < members.size() && first_flagging[p] < 0; ++m) {
+          std::vector<NegativeCandidate> cands;
+          cands.reserve(pivot_entities.size());
+          for (size_t i = 0; i < pivot_entities.size(); ++i) {
+            uint64_t key =
+                (static_cast<uint64_t>(m) << 32) | static_cast<uint32_t>(i);
+            auto it = shared.find(key);
+            uint32_t sh = it == shared.end() ? 0 : it->second;
+            double prob = SimilarProbability(sh, member_sig_count[m],
+                                             pivot_sigs[r][i].size());
+            double cost = RuleVerificationCost(pg, negative[r].predicates,
+                                               members[m], pivot_entities[i]);
+            cands.push_back(NegativeCandidate{PositiveBenefit(prob, cost),
+                                              members[m], pivot_entities[i]});
+          }
+          if (options.benefit_order) {
+            std::sort(cands.begin(), cands.end(),
+                      [](const NegativeCandidate& a,
+                         const NegativeCandidate& b) {
+                        if (a.benefit != b.benefit) {
+                          return a.benefit > b.benefit;
+                        }
+                        return a.e_star < b.e_star;
+                      });
+          }
+          bool all_dissimilar = true;
+          for (const NegativeCandidate& c : cands) {
+            ++result.stats.negative_pair_checks;
+            if (!EvalNegativeRule(pg, negative[r], c.e, c.e_star)) {
+              all_dissimilar = false;
+              break;
+            }
+          }
+          if (all_dissimilar) first_flagging[p] = static_cast<int>(r);
+        }
+      }
+    }
+  }
+  result.first_flagging_rule = first_flagging;
+  result.flagged_by_prefix = internal::BuildScrollbar(
+      result.partitions, result.pivot, first_flagging, negative.size());
+  return result;
+}
+
+DimeResult RunDimePlus(const Group& group,
+                       const std::vector<PositiveRule>& positive,
+                       const std::vector<NegativeRule>& negative,
+                       const DimeContext& context,
+                       const DimePlusOptions& options) {
+  PreparedGroup pg = PrepareGroup(group, positive, negative, context);
+  return RunDimePlus(pg, positive, negative, options);
+}
+
+}  // namespace dime

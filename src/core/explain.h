@@ -1,0 +1,42 @@
+#ifndef DIME_CORE_EXPLAIN_H_
+#define DIME_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/dime.h"
+#include "src/core/preprocess.h"
+
+/// \file explain.h
+/// Explanations for flagged entities — what the GUI of Fig. 3 shows a user
+/// next to each suggestion. An explanation names the partition the entity
+/// landed in, the first negative rule that flagged it, the witness member
+/// of the partition that is dissimilar from every pivot entity, and the
+/// predicate-by-predicate similarities of the witness against a concrete
+/// pivot example.
+
+namespace dime {
+
+struct Explanation {
+  bool flagged = false;     ///< false: the entity is not suggested
+  int partition = -1;       ///< index into result.partitions
+  size_t partition_size = 0;
+  int rule = -1;            ///< first flagging rule (index into negatives)
+  int witness = -1;         ///< member of the partition satisfying the rule
+  /// Per predicate of the flagging rule: the witness's MAXIMUM similarity
+  /// across all pivot entities (all of them are below the rule's sigma —
+  /// that is what being flagged means).
+  std::vector<double> max_similarity_to_pivot;
+  std::string text;         ///< one-paragraph human-readable summary
+};
+
+/// Explains why `entity` is (or is not) suggested by `result`. `pg` must
+/// be the prepared group the result was computed from and `negative` the
+/// same rule sequence.
+Explanation ExplainFlagged(const PreparedGroup& pg,
+                           const std::vector<NegativeRule>& negative,
+                           const DimeResult& result, int entity);
+
+}  // namespace dime
+
+#endif  // DIME_CORE_EXPLAIN_H_

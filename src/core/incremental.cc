@@ -1,0 +1,165 @@
+#include "src/core/incremental.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+#include "src/text/tokenizer.h"
+
+namespace dime {
+
+IncrementalDime::IncrementalDime(Schema schema,
+                                 std::vector<PositiveRule> positive,
+                                 std::vector<NegativeRule> negative,
+                                 DimeContext context)
+    : positive_(std::move(positive)), negative_(std::move(negative)) {
+  group_.name = "incremental";
+  group_.schema = std::move(schema);
+  pg_.group = &group_;
+  pg_.context = std::move(context);
+  pg_.attrs.resize(group_.schema.size());
+
+  std::vector<Predicate> all;
+  for (const PositiveRule& r : positive_) {
+    all.insert(all.end(), r.predicates.begin(), r.predicates.end());
+  }
+  for (const NegativeRule& r : negative_) {
+    all.insert(all.end(), r.predicates.begin(), r.predicates.end());
+  }
+  for (const Predicate& p : all) {
+    DIME_CHECK(!IsWeightedSetBased(p.func))
+        << "IncrementalDime does not support IDF-weighted predicates: "
+           "weights depend on corpus-wide document frequencies, which "
+           "change with every arrival (rebuild with PrepareGroup instead)";
+  }
+  std::vector<AttrRequirements> needs =
+      ComputeAttrRequirements(group_.schema.size(), all);
+  for (size_t a = 0; a < pg_.attrs.size(); ++a) {
+    pg_.attrs[a].has_value_list = needs[a].value_list;
+    pg_.attrs[a].has_words = needs[a].words;
+    pg_.attrs[a].has_text = needs[a].text;
+    for (int oi : needs[a].ontology_indexes) {
+      DIME_CHECK_GE(oi, 0);
+      DIME_CHECK_LT(static_cast<size_t>(oi), pg_.context.ontologies.size());
+      DIME_CHECK(pg_.context.ontologies[oi].tree != nullptr);
+      pg_.attrs[a].nodes[oi];  // create the per-ontology node vector
+    }
+  }
+}
+
+void IncrementalDime::PrepareEntity(int e) {
+  // Token ids double as the (frozen, arrival-order) global order: any
+  // consistent total order keeps intersections and rule evaluation exact.
+  for (size_t a = 0; a < pg_.attrs.size(); ++a) {
+    PreparedAttr& attr = pg_.attrs[a];
+    const AttributeValue& value =
+        group_.entities[e].value(static_cast<int>(a));
+
+    if (attr.has_value_list) {
+      std::vector<std::string> tokens;
+      tokens.reserve(value.size());
+      for (const std::string& v : value) {
+        tokens.push_back(ToLower(std::string(Trim(v))));
+      }
+      std::vector<TokenId> ids = attr.value_dict.InternDocument(tokens);
+      std::sort(ids.begin(), ids.end());
+      ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+      attr.value_ranks.emplace_back(ids.begin(), ids.end());
+    }
+    if (attr.has_words) {
+      std::vector<TokenId> ids = attr.word_dict.InternDocument(
+          WordTokenizeUnique(JoinAttributeText(value)));
+      std::sort(ids.begin(), ids.end());
+      ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+      attr.word_ranks.emplace_back(ids.begin(), ids.end());
+    }
+    if (attr.has_text) {
+      attr.text.push_back(JoinAttributeText(value));
+      std::vector<TokenId> ids = attr.qgram_dict.InternDocument(
+          QGrams(attr.text.back(), pg_.context.qgram_q));
+      std::sort(ids.begin(), ids.end());
+      ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+      attr.qgram_ranks.emplace_back(ids.begin(), ids.end());
+    }
+    for (auto& [oi, nodes] : attr.nodes) {
+      const OntologyRef& ref = pg_.context.ontologies[oi];
+      nodes.push_back(MapAttributeToNode(*ref.tree, ref.mode, value));
+    }
+  }
+}
+
+int IncrementalDime::AddEntity(Entity entity) {
+  DIME_CHECK_EQ(entity.values.size(), group_.schema.size());
+  int e = static_cast<int>(group_.entities.size());
+  group_.entities.push_back(std::move(entity));
+  group_.truth.push_back(0);
+  PrepareEntity(e);
+  int id = uf_.Add();
+  DIME_CHECK_EQ(id, e);
+
+  // Connect the arrival: one pass over existing entities, skipping those
+  // already in a partition we joined (transitivity).
+  for (int j = 0; j < e; ++j) {
+    if (uf_.Connected(e, j)) continue;
+    for (const PositiveRule& rule : positive_) {
+      ++cached_.stats.positive_pair_checks;
+      if (EvalPositiveRule(pg_, rule, e, j)) {
+        uf_.Union(e, j);
+        break;
+      }
+    }
+  }
+  dirty_ = true;
+  return e;
+}
+
+void IncrementalDime::AddGroup(const Group& group) {
+  DIME_CHECK_EQ(group.schema.size(), group_.schema.size());
+  for (size_t i = 0; i < group.entities.size(); ++i) {
+    int e = AddEntity(group.entities[i]);
+    if (group.has_truth()) group_.truth[e] = group.truth[i];
+  }
+}
+
+const DimeResult& IncrementalDime::Result() {
+  if (!dirty_) return cached_;
+
+  DimeResult::Stats stats = cached_.stats;  // keep the running counters
+  cached_ = DimeResult();
+  cached_.stats = stats;
+  cached_.partitions = uf_.Components();
+  cached_.pivot = internal::PickPivot(cached_.partitions);
+
+  std::vector<int> first_flagging(cached_.partitions.size(), -1);
+  if (cached_.pivot >= 0 && !negative_.empty()) {
+    const std::vector<int>& pivot_entities =
+        cached_.partitions[cached_.pivot];
+    for (size_t p = 0; p < cached_.partitions.size(); ++p) {
+      if (static_cast<int>(p) == cached_.pivot) continue;
+      for (size_t r = 0;
+           r < negative_.size() && first_flagging[p] < 0; ++r) {
+        for (int e : cached_.partitions[p]) {
+          bool all_dissimilar = true;
+          for (int e_star : pivot_entities) {
+            ++cached_.stats.negative_pair_checks;
+            if (!EvalNegativeRule(pg_, negative_[r], e, e_star)) {
+              all_dissimilar = false;
+              break;
+            }
+          }
+          if (all_dissimilar) {
+            first_flagging[p] = static_cast<int>(r);
+            break;
+          }
+        }
+      }
+    }
+  }
+  cached_.first_flagging_rule = first_flagging;
+  cached_.flagged_by_prefix = internal::BuildScrollbar(
+      cached_.partitions, cached_.pivot, first_flagging, negative_.size());
+  dirty_ = false;
+  return cached_;
+}
+
+}  // namespace dime

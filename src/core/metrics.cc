@@ -1,0 +1,72 @@
+#include "src/core/metrics.h"
+
+#include "src/common/logging.h"
+
+namespace dime {
+
+Prf PrfFromCounts(size_t tp, size_t fp, size_t fn) {
+  Prf out;
+  out.tp = tp;
+  out.fp = fp;
+  out.fn = fn;
+  out.precision = (tp + fp) == 0
+                      ? 1.0
+                      : static_cast<double>(tp) / static_cast<double>(tp + fp);
+  out.recall = (tp + fn) == 0
+                   ? 1.0
+                   : static_cast<double>(tp) / static_cast<double>(tp + fn);
+  out.f1 = (out.precision + out.recall) == 0.0
+               ? 0.0
+               : 2.0 * out.precision * out.recall /
+                     (out.precision + out.recall);
+  return out;
+}
+
+Prf EvaluateFlagged(const Group& group, const std::vector<int>& flagged) {
+  DIME_CHECK(group.has_truth()) << "group " << group.name
+                                << " has no ground truth";
+  size_t tp = 0, fp = 0;
+  for (int e : flagged) {
+    if (group.truth[e]) {
+      ++tp;
+    } else {
+      ++fp;
+    }
+  }
+  size_t total_errors = 0;
+  for (uint8_t t : group.truth) total_errors += t;
+  size_t fn = total_errors - tp;
+  return PrfFromCounts(tp, fp, fn);
+}
+
+Prf MicroAverage(const std::vector<Prf>& results) {
+  size_t tp = 0, fp = 0, fn = 0;
+  for (const Prf& r : results) {
+    tp += r.tp;
+    fp += r.fp;
+    fn += r.fn;
+  }
+  return PrfFromCounts(tp, fp, fn);
+}
+
+Prf MacroAverage(const std::vector<Prf>& results) {
+  Prf out;
+  if (results.empty()) return out;
+  double p = 0, r = 0;
+  for (const Prf& x : results) {
+    p += x.precision;
+    r += x.recall;
+    out.tp += x.tp;
+    out.fp += x.fp;
+    out.fn += x.fn;
+  }
+  out.precision = p / static_cast<double>(results.size());
+  out.recall = r / static_cast<double>(results.size());
+  out.f1 = (out.precision + out.recall) == 0.0
+               ? 0.0
+               : 2.0 * out.precision * out.recall /
+                     (out.precision + out.recall);
+  return out;
+}
+
+}  // namespace dime

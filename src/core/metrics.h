@@ -1,0 +1,42 @@
+#ifndef DIME_CORE_METRICS_H_
+#define DIME_CORE_METRICS_H_
+
+#include <vector>
+
+#include "src/core/entity.h"
+
+/// \file metrics.h
+/// Precision / recall / F-measure of a flagged entity set against a
+/// group's ground truth (the effectiveness metrics of Section VI-A).
+
+namespace dime {
+
+struct Prf {
+  double precision = 1.0;
+  double recall = 1.0;
+  double f1 = 1.0;
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t fn = 0;
+};
+
+/// Evaluates `flagged` (entity indices reported mis-categorized) against
+/// `group.truth`. Conventions: precision is 1 when nothing is flagged;
+/// recall is 1 when there are no true errors; F is the harmonic mean (0
+/// when both are 0).
+Prf EvaluateFlagged(const Group& group, const std::vector<int>& flagged);
+
+/// Micro-averages counts across per-group results (sums tp/fp/fn, then
+/// recomputes the ratios).
+Prf MicroAverage(const std::vector<Prf>& results);
+
+/// Arithmetic mean of the ratios (macro average, used for per-page
+/// summaries like Fig. 7(a)).
+Prf MacroAverage(const std::vector<Prf>& results);
+
+/// Builds a Prf from raw counts.
+Prf PrfFromCounts(size_t tp, size_t fp, size_t fn);
+
+}  // namespace dime
+
+#endif  // DIME_CORE_METRICS_H_

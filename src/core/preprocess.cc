@@ -1,0 +1,391 @@
+#include "src/core/preprocess.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+#include "src/sim/edit_distance.h"
+#include "src/sim/set_similarity.h"
+#include "src/sim/weighted_similarity.h"
+#include "src/text/tokenizer.h"
+
+namespace dime {
+
+std::vector<AttrRequirements> ComputeAttrRequirements(
+    size_t num_attrs, const std::vector<Predicate>& predicates) {
+  std::vector<AttrRequirements> needs(num_attrs);
+  for (const Predicate& p : predicates) {
+    DIME_CHECK_GE(p.attr, 0);
+    DIME_CHECK_LT(static_cast<size_t>(p.attr), needs.size());
+    AttrRequirements& n = needs[p.attr];
+    if (IsSetBased(p.func) || IsWeightedSetBased(p.func)) {
+      if (p.mode == TokenMode::kValueList) {
+        n.value_list = true;
+      } else {
+        n.words = true;
+      }
+    } else if (p.func == SimFunc::kEditSim) {
+      n.text = true;
+    } else if (p.func == SimFunc::kOntology) {
+      if (std::find(n.ontology_indexes.begin(), n.ontology_indexes.end(),
+                    p.ontology_index) == n.ontology_indexes.end()) {
+        n.ontology_indexes.push_back(p.ontology_index);
+      }
+    }
+  }
+  return needs;
+}
+
+std::string JoinAttributeText(const AttributeValue& value) {
+  std::string joined;
+  for (size_t i = 0; i < value.size(); ++i) {
+    if (i > 0) joined.push_back(' ');
+    joined.append(value[i]);
+  }
+  return ToLower(joined);
+}
+
+/// For kExactName we first try the full joined value, then each list
+/// element, then every contiguous token span, preferring the deepest hit
+/// (so "SIGMOD 2015" maps to the SIGMOD leaf and "RSC Advances 2001" finds
+/// the "RSC Advances" node). For kKeyword we vote with word tokens.
+namespace {
+
+/// The node whose (lower-cased) name is most edit-similar to some element
+/// or token span of `value`, if any reaches `min_similarity`.
+int FuzzyNodeMatch(const Ontology& tree, const AttributeValue& value,
+                   double min_similarity) {
+  int best = kNoNode;
+  double best_sim = min_similarity - 1e-9;
+  auto consider = [&](const std::string& text) {
+    for (int node = 0; node < tree.NumNodes(); ++node) {
+      std::string name = ToLower(tree.Name(node));
+      // Cheap length pre-filter before the banded verifier.
+      size_t max_len = std::max(name.size(), text.size());
+      if (max_len == 0) continue;
+      size_t diff = max_len - std::min(name.size(), text.size());
+      if (static_cast<double>(max_len - diff) / max_len <= best_sim) {
+        continue;
+      }
+      if (EditSimilarityAtLeast(text, name, best_sim + 1e-9)) {
+        best_sim = EditSimilarity(text, name);
+        best = node;
+      }
+    }
+  };
+  for (const std::string& element : value) {
+    consider(ToLower(std::string(Trim(element))));
+  }
+  consider(JoinAttributeText(value));
+  return best;
+}
+
+}  // namespace
+
+int MapAttributeToNode(const Ontology& tree, MapMode mode,
+                       const AttributeValue& value) {
+  if (mode == MapMode::kKeyword) {
+    std::vector<std::string> tokens = WordTokenize(JoinAttributeText(value));
+    return tree.MapByKeywords(tokens);
+  }
+  int best = kNoNode;
+  auto consider = [&](int node) {
+    if (node == kNoNode) return;
+    if (best == kNoNode || tree.Depth(node) > tree.Depth(best)) best = node;
+  };
+  consider(tree.FindByName(JoinAttributeText(value)));
+  for (const std::string& element : value) {
+    consider(tree.FindByName(element));
+    std::vector<std::string> tokens = WhitespaceTokenize(element);
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      std::string span;
+      for (size_t j = i; j < tokens.size(); ++j) {
+        if (j > i) span.push_back(' ');
+        span += tokens[j];
+        consider(tree.FindByName(span));
+      }
+    }
+  }
+  if (best == kNoNode && mode == MapMode::kFuzzyName) {
+    best = FuzzyNodeMatch(tree, value, /*min_similarity=*/0.8);
+  }
+  return best;
+}
+
+namespace {
+
+PreparedGroup PrepareImpl(const Group& group,
+                          const std::vector<Predicate>& predicates,
+                          const DimeContext& context) {
+  PreparedGroup pg;
+  pg.group = &group;
+  pg.context = context;
+  pg.attrs.resize(group.schema.size());
+
+  std::vector<AttrRequirements> needs =
+      ComputeAttrRequirements(group.schema.size(), predicates);
+
+  const size_t n = group.size();
+  for (size_t a = 0; a < pg.attrs.size(); ++a) {
+    PreparedAttr& attr = pg.attrs[a];
+    const AttrRequirements& need = needs[a];
+
+    if (need.value_list) {
+      attr.has_value_list = true;
+      std::vector<std::vector<TokenId>> ids(n);
+      for (size_t e = 0; e < n; ++e) {
+        std::vector<std::string> tokens;
+        tokens.reserve(group.entities[e].value(static_cast<int>(a)).size());
+        for (const std::string& v :
+             group.entities[e].value(static_cast<int>(a))) {
+          tokens.push_back(ToLower(std::string(Trim(v))));
+        }
+        ids[e] = attr.value_dict.InternDocument(tokens);
+      }
+      attr.value_dict.BuildGlobalOrder();
+      attr.value_weights =
+          IdfWeightsByRank(attr.value_dict.DocumentFrequencyByRank(), n);
+      attr.value_ranks.resize(n);
+      for (size_t e = 0; e < n; ++e) {
+        std::vector<uint32_t> ranks;
+        ranks.reserve(ids[e].size());
+        for (TokenId id : ids[e]) ranks.push_back(attr.value_dict.GlobalRank(id));
+        std::sort(ranks.begin(), ranks.end());
+        ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+        attr.value_ranks[e] = std::move(ranks);
+      }
+    }
+
+    if (need.words) {
+      attr.has_words = true;
+      std::vector<std::vector<TokenId>> ids(n);
+      for (size_t e = 0; e < n; ++e) {
+        ids[e] = attr.word_dict.InternDocument(WordTokenizeUnique(
+            JoinAttributeText(group.entities[e].value(static_cast<int>(a)))));
+      }
+      attr.word_dict.BuildGlobalOrder();
+      attr.word_weights =
+          IdfWeightsByRank(attr.word_dict.DocumentFrequencyByRank(), n);
+      attr.word_ranks.resize(n);
+      for (size_t e = 0; e < n; ++e) {
+        std::vector<uint32_t> ranks;
+        ranks.reserve(ids[e].size());
+        for (TokenId id : ids[e]) ranks.push_back(attr.word_dict.GlobalRank(id));
+        std::sort(ranks.begin(), ranks.end());
+        ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+        attr.word_ranks[e] = std::move(ranks);
+      }
+    }
+
+    if (need.text) {
+      attr.has_text = true;
+      attr.text.resize(n);
+      std::vector<std::vector<TokenId>> ids(n);
+      for (size_t e = 0; e < n; ++e) {
+        attr.text[e] =
+            JoinAttributeText(group.entities[e].value(static_cast<int>(a)));
+        ids[e] = attr.qgram_dict.InternDocument(
+            QGrams(attr.text[e], context.qgram_q));
+      }
+      attr.qgram_dict.BuildGlobalOrder();
+      attr.qgram_ranks.resize(n);
+      for (size_t e = 0; e < n; ++e) {
+        std::vector<uint32_t> ranks;
+        ranks.reserve(ids[e].size());
+        for (TokenId id : ids[e]) {
+          ranks.push_back(attr.qgram_dict.GlobalRank(id));
+        }
+        std::sort(ranks.begin(), ranks.end());
+        ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+        attr.qgram_ranks[e] = std::move(ranks);
+      }
+    }
+
+    for (int oi : need.ontology_indexes) {
+      DIME_CHECK_GE(oi, 0);
+      DIME_CHECK_LT(static_cast<size_t>(oi), context.ontologies.size())
+          << "predicate references ontology index " << oi
+          << " but the context has only " << context.ontologies.size();
+      const OntologyRef& ref = context.ontologies[oi];
+      DIME_CHECK(ref.tree != nullptr);
+      std::vector<int>& nodes = attr.nodes[oi];
+      nodes.resize(n);
+      for (size_t e = 0; e < n; ++e) {
+        nodes[e] = MapAttributeToNode(
+            *ref.tree, ref.mode,
+            group.entities[e].value(static_cast<int>(a)));
+      }
+    }
+  }
+  return pg;
+}
+
+}  // namespace
+
+namespace {
+
+std::string ValidatePredicate(const Schema& schema, const Predicate& p,
+                              Direction dir, const DimeContext& context,
+                              const std::string& where) {
+  if (p.attr < 0 || static_cast<size_t>(p.attr) >= schema.size()) {
+    return where + ": attribute index " + std::to_string(p.attr) +
+           " out of range (schema has " + std::to_string(schema.size()) +
+           " attributes)";
+  }
+  if (p.func == SimFunc::kOntology) {
+    if (p.ontology_index < 0 ||
+        static_cast<size_t>(p.ontology_index) >= context.ontologies.size()) {
+      return where + ": ontology index " + std::to_string(p.ontology_index) +
+             " not provided by the context";
+    }
+    if (context.ontologies[p.ontology_index].tree == nullptr) {
+      return where + ": ontology " + std::to_string(p.ontology_index) +
+             " has a null tree";
+    }
+  }
+  if (IsNormalized(p.func) && (p.threshold < 0.0 || p.threshold > 1.0)) {
+    return where + ": threshold " + std::to_string(p.threshold) +
+           " outside [0, 1] for " + SimFuncName(p.func);
+  }
+  if (p.func == SimFunc::kOverlap && p.threshold < 0.0) {
+    return where + ": negative overlap threshold";
+  }
+  if (dir == Direction::kGe) {
+    bool vacuous = p.func == SimFunc::kOverlap ? p.threshold < 1.0
+                                               : p.threshold <= 0.0;
+    if (vacuous) {
+      return where + ": vacuous positive predicate (" +
+             p.ToString(schema, dir) + " holds for every pair)";
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string ValidateRules(const Schema& schema,
+                          const std::vector<PositiveRule>& positive,
+                          const std::vector<NegativeRule>& negative,
+                          const DimeContext& context) {
+  for (size_t r = 0; r < positive.size(); ++r) {
+    if (positive[r].predicates.empty()) {
+      return "positive rule " + std::to_string(r + 1) + " has no predicates";
+    }
+    for (const Predicate& p : positive[r].predicates) {
+      std::string error =
+          ValidatePredicate(schema, p, Direction::kGe, context,
+                            "positive rule " + std::to_string(r + 1));
+      if (!error.empty()) return error;
+    }
+  }
+  for (size_t r = 0; r < negative.size(); ++r) {
+    if (negative[r].predicates.empty()) {
+      return "negative rule " + std::to_string(r + 1) + " has no predicates";
+    }
+    for (const Predicate& p : negative[r].predicates) {
+      std::string error =
+          ValidatePredicate(schema, p, Direction::kLe, context,
+                            "negative rule " + std::to_string(r + 1));
+      if (!error.empty()) return error;
+    }
+  }
+  return "";
+}
+
+PreparedGroup PrepareGroup(const Group& group,
+                           const std::vector<PositiveRule>& positive,
+                           const std::vector<NegativeRule>& negative,
+                           const DimeContext& context) {
+  std::vector<Predicate> all;
+  for (const PositiveRule& r : positive) {
+    all.insert(all.end(), r.predicates.begin(), r.predicates.end());
+  }
+  for (const NegativeRule& r : negative) {
+    all.insert(all.end(), r.predicates.begin(), r.predicates.end());
+  }
+  return PrepareImpl(group, all, context);
+}
+
+PreparedGroup PrepareGroupForPredicates(const Group& group,
+                                        const std::vector<Predicate>& preds,
+                                        const DimeContext& context) {
+  return PrepareImpl(group, preds, context);
+}
+
+double PredicateSimilarity(const PreparedGroup& pg, const Predicate& pred,
+                           int e1, int e2) {
+  const PreparedAttr& attr = pg.attrs[pred.attr];
+  if (IsSetBased(pred.func)) {
+    const auto& ranks =
+        pred.mode == TokenMode::kValueList ? attr.value_ranks : attr.word_ranks;
+    return SetSimilarity(pred.func, ranks[e1], ranks[e2]);
+  }
+  if (IsWeightedSetBased(pred.func)) {
+    const bool values = pred.mode == TokenMode::kValueList;
+    const auto& ranks = values ? attr.value_ranks : attr.word_ranks;
+    const auto& weights = values ? attr.value_weights : attr.word_weights;
+    return WeightedSetSimilarity(pred.func, ranks[e1], ranks[e2], weights);
+  }
+  if (pred.func == SimFunc::kEditSim) {
+    return EditSimilarity(attr.text[e1], attr.text[e2]);
+  }
+  DIME_CHECK(pred.func == SimFunc::kOntology);
+  const auto it = attr.nodes.find(pred.ontology_index);
+  DIME_CHECK(it != attr.nodes.end());
+  const Ontology& tree = *pg.context.ontologies[pred.ontology_index].tree;
+  return tree.Similarity(it->second[e1], it->second[e2]);
+}
+
+bool PredicateHolds(const PreparedGroup& pg, const Predicate& pred,
+                    Direction dir, int e1, int e2) {
+  if (pred.func == SimFunc::kEditSim && dir == Direction::kGe) {
+    const PreparedAttr& attr = pg.attrs[pred.attr];
+    return EditSimilarityAtLeast(attr.text[e1], attr.text[e2],
+                                 pred.threshold);
+  }
+  return pred.Compare(PredicateSimilarity(pg, pred, e1, e2), dir);
+}
+
+bool EvalPositiveRule(const PreparedGroup& pg, const PositiveRule& rule,
+                      int e1, int e2) {
+  for (const Predicate& p : rule.predicates) {
+    if (!PredicateHolds(pg, p, Direction::kGe, e1, e2)) return false;
+  }
+  return true;
+}
+
+bool EvalNegativeRule(const PreparedGroup& pg, const NegativeRule& rule,
+                      int e1, int e2) {
+  for (const Predicate& p : rule.predicates) {
+    if (!PredicateHolds(pg, p, Direction::kLe, e1, e2)) return false;
+  }
+  return true;
+}
+
+double RuleVerificationCost(const PreparedGroup& pg,
+                            const std::vector<Predicate>& predicates, int e1,
+                            int e2) {
+  double cost = 0.0;
+  for (const Predicate& p : predicates) {
+    const PreparedAttr& attr = pg.attrs[p.attr];
+    if (IsSetBased(p.func) || IsWeightedSetBased(p.func)) {
+      const auto& ranks =
+          p.mode == TokenMode::kValueList ? attr.value_ranks : attr.word_ranks;
+      cost += static_cast<double>(ranks[e1].size() + ranks[e2].size());
+    } else if (p.func == SimFunc::kEditSim) {
+      size_t min_len = std::min(attr.text[e1].size(), attr.text[e2].size());
+      size_t band = MaxEditDistanceForSim(
+          std::max(attr.text[e1].size(), attr.text[e2].size()), p.threshold);
+      cost += static_cast<double>(std::max<size_t>(1, band) * min_len);
+    } else {  // ontology
+      const auto it = attr.nodes.find(p.ontology_index);
+      const Ontology& tree = *pg.context.ontologies[p.ontology_index].tree;
+      int d1 = it->second[e1] == kNoNode ? 1 : tree.Depth(it->second[e1]);
+      int d2 = it->second[e2] == kNoNode ? 1 : tree.Depth(it->second[e2]);
+      cost += static_cast<double>(d1 + d2);
+    }
+  }
+  return std::max(cost, 1.0);
+}
+
+}  // namespace dime

@@ -1,0 +1,157 @@
+#ifndef DIME_CORE_PREPROCESS_H_
+#define DIME_CORE_PREPROCESS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/entity.h"
+#include "src/ontology/ontology.h"
+#include "src/rules/rule.h"
+#include "src/text/token_dictionary.h"
+
+/// \file preprocess.h
+/// Turns a raw Group into the canonical per-attribute representations that
+/// rule evaluation, signature generation and the baselines all consume:
+///
+///  * set-based predicates    -> strictly ascending global-rank vectors
+///                               (rarest token first; Section IV-B ordering)
+///  * character-based         -> lower-cased joined text + rank-sorted
+///                               q-gram vectors
+///  * ontology-based          -> one mapped tree node per entity
+///
+/// Preparation is driven by the rules that will actually run, so only the
+/// representations a rule references are built.
+
+namespace dime {
+
+/// How an attribute value is mapped onto an ontology node.
+enum class MapMode : int {
+  kExactName = 0,  ///< lookup the value (or one of its tokens) by node name
+  kKeyword = 1,    ///< keyword voting over word tokens (LDA hierarchies)
+  /// kExactName, falling back to the node whose name has the highest edit
+  /// similarity (>= 0.8) with the value — the paper's footnote 2: "We can
+  /// also use approximate matching based on similarity functions".
+  kFuzzyName = 2,
+};
+
+/// One ontology usable by kOntology predicates, addressed by index.
+struct OntologyRef {
+  const Ontology* tree = nullptr;
+  MapMode mode = MapMode::kExactName;
+};
+
+/// Shared evaluation context.
+struct DimeContext {
+  std::vector<OntologyRef> ontologies;
+  int qgram_q = 2;  ///< q for edit-distance q-gram signatures
+};
+
+/// Prepared representations for one attribute. Only the members a rule
+/// references are populated (check the has_* flags).
+struct PreparedAttr {
+  bool has_value_list = false;
+  bool has_words = false;
+  bool has_text = false;
+
+  /// Per entity: ascending rank vectors for TokenMode::kValueList.
+  std::vector<std::vector<uint32_t>> value_ranks;
+  /// Per entity: ascending rank vectors for TokenMode::kWords.
+  std::vector<std::vector<uint32_t>> word_ranks;
+  /// IDF weight of each token, indexed by rank (parallel to the rank
+  /// spaces above); built alongside the rank vectors and consumed by the
+  /// weighted similarity functions.
+  std::vector<double> value_weights;
+  std::vector<double> word_weights;
+  /// Per entity: lower-cased joined text (character-based functions).
+  std::vector<std::string> text;
+  /// Per entity: ascending rank vectors over q-grams of `text`.
+  std::vector<std::vector<uint32_t>> qgram_ranks;
+  /// Per ontology index: per entity mapped node (kNoNode when unmapped).
+  std::unordered_map<int, std::vector<int>> nodes;
+
+  TokenDictionary value_dict;
+  TokenDictionary word_dict;
+  TokenDictionary qgram_dict;
+};
+
+/// A Group plus everything the engines need to evaluate rules on it.
+struct PreparedGroup {
+  const Group* group = nullptr;
+  DimeContext context;
+  std::vector<PreparedAttr> attrs;  ///< parallel to the schema
+
+  size_t size() const { return group->size(); }
+};
+
+/// Which representations an attribute needs for a set of predicates
+/// (exposed for the incremental engine).
+struct AttrRequirements {
+  bool value_list = false;
+  bool words = false;
+  bool text = false;
+  std::vector<int> ontology_indexes;
+};
+
+/// Scans `predicates` and reports the requirements per attribute.
+std::vector<AttrRequirements> ComputeAttrRequirements(
+    size_t num_attrs, const std::vector<Predicate>& predicates);
+
+/// Lower-cased space-joined text of a multi-valued attribute (the
+/// canonical character-based representation).
+std::string JoinAttributeText(const AttributeValue& value);
+
+/// Maps an attribute value onto a node of `tree` under `mode` (kNoNode if
+/// unmappable). Exact mode tries the full value, each element, and every
+/// contiguous token span, preferring the deepest hit.
+int MapAttributeToNode(const Ontology& tree, MapMode mode,
+                       const AttributeValue& value);
+
+/// Validates that every predicate of the rules is evaluable against
+/// `schema` under `context`: attribute indexes in range, ontology indexes
+/// backed by a tree, thresholds within the function's range, and no
+/// vacuous positive predicates (which would defeat signature filtering).
+/// Returns an empty string when valid, else a human-readable reason.
+std::string ValidateRules(const Schema& schema,
+                          const std::vector<PositiveRule>& positive,
+                          const std::vector<NegativeRule>& negative,
+                          const DimeContext& context);
+
+/// Builds representations for every predicate of `positive` and `negative`.
+PreparedGroup PrepareGroup(const Group& group,
+                           const std::vector<PositiveRule>& positive,
+                           const std::vector<NegativeRule>& negative,
+                           const DimeContext& context);
+
+/// Variant that prepares for an explicit predicate list (rule generation
+/// prepares for the whole candidate feature library).
+PreparedGroup PrepareGroupForPredicates(const Group& group,
+                                        const std::vector<Predicate>& preds,
+                                        const DimeContext& context);
+
+/// Exact similarity of `pred` between entities e1 and e2.
+double PredicateSimilarity(const PreparedGroup& pg, const Predicate& pred,
+                           int e1, int e2);
+
+/// Threshold-aware check (uses the banded edit-distance verifier, so its
+/// cost matches the paper's verification cost model).
+bool PredicateHolds(const PreparedGroup& pg, const Predicate& pred,
+                    Direction dir, int e1, int e2);
+
+/// True iff every predicate of the rule holds.
+bool EvalPositiveRule(const PreparedGroup& pg, const PositiveRule& rule,
+                      int e1, int e2);
+bool EvalNegativeRule(const PreparedGroup& pg, const NegativeRule& rule,
+                      int e1, int e2);
+
+/// Estimated verification cost C(e1, e2) of a rule, per Section IV-C:
+/// O(|a|+|b|) for set functions, O(theta * min) for edit similarity,
+/// O(depth_a + depth_b) for ontology similarity.
+double RuleVerificationCost(const PreparedGroup& pg,
+                            const std::vector<Predicate>& predicates, int e1,
+                            int e2);
+
+}  // namespace dime
+
+#endif  // DIME_CORE_PREPROCESS_H_

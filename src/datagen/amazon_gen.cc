@@ -1,0 +1,203 @@
+#include "src/datagen/amazon_gen.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/datagen/names.h"
+
+namespace dime {
+namespace {
+
+std::string Asin(int category, int index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "B%02d%06d", category, index);
+  return std::string(buf);
+}
+
+std::string MakeProductTitle(const ProductCategory& cat, Random* rng) {
+  std::string title = BrandNames()[rng->Uniform(BrandNames().size())];
+  std::vector<std::string> words = cat.title_words;
+  rng->Shuffle(&words);
+  size_t take = std::min<size_t>(3, words.size());
+  for (size_t i = 0; i < take; ++i) {
+    title.push_back(' ');
+    title += words[i];
+  }
+  title += " " + std::to_string(100 + rng->Uniform(900));
+  return title;
+}
+
+std::string MakeDescription(const ProductCategory& cat, size_t topical,
+                            Random* rng) {
+  std::vector<std::string> words;
+  for (size_t i = 0; i < topical; ++i) {
+    words.push_back(cat.desc_words[rng->Uniform(cat.desc_words.size())]);
+  }
+  const auto& fillers = FillerWords();
+  words.push_back(fillers[rng->Uniform(fillers.size())]);
+  words.push_back(fillers[rng->Uniform(fillers.size())]);
+  rng->Shuffle(&words);
+  std::string out;
+  for (size_t i = 0; i < words.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out += words[i];
+  }
+  return out;
+}
+
+/// Samples `count` distinct ASINs of `category` from the neighborhood of
+/// `center` (excluding `center` itself) among `population` products.
+std::vector<std::string> NeighborAsins(int category, int center,
+                                       size_t population, size_t window,
+                                       size_t count, Random* rng) {
+  std::vector<std::string> out;
+  if (population < 2) return out;
+  int lo = std::max(0, center - static_cast<int>(window));
+  int hi = std::min(static_cast<int>(population) - 1,
+                    center + static_cast<int>(window));
+  std::vector<int> candidates;
+  for (int i = lo; i <= hi; ++i) {
+    if (i != center) candidates.push_back(i);
+  }
+  rng->Shuffle(&candidates);
+  size_t take = std::min(count, candidates.size());
+  for (size_t i = 0; i < take; ++i) {
+    out.push_back(Asin(category, candidates[i]));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+Schema AmazonSchema() {
+  return Schema({"Asin", "Title", "Brand", "Also_bought", "Also_viewed",
+                 "Bought_together", "Buy_after_viewing", "Description"});
+}
+
+Group GenerateAmazonGroup(int category_index,
+                          const AmazonGenOptions& options) {
+  const auto& categories = ProductCategories();
+  DIME_CHECK_GE(category_index, 0);
+  DIME_CHECK_LT(static_cast<size_t>(category_index), categories.size());
+  const ProductCategory& cat = categories[category_index];
+
+  Random rng(options.seed);
+  Group group;
+  group.name = cat.name;
+  group.schema = AmazonSchema();
+
+  std::vector<std::pair<Entity, uint8_t>> rows;
+
+  auto make_product = [&](int home_category, int index, size_t home_pop) {
+    const ProductCategory& home = categories[home_category];
+    Entity e;
+    e.id = Asin(home_category, index);
+    e.values.resize(8);
+    e.values[kAmazonAsin] = {e.id};
+    e.values[kAmazonTitle] = {MakeProductTitle(home, &rng)};
+    e.values[kAmazonBrand] = {BrandNames()[rng.Uniform(BrandNames().size())]};
+    e.values[kAmazonAlsoBought] = NeighborAsins(
+        home_category, index, home_pop, options.window, options.list_length,
+        &rng);
+    e.values[kAmazonAlsoViewed] = NeighborAsins(
+        home_category, index, home_pop, options.window, options.list_length,
+        &rng);
+    e.values[kAmazonBoughtTogether] = NeighborAsins(
+        home_category, index, home_pop, options.window, 2, &rng);
+    e.values[kAmazonBuyAfterViewing] = NeighborAsins(
+        home_category, index, home_pop, options.window, 2, &rng);
+    e.values[kAmazonDescription] = {
+        MakeDescription(home, options.desc_words, &rng)};
+    return e;
+  };
+
+  // Cross-category co-purchases/co-views: replace one list entry with a
+  // product of the *target* category, which defeats the corresponding
+  // negative rule for that list.
+  auto contaminate = [&](std::vector<std::string>* list, size_t target_pop) {
+    std::string foreign =
+        Asin(category_index, static_cast<int>(rng.Uniform(target_pop)));
+    if (list->empty()) {
+      list->push_back(foreign);
+    } else {
+      (*list)[rng.Uniform(list->size())] = foreign;
+    }
+    std::sort(list->begin(), list->end());
+  };
+
+  // Correct products.
+  for (size_t i = 0; i < options.num_correct; ++i) {
+    Entity e = make_product(category_index, static_cast<int>(i),
+                            options.num_correct);
+    if (rng.Bernoulli(options.sparse_rate)) {
+      // A new product without co-purchase history: only one
+      // bought-together link survives, and the seller-provided blurb is
+      // short and generic (which is what makes these the negative rules'
+      // false positives).
+      e.values[kAmazonAlsoBought].clear();
+      e.values[kAmazonAlsoViewed].clear();
+      e.values[kAmazonBuyAfterViewing].clear();
+      if (e.values[kAmazonBoughtTogether].size() > 1) {
+        e.values[kAmazonBoughtTogether].resize(1);
+      }
+      const auto& fillers = FillerWords();
+      std::string blurb = cat.desc_words[rng.Uniform(cat.desc_words.size())];
+      for (int w = 0; w < 4; ++w) {
+        blurb += " " + fillers[rng.Uniform(fillers.size())];
+      }
+      e.values[kAmazonDescription] = {blurb};
+    }
+    rows.emplace_back(std::move(e), 0);
+  }
+
+  // Injected errors from sibling categories.
+  DIME_CHECK_LT(options.error_rate, 1.0);
+  size_t num_errors = static_cast<size_t>(
+      options.error_rate / (1.0 - options.error_rate) *
+          static_cast<double>(options.num_correct) +
+      0.5);
+  std::vector<int> siblings = SiblingCategories(category_index);
+  DIME_CHECK(!siblings.empty());
+  // Errors come in small co-purchase clumps from their home categories:
+  // consecutive indices of the same sibling reference each other.
+  size_t injected = 0;
+  int clump_base = 0;
+  while (injected < num_errors) {
+    int sibling = siblings[rng.Uniform(siblings.size())];
+    size_t clump = 1 + rng.Uniform(3);  // 1-3 products from this sibling
+    clump = std::min(clump, num_errors - injected);
+    // The clump's home population is just the clump plus surrounding
+    // neighbors: use a virtual home population large enough for windows.
+    size_t home_pop = clump + options.window;
+    // Contamination grows with the error rate — higher-noise injections
+    // have buying behaviour closer to the target category, which is what
+    // makes them harder to detect (the paper's recall decline at e=40%).
+    double c_rate = std::min(
+        0.9, options.contamination_rate * (options.error_rate / 0.2));
+    for (size_t c = 0; c < clump; ++c) {
+      Entity e = make_product(sibling, clump_base + static_cast<int>(c),
+                              home_pop);
+      if (rng.Bernoulli(c_rate)) {
+        contaminate(&e.values[kAmazonAlsoBought], options.num_correct);
+      }
+      if (rng.Bernoulli(c_rate)) {
+        contaminate(&e.values[kAmazonAlsoViewed], options.num_correct);
+      }
+      rows.emplace_back(std::move(e), 1);
+    }
+    clump_base += static_cast<int>(clump + options.window + 5);
+    injected += clump;
+  }
+
+  rng.Shuffle(&rows);
+  group.entities.reserve(rows.size());
+  group.truth.reserve(rows.size());
+  for (auto& [entity, is_error] : rows) {
+    group.entities.push_back(std::move(entity));
+    group.truth.push_back(is_error);
+  }
+  return group;
+}
+
+}  // namespace dime

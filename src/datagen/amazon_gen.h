@@ -1,0 +1,58 @@
+#ifndef DIME_DATAGEN_AMAZON_GEN_H_
+#define DIME_DATAGEN_AMAZON_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/entity.h"
+
+/// \file amazon_gen.h
+/// Synthetic Amazon-product generator (the substitute for the McAuley
+/// dump; DESIGN.md §3). A group is one product category over the relation
+/// (Asin, Title, Brand, Also_bought, Also_viewed, Bought_together,
+/// Buy_after_viewing, Description). Correct products reference each other
+/// in sliding co-purchase neighborhoods, so the positive rules (shared
+/// also-lists, same description theme) connect them into one pivot.
+/// Mis-categorized products are injected from sibling categories of the
+/// same department at rate e% — their also-lists point at their *home*
+/// category's ASINs and their descriptions use the sibling topic
+/// vocabulary, exactly the situation negative rules phi_4-/phi_5- target.
+/// A contamination knob gives some injected products a few in-category
+/// references (cross-category co-views), which is what makes high error
+/// rates harder, mirroring the paper's recall dip at e = 40%.
+
+namespace dime {
+
+struct AmazonGenOptions {
+  size_t num_correct = 200;        ///< in-category products
+  double error_rate = 0.2;         ///< errors / total entities
+  size_t list_length = 6;          ///< also_bought / also_viewed entries
+  size_t window = 12;              ///< co-purchase neighborhood half-width
+  double contamination_rate = 0.15;///< injected products with in-category refs
+  /// Correct products with no co-purchase data yet (empty also-lists):
+  /// they fall outside the pivot and are the precision cost of the
+  /// negative rules.
+  double sparse_rate = 0.02;
+  size_t desc_words = 10;          ///< topical words per description
+  uint64_t seed = 1;
+};
+
+Schema AmazonSchema();
+
+inline constexpr int kAmazonAsin = 0;
+inline constexpr int kAmazonTitle = 1;
+inline constexpr int kAmazonBrand = 2;
+inline constexpr int kAmazonAlsoBought = 3;
+inline constexpr int kAmazonAlsoViewed = 4;
+inline constexpr int kAmazonBoughtTogether = 5;
+inline constexpr int kAmazonBuyAfterViewing = 6;
+inline constexpr int kAmazonDescription = 7;
+
+/// Generates the group for ProductCategories()[category_index] with
+/// injected errors from its sibling categories. Entities are shuffled.
+Group GenerateAmazonGroup(int category_index, const AmazonGenOptions& options);
+
+}  // namespace dime
+
+#endif  // DIME_DATAGEN_AMAZON_GEN_H_

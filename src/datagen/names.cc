@@ -1,0 +1,259 @@
+#include "src/datagen/names.h"
+
+#include <unordered_set>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace dime {
+
+const std::vector<std::string>& FirstNames() {
+  static const auto& kNames = *new std::vector<std::string>{
+      "Nan",     "Guoliang", "Jianhua", "Shuang",  "Wei",     "Ming",
+      "Xin",     "Jing",     "Yang",    "Li",      "Hao",     "Chen",
+      "Anna",    "Boris",    "Carla",   "David",   "Elena",   "Felix",
+      "Grace",   "Henry",    "Ivan",    "Julia",   "Kevin",   "Laura",
+      "Marco",   "Nina",     "Oscar",   "Paula",   "Quentin", "Rosa",
+      "Samuel",  "Tina",     "Victor",  "Wendy",   "Xavier",  "Yvonne",
+      "Zoe",     "Ahmed",    "Bianca",  "Carlos",  "Diana",   "Emil",
+      "Fatima",  "George",   "Hannah",  "Igor",    "Jasmine", "Karl",
+      "Lina",    "Mohamed",  "Noor",    "Olga",    "Pedro",   "Qing",
+      "Rahul",   "Sofia",    "Tom",     "Uma",     "Vera",    "Walter"};
+  return kNames;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const auto& kNames = *new std::vector<std::string>{
+      "Tang",      "Li",        "Feng",     "Hao",      "Wang",
+      "Chen",      "Zhang",     "Liu",      "Yang",     "Huang",
+      "Zhao",      "Wu",        "Zhou",     "Xu",       "Sun",
+      "Ma",        "Gao",       "Lin",      "Smith",    "Johnson",
+      "Williams",  "Brown",     "Jones",    "Garcia",   "Miller",
+      "Davis",     "Rodriguez", "Martinez", "Anderson", "Taylor",
+      "Thomas",    "Moore",     "Jackson",  "Martin",   "Lee",
+      "Thompson",  "White",     "Lopez",    "Gonzalez", "Harris",
+      "Clark",     "Lewis",     "Robinson", "Walker",   "Young",
+      "Allen",     "King",      "Wright",   "Scott",    "Torres",
+      "Nguyen",    "Hill",      "Flores",   "Green",    "Adams",
+      "Nelson",    "Baker",     "Hall",     "Rivera",   "Campbell",
+      "Mitchell",  "Carter",    "Roberts",  "Gomez",    "Phillips",
+      "Evans",     "Turner",    "Diaz",     "Parker",   "Cruz",
+      "Edwards",   "Collins",   "Reyes",    "Stewart",  "Morris",
+      "Morales",   "Murphy",    "Cook",     "Rogers",   "Peterson"};
+  return kNames;
+}
+
+std::string RandomFullName(Random* rng) {
+  const auto& first = FirstNames();
+  const auto& last = LastNames();
+  return first[rng->Uniform(first.size())] + " " +
+         last[rng->Uniform(last.size())];
+}
+
+std::vector<std::string> RandomDistinctNames(Random* rng, size_t count) {
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> names;
+  names.reserve(count);
+  size_t guard = 0;
+  while (names.size() < count) {
+    DIME_CHECK_LT(++guard, count * 1000) << "name pool exhausted";
+    std::string name = RandomFullName(rng);
+    if (seen.insert(name).second) names.push_back(std::move(name));
+  }
+  return names;
+}
+
+std::string NameVariant(const std::string& full_name, Random* rng) {
+  std::vector<std::string> parts = SplitAndTrim(full_name, ' ');
+  if (parts.size() < 2) return full_name;
+  const std::string& first = parts.front();
+  const std::string& last = parts.back();
+  switch (rng->Uniform(3)) {
+    case 0:  // "N Tang"
+      return std::string(1, first[0]) + " " + last;
+    case 1: {  // "NJ Tang" (invented middle initial)
+      char middle = static_cast<char>('A' + rng->Uniform(26));
+      return std::string(1, first[0]) + std::string(1, middle) + " " + last;
+    }
+    default:  // "N. Tang"
+      return std::string(1, first[0]) + ". " + last;
+  }
+}
+
+const std::vector<std::string>& FillerWords() {
+  static const auto& kWords = *new std::vector<std::string>{
+      "efficient",  "scalable",   "towards",    "novel",       "robust",
+      "adaptive",   "fast",       "effective",  "practical",   "general",
+      "framework",  "approach",   "system",     "method",      "analysis",
+      "study",      "evaluation", "survey",     "design",      "techniques",
+      "via",        "using",      "through",    "based",       "aware",
+      "improved",   "unified",    "automatic",  "dynamic",     "incremental",
+      "principled", "modular",    "flexible",   "lightweight", "optimal",
+      "revisited",  "rethinking", "exploring",  "understanding", "modeling",
+      "empirical",  "theoretical","comparative","holistic",    "quantitative",
+      "guided",     "driven",     "assisted",   "enhanced",    "accelerated",
+      "managing",   "supporting", "enabling",   "exploiting",  "leveraging",
+      "reliable",   "resilient",  "portable",   "interactive", "streamlined"};
+  return kWords;
+}
+
+const std::vector<ProductCategory>& ProductCategories() {
+  static const auto& kCategories = *new std::vector<ProductCategory>{
+      {"Electronics",
+       "Router",
+       {"wireless", "router", "band", "gigabit"},
+       {"wifi", "wireless", "broadband", "ethernet", "signal", "bandwidth",
+        "network", "firewall", "antenna", "coverage", "ports", "dualband",
+        "firmware", "lan"}},
+      {"Electronics",
+       "Adapter",
+       {"usb", "adapter", "converter", "hub"},
+       {"usb", "adapter", "plug", "converter", "cable", "charging", "port",
+        "compatible", "hdmi", "dongle", "connector", "powered", "hub",
+        "lan"}},
+      {"Electronics",
+       "Keyboard",
+       {"mechanical", "keyboard", "gaming", "keys"},
+       {"keys", "mechanical", "switches", "typing", "backlit", "keycaps",
+        "ergonomic", "tactile", "macro", "numpad", "wired", "layout",
+        "anti", "ghosting"}},
+      {"Electronics",
+       "Monitor",
+       {"led", "monitor", "display", "screen"},
+       {"screen", "display", "resolution", "panel", "inch", "refresh",
+        "pixels", "brightness", "contrast", "bezel", "stand", "vesa",
+        "color", "gamut"}},
+      {"Electronics",
+       "Headphones",
+       {"noise", "cancelling", "headphones", "audio"},
+       {"sound", "audio", "bass", "earcups", "noise", "cancelling",
+        "bluetooth", "microphone", "drivers", "comfort", "foldable",
+        "stereo", "playback", "pairing"}},
+      {"Electronics",
+       "Webcam",
+       {"hd", "webcam", "camera", "video"},
+       {"video", "camera", "streaming", "autofocus", "lens", "recording",
+        "tripod", "privacy", "shutter", "conferencing", "facetime", "zoom",
+        "mount", "fps"}},
+      {"Home & Kitchen",
+       "Blender",
+       {"countertop", "blender", "smoothie", "pitcher"},
+       {"blend", "smoothie", "pitcher", "blades", "crushing", "ice",
+        "pulse", "speeds", "jar", "motor", "puree", "frozen", "dishwasher",
+        "watts"}},
+      {"Home & Kitchen",
+       "Toaster",
+       {"slice", "toaster", "stainless", "bagel"},
+       {"toast", "bread", "slots", "browning", "bagel", "defrost", "crumb",
+        "tray", "slice", "lever", "settings", "reheat", "wide", "shade"}},
+      {"Home & Kitchen",
+       "Cookware",
+       {"nonstick", "cookware", "pan", "set"},
+       {"pan", "skillet", "nonstick", "saucepan", "induction", "handles",
+        "coating", "oven", "simmer", "frying", "lids", "cooking", "pots",
+        "ceramic"}},
+      {"Home & Kitchen",
+       "Vacuum",
+       {"cordless", "vacuum", "cleaner", "suction"},
+       {"suction", "vacuum", "dust", "filter", "cordless", "carpet",
+        "hardwood", "brush", "bin", "allergen", "pet", "hair", "crevice",
+        "swivel"}},
+      {"Office Products",
+       "Printer",
+       {"inkjet", "printer", "allinone", "print"},
+       {"print", "ink", "cartridge", "duplex", "scanner", "copier",
+        "pages", "toner", "tray", "borderless", "dpi", "sheet", "feeder",
+        "monochrome"}},
+      {"Office Products",
+       "Stapler",
+       {"desktop", "stapler", "heavy", "duty"},
+       {"staples", "sheets", "jam", "desk", "binding", "capacity",
+        "ergonomic", "grip", "reload", "compact", "fastening", "spring",
+        "documents", "metal"}},
+      {"Office Products",
+       "Notebook",
+       {"ruled", "notebook", "journal", "pages"},
+       {"pages", "ruled", "paper", "binding", "hardcover", "journal",
+        "writing", "margin", "spiral", "sheets", "bookmark", "pocket",
+        "acid", "lined"}},
+      {"Office Products",
+       "Desk Chair",
+       {"ergonomic", "office", "chair", "mesh"},
+       {"lumbar", "ergonomic", "swivel", "armrest", "mesh", "cushion",
+        "recline", "height", "adjustable", "casters", "posture", "tilt",
+        "seat", "backrest"}},
+      {"Toys & Games",
+       "Board Game",
+       {"family", "board", "game", "strategy"},
+       {"players", "dice", "cards", "strategy", "turns", "tokens",
+        "family", "rules", "rounds", "score", "tiles", "cooperative",
+        "playtime", "expansion"}},
+      {"Toys & Games",
+       "Puzzle",
+       {"jigsaw", "puzzle", "piece", "landscape"},
+       {"pieces", "jigsaw", "interlocking", "artwork", "poster",
+        "landscape", "gradient", "sorting", "finished", "cardboard",
+        "reference", "challenge", "collage", "mural"}},
+      {"Toys & Games",
+       "Action Figure",
+       {"collectible", "action", "figure", "articulated"},
+       {"articulated", "figure", "collectible", "poseable", "accessories",
+        "sculpt", "joints", "diorama", "paint", "packaging", "scale",
+        "hero", "villain", "display"}},
+      {"Toys & Games",
+       "Building Blocks",
+       {"creative", "building", "blocks", "bricks"},
+       {"bricks", "blocks", "building", "interlocking", "minifigure",
+        "instructions", "baseplate", "studs", "creative", "sets", "motor",
+        "skills", "colors", "stem"}},
+      {"Beauty",
+       "Shampoo",
+       {"moisturizing", "shampoo", "hair", "care"},
+       {"hair", "scalp", "lather", "sulfate", "conditioner", "keratin",
+        "hydrating", "shine", "frizz", "botanical", "paraben", "cleanse",
+        "volume", "strands"}},
+      {"Beauty",
+       "Lipstick",
+       {"matte", "lipstick", "longwear", "shade"},
+       {"shade", "matte", "pigment", "lips", "creamy", "finish",
+        "longwear", "swatch", "gloss", "velvet", "smudge", "hydrating",
+        "bold", "nude"}},
+      {"Beauty",
+       "Moisturizer",
+       {"daily", "moisturizer", "face", "cream"},
+       {"skin", "hydration", "cream", "hyaluronic", "spf", "serum",
+        "barrier", "fragrance", "sensitive", "absorbs", "glow",
+        "ceramide", "lightweight", "dermatologist"}},
+      {"Beauty",
+       "Perfume",
+       {"eau", "parfum", "fragrance", "spray"},
+       {"fragrance", "notes", "citrus", "floral", "musk", "woody",
+        "amber", "spray", "lasting", "scent", "vanilla", "bergamot",
+        "sillage", "bottle"}},
+  };
+  return kCategories;
+}
+
+std::vector<int> SiblingCategories(int category_index) {
+  const auto& cats = ProductCategories();
+  DIME_CHECK_GE(category_index, 0);
+  DIME_CHECK_LT(static_cast<size_t>(category_index), cats.size());
+  std::vector<int> siblings;
+  for (size_t i = 0; i < cats.size(); ++i) {
+    if (static_cast<int>(i) != category_index &&
+        cats[i].department == cats[category_index].department) {
+      siblings.push_back(static_cast<int>(i));
+    }
+  }
+  return siblings;
+}
+
+const std::vector<std::string>& BrandNames() {
+  static const auto& kBrands = *new std::vector<std::string>{
+      "Acme",    "Zenith",  "Nimbus",  "Vertex", "Polaris", "Quanta",
+      "Helio",   "Borealis","Cascade", "Summit", "Orion",   "Lumen",
+      "Pinnacle","Aurora",  "Stratus", "Nova",   "Kinetic", "Apex"};
+  return kBrands;
+}
+
+}  // namespace dime

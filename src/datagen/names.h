@@ -1,0 +1,55 @@
+#ifndef DIME_DATAGEN_NAMES_H_
+#define DIME_DATAGEN_NAMES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+
+/// \file names.h
+/// Deterministic vocabulary pools backing the synthetic dataset generators
+/// (the substitution for the paper's crawled Google Scholar pages and the
+/// McAuley Amazon dump; see DESIGN.md §3).
+
+namespace dime {
+
+/// First/last name pools for author-name synthesis.
+const std::vector<std::string>& FirstNames();
+const std::vector<std::string>& LastNames();
+
+/// A full name "First Last" drawn uniformly.
+std::string RandomFullName(Random* rng);
+
+/// `count` distinct full names.
+std::vector<std::string> RandomDistinctNames(Random* rng, size_t count);
+
+/// A plausible "G. Scholar"-style variant of a full name: initials of the
+/// first name fused with the last name ("Nan Tang" -> "N Tang" or
+/// "NJ Tang"). Used to model the name-spelling variants that break the
+/// Authors-overlap rules.
+std::string NameVariant(const std::string& full_name, Random* rng);
+
+/// Generic title/description filler words (connectives, hype words).
+const std::vector<std::string>& FillerWords();
+
+/// One product category of the Amazon-like generator.
+struct ProductCategory {
+  std::string department;              ///< e.g. "Electronics"
+  std::string name;                    ///< e.g. "Router"
+  std::vector<std::string> title_words;
+  std::vector<std::string> desc_words; ///< topical description vocabulary
+};
+
+/// The full category table (several departments, ~20 categories).
+const std::vector<ProductCategory>& ProductCategories();
+
+/// Indices of the categories sharing `department` (sibling categories are
+/// the source of injected mis-categorized products).
+std::vector<int> SiblingCategories(int category_index);
+
+/// Brand names for product titles.
+const std::vector<std::string>& BrandNames();
+
+}  // namespace dime
+
+#endif  // DIME_DATAGEN_NAMES_H_

@@ -1,0 +1,266 @@
+#include "src/datagen/scholar_gen.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/common/logging.h"
+#include "src/datagen/names.h"
+#include "src/ontology/builtin.h"
+
+namespace dime {
+namespace {
+
+/// Indices into ResearchAreas() by broad field.
+std::vector<int> AreasOfField(const std::string& field) {
+  std::vector<int> out;
+  const auto& areas = ResearchAreas();
+  for (size_t i = 0; i < areas.size(); ++i) {
+    if (areas[i].field == field) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::string MakeTitle(const ResearchArea& area, Random* rng) {
+  // 3 subfield keywords + 3 fillers, interleaved.
+  const auto& fillers = FillerWords();
+  std::vector<std::string> words;
+  for (int i = 0; i < 3; ++i) {
+    words.push_back(area.keywords[rng->Uniform(area.keywords.size())]);
+  }
+  for (int i = 0; i < 3; ++i) {
+    words.push_back(fillers[rng->Uniform(fillers.size())]);
+  }
+  rng->Shuffle(&words);
+  // Capitalize the first word for looks.
+  if (!words[0].empty()) {
+    words[0][0] = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(words[0][0])));
+  }
+  std::string title;
+  for (size_t i = 0; i < words.size(); ++i) {
+    if (i > 0) title.push_back(' ');
+    title += words[i];
+  }
+  return title;
+}
+
+/// Publishers correlate with the broad field (as on real pages): CS venues
+/// are published by ACM/IEEE/Springer, chemistry by RSC/Wiley, and so on.
+const std::vector<std::string>& PublishersForField(const std::string& field) {
+  static const auto& kCs = *new std::vector<std::string>{
+      "ACM", "IEEE", "Springer"};
+  static const auto& kChem = *new std::vector<std::string>{
+      "RSC", "Wiley", "Elsevier"};
+  static const auto& kOther = *new std::vector<std::string>{
+      "Elsevier", "Springer", "Wiley"};
+  if (field == "Computer Science") return kCs;
+  if (field == "Chemical Sciences") return kChem;
+  return kOther;
+}
+
+Entity MakePub(const std::string& id, const ResearchArea& area,
+               std::vector<std::string> authors, Random* rng) {
+  Entity e;
+  e.id = id;
+  e.values.resize(6);
+  e.values[kScholarTitle] = {MakeTitle(area, rng)};
+  e.values[kScholarAuthors] = std::move(authors);
+  e.values[kScholarDate] = {std::to_string(1995 + rng->Uniform(23))};
+  e.values[kScholarVenue] = {
+      area.venues[rng->Uniform(area.venues.size())] + " " +
+      std::to_string(1995 + rng->Uniform(23))};
+  int first_page = static_cast<int>(rng->Uniform(900)) + 1;
+  e.values[kScholarPages] = {std::to_string(first_page) + "-" +
+                             std::to_string(first_page + 8 +
+                                            static_cast<int>(rng->Uniform(20)))};
+  const auto& publishers = PublishersForField(area.field);
+  e.values[kScholarPublisher] = {publishers[rng->Uniform(publishers.size())]};
+  return e;
+}
+
+}  // namespace
+
+Schema ScholarSchema() {
+  return Schema(
+      {"Title", "Authors", "Date", "Venue", "Pages", "Publisher"});
+}
+
+Group GenerateScholarGroup(const std::string& owner_name,
+                           const ScholarGenOptions& options) {
+  Random rng(options.seed);
+  Group group;
+  group.name = owner_name;
+  group.schema = ScholarSchema();
+
+  const auto& areas = ResearchAreas();
+  std::vector<int> cs_areas = AreasOfField("Computer Science");
+  DIME_CHECK_GE(cs_areas.size(), options.primary_subfields + 1);
+
+  // Owner's subfields: a random subset of CS areas.
+  rng.Shuffle(&cs_areas);
+  std::vector<int> owner_areas(cs_areas.begin(),
+                               cs_areas.begin() + options.primary_subfields);
+  std::vector<int> foreign_cs_areas(cs_areas.begin() + options.primary_subfields,
+                                    cs_areas.end());
+
+  // Collaborator pools: the owner's main pool (with hubs), a small
+  // secondary-field pool, and per-namesake pools — all disjoint.
+  size_t total_names = options.coauthor_pool + 4 + 6 + 6 + 8;
+  std::vector<std::string> names = RandomDistinctNames(&rng, total_names);
+  size_t cursor = 0;
+  std::vector<std::string> main_pool(names.begin() + cursor,
+                                     names.begin() + cursor +
+                                         options.coauthor_pool);
+  cursor += options.coauthor_pool;
+  std::vector<std::string> secondary_pool(names.begin() + cursor,
+                                          names.begin() + cursor + 4);
+  cursor += 4;
+  std::vector<std::string> chem_pool(names.begin() + cursor,
+                                     names.begin() + cursor + 6);
+  cursor += 6;
+  std::vector<std::string> cs_namesake_pool(names.begin() + cursor,
+                                            names.begin() + cursor + 6);
+  cursor += 6;
+  std::vector<std::string> garbage_pool(names.begin() + cursor,
+                                        names.begin() + cursor + 8);
+
+  std::vector<std::pair<Entity, uint8_t>> rows;  // entity, is_error
+  int next_id = 0;
+  auto id = [&next_id]() { return "p" + std::to_string(next_id++); };
+
+  auto sample_coauthors = [&](const std::vector<std::string>& pool,
+                              size_t count) {
+    std::vector<std::string> out;
+    std::vector<size_t> picks =
+        rng.SampleWithoutReplacement(pool.size(), std::min(count, pool.size()));
+    for (size_t p : picks) out.push_back(pool[p]);
+    return out;
+  };
+
+  // --- Correct publications of the owner (the pivot's population). -------
+  for (size_t i = 0; i < options.num_correct; ++i) {
+    // Favor the first subfield, spread the rest.
+    size_t which = rng.Bernoulli(0.55)
+                       ? 0
+                       : 1 + rng.Uniform(owner_areas.size() - 1);
+    const ResearchArea& area = areas[owner_areas[which]];
+
+    std::vector<std::string> authors{owner_name};
+    for (size_t h = 0; h < options.num_hub_coauthors; ++h) {
+      if (rng.Bernoulli(options.hub_probability)) authors.push_back(main_pool[h]);
+    }
+    size_t extra = options.min_coauthors +
+                   rng.Uniform(options.max_coauthors - options.min_coauthors + 1);
+    for (const std::string& c : sample_coauthors(
+             std::vector<std::string>(main_pool.begin() +
+                                          options.num_hub_coauthors,
+                                      main_pool.end()),
+             extra)) {
+      authors.push_back(c);
+    }
+    rows.emplace_back(MakePub(id(), area, std::move(authors), &rng), 0);
+  }
+
+  // --- Correct pubs under a name variant (NR1 false positives). ----------
+  for (size_t i = 0; i < options.variant_correct_pubs; ++i) {
+    const ResearchArea& area =
+        areas[owner_areas[rng.Uniform(owner_areas.size())]];
+    std::vector<std::string> authors{NameVariant(owner_name, &rng)};
+    // Solo variants share no author with the pivot at all (NR1's false
+    // positives); the rest carry one coauthor, which usually reattaches
+    // them to the pivot through phi_2.
+    if (!rng.Bernoulli(options.solo_variant_probability)) {
+      for (const std::string& c : sample_coauthors(
+               std::vector<std::string>(main_pool.begin() +
+                                            options.num_hub_coauthors,
+                                        main_pool.end()),
+               1)) {
+        authors.push_back(c);
+      }
+    }
+    rows.emplace_back(MakePub(id(), area, std::move(authors), &rng), 0);
+  }
+
+  // --- Correct cross-disciplinary pubs (NR2 false positives). ------------
+  std::vector<int> bio_areas = AreasOfField("Life Sciences & Earth Sciences");
+  DIME_CHECK(!bio_areas.empty());
+  for (size_t i = 0; i < options.secondary_field_pubs; ++i) {
+    const ResearchArea& area = areas[bio_areas[rng.Uniform(bio_areas.size())]];
+    std::vector<std::string> authors{owner_name};
+    for (const std::string& c : sample_coauthors(secondary_pool, 2)) {
+      authors.push_back(c);
+    }
+    rows.emplace_back(MakePub(id(), area, std::move(authors), &rng), 0);
+  }
+
+  // --- Errors: exact-name namesake in a different broad field. -----------
+  std::vector<int> chem_areas = AreasOfField("Chemical Sciences");
+  DIME_CHECK(!chem_areas.empty());
+  int chem_area = chem_areas[rng.Uniform(chem_areas.size())];
+  for (size_t i = 0; i < options.chem_namesake_pubs; ++i) {
+    std::vector<std::string> authors{owner_name};
+    for (const std::string& c : sample_coauthors(chem_pool, 3)) {
+      authors.push_back(c);
+    }
+    rows.emplace_back(MakePub(id(), areas[chem_area], std::move(authors), &rng),
+                      1);
+  }
+
+  // --- Correct side-interest pubs in an untouched CS subfield (NR3 false
+  // --- positives: venue similarity to the pivot stays at 0.5, title
+  // --- similarity drops below the NR3 cut). -------------------------------
+  DIME_CHECK_GE(foreign_cs_areas.size(), 2u);
+  int side_area = foreign_cs_areas[0];
+  for (size_t i = 0; i < options.side_interest_pubs; ++i) {
+    std::vector<std::string> authors{owner_name};
+    for (const std::string& c : sample_coauthors(secondary_pool, 1)) {
+      authors.push_back(c);
+    }
+    rows.emplace_back(MakePub(id(), areas[side_area], std::move(authors), &rng),
+                      0);
+  }
+
+  // --- Errors: exact-name namesake in a different CS subfield. -----------
+  int foreign_cs =
+      foreign_cs_areas[1 + rng.Uniform(foreign_cs_areas.size() - 1)];
+  for (size_t i = 0; i < options.cs_namesake_pubs; ++i) {
+    std::vector<std::string> authors{owner_name};
+    // Namesakes in big-lab subfields have longer author lists, which keeps
+    // their Jaccard(Authors) with the owner's publications low.
+    for (const std::string& c : sample_coauthors(cs_namesake_pool, 5)) {
+      authors.push_back(c);
+    }
+    rows.emplace_back(
+        MakePub(id(), areas[foreign_cs], std::move(authors), &rng), 1);
+  }
+
+  // --- Errors: garbage entries with no shared author. Many of them sit in
+  // --- the owner's own subfields (Scholar mis-assignments cluster around
+  // --- similar venues), which is exactly what forces positive rules to
+  // --- stay author-guarded: a venue-only rule would pull these into the
+  // --- pivot. ------------------------------------------------------------
+  for (size_t i = 0; i < options.garbage_pubs; ++i) {
+    const ResearchArea& venue_area =
+        rng.Bernoulli(0.6)
+            ? areas[owner_areas[rng.Uniform(owner_areas.size())]]
+            : areas[rng.Uniform(areas.size())];
+    std::vector<std::string> authors = sample_coauthors(garbage_pool, 3);
+    Entity pub = MakePub(id(), venue_area, std::move(authors), &rng);
+    // The title of a mis-assigned entry is usually off-topic even when the
+    // venue looks plausible.
+    const ResearchArea& title_area = areas[rng.Uniform(areas.size())];
+    pub.values[kScholarTitle] = {MakeTitle(title_area, &rng)};
+    rows.emplace_back(std::move(pub), 1);
+  }
+
+  rng.Shuffle(&rows);
+  group.entities.reserve(rows.size());
+  group.truth.reserve(rows.size());
+  for (auto& [entity, is_error] : rows) {
+    group.entities.push_back(std::move(entity));
+    group.truth.push_back(is_error);
+  }
+  return group;
+}
+
+}  // namespace dime

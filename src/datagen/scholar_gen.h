@@ -1,0 +1,74 @@
+#ifndef DIME_DATAGEN_SCHOLAR_GEN_H_
+#define DIME_DATAGEN_SCHOLAR_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/entity.h"
+
+/// \file scholar_gen.h
+/// Synthetic Google-Scholar-page generator (the substitute for the paper's
+/// 200 crawled PC-member pages; DESIGN.md §3). A page is one Group over
+/// the relation (Title, Authors, Date, Venue, Pages, Publisher) whose
+/// population mirrors the failure modes the paper's rules target:
+///
+///  * correct publications of the page owner, spanning a few CS subfields,
+///    connected through the owner's name, recurring "hub" collaborators
+///    and same-subfield venues — these form the pivot partition;
+///  * correct publications written under a name VARIANT ("NJ Tang") with
+///    few coauthors: they can fall outside the pivot and are the false
+///    positives of negative rule NR1 (no author overlap);
+///  * correct cross-disciplinary publications in another broad field with
+///    a separate small collaborator pool: false positives of NR2;
+///  * mis-categorized publications of an exact-name namesake in a
+///    different broad field (the paper's chemistry Nan Tang): caught by
+///    NR2 via the venue ontology;
+///  * mis-categorized publications of an exact-name namesake in a
+///    different *CS* subfield: venue similarity stays at 0.5, so only the
+///    title-ontology rule NR3 catches them;
+///  * garbage entries sharing no author with the page: caught by NR1.
+
+namespace dime {
+
+struct ScholarGenOptions {
+  size_t num_correct = 320;        ///< owner publications
+  size_t primary_subfields = 3;    ///< CS subfields the owner publishes in
+  size_t coauthor_pool = 36;
+  size_t num_hub_coauthors = 4;    ///< frequent collaborators gluing the pivot
+  size_t min_coauthors = 1;
+  size_t max_coauthors = 4;
+  double hub_probability = 0.6;    ///< chance each hub joins a publication
+
+  size_t variant_correct_pubs = 2;    ///< owner-name-variant correct pubs
+  double solo_variant_probability = 0.35;  ///< variant pubs with no coauthor
+  size_t secondary_field_pubs = 1;    ///< cross-disciplinary correct pubs
+  /// Correct pubs in a CS subfield the owner otherwise never touches
+  /// (side interests): same-broad-field venue keeps NR2 quiet, but the
+  /// off-subfield title makes them NR3 false positives.
+  size_t side_interest_pubs = 1;
+  size_t chem_namesake_pubs = 4;      ///< errors: other-broad-field namesake
+  size_t cs_namesake_pubs = 3;        ///< errors: other-CS-subfield namesake
+  size_t garbage_pubs = 6;            ///< errors: no shared author at all
+
+  uint64_t seed = 1;
+};
+
+/// The schema used by the generator (shared with the presets).
+Schema ScholarSchema();
+
+/// Attribute indices in ScholarSchema().
+inline constexpr int kScholarTitle = 0;
+inline constexpr int kScholarAuthors = 1;
+inline constexpr int kScholarDate = 2;
+inline constexpr int kScholarVenue = 3;
+inline constexpr int kScholarPages = 4;
+inline constexpr int kScholarPublisher = 5;
+
+/// Generates one page for `owner_name` with ground truth filled in.
+/// Entities are shuffled so errors are not clustered at the end.
+Group GenerateScholarGroup(const std::string& owner_name,
+                           const ScholarGenOptions& options);
+
+}  // namespace dime
+
+#endif  // DIME_DATAGEN_SCHOLAR_GEN_H_

@@ -1,0 +1,86 @@
+#include "src/index/inverted_index.h"
+
+#include <algorithm>
+
+namespace dime {
+
+void InvertedIndex::Add(int entity, const std::vector<uint64_t>& sigs) {
+  for (uint64_t sig : sigs) lists_[sig].push_back(entity);
+  sig_counts_[entity] += sigs.size();
+}
+
+std::vector<InvertedIndex::CandidatePair> InvertedIndex::CandidatePairs()
+    const {
+  // Count co-occurrences across lists.
+  std::unordered_map<uint64_t, uint32_t> counts;
+  for (const auto& [sig, list] : lists_) {
+    for (size_t i = 0; i < list.size(); ++i) {
+      for (size_t j = i + 1; j < list.size(); ++j) {
+        int a = list[i], b = list[j];
+        if (a == b) continue;
+        if (a > b) std::swap(a, b);
+        uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+                       static_cast<uint32_t>(b);
+        ++counts[key];
+      }
+    }
+  }
+  std::vector<CandidatePair> pairs;
+  pairs.reserve(counts.size());
+  for (const auto& [key, shared] : counts) {
+    CandidatePair p;
+    p.e1 = static_cast<int>(key >> 32);
+    p.e2 = static_cast<int>(key & 0xFFFFFFFFULL);
+    p.shared = shared;
+    pairs.push_back(p);
+  }
+  // Deterministic order for downstream sorting.
+  std::sort(pairs.begin(), pairs.end(),
+            [](const CandidatePair& a, const CandidatePair& b) {
+              if (a.e1 != b.e1) return a.e1 < b.e1;
+              return a.e2 < b.e2;
+            });
+  return pairs;
+}
+
+void InvertedIndex::ForEachCandidate(
+    bool short_lists_first,
+    const std::function<bool(int, int)>& callback) const {
+  std::vector<const std::vector<int>*> ordered;
+  ordered.reserve(lists_.size());
+  for (const auto& [sig, list] : lists_) {
+    if (list.size() > 1) ordered.push_back(&list);
+  }
+  if (short_lists_first) {
+    std::sort(ordered.begin(), ordered.end(),
+              [](const std::vector<int>* a, const std::vector<int>* b) {
+                if (a->size() != b->size()) return a->size() < b->size();
+                return (*a)[0] < (*b)[0];  // deterministic tie-break
+              });
+  }
+  for (const std::vector<int>* list : ordered) {
+    for (size_t i = 0; i < list->size(); ++i) {
+      for (size_t j = i + 1; j < list->size(); ++j) {
+        int a = (*list)[i], b = (*list)[j];
+        if (a == b) continue;
+        if (a > b) std::swap(a, b);
+        if (!callback(a, b)) return;
+      }
+    }
+  }
+}
+
+size_t InvertedIndex::CandidateVolume() const {
+  size_t volume = 0;
+  for (const auto& [sig, list] : lists_) {
+    volume += list.size() * (list.size() - 1) / 2;
+  }
+  return volume;
+}
+
+size_t InvertedIndex::SignatureCount(int entity) const {
+  auto it = sig_counts_.find(entity);
+  return it == sig_counts_.end() ? 0 : it->second;
+}
+
+}  // namespace dime

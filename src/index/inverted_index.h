@@ -1,0 +1,60 @@
+#ifndef DIME_INDEX_INVERTED_INDEX_H_
+#define DIME_INDEX_INVERTED_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+/// \file inverted_index.h
+/// Signature -> entity inverted index (Section IV-A). Every pair of
+/// entities on the same list is a candidate; the number of lists a pair
+/// co-occurs on is its shared-signature count, which approximates the
+/// similar probability used by benefit-ordered verification.
+
+namespace dime {
+
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  /// Adds `entity` to the list of every signature in `sigs` and records
+  /// |sigs| as the entity's signature count.
+  void Add(int entity, const std::vector<uint64_t>& sigs);
+
+  /// Enumerates candidate pairs (e1 < e2) and their shared-signature
+  /// counts. Quadratic in the longest list, which is what the signature
+  /// schemes keep short.
+  struct CandidatePair {
+    int e1;
+    int e2;
+    uint32_t shared;
+  };
+  std::vector<CandidatePair> CandidatePairs() const;
+
+  /// Streams candidate pairs (e1 < e2) without materializing them: every
+  /// pair of entities on the same list is emitted, a pair once per shared
+  /// list. With `short_lists_first`, lists are visited in ascending length
+  /// order — pairs sharing rare signatures (likely similar) come first,
+  /// which is the streaming stand-in for benefit-ordered verification.
+  /// The callback returns false to stop the enumeration early.
+  void ForEachCandidate(bool short_lists_first,
+                        const std::function<bool(int, int)>& callback) const;
+
+  /// Total candidate-pair instances (sum over lists of |list| choose 2).
+  size_t CandidateVolume() const;
+
+  /// Signature count of an entity previously Add()ed (0 otherwise).
+  size_t SignatureCount(int entity) const;
+
+  size_t num_lists() const { return lists_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, std::vector<int>> lists_;
+  std::unordered_map<int, size_t> sig_counts_;
+};
+
+}  // namespace dime
+
+#endif  // DIME_INDEX_INVERTED_INDEX_H_

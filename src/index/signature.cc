@@ -1,0 +1,249 @@
+#include "src/index/signature.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/sim/edit_distance.h"
+#include "src/sim/set_similarity.h"
+#include "src/sim/weighted_similarity.h"
+
+namespace dime {
+namespace {
+
+constexpr uint64_t kUniversalPayload = 0xFFFFFFFFFFFFFFFFULL;
+/// Marker shared by entities whose value is EMPTY under a normalized set
+/// function: two empty sets have similarity 1 (they satisfy every
+/// positive threshold and violate every sigma < 1), so they must find
+/// each other through the index.
+constexpr uint64_t kEmptySetPayload = 0xFFFFFFFFFFFFFFFEULL;
+
+uint64_t SplitMix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+uint64_t MixSignature(uint64_t a, uint64_t b) {
+  return SplitMix64(a * 0x9e3779b97f4a7c15ULL + SplitMix64(b));
+}
+
+SignatureGenerator::SignatureGenerator(const PreparedGroup& pg,
+                                       const std::vector<Predicate>& predicates,
+                                       Direction dir, uint64_t rule_tag,
+                                       const SignatureOptions& options)
+    : pg_(pg),
+      predicates_(predicates),
+      dir_(dir),
+      rule_tag_(rule_tag),
+      options_(options) {
+  const size_t n = pg.size();
+  ontology_tau_min_.assign(predicates.size(), -1);
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    const Predicate& p = predicates[i];
+    if (p.func != SimFunc::kOntology) continue;
+    // Effective threshold: just above sigma for negative rules.
+    double theta = dir == Direction::kGe ? p.threshold : p.threshold + 1e-9;
+    if (theta <= 0.0) continue;  // universal signatures; tau unused
+    const PreparedAttr& attr = pg.attrs[p.attr];
+    auto it = attr.nodes.find(p.ontology_index);
+    DIME_CHECK(it != attr.nodes.end());
+    const Ontology& tree = *pg.context.ontologies[p.ontology_index].tree;
+    int tau_min = -1;
+    for (size_t e = 0; e < n; ++e) {
+      int node = it->second[e];
+      if (node == kNoNode) continue;
+      int tau = Ontology::TauDepth(tree.Depth(node), std::min(theta, 1.0));
+      if (tau_min < 0 || tau < tau_min) tau_min = tau;
+    }
+    ontology_tau_min_[i] = tau_min < 0 ? 1 : tau_min;
+  }
+
+  // Decide, per edit-similarity predicate, whether prefix filtering is
+  // usable for the whole group: if any entity's string can be entirely
+  // rewritten within the edit budget, the predicate degrades to one
+  // universal signature for everyone (symmetric, hence complete).
+  editsim_universal_.assign(predicates.size(), false);
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    const Predicate& p = predicates[i];
+    if (p.func != SimFunc::kEditSim) continue;
+    double tau = dir == Direction::kGe ? p.threshold : p.threshold + 1e-9;
+    if (tau <= 0.0) {
+      editsim_universal_[i] = true;
+      continue;
+    }
+    if (tau > 1.0) continue;  // unsatisfiable, handled by empty signatures
+    const PreparedAttr& attr = pg.attrs[p.attr];
+    for (size_t e = 0; e < n; ++e) {
+      size_t d = MaxEditDistanceForSim(attr.text[e].size(), tau);
+      size_t prefix = static_cast<size_t>(pg.context.qgram_q) * d + 1;
+      if (prefix > attr.qgram_ranks[e].size()) {
+        editsim_universal_[i] = true;
+        break;
+      }
+    }
+  }
+
+  // Average signature counts drive the tuple-vs-anchor decision for
+  // positive rules.
+  avg_sig_count_.assign(predicates.size(), 0.0);
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    size_t total = 0;
+    for (size_t e = 0; e < n; ++e) {
+      total += PredicateSignatures(i, static_cast<int>(e)).size();
+    }
+    avg_sig_count_[i] =
+        n == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(n);
+  }
+  double product = 1.0;
+  for (double c : avg_sig_count_) product *= std::max(c, 1.0);
+  if (product > static_cast<double>(options_.max_tuple_signatures) &&
+      predicates.size() > 1) {
+    anchor_only_ = true;
+    anchor_ = 0;
+    for (size_t i = 1; i < predicates.size(); ++i) {
+      if (avg_sig_count_[i] < avg_sig_count_[anchor_]) anchor_ = i;
+    }
+  }
+}
+
+std::vector<uint64_t> SignatureGenerator::PredicateSignatures(
+    size_t pred_idx, int entity) const {
+  const Predicate& p = predicates_[pred_idx];
+  const PreparedAttr& attr = pg_.attrs[p.attr];
+  const uint64_t tag = MixSignature(rule_tag_, pred_idx + 1);
+  std::vector<uint64_t> sigs;
+
+  if (IsSetBased(p.func)) {
+    const auto& ranks = p.mode == TokenMode::kValueList
+                            ? attr.value_ranks[entity]
+                            : attr.word_ranks[entity];
+    double theta;
+    if (p.func == SimFunc::kOverlap) {
+      theta = dir_ == Direction::kGe
+                  ? p.threshold
+                  : std::floor(p.threshold + 1e-9) + 1.0;
+      if (theta < 1.0) {  // any pair qualifies: filtering impossible
+        sigs.push_back(MixSignature(tag, kUniversalPayload));
+        return sigs;
+      }
+    } else {
+      theta = dir_ == Direction::kGe ? p.threshold : p.threshold + 1e-9;
+      if (theta <= 0.0) {
+        sigs.push_back(MixSignature(tag, kUniversalPayload));
+        return sigs;
+      }
+      if (theta > 1.0) return sigs;  // unsatisfiable: no partner possible
+      if (ranks.empty()) {
+        // Two empty sets have normalized similarity 1: they must meet.
+        sigs.push_back(MixSignature(tag, kEmptySetPayload));
+        return sigs;
+      }
+    }
+    size_t prefix = SetPrefixLength(p.func, ranks.size(), theta);
+    sigs.reserve(prefix);
+    for (size_t i = 0; i < prefix; ++i) {
+      sigs.push_back(MixSignature(tag, ranks[i]));
+    }
+    return sigs;
+  }
+
+  if (IsWeightedSetBased(p.func)) {
+    const bool values = p.mode == TokenMode::kValueList;
+    const auto& ranks =
+        values ? attr.value_ranks[entity] : attr.word_ranks[entity];
+    const auto& weights = values ? attr.value_weights : attr.word_weights;
+    double theta = dir_ == Direction::kGe ? p.threshold : p.threshold + 1e-9;
+    if (theta <= 0.0) {
+      sigs.push_back(MixSignature(tag, kUniversalPayload));
+      return sigs;
+    }
+    if (theta > 1.0) return sigs;
+    if (ranks.empty()) {
+      sigs.push_back(MixSignature(tag, kEmptySetPayload));
+      return sigs;
+    }
+    size_t prefix = WeightedPrefixLength(p.func, ranks, weights, theta);
+    sigs.reserve(prefix);
+    for (size_t i = 0; i < prefix; ++i) {
+      sigs.push_back(MixSignature(tag, ranks[i]));
+    }
+    return sigs;
+  }
+
+  if (p.func == SimFunc::kEditSim) {
+    if (editsim_universal_[pred_idx]) {
+      sigs.push_back(MixSignature(tag, kUniversalPayload));
+      return sigs;
+    }
+    double tau = dir_ == Direction::kGe ? p.threshold : p.threshold + 1e-9;
+    if (tau > 1.0) return sigs;  // unsatisfiable with any partner
+    const auto& grams = attr.qgram_ranks[entity];
+    size_t d = MaxEditDistanceForSim(attr.text[entity].size(), tau);
+    size_t prefix = static_cast<size_t>(pg_.context.qgram_q) * d + 1;
+    DIME_CHECK_LE(prefix, grams.size());  // else editsim_universal_ is set
+    sigs.reserve(prefix);
+    for (size_t i = 0; i < prefix; ++i) {
+      sigs.push_back(MixSignature(tag, grams[i]));
+    }
+    return sigs;
+  }
+
+  DIME_CHECK(p.func == SimFunc::kOntology);
+  double theta = dir_ == Direction::kGe ? p.threshold : p.threshold + 1e-9;
+  if (theta <= 0.0) {
+    sigs.push_back(MixSignature(tag, kUniversalPayload));
+    return sigs;
+  }
+  if (theta > 1.0) return sigs;
+  auto it = attr.nodes.find(p.ontology_index);
+  DIME_CHECK(it != attr.nodes.end());
+  int node = it->second[entity];
+  if (node == kNoNode) return sigs;  // similarity 0 with everyone
+  const Ontology& tree = *pg_.context.ontologies[p.ontology_index].tree;
+  int tau = ontology_tau_min_[pred_idx];
+  int anc = tau <= tree.Depth(node) ? tree.AncestorAtDepth(node, tau) : node;
+  sigs.push_back(MixSignature(tag, static_cast<uint64_t>(anc)));
+  return sigs;
+}
+
+std::vector<uint64_t> SignatureGenerator::PositiveRuleSignatures(
+    int entity) const {
+  DIME_CHECK(dir_ == Direction::kGe);
+  if (anchor_only_) {
+    return PredicateSignatures(anchor_, entity);
+  }
+  std::vector<uint64_t> combined{rule_tag_};
+  for (size_t i = 0; i < predicates_.size(); ++i) {
+    std::vector<uint64_t> sigs = PredicateSignatures(i, entity);
+    if (sigs.empty()) return {};  // cannot satisfy predicate i with anyone
+    std::vector<uint64_t> next;
+    next.reserve(combined.size() * sigs.size());
+    for (uint64_t c : combined) {
+      for (uint64_t s : sigs) next.push_back(MixSignature(c, s));
+    }
+    combined = std::move(next);
+  }
+  std::sort(combined.begin(), combined.end());
+  combined.erase(std::unique(combined.begin(), combined.end()),
+                 combined.end());
+  return combined;
+}
+
+std::vector<uint64_t> SignatureGenerator::NegativeRuleSignatures(
+    int entity) const {
+  DIME_CHECK(dir_ == Direction::kLe);
+  std::vector<uint64_t> all;
+  for (size_t i = 0; i < predicates_.size(); ++i) {
+    std::vector<uint64_t> sigs = PredicateSignatures(i, entity);
+    all.insert(all.end(), sigs.begin(), sigs.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+}  // namespace dime

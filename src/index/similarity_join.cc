@@ -1,0 +1,122 @@
+#include "src/index/similarity_join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+#include "src/common/logging.h"
+#include "src/sim/set_similarity.h"
+
+namespace dime {
+namespace {
+
+/// True when the threshold admits every pair (prefix filtering can't help).
+bool Unfilterable(SimFunc func, double threshold) {
+  if (func == SimFunc::kOverlap) return threshold < 1.0;
+  return threshold <= 0.0;
+}
+
+}  // namespace
+
+size_t MinQualifyingSize(SimFunc func, size_t size, double threshold) {
+  double bound = 0.0;
+  switch (func) {
+    case SimFunc::kOverlap:
+      bound = threshold;
+      break;
+    case SimFunc::kJaccard:
+      bound = threshold * static_cast<double>(size);
+      break;
+    case SimFunc::kDice:
+      bound = threshold * static_cast<double>(size) / (2.0 - threshold);
+      break;
+    case SimFunc::kCosine:
+      bound = threshold * threshold * static_cast<double>(size);
+      break;
+    default:
+      DIME_LOG(FATAL) << "MinQualifyingSize: non-set function";
+  }
+  return static_cast<size_t>(std::ceil(bound - 1e-9));
+}
+
+std::vector<JoinPair> SetSimilaritySelfJoin(
+    const std::vector<std::vector<uint32_t>>& records, SimFunc func,
+    double threshold, JoinStats* stats) {
+  DIME_CHECK(IsSetBased(func));
+  JoinStats local;
+  std::vector<JoinPair> results;
+  const int n = static_cast<int>(records.size());
+
+  if (Unfilterable(func, threshold)) {
+    // Degenerate threshold: every pair qualifies a priori for overlap<1 /
+    // normalized<=0 only when both nonempty etc. — just verify all pairs.
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        ++local.candidates;
+        ++local.verifications;
+        double sim = SetSimilarity(func, records[i], records[j]);
+        if (sim >= threshold - 1e-9) {
+          results.push_back(JoinPair{i, j, sim});
+          ++local.results;
+        }
+      }
+    }
+    if (stats != nullptr) *stats = local;
+    return results;
+  }
+
+  // Process records in ascending size order so the length filter is a
+  // simple lower bound against already-indexed (smaller) records.
+  std::vector<int> order(records.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&records](int a, int b) {
+    return records[a].size() < records[b].size();
+  });
+
+  std::unordered_map<uint32_t, std::vector<int>> prefix_index;
+  std::vector<int> stamp(records.size(), -1);
+  std::vector<int> candidates;
+
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    int r = order[pos];
+    const std::vector<uint32_t>& rec = records[r];
+    size_t prefix = SetPrefixLength(func, rec.size(), threshold);
+    size_t min_size = MinQualifyingSize(func, rec.size(), threshold);
+
+    candidates.clear();
+    for (size_t i = 0; i < prefix; ++i) {
+      auto it = prefix_index.find(rec[i]);
+      if (it == prefix_index.end()) continue;
+      for (int s : it->second) {
+        if (records[s].size() < min_size) continue;  // length filter
+        if (stamp[s] == static_cast<int>(pos)) continue;  // already seen
+        stamp[s] = static_cast<int>(pos);
+        candidates.push_back(s);
+      }
+    }
+    local.candidates += candidates.size();
+    for (int s : candidates) {
+      ++local.verifications;
+      double sim = SetSimilarity(func, records[s], rec);
+      if (sim >= threshold - 1e-9) {
+        results.push_back(
+            JoinPair{std::min(r, s), std::max(r, s), sim});
+        ++local.results;
+      }
+    }
+    for (size_t i = 0; i < prefix; ++i) {
+      prefix_index[rec[i]].push_back(r);
+    }
+  }
+
+  std::sort(results.begin(), results.end(),
+            [](const JoinPair& x, const JoinPair& y) {
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  if (stats != nullptr) *stats = local;
+  return results;
+}
+
+}  // namespace dime

@@ -1,0 +1,49 @@
+#ifndef DIME_INDEX_SIMILARITY_JOIN_H_
+#define DIME_INDEX_SIMILARITY_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/similarity.h"
+
+/// \file similarity_join.h
+/// A prefix-filtering set-similarity self-join (AllPairs/PPJoin family —
+/// the machinery surveyed in the paper's reference [14], "String
+/// similarity joins: an experimental evaluation"). Given records as
+/// rank-sorted token sets (rarest token first, the TokenDictionary order),
+/// finds every pair with similarity >= threshold.
+///
+/// This is the batch counterpart of the per-rule signature index: DIME+
+/// indexes prefixes per rule and verifies candidates lazily; the join
+/// materializes all qualifying pairs. It is used by the ablation bench to
+/// compare candidate-generation strategies and is generally useful for
+/// building match graphs outside the rule engines.
+
+namespace dime {
+
+struct JoinPair {
+  int a = 0;  ///< record indices, a < b
+  int b = 0;
+  double similarity = 0.0;
+};
+
+struct JoinStats {
+  size_t candidates = 0;      ///< pairs surviving prefix + length filters
+  size_t verifications = 0;   ///< exact similarity computations
+  size_t results = 0;
+};
+
+/// Self-joins `records` under the set-based `func` (overlap threshold is a
+/// count; the others are in (0, 1]). Records must each be strictly
+/// ascending. Returns pairs ordered by (a, b). `stats` is optional.
+std::vector<JoinPair> SetSimilaritySelfJoin(
+    const std::vector<std::vector<uint32_t>>& records, SimFunc func,
+    double threshold, JoinStats* stats = nullptr);
+
+/// The smallest partner size that can still reach `threshold` against a
+/// record of size `size` (the length filter). Exposed for tests.
+size_t MinQualifyingSize(SimFunc func, size_t size, double threshold);
+
+}  // namespace dime
+
+#endif  // DIME_INDEX_SIMILARITY_JOIN_H_

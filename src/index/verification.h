@@ -1,0 +1,29 @@
+#ifndef DIME_INDEX_VERIFICATION_H_
+#define DIME_INDEX_VERIFICATION_H_
+
+#include <cstddef>
+
+/// \file verification.h
+/// The benefit model of Sections IV-C and IV-D. Verification order matters:
+/// for positive rules, verifying likely-similar cheap pairs first lets the
+/// transitivity short-circuit skip the most later work, so pairs are sorted
+/// by B = P / C descending; for negative rules one satisfied pair settles a
+/// whole partition, so likely-DISsimilar cheap pairs go first and
+/// B = 1 / (P * C).
+
+namespace dime {
+
+/// Approximates the probability that a candidate pair satisfies the rule:
+/// the ratio of shared signatures to the average signature count
+/// (Section IV-C, "Similar Probability").
+double SimilarProbability(size_t shared, size_t sig_count1, size_t sig_count2);
+
+/// Benefit of verifying a candidate for a positive rule.
+double PositiveBenefit(double probability, double cost);
+
+/// Benefit of verifying a candidate for a negative rule.
+double NegativeBenefit(double probability, double cost);
+
+}  // namespace dime
+
+#endif  // DIME_INDEX_VERIFICATION_H_

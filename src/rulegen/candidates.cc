@@ -1,0 +1,152 @@
+#include "src/rulegen/candidates.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/logging.h"
+
+namespace dime {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+std::string FeatureSpec::ToString(const Schema& schema) const {
+  std::string out = SimFuncName(func);
+  out += "(";
+  out += schema.AttributeName(attr);
+  if (IsSetBased(func) && mode == TokenMode::kWords) out += ":words";
+  if (func == SimFunc::kOntology && ontology_index != 0) {
+    out += "@" + std::to_string(ontology_index);
+  }
+  out += ")";
+  return out;
+}
+
+std::vector<LabeledPair> ComputeFeatures(
+    const std::vector<Group>& groups, const std::vector<ExamplePair>& examples,
+    const std::vector<FeatureSpec>& specs, const DimeContext& context) {
+  // Prepare each group once, for the union of spec predicates.
+  std::vector<Predicate> preds;
+  preds.reserve(specs.size());
+  for (const FeatureSpec& s : specs) preds.push_back(s.WithThreshold(0.0));
+
+  std::vector<PreparedGroup> prepared;
+  prepared.reserve(groups.size());
+  for (const Group& g : groups) {
+    prepared.push_back(PrepareGroupForPredicates(g, preds, context));
+  }
+
+  std::vector<LabeledPair> out;
+  out.reserve(examples.size());
+  for (const ExamplePair& ex : examples) {
+    DIME_CHECK_GE(ex.group, 0);
+    DIME_CHECK_LT(static_cast<size_t>(ex.group), groups.size());
+    LabeledPair lp;
+    lp.positive = ex.positive;
+    lp.features.reserve(specs.size());
+    for (size_t s = 0; s < specs.size(); ++s) {
+      lp.features.push_back(PredicateSimilarity(
+          prepared[ex.group], preds[s], ex.e1, ex.e2));
+    }
+    out.push_back(std::move(lp));
+  }
+  return out;
+}
+
+std::vector<CandidatePredicate> GeneratePositiveCandidates(
+    const std::vector<LabeledPair>& pairs, size_t num_specs) {
+  std::vector<CandidatePredicate> candidates;
+  for (size_t s = 0; s < num_specs; ++s) {
+    std::set<double> values;
+    for (const LabeledPair& p : pairs) {
+      if (p.positive) values.insert(p.features[s]);
+    }
+    for (double v : values) {
+      if (v <= kEps) continue;  // any pair satisfies f >= 0: vacuous
+      candidates.push_back(CandidatePredicate{static_cast<int>(s), v});
+    }
+  }
+  return candidates;
+}
+
+std::vector<CandidatePredicate> GenerateNegativeCandidates(
+    const std::vector<LabeledPair>& pairs, size_t num_specs) {
+  std::vector<CandidatePredicate> candidates;
+  for (size_t s = 0; s < num_specs; ++s) {
+    std::set<double> values;
+    double max_any = 0.0;
+    for (const LabeledPair& p : pairs) {
+      max_any = std::max(max_any, p.features[s]);
+      if (!p.positive) values.insert(p.features[s]);
+    }
+    for (double v : values) {
+      if (v >= max_any - kEps) continue;  // every pair satisfies: vacuous
+      candidates.push_back(CandidatePredicate{static_cast<int>(s), v});
+    }
+  }
+  return candidates;
+}
+
+bool LearnedRule::SatisfiedGe(const std::vector<double>& features) const {
+  for (const CandidatePredicate& p : predicates) {
+    if (features[p.spec] < p.threshold - kEps) return false;
+  }
+  return true;
+}
+
+bool LearnedRule::SatisfiedLe(const std::vector<double>& features) const {
+  for (const CandidatePredicate& p : predicates) {
+    if (features[p.spec] > p.threshold + kEps) return false;
+  }
+  return true;
+}
+
+int PositiveObjective(const std::vector<LearnedRule>& rules,
+                      const std::vector<LabeledPair>& pairs) {
+  int score = 0;
+  for (const LabeledPair& pair : pairs) {
+    for (const LearnedRule& rule : rules) {
+      if (rule.SatisfiedGe(pair.features)) {
+        score += pair.positive ? 1 : -1;
+        break;
+      }
+    }
+  }
+  return score;
+}
+
+int NegativeObjective(const std::vector<LearnedRule>& rules,
+                      const std::vector<LabeledPair>& pairs) {
+  int score = 0;
+  for (const LabeledPair& pair : pairs) {
+    for (const LearnedRule& rule : rules) {
+      if (rule.SatisfiedLe(pair.features)) {
+        score += pair.positive ? -1 : 1;
+        break;
+      }
+    }
+  }
+  return score;
+}
+
+PositiveRule ToPositiveRule(const LearnedRule& rule,
+                            const std::vector<FeatureSpec>& specs) {
+  PositiveRule out;
+  for (const CandidatePredicate& p : rule.predicates) {
+    out.predicates.push_back(specs[p.spec].WithThreshold(p.threshold));
+  }
+  return out;
+}
+
+NegativeRule ToNegativeRule(const LearnedRule& rule,
+                            const std::vector<FeatureSpec>& specs) {
+  NegativeRule out;
+  for (const CandidatePredicate& p : rule.predicates) {
+    out.predicates.push_back(specs[p.spec].WithThreshold(p.threshold));
+  }
+  return out;
+}
+
+}  // namespace dime

@@ -1,0 +1,103 @@
+#ifndef DIME_RULEGEN_CANDIDATES_H_
+#define DIME_RULEGEN_CANDIDATES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/preprocess.h"
+#include "src/rules/rule.h"
+
+/// \file candidates.h
+/// Rule generation from examples (Section V). A positive/negative example
+/// is a pair of entities that are / are not in the same category. Rule
+/// generation works in "feature space": every example pair is scored by a
+/// library of (attribute, similarity function) features, and Theorem 3
+/// restricts the infinitely many thresholds to the finitely many observed
+/// feature values, one candidate predicate per value.
+
+namespace dime {
+
+/// One feature of the library: a similarity function applied to an
+/// attribute (threshold left open).
+struct FeatureSpec {
+  int attr = 0;
+  SimFunc func = SimFunc::kOverlap;
+  TokenMode mode = TokenMode::kValueList;
+  int ontology_index = 0;
+
+  Predicate WithThreshold(double threshold) const {
+    Predicate p;
+    p.attr = attr;
+    p.func = func;
+    p.mode = mode;
+    p.threshold = threshold;
+    p.ontology_index = ontology_index;
+    return p;
+  }
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// An example pair with its feature vector (parallel to the spec library).
+struct LabeledPair {
+  std::vector<double> features;
+  bool positive = false;  ///< true: same category; false: different
+};
+
+/// An example: entities e1, e2 of groups[group] (do/don't) belong together.
+struct ExamplePair {
+  int group = 0;
+  int e1 = 0;
+  int e2 = 0;
+  bool positive = false;
+};
+
+/// Computes feature vectors for example pairs drawn from `groups`.
+std::vector<LabeledPair> ComputeFeatures(
+    const std::vector<Group>& groups, const std::vector<ExamplePair>& examples,
+    const std::vector<FeatureSpec>& specs, const DimeContext& context);
+
+/// A candidate predicate in feature space.
+struct CandidatePredicate {
+  int spec = 0;
+  double threshold = 0.0;
+};
+
+/// Candidate `f(A) >= theta` predicates: one per distinct feature value
+/// observed on a positive example (Theorem 3). Vacuous thresholds that any
+/// pair satisfies (overlap < 1, normalized <= 0) are dropped.
+std::vector<CandidatePredicate> GeneratePositiveCandidates(
+    const std::vector<LabeledPair>& pairs, size_t num_specs);
+
+/// Candidate `f(A) <= sigma` predicates: one per distinct feature value
+/// observed on a negative example (Section V-D). Vacuous thresholds that
+/// any pair satisfies (sigma >= max observed value) are kept out.
+std::vector<CandidatePredicate> GenerateNegativeCandidates(
+    const std::vector<LabeledPair>& pairs, size_t num_specs);
+
+/// A learned rule: a conjunction over distinct specs.
+struct LearnedRule {
+  std::vector<CandidatePredicate> predicates;
+
+  bool SatisfiedGe(const std::vector<double>& features) const;
+  bool SatisfiedLe(const std::vector<double>& features) const;
+};
+
+/// Objective F(Sigma, S+, S-) = |E ∩ S+| - |E ∩ S-| for positive rule sets
+/// (pairs satisfying ANY rule), per Section V-A.
+int PositiveObjective(const std::vector<LearnedRule>& rules,
+                      const std::vector<LabeledPair>& pairs);
+
+/// Objective |E ∩ S-| - |E ∩ S+| for negative rule sets.
+int NegativeObjective(const std::vector<LearnedRule>& rules,
+                      const std::vector<LabeledPair>& pairs);
+
+/// Converts learned rules back to engine rules.
+PositiveRule ToPositiveRule(const LearnedRule& rule,
+                            const std::vector<FeatureSpec>& specs);
+NegativeRule ToNegativeRule(const LearnedRule& rule,
+                            const std::vector<FeatureSpec>& specs);
+
+}  // namespace dime
+
+#endif  // DIME_RULEGEN_CANDIDATES_H_

@@ -1,0 +1,67 @@
+#include "src/rulegen/crossval.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/random.h"
+#include "src/core/metrics.h"
+#include "src/rulegen/greedy.h"
+
+namespace dime {
+
+CrossValResult KFoldCrossValidate(const std::vector<LabeledPair>& pairs,
+                                  int folds, const PairLearner& learner,
+                                  uint64_t seed) {
+  DIME_CHECK_GE(folds, 2);
+  DIME_CHECK_GE(pairs.size(), static_cast<size_t>(folds));
+
+  std::vector<size_t> order(pairs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Random rng(seed);
+  rng.Shuffle(&order);
+
+  CrossValResult result;
+  double sum_p = 0, sum_r = 0, sum_f = 0;
+  for (int fold = 0; fold < folds; ++fold) {
+    std::vector<LabeledPair> train, test;
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (static_cast<int>(i % static_cast<size_t>(folds)) == fold) {
+        test.push_back(pairs[order[i]]);
+      } else {
+        train.push_back(pairs[order[i]]);
+      }
+    }
+    PairClassifier classify = learner(train);
+    size_t tp = 0, fp = 0, fn = 0;
+    for (const LabeledPair& p : test) {
+      bool predicted = classify(p.features);
+      if (predicted && p.positive) ++tp;
+      if (predicted && !p.positive) ++fp;
+      if (!predicted && p.positive) ++fn;
+    }
+    Prf prf = PrfFromCounts(tp, fp, fn);
+    sum_p += prf.precision;
+    sum_r += prf.recall;
+    sum_f += prf.f1;
+    result.fold_f1.push_back(prf.f1);
+  }
+  result.mean_precision = sum_p / folds;
+  result.mean_recall = sum_r / folds;
+  result.mean_f1 = sum_f / folds;
+  return result;
+}
+
+PairLearner MakeDimeRuleLearner(size_t num_specs) {
+  return [num_specs](const std::vector<LabeledPair>& train) -> PairClassifier {
+    RuleGenResult learned = GreedyPositiveRules(train, num_specs);
+    std::vector<LearnedRule> rules = learned.rules;
+    return [rules](const std::vector<double>& features) {
+      for (const LearnedRule& r : rules) {
+        if (r.SatisfiedGe(features)) return true;
+      }
+      return false;
+    };
+  };
+}
+
+}  // namespace dime

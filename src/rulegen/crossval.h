@@ -1,0 +1,45 @@
+#ifndef DIME_RULEGEN_CROSSVAL_H_
+#define DIME_RULEGEN_CROSSVAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/rulegen/candidates.h"
+
+/// \file crossval.h
+/// k-fold cross-validation over example pairs (the harness behind Fig. 10).
+/// A Learner trains on feature-space pairs and returns a PairClassifier
+/// predicting whether a pair belongs to the same category; the fold score
+/// is the F-measure of the "match" class on the held-out pairs. DIME-Rule,
+/// DecisionTree and SIFI all plug in through this interface.
+
+namespace dime {
+
+/// Predicts "same category" from a pair's feature vector.
+using PairClassifier = std::function<bool(const std::vector<double>&)>;
+
+/// Trains a classifier on labeled pairs.
+using PairLearner =
+    std::function<PairClassifier(const std::vector<LabeledPair>&)>;
+
+struct CrossValResult {
+  double mean_precision = 0.0;
+  double mean_recall = 0.0;
+  double mean_f1 = 0.0;
+  std::vector<double> fold_f1;
+};
+
+/// Shuffles pairs with `seed`, splits into `folds` folds, trains on k-1 and
+/// scores on the held-out fold.
+CrossValResult KFoldCrossValidate(const std::vector<LabeledPair>& pairs,
+                                  int folds, const PairLearner& learner,
+                                  uint64_t seed = 17);
+
+/// The paper's learner (DIME-Rule): greedy positive rules; a pair is
+/// predicted "same category" iff some learned positive rule fires.
+PairLearner MakeDimeRuleLearner(size_t num_specs);
+
+}  // namespace dime
+
+#endif  // DIME_RULEGEN_CROSSVAL_H_

@@ -1,0 +1,100 @@
+#include "src/rulegen/enumerate.h"
+
+#include <algorithm>
+
+namespace dime {
+namespace {
+
+/// Recursively builds all rules with 0-1 predicate per spec (Section V-B),
+/// at most `max_preds` conjuncts, stopping at the cap.
+void BuildRules(const std::vector<std::vector<double>>& thresholds_by_spec,
+                size_t spec, size_t max_preds, size_t cap, LearnedRule* current,
+                std::vector<LearnedRule>* out) {
+  if (out->size() >= cap) return;
+  if (spec == thresholds_by_spec.size()) {
+    if (!current->predicates.empty()) out->push_back(*current);
+    return;
+  }
+  // Skip this spec.
+  BuildRules(thresholds_by_spec, spec + 1, max_preds, cap, current, out);
+  if (current->predicates.size() >= max_preds) return;
+  // Or take each candidate threshold for it.
+  for (double t : thresholds_by_spec[spec]) {
+    current->predicates.push_back(
+        CandidatePredicate{static_cast<int>(spec), t});
+    BuildRules(thresholds_by_spec, spec + 1, max_preds, cap, current, out);
+    current->predicates.pop_back();
+    if (out->size() >= cap) return;
+  }
+}
+
+RuleGenResult EnumerateImpl(const std::vector<LabeledPair>& pairs,
+                            size_t num_specs, Direction dir,
+                            const EnumerateOptions& options) {
+  std::vector<CandidatePredicate> candidates =
+      dir == Direction::kGe ? GeneratePositiveCandidates(pairs, num_specs)
+                            : GenerateNegativeCandidates(pairs, num_specs);
+  std::vector<std::vector<double>> thresholds_by_spec(num_specs);
+  for (const CandidatePredicate& c : candidates) {
+    thresholds_by_spec[c.spec].push_back(c.threshold);
+  }
+
+  std::vector<LearnedRule> all_rules;
+  LearnedRule scratch;
+  BuildRules(thresholds_by_spec, 0, options.max_predicates_per_rule,
+             options.max_candidate_rules, &scratch, &all_rules);
+
+  auto objective = [&](const std::vector<LearnedRule>& rules) {
+    return dir == Direction::kGe ? PositiveObjective(rules, pairs)
+                                 : NegativeObjective(rules, pairs);
+  };
+
+  // Keep subset enumeration tractable: prune to the strongest singles.
+  constexpr size_t kMaxForSubsets = 300;
+  if (all_rules.size() > kMaxForSubsets) {
+    std::stable_sort(all_rules.begin(), all_rules.end(),
+                     [&](const LearnedRule& a, const LearnedRule& b) {
+                       return objective({a}) > objective({b});
+                     });
+    all_rules.resize(kMaxForSubsets);
+  }
+
+  RuleGenResult best;
+  best.objective = 0;  // the empty rule set
+
+  // Enumerate subsets up to max_rules_in_set by recursive combination.
+  std::vector<LearnedRule> current;
+  auto search = [&](auto&& self, size_t start) -> void {
+    if (!current.empty()) {
+      int obj = objective(current);
+      if (obj > best.objective) {
+        best.objective = obj;
+        best.rules = current;
+      }
+    }
+    if (current.size() >= options.max_rules_in_set) return;
+    for (size_t i = start; i < all_rules.size(); ++i) {
+      current.push_back(all_rules[i]);
+      self(self, i + 1);
+      current.pop_back();
+    }
+  };
+  search(search, 0);
+  return best;
+}
+
+}  // namespace
+
+RuleGenResult EnumeratePositiveRules(const std::vector<LabeledPair>& pairs,
+                                     size_t num_specs,
+                                     const EnumerateOptions& options) {
+  return EnumerateImpl(pairs, num_specs, Direction::kGe, options);
+}
+
+RuleGenResult EnumerateNegativeRules(const std::vector<LabeledPair>& pairs,
+                                     size_t num_specs,
+                                     const EnumerateOptions& options) {
+  return EnumerateImpl(pairs, num_specs, Direction::kLe, options);
+}
+
+}  // namespace dime

@@ -1,0 +1,40 @@
+#ifndef DIME_RULEGEN_ENUMERATE_H_
+#define DIME_RULEGEN_ENUMERATE_H_
+
+#include <vector>
+
+#include "src/rulegen/candidates.h"
+#include "src/rulegen/greedy.h"
+
+/// \file enumerate.h
+/// The exact enumeration algorithm of Section V-B: build all possible
+/// rules (0-1 candidate predicate per attribute spec), then search rule
+/// subsets for the one maximizing the objective. The search space is
+/// O(2^(|F| m |S+| m)), so this is only usable on toy instances — the
+/// greedy algorithm (greedy.h) is the practical path; tests use this as
+/// the ground-truth optimum on small inputs (and Theorem 4 explains why
+/// nothing better than enumeration is expected in the worst case).
+
+namespace dime {
+
+struct EnumerateOptions {
+  size_t max_predicates_per_rule = 2;
+  size_t max_rules_in_set = 2;
+  /// Hard cap on enumerated single rules; exceeding it aborts with the best
+  /// effort so tests can't explode.
+  size_t max_candidate_rules = 4096;
+};
+
+/// Exhaustively finds the best positive rule set (`Direction::kGe`).
+RuleGenResult EnumeratePositiveRules(const std::vector<LabeledPair>& pairs,
+                                     size_t num_specs,
+                                     const EnumerateOptions& options = {});
+
+/// Exhaustively finds the best negative rule set (`Direction::kLe`).
+RuleGenResult EnumerateNegativeRules(const std::vector<LabeledPair>& pairs,
+                                     size_t num_specs,
+                                     const EnumerateOptions& options = {});
+
+}  // namespace dime
+
+#endif  // DIME_RULEGEN_ENUMERATE_H_

@@ -1,0 +1,155 @@
+#include "src/rulegen/greedy.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dime {
+namespace {
+
+/// Objective of a single rule restricted to the active pair subset:
+/// covered positives - covered negatives (sign flipped for negative
+/// rules). `bad` reports how many wrong-class examples the rule covers,
+/// which drives conservative tie-breaking.
+int SingleRuleObjective(const LearnedRule& rule,
+                        const std::vector<LabeledPair>& pairs,
+                        const std::vector<int>& active, Direction dir,
+                        int* bad) {
+  int score = 0;
+  *bad = 0;
+  for (int idx : active) {
+    const LabeledPair& p = pairs[idx];
+    bool sat = dir == Direction::kGe ? rule.SatisfiedGe(p.features)
+                                     : rule.SatisfiedLe(p.features);
+    if (!sat) continue;
+    bool good = dir == Direction::kGe ? p.positive : !p.positive;
+    if (good) {
+      ++score;
+    } else {
+      --score;
+      ++*bad;
+    }
+  }
+  return score;
+}
+
+bool RuleContainsSpec(const LearnedRule& rule, int spec) {
+  for (const CandidatePredicate& p : rule.predicates) {
+    if (p.spec == spec) return true;
+  }
+  return false;
+}
+
+/// Grows one conjunction greedily on the active pairs (Section V-C inner
+/// loop). Returns an empty rule when nothing with positive objective
+/// exists.
+LearnedRule GenerateOneRule(const std::vector<LabeledPair>& pairs,
+                            const std::vector<int>& active,
+                            const std::vector<CandidatePredicate>& candidates,
+                            Direction dir, const GreedyOptions& options) {
+  LearnedRule rule;
+  int current = 0;
+  int current_bad = 0;
+  while (rule.predicates.size() < options.max_predicates_per_rule) {
+    bool seeding = rule.predicates.empty();
+    bool found = false;
+    int best_obj = 0, best_bad = 0, best_good = 0;
+    int best_candidate = -1;
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (RuleContainsSpec(rule, candidates[c].spec)) continue;
+      LearnedRule trial = rule;
+      trial.predicates.push_back(candidates[c]);
+      int bad = 0;
+      int obj = SingleRuleObjective(trial, pairs, active, dir, &bad);
+      int good = obj + bad;  // right-class examples covered
+      bool better;
+      if (seeding) {
+        // Seed with the highest-objective predicate; break ties toward the
+        // broader predicate (more right-class coverage) so conjunction has
+        // something to refine.
+        better = !found || obj > best_obj ||
+                 (obj == best_obj && good > best_good);
+      } else {
+        // Extend only if the objective improves, or stays equal while
+        // shedding wrong-class coverage (a strictly cleaner rule).
+        better = (obj > current || (obj == current && bad < current_bad)) &&
+                 (!found || obj > best_obj ||
+                  (obj == best_obj && bad < best_bad));
+      }
+      if (better) {
+        found = true;
+        best_obj = obj;
+        best_bad = bad;
+        best_good = good;
+        best_candidate = static_cast<int>(c);
+      }
+    }
+    if (!found) break;
+    rule.predicates.push_back(candidates[best_candidate]);
+    current = best_obj;
+    current_bad = best_bad;
+  }
+  if (current <= 0) return LearnedRule{};
+  return rule;
+}
+
+RuleGenResult GenerateRules(const std::vector<LabeledPair>& pairs,
+                            size_t num_specs, Direction dir,
+                            const GreedyOptions& options) {
+  std::vector<CandidatePredicate> candidates =
+      dir == Direction::kGe ? GeneratePositiveCandidates(pairs, num_specs)
+                            : GenerateNegativeCandidates(pairs, num_specs);
+
+  RuleGenResult result;
+  std::vector<int> active(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) active[i] = static_cast<int>(i);
+
+  auto objective = [&](const std::vector<LearnedRule>& rules) {
+    return dir == Direction::kGe ? PositiveObjective(rules, pairs)
+                                 : NegativeObjective(rules, pairs);
+  };
+
+  int best = 0;  // empty rule set scores 0
+  while (result.rules.size() < options.max_rules && !active.empty()) {
+    LearnedRule rule =
+        GenerateOneRule(pairs, active, candidates, dir, options);
+    if (rule.predicates.empty()) break;
+
+    std::vector<LearnedRule> trial = result.rules;
+    trial.push_back(rule);
+    int obj = objective(trial);
+    if (obj <= best) break;
+    result.rules = std::move(trial);
+    best = obj;
+
+    // Remove the examples this rule covers; the next rule is judged on the
+    // remainder (Section V-C: "update the example set ... by removing the
+    // examples that satisfy phi+").
+    std::vector<int> remaining;
+    remaining.reserve(active.size());
+    for (int idx : active) {
+      bool sat = dir == Direction::kGe
+                     ? rule.SatisfiedGe(pairs[idx].features)
+                     : rule.SatisfiedLe(pairs[idx].features);
+      if (!sat) remaining.push_back(idx);
+    }
+    active = std::move(remaining);
+  }
+  result.objective = best;
+  return result;
+}
+
+}  // namespace
+
+RuleGenResult GreedyPositiveRules(const std::vector<LabeledPair>& pairs,
+                                  size_t num_specs,
+                                  const GreedyOptions& options) {
+  return GenerateRules(pairs, num_specs, Direction::kGe, options);
+}
+
+RuleGenResult GreedyNegativeRules(const std::vector<LabeledPair>& pairs,
+                                  size_t num_specs,
+                                  const GreedyOptions& options) {
+  return GenerateRules(pairs, num_specs, Direction::kLe, options);
+}
+
+}  // namespace dime

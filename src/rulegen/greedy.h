@@ -1,0 +1,46 @@
+#ifndef DIME_RULEGEN_GREEDY_H_
+#define DIME_RULEGEN_GREEDY_H_
+
+#include <vector>
+
+#include "src/rulegen/candidates.h"
+
+/// \file greedy.h
+/// The greedy rule-generation algorithm of Section V-C (rule generation is
+/// NP-hard, Theorem 4, so the exact enumeration of enumerate.h only scales
+/// to toy instances). Rules are built predicate-by-predicate: start from
+/// the single best candidate predicate, keep conjoining the predicate that
+/// most improves the objective on the still-satisfying examples, and keep
+/// emitting rules (removing covered examples after each) while the overall
+/// objective improves. Negative rules are generated symmetrically
+/// (Section V-D) and are meant to be applied in generation order — the
+/// scrollbar order.
+
+namespace dime {
+
+struct GreedyOptions {
+  /// Maximum conjuncts per rule (m attributes is the natural bound).
+  size_t max_predicates_per_rule = 4;
+  /// Maximum rules emitted.
+  size_t max_rules = 8;
+};
+
+struct RuleGenResult {
+  std::vector<LearnedRule> rules;
+  int objective = 0;  ///< final F(Sigma, S+, S-) on the training pairs
+};
+
+/// Learns a set of positive rules maximizing |E ∩ S+| - |E ∩ S-|.
+RuleGenResult GreedyPositiveRules(const std::vector<LabeledPair>& pairs,
+                                  size_t num_specs,
+                                  const GreedyOptions& options = {});
+
+/// Learns a sequence of negative rules maximizing |E ∩ S-| - |E ∩ S+|,
+/// in scrollbar order (each rule maximizes the marginal objective).
+RuleGenResult GreedyNegativeRules(const std::vector<LabeledPair>& pairs,
+                                  size_t num_specs,
+                                  const GreedyOptions& options = {});
+
+}  // namespace dime
+
+#endif  // DIME_RULEGEN_GREEDY_H_

@@ -1,0 +1,31 @@
+#include "src/rules/predicate.h"
+
+#include <sstream>
+
+#include "src/common/string_util.h"
+
+namespace dime {
+
+std::string Predicate::ToString(const Schema& schema, Direction dir) const {
+  std::ostringstream out;
+  out << SimFuncName(func) << "(" << schema.AttributeName(attr);
+  if ((IsSetBased(func) || IsWeightedSetBased(func)) &&
+      mode == TokenMode::kWords) {
+    out << ":words";
+  }
+  if (func == SimFunc::kOntology && ontology_index != 0) {
+    out << "@" << ontology_index;
+  }
+  out << ") " << (dir == Direction::kGe ? ">=" : "<=") << " ";
+  // Print counts without a decimal point, fractions with 2-4 digits.
+  if (threshold == static_cast<double>(static_cast<long long>(threshold))) {
+    out << static_cast<long long>(threshold);
+  } else {
+    std::string s = FormatDouble(threshold, 4);
+    while (s.size() > 4 && s.back() == '0') s.pop_back();
+    out << s;
+  }
+  return out.str();
+}
+
+}  // namespace dime

@@ -1,0 +1,118 @@
+#include "src/rules/rule.h"
+
+#include <sstream>
+
+#include "src/common/string_util.h"
+
+namespace dime {
+namespace {
+
+std::string RuleToString(const std::vector<Predicate>& predicates,
+                         const Schema& schema, Direction dir) {
+  std::ostringstream out;
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    if (i > 0) out << " ^ ";
+    out << predicates[i].ToString(schema, dir);
+  }
+  return out.str();
+}
+
+/// Parses a single "func(attr[:words][@k]) op number" conjunct.
+bool ParsePredicate(std::string_view text, const Schema& schema,
+                    Direction expected_dir, Predicate* out) {
+  text = Trim(text);
+  size_t open = text.find('(');
+  size_t close = text.find(')');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open) {
+    return false;
+  }
+  SimFunc func;
+  if (!SimFuncFromName(Trim(text.substr(0, open)), &func)) return false;
+
+  std::string_view inner = Trim(text.substr(open + 1, close - open - 1));
+  TokenMode mode = TokenMode::kValueList;
+  int ontology_index = 0;
+  size_t at = inner.rfind('@');
+  if (at != std::string_view::npos) {
+    double idx;
+    if (!ParseDouble(inner.substr(at + 1), &idx)) return false;
+    ontology_index = static_cast<int>(idx);
+    inner = Trim(inner.substr(0, at));
+  }
+  if (EndsWith(inner, ":words")) {
+    // Tokenization only matters for (weighted) set functions; ignore the
+    // suffix elsewhere so predicates stay canonical under round trips.
+    if (IsSetBased(func) || IsWeightedSetBased(func)) {
+      mode = TokenMode::kWords;
+    }
+    inner = Trim(inner.substr(0, inner.size() - 6));
+  }
+  int attr = schema.AttributeIndex(inner);
+  if (attr < 0) return false;
+
+  std::string_view rest = Trim(text.substr(close + 1));
+  Direction dir;
+  if (StartsWith(rest, ">=")) {
+    dir = Direction::kGe;
+  } else if (StartsWith(rest, "<=")) {
+    dir = Direction::kLe;
+  } else {
+    return false;
+  }
+  if (dir != expected_dir) return false;
+  double threshold;
+  if (!ParseDouble(rest.substr(2), &threshold)) return false;
+
+  out->attr = attr;
+  out->func = func;
+  out->mode = mode;
+  out->threshold = threshold;
+  out->ontology_index = ontology_index;
+  return true;
+}
+
+bool ParseConjunction(std::string_view text, const Schema& schema,
+                      Direction dir, std::vector<Predicate>* out) {
+  std::vector<Predicate> predicates;
+  for (const std::string& piece : SplitAndTrim(std::string(text), '^')) {
+    Predicate p;
+    if (!ParsePredicate(piece, schema, dir, &p)) return false;
+    predicates.push_back(p);
+  }
+  if (predicates.empty()) return false;
+  *out = std::move(predicates);
+  return true;
+}
+
+}  // namespace
+
+std::string PositiveRule::ToString(const Schema& schema) const {
+  return RuleToString(predicates, schema, kDirection);
+}
+
+std::string NegativeRule::ToString(const Schema& schema) const {
+  return RuleToString(predicates, schema, kDirection);
+}
+
+bool ParsePositiveRule(std::string_view text, const Schema& schema,
+                       PositiveRule* out) {
+  std::vector<Predicate> predicates;
+  if (!ParseConjunction(text, schema, Direction::kGe, &predicates)) {
+    return false;
+  }
+  out->predicates = std::move(predicates);
+  return true;
+}
+
+bool ParseNegativeRule(std::string_view text, const Schema& schema,
+                       NegativeRule* out) {
+  std::vector<Predicate> predicates;
+  if (!ParseConjunction(text, schema, Direction::kLe, &predicates)) {
+    return false;
+  }
+  out->predicates = std::move(predicates);
+  return true;
+}
+
+}  // namespace dime

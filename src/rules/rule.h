@@ -1,0 +1,54 @@
+#ifndef DIME_RULES_RULE_H_
+#define DIME_RULES_RULE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/rules/predicate.h"
+
+/// \file rule.h
+/// Positive and negative rules (Section II). A positive rule is a
+/// conjunction of `f(A) >= theta` predicates: true means the two entities
+/// should be categorized together; false means "don't know". A negative
+/// rule is a conjunction of `f(A) <= sigma` predicates: true means the two
+/// entities should *not* be categorized together; false means "don't
+/// know". Positive rules are applied as one disjunction; negative rules
+/// are applied incrementally in sequence (the scrollbar of Fig. 3).
+
+namespace dime {
+
+struct PositiveRule {
+  std::vector<Predicate> predicates;
+
+  static constexpr Direction kDirection = Direction::kGe;
+
+  /// Renders e.g. "overlap(Authors) >= 1 ^ ontology(Venue) >= 0.75".
+  std::string ToString(const Schema& schema) const;
+};
+
+struct NegativeRule {
+  std::vector<Predicate> predicates;
+
+  static constexpr Direction kDirection = Direction::kLe;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Parses one rule from the textual syntax produced by ToString:
+///
+///   rule      := predicate (" ^ " predicate)*
+///   predicate := func "(" attr [":words"] ["@" ontology] ")" op number
+///   func      := overlap | jaccard | dice | cosine | editsim | ontology
+///   op        := ">=" (positive rules) | "<=" (negative rules)
+///
+/// Returns false (and leaves `out` untouched) on syntax errors, unknown
+/// attributes, or the wrong comparison operator for the rule type.
+bool ParsePositiveRule(std::string_view text, const Schema& schema,
+                       PositiveRule* out);
+bool ParseNegativeRule(std::string_view text, const Schema& schema,
+                       NegativeRule* out);
+
+}  // namespace dime
+
+#endif  // DIME_RULES_RULE_H_

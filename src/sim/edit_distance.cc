@@ -1,0 +1,79 @@
+#include "src/sim/edit_distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace dime {
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);  // a is the shorter string
+  std::vector<size_t> prev(a.size() + 1), cur(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) prev[i] = i;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    cur[0] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      size_t sub = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[i] = std::min({sub, prev[i] + 1, cur[i - 1] + 1});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[a.size()];
+}
+
+size_t EditDistanceWithin(std::string_view a, std::string_view b,
+                          size_t max_dist) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (b.size() - a.size() > max_dist) return max_dist + 1;
+  const size_t kInf = std::numeric_limits<size_t>::max() / 2;
+  // Band half-width: cells with |i - j| > max_dist can never contribute.
+  std::vector<size_t> prev(a.size() + 1, kInf), cur(a.size() + 1, kInf);
+  for (size_t i = 0; i <= std::min(a.size(), max_dist); ++i) prev[i] = i;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    size_t lo = j > max_dist ? j - max_dist : 0;
+    size_t hi = std::min(a.size(), j + max_dist);
+    if (lo > hi) return max_dist + 1;
+    std::fill(cur.begin(), cur.end(), kInf);
+    if (lo == 0) cur[0] = j;
+    size_t row_min = kInf;
+    if (lo == 0) row_min = cur[0];
+    for (size_t i = std::max<size_t>(lo, 1); i <= hi; ++i) {
+      size_t sub = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      size_t del = prev[i] + 1;
+      size_t ins = cur[i - 1] + 1;
+      cur[i] = std::min({sub, del, ins});
+      row_min = std::min(row_min, cur[i]);
+    }
+    if (row_min > max_dist) return max_dist + 1;
+    std::swap(prev, cur);
+  }
+  size_t result = prev[a.size()];
+  return result <= max_dist ? result : max_dist + 1;
+}
+
+double EditSimilarity(std::string_view a, std::string_view b) {
+  size_t max_len = std::max(a.size(), b.size());
+  if (max_len == 0) return 1.0;
+  size_t ed = EditDistance(a, b);
+  return 1.0 - static_cast<double>(ed) / static_cast<double>(max_len);
+}
+
+bool EditSimilarityAtLeast(std::string_view a, std::string_view b,
+                           double tau) {
+  size_t max_len = std::max(a.size(), b.size());
+  if (max_len == 0) return tau <= 1.0;
+  if (tau <= 0.0) return true;
+  double allowed = (1.0 - tau) * static_cast<double>(max_len);
+  size_t max_dist = static_cast<size_t>(std::floor(allowed + 1e-9));
+  size_t ed = EditDistanceWithin(a, b, max_dist);
+  return ed <= max_dist;
+}
+
+size_t MaxEditDistanceForSim(size_t len, double tau) {
+  if (tau <= 0.0) return std::numeric_limits<size_t>::max() / 4;
+  double bound = (1.0 - tau) * static_cast<double>(len) / tau;
+  return static_cast<size_t>(std::floor(bound + 1e-9));
+}
+
+}  // namespace dime

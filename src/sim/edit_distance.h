@@ -1,0 +1,38 @@
+#ifndef DIME_SIM_EDIT_DISTANCE_H_
+#define DIME_SIM_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <string_view>
+
+/// \file edit_distance.h
+/// Character-based similarity (Section II). The threshold-aware variant
+/// implements the banded dynamic program whose O(theta * min(|a|, |b|))
+/// cost the paper uses as the verification cost model (Section IV-C).
+
+namespace dime {
+
+/// Plain Levenshtein distance, O(|a| * |b|).
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Banded Levenshtein: returns the exact distance if it is <= `max_dist`,
+/// otherwise returns `max_dist + 1`. O(max_dist * min(|a|, |b|)).
+size_t EditDistanceWithin(std::string_view a, std::string_view b,
+                          size_t max_dist);
+
+/// Normalized edit similarity: 1 - ED(a, b) / max(|a|, |b|).
+/// Both empty -> 1.0.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+/// True iff EditSimilarity(a, b) >= tau, computed with the banded DP so the
+/// cost matches the threshold (used by rule verification).
+bool EditSimilarityAtLeast(std::string_view a, std::string_view b, double tau);
+
+/// The largest edit distance d such that some partner string could still
+/// have EditSimilarity >= tau with a string of length `len`:
+/// d <= (1 - tau) * len / tau. Used by q-gram signature generation. For
+/// tau <= 0 returns a huge bound (no filtering possible).
+size_t MaxEditDistanceForSim(size_t len, double tau);
+
+}  // namespace dime
+
+#endif  // DIME_SIM_EDIT_DISTANCE_H_

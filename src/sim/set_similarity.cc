@@ -1,0 +1,140 @@
+#include "src/sim/set_similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace dime {
+
+size_t IntersectionSize(const std::vector<uint32_t>& a,
+                        const std::vector<uint32_t>& b) {
+  size_t i = 0, j = 0, count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+double OverlapSim(const std::vector<uint32_t>& a,
+                  const std::vector<uint32_t>& b) {
+  return static_cast<double>(IntersectionSize(a, b));
+}
+
+double JaccardSim(const std::vector<uint32_t>& a,
+                  const std::vector<uint32_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t inter = IntersectionSize(a, b);
+  size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double DiceSim(const std::vector<uint32_t>& a,
+               const std::vector<uint32_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t inter = IntersectionSize(a, b);
+  return 2.0 * static_cast<double>(inter) /
+         static_cast<double>(a.size() + b.size());
+}
+
+double CosineSim(const std::vector<uint32_t>& a,
+                 const std::vector<uint32_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t inter = IntersectionSize(a, b);
+  return static_cast<double>(inter) /
+         std::sqrt(static_cast<double>(a.size()) *
+                   static_cast<double>(b.size()));
+}
+
+double SetSimilarity(SimFunc func, const std::vector<uint32_t>& a,
+                     const std::vector<uint32_t>& b) {
+  switch (func) {
+    case SimFunc::kOverlap:
+      return OverlapSim(a, b);
+    case SimFunc::kJaccard:
+      return JaccardSim(a, b);
+    case SimFunc::kDice:
+      return DiceSim(a, b);
+    case SimFunc::kCosine:
+      return CosineSim(a, b);
+    default:
+      DIME_LOG(FATAL) << "SetSimilarity called with non-set function "
+                      << SimFuncName(func);
+      return 0.0;
+  }
+}
+
+double SetSimilarityStrings(SimFunc func, std::vector<std::string> a,
+                            std::vector<std::string> b) {
+  auto canonicalize = [](std::vector<std::string>* v) {
+    std::sort(v->begin(), v->end());
+    v->erase(std::unique(v->begin(), v->end()), v->end());
+  };
+  canonicalize(&a);
+  canonicalize(&b);
+  // Map each distinct string to a rank in the merged sorted order so the
+  // integer kernels can be reused.
+  std::vector<std::string> all;
+  all.reserve(a.size() + b.size());
+  all.insert(all.end(), a.begin(), a.end());
+  all.insert(all.end(), b.begin(), b.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  auto to_ids = [&all](const std::vector<std::string>& v) {
+    std::vector<uint32_t> ids;
+    ids.reserve(v.size());
+    for (const std::string& s : v) {
+      ids.push_back(static_cast<uint32_t>(
+          std::lower_bound(all.begin(), all.end(), s) - all.begin()));
+    }
+    return ids;  // already ascending because v is sorted
+  };
+  return SetSimilarity(func, to_ids(a), to_ids(b));
+}
+
+size_t SetPrefixLength(SimFunc func, size_t size, double theta) {
+  if (size == 0) return 0;
+  size_t required = 0;  // minimum overlap any qualifying partner must have
+  switch (func) {
+    case SimFunc::kOverlap: {
+      double t = std::ceil(theta - 1e-9);
+      if (t <= 0) return size;  // threshold 0: everything qualifies
+      if (t > static_cast<double>(size)) return 0;
+      required = static_cast<size_t>(t);
+      break;
+    }
+    case SimFunc::kJaccard:
+      // o >= theta * |A∪B| >= theta * |A|
+      required = static_cast<size_t>(
+          std::ceil(theta * static_cast<double>(size) - 1e-9));
+      break;
+    case SimFunc::kDice:
+      // 2o/(|A|+|B|) >= t and |B| >= o  =>  o >= t|A|/(2-t)
+      required = static_cast<size_t>(std::ceil(
+          theta * static_cast<double>(size) / (2.0 - theta) - 1e-9));
+      break;
+    case SimFunc::kCosine:
+      // o >= t*sqrt(|A||B|) and |B| >= o  =>  o >= t^2 |A|
+      required = static_cast<size_t>(
+          std::ceil(theta * theta * static_cast<double>(size) - 1e-9));
+      break;
+    default:
+      DIME_LOG(FATAL) << "SetPrefixLength called with non-set function "
+                      << SimFuncName(func);
+      return 0;
+  }
+  if (required == 0) return size;  // threshold too small to filter anything
+  if (required > size) return 0;  // cannot qualify at all
+  return size - required + 1;
+}
+
+}  // namespace dime

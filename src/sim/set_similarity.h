@@ -1,0 +1,60 @@
+#ifndef DIME_SIM_SET_SIMILARITY_H_
+#define DIME_SIM_SET_SIMILARITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/similarity.h"
+
+/// \file set_similarity.h
+/// Set-based similarity over canonical token representations. The canonical
+/// per-value representation is a strictly ascending vector of global token
+/// ranks (rarest token first), produced by TokenDictionary; intersections
+/// then reduce to a sorted-merge in O(|a| + |b|), matching the verification
+/// cost model of Section III/IV-C.
+
+namespace dime {
+
+/// Size of the intersection of two strictly ascending vectors.
+size_t IntersectionSize(const std::vector<uint32_t>& a,
+                        const std::vector<uint32_t>& b);
+
+/// Overlap similarity |A ∩ B| (a count, not normalized).
+double OverlapSim(const std::vector<uint32_t>& a,
+                  const std::vector<uint32_t>& b);
+
+/// Jaccard similarity |A ∩ B| / |A ∪ B|; 1.0 when both sets are empty.
+double JaccardSim(const std::vector<uint32_t>& a,
+                  const std::vector<uint32_t>& b);
+
+/// Dice similarity 2|A ∩ B| / (|A| + |B|); 1.0 when both sets are empty.
+double DiceSim(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b);
+
+/// Cosine similarity |A ∩ B| / sqrt(|A||B|); 1.0 when both sets are empty.
+double CosineSim(const std::vector<uint32_t>& a,
+                 const std::vector<uint32_t>& b);
+
+/// Dispatches to the function above matching `func` (must be set-based).
+double SetSimilarity(SimFunc func, const std::vector<uint32_t>& a,
+                     const std::vector<uint32_t>& b);
+
+/// Convenience overloads on string sets (sorted + deduplicated internally);
+/// used by tests and by code paths that have not interned tokens.
+double SetSimilarityStrings(SimFunc func, std::vector<std::string> a,
+                            std::vector<std::string> b);
+
+/// The length of the prefix (of a rank-sorted value of size `size`) that
+/// must be indexed so that any partner value with similarity >= `theta`
+/// shares at least one prefix token (prefix-filtering principle,
+/// Section IV-B). Returns 0 when no partner can reach `theta` (the value is
+/// too small), in which case the value generates no signatures.
+///
+/// For kOverlap, `theta` is a count: prefix length is |v| - theta + 1.
+/// For normalized set functions the bound uses the partner-size-free
+/// relaxation (e.g. Jaccard >= t implies overlap >= t * |v|).
+size_t SetPrefixLength(SimFunc func, size_t size, double theta);
+
+}  // namespace dime
+
+#endif  // DIME_SIM_SET_SIMILARITY_H_

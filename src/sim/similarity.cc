@@ -1,0 +1,59 @@
+#include "src/sim/similarity.h"
+
+namespace dime {
+
+const char* SimFuncName(SimFunc func) {
+  switch (func) {
+    case SimFunc::kOverlap:
+      return "overlap";
+    case SimFunc::kJaccard:
+      return "jaccard";
+    case SimFunc::kDice:
+      return "dice";
+    case SimFunc::kCosine:
+      return "cosine";
+    case SimFunc::kEditSim:
+      return "editsim";
+    case SimFunc::kOntology:
+      return "ontology";
+    case SimFunc::kWeightedJaccard:
+      return "wjaccard";
+    case SimFunc::kWeightedCosine:
+      return "wcosine";
+  }
+  return "unknown";
+}
+
+bool SimFuncFromName(std::string_view name, SimFunc* out) {
+  for (SimFunc f :
+       {SimFunc::kOverlap, SimFunc::kJaccard, SimFunc::kDice,
+        SimFunc::kCosine, SimFunc::kEditSim, SimFunc::kOntology,
+        SimFunc::kWeightedJaccard, SimFunc::kWeightedCosine}) {
+    if (name == SimFuncName(f)) {
+      *out = f;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsSetBased(SimFunc func) {
+  switch (func) {
+    case SimFunc::kOverlap:
+    case SimFunc::kJaccard:
+    case SimFunc::kDice:
+    case SimFunc::kCosine:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsWeightedSetBased(SimFunc func) {
+  return func == SimFunc::kWeightedJaccard ||
+         func == SimFunc::kWeightedCosine;
+}
+
+bool IsNormalized(SimFunc func) { return func != SimFunc::kOverlap; }
+
+}  // namespace dime

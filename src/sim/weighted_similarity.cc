@@ -1,0 +1,137 @@
+#include "src/sim/weighted_similarity.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace dime {
+namespace {
+
+double WeightOf(const std::vector<double>& weights, uint32_t rank) {
+  DIME_CHECK_LT(rank, weights.size());
+  return weights[rank];
+}
+
+double SquaredNorm(const std::vector<uint32_t>& v,
+                   const std::vector<double>& weights) {
+  double sum = 0.0;
+  for (uint32_t r : v) {
+    double w = WeightOf(weights, r);
+    sum += w * w;
+  }
+  return sum;
+}
+
+}  // namespace
+
+double WeightedJaccardSim(const std::vector<uint32_t>& a,
+                          const std::vector<uint32_t>& b,
+                          const std::vector<double>& weights) {
+  if (a.empty() && b.empty()) return 1.0;
+  double inter = 0.0, uni = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      double w = WeightOf(weights, a[i]);
+      inter += w;
+      uni += w;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      uni += WeightOf(weights, a[i]);
+      ++i;
+    } else {
+      uni += WeightOf(weights, b[j]);
+      ++j;
+    }
+  }
+  for (; i < a.size(); ++i) uni += WeightOf(weights, a[i]);
+  for (; j < b.size(); ++j) uni += WeightOf(weights, b[j]);
+  return uni <= 0.0 ? 0.0 : inter / uni;
+}
+
+double WeightedCosineSim(const std::vector<uint32_t>& a,
+                         const std::vector<uint32_t>& b,
+                         const std::vector<double>& weights) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  double dot = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      double w = WeightOf(weights, a[i]);
+      dot += w * w;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  double denom =
+      std::sqrt(SquaredNorm(a, weights) * SquaredNorm(b, weights));
+  return denom <= 0.0 ? 0.0 : dot / denom;
+}
+
+double WeightedSetSimilarity(SimFunc func, const std::vector<uint32_t>& a,
+                             const std::vector<uint32_t>& b,
+                             const std::vector<double>& weights) {
+  switch (func) {
+    case SimFunc::kWeightedJaccard:
+      return WeightedJaccardSim(a, b, weights);
+    case SimFunc::kWeightedCosine:
+      return WeightedCosineSim(a, b, weights);
+    default:
+      DIME_LOG(FATAL) << "WeightedSetSimilarity: " << SimFuncName(func)
+                      << " is not weighted-set-based";
+      return 0.0;
+  }
+}
+
+size_t WeightedPrefixLength(SimFunc func, const std::vector<uint32_t>& ranks,
+                            const std::vector<double>& weights,
+                            double threshold) {
+  if (ranks.empty()) return 0;
+  if (threshold <= 0.0) return ranks.size();  // cannot filter
+
+  // Ranks ascend => weights descend, the order weighted prefix filtering
+  // requires. Keep extending the prefix until the residual suffix mass can
+  // no longer reach the threshold on its own:
+  //   wjaccard: sim <= w(suffix) / w(A)
+  //   wcosine:  sim <= ||suffix|| / ||A||   (Cauchy-Schwarz)
+  double total;
+  if (func == SimFunc::kWeightedJaccard) {
+    total = 0.0;
+    for (uint32_t r : ranks) total += WeightOf(weights, r);
+  } else {
+    DIME_CHECK(func == SimFunc::kWeightedCosine);
+    total = SquaredNorm(ranks, weights);
+  }
+  if (total <= 0.0) return ranks.size();
+
+  double suffix = total;
+  for (size_t p = 0; p < ranks.size(); ++p) {
+    double w = WeightOf(weights, ranks[p]);
+    suffix -= func == SimFunc::kWeightedJaccard ? w : w * w;
+    double bound = func == SimFunc::kWeightedJaccard
+                       ? suffix / total
+                       : std::sqrt(std::max(suffix, 0.0) / total);
+    if (bound < threshold - 1e-12) return p + 1;
+  }
+  return ranks.size();
+}
+
+std::vector<double> IdfWeightsByRank(
+    const std::vector<uint32_t>& doc_freq_by_rank, size_t num_documents) {
+  std::vector<double> weights;
+  weights.reserve(doc_freq_by_rank.size());
+  for (uint32_t df : doc_freq_by_rank) {
+    double denom = df == 0 ? 1.0 : static_cast<double>(df);
+    weights.push_back(
+        std::log(1.0 + static_cast<double>(num_documents) / denom));
+  }
+  return weights;
+}
+
+}  // namespace dime

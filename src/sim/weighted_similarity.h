@@ -1,0 +1,52 @@
+#ifndef DIME_SIM_WEIGHTED_SIMILARITY_H_
+#define DIME_SIM_WEIGHTED_SIMILARITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/similarity.h"
+
+/// \file weighted_similarity.h
+/// IDF-weighted set similarity (the library's extension beyond the paper's
+/// three similarity classes). Values are the usual strictly ascending
+/// rank vectors; `weights[r]` is the weight of the token with rank r
+/// (idf = ln(1 + n/df), computed by preprocessing). Because ranks order
+/// tokens by ascending document frequency, rank order == descending
+/// weight order, which is exactly the ordering weighted prefix filtering
+/// needs.
+
+namespace dime {
+
+/// w(A ∩ B) / w(A ∪ B); 1.0 when both sets are empty.
+double WeightedJaccardSim(const std::vector<uint32_t>& a,
+                          const std::vector<uint32_t>& b,
+                          const std::vector<double>& weights);
+
+/// Binary-tf cosine: Σ_{t∈A∩B} w_t² / (‖A‖‖B‖) with ‖X‖ = sqrt(Σ w²);
+/// 1.0 when both sets are empty.
+double WeightedCosineSim(const std::vector<uint32_t>& a,
+                         const std::vector<uint32_t>& b,
+                         const std::vector<double>& weights);
+
+/// Dispatches on `func` (must satisfy IsWeightedSetBased).
+double WeightedSetSimilarity(SimFunc func, const std::vector<uint32_t>& a,
+                             const std::vector<uint32_t>& b,
+                             const std::vector<double>& weights);
+
+/// Weighted prefix filtering: the shortest prefix of `ranks` (descending
+/// weight) such that no partner intersecting only the suffix can reach
+/// `threshold`. Guarantees: if sim(A, B) >= threshold then
+/// prefix(A) ∩ prefix(B) != ∅. Returns 0 when the value cannot reach the
+/// threshold with any partner (empty value), `ranks.size()` when no
+/// filtering is possible (threshold <= 0).
+size_t WeightedPrefixLength(SimFunc func, const std::vector<uint32_t>& ranks,
+                            const std::vector<double>& weights,
+                            double threshold);
+
+/// The per-group token weights: idf(r) = ln(1 + n / df(r)) for each rank.
+std::vector<double> IdfWeightsByRank(const std::vector<uint32_t>& doc_freq_by_rank,
+                                     size_t num_documents);
+
+}  // namespace dime
+
+#endif  // DIME_SIM_WEIGHTED_SIMILARITY_H_

@@ -1,0 +1,67 @@
+#include "src/text/tokenizer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace dime {
+
+std::vector<std::string> WhitespaceTokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i > start) tokens.emplace_back(text.substr(start, i - start));
+  }
+  return tokens;
+}
+
+std::vector<std::string> WordTokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<std::string> WordTokenizeUnique(std::string_view text) {
+  std::vector<std::string> tokens = WordTokenize(text);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> unique;
+  unique.reserve(tokens.size());
+  for (std::string& t : tokens) {
+    if (seen.insert(t).second) unique.push_back(std::move(t));
+  }
+  return unique;
+}
+
+std::vector<std::string> QGrams(std::string_view text, int q) {
+  std::vector<std::string> grams;
+  if (text.empty() || q <= 0) return grams;
+  if (text.size() <= static_cast<size_t>(q)) {
+    grams.emplace_back(text);
+    return grams;
+  }
+  grams.reserve(text.size() - q + 1);
+  for (size_t i = 0; i + q <= text.size(); ++i) {
+    grams.emplace_back(text.substr(i, q));
+  }
+  return grams;
+}
+
+}  // namespace dime

@@ -1,0 +1,36 @@
+#ifndef DIME_TEXT_TOKENIZER_H_
+#define DIME_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file tokenizer.h
+/// Tokenization primitives for the set-based and character-based similarity
+/// functions (Section II of the paper). Set-based similarity first "splits
+/// each value into a set of tokens"; character-based similarity (edit
+/// distance) is supported through q-gram extraction for signature
+/// generation (Section IV-B).
+
+namespace dime {
+
+/// Splits on runs of whitespace; tokens are returned verbatim.
+std::vector<std::string> WhitespaceTokenize(std::string_view text);
+
+/// Splits into lower-cased maximal alphanumeric runs ("KATARA: A data..."
+/// -> {"katara", "a", "data", ...}). This is the default tokenizer for
+/// free-text attributes such as Title and Description.
+std::vector<std::string> WordTokenize(std::string_view text);
+
+/// Like WordTokenize but deduplicates tokens, preserving first-seen order
+/// (set semantics for set-based similarity).
+std::vector<std::string> WordTokenizeUnique(std::string_view text);
+
+/// Extracts the positional q-grams of `text` (without padding):
+/// "abcd", q=2 -> {"ab", "bc", "cd"}. If `text` is shorter than q the whole
+/// string is returned as a single gram. Used by edit-distance signatures.
+std::vector<std::string> QGrams(std::string_view text, int q);
+
+}  // namespace dime
+
+#endif  // DIME_TEXT_TOKENIZER_H_

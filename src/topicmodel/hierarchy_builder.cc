@@ -1,0 +1,61 @@
+#include "src/topicmodel/hierarchy_builder.h"
+
+#include <unordered_set>
+
+#include "src/common/logging.h"
+
+namespace dime {
+
+Ontology BuildThemeHierarchy(const std::vector<std::vector<std::string>>& docs,
+                             const HierarchyOptions& options) {
+  Ontology tree;
+  int root = tree.AddRoot("Themes");
+  if (docs.empty()) return tree;
+
+  LdaOptions coarse_opts = options.lda;
+  coarse_opts.num_topics = options.coarse_topics;
+  LdaModel coarse(docs, coarse_opts);
+
+  // Partition documents by dominant coarse topic.
+  std::vector<std::vector<size_t>> members(options.coarse_topics);
+  for (size_t d = 0; d < docs.size(); ++d) {
+    members[coarse.DominantTopic(d)].push_back(d);
+  }
+
+  // Keywords may vote for only one node; track which words are taken so a
+  // word ends up with its strongest theme (first-come in topic order, which
+  // follows descending within-topic frequency).
+  std::unordered_set<std::string> used_keywords;
+
+  for (int t = 0; t < options.coarse_topics; ++t) {
+    if (members[t].empty()) continue;
+    std::string coarse_name = "theme_" + std::to_string(t);
+    int coarse_node = tree.AddNode(coarse_name, root);
+
+    int sub_k = options.sub_topics;
+    if (members[t].size() < static_cast<size_t>(sub_k)) sub_k = 1;
+
+    std::vector<std::vector<std::string>> sub_docs;
+    sub_docs.reserve(members[t].size());
+    for (size_t d : members[t]) sub_docs.push_back(docs[d]);
+
+    LdaOptions sub_opts = options.lda;
+    sub_opts.num_topics = sub_k;
+    sub_opts.seed = options.lda.seed + 1000 + static_cast<uint64_t>(t);
+    LdaModel sub(sub_docs, sub_opts);
+
+    for (int s = 0; s < sub_k; ++s) {
+      std::string sub_name = coarse_name + "_sub_" + std::to_string(s);
+      int sub_node = tree.AddNode(sub_name, coarse_node);
+      for (const std::string& word :
+           sub.TopWords(s, options.keywords_per_node)) {
+        if (used_keywords.insert(word).second) {
+          tree.AddKeyword(word, sub_node);
+        }
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace dime

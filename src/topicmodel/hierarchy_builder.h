@@ -1,0 +1,40 @@
+#ifndef DIME_TOPICMODEL_HIERARCHY_BUILDER_H_
+#define DIME_TOPICMODEL_HIERARCHY_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ontology/ontology.h"
+#include "src/topicmodel/lda.h"
+
+/// \file hierarchy_builder.h
+/// Builds an Ontology ("theme hierarchy") from free text using a two-level
+/// LDA, reproducing the paper's construction of Description ontologies
+/// (Section VI-A). Level 1 clusters the corpus into coarse themes; level 2
+/// refines each coarse theme into subthemes. The resulting tree is
+///
+///     root (depth 1) -> coarse theme (depth 2) -> subtheme (depth 3)
+///
+/// and each subtheme node registers its LDA top words as keywords so that
+/// any text can later be mapped into the tree by keyword voting
+/// (Ontology::MapByKeywords), which is exactly how the fon(Description)
+/// predicates evaluate and how their node signatures are generated.
+
+namespace dime {
+
+struct HierarchyOptions {
+  int coarse_topics = 16;       ///< depth-2 fanout
+  int sub_topics = 2;           ///< depth-3 fanout per coarse topic
+  size_t keywords_per_node = 12;///< top words registered per subtheme
+  LdaOptions lda;               ///< sampler settings (topic counts ignored)
+};
+
+/// Fits the two-level LDA on `docs` (tokenized texts) and returns the theme
+/// hierarchy. Documents that end up in a coarse theme with fewer documents
+/// than `sub_topics` get a single subtheme.
+Ontology BuildThemeHierarchy(const std::vector<std::vector<std::string>>& docs,
+                             const HierarchyOptions& options);
+
+}  // namespace dime
+
+#endif  // DIME_TOPICMODEL_HIERARCHY_BUILDER_H_

@@ -1,0 +1,71 @@
+#ifndef DIME_TOPICMODEL_LDA_H_
+#define DIME_TOPICMODEL_LDA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/text/token_dictionary.h"
+
+/// \file lda.h
+/// Latent Dirichlet Allocation via collapsed Gibbs sampling. The paper uses
+/// LDA to learn a theme hierarchy over product descriptions when no
+/// curated ontology exists ("for product description, we utilized LDA to
+/// learn a theme hierarchy structure", Section VI-A). We implement the
+/// standard collapsed sampler from scratch; hierarchy_builder.h turns the
+/// fitted model into an Ontology usable by the fon(Description) predicates.
+
+namespace dime {
+
+struct LdaOptions {
+  int num_topics = 8;
+  double alpha = 0.5;   ///< document-topic Dirichlet prior
+  double beta = 0.1;    ///< topic-word Dirichlet prior
+  int iterations = 60;  ///< Gibbs sweeps
+  uint64_t seed = 7;
+};
+
+/// A fitted LDA model over a fixed corpus.
+class LdaModel {
+ public:
+  /// Fits on `docs` (each a token list). Tokens are interned internally.
+  LdaModel(const std::vector<std::vector<std::string>>& docs,
+           const LdaOptions& options);
+
+  int num_topics() const { return options_.num_topics; }
+  size_t num_docs() const { return doc_tokens_.size(); }
+  size_t vocab_size() const { return dict_.size(); }
+
+  /// Posterior topic mixture of training document `d` (length num_topics,
+  /// sums to 1).
+  std::vector<double> DocumentTopicMixture(size_t d) const;
+
+  /// argmax topic of training document `d`.
+  int DominantTopic(size_t d) const;
+
+  /// Topic mixture for an unseen document (fold-in by word-topic counts).
+  std::vector<double> InferMixture(const std::vector<std::string>& tokens) const;
+
+  /// argmax topic of an unseen document; -1 if no token is in-vocabulary.
+  int InferTopic(const std::vector<std::string>& tokens) const;
+
+  /// The `k` highest-probability words of `topic`.
+  std::vector<std::string> TopWords(int topic, size_t k) const;
+
+ private:
+  void RunGibbs();
+  double TopicWordProb(int topic, TokenId w) const;
+
+  LdaOptions options_;
+  TokenDictionary dict_;
+  std::vector<std::vector<TokenId>> doc_tokens_;
+  std::vector<std::vector<int>> assignments_;      // z for every token slot
+  std::vector<std::vector<int>> doc_topic_count_;  // [doc][topic]
+  std::vector<std::vector<int>> topic_word_count_; // [topic][word]
+  std::vector<int> topic_count_;                   // total tokens per topic
+};
+
+}  // namespace dime
+
+#endif  // DIME_TOPICMODEL_LDA_H_

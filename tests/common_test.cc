@@ -1,0 +1,56 @@
+// Tests for the remaining common utilities: logging levels and the timer.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/common/logging.h"
+#include "src/common/timer.h"
+
+namespace dime {
+namespace {
+
+TEST(LoggingTest, MinLevelRoundTrip) {
+  LogLevel original = MinLogLevel();
+  SetMinLogLevel(LogLevel::kError);
+  EXPECT_EQ(MinLogLevel(), LogLevel::kError);
+  SetMinLogLevel(original);
+}
+
+TEST(LoggingTest, InfoBelowThresholdIsSwallowed) {
+  LogLevel original = MinLogLevel();
+  SetMinLogLevel(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  DIME_LOG(INFO) << "should not appear";
+  DIME_LOG(ERROR) << "should appear";
+  std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("should not appear"), std::string::npos);
+  EXPECT_NE(err.find("should appear"), std::string::npos);
+  SetMinLogLevel(original);
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  testing::internal::CaptureStderr();
+  DIME_CHECK(1 + 1 == 2) << "never evaluated";
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ DIME_CHECK(false) << "boom"; }, "Check failed: false");
+  EXPECT_DEATH({ DIME_CHECK_EQ(1, 2); }, "Check failed");
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double first = timer.ElapsedSeconds();
+  EXPECT_GE(first, 0.015);
+  EXPECT_LT(first, 5.0);
+  EXPECT_NEAR(timer.ElapsedMillis(), timer.ElapsedSeconds() * 1000.0,
+              timer.ElapsedMillis() * 0.5);
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), first);
+}
+
+}  // namespace
+}  // namespace dime

@@ -1,0 +1,75 @@
+#include "src/rulegen/crossval.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace dime {
+namespace {
+
+LabeledPair Pair(std::vector<double> features, bool positive) {
+  LabeledPair p;
+  p.features = std::move(features);
+  p.positive = positive;
+  return p;
+}
+
+/// A cleanly separable dataset: positive iff feature0 >= 0.5.
+std::vector<LabeledPair> Separable(size_t n) {
+  Random rng(3);
+  std::vector<LabeledPair> pairs;
+  for (size_t i = 0; i < n; ++i) {
+    bool positive = rng.Bernoulli(0.5);
+    double f = positive ? 0.5 + rng.UniformDouble() * 0.5
+                        : rng.UniformDouble() * 0.4;
+    pairs.push_back(Pair({f, rng.UniformDouble()}, positive));
+  }
+  return pairs;
+}
+
+TEST(CrossValTest, PerfectLearnerScoresPerfectly) {
+  auto pairs = Separable(60);
+  PairLearner oracle = [](const std::vector<LabeledPair>&) -> PairClassifier {
+    return [](const std::vector<double>& f) { return f[0] >= 0.5; };
+  };
+  CrossValResult r = KFoldCrossValidate(pairs, 5, oracle);
+  EXPECT_DOUBLE_EQ(r.mean_f1, 1.0);
+  EXPECT_EQ(r.fold_f1.size(), 5u);
+}
+
+TEST(CrossValTest, ConstantLearnerHasLowPrecision) {
+  auto pairs = Separable(60);
+  PairLearner always_yes =
+      [](const std::vector<LabeledPair>&) -> PairClassifier {
+    return [](const std::vector<double>&) { return true; };
+  };
+  CrossValResult r = KFoldCrossValidate(pairs, 5, always_yes);
+  EXPECT_DOUBLE_EQ(r.mean_recall, 1.0);
+  EXPECT_LT(r.mean_precision, 0.9);
+}
+
+TEST(CrossValTest, DeterministicForSameSeed) {
+  auto pairs = Separable(40);
+  PairLearner learner = MakeDimeRuleLearner(2);
+  CrossValResult a = KFoldCrossValidate(pairs, 4, learner, 7);
+  CrossValResult b = KFoldCrossValidate(pairs, 4, learner, 7);
+  EXPECT_EQ(a.fold_f1, b.fold_f1);
+}
+
+TEST(CrossValTest, DimeRuleLearnerLearnsSeparableConcept) {
+  auto pairs = Separable(100);
+  CrossValResult r = KFoldCrossValidate(pairs, 5, MakeDimeRuleLearner(2));
+  EXPECT_GT(r.mean_f1, 0.9);
+}
+
+TEST(CrossValTest, FoldCountRespected) {
+  auto pairs = Separable(30);
+  for (int folds : {2, 3, 10}) {
+    CrossValResult r =
+        KFoldCrossValidate(pairs, folds, MakeDimeRuleLearner(2));
+    EXPECT_EQ(r.fold_f1.size(), static_cast<size_t>(folds));
+  }
+}
+
+}  // namespace
+}  // namespace dime

@@ -1,0 +1,50 @@
+#include "src/common/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace dime {
+namespace {
+
+TEST(TsvTest, ParseBasic) {
+  std::vector<TsvRow> rows = ParseTsv("a\tb\tc\n1\t2\t3\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (TsvRow{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (TsvRow{"1", "2", "3"}));
+}
+
+TEST(TsvTest, ParseSkipsEmptyLinesAndCr) {
+  std::vector<TsvRow> rows = ParseTsv("a\tb\r\n\n\nc\td\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (TsvRow{"a", "b"}));
+  EXPECT_EQ(rows[1], (TsvRow{"c", "d"}));
+}
+
+TEST(TsvTest, FormatRoundTrip) {
+  std::vector<TsvRow> rows{{"x", "y"}, {"1", ""}};
+  EXPECT_EQ(ParseTsv(FormatTsv(rows)), rows);
+}
+
+TEST(TsvTest, FileRoundTrip) {
+  std::string path = testing::TempDir() + "/dime_tsv_test.tsv";
+  std::vector<TsvRow> rows{{"Title", "Authors"}, {"KATARA", "Chu|Tang"}};
+  ASSERT_TRUE(WriteTsvFile(path, rows));
+  std::vector<TsvRow> readback;
+  ASSERT_TRUE(ReadTsvFile(path, &readback));
+  EXPECT_EQ(readback, rows);
+}
+
+TEST(TsvTest, ReadMissingFileFails) {
+  std::vector<TsvRow> rows;
+  EXPECT_FALSE(ReadTsvFile("/nonexistent/path/file.tsv", &rows));
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(TsvTest, MultiValueRoundTrip) {
+  std::vector<std::string> values{"Nan Tang", "Guoliang Li"};
+  EXPECT_EQ(SplitMultiValue(JoinMultiValue(values)), values);
+  EXPECT_EQ(SplitMultiValue(" a | b |"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(SplitMultiValue("").empty());
+}
+
+}  // namespace
+}  // namespace dime

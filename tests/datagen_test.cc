@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "src/datagen/amazon_gen.h"
+#include "src/datagen/dbgen_gen.h"
+#include "src/datagen/names.h"
+#include "src/datagen/scholar_gen.h"
+#include "src/text/tokenizer.h"
+
+namespace dime {
+namespace {
+
+TEST(NamesTest, PoolsAreNonTrivialAndDistinct) {
+  EXPECT_GE(FirstNames().size(), 50u);
+  EXPECT_GE(LastNames().size(), 70u);
+  std::set<std::string> firsts(FirstNames().begin(), FirstNames().end());
+  EXPECT_EQ(firsts.size(), FirstNames().size());
+}
+
+TEST(NamesTest, RandomDistinctNamesAreDistinct) {
+  Random rng(1);
+  auto names = RandomDistinctNames(&rng, 200);
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), 200u);
+}
+
+TEST(NamesTest, NameVariantDiffersButKeepsLastName) {
+  Random rng(2);
+  for (int i = 0; i < 20; ++i) {
+    std::string variant = NameVariant("Nan Tang", &rng);
+    EXPECT_NE(variant, "Nan Tang");
+    EXPECT_NE(variant.find("Tang"), std::string::npos);
+  }
+}
+
+TEST(NamesTest, SiblingCategoriesShareDepartment) {
+  const auto& cats = ProductCategories();
+  for (size_t c = 0; c < cats.size(); ++c) {
+    std::vector<int> siblings = SiblingCategories(static_cast<int>(c));
+    EXPECT_FALSE(siblings.empty());
+    for (int s : siblings) {
+      EXPECT_NE(s, static_cast<int>(c));
+      EXPECT_EQ(cats[s].department, cats[c].department);
+    }
+  }
+}
+
+TEST(ScholarGenTest, StructureAndTruth) {
+  ScholarGenOptions options;
+  options.num_correct = 100;
+  options.seed = 3;
+  Group g = GenerateScholarGroup("Jane Doe", options);
+  ASSERT_TRUE(g.has_truth());
+  EXPECT_EQ(g.schema.size(), 6u);
+  size_t expected_errors = options.chem_namesake_pubs +
+                           options.cs_namesake_pubs + options.garbage_pubs;
+  EXPECT_EQ(g.TrueErrorIndices().size(), expected_errors);
+  size_t expected_total = options.num_correct + options.variant_correct_pubs +
+                          options.secondary_field_pubs +
+                          options.side_interest_pubs + expected_errors;
+  EXPECT_EQ(g.size(), expected_total);
+}
+
+TEST(ScholarGenTest, DeterministicPerSeed) {
+  ScholarGenOptions options;
+  options.num_correct = 30;
+  options.seed = 5;
+  Group a = GenerateScholarGroup("X", options);
+  Group b = GenerateScholarGroup("X", options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.entities[i].values, b.entities[i].values);
+  }
+  options.seed = 6;
+  Group c = GenerateScholarGroup("X", options);
+  bool any_diff = false;
+  for (size_t i = 0; i < std::min(a.size(), c.size()); ++i) {
+    any_diff |= a.entities[i].values != c.entities[i].values;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ScholarGenTest, OwnerAppearsInMostEntities) {
+  ScholarGenOptions options;
+  options.num_correct = 100;
+  options.seed = 7;
+  Group g = GenerateScholarGroup("Jane Doe", options);
+  size_t with_owner = 0;
+  for (const Entity& e : g.entities) {
+    for (const std::string& a : e.value(kScholarAuthors)) {
+      if (a == "Jane Doe") {
+        ++with_owner;
+        break;
+      }
+    }
+  }
+  // Everything except variants and garbage carries the exact owner name.
+  EXPECT_GE(with_owner,
+            g.size() - options.variant_correct_pubs - options.garbage_pubs);
+}
+
+TEST(ScholarGenTest, ErrorsUseForeignCollaborators) {
+  ScholarGenOptions options;
+  options.num_correct = 60;
+  options.seed = 9;
+  Group g = GenerateScholarGroup("Jane Doe", options);
+  // Collect coauthors of correct vs error pubs (minus the owner).
+  std::set<std::string> correct_coauthors, error_coauthors;
+  for (size_t i = 0; i < g.size(); ++i) {
+    for (const std::string& a : g.entities[i].value(kScholarAuthors)) {
+      if (a == "Jane Doe") continue;
+      (g.truth[i] ? error_coauthors : correct_coauthors).insert(a);
+    }
+  }
+  for (const std::string& a : error_coauthors) {
+    EXPECT_FALSE(correct_coauthors.count(a)) << a;
+  }
+}
+
+TEST(AmazonGenTest, ErrorRateIsRespected) {
+  for (double e : {0.1, 0.4}) {
+    AmazonGenOptions options;
+    options.num_correct = 100;
+    options.error_rate = e;
+    options.seed = 11;
+    Group g = GenerateAmazonGroup(0, options);
+    ASSERT_TRUE(g.has_truth());
+    double measured =
+        static_cast<double>(g.TrueErrorIndices().size()) /
+        static_cast<double>(g.size());
+    EXPECT_NEAR(measured, e, 0.05);
+  }
+}
+
+TEST(AmazonGenTest, CorrectProductsReferenceInCategoryAsins) {
+  AmazonGenOptions options;
+  options.num_correct = 50;
+  options.seed = 13;
+  Group g = GenerateAmazonGroup(2, options);
+  std::unordered_set<std::string> in_category;
+  for (size_t i = 0; i < g.size(); ++i) {
+    if (!g.truth[i]) in_category.insert(g.entities[i].id);
+  }
+  for (size_t i = 0; i < g.size(); ++i) {
+    if (g.truth[i]) continue;
+    if (g.entities[i].value(kAmazonAlsoBought).empty()) continue;  // sparse
+    size_t hits = 0;
+    for (const std::string& asin : g.entities[i].value(kAmazonAlsoBought)) {
+      hits += in_category.count(asin);
+    }
+    EXPECT_GT(hits, 0u) << g.entities[i].id;
+  }
+}
+
+TEST(AmazonGenTest, ErrorsComeFromSiblingCategories) {
+  AmazonGenOptions options;
+  options.num_correct = 50;
+  options.error_rate = 0.3;
+  options.seed = 15;
+  Group g = GenerateAmazonGroup(0, options);  // Router (Electronics)
+  // Error descriptions use sibling vocabulary, not Router vocabulary.
+  const auto& cats = ProductCategories();
+  std::set<std::string> router_words(cats[0].desc_words.begin(),
+                                     cats[0].desc_words.end());
+  size_t errors_with_mostly_foreign_words = 0;
+  size_t errors = 0;
+  for (size_t i = 0; i < g.size(); ++i) {
+    if (!g.truth[i]) continue;
+    ++errors;
+    size_t router_hits = 0, total = 0;
+    for (const std::string& w :
+         WordTokenize(g.entities[i].value(kAmazonDescription)[0])) {
+      ++total;
+      router_hits += router_words.count(w);
+    }
+    if (router_hits * 2 < total) ++errors_with_mostly_foreign_words;
+  }
+  EXPECT_EQ(errors_with_mostly_foreign_words, errors);
+}
+
+TEST(DbgenTest, SizeAndComposition) {
+  DbgenOptions options;
+  options.num_entities = 1000;
+  options.seed = 17;
+  Group g = GenerateDbgenGroup(options);
+  EXPECT_EQ(g.size(), 1000u);
+  size_t errors = g.TrueErrorIndices().size();
+  EXPECT_NEAR(static_cast<double>(errors), 150.0, 20.0);  // ~15% tail
+}
+
+TEST(DbgenTest, RulesParse) {
+  EXPECT_EQ(DbgenPositiveRules().size(), 2u);
+  EXPECT_EQ(DbgenNegativeRules().size(), 2u);
+}
+
+TEST(DbgenTest, CoreIsDenserThanTail) {
+  DbgenOptions options;
+  options.num_entities = 500;
+  options.seed = 19;
+  Group g = GenerateDbgenGroup(options);
+  // Tail entities use block-tagged tokens; core entities use "ref..."
+  for (size_t i = 0; i < g.size(); ++i) {
+    const auto& refs = g.entities[i].value(kDbgenRefs);
+    ASSERT_FALSE(refs.empty());
+    bool block_tagged = refs[0].rfind("blk", 0) == 0;
+    EXPECT_EQ(block_tagged, static_cast<bool>(g.truth[i]));
+  }
+}
+
+}  // namespace
+}  // namespace dime

@@ -1,0 +1,118 @@
+#include "src/baselines/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace dime {
+namespace {
+
+LabeledPair Pair(std::vector<double> features, bool positive) {
+  LabeledPair p;
+  p.features = std::move(features);
+  p.positive = positive;
+  return p;
+}
+
+TEST(DecisionTreeTest, LearnsAxisAlignedConcept) {
+  // Positive iff f0 >= 0.5.
+  std::vector<LabeledPair> pairs;
+  Random rng(5);
+  for (int i = 0; i < 100; ++i) {
+    double f0 = rng.UniformDouble();
+    pairs.push_back(Pair({f0, rng.UniformDouble()}, f0 >= 0.5));
+  }
+  DecisionTree tree;
+  tree.Train(pairs);
+  int correct = 0;
+  for (const auto& p : pairs) {
+    correct += tree.Predict(p.features) == p.positive ? 1 : 0;
+  }
+  EXPECT_GT(correct, 97);
+}
+
+TEST(DecisionTreeTest, LearnsConjunction) {
+  // Positive iff f0 >= 0.5 AND f1 >= 0.5 (needs depth 2).
+  std::vector<LabeledPair> pairs;
+  Random rng(7);
+  for (int i = 0; i < 200; ++i) {
+    double f0 = rng.UniformDouble(), f1 = rng.UniformDouble();
+    pairs.push_back(Pair({f0, f1}, f0 >= 0.5 && f1 >= 0.5));
+  }
+  DecisionTree tree;
+  tree.Train(pairs);
+  int correct = 0;
+  for (const auto& p : pairs) {
+    correct += tree.Predict(p.features) == p.positive ? 1 : 0;
+  }
+  EXPECT_GT(correct, 195);
+}
+
+TEST(DecisionTreeTest, DepthLimitCapsComplexity) {
+  // XOR-like concept is not learnable at depth 1.
+  std::vector<LabeledPair> pairs;
+  Random rng(9);
+  for (int i = 0; i < 200; ++i) {
+    double f0 = rng.UniformDouble(), f1 = rng.UniformDouble();
+    pairs.push_back(Pair({f0, f1}, (f0 >= 0.5) != (f1 >= 0.5)));
+  }
+  DecisionTreeOptions shallow;
+  shallow.max_depth = 1;
+  DecisionTree stump;
+  stump.Train(pairs, shallow);
+  EXPECT_LE(stump.num_nodes(), 3u);
+
+  DecisionTreeOptions deep;
+  deep.max_depth = 4;
+  DecisionTree tree;
+  tree.Train(pairs, deep);
+  int stump_correct = 0, tree_correct = 0;
+  for (const auto& p : pairs) {
+    stump_correct += stump.Predict(p.features) == p.positive ? 1 : 0;
+    tree_correct += tree.Predict(p.features) == p.positive ? 1 : 0;
+  }
+  EXPECT_GT(tree_correct, stump_correct);
+}
+
+TEST(DecisionTreeTest, PureLeafOnConstantLabels) {
+  std::vector<LabeledPair> pairs{Pair({0.1}, true), Pair({0.9}, true)};
+  DecisionTree tree;
+  tree.Train(pairs);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_TRUE(tree.Predict({0.5}));
+}
+
+TEST(DecisionTreeTest, ExtractsLowerBoundRules) {
+  // Positive iff f0 >= 0.5: the positive path is a single >= conjunct.
+  std::vector<LabeledPair> pairs;
+  Random rng(13);
+  for (int i = 0; i < 100; ++i) {
+    double f0 = rng.UniformDouble();
+    pairs.push_back(Pair({f0}, f0 >= 0.5));
+  }
+  DecisionTree tree;
+  tree.Train(pairs);
+  std::vector<LearnedRule> rules = tree.ExtractPositiveRules();
+  ASSERT_FALSE(rules.empty());
+  // The extracted rule classifies the training data correctly.
+  for (const auto& p : pairs) {
+    bool any = false;
+    for (const auto& r : rules) any |= r.SatisfiedGe(p.features);
+    EXPECT_EQ(any, p.positive);
+  }
+}
+
+TEST(DecisionTreeTest, LearnerPluggableIntoCrossValidation) {
+  std::vector<LabeledPair> pairs;
+  Random rng(15);
+  for (int i = 0; i < 120; ++i) {
+    double f0 = rng.UniformDouble();
+    pairs.push_back(Pair({f0, rng.UniformDouble()}, f0 >= 0.4));
+  }
+  CrossValResult r =
+      KFoldCrossValidate(pairs, 4, MakeDecisionTreeLearner());
+  EXPECT_GT(r.mean_f1, 0.9);
+}
+
+}  // namespace
+}  // namespace dime

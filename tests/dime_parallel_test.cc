@@ -1,0 +1,86 @@
+#include "src/core/dime_parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/dbgen_gen.h"
+#include "src/datagen/presets.h"
+#include "src/datagen/scholar_gen.h"
+
+namespace dime {
+namespace {
+
+void ExpectSameResult(const DimeResult& a, const DimeResult& b) {
+  EXPECT_EQ(a.partitions, b.partitions);
+  EXPECT_EQ(a.pivot, b.pivot);
+  EXPECT_EQ(a.flagged_by_prefix, b.flagged_by_prefix);
+}
+
+class ParallelEquivalenceTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelEquivalenceTest, MatchesSequentialOnScholar) {
+  ScholarSetup setup = MakeScholarSetup();
+  ScholarGenOptions gen;
+  gen.num_correct = 90;
+  gen.seed = 31;
+  Group group = GenerateScholarGroup("Parallel Owner", gen);
+  PreparedGroup pg =
+      PrepareGroup(group, setup.positive, setup.negative, setup.context);
+  DimeResult sequential = RunDime(pg, setup.positive, setup.negative);
+  ParallelOptions options;
+  options.num_threads = GetParam();
+  DimeResult parallel =
+      RunDimeParallel(pg, setup.positive, setup.negative, options);
+  ExpectSameResult(sequential, parallel);
+  // Same amount of positive work, just distributed.
+  EXPECT_EQ(sequential.stats.positive_pair_checks,
+            parallel.stats.positive_pair_checks);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 8));
+
+TEST(ParallelEquivalenceTest, MatchesSequentialOnDbgen) {
+  DbgenOptions options;
+  options.num_entities = 800;
+  options.seed = 33;
+  Group group = GenerateDbgenGroup(options);
+  std::vector<PositiveRule> pos = DbgenPositiveRules();
+  std::vector<NegativeRule> neg = DbgenNegativeRules();
+  PreparedGroup pg = PrepareGroup(group, pos, neg, {});
+  ExpectSameResult(RunDime(pg, pos, neg), RunDimeParallel(pg, pos, neg));
+}
+
+TEST(ParallelTest, EmptyGroup) {
+  Group g;
+  g.schema = Schema({"Authors"});
+  std::vector<PositiveRule> pos(1);
+  std::vector<NegativeRule> neg(1);
+  ASSERT_TRUE(ParsePositiveRule("overlap(Authors) >= 1", g.schema, &pos[0]));
+  ASSERT_TRUE(ParseNegativeRule("overlap(Authors) <= 0", g.schema, &neg[0]));
+  PreparedGroup pg = PrepareGroup(g, pos, neg, {});
+  DimeResult r = RunDimeParallel(pg, pos, neg);
+  EXPECT_TRUE(r.partitions.empty());
+  EXPECT_EQ(r.pivot, -1);
+}
+
+TEST(ParallelTest, MoreThreadsThanEntities) {
+  Group g;
+  g.schema = Schema({"Authors"});
+  for (int i = 0; i < 3; ++i) {
+    Entity e;
+    e.id = "e" + std::to_string(i);
+    e.values = {{"a"}};
+    g.entities.push_back(std::move(e));
+  }
+  std::vector<PositiveRule> pos(1);
+  ASSERT_TRUE(ParsePositiveRule("overlap(Authors) >= 1", g.schema, &pos[0]));
+  PreparedGroup pg = PrepareGroup(g, pos, {}, {});
+  ParallelOptions options;
+  options.num_threads = 32;
+  DimeResult r = RunDimeParallel(pg, pos, {}, options);
+  ASSERT_EQ(r.partitions.size(), 1u);
+  EXPECT_EQ(r.partitions[0], (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace dime

@@ -1,0 +1,184 @@
+// The central correctness property of DIME+ (Algorithm 2): it must produce
+// exactly the same result as the naive Algorithm 1 on any input — the
+// signature filters are complete and verification computes the same
+// similarities. Exercised across the scholar, amazon and dbgen generators
+// and across engine option ablations.
+
+#include "src/core/dime_plus.h"
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/amazon_gen.h"
+#include "src/datagen/dbgen_gen.h"
+#include "src/datagen/presets.h"
+#include "src/datagen/scholar_gen.h"
+
+namespace dime {
+namespace {
+
+void ExpectSameResult(const DimeResult& a, const DimeResult& b) {
+  EXPECT_EQ(a.partitions, b.partitions);
+  EXPECT_EQ(a.pivot, b.pivot);
+  EXPECT_EQ(a.flagged_by_prefix, b.flagged_by_prefix);
+}
+
+class ScholarEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScholarEquivalenceTest, DimePlusMatchesDime) {
+  ScholarSetup setup = MakeScholarSetup();
+  ScholarGenOptions options;
+  options.num_correct = 80;
+  options.seed = GetParam();
+  Group group = GenerateScholarGroup("Owner", options);
+  PreparedGroup pg =
+      PrepareGroup(group, setup.positive, setup.negative, setup.context);
+  DimeResult naive = RunDime(pg, setup.positive, setup.negative);
+  DimeResult fast = RunDimePlus(pg, setup.positive, setup.negative);
+  ExpectSameResult(naive, fast);
+  // And the filter must actually prune work.
+  EXPECT_LT(fast.stats.positive_pair_checks,
+            naive.stats.positive_pair_checks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScholarEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+class AmazonEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AmazonEquivalenceTest, DimePlusMatchesDime) {
+  AmazonGenOptions options;
+  options.num_correct = 60;
+  options.error_rate = 0.25;
+  options.seed = GetParam();
+  std::vector<Group> corpus{
+      GenerateAmazonGroup(0, options),
+      GenerateAmazonGroup(6, options),
+  };
+  AmazonSetup setup = MakeAmazonSetup(corpus);
+  for (const Group& group : corpus) {
+    PreparedGroup pg =
+        PrepareGroup(group, setup.positive, setup.negative, setup.context);
+    DimeResult naive = RunDime(pg, setup.positive, setup.negative);
+    DimeResult fast = RunDimePlus(pg, setup.positive, setup.negative);
+    ExpectSameResult(naive, fast);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AmazonEquivalenceTest,
+                         ::testing::Values(11, 12, 13, 14));
+
+TEST(DbgenEquivalenceTest, DimePlusMatchesDime) {
+  DbgenOptions options;
+  options.num_entities = 600;
+  for (uint64_t seed : {21u, 22u}) {
+    options.seed = seed;
+    Group group = GenerateDbgenGroup(options);
+    std::vector<PositiveRule> pos = DbgenPositiveRules();
+    std::vector<NegativeRule> neg = DbgenNegativeRules();
+    PreparedGroup pg = PrepareGroup(group, pos, neg, {});
+    DimeResult naive = RunDime(pg, pos, neg);
+    DimeResult fast = RunDimePlus(pg, pos, neg);
+    ExpectSameResult(naive, fast);
+  }
+}
+
+TEST(DimePlusOptionsTest, AblationsPreserveTheResult) {
+  ScholarSetup setup = MakeScholarSetup();
+  ScholarGenOptions options;
+  options.num_correct = 60;
+  options.seed = 99;
+  Group group = GenerateScholarGroup("Owner", options);
+  PreparedGroup pg =
+      PrepareGroup(group, setup.positive, setup.negative, setup.context);
+  DimeResult reference = RunDimePlus(pg, setup.positive, setup.negative);
+
+  DimePlusOptions no_benefit;
+  no_benefit.benefit_order = false;
+  ExpectSameResult(reference,
+                   RunDimePlus(pg, setup.positive, setup.negative, no_benefit));
+
+  DimePlusOptions no_transitivity;
+  no_transitivity.transitivity_skip = false;
+  ExpectSameResult(
+      reference,
+      RunDimePlus(pg, setup.positive, setup.negative, no_transitivity));
+
+  DimePlusOptions tiny_tuples;
+  tiny_tuples.signatures.max_tuple_signatures = 1;
+  ExpectSameResult(
+      reference,
+      RunDimePlus(pg, setup.positive, setup.negative, tiny_tuples));
+
+  // Both positive-verification strategies — materialized exact-benefit
+  // ordering and streaming off the inverted lists — must agree.
+  DimePlusOptions always_stream;
+  always_stream.exact_benefit_cap = 0;
+  ExpectSameResult(
+      reference,
+      RunDimePlus(pg, setup.positive, setup.negative, always_stream));
+
+  DimePlusOptions always_exact;
+  always_exact.exact_benefit_cap = static_cast<size_t>(-1);
+  ExpectSameResult(
+      reference,
+      RunDimePlus(pg, setup.positive, setup.negative, always_exact));
+}
+
+TEST(DimePlusOptionsTest, TransitivitySkipReducesVerifications) {
+  ScholarSetup setup = MakeScholarSetup();
+  ScholarGenOptions options;
+  options.num_correct = 120;
+  options.seed = 5;
+  Group group = GenerateScholarGroup("Owner", options);
+  PreparedGroup pg =
+      PrepareGroup(group, setup.positive, setup.negative, setup.context);
+
+  DimePlusOptions with_skip;  // default
+  DimePlusOptions without_skip;
+  without_skip.transitivity_skip = false;
+  DimeResult a = RunDimePlus(pg, setup.positive, setup.negative, with_skip);
+  DimeResult b =
+      RunDimePlus(pg, setup.positive, setup.negative, without_skip);
+  EXPECT_LT(a.stats.positive_pair_checks, b.stats.positive_pair_checks);
+}
+
+TEST(DimePlusTest, EmptyGroup) {
+  Group g;
+  g.schema = Schema({"Authors"});
+  std::vector<PositiveRule> pos(1);
+  std::vector<NegativeRule> neg(1);
+  ASSERT_TRUE(ParsePositiveRule("overlap(Authors) >= 1", g.schema, &pos[0]));
+  ASSERT_TRUE(ParseNegativeRule("overlap(Authors) <= 0", g.schema, &neg[0]));
+  DimeResult r = RunDimePlus(g, pos, neg, {});
+  EXPECT_TRUE(r.partitions.empty());
+  EXPECT_EQ(r.pivot, -1);
+  ASSERT_EQ(r.flagged_by_prefix.size(), 1u);
+}
+
+TEST(DimePlusTest, FilterPrunesPartitionsWithoutVerification) {
+  // Two blocks with completely disjoint vocabulary: the negative-rule
+  // partition filter should decide without pair verification.
+  Group g;
+  g.schema = Schema({"Authors"});
+  auto add = [&](std::vector<std::string> authors) {
+    Entity e;
+    e.id = "e" + std::to_string(g.entities.size());
+    e.values = {std::move(authors)};
+    g.entities.push_back(std::move(e));
+  };
+  add({"a", "b"});
+  add({"a", "b"});
+  add({"a", "b"});
+  add({"x", "y"});
+  std::vector<PositiveRule> pos(1);
+  std::vector<NegativeRule> neg(1);
+  ASSERT_TRUE(ParsePositiveRule("overlap(Authors) >= 2", g.schema, &pos[0]));
+  ASSERT_TRUE(ParseNegativeRule("overlap(Authors) <= 0", g.schema, &neg[0]));
+  DimeResult r = RunDimePlus(g, pos, neg, {});
+  EXPECT_EQ(r.flagged(), (std::vector<int>{3}));
+  EXPECT_EQ(r.stats.partitions_pruned_by_filter, 1u);
+  EXPECT_EQ(r.stats.negative_pair_checks, 0u);
+}
+
+}  // namespace
+}  // namespace dime

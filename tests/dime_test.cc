@@ -1,0 +1,167 @@
+// Unit tests for Algorithm 1 (the basic DIME framework): partitioning,
+// pivot selection, scrollbar semantics, and edge cases.
+
+#include "src/core/dime.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ontology/builtin.h"
+
+namespace dime {
+namespace {
+
+/// Group over a single Authors attribute; overlap rules only.
+Group AuthorsGroup(std::vector<std::vector<std::string>> author_lists) {
+  Group g;
+  g.name = "authors";
+  g.schema = Schema({"Authors"});
+  for (size_t i = 0; i < author_lists.size(); ++i) {
+    Entity e;
+    e.id = "e" + std::to_string(i);
+    e.values = {std::move(author_lists[i])};
+    g.entities.push_back(std::move(e));
+  }
+  return g;
+}
+
+std::vector<PositiveRule> OverlapPositive(double theta) {
+  PositiveRule r;
+  Predicate p;
+  p.attr = 0;
+  p.func = SimFunc::kOverlap;
+  p.threshold = theta;
+  r.predicates = {p};
+  return {r};
+}
+
+std::vector<NegativeRule> OverlapNegative(std::vector<double> sigmas) {
+  std::vector<NegativeRule> rules;
+  for (double s : sigmas) {
+    NegativeRule r;
+    Predicate p;
+    p.attr = 0;
+    p.func = SimFunc::kOverlap;
+    p.threshold = s;
+    r.predicates = {p};
+    rules.push_back(r);
+  }
+  return rules;
+}
+
+TEST(DimeTest, EmptyGroup) {
+  Group g = AuthorsGroup({});
+  DimeResult r = RunDime(g, OverlapPositive(1), OverlapNegative({0}), {});
+  EXPECT_TRUE(r.partitions.empty());
+  EXPECT_EQ(r.pivot, -1);
+  ASSERT_EQ(r.flagged_by_prefix.size(), 1u);
+  EXPECT_TRUE(r.flagged_by_prefix[0].empty());
+  EXPECT_TRUE(r.flagged().empty());
+}
+
+TEST(DimeTest, SingleEntityIsItsOwnPivot) {
+  Group g = AuthorsGroup({{"a"}});
+  DimeResult r = RunDime(g, OverlapPositive(1), OverlapNegative({0}), {});
+  ASSERT_EQ(r.partitions.size(), 1u);
+  EXPECT_EQ(r.pivot, 0);
+  EXPECT_TRUE(r.flagged().empty());
+}
+
+TEST(DimeTest, TransitivityChainsPartitions) {
+  // a-b share x; b-c share y; c-d share z: all one partition despite a and
+  // d sharing nothing.
+  Group g = AuthorsGroup({{"x", "p"}, {"x", "y"}, {"y", "z"}, {"z", "q"}});
+  DimeResult r = RunDime(g, OverlapPositive(1), {}, {});
+  ASSERT_EQ(r.partitions.size(), 1u);
+  EXPECT_EQ(r.partitions[0], (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(DimeTest, NoRulesMeansSingletons) {
+  Group g = AuthorsGroup({{"a"}, {"a"}, {"a"}});
+  DimeResult r = RunDime(g, {}, {}, {});
+  EXPECT_EQ(r.partitions.size(), 3u);
+  // Pivot tie-break: the smallest partition index wins.
+  EXPECT_EQ(r.pivot, 0);
+  EXPECT_TRUE(r.flagged_by_prefix.empty());
+}
+
+TEST(DimeTest, PivotIsLargestPartition) {
+  Group g = AuthorsGroup({{"a"}, {"a"}, {"a"}, {"b"}, {"b"}, {"c"}});
+  DimeResult r = RunDime(g, OverlapPositive(1), {}, {});
+  ASSERT_EQ(r.partitions.size(), 3u);
+  EXPECT_EQ(r.partitions[r.pivot], (std::vector<int>{0, 1, 2}));
+}
+
+TEST(DimeTest, NegativeRuleRequiresDissimilarityFromWholePivot) {
+  // Pivot {0,1,2} share authors {a,b}. Entity 3 shares author a with every
+  // pivot member (overlap 1), entity 4 shares nothing.
+  Group g = AuthorsGroup({{"a", "b", "x"},
+                          {"a", "b", "y"},
+                          {"a", "b", "z"},
+                          {"a", "w"},
+                          {"q", "r"}});
+  // Positive threshold 2 so entities 3 and 4 stay out of the pivot.
+  DimeResult r =
+      RunDime(g, OverlapPositive(2), OverlapNegative({0, 1}), {});
+  ASSERT_EQ(r.partitions.size(), 3u);  // pivot {0,1,2}, {3}, {4}
+  // Rule 1 (overlap <= 0): only entity 4 is disjoint from every pivot
+  // member. Entity 3 shares "a" with all of them.
+  EXPECT_EQ(r.flagged_by_prefix[0], (std::vector<int>{4}));
+  // Rule 2 (overlap <= 1) adds entity 3 (overlap exactly 1 with every
+  // pivot member).
+  EXPECT_EQ(r.flagged_by_prefix[1], (std::vector<int>{3, 4}));
+}
+
+TEST(DimeTest, PartitionIsFlaggedAsAWhole) {
+  // Entities 3 and 4 form one non-pivot partition (share q). Entity 4 is
+  // dissimilar from the whole pivot, so the partition - including entity 3
+  // which shares an author with the pivot - is flagged together.
+  Group g = AuthorsGroup({{"a", "b", "x"},
+                          {"a", "b", "y"},
+                          {"a", "b", "z"},
+                          {"q", "r", "a"},
+                          {"q", "r", "s"}});
+  DimeResult r = RunDime(g, OverlapPositive(2), OverlapNegative({0}), {});
+  ASSERT_EQ(r.partitions.size(), 2u);
+  EXPECT_EQ(r.flagged_by_prefix[0], (std::vector<int>{3, 4}));
+}
+
+TEST(DimeTest, ScrollbarIsMonotone) {
+  Group g = AuthorsGroup({{"a", "b", "x"},
+                          {"a", "b", "y"},
+                          {"a", "b", "z"},
+                          {"a", "w"},
+                          {"q", "r"},
+                          {"s"}});
+  DimeResult r =
+      RunDime(g, OverlapPositive(2), OverlapNegative({0, 1, 5}), {});
+  for (size_t k = 1; k < r.flagged_by_prefix.size(); ++k) {
+    EXPECT_TRUE(std::includes(r.flagged_by_prefix[k].begin(),
+                              r.flagged_by_prefix[k].end(),
+                              r.flagged_by_prefix[k - 1].begin(),
+                              r.flagged_by_prefix[k - 1].end()));
+  }
+  // The last rule (overlap <= 5, satisfied by everything) flags all
+  // non-pivot entities.
+  EXPECT_EQ(r.flagged_by_prefix.back(), (std::vector<int>{3, 4, 5}));
+}
+
+TEST(DimeTest, DisjunctionOfPositiveRules) {
+  // Rule A: overlap >= 2; rule B: overlap >= 1 (weaker). Their disjunction
+  // behaves like the weaker rule.
+  Group g = AuthorsGroup({{"a", "b"}, {"a", "c"}, {"d"}});
+  std::vector<PositiveRule> both = OverlapPositive(2);
+  both.push_back(OverlapPositive(1)[0]);
+  DimeResult r = RunDime(g, both, {}, {});
+  EXPECT_EQ(r.partitions.size(), 2u);
+}
+
+TEST(DimeTest, StatsCountPairChecks) {
+  Group g = AuthorsGroup({{"a"}, {"a"}, {"b"}});
+  DimeResult r = RunDime(g, OverlapPositive(1), OverlapNegative({0}), {});
+  // Naive step 1 checks every pair at least once.
+  EXPECT_GE(r.stats.positive_pair_checks, 3u);
+  EXPECT_GT(r.stats.negative_pair_checks, 0u);
+}
+
+}  // namespace
+}  // namespace dime

@@ -1,0 +1,142 @@
+#include "src/sim/edit_distance.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/random.h"
+
+namespace dime {
+namespace {
+
+/// Reference implementation: plain full-matrix Levenshtein.
+size_t NaiveEditDistance(const std::string& a, const std::string& b) {
+  std::vector<std::vector<size_t>> d(a.size() + 1,
+                                     std::vector<size_t>(b.size() + 1));
+  for (size_t i = 0; i <= a.size(); ++i) d[i][0] = i;
+  for (size_t j = 0; j <= b.size(); ++j) d[0][j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    for (size_t j = 1; j <= b.size(); ++j) {
+      d[i][j] = std::min({d[i - 1][j] + 1, d[i][j - 1] + 1,
+                          d[i - 1][j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1)});
+    }
+  }
+  return d[a.size()][b.size()];
+}
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("same", "same"), 0u);
+  EXPECT_EQ(EditDistance("sigmod", "vldb"), 6u);
+}
+
+TEST(EditDistanceTest, MatchesNaiveOnRandomStrings) {
+  Random rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    auto make = [&rng]() {
+      std::string s;
+      size_t len = rng.Uniform(15);
+      for (size_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>('a' + rng.Uniform(4)));
+      }
+      return s;
+    };
+    std::string a = make(), b = make();
+    EXPECT_EQ(EditDistance(a, b), NaiveEditDistance(a, b))
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(EditDistanceTest, BandedAgreesWithinThreshold) {
+  Random rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    auto make = [&rng]() {
+      std::string s;
+      size_t len = 3 + rng.Uniform(12);
+      for (size_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>('a' + rng.Uniform(4)));
+      }
+      return s;
+    };
+    std::string a = make(), b = make();
+    size_t exact = NaiveEditDistance(a, b);
+    for (size_t max_dist : {0, 1, 2, 3, 5, 8}) {
+      size_t banded = EditDistanceWithin(a, b, max_dist);
+      if (exact <= max_dist) {
+        EXPECT_EQ(banded, exact) << a << " vs " << b << " @" << max_dist;
+      } else {
+        EXPECT_GT(banded, max_dist) << a << " vs " << b << " @" << max_dist;
+      }
+    }
+  }
+}
+
+TEST(EditDistanceTest, BandedLengthDifferenceShortCircuit) {
+  EXPECT_EQ(EditDistanceWithin("a", "abcdefgh", 3), 4u);  // max_dist + 1
+}
+
+TEST(EditSimilarityTest, Values) {
+  EXPECT_DOUBLE_EQ(EditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abcd", "abcd"), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abcd", "abce"), 0.75);
+  EXPECT_DOUBLE_EQ(EditSimilarity("ab", ""), 0.0);
+}
+
+TEST(EditSimilarityTest, AtLeastAgreesWithExact) {
+  Random rng(21);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto make = [&rng]() {
+      std::string s;
+      size_t len = 1 + rng.Uniform(12);
+      for (size_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>('a' + rng.Uniform(3)));
+      }
+      return s;
+    };
+    std::string a = make(), b = make();
+    for (double tau : {0.2, 0.5, 0.75, 0.9}) {
+      EXPECT_EQ(EditSimilarityAtLeast(a, b, tau),
+                EditSimilarity(a, b) >= tau - 1e-12)
+          << a << " vs " << b << " tau=" << tau;
+    }
+  }
+}
+
+TEST(EditSimilarityTest, MaxEditDistanceForSim) {
+  // tau = 0.75, len = 12: d <= (1-0.75)*12/0.75 = 4.
+  EXPECT_EQ(MaxEditDistanceForSim(12, 0.75), 4u);
+  // tau = 0.5: d <= len.
+  EXPECT_EQ(MaxEditDistanceForSim(10, 0.5), 10u);
+  // tau <= 0: effectively unbounded.
+  EXPECT_GT(MaxEditDistanceForSim(10, 0.0), 1000000u);
+}
+
+/// Soundness of the signature bound: any pair with EditSimilarity >= tau
+/// has EditDistance <= MaxEditDistanceForSim(|a|, tau).
+TEST(EditSimilarityTest, MaxDistanceBoundIsSound) {
+  Random rng(31);
+  for (int trial = 0; trial < 500; ++trial) {
+    auto make = [&rng]() {
+      std::string s;
+      size_t len = 1 + rng.Uniform(10);
+      for (size_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>('a' + rng.Uniform(3)));
+      }
+      return s;
+    };
+    std::string a = make(), b = make();
+    size_t ed = NaiveEditDistance(a, b);
+    for (double tau : {0.3, 0.5, 0.8}) {
+      if (EditSimilarity(a, b) >= tau) {
+        EXPECT_LE(ed, MaxEditDistanceForSim(a.size(), tau));
+        EXPECT_LE(ed, MaxEditDistanceForSim(b.size(), tau));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dime

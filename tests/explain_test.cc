@@ -1,0 +1,127 @@
+#include "src/core/explain.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/dime_plus.h"
+#include "src/datagen/presets.h"
+#include "src/datagen/scholar_gen.h"
+
+namespace dime {
+namespace {
+
+struct World {
+  // The group is heap-allocated so PreparedGroup's pointer to it survives
+  // moving the World out of the factory.
+  std::unique_ptr<Group> group = std::make_unique<Group>();
+  std::vector<PositiveRule> positive;
+  std::vector<NegativeRule> negative;
+  PreparedGroup pg;
+  DimeResult result;
+};
+
+World MakeWorld() {
+  World w;
+  w.group->schema = Schema({"Authors"});
+  auto add = [&](std::vector<std::string> authors) {
+    Entity e;
+    e.id = "e" + std::to_string(w.group->entities.size());
+    e.values = {std::move(authors)};
+    w.group->entities.push_back(std::move(e));
+  };
+  add({"a", "b", "x"});
+  add({"a", "b", "y"});
+  add({"a", "b", "z"});
+  add({"a", "w"});   // overlap 1 with every pivot member -> rule 2
+  add({"q", "r"});   // overlap 0 -> rule 1
+  w.positive.resize(1);
+  w.negative.resize(2);
+  EXPECT_TRUE(
+      ParsePositiveRule("overlap(Authors) >= 2", w.group->schema,
+                        &w.positive[0]));
+  EXPECT_TRUE(ParseNegativeRule("overlap(Authors) <= 0", w.group->schema,
+                                &w.negative[0]));
+  EXPECT_TRUE(ParseNegativeRule("overlap(Authors) <= 1", w.group->schema,
+                                &w.negative[1]));
+  w.pg = PrepareGroup(*w.group, w.positive, w.negative, {});
+  w.result = RunDimePlus(w.pg, w.positive, w.negative);
+  return w;
+}
+
+TEST(ExplainTest, FlaggedEntityGetsRuleAndWitness) {
+  World w = MakeWorld();
+  Explanation ex = ExplainFlagged(w.pg, w.negative, w.result, 4);
+  EXPECT_TRUE(ex.flagged);
+  EXPECT_EQ(ex.rule, 0);  // overlap <= 0 fires first
+  EXPECT_EQ(ex.witness, 4);
+  ASSERT_EQ(ex.max_similarity_to_pivot.size(), 1u);
+  EXPECT_DOUBLE_EQ(ex.max_similarity_to_pivot[0], 0.0);
+  EXPECT_NE(ex.text.find("negative rule 1"), std::string::npos);
+  EXPECT_NE(ex.text.find("overlap(Authors) <= 0"), std::string::npos);
+}
+
+TEST(ExplainTest, SecondRuleEntityReportsItsRule) {
+  World w = MakeWorld();
+  Explanation ex = ExplainFlagged(w.pg, w.negative, w.result, 3);
+  EXPECT_TRUE(ex.flagged);
+  EXPECT_EQ(ex.rule, 1);
+  EXPECT_DOUBLE_EQ(ex.max_similarity_to_pivot[0], 1.0);  // shares "a"
+}
+
+TEST(ExplainTest, PivotEntityIsNotSuggested) {
+  World w = MakeWorld();
+  Explanation ex = ExplainFlagged(w.pg, w.negative, w.result, 0);
+  EXPECT_FALSE(ex.flagged);
+  EXPECT_EQ(ex.partition, w.result.pivot);
+  EXPECT_NE(ex.text.find("pivot"), std::string::npos);
+}
+
+TEST(ExplainTest, UnflaggedNonPivotPartition) {
+  // Entity 3 with only rule 1 available is outside the pivot but never
+  // flagged.
+  World w = MakeWorld();
+  std::vector<NegativeRule> only_first{w.negative[0]};
+  DimeResult r = RunDimePlus(w.pg, w.positive, only_first);
+  Explanation ex = ExplainFlagged(w.pg, only_first, r, 3);
+  EXPECT_FALSE(ex.flagged);
+  EXPECT_EQ(ex.rule, -1);
+  EXPECT_NE(ex.text.find("not suggested"), std::string::npos);
+}
+
+TEST(ExplainTest, PartitionOfIsConsistent) {
+  World w = MakeWorld();
+  for (size_t e = 0; e < w.group->size(); ++e) {
+    int p = w.result.PartitionOf(static_cast<int>(e));
+    ASSERT_GE(p, 0);
+    const auto& members = w.result.partitions[p];
+    EXPECT_NE(std::find(members.begin(), members.end(), static_cast<int>(e)),
+              members.end());
+  }
+}
+
+TEST(ExplainTest, WorksOnGeneratedScholarPages) {
+  ScholarSetup setup = MakeScholarSetup();
+  ScholarGenOptions gen;
+  gen.num_correct = 60;
+  gen.seed = 9;
+  Group page = GenerateScholarGroup("Explain Owner", gen);
+  PreparedGroup pg =
+      PrepareGroup(page, setup.positive, setup.negative, setup.context);
+  DimeResult r = RunDimePlus(pg, setup.positive, setup.negative);
+  for (int e : r.flagged()) {
+    Explanation ex = ExplainFlagged(pg, setup.negative, r, e);
+    EXPECT_TRUE(ex.flagged);
+    EXPECT_GE(ex.rule, 0);
+    EXPECT_GE(ex.witness, 0);
+    EXPECT_FALSE(ex.text.empty());
+    // Every reported max similarity honors the rule's thresholds.
+    for (size_t i = 0; i < ex.max_similarity_to_pivot.size(); ++i) {
+      EXPECT_LE(ex.max_similarity_to_pivot[i],
+                setup.negative[ex.rule].predicates[i].threshold + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dime

@@ -1,0 +1,66 @@
+#include "src/index/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include "src/index/verification.h"
+
+namespace dime {
+namespace {
+
+TEST(InvertedIndexTest, CandidatesFromSharedSignatures) {
+  InvertedIndex index;
+  index.Add(0, {10, 20, 30});
+  index.Add(1, {20, 30, 40});
+  index.Add(2, {99});
+  auto pairs = index.CandidatePairs();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].e1, 0);
+  EXPECT_EQ(pairs[0].e2, 1);
+  EXPECT_EQ(pairs[0].shared, 2u);  // signatures 20 and 30
+}
+
+TEST(InvertedIndexTest, NoSharedSignaturesNoCandidates) {
+  InvertedIndex index;
+  index.Add(0, {1});
+  index.Add(1, {2});
+  EXPECT_TRUE(index.CandidatePairs().empty());
+}
+
+TEST(InvertedIndexTest, SignatureCounts) {
+  InvertedIndex index;
+  index.Add(7, {1, 2, 3});
+  index.Add(8, {});
+  EXPECT_EQ(index.SignatureCount(7), 3u);
+  EXPECT_EQ(index.SignatureCount(8), 0u);
+  EXPECT_EQ(index.SignatureCount(9), 0u);
+}
+
+TEST(InvertedIndexTest, CandidatesAreDeterministicallyOrdered) {
+  InvertedIndex index;
+  index.Add(3, {5});
+  index.Add(1, {5});
+  index.Add(2, {5});
+  auto pairs = index.CandidatePairs();
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_TRUE(pairs[0].e1 <= pairs[1].e1 && pairs[1].e1 <= pairs[2].e1);
+  for (const auto& p : pairs) EXPECT_LT(p.e1, p.e2);
+}
+
+TEST(VerificationTest, SimilarProbability) {
+  EXPECT_DOUBLE_EQ(SimilarProbability(2, 4, 4), 0.5);
+  EXPECT_DOUBLE_EQ(SimilarProbability(0, 4, 4), 0.0);
+  EXPECT_DOUBLE_EQ(SimilarProbability(10, 4, 4), 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(SimilarProbability(1, 0, 0), 0.0);   // no signatures
+}
+
+TEST(VerificationTest, BenefitOrdering) {
+  // Positive: higher probability or lower cost -> larger benefit.
+  EXPECT_GT(PositiveBenefit(0.9, 10.0), PositiveBenefit(0.1, 10.0));
+  EXPECT_GT(PositiveBenefit(0.5, 5.0), PositiveBenefit(0.5, 50.0));
+  // Negative: lower probability -> larger benefit.
+  EXPECT_GT(NegativeBenefit(0.1, 10.0), NegativeBenefit(0.9, 10.0));
+  EXPECT_GT(NegativeBenefit(0.5, 5.0), NegativeBenefit(0.5, 50.0));
+}
+
+}  // namespace
+}  // namespace dime

@@ -1,0 +1,144 @@
+#include "src/topicmodel/lda.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/random.h"
+#include "src/topicmodel/hierarchy_builder.h"
+
+namespace dime {
+namespace {
+
+/// A corpus with two clearly separated vocabularies.
+std::vector<std::vector<std::string>> TwoTopicCorpus(size_t docs_per_topic) {
+  std::vector<std::string> vocab_a{"query", "index", "join",
+                                   "schema", "tuple"};
+  std::vector<std::string> vocab_b{"image", "pixel", "lens",
+                                   "camera", "scene"};
+  Random rng(5);
+  std::vector<std::vector<std::string>> docs;
+  for (size_t d = 0; d < docs_per_topic; ++d) {
+    std::vector<std::string> doc;
+    for (int w = 0; w < 12; ++w) {
+      doc.push_back(vocab_a[rng.Uniform(vocab_a.size())]);
+    }
+    docs.push_back(doc);
+  }
+  for (size_t d = 0; d < docs_per_topic; ++d) {
+    std::vector<std::string> doc;
+    for (int w = 0; w < 12; ++w) {
+      doc.push_back(vocab_b[rng.Uniform(vocab_b.size())]);
+    }
+    docs.push_back(doc);
+  }
+  return docs;
+}
+
+TEST(LdaTest, SeparatesDisjointVocabularies) {
+  auto docs = TwoTopicCorpus(30);
+  LdaOptions options;
+  options.num_topics = 2;
+  options.iterations = 80;
+  LdaModel model(docs, options);
+
+  // All docs of group A share a dominant topic; group B gets the other.
+  int topic_a = model.DominantTopic(0);
+  int topic_b = model.DominantTopic(30);
+  EXPECT_NE(topic_a, topic_b);
+  int misassigned = 0;
+  for (size_t d = 0; d < 30; ++d) {
+    misassigned += model.DominantTopic(d) != topic_a ? 1 : 0;
+  }
+  for (size_t d = 30; d < 60; ++d) {
+    misassigned += model.DominantTopic(d) != topic_b ? 1 : 0;
+  }
+  EXPECT_LE(misassigned, 2);
+}
+
+TEST(LdaTest, MixturesSumToOne) {
+  auto docs = TwoTopicCorpus(10);
+  LdaOptions options;
+  options.num_topics = 3;
+  LdaModel model(docs, options);
+  for (size_t d = 0; d < model.num_docs(); ++d) {
+    std::vector<double> mix = model.DocumentTopicMixture(d);
+    double sum = 0;
+    for (double m : mix) {
+      EXPECT_GE(m, 0.0);
+      sum += m;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(LdaTest, InferTopicOnUnseenDocuments) {
+  auto docs = TwoTopicCorpus(30);
+  LdaOptions options;
+  options.num_topics = 2;
+  options.iterations = 80;
+  LdaModel model(docs, options);
+  int db_topic = model.DominantTopic(0);
+  int vision_topic = model.DominantTopic(30);
+  EXPECT_EQ(model.InferTopic({"query", "join", "index"}), db_topic);
+  EXPECT_EQ(model.InferTopic({"camera", "pixel"}), vision_topic);
+  EXPECT_EQ(model.InferTopic({"outofvocabulary"}), -1);
+  EXPECT_EQ(model.InferTopic({}), -1);
+}
+
+TEST(LdaTest, TopWordsComeFromTheTopicVocabulary) {
+  auto docs = TwoTopicCorpus(30);
+  LdaOptions options;
+  options.num_topics = 2;
+  options.iterations = 80;
+  LdaModel model(docs, options);
+  int db_topic = model.DominantTopic(0);
+  std::set<std::string> vocab_a{"query", "index", "join", "schema", "tuple"};
+  for (const std::string& w : model.TopWords(db_topic, 3)) {
+    EXPECT_TRUE(vocab_a.count(w)) << w;
+  }
+}
+
+TEST(LdaTest, DeterministicForSameSeed) {
+  auto docs = TwoTopicCorpus(10);
+  LdaOptions options;
+  options.num_topics = 2;
+  LdaModel m1(docs, options);
+  LdaModel m2(docs, options);
+  for (size_t d = 0; d < m1.num_docs(); ++d) {
+    EXPECT_EQ(m1.DominantTopic(d), m2.DominantTopic(d));
+  }
+}
+
+TEST(HierarchyBuilderTest, BuildsThreeLevelTree) {
+  auto docs = TwoTopicCorpus(30);
+  HierarchyOptions options;
+  options.coarse_topics = 2;
+  options.sub_topics = 2;
+  Ontology tree = BuildThemeHierarchy(docs, options);
+  EXPECT_EQ(tree.MaxDepth(), 3);
+  EXPECT_GE(tree.NumNodes(), 1 + 2 + 2);
+}
+
+TEST(HierarchyBuilderTest, MapsTextsOfSameThemeTogether) {
+  auto docs = TwoTopicCorpus(30);
+  HierarchyOptions options;
+  options.coarse_topics = 2;
+  options.sub_topics = 1;
+  Ontology tree = BuildThemeHierarchy(docs, options);
+  int db1 = tree.MapByKeywords({"query", "index", "join"});
+  int db2 = tree.MapByKeywords({"schema", "tuple", "query"});
+  int vis = tree.MapByKeywords({"image", "camera", "pixel"});
+  ASSERT_NE(db1, kNoNode);
+  ASSERT_NE(vis, kNoNode);
+  EXPECT_DOUBLE_EQ(tree.Similarity(db1, db2), 1.0);
+  EXPECT_LT(tree.Similarity(db1, vis), 0.5);
+}
+
+TEST(HierarchyBuilderTest, EmptyCorpus) {
+  Ontology tree = BuildThemeHierarchy({}, HierarchyOptions{});
+  EXPECT_EQ(tree.NumNodes(), 1);  // just the root
+}
+
+}  // namespace
+}  // namespace dime

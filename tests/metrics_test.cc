@@ -1,0 +1,77 @@
+#include "src/core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace dime {
+namespace {
+
+Group GroupWithTruth(std::vector<uint8_t> truth) {
+  Group g;
+  g.schema = Schema({"A"});
+  for (size_t i = 0; i < truth.size(); ++i) {
+    Entity e;
+    e.id = "e" + std::to_string(i);
+    e.values = {{"v"}};
+    g.entities.push_back(std::move(e));
+  }
+  g.truth = std::move(truth);
+  return g;
+}
+
+TEST(MetricsTest, PerfectFlagging) {
+  Group g = GroupWithTruth({0, 1, 0, 1});
+  Prf prf = EvaluateFlagged(g, {1, 3});
+  EXPECT_DOUBLE_EQ(prf.precision, 1.0);
+  EXPECT_DOUBLE_EQ(prf.recall, 1.0);
+  EXPECT_DOUBLE_EQ(prf.f1, 1.0);
+  EXPECT_EQ(prf.tp, 2u);
+  EXPECT_EQ(prf.fp, 0u);
+  EXPECT_EQ(prf.fn, 0u);
+}
+
+TEST(MetricsTest, PartialFlagging) {
+  Group g = GroupWithTruth({0, 1, 0, 1, 1});
+  Prf prf = EvaluateFlagged(g, {1, 2});
+  EXPECT_DOUBLE_EQ(prf.precision, 0.5);
+  EXPECT_DOUBLE_EQ(prf.recall, 1.0 / 3.0);
+  EXPECT_NEAR(prf.f1, 0.4, 1e-12);
+}
+
+TEST(MetricsTest, EmptyFlaggedConventions) {
+  Group with_errors = GroupWithTruth({0, 1});
+  Prf prf = EvaluateFlagged(with_errors, {});
+  EXPECT_DOUBLE_EQ(prf.precision, 1.0);  // nothing wrongly flagged
+  EXPECT_DOUBLE_EQ(prf.recall, 0.0);
+
+  Group clean = GroupWithTruth({0, 0});
+  Prf clean_prf = EvaluateFlagged(clean, {});
+  EXPECT_DOUBLE_EQ(clean_prf.precision, 1.0);
+  EXPECT_DOUBLE_EQ(clean_prf.recall, 1.0);
+  EXPECT_DOUBLE_EQ(clean_prf.f1, 1.0);
+}
+
+TEST(MetricsTest, MicroAverageSumsCounts) {
+  Prf a = PrfFromCounts(2, 0, 2);  // P=1, R=0.5
+  Prf b = PrfFromCounts(0, 2, 0);  // P=0, R=1
+  Prf micro = MicroAverage({a, b});
+  EXPECT_DOUBLE_EQ(micro.precision, 0.5);  // 2/(2+2)
+  EXPECT_DOUBLE_EQ(micro.recall, 0.5);     // 2/(2+2)
+}
+
+TEST(MetricsTest, MacroAverageAveragesRatios) {
+  Prf a = PrfFromCounts(2, 0, 2);  // P=1, R=0.5
+  Prf b = PrfFromCounts(1, 1, 0);  // P=0.5, R=1
+  Prf macro = MacroAverage({a, b});
+  EXPECT_DOUBLE_EQ(macro.precision, 0.75);
+  EXPECT_DOUBLE_EQ(macro.recall, 0.75);
+}
+
+TEST(MetricsTest, F1HandlesZeroDenominator) {
+  Prf zero = PrfFromCounts(0, 5, 5);
+  EXPECT_DOUBLE_EQ(zero.precision, 0.0);
+  EXPECT_DOUBLE_EQ(zero.recall, 0.0);
+  EXPECT_DOUBLE_EQ(zero.f1, 0.0);
+}
+
+}  // namespace
+}  // namespace dime

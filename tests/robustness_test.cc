@@ -1,0 +1,136 @@
+// Robustness sweeps: hostile inputs must never crash the engines —
+// malformed TSV, empty attribute values, single-entity groups, groups
+// where nothing maps onto the ontology.
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/core/dime_plus.h"
+#include "src/core/entity.h"
+#include "src/datagen/presets.h"
+
+namespace dime {
+namespace {
+
+TEST(RobustnessTest, GroupFromTsvSurvivesRandomGarbage) {
+  Random rng(2025);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    size_t len = rng.Uniform(200);
+    for (size_t i = 0; i < len; ++i) {
+      // Bias toward structural characters.
+      switch (rng.Uniform(6)) {
+        case 0:
+          text.push_back('\t');
+          break;
+        case 1:
+          text.push_back('\n');
+          break;
+        case 2:
+          text.push_back('|');
+          break;
+        default:
+          text.push_back(static_cast<char>('a' + rng.Uniform(26)));
+      }
+    }
+    Group g;
+    // Must not crash; may succeed or fail.
+    GroupFromTsv(text, "fuzz", &g);
+  }
+}
+
+TEST(RobustnessTest, GroupFromTsvSurvivesHeaderOnlyAndPrefixes) {
+  Group g;
+  EXPECT_TRUE(GroupFromTsv("_id\tTitle\n", "x", &g));
+  EXPECT_EQ(g.size(), 0u);
+  EXPECT_TRUE(GroupFromTsv("_id\t_error\n", "x", &g));  // zero attributes
+  EXPECT_EQ(g.schema.size(), 0u);
+}
+
+TEST(RobustnessTest, EnginesHandleAllEmptyValues) {
+  ScholarSetup setup = MakeScholarSetup();
+  Group g;
+  g.schema = setup.schema;
+  for (int i = 0; i < 6; ++i) {
+    Entity e;
+    e.id = "empty" + std::to_string(i);
+    e.values.assign(setup.schema.size(), {});
+    g.entities.push_back(std::move(e));
+  }
+  PreparedGroup pg =
+      PrepareGroup(g, setup.positive, setup.negative, setup.context);
+  DimeResult naive = RunDime(pg, setup.positive, setup.negative);
+  DimeResult fast = RunDimePlus(pg, setup.positive, setup.negative);
+  EXPECT_EQ(naive.partitions, fast.partitions);
+  EXPECT_EQ(naive.flagged_by_prefix, fast.flagged_by_prefix);
+}
+
+TEST(RobustnessTest, MixedEmptyAndFullEntities) {
+  ScholarSetup setup = MakeScholarSetup();
+  Group g;
+  g.schema = setup.schema;
+  auto add = [&](std::vector<std::string> authors, std::string venue) {
+    Entity e;
+    e.id = "e" + std::to_string(g.entities.size());
+    e.values.assign(setup.schema.size(), {});
+    e.values[1] = std::move(authors);  // Authors
+    if (!venue.empty()) e.values[3] = {std::move(venue)};
+    g.entities.push_back(std::move(e));
+  };
+  add({"a", "b"}, "SIGMOD 2020");
+  add({"a", "b"}, "VLDB 2020");
+  add({"a", "b"}, "ICDE 2020");
+  add({}, "");
+  add({}, "");
+  PreparedGroup pg =
+      PrepareGroup(g, setup.positive, setup.negative, setup.context);
+  DimeResult naive = RunDime(pg, setup.positive, setup.negative);
+  DimeResult fast = RunDimePlus(pg, setup.positive, setup.negative);
+  EXPECT_EQ(naive.partitions, fast.partitions);
+  EXPECT_EQ(naive.flagged_by_prefix, fast.flagged_by_prefix);
+  // The empty entities share no author with the pivot: NR1 flags them.
+  EXPECT_EQ(naive.flagged_by_prefix[0], (std::vector<int>{3, 4}));
+}
+
+TEST(RobustnessTest, SingleEntityGroupWithEveryRuleClass) {
+  ScholarSetup setup = MakeScholarSetup();
+  Group g;
+  g.schema = setup.schema;
+  Entity e;
+  e.id = "only";
+  e.values.assign(setup.schema.size(), {});
+  e.values[1] = {"Solo Author"};
+  g.entities.push_back(std::move(e));
+  DimeResult r =
+      RunDimePlus(g, setup.positive, setup.negative, setup.context);
+  ASSERT_EQ(r.partitions.size(), 1u);
+  EXPECT_EQ(r.pivot, 0);
+  for (const auto& flagged : r.flagged_by_prefix) {
+    EXPECT_TRUE(flagged.empty());
+  }
+}
+
+TEST(RobustnessTest, NothingMapsOntoTheOntology) {
+  // Venue strings that match no tree node: ontology similarity is 0
+  // everywhere, and both engines must agree.
+  ScholarSetup setup = MakeScholarSetup();
+  Group g;
+  g.schema = setup.schema;
+  for (int i = 0; i < 5; ++i) {
+    Entity e;
+    e.id = "w" + std::to_string(i);
+    e.values.assign(setup.schema.size(), {});
+    e.values[1] = {"Shared Author", "Other " + std::to_string(i)};
+    e.values[3] = {"Totally Unknown Workshop " + std::to_string(i)};
+    g.entities.push_back(std::move(e));
+  }
+  PreparedGroup pg =
+      PrepareGroup(g, setup.positive, setup.negative, setup.context);
+  DimeResult naive = RunDime(pg, setup.positive, setup.negative);
+  DimeResult fast = RunDimePlus(pg, setup.positive, setup.negative);
+  EXPECT_EQ(naive.partitions, fast.partitions);
+  EXPECT_EQ(naive.flagged_by_prefix, fast.flagged_by_prefix);
+}
+
+}  // namespace
+}  // namespace dime

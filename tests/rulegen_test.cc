@@ -1,0 +1,171 @@
+// Tests for rule generation (Section V): candidate predicates from
+// examples (Theorem 3), the greedy algorithm, the exact enumeration
+// baseline, and negative-rule generation.
+
+#include <gtest/gtest.h>
+
+#include "src/rulegen/candidates.h"
+#include "src/rulegen/enumerate.h"
+#include "src/rulegen/greedy.h"
+
+namespace dime {
+namespace {
+
+LabeledPair Pair(std::vector<double> features, bool positive) {
+  LabeledPair p;
+  p.features = std::move(features);
+  p.positive = positive;
+  return p;
+}
+
+/// Feature 0 behaves like overlap(Authors); feature 1 like
+/// ontology(Venue). Planted concept: match iff f0 >= 2, or
+/// (f0 >= 1 and f1 >= 0.75) — the paper's scholar rules.
+std::vector<LabeledPair> ScholarLikePairs() {
+  return {
+      Pair({2, 0.75}, true),  Pair({3, 0.50}, true),  Pair({2, 0.25}, true),
+      Pair({1, 0.75}, true),  Pair({1, 1.00}, true),  Pair({4, 1.00}, true),
+      Pair({1, 0.50}, false), Pair({0, 0.75}, false), Pair({0, 0.25}, false),
+      Pair({1, 0.25}, false), Pair({0, 1.00}, false), Pair({0, 0.50}, false),
+  };
+}
+
+TEST(CandidatesTest, PositiveThresholdsComeFromPositiveExamples) {
+  auto pairs = ScholarLikePairs();
+  auto candidates = GeneratePositiveCandidates(pairs, 2);
+  // Feature 0 candidates: observed positive values {1, 2, 3, 4}.
+  std::set<double> f0;
+  for (const auto& c : candidates) {
+    if (c.spec == 0) f0.insert(c.threshold);
+  }
+  EXPECT_EQ(f0, (std::set<double>{1, 2, 3, 4}));
+  // No candidate at 0 (vacuous).
+  for (const auto& c : candidates) EXPECT_GT(c.threshold, 0.0);
+}
+
+TEST(CandidatesTest, NegativeThresholdsComeFromNegativeExamples) {
+  auto pairs = ScholarLikePairs();
+  auto candidates = GenerateNegativeCandidates(pairs, 2);
+  std::set<double> f0;
+  for (const auto& c : candidates) {
+    if (c.spec == 0) f0.insert(c.threshold);
+  }
+  EXPECT_EQ(f0, (std::set<double>{0, 1}));
+  // The max observed value is vacuous for <= rules and must be absent.
+  for (const auto& c : candidates) {
+    if (c.spec == 1) EXPECT_LT(c.threshold, 1.0);
+  }
+}
+
+TEST(CandidatesTest, ObjectiveCountsCoverage) {
+  auto pairs = ScholarLikePairs();
+  LearnedRule strict;  // f0 >= 2
+  strict.predicates = {CandidatePredicate{0, 2.0}};
+  // Covers positives {2,3,2,4}-valued = 4 pairs, no negatives.
+  EXPECT_EQ(PositiveObjective({strict}, pairs), 4);
+
+  LearnedRule loose;  // f0 >= 1: covers 6 positives but 2 negatives
+  loose.predicates = {CandidatePredicate{0, 1.0}};
+  EXPECT_EQ(PositiveObjective({loose}, pairs), 6 - 2);
+
+  LearnedRule combo;  // f0 >= 1 ^ f1 >= 0.75: covers 4 positives, 0 negatives
+  combo.predicates = {CandidatePredicate{0, 1.0},
+                      CandidatePredicate{1, 0.75}};
+  EXPECT_EQ(PositiveObjective({combo}, pairs), 4);
+}
+
+TEST(GreedyTest, RecoversThePlantedScholarRules) {
+  auto pairs = ScholarLikePairs();
+  RuleGenResult result = GreedyPositiveRules(pairs, 2);
+  // The planted concept is perfectly separable: the optimum covers all 6
+  // positives and no negatives.
+  EXPECT_EQ(result.objective, 6);
+  ASSERT_GE(result.rules.size(), 2u);
+  // Every learned rule must be clean on the training data.
+  for (const auto& rule : result.rules) {
+    for (const auto& p : pairs) {
+      if (!p.positive) EXPECT_FALSE(rule.SatisfiedGe(p.features));
+    }
+  }
+}
+
+TEST(GreedyTest, NegativeRulesCoverNegatives) {
+  auto pairs = ScholarLikePairs();
+  RuleGenResult result = GreedyNegativeRules(pairs, 2);
+  EXPECT_GT(result.objective, 0);
+  for (const auto& rule : result.rules) {
+    for (const auto& p : pairs) {
+      if (p.positive) EXPECT_FALSE(rule.SatisfiedLe(p.features));
+    }
+  }
+  // The planted concept's complement is expressible: expect full coverage.
+  EXPECT_EQ(result.objective, 6);
+}
+
+TEST(GreedyTest, StopsWhenNothingHelps) {
+  // All features identical across classes: no rule can score > 0.
+  std::vector<LabeledPair> pairs{Pair({1.0}, true), Pair({1.0}, false)};
+  RuleGenResult result = GreedyPositiveRules(pairs, 1);
+  EXPECT_TRUE(result.rules.empty());
+  EXPECT_EQ(result.objective, 0);
+}
+
+TEST(GreedyTest, RespectsMaxRules) {
+  auto pairs = ScholarLikePairs();
+  GreedyOptions options;
+  options.max_rules = 1;
+  RuleGenResult result = GreedyPositiveRules(pairs, 2, options);
+  EXPECT_LE(result.rules.size(), 1u);
+}
+
+TEST(EnumerateTest, FindsTheOptimumOnToyData) {
+  auto pairs = ScholarLikePairs();
+  EnumerateOptions options;
+  options.max_predicates_per_rule = 2;
+  options.max_rules_in_set = 2;
+  RuleGenResult exact = EnumeratePositiveRules(pairs, 2, options);
+  EXPECT_EQ(exact.objective, 6);
+}
+
+TEST(EnumerateTest, GreedyNeverBeatsEnumeration) {
+  // On several random-ish small instances, enumeration (the exact
+  // algorithm) must score at least as high as greedy.
+  std::vector<std::vector<LabeledPair>> instances;
+  instances.push_back(ScholarLikePairs());
+  instances.push_back({Pair({1, 0.2}, true), Pair({2, 0.9}, true),
+                       Pair({0, 0.9}, false), Pair({2, 0.1}, false),
+                       Pair({1, 0.8}, true), Pair({1, 0.1}, false)});
+  for (const auto& pairs : instances) {
+    EnumerateOptions e_options;
+    e_options.max_rules_in_set = 3;
+    RuleGenResult exact = EnumeratePositiveRules(pairs, 2, e_options);
+    RuleGenResult greedy = GreedyPositiveRules(pairs, 2);
+    EXPECT_GE(exact.objective, greedy.objective);
+  }
+}
+
+TEST(EnumerateTest, NegativeEnumeration) {
+  auto pairs = ScholarLikePairs();
+  RuleGenResult exact = EnumerateNegativeRules(pairs, 2);
+  EXPECT_EQ(exact.objective, 6);
+}
+
+TEST(ConversionTest, LearnedRulesBecomeEngineRules) {
+  Schema schema({"Title", "Authors", "Venue"});
+  std::vector<FeatureSpec> specs(2);
+  specs[0].attr = 1;
+  specs[0].func = SimFunc::kOverlap;
+  specs[1].attr = 2;
+  specs[1].func = SimFunc::kOntology;
+  LearnedRule rule;
+  rule.predicates = {CandidatePredicate{0, 2.0}, CandidatePredicate{1, 0.75}};
+  PositiveRule pos = ToPositiveRule(rule, specs);
+  EXPECT_EQ(pos.ToString(schema),
+            "overlap(Authors) >= 2 ^ ontology(Venue) >= 0.75");
+  NegativeRule negative = ToNegativeRule(rule, specs);
+  EXPECT_EQ(negative.ToString(schema),
+            "overlap(Authors) <= 2 ^ ontology(Venue) <= 0.75");
+}
+
+}  // namespace
+}  // namespace dime

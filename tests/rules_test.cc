@@ -1,0 +1,147 @@
+#include "src/rules/rule.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace dime {
+namespace {
+
+Schema TestSchema() { return Schema({"Title", "Authors", "Venue"}); }
+
+TEST(PredicateTest, CompareGe) {
+  Predicate p;
+  p.threshold = 0.75;
+  EXPECT_TRUE(p.Compare(0.75, Direction::kGe));
+  EXPECT_TRUE(p.Compare(0.8, Direction::kGe));
+  EXPECT_FALSE(p.Compare(0.7, Direction::kGe));
+  // Tolerance: floating-point equality within epsilon passes.
+  EXPECT_TRUE(p.Compare(0.75 - 1e-12, Direction::kGe));
+}
+
+TEST(PredicateTest, CompareLe) {
+  Predicate p;
+  p.threshold = 1.0;
+  EXPECT_TRUE(p.Compare(1.0, Direction::kLe));
+  EXPECT_TRUE(p.Compare(0.0, Direction::kLe));
+  EXPECT_FALSE(p.Compare(1.5, Direction::kLe));
+}
+
+TEST(RuleParseTest, SinglePredicate) {
+  PositiveRule rule;
+  ASSERT_TRUE(
+      ParsePositiveRule("overlap(Authors) >= 2", TestSchema(), &rule));
+  ASSERT_EQ(rule.predicates.size(), 1u);
+  EXPECT_EQ(rule.predicates[0].attr, 1);
+  EXPECT_EQ(rule.predicates[0].func, SimFunc::kOverlap);
+  EXPECT_DOUBLE_EQ(rule.predicates[0].threshold, 2.0);
+  EXPECT_EQ(rule.predicates[0].mode, TokenMode::kValueList);
+}
+
+TEST(RuleParseTest, Conjunction) {
+  PositiveRule rule;
+  ASSERT_TRUE(ParsePositiveRule(
+      "overlap(Authors) >= 1 ^ ontology(Venue) >= 0.75", TestSchema(),
+      &rule));
+  ASSERT_EQ(rule.predicates.size(), 2u);
+  EXPECT_EQ(rule.predicates[1].func, SimFunc::kOntology);
+  EXPECT_DOUBLE_EQ(rule.predicates[1].threshold, 0.75);
+}
+
+TEST(RuleParseTest, WordsModeAndOntologyIndex) {
+  PositiveRule rule;
+  ASSERT_TRUE(ParsePositiveRule("jaccard(Title:words) >= 0.3", TestSchema(),
+                                &rule));
+  EXPECT_EQ(rule.predicates[0].mode, TokenMode::kWords);
+
+  NegativeRule neg;
+  ASSERT_TRUE(ParseNegativeRule("ontology(Title:words@1) <= 0.7",
+                                TestSchema(), &neg));
+  EXPECT_EQ(neg.predicates[0].ontology_index, 1);
+}
+
+TEST(RuleParseTest, RejectsMalformedInput) {
+  PositiveRule rule;
+  Schema schema = TestSchema();
+  EXPECT_FALSE(ParsePositiveRule("", schema, &rule));
+  EXPECT_FALSE(ParsePositiveRule("overlap(Authors) >= ", schema, &rule));
+  EXPECT_FALSE(ParsePositiveRule("overlap(Missing) >= 2", schema, &rule));
+  EXPECT_FALSE(ParsePositiveRule("bogus(Authors) >= 2", schema, &rule));
+  EXPECT_FALSE(ParsePositiveRule("overlap Authors >= 2", schema, &rule));
+  // Wrong operator direction for the rule type.
+  EXPECT_FALSE(ParsePositiveRule("overlap(Authors) <= 2", schema, &rule));
+  NegativeRule neg;
+  EXPECT_FALSE(ParseNegativeRule("overlap(Authors) >= 2", schema, &neg));
+}
+
+TEST(RuleParseTest, ToStringRoundTrip) {
+  Schema schema = TestSchema();
+  for (const char* text :
+       {"overlap(Authors) >= 2",
+        "overlap(Authors) >= 1 ^ ontology(Venue) >= 0.75",
+        "jaccard(Title:words) >= 0.3 ^ editsim(Title) >= 0.8"}) {
+    PositiveRule rule;
+    ASSERT_TRUE(ParsePositiveRule(text, schema, &rule)) << text;
+    PositiveRule reparsed;
+    ASSERT_TRUE(ParsePositiveRule(rule.ToString(schema), schema, &reparsed))
+        << rule.ToString(schema);
+    EXPECT_EQ(rule.predicates, reparsed.predicates);
+  }
+  for (const char* text :
+       {"overlap(Authors) <= 0",
+        "overlap(Authors) <= 1 ^ ontology(Venue) <= 0.25"}) {
+    NegativeRule rule;
+    ASSERT_TRUE(ParseNegativeRule(text, schema, &rule)) << text;
+    NegativeRule reparsed;
+    ASSERT_TRUE(ParseNegativeRule(rule.ToString(schema), schema, &reparsed));
+    EXPECT_EQ(rule.predicates, reparsed.predicates);
+  }
+}
+
+/// Fuzz: random rules survive a ToString -> Parse round trip.
+TEST(RuleParseTest, RandomRoundTripFuzz) {
+  Schema schema = TestSchema();
+  Random rng(2024);
+  const SimFunc funcs[] = {SimFunc::kOverlap, SimFunc::kJaccard,
+                           SimFunc::kDice, SimFunc::kCosine,
+                           SimFunc::kEditSim, SimFunc::kOntology};
+  for (int trial = 0; trial < 500; ++trial) {
+    size_t num_preds = 1 + rng.Uniform(3);
+    PositiveRule rule;
+    for (size_t p = 0; p < num_preds; ++p) {
+      Predicate pred;
+      pred.attr = static_cast<int>(rng.Uniform(schema.size()));
+      pred.func = funcs[rng.Uniform(6)];
+      if (IsSetBased(pred.func)) {
+        pred.mode = rng.Bernoulli(0.5) ? TokenMode::kWords
+                                       : TokenMode::kValueList;
+      }
+      if (pred.func == SimFunc::kOverlap) {
+        pred.threshold = static_cast<double>(1 + rng.Uniform(5));
+      } else {
+        // Round to the printer's precision so equality is exact.
+        pred.threshold = static_cast<double>(rng.Uniform(10000)) / 10000.0;
+      }
+      if (pred.func == SimFunc::kOntology) {
+        pred.ontology_index = static_cast<int>(rng.Uniform(3));
+      }
+      rule.predicates.push_back(pred);
+    }
+    std::string text = rule.ToString(schema);
+    PositiveRule reparsed;
+    ASSERT_TRUE(ParsePositiveRule(text, schema, &reparsed)) << text;
+    EXPECT_EQ(rule.predicates, reparsed.predicates) << text;
+  }
+}
+
+TEST(RuleParseTest, ToStringFormatsThresholds) {
+  Schema schema = TestSchema();
+  PositiveRule rule;
+  ASSERT_TRUE(ParsePositiveRule("overlap(Authors) >= 2", schema, &rule));
+  EXPECT_EQ(rule.ToString(schema), "overlap(Authors) >= 2");
+  ASSERT_TRUE(ParsePositiveRule("ontology(Venue) >= 0.75", schema, &rule));
+  EXPECT_EQ(rule.ToString(schema), "ontology(Venue) >= 0.75");
+}
+
+}  // namespace
+}  // namespace dime

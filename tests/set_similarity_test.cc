@@ -1,0 +1,154 @@
+#include "src/sim/set_similarity.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/random.h"
+
+namespace dime {
+namespace {
+
+using V = std::vector<uint32_t>;
+
+TEST(SetSimilarityTest, IntersectionSize) {
+  EXPECT_EQ(IntersectionSize({1, 2, 3}, {2, 3, 4}), 2u);
+  EXPECT_EQ(IntersectionSize({1, 2}, {3, 4}), 0u);
+  EXPECT_EQ(IntersectionSize({}, {1}), 0u);
+  EXPECT_EQ(IntersectionSize({1, 5, 9}, {1, 5, 9}), 3u);
+}
+
+TEST(SetSimilarityTest, Overlap) {
+  EXPECT_DOUBLE_EQ(OverlapSim({1, 2, 3}, {2, 3, 4}), 2.0);
+}
+
+TEST(SetSimilarityTest, Jaccard) {
+  EXPECT_DOUBLE_EQ(JaccardSim({1, 2}, {2, 3}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(JaccardSim({1, 2}, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSim({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSim({1}, {}), 0.0);
+}
+
+TEST(SetSimilarityTest, Dice) {
+  EXPECT_DOUBLE_EQ(DiceSim({1, 2}, {2, 3}), 0.5);
+  EXPECT_DOUBLE_EQ(DiceSim({}, {}), 1.0);
+}
+
+TEST(SetSimilarityTest, Cosine) {
+  EXPECT_DOUBLE_EQ(CosineSim({1, 2}, {2, 3}), 0.5);
+  EXPECT_DOUBLE_EQ(CosineSim({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSim({1}, {}), 0.0);
+}
+
+TEST(SetSimilarityTest, StringOverloadMatchesIntegerKernels) {
+  double s = SetSimilarityStrings(SimFunc::kJaccard, {"nan tang", "li"},
+                                  {"li", "feng"});
+  EXPECT_DOUBLE_EQ(s, 1.0 / 3.0);
+  // Duplicates collapse to set semantics.
+  EXPECT_DOUBLE_EQ(
+      SetSimilarityStrings(SimFunc::kOverlap, {"a", "a", "b"}, {"a"}), 1.0);
+}
+
+TEST(SetSimilarityTest, PrefixLengthOverlap) {
+  // |v|=5, theta=2 -> keep 4.
+  EXPECT_EQ(SetPrefixLength(SimFunc::kOverlap, 5, 2.0), 4u);
+  // theta > |v|: impossible.
+  EXPECT_EQ(SetPrefixLength(SimFunc::kOverlap, 3, 4.0), 0u);
+  // theta == |v|: single signature.
+  EXPECT_EQ(SetPrefixLength(SimFunc::kOverlap, 3, 3.0), 1u);
+}
+
+TEST(SetSimilarityTest, PrefixLengthNormalized) {
+  // Jaccard >= 0.5 with |v|=4 requires overlap >= 2 -> prefix 3.
+  EXPECT_EQ(SetPrefixLength(SimFunc::kJaccard, 4, 0.5), 3u);
+  // Jaccard >= 1.0 requires the full set -> prefix 1.
+  EXPECT_EQ(SetPrefixLength(SimFunc::kJaccard, 4, 1.0), 1u);
+  // Empty value produces nothing.
+  EXPECT_EQ(SetPrefixLength(SimFunc::kJaccard, 0, 0.5), 0u);
+}
+
+/// The prefix-filtering completeness property (Section IV-B): if
+/// sim(A, B) >= theta then the prefixes of A and B intersect. Exercised
+/// over random set pairs for every set-based function and several
+/// thresholds.
+class PrefixCompletenessTest
+    : public ::testing::TestWithParam<std::tuple<SimFunc, double>> {};
+
+TEST_P(PrefixCompletenessTest, QualifyingPairsSharePrefixToken) {
+  auto [func, theta] = GetParam();
+  Random rng(123);
+  int qualifying = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    // Random sorted sets over a small universe so overlaps are common.
+    auto make_set = [&rng]() {
+      V v;
+      for (uint32_t t = 0; t < 24; ++t) {
+        if (rng.Bernoulli(0.25)) v.push_back(t);
+      }
+      return v;
+    };
+    V a = make_set();
+    V b;
+    if (rng.Bernoulli(0.5)) {
+      // Correlated partner: perturb a so high-similarity pairs exist even
+      // at strict thresholds.
+      for (uint32_t t : a) {
+        if (!rng.Bernoulli(0.15)) b.push_back(t);
+      }
+      for (uint32_t t = 0; t < 24; ++t) {
+        if (rng.Bernoulli(0.05) &&
+            std::find(b.begin(), b.end(), t) == b.end()) {
+          b.push_back(t);
+        }
+      }
+      std::sort(b.begin(), b.end());
+    } else {
+      b = make_set();
+    }
+    double sim = SetSimilarity(func, a, b);
+    if (sim < theta || a.empty() || b.empty()) continue;
+    ++qualifying;
+    size_t pa = SetPrefixLength(func, a.size(), theta);
+    size_t pb = SetPrefixLength(func, b.size(), theta);
+    ASSERT_GT(pa, 0u);
+    ASSERT_GT(pb, 0u);
+    V prefix_a(a.begin(), a.begin() + pa);
+    V prefix_b(b.begin(), b.begin() + pb);
+    EXPECT_GT(IntersectionSize(prefix_a, prefix_b), 0u)
+        << "sim=" << sim << " theta=" << theta;
+  }
+  EXPECT_GT(qualifying, 50) << "test vacuous: too few qualifying pairs";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFunctions, PrefixCompletenessTest,
+    ::testing::Values(
+        std::make_tuple(SimFunc::kOverlap, 2.0),
+        std::make_tuple(SimFunc::kOverlap, 3.0),
+        std::make_tuple(SimFunc::kJaccard, 0.3),
+        std::make_tuple(SimFunc::kJaccard, 0.6),
+        std::make_tuple(SimFunc::kDice, 0.5),
+        std::make_tuple(SimFunc::kDice, 0.75),
+        std::make_tuple(SimFunc::kCosine, 0.4),
+        std::make_tuple(SimFunc::kCosine, 0.7)));
+
+TEST(SimFuncTest, NamesRoundTrip) {
+  for (SimFunc f : {SimFunc::kOverlap, SimFunc::kJaccard, SimFunc::kDice,
+                    SimFunc::kCosine, SimFunc::kEditSim, SimFunc::kOntology}) {
+    SimFunc parsed;
+    ASSERT_TRUE(SimFuncFromName(SimFuncName(f), &parsed));
+    EXPECT_EQ(parsed, f);
+  }
+  SimFunc parsed;
+  EXPECT_FALSE(SimFuncFromName("bogus", &parsed));
+}
+
+TEST(SimFuncTest, Classification) {
+  EXPECT_TRUE(IsSetBased(SimFunc::kJaccard));
+  EXPECT_FALSE(IsSetBased(SimFunc::kEditSim));
+  EXPECT_FALSE(IsNormalized(SimFunc::kOverlap));
+  EXPECT_TRUE(IsNormalized(SimFunc::kOntology));
+}
+
+}  // namespace
+}  // namespace dime

@@ -1,0 +1,84 @@
+#include "src/baselines/sifi.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace dime {
+namespace {
+
+LabeledPair Pair(std::vector<double> features, bool positive) {
+  LabeledPair p;
+  p.features = std::move(features);
+  p.positive = positive;
+  return p;
+}
+
+/// Planted concept matching the expert structure {{0},{0,1}}:
+/// match iff f0 >= 2, or (f0 >= 1 and f1 >= 0.75).
+std::vector<LabeledPair> PlantedPairs() {
+  return {
+      Pair({2, 0.2}, true),   Pair({3, 0.6}, true),  Pair({1, 0.8}, true),
+      Pair({1, 0.9}, true),   Pair({2, 0.9}, true),  Pair({1, 0.6}, false),
+      Pair({0, 0.9}, false),  Pair({0, 0.3}, false), Pair({1, 0.2}, false),
+      Pair({0, 0.1}, false),
+  };
+}
+
+TEST(SifiTest, RecoversPlantedThresholds) {
+  SifiStructure structure;
+  structure.conjunctions = {{0}, {0, 1}};
+  SifiResult result = SifiSearch(PlantedPairs(), structure);
+  // Perfect separation is achievable: objective = 5 positives.
+  EXPECT_EQ(result.objective, 5);
+  // And the fitted rule classifies the training set cleanly.
+  for (const auto& p : PlantedPairs()) {
+    EXPECT_EQ(SifiPredict(structure, result.thresholds, p.features),
+              p.positive);
+  }
+}
+
+TEST(SifiTest, WrongStructureCapsTheScore) {
+  // An expert structure that can only see feature 1 cannot separate the
+  // planted concept perfectly.
+  SifiStructure weak;
+  weak.conjunctions = {{1}};
+  SifiResult result = SifiSearch(PlantedPairs(), weak);
+  EXPECT_LT(result.objective, 5);
+}
+
+TEST(SifiTest, ConvergesInFewSweeps) {
+  SifiStructure structure;
+  structure.conjunctions = {{0}, {0, 1}};
+  SifiResult result = SifiSearch(PlantedPairs(), structure);
+  EXPECT_LE(result.iterations, 10);
+}
+
+TEST(SifiTest, PredictSemantics) {
+  SifiStructure structure;
+  structure.conjunctions = {{0}, {1}};
+  std::vector<std::vector<double>> thresholds{{2.0}, {0.75}};
+  EXPECT_TRUE(SifiPredict(structure, thresholds, {2.0, 0.0}));
+  EXPECT_TRUE(SifiPredict(structure, thresholds, {0.0, 0.8}));
+  EXPECT_FALSE(SifiPredict(structure, thresholds, {1.0, 0.5}));
+}
+
+TEST(SifiTest, LearnerPluggableIntoCrossValidation) {
+  // Larger sample of the planted concept for stable folds.
+  Random rng(3);
+  std::vector<LabeledPair> pairs;
+  for (int i = 0; i < 120; ++i) {
+    double f0 = static_cast<double>(rng.Uniform(4));
+    double f1 = rng.UniformDouble();
+    bool label = f0 >= 2 || (f0 >= 1 && f1 >= 0.75);
+    pairs.push_back(Pair({f0, f1}, label));
+  }
+  SifiStructure structure;
+  structure.conjunctions = {{0}, {0, 1}};
+  CrossValResult r =
+      KFoldCrossValidate(pairs, 4, MakeSifiLearner(structure));
+  EXPECT_GT(r.mean_f1, 0.9);
+}
+
+}  // namespace
+}  // namespace dime

@@ -1,0 +1,140 @@
+#include "src/index/similarity_join.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/sim/set_similarity.h"
+
+namespace dime {
+namespace {
+
+using V = std::vector<uint32_t>;
+
+std::vector<V> RandomRecords(uint64_t seed, size_t n, uint32_t universe,
+                             double density) {
+  Random rng(seed);
+  std::vector<V> records(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0 && rng.Bernoulli(0.3)) {
+      // Correlated record: high-similarity pairs exist.
+      for (uint32_t t : records[i - 1]) {
+        if (!rng.Bernoulli(0.2)) records[i].push_back(t);
+      }
+      continue;
+    }
+    for (uint32_t t = 0; t < universe; ++t) {
+      if (rng.Bernoulli(density)) records[i].push_back(t);
+    }
+  }
+  return records;
+}
+
+/// Reference implementation: verify every pair.
+std::vector<JoinPair> BruteForce(const std::vector<V>& records, SimFunc func,
+                                 double threshold) {
+  std::vector<JoinPair> out;
+  for (size_t i = 0; i < records.size(); ++i) {
+    for (size_t j = i + 1; j < records.size(); ++j) {
+      double sim = SetSimilarity(func, records[i], records[j]);
+      if (sim >= threshold - 1e-9) {
+        out.push_back(JoinPair{static_cast<int>(i), static_cast<int>(j), sim});
+      }
+    }
+  }
+  return out;
+}
+
+void ExpectSamePairs(const std::vector<JoinPair>& a,
+                     const std::vector<JoinPair>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].a, b[i].a);
+    EXPECT_EQ(a[i].b, b[i].b);
+    EXPECT_DOUBLE_EQ(a[i].similarity, b[i].similarity);
+  }
+}
+
+class JoinAgreementTest
+    : public ::testing::TestWithParam<std::tuple<SimFunc, double>> {};
+
+TEST_P(JoinAgreementTest, MatchesBruteForce) {
+  auto [func, threshold] = GetParam();
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    std::vector<V> records = RandomRecords(seed, 60, 40, 0.2);
+    JoinStats stats;
+    std::vector<JoinPair> fast =
+        SetSimilaritySelfJoin(records, func, threshold, &stats);
+    std::vector<JoinPair> slow = BruteForce(records, func, threshold);
+    ExpectSamePairs(fast, slow);
+    EXPECT_EQ(stats.results, fast.size());
+    EXPECT_GE(stats.candidates, stats.results);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FunctionsAndThresholds, JoinAgreementTest,
+    ::testing::Values(std::make_tuple(SimFunc::kJaccard, 0.5),
+                      std::make_tuple(SimFunc::kJaccard, 0.8),
+                      std::make_tuple(SimFunc::kDice, 0.6),
+                      std::make_tuple(SimFunc::kCosine, 0.7),
+                      std::make_tuple(SimFunc::kOverlap, 3.0),
+                      std::make_tuple(SimFunc::kOverlap, 1.0)));
+
+TEST(SimilarityJoinTest, FiltersPruneWork) {
+  std::vector<V> records = RandomRecords(7, 200, 120, 0.08);
+  JoinStats stats;
+  SetSimilaritySelfJoin(records, SimFunc::kJaccard, 0.7, &stats);
+  size_t all_pairs = records.size() * (records.size() - 1) / 2;
+  EXPECT_LT(stats.verifications, all_pairs / 2)
+      << "prefix + length filtering should prune most pairs";
+}
+
+TEST(SimilarityJoinTest, EmptyAndTrivialInputs) {
+  EXPECT_TRUE(SetSimilaritySelfJoin({}, SimFunc::kJaccard, 0.5).empty());
+  EXPECT_TRUE(
+      SetSimilaritySelfJoin({{1, 2}}, SimFunc::kJaccard, 0.5).empty());
+  // Two identical records.
+  std::vector<JoinPair> pairs =
+      SetSimilaritySelfJoin({{1, 2}, {1, 2}}, SimFunc::kJaccard, 0.99);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_DOUBLE_EQ(pairs[0].similarity, 1.0);
+}
+
+TEST(SimilarityJoinTest, EmptyRecordsNeverQualifyForPositiveThresholds) {
+  std::vector<JoinPair> pairs =
+      SetSimilaritySelfJoin({{}, {}, {1}}, SimFunc::kOverlap, 1.0);
+  EXPECT_TRUE(pairs.empty());
+}
+
+TEST(MinQualifyingSizeTest, Bounds) {
+  EXPECT_EQ(MinQualifyingSize(SimFunc::kJaccard, 10, 0.5), 5u);
+  EXPECT_EQ(MinQualifyingSize(SimFunc::kDice, 10, 1.0), 10u);
+  EXPECT_EQ(MinQualifyingSize(SimFunc::kCosine, 16, 0.5), 4u);
+  EXPECT_EQ(MinQualifyingSize(SimFunc::kOverlap, 100, 3.0), 3u);
+}
+
+/// Length-filter soundness: any qualifying partner of a record of size k
+/// has size >= MinQualifyingSize(k).
+TEST(MinQualifyingSizeTest, SoundOnRandomPairs) {
+  Random rng(9);
+  for (int trial = 0; trial < 2000; ++trial) {
+    V a, b;
+    for (uint32_t t = 0; t < 20; ++t) {
+      if (rng.Bernoulli(0.3)) a.push_back(t);
+      if (rng.Bernoulli(0.3)) b.push_back(t);
+    }
+    if (a.empty() || b.empty()) continue;
+    for (auto [func, threshold] :
+         {std::make_pair(SimFunc::kJaccard, 0.5),
+          std::make_pair(SimFunc::kDice, 0.6),
+          std::make_pair(SimFunc::kCosine, 0.7)}) {
+      if (SetSimilarity(func, a, b) >= threshold) {
+        EXPECT_GE(b.size(), MinQualifyingSize(func, a.size(), threshold));
+        EXPECT_GE(a.size(), MinQualifyingSize(func, b.size(), threshold));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dime

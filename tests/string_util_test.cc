@@ -1,0 +1,68 @@
+#include "src/common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace dime {
+namespace {
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("Hello World"), "hello world");
+  EXPECT_EQ(ToLower("ALL CAPS 123!"), "all caps 123!");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("hello"), "hello");
+  EXPECT_EQ(Trim("\t\n hello \r\n"), "hello");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringUtilTest, SplitAndTrimDropsEmpties) {
+  EXPECT_EQ(SplitAndTrim(" a | b ||c ", '|'),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitAndTrim("  |  | ", '|').empty());
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"only"}, ", "), "only");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("overlap(Authors)", "overlap"));
+  EXPECT_FALSE(StartsWith("ov", "overlap"));
+  EXPECT_TRUE(EndsWith("Title:words", ":words"));
+  EXPECT_FALSE(EndsWith("words", "Title:words"));
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("0.75", &v));
+  EXPECT_DOUBLE_EQ(v, 0.75);
+  EXPECT_TRUE(ParseDouble("  2 ", &v));
+  EXPECT_DOUBLE_EQ(v, 2.0);
+  EXPECT_TRUE(ParseDouble("-1.5", &v));
+  EXPECT_DOUBLE_EQ(v, -1.5);
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.75, 2), "0.75");
+  EXPECT_EQ(FormatDouble(1.0, 3), "1.000");
+  EXPECT_EQ(FormatDouble(0.123456, 4), "0.1235");
+}
+
+}  // namespace
+}  // namespace dime

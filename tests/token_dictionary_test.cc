@@ -1,0 +1,73 @@
+#include "src/text/token_dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace dime {
+namespace {
+
+TEST(TokenDictionaryTest, InternIsStable) {
+  TokenDictionary dict;
+  TokenId a = dict.Intern("apple");
+  TokenId b = dict.Intern("banana");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Intern("apple"), a);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.Token(a), "apple");
+}
+
+TEST(TokenDictionaryTest, LookupMissingReturnsSentinel) {
+  TokenDictionary dict;
+  dict.Intern("x");
+  EXPECT_EQ(dict.Lookup("y"), TokenDictionary::kNoToken);
+  EXPECT_NE(dict.Lookup("x"), TokenDictionary::kNoToken);
+}
+
+TEST(TokenDictionaryTest, DocumentFrequencyCountsOncePerDocument) {
+  TokenDictionary dict;
+  dict.InternDocument({"a", "a", "b"});
+  dict.InternDocument({"a", "c"});
+  EXPECT_EQ(dict.DocumentFrequency(dict.Lookup("a")), 2u);  // not 3
+  EXPECT_EQ(dict.DocumentFrequency(dict.Lookup("b")), 1u);
+  EXPECT_EQ(dict.DocumentFrequency(dict.Lookup("c")), 1u);
+}
+
+TEST(TokenDictionaryTest, GlobalOrderIsAscendingFrequency) {
+  TokenDictionary dict;
+  // "common" in 3 docs, "mid" in 2, "rare" in 1.
+  dict.InternDocument({"common", "mid", "rare"});
+  dict.InternDocument({"common", "mid"});
+  dict.InternDocument({"common"});
+  dict.BuildGlobalOrder();
+  EXPECT_LT(dict.GlobalRank(dict.Lookup("rare")),
+            dict.GlobalRank(dict.Lookup("mid")));
+  EXPECT_LT(dict.GlobalRank(dict.Lookup("mid")),
+            dict.GlobalRank(dict.Lookup("common")));
+}
+
+TEST(TokenDictionaryTest, RanksArePermutation) {
+  TokenDictionary dict;
+  dict.InternDocument({"a", "b", "c", "d"});
+  dict.InternDocument({"b", "d"});
+  dict.BuildGlobalOrder();
+  std::vector<bool> seen(dict.size(), false);
+  for (TokenId id = 0; id < dict.size(); ++id) {
+    uint32_t r = dict.GlobalRank(id);
+    ASSERT_LT(r, dict.size());
+    EXPECT_FALSE(seen[r]);
+    seen[r] = true;
+  }
+}
+
+TEST(TokenDictionaryTest, SortByRankDeduplicates) {
+  TokenDictionary dict;
+  std::vector<TokenId> doc = dict.InternDocument({"x", "y", "x", "z"});
+  dict.BuildGlobalOrder();
+  std::vector<TokenId> sorted = dict.SortByRank(doc);
+  EXPECT_EQ(sorted.size(), 3u);
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_LT(dict.GlobalRank(sorted[i - 1]), dict.GlobalRank(sorted[i]));
+  }
+}
+
+}  // namespace
+}  // namespace dime

@@ -1,0 +1,55 @@
+#include "src/text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace dime {
+namespace {
+
+TEST(TokenizerTest, WhitespaceTokenize) {
+  EXPECT_EQ(WhitespaceTokenize("SIGMOD 2015"),
+            (std::vector<std::string>{"SIGMOD", "2015"}));
+  EXPECT_EQ(WhitespaceTokenize("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(WhitespaceTokenize("").empty());
+  EXPECT_TRUE(WhitespaceTokenize("   ").empty());
+}
+
+TEST(TokenizerTest, WordTokenizeLowercasesAndSplitsOnPunctuation) {
+  EXPECT_EQ(WordTokenize("KATARA: A Data-Cleaning System!"),
+            (std::vector<std::string>{"katara", "a", "data", "cleaning",
+                                      "system"}));
+  EXPECT_EQ(WordTokenize("e4's win32"),
+            (std::vector<std::string>{"e4", "s", "win32"}));
+  EXPECT_TRUE(WordTokenize("...").empty());
+}
+
+TEST(TokenizerTest, WordTokenizeUniquePreservesFirstSeenOrder) {
+  EXPECT_EQ(WordTokenizeUnique("data data cleaning Data system cleaning"),
+            (std::vector<std::string>{"data", "cleaning", "system"}));
+}
+
+TEST(TokenizerTest, QGramsBasic) {
+  EXPECT_EQ(QGrams("abcd", 2),
+            (std::vector<std::string>{"ab", "bc", "cd"}));
+  EXPECT_EQ(QGrams("abcd", 3), (std::vector<std::string>{"abc", "bcd"}));
+}
+
+TEST(TokenizerTest, QGramsShortStringReturnsWhole) {
+  EXPECT_EQ(QGrams("ab", 3), (std::vector<std::string>{"ab"}));
+  EXPECT_EQ(QGrams("ab", 2), (std::vector<std::string>{"ab"}));
+}
+
+TEST(TokenizerTest, QGramsEdgeCases) {
+  EXPECT_TRUE(QGrams("", 2).empty());
+  EXPECT_TRUE(QGrams("abc", 0).empty());
+}
+
+TEST(TokenizerTest, QGramCountMatchesFormula) {
+  std::string s = "hello world";
+  for (int q = 1; q <= 4; ++q) {
+    EXPECT_EQ(QGrams(s, q).size(), s.size() - q + 1);
+  }
+}
+
+}  // namespace
+}  // namespace dime

@@ -1,0 +1,68 @@
+#include "src/index/union_find.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace dime {
+namespace {
+
+TEST(UnionFindTest, InitiallyDisjoint) {
+  UnionFind uf(4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(uf.ComponentSize(i), 1u);
+    for (int j = i + 1; j < 4; ++j) EXPECT_FALSE(uf.Connected(i, j));
+  }
+}
+
+TEST(UnionFindTest, UnionAndTransitivity) {
+  UnionFind uf(5);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(1, 2));
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_FALSE(uf.Union(0, 2));  // already connected
+  EXPECT_EQ(uf.ComponentSize(2), 3u);
+  EXPECT_FALSE(uf.Connected(0, 3));
+}
+
+TEST(UnionFindTest, ComponentsAreSortedAndComplete) {
+  UnionFind uf(6);
+  uf.Union(4, 1);
+  uf.Union(5, 2);
+  auto components = uf.Components();
+  // Ordered by smallest member: {0}, {1,4}, {2,5}, {3}.
+  ASSERT_EQ(components.size(), 4u);
+  EXPECT_EQ(components[0], (std::vector<int>{0}));
+  EXPECT_EQ(components[1], (std::vector<int>{1, 4}));
+  EXPECT_EQ(components[2], (std::vector<int>{2, 5}));
+  EXPECT_EQ(components[3], (std::vector<int>{3}));
+}
+
+TEST(UnionFindTest, RandomizedInvariants) {
+  Random rng(77);
+  UnionFind uf(50);
+  // Reference: naive reachability via repeated unions on a matrix.
+  std::vector<int> label(50);
+  for (int i = 0; i < 50; ++i) label[i] = i;
+  auto relabel = [&](int from, int to) {
+    for (int& l : label) {
+      if (l == from) l = to;
+    }
+  };
+  for (int step = 0; step < 200; ++step) {
+    int a = static_cast<int>(rng.Uniform(50));
+    int b = static_cast<int>(rng.Uniform(50));
+    uf.Union(a, b);
+    relabel(label[a], label[b]);
+    int x = static_cast<int>(rng.Uniform(50));
+    int y = static_cast<int>(rng.Uniform(50));
+    EXPECT_EQ(uf.Connected(x, y), label[x] == label[y]);
+  }
+  // Component sizes must sum to n.
+  size_t total = 0;
+  for (const auto& c : uf.Components()) total += c.size();
+  EXPECT_EQ(total, 50u);
+}
+
+}  // namespace
+}  // namespace dime

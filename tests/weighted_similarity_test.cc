@@ -1,0 +1,201 @@
+#include "src/sim/weighted_similarity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/random.h"
+#include "src/core/dime_plus.h"
+#include "src/core/preprocess.h"
+#include "src/ontology/builtin.h"
+#include "src/sim/set_similarity.h"
+
+namespace dime {
+namespace {
+
+using V = std::vector<uint32_t>;
+
+TEST(WeightedJaccardTest, KnownValues) {
+  std::vector<double> w{4.0, 2.0, 1.0, 1.0};
+  // A = {0,1}, B = {1,2}: inter = w1 = 2, union = 4+2+1 = 7.
+  EXPECT_DOUBLE_EQ(WeightedJaccardSim({0, 1}, {1, 2}, w), 2.0 / 7.0);
+  EXPECT_DOUBLE_EQ(WeightedJaccardSim({0, 1}, {0, 1}, w), 1.0);
+  EXPECT_DOUBLE_EQ(WeightedJaccardSim({}, {}, w), 1.0);
+  EXPECT_DOUBLE_EQ(WeightedJaccardSim({0}, {}, w), 0.0);
+}
+
+TEST(WeightedCosineTest, KnownValues) {
+  std::vector<double> w{3.0, 4.0};
+  // A = {0}, B = {0,1}: dot = 9, norms 3 and 5.
+  EXPECT_DOUBLE_EQ(WeightedCosineSim({0}, {0, 1}, w), 9.0 / 15.0);
+  EXPECT_DOUBLE_EQ(WeightedCosineSim({0, 1}, {0, 1}, w), 1.0);
+  EXPECT_DOUBLE_EQ(WeightedCosineSim({}, {}, w), 1.0);
+  EXPECT_DOUBLE_EQ(WeightedCosineSim({0}, {1}, w), 0.0);
+}
+
+TEST(WeightedSimilarityTest, UniformWeightsReduceToUnweighted) {
+  std::vector<double> w(16, 1.0);
+  Random rng(3);
+  for (int trial = 0; trial < 300; ++trial) {
+    V a, b;
+    for (uint32_t t = 0; t < 16; ++t) {
+      if (rng.Bernoulli(0.4)) a.push_back(t);
+      if (rng.Bernoulli(0.4)) b.push_back(t);
+    }
+    EXPECT_NEAR(WeightedJaccardSim(a, b, w),
+                JaccardSim(a, b), 1e-12);
+    EXPECT_NEAR(WeightedCosineSim(a, b, w), CosineSim(a, b), 1e-12);
+  }
+}
+
+TEST(WeightedSimilarityTest, RareSharedTokenDominates) {
+  // Token 0 is rare (heavy), token 3 is common (light).
+  std::vector<double> w{5.0, 1.0, 1.0, 0.2};
+  double share_rare = WeightedJaccardSim({0, 1}, {0, 2}, w);
+  double share_common = WeightedJaccardSim({3, 1}, {3, 2}, w);
+  EXPECT_GT(share_rare, share_common);
+}
+
+TEST(WeightedSimilarityTest, RangeAndSymmetry) {
+  Random rng(7);
+  std::vector<double> w;
+  for (int i = 0; i < 20; ++i) w.push_back(0.1 + rng.UniformDouble() * 5.0);
+  for (int trial = 0; trial < 500; ++trial) {
+    V a, b;
+    for (uint32_t t = 0; t < 20; ++t) {
+      if (rng.Bernoulli(0.3)) a.push_back(t);
+      if (rng.Bernoulli(0.3)) b.push_back(t);
+    }
+    for (SimFunc f : {SimFunc::kWeightedJaccard, SimFunc::kWeightedCosine}) {
+      double s = WeightedSetSimilarity(f, a, b, w);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0 + 1e-12);
+      EXPECT_DOUBLE_EQ(s, WeightedSetSimilarity(f, b, a, w));
+    }
+  }
+}
+
+TEST(IdfWeightsTest, RarerTokensWeighMore) {
+  std::vector<double> w = IdfWeightsByRank({1, 3, 10}, 10);
+  EXPECT_GT(w[0], w[1]);
+  EXPECT_GT(w[1], w[2]);
+  EXPECT_DOUBLE_EQ(w[0], std::log(11.0));
+  EXPECT_DOUBLE_EQ(w[2], std::log(2.0));
+}
+
+/// Weighted prefix filtering completeness: qualifying pairs share a token
+/// inside both prefixes.
+class WeightedPrefixTest
+    : public ::testing::TestWithParam<std::tuple<SimFunc, double>> {};
+
+TEST_P(WeightedPrefixTest, QualifyingPairsSharePrefixToken) {
+  auto [func, threshold] = GetParam();
+  Random rng(11);
+  std::vector<double> w;
+  for (int i = 0; i < 24; ++i) w.push_back(0.2 + rng.UniformDouble() * 4.0);
+  // Sort descending so rank order == weight order, as preprocessing
+  // guarantees (rank = ascending document frequency).
+  std::sort(w.rbegin(), w.rend());
+
+  int qualifying = 0;
+  for (int trial = 0; trial < 4000; ++trial) {
+    V a, b;
+    for (uint32_t t = 0; t < 24; ++t) {
+      if (rng.Bernoulli(0.3)) a.push_back(t);
+    }
+    if (rng.Bernoulli(0.5)) {
+      for (uint32_t t : a) {
+        if (!rng.Bernoulli(0.2)) b.push_back(t);
+      }
+    } else {
+      for (uint32_t t = 0; t < 24; ++t) {
+        if (rng.Bernoulli(0.3)) b.push_back(t);
+      }
+    }
+    if (a.empty() || b.empty()) continue;
+    if (WeightedSetSimilarity(func, a, b, w) < threshold) continue;
+    ++qualifying;
+    size_t pa = WeightedPrefixLength(func, a, w, threshold);
+    size_t pb = WeightedPrefixLength(func, b, w, threshold);
+    V prefix_a(a.begin(), a.begin() + pa);
+    V prefix_b(b.begin(), b.begin() + pb);
+    EXPECT_GT(IntersectionSize(prefix_a, prefix_b), 0u);
+  }
+  EXPECT_GT(qualifying, 50) << "vacuous test";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FunctionsAndThresholds, WeightedPrefixTest,
+    ::testing::Values(std::make_tuple(SimFunc::kWeightedJaccard, 0.4),
+                      std::make_tuple(SimFunc::kWeightedJaccard, 0.7),
+                      std::make_tuple(SimFunc::kWeightedCosine, 0.5),
+                      std::make_tuple(SimFunc::kWeightedCosine, 0.8)));
+
+TEST(WeightedPredicateTest, EndToEndThroughPreparedGroup) {
+  Group g;
+  g.schema = Schema({"Title", "Authors"});
+  auto add = [&](const std::string& title) {
+    Entity e;
+    e.id = "e" + std::to_string(g.entities.size());
+    e.values = {{title}, {}};
+    g.entities.push_back(std::move(e));
+  };
+  // "data systems" words are common (low idf); "desulfurization" rare.
+  add("data systems survey");
+  add("data systems overview");
+  add("data systems analysis");
+  add("desulfurization of data");
+  add("desulfurization of oil");
+
+  Predicate p;
+  p.attr = 0;
+  p.func = SimFunc::kWeightedJaccard;
+  p.mode = TokenMode::kWords;
+  p.threshold = 0.0;
+  PreparedGroup pg = PrepareGroupForPredicates(g, {p}, {});
+  // Both pairs share exactly two of four tokens (unweighted Jaccard 0.5
+  // for both), but sharing the rare "desulfurization of" outweighs
+  // sharing the common "data systems".
+  double rare_pair = PredicateSimilarity(pg, p, 3, 4);
+  double common_pair = PredicateSimilarity(pg, p, 0, 1);
+  Predicate uw = p;
+  uw.func = SimFunc::kJaccard;
+  EXPECT_DOUBLE_EQ(PredicateSimilarity(pg, uw, 3, 4),
+                   PredicateSimilarity(pg, uw, 0, 1));
+  EXPECT_GT(rare_pair, common_pair);
+}
+
+TEST(WeightedPredicateTest, DimeEnginesAgreeWithWeightedRules) {
+  // A weighted positive rule drives the engines and DIME+ must agree with
+  // naive DIME.
+  Group g;
+  g.schema = Schema({"Title", "Authors"});
+  Random rng(13);
+  const char* words[] = {"data", "systems", "query",  "oil",
+                         "desulfurization", "glycol", "polymer", "survey"};
+  for (int i = 0; i < 40; ++i) {
+    Entity e;
+    e.id = "e" + std::to_string(i);
+    std::string title;
+    for (int k = 0; k < 4; ++k) {
+      if (k > 0) title += " ";
+      title += words[rng.Uniform(8)];
+    }
+    e.values = {{title}, {}};
+    g.entities.push_back(std::move(e));
+  }
+  std::vector<PositiveRule> pos(1);
+  std::vector<NegativeRule> neg(1);
+  ASSERT_TRUE(
+      ParsePositiveRule("wjaccard(Title:words) >= 0.6", g.schema, &pos[0]));
+  ASSERT_TRUE(
+      ParseNegativeRule("wcosine(Title:words) <= 0.2", g.schema, &neg[0]));
+  PreparedGroup pg = PrepareGroup(g, pos, neg, {});
+  DimeResult a = RunDime(pg, pos, neg);
+  DimeResult b = RunDimePlus(pg, pos, neg);
+  EXPECT_EQ(a.partitions, b.partitions);
+  EXPECT_EQ(a.flagged_by_prefix, b.flagged_by_prefix);
+}
+
+}  // namespace
+}  // namespace dime
