@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_signatures.dir/bench_ablation_signatures.cc.o"
+  "CMakeFiles/bench_ablation_signatures.dir/bench_ablation_signatures.cc.o.d"
+  "bench_ablation_signatures"
+  "bench_ablation_signatures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

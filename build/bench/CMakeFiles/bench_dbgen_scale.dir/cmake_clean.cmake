@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dbgen_scale.dir/bench_dbgen_scale.cc.o"
+  "CMakeFiles/bench_dbgen_scale.dir/bench_dbgen_scale.cc.o.d"
+  "bench_dbgen_scale"
+  "bench_dbgen_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dbgen_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

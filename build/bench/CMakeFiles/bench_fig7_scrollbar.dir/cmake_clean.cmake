@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_scrollbar.dir/bench_fig7_scrollbar.cc.o"
+  "CMakeFiles/bench_fig7_scrollbar.dir/bench_fig7_scrollbar.cc.o.d"
+  "bench_fig7_scrollbar"
+  "bench_fig7_scrollbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_scrollbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_review_effort.dir/bench_review_effort.cc.o"
+  "CMakeFiles/bench_review_effort.dir/bench_review_effort.cc.o.d"
+  "bench_review_effort"
+  "bench_review_effort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_review_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

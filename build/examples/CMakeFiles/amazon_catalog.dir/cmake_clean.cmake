@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amazon_catalog.dir/amazon_catalog.cpp.o"
+  "CMakeFiles/amazon_catalog.dir/amazon_catalog.cpp.o.d"
+  "amazon_catalog"
+  "amazon_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amazon_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

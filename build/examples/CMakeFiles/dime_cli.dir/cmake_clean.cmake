@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dime_cli.dir/dime_cli.cpp.o"
+  "CMakeFiles/dime_cli.dir/dime_cli.cpp.o.d"
+  "dime_cli"
+  "dime_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dime_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

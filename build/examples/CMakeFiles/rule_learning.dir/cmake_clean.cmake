@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_learning.dir/rule_learning.cpp.o"
+  "CMakeFiles/rule_learning.dir/rule_learning.cpp.o.d"
+  "rule_learning"
+  "rule_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scholar_cleaning.dir/scholar_cleaning.cpp.o"
+  "CMakeFiles/scholar_cleaning.dir/scholar_cleaning.cpp.o.d"
+  "scholar_cleaning"
+  "scholar_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scholar_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_page.dir/streaming_page.cpp.o"
+  "CMakeFiles/streaming_page.dir/streaming_page.cpp.o.d"
+  "streaming_page"
+  "streaming_page.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_page.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cr.cc" "src/CMakeFiles/dime.dir/baselines/cr.cc.o" "gcc" "src/CMakeFiles/dime.dir/baselines/cr.cc.o.d"
+  "/root/repo/src/baselines/decision_tree.cc" "src/CMakeFiles/dime.dir/baselines/decision_tree.cc.o" "gcc" "src/CMakeFiles/dime.dir/baselines/decision_tree.cc.o.d"
+  "/root/repo/src/baselines/kmeans.cc" "src/CMakeFiles/dime.dir/baselines/kmeans.cc.o" "gcc" "src/CMakeFiles/dime.dir/baselines/kmeans.cc.o.d"
+  "/root/repo/src/baselines/sifi.cc" "src/CMakeFiles/dime.dir/baselines/sifi.cc.o" "gcc" "src/CMakeFiles/dime.dir/baselines/sifi.cc.o.d"
+  "/root/repo/src/baselines/svm.cc" "src/CMakeFiles/dime.dir/baselines/svm.cc.o" "gcc" "src/CMakeFiles/dime.dir/baselines/svm.cc.o.d"
+  "/root/repo/src/common/csv.cc" "src/CMakeFiles/dime.dir/common/csv.cc.o" "gcc" "src/CMakeFiles/dime.dir/common/csv.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/dime.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/dime.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/dime.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/dime.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/corpus.cc" "src/CMakeFiles/dime.dir/core/corpus.cc.o" "gcc" "src/CMakeFiles/dime.dir/core/corpus.cc.o.d"
+  "/root/repo/src/core/dime.cc" "src/CMakeFiles/dime.dir/core/dime.cc.o" "gcc" "src/CMakeFiles/dime.dir/core/dime.cc.o.d"
+  "/root/repo/src/core/dime_parallel.cc" "src/CMakeFiles/dime.dir/core/dime_parallel.cc.o" "gcc" "src/CMakeFiles/dime.dir/core/dime_parallel.cc.o.d"
+  "/root/repo/src/core/dime_plus.cc" "src/CMakeFiles/dime.dir/core/dime_plus.cc.o" "gcc" "src/CMakeFiles/dime.dir/core/dime_plus.cc.o.d"
+  "/root/repo/src/core/entity.cc" "src/CMakeFiles/dime.dir/core/entity.cc.o" "gcc" "src/CMakeFiles/dime.dir/core/entity.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/CMakeFiles/dime.dir/core/explain.cc.o" "gcc" "src/CMakeFiles/dime.dir/core/explain.cc.o.d"
+  "/root/repo/src/core/incremental.cc" "src/CMakeFiles/dime.dir/core/incremental.cc.o" "gcc" "src/CMakeFiles/dime.dir/core/incremental.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/dime.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/dime.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/preprocess.cc" "src/CMakeFiles/dime.dir/core/preprocess.cc.o" "gcc" "src/CMakeFiles/dime.dir/core/preprocess.cc.o.d"
+  "/root/repo/src/core/review_session.cc" "src/CMakeFiles/dime.dir/core/review_session.cc.o" "gcc" "src/CMakeFiles/dime.dir/core/review_session.cc.o.d"
+  "/root/repo/src/datagen/amazon_gen.cc" "src/CMakeFiles/dime.dir/datagen/amazon_gen.cc.o" "gcc" "src/CMakeFiles/dime.dir/datagen/amazon_gen.cc.o.d"
+  "/root/repo/src/datagen/dbgen_gen.cc" "src/CMakeFiles/dime.dir/datagen/dbgen_gen.cc.o" "gcc" "src/CMakeFiles/dime.dir/datagen/dbgen_gen.cc.o.d"
+  "/root/repo/src/datagen/export.cc" "src/CMakeFiles/dime.dir/datagen/export.cc.o" "gcc" "src/CMakeFiles/dime.dir/datagen/export.cc.o.d"
+  "/root/repo/src/datagen/names.cc" "src/CMakeFiles/dime.dir/datagen/names.cc.o" "gcc" "src/CMakeFiles/dime.dir/datagen/names.cc.o.d"
+  "/root/repo/src/datagen/presets.cc" "src/CMakeFiles/dime.dir/datagen/presets.cc.o" "gcc" "src/CMakeFiles/dime.dir/datagen/presets.cc.o.d"
+  "/root/repo/src/datagen/scholar_gen.cc" "src/CMakeFiles/dime.dir/datagen/scholar_gen.cc.o" "gcc" "src/CMakeFiles/dime.dir/datagen/scholar_gen.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/CMakeFiles/dime.dir/index/inverted_index.cc.o" "gcc" "src/CMakeFiles/dime.dir/index/inverted_index.cc.o.d"
+  "/root/repo/src/index/signature.cc" "src/CMakeFiles/dime.dir/index/signature.cc.o" "gcc" "src/CMakeFiles/dime.dir/index/signature.cc.o.d"
+  "/root/repo/src/index/similarity_join.cc" "src/CMakeFiles/dime.dir/index/similarity_join.cc.o" "gcc" "src/CMakeFiles/dime.dir/index/similarity_join.cc.o.d"
+  "/root/repo/src/index/verification.cc" "src/CMakeFiles/dime.dir/index/verification.cc.o" "gcc" "src/CMakeFiles/dime.dir/index/verification.cc.o.d"
+  "/root/repo/src/ontology/builtin.cc" "src/CMakeFiles/dime.dir/ontology/builtin.cc.o" "gcc" "src/CMakeFiles/dime.dir/ontology/builtin.cc.o.d"
+  "/root/repo/src/ontology/ontology.cc" "src/CMakeFiles/dime.dir/ontology/ontology.cc.o" "gcc" "src/CMakeFiles/dime.dir/ontology/ontology.cc.o.d"
+  "/root/repo/src/rulegen/candidates.cc" "src/CMakeFiles/dime.dir/rulegen/candidates.cc.o" "gcc" "src/CMakeFiles/dime.dir/rulegen/candidates.cc.o.d"
+  "/root/repo/src/rulegen/crossval.cc" "src/CMakeFiles/dime.dir/rulegen/crossval.cc.o" "gcc" "src/CMakeFiles/dime.dir/rulegen/crossval.cc.o.d"
+  "/root/repo/src/rulegen/enumerate.cc" "src/CMakeFiles/dime.dir/rulegen/enumerate.cc.o" "gcc" "src/CMakeFiles/dime.dir/rulegen/enumerate.cc.o.d"
+  "/root/repo/src/rulegen/greedy.cc" "src/CMakeFiles/dime.dir/rulegen/greedy.cc.o" "gcc" "src/CMakeFiles/dime.dir/rulegen/greedy.cc.o.d"
+  "/root/repo/src/rules/predicate.cc" "src/CMakeFiles/dime.dir/rules/predicate.cc.o" "gcc" "src/CMakeFiles/dime.dir/rules/predicate.cc.o.d"
+  "/root/repo/src/rules/rule.cc" "src/CMakeFiles/dime.dir/rules/rule.cc.o" "gcc" "src/CMakeFiles/dime.dir/rules/rule.cc.o.d"
+  "/root/repo/src/rules/rule_io.cc" "src/CMakeFiles/dime.dir/rules/rule_io.cc.o" "gcc" "src/CMakeFiles/dime.dir/rules/rule_io.cc.o.d"
+  "/root/repo/src/sim/edit_distance.cc" "src/CMakeFiles/dime.dir/sim/edit_distance.cc.o" "gcc" "src/CMakeFiles/dime.dir/sim/edit_distance.cc.o.d"
+  "/root/repo/src/sim/set_similarity.cc" "src/CMakeFiles/dime.dir/sim/set_similarity.cc.o" "gcc" "src/CMakeFiles/dime.dir/sim/set_similarity.cc.o.d"
+  "/root/repo/src/sim/similarity.cc" "src/CMakeFiles/dime.dir/sim/similarity.cc.o" "gcc" "src/CMakeFiles/dime.dir/sim/similarity.cc.o.d"
+  "/root/repo/src/sim/weighted_similarity.cc" "src/CMakeFiles/dime.dir/sim/weighted_similarity.cc.o" "gcc" "src/CMakeFiles/dime.dir/sim/weighted_similarity.cc.o.d"
+  "/root/repo/src/text/token_dictionary.cc" "src/CMakeFiles/dime.dir/text/token_dictionary.cc.o" "gcc" "src/CMakeFiles/dime.dir/text/token_dictionary.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/dime.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/dime.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/topicmodel/hierarchy_builder.cc" "src/CMakeFiles/dime.dir/topicmodel/hierarchy_builder.cc.o" "gcc" "src/CMakeFiles/dime.dir/topicmodel/hierarchy_builder.cc.o.d"
+  "/root/repo/src/topicmodel/lda.cc" "src/CMakeFiles/dime.dir/topicmodel/lda.cc.o" "gcc" "src/CMakeFiles/dime.dir/topicmodel/lda.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

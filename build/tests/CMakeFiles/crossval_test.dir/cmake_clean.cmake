@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossval_test.dir/crossval_test.cc.o"
+  "CMakeFiles/crossval_test.dir/crossval_test.cc.o.d"
+  "crossval_test"
+  "crossval_test.pdb"
+  "crossval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

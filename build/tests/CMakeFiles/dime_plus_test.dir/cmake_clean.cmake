@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dime_plus_test.dir/dime_plus_test.cc.o"
+  "CMakeFiles/dime_plus_test.dir/dime_plus_test.cc.o.d"
+  "dime_plus_test"
+  "dime_plus_test.pdb"
+  "dime_plus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dime_plus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dime_test.dir/dime_test.cc.o"
+  "CMakeFiles/dime_test.dir/dime_test.cc.o.d"
+  "dime_test"
+  "dime_test.pdb"
+  "dime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

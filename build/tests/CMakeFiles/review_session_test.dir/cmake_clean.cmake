@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/review_session_test.dir/review_session_test.cc.o"
+  "CMakeFiles/review_session_test.dir/review_session_test.cc.o.d"
+  "review_session_test"
+  "review_session_test.pdb"
+  "review_session_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/review_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sifi_test.dir/sifi_test.cc.o"
+  "CMakeFiles/sifi_test.dir/sifi_test.cc.o.d"
+  "sifi_test"
+  "sifi_test.pdb"
+  "sifi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sifi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_similarity_test.dir/weighted_similarity_test.cc.o"
+  "CMakeFiles/weighted_similarity_test.dir/weighted_similarity_test.cc.o.d"
+  "weighted_similarity_test"
+  "weighted_similarity_test.pdb"
+  "weighted_similarity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_similarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
