@@ -4,8 +4,12 @@
 //   dime_cli <group.tsv> --positive "<rule>" [--positive ...]
 //                        --negative "<rule>" [--negative ...]
 //                        [--rules <ruleset.txt>]
-//                        [--engine naive|plus] [--venue-ontology]
+//                        [--engine naive|plus|parallel] [--venue-ontology]
 //                        [--ontology <tree.txt> --ontology-mode exact|keyword]
+//                        [--deadline-ms <n>]
+//
+// --deadline-ms bounds the run: on expiry the scrollbar computed so far is
+// printed (still monotone, a subset of the full answer) with a note.
 //
 // The TSV format is the one produced by GroupToTsv: a header row starting
 // with "_id" listing the attribute names (optional trailing "_error"
@@ -20,11 +24,14 @@
 // Run with no arguments for a self-contained demo on a generated page.
 
 #include <cstdio>
-#include <memory>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/common/deadline.h"
+#include "src/core/dime_parallel.h"
 #include "src/core/dime_plus.h"
 #include "src/core/metrics.h"
 #include "src/datagen/presets.h"
@@ -69,7 +76,8 @@ int main(int argc, char** argv) {
   std::string path = argv[1];
   std::vector<std::string> positive_texts, negative_texts;
   bool use_venue_ontology = false;
-  bool naive = false;
+  std::string engine = "plus";
+  long deadline_ms = -1;
   std::vector<std::string> ontology_paths;
   std::vector<std::string> ontology_modes;
   std::string rules_path;
@@ -100,7 +108,17 @@ int main(int argc, char** argv) {
       }
       ontology_modes.back() = next();
     } else if (arg == "--engine") {
-      naive = std::strcmp(next(), "naive") == 0;
+      engine = next();
+      if (engine != "naive" && engine != "plus" && engine != "parallel") {
+        std::fprintf(stderr, "--engine must be naive, plus, or parallel\n");
+        return 2;
+      }
+    } else if (arg == "--deadline-ms") {
+      deadline_ms = std::strtol(next(), nullptr, 10);
+      if (deadline_ms <= 0) {
+        std::fprintf(stderr, "--deadline-ms needs a positive integer\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
@@ -108,8 +126,12 @@ int main(int argc, char** argv) {
   }
 
   Group group;
-  if (!LoadGroupTsv(path, path, &group)) {
-    std::fprintf(stderr, "cannot parse %s\n", path.c_str());
+  Status loaded = LoadGroup(path, path, &group);
+  if (!loaded.ok()) {
+    // The code tells the user what actually went wrong: a missing file, a
+    // failed read, a malformed header, or a row/schema disagreement.
+    std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(),
+                 loaded.ToString().c_str());
     return 1;
   }
   std::printf("Loaded %zu entities with %zu attributes%s.\n", group.size(),
@@ -175,9 +197,22 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  DimeResult result =
-      naive ? RunDime(group, positive, negative, context)
-            : RunDimePlus(group, positive, negative, context);
+  RunControl control;
+  if (deadline_ms > 0) control.deadline = Deadline::AfterMillis(deadline_ms);
+
+  PreparedGroup pg = PrepareGroup(group, positive, negative, context);
+  DimeResult result;
+  if (engine == "naive") {
+    result = RunDime(pg, positive, negative, control);
+  } else if (engine == "parallel") {
+    result = RunDimeParallel(pg, positive, negative, {}, control);
+  } else {
+    result = RunDimePlus(pg, positive, negative, {}, control);
+  }
+  if (!result.ok()) {
+    std::fprintf(stderr, "note: run truncated (%s); results are partial\n",
+                 result.status.ToString().c_str());
+  }
 
   std::printf("%zu partitions; pivot has %zu entities.\n",
               result.partitions.size(), result.PivotEntities().size());

@@ -18,13 +18,25 @@ double Gini(size_t pos, size_t total) {
 
 }  // namespace
 
-void DecisionTree::Train(const std::vector<LabeledPair>& pairs,
-                         const DecisionTreeOptions& options) {
-  DIME_CHECK(!pairs.empty());
+Status DecisionTree::Train(const std::vector<LabeledPair>& pairs,
+                           const DecisionTreeOptions& options) {
   nodes_.clear();
+  if (pairs.empty()) {
+    return InvalidArgumentError("DecisionTree: empty training set");
+  }
+  const size_t dim = pairs[0].features.size();
+  for (const LabeledPair& p : pairs) {
+    if (p.features.size() != dim) {
+      return InvalidArgumentError(
+          "DecisionTree: inconsistent feature widths (" +
+          std::to_string(p.features.size()) + " vs " + std::to_string(dim) +
+          ")");
+    }
+  }
   std::vector<int> indices(pairs.size());
   for (size_t i = 0; i < indices.size(); ++i) indices[i] = static_cast<int>(i);
   Build(&indices, pairs, 0, options);
+  return OkStatus();
 }
 
 int DecisionTree::Build(std::vector<int>* indices,
@@ -103,10 +115,13 @@ int DecisionTree::Build(std::vector<int>* indices,
 }
 
 bool DecisionTree::Predict(const std::vector<double>& features) const {
-  DIME_CHECK(!nodes_.empty());
+  if (nodes_.empty()) return false;
   int node = 0;
   while (!nodes_[node].leaf) {
-    node = features[nodes_[node].feature] < nodes_[node].threshold
+    // Features the tree never saw (short vector) take the left branch, as
+    // if the value were -inf.
+    size_t f = static_cast<size_t>(nodes_[node].feature);
+    node = f >= features.size() || features[f] < nodes_[node].threshold
                ? nodes_[node].left
                : nodes_[node].right;
   }
@@ -152,7 +167,11 @@ std::vector<LearnedRule> DecisionTree::ExtractPositiveRules() const {
 PairLearner MakeDecisionTreeLearner(const DecisionTreeOptions& options) {
   return [options](const std::vector<LabeledPair>& train) -> PairClassifier {
     auto tree = std::make_shared<DecisionTree>();
-    tree->Train(train, options);
+    Status trained = tree->Train(train, options);
+    if (!trained.ok()) {
+      DIME_LOG(WARNING) << "DecisionTree learner degraded to predict-false: "
+                        << trained.ToString();
+    }
     return [tree](const std::vector<double>& features) {
       return tree->Predict(features);
     };

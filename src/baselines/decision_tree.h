@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/rulegen/candidates.h"
 #include "src/rulegen/crossval.h"
 
@@ -25,10 +26,14 @@ class DecisionTree {
  public:
   DecisionTree() = default;
 
-  void Train(const std::vector<LabeledPair>& pairs,
-             const DecisionTreeOptions& options = {});
+  /// Fits the tree. INVALID_ARGUMENT (leaving the tree untrained) when
+  /// the training set is empty or feature vectors have inconsistent
+  /// widths — hostile training data cannot abort the process.
+  Status Train(const std::vector<LabeledPair>& pairs,
+               const DecisionTreeOptions& options = {});
 
-  /// Predicts "same category" for a feature vector.
+  /// Predicts "same category" for a feature vector. An untrained tree
+  /// predicts false.
   bool Predict(const std::vector<double>& features) const;
 
   /// Number of internal nodes + leaves (for tests / inspection).

@@ -1,6 +1,7 @@
 #include "src/baselines/sifi.h"
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 #include <set>
 
@@ -31,7 +32,10 @@ bool SifiPredict(const SifiStructure& structure,
   for (size_t c = 0; c < structure.conjunctions.size(); ++c) {
     bool all = true;
     for (size_t s = 0; s < structure.conjunctions[c].size(); ++s) {
-      if (features[structure.conjunctions[c][s]] < thresholds[c][s] - kEps) {
+      int spec = structure.conjunctions[c][s];
+      // A slot outside the feature vector cannot be satisfied.
+      if (spec < 0 || static_cast<size_t>(spec) >= features.size() ||
+          features[spec] < thresholds[c][s] - kEps) {
         all = false;
         break;
       }
@@ -41,15 +45,34 @@ bool SifiPredict(const SifiStructure& structure,
   return false;
 }
 
-SifiResult SifiSearch(const std::vector<LabeledPair>& pairs,
-                      const SifiStructure& structure) {
-  DIME_CHECK(!pairs.empty());
+StatusOr<SifiResult> TrainSifi(const std::vector<LabeledPair>& pairs,
+                               const SifiStructure& structure) {
+  if (pairs.empty()) {
+    return InvalidArgumentError("SIFI: empty training set");
+  }
+  size_t num_specs = pairs[0].features.size();
+  for (const LabeledPair& p : pairs) {
+    if (p.features.size() != num_specs) {
+      return InvalidArgumentError(
+          "SIFI: inconsistent feature widths (" +
+          std::to_string(p.features.size()) + " vs " +
+          std::to_string(num_specs) + ")");
+    }
+  }
+  for (const std::vector<int>& conjunction : structure.conjunctions) {
+    for (int spec : conjunction) {
+      if (spec < 0 || static_cast<size_t>(spec) >= num_specs) {
+        return InvalidArgumentError(
+            "SIFI: structure references spec " + std::to_string(spec) +
+            " but features have " + std::to_string(num_specs) + " slots");
+      }
+    }
+  }
   SifiResult result;
 
   // Candidate thresholds per spec: the observed feature values (Theorem 3
   // restricts the search to these), plus a value above the max so a slot
   // can be effectively disabled.
-  size_t num_specs = pairs[0].features.size();
   std::vector<std::vector<double>> grid(num_specs);
   for (size_t s = 0; s < num_specs; ++s) {
     std::set<double> values;
@@ -96,6 +119,22 @@ SifiResult SifiSearch(const std::vector<LabeledPair>& pairs,
   }
   result.objective = best;
   return result;
+}
+
+SifiResult SifiSearch(const std::vector<LabeledPair>& pairs,
+                      const SifiStructure& structure) {
+  StatusOr<SifiResult> fitted = TrainSifi(pairs, structure);
+  if (fitted.ok()) return std::move(fitted).value();
+  DIME_LOG(WARNING) << "SifiSearch degraded to match-nothing thresholds: "
+                    << fitted.status().ToString();
+  // Thresholds no feature can reach: the predictor matches nothing.
+  SifiResult none;
+  none.thresholds.resize(structure.conjunctions.size());
+  for (size_t c = 0; c < structure.conjunctions.size(); ++c) {
+    none.thresholds[c].assign(structure.conjunctions[c].size(),
+                              std::numeric_limits<double>::infinity());
+  }
+  return none;
 }
 
 PairLearner MakeSifiLearner(const SifiStructure& structure) {

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/rulegen/candidates.h"
 #include "src/rulegen/crossval.h"
 
@@ -33,6 +34,16 @@ struct SifiResult {
 };
 
 /// Searches thresholds for `structure` on the training pairs.
+/// INVALID_ARGUMENT when the training set is empty, feature vectors have
+/// inconsistent widths, or the structure references a spec index outside
+/// the feature space — a hostile training set degrades into an error, it
+/// cannot abort the process.
+StatusOr<SifiResult> TrainSifi(const std::vector<LabeledPair>& pairs,
+                               const SifiStructure& structure);
+
+/// Shim over TrainSifi for existing call sites: on error, logs a warning
+/// and returns a result whose thresholds are unattainably high, so the
+/// fitted predictor matches nothing (objective 0).
 SifiResult SifiSearch(const std::vector<LabeledPair>& pairs,
                       const SifiStructure& structure);
 

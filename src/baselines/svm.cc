@@ -11,10 +11,24 @@
 
 namespace dime {
 
-void LinearSvm::Train(const std::vector<LabeledPair>& pairs,
-                      const SvmOptions& options) {
-  DIME_CHECK(!pairs.empty());
+Status LinearSvm::Train(const std::vector<LabeledPair>& pairs,
+                        const SvmOptions& options) {
+  weights_.clear();
+  mean_.clear();
+  stddev_.clear();
+  bias_ = 0.0;
+  if (pairs.empty()) {
+    return InvalidArgumentError("LinearSvm: empty training set");
+  }
   const size_t dim = pairs[0].features.size();
+  for (const LabeledPair& p : pairs) {
+    if (p.features.size() != dim) {
+      return InvalidArgumentError(
+          "LinearSvm: inconsistent feature widths (" +
+          std::to_string(p.features.size()) + " vs " + std::to_string(dim) +
+          ")");
+    }
+  }
 
   // Standardize features with training statistics.
   mean_.assign(dim, 0.0);
@@ -73,10 +87,11 @@ void LinearSvm::Train(const std::vector<LabeledPair>& pairs,
       bias_ += eta * cls_w * y;
     }
   }
+  return OkStatus();
 }
 
 double LinearSvm::Decision(const std::vector<double>& features) const {
-  DIME_CHECK_EQ(features.size(), weights_.size());
+  if (features.size() != weights_.size()) return 0.0;
   double sum = bias_;
   for (size_t i = 0; i < features.size(); ++i) {
     sum += weights_[i] * (features[i] - mean_[i]) / stddev_[i];
@@ -129,7 +144,11 @@ std::vector<int> SvmDiscover(const Group& group,
 PairLearner MakeSvmLearner(const SvmOptions& options) {
   return [options](const std::vector<LabeledPair>& train) -> PairClassifier {
     auto model = std::make_shared<LinearSvm>();
-    model->Train(train, options);
+    Status trained = model->Train(train, options);
+    if (!trained.ok()) {
+      DIME_LOG(WARNING) << "SVM learner degraded to predict-false: "
+                        << trained.ToString();
+    }
     return [model](const std::vector<double>& features) {
       return model->Predict(features);
     };

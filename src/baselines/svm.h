@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/core/preprocess.h"
 #include "src/rulegen/candidates.h"
 #include "src/rulegen/crossval.h"
@@ -35,9 +36,13 @@ class LinearSvm {
   LinearSvm() = default;
 
   /// Trains on labeled feature-space pairs (positive = same category).
-  void Train(const std::vector<LabeledPair>& pairs, const SvmOptions& options);
+  /// INVALID_ARGUMENT (leaving the model untrained) when the training set
+  /// is empty or feature widths are inconsistent.
+  Status Train(const std::vector<LabeledPair>& pairs,
+               const SvmOptions& options);
 
-  /// Signed decision value (> 0 predicts "same category").
+  /// Signed decision value (> 0 predicts "same category"). An untrained
+  /// model — or a feature vector of the wrong width — scores 0.
   double Decision(const std::vector<double>& features) const;
 
   bool Predict(const std::vector<double>& features) const {

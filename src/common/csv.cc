@@ -3,20 +3,34 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/common/fault_injection.h"
 #include "src/common/string_util.h"
 
 namespace dime {
 
-bool ReadTsvFile(const std::string& path, std::vector<TsvRow>* rows) {
-  rows->clear();
-  std::ifstream in(path);
-  if (!in) return false;
+StatusOr<std::vector<TsvRow>> ReadTsv(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError(path + ": cannot open");
+  if (DIME_FAULT_POINT("io/read")) {
+    return IoError(path + ": injected read fault");
+  }
+  std::vector<TsvRow> rows;
   std::string line;
   while (std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
-    rows->push_back(Split(line, '\t'));
+    rows.push_back(Split(line, '\t'));
   }
+  // getline sets failbit at EOF; only badbit marks a real read failure.
+  if (in.bad()) return IoError(path + ": read failed");
+  return rows;
+}
+
+bool ReadTsvFile(const std::string& path, std::vector<TsvRow>* rows) {
+  rows->clear();
+  StatusOr<std::vector<TsvRow>> read = ReadTsv(path);
+  if (!read.ok()) return false;
+  *rows = std::move(read).value();
   return true;
 }
 
@@ -32,11 +46,17 @@ std::vector<TsvRow> ParseTsv(const std::string& content) {
   return rows;
 }
 
-bool WriteTsvFile(const std::string& path, const std::vector<TsvRow>& rows) {
-  std::ofstream out(path);
-  if (!out) return false;
+Status WriteTsv(const std::string& path, const std::vector<TsvRow>& rows) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return NotFoundError(path + ": cannot create");
   out << FormatTsv(rows);
-  return static_cast<bool>(out);
+  out.flush();
+  if (!out) return IoError(path + ": write failed");
+  return OkStatus();
+}
+
+bool WriteTsvFile(const std::string& path, const std::vector<TsvRow>& rows) {
+  return WriteTsv(path, rows).ok();
 }
 
 std::string FormatTsv(const std::vector<TsvRow>& rows) {

@@ -1,0 +1,74 @@
+#include "src/common/fault_injection.h"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace dime {
+namespace {
+
+struct Failpoint {
+  int count = 0;  ///< firing hits left
+  int skip = 0;   ///< hits to let pass before firing
+};
+
+std::mutex& Mutex() {
+  static std::mutex& m = *new std::mutex();
+  return m;
+}
+
+std::unordered_map<std::string, Failpoint>& Armed() {
+  static auto& map = *new std::unordered_map<std::string, Failpoint>();
+  return map;
+}
+
+}  // namespace
+
+std::atomic<int> FaultInjection::armed_count_{0};
+
+void FaultInjection::Arm(const std::string& name, int count, int skip) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  if (count <= 0) {
+    Armed().erase(name);
+  } else {
+    Armed()[name] = Failpoint{count, skip < 0 ? 0 : skip};
+  }
+  armed_count_.store(static_cast<int>(Armed().size()),
+                     std::memory_order_relaxed);
+}
+
+void FaultInjection::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  Armed().erase(name);
+  armed_count_.store(static_cast<int>(Armed().size()),
+                     std::memory_order_relaxed);
+}
+
+void FaultInjection::DisarmAll() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  Armed().clear();
+  armed_count_.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjection::Triggered(const char* name) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Armed().find(name);
+  if (it == Armed().end()) return false;
+  if (it->second.skip > 0) {
+    --it->second.skip;
+    return false;
+  }
+  if (--it->second.count <= 0) {
+    Armed().erase(it);
+    armed_count_.store(static_cast<int>(Armed().size()),
+                       std::memory_order_relaxed);
+  }
+  return true;
+}
+
+int FaultInjection::Remaining(const std::string& name) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Armed().find(name);
+  return it == Armed().end() ? 0 : it->second.count;
+}
+
+}  // namespace dime

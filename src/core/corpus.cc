@@ -1,6 +1,8 @@
 #include "src/core/corpus.h"
 
 #include <atomic>
+#include <exception>
+#include <string>
 #include <thread>
 
 namespace dime {
@@ -25,12 +27,33 @@ std::vector<DimeResult> RunCorpus(const std::vector<Group>& groups,
     while (true) {
       size_t g = next.fetch_add(1);
       if (g >= groups.size()) break;
-      PreparedGroup pg =
-          PrepareGroup(groups[g], positive, negative, context);
-      results[g] = options.use_dime_plus
-                       ? RunDimePlus(pg, positive, negative,
-                                     options.dime_plus)
-                       : RunDime(pg, positive, negative);
+      Status gate = internal::CheckRunControl(options.control, "corpus/group");
+      if (!gate.ok()) {
+        results[g] = DimeResult{};
+        results[g].flagged_by_prefix.assign(negative.size() + 1, {});
+        results[g].status = gate;
+        continue;
+      }
+      try {
+        PreparedGroup pg =
+            PrepareGroup(groups[g], positive, negative, context);
+        results[g] = options.use_dime_plus
+                         ? RunDimePlus(pg, positive, negative,
+                                       options.dime_plus, options.control)
+                         : RunDime(pg, positive, negative, options.control);
+      } catch (const std::exception& e) {
+        results[g] = DimeResult{};
+        results[g].flagged_by_prefix.assign(negative.size() + 1, {});
+        results[g].status =
+            InternalError(std::string("corpus worker fault on group ") +
+                          std::to_string(g) + ": " + e.what());
+      } catch (...) {
+        results[g] = DimeResult{};
+        results[g].flagged_by_prefix.assign(negative.size() + 1, {});
+        results[g].status =
+            InternalError(std::string("corpus worker fault on group ") +
+                          std::to_string(g) + ": unknown exception");
+      }
     }
   };
   if (threads == 1) {

@@ -19,10 +19,16 @@ struct CorpusOptions {
   /// false runs the naive Algorithm 1 instead of DIME+.
   bool use_dime_plus = true;
   DimePlusOptions dime_plus;
+  /// Deadline / cancellation shared by every group. Groups that start
+  /// after expiry come back empty with a DEADLINE_EXCEEDED / CANCELLED
+  /// status; groups in flight are truncated by their engine.
+  RunControl control;
 };
 
 /// Runs the chosen engine on every group (preparation included), in
-/// parallel across groups.
+/// parallel across groups. Faults are confined to the group that raised
+/// them: a worker-thread exception marks that group's result INTERNAL
+/// (empty, non-flagging) and the remaining groups still run.
 std::vector<DimeResult> RunCorpus(const std::vector<Group>& groups,
                                   const std::vector<PositiveRule>& positive,
                                   const std::vector<NegativeRule>& negative,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/fault_injection.h"
 #include "src/common/logging.h"
 #include "src/index/union_find.h"
 
@@ -39,11 +40,37 @@ std::vector<std::vector<int>> BuildScrollbar(
   return by_prefix;
 }
 
+Status CheckRunControl(const RunControl& control, const char* where) {
+  if (DIME_FAULT_POINT("engine/deadline")) {
+    return DeadlineExceededError(std::string("injected deadline pressure at ") +
+                                 where);
+  }
+  if (control.IsUnbounded()) return OkStatus();
+  return control.Check(where);
+}
+
 }  // namespace internal
+
+namespace {
+
+/// A run stopped before any partition existed: no partitions, a full-width
+/// scrollbar of empty prefixes, and the explaining status.
+DimeResult TruncatedBeforePartitions(Status status, size_t num_rules,
+                                     DimeResult result) {
+  result.partitions.clear();
+  result.pivot = -1;
+  result.first_flagging_rule.clear();
+  result.flagged_by_prefix.assign(num_rules, {});
+  result.status = std::move(status);
+  return result;
+}
+
+}  // namespace
 
 DimeResult RunDime(const PreparedGroup& pg,
                    const std::vector<PositiveRule>& positive,
-                   const std::vector<NegativeRule>& negative) {
+                   const std::vector<NegativeRule>& negative,
+                   const RunControl& control) {
   DimeResult result;
   const int n = static_cast<int>(pg.size());
   if (n == 0) {
@@ -53,8 +80,15 @@ DimeResult RunDime(const PreparedGroup& pg,
 
   // Step 1: check every entity pair against the disjunction of positive
   // rules; connected components of the match graph are the partitions.
+  // Aborting mid-scan would leave half-merged partitions, so a deadline
+  // hit here discards step 1 entirely (checked once per row).
   UnionFind uf(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
+    Status st = internal::CheckRunControl(control, "dime/positive-row");
+    if (!st.ok()) {
+      return TruncatedBeforePartitions(std::move(st), negative.size(),
+                                       std::move(result));
+    }
     for (int j = i + 1; j < n; ++j) {
       for (const PositiveRule& rule : positive) {
         ++result.stats.positive_pair_checks;
@@ -75,11 +109,20 @@ DimeResult RunDime(const PreparedGroup& pg,
   // (Example 9: e4 is flagged "because e4 does not have overlapping in
   // Authors with any entity in P1"). We record the first rule that flags
   // each partition; the scrollbar prefixes follow from it.
+  //
+  // Deadline checks sit at partition boundaries: stopping there leaves the
+  // remaining partitions unflagged, so every flagged set is a subset of
+  // the untruncated run's and the scrollbar stays monotone.
   std::vector<int> first_flagging(result.partitions.size(), -1);
   if (result.pivot >= 0) {
     const std::vector<int>& pivot_entities = result.partitions[result.pivot];
     for (size_t p = 0; p < result.partitions.size(); ++p) {
       if (static_cast<int>(p) == result.pivot) continue;
+      Status st = internal::CheckRunControl(control, "dime/negative-partition");
+      if (!st.ok()) {
+        result.status = std::move(st);
+        break;
+      }
       for (size_t r = 0; r < negative.size() && first_flagging[p] < 0; ++r) {
         for (int e : result.partitions[p]) {
           bool all_dissimilar = true;
@@ -102,6 +145,12 @@ DimeResult RunDime(const PreparedGroup& pg,
   result.flagged_by_prefix = internal::BuildScrollbar(
       result.partitions, result.pivot, first_flagging, negative.size());
   return result;
+}
+
+DimeResult RunDime(const PreparedGroup& pg,
+                   const std::vector<PositiveRule>& positive,
+                   const std::vector<NegativeRule>& negative) {
+  return RunDime(pg, positive, negative, RunControl{});
 }
 
 DimeResult RunDime(const Group& group,

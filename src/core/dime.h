@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/deadline.h"
+#include "src/common/status.h"
 #include "src/core/preprocess.h"
 #include "src/rules/rule.h"
 
@@ -78,9 +80,29 @@ struct DimeResult {
     static const std::vector<int>& kEmpty = *new std::vector<int>();
     return pivot < 0 ? kEmpty : partitions[pivot];
   }
+
+  /// OK for a complete run. DEADLINE_EXCEEDED / CANCELLED when a
+  /// RunControl stopped the engine early: the result is then partial but
+  /// valid — every flagged set is a subset of what the untruncated run
+  /// would flag, and the scrollbar prefixes stay monotone. INTERNAL when
+  /// RunDimeParallel captured a worker fault and serial fallback was
+  /// disabled (the result carries no partitions in that case).
+  Status status;
+
+  bool ok() const { return status.ok(); }
 };
 
-/// Runs Algorithm 1 (the naive quadratic framework).
+/// Runs Algorithm 1 (the naive quadratic framework). `control` bounds the
+/// run: the engine checks the deadline / cancellation token at row and
+/// partition boundaries and, on expiry, returns the monotone scrollbar
+/// prefix computed so far with a non-OK status (see DimeResult::status).
+/// An expiry during step 1 yields no partitions at all — half-merged
+/// partitions would not be valid.
+DimeResult RunDime(const PreparedGroup& pg,
+                   const std::vector<PositiveRule>& positive,
+                   const std::vector<NegativeRule>& negative,
+                   const RunControl& control);
+
 DimeResult RunDime(const PreparedGroup& pg,
                    const std::vector<PositiveRule>& positive,
                    const std::vector<NegativeRule>& negative);
@@ -93,6 +115,10 @@ DimeResult RunDime(const Group& group,
 
 /// Shared helpers (used by both engines; exposed for tests).
 namespace internal {
+
+/// Engine-side RunControl check: folds in the "engine/deadline" failpoint
+/// so tests can apply deadline pressure without racing a real clock.
+Status CheckRunControl(const RunControl& control, const char* where);
 
 /// Picks the pivot: largest partition, ties toward smaller index.
 int PickPivot(const std::vector<std::vector<int>>& partitions);

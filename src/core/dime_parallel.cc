@@ -1,9 +1,12 @@
 #include "src/core/dime_parallel.h"
 
 #include <atomic>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/common/fault_injection.h"
 #include "src/common/logging.h"
 #include "src/index/union_find.h"
 
@@ -16,12 +19,97 @@ unsigned ResolveThreads(unsigned requested) {
   return hw == 0 ? 1 : hw;
 }
 
+/// Shared failure state of one fan-out: the first captured worker
+/// exception and the first non-OK control status. `stop` makes the other
+/// workers drain quickly once either is set.
+struct WorkerFailures {
+  std::atomic<bool> stop{false};
+  std::mutex mu;
+  std::exception_ptr exception;      // guarded by mu
+  Status control_status;             // guarded by mu
+
+  void RecordException(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (exception == nullptr) exception = std::move(e);
+    stop.store(true, std::memory_order_relaxed);
+  }
+
+  void RecordControl(Status st) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (control_status.ok()) control_status = std::move(st);
+    stop.store(true, std::memory_order_relaxed);
+  }
+
+  bool ShouldStop() const { return stop.load(std::memory_order_relaxed); }
+};
+
+/// Runs `body` on `threads` workers, joining them all even when one
+/// throws: std::terminate is only reachable if an exception escapes a
+/// worker, and here none can — the body is wrapped in a catch-all that
+/// records the exception for the coordinating thread.
+template <typename Body>
+void RunWorkers(unsigned threads, WorkerFailures* failures,
+                const Body& body) {
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t]() {
+      try {
+        body(t);
+      } catch (...) {
+        failures->RecordException(std::current_exception());
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+}
+
+/// Inspects a finished fan-out. Returns true when the run must abandon
+/// the parallel path; fills `out` per the options (serial fallback or an
+/// INTERNAL/truncation status).
+bool ResolveFailures(WorkerFailures* failures, const PreparedGroup& pg,
+                     const std::vector<PositiveRule>& positive,
+                     const std::vector<NegativeRule>& negative,
+                     const ParallelOptions& options, const RunControl& control,
+                     bool partitions_done, DimeResult* out) {
+  std::lock_guard<std::mutex> lock(failures->mu);
+  if (failures->exception != nullptr) {
+    std::string what = "worker thread failed";
+    try {
+      std::rethrow_exception(failures->exception);
+    } catch (const std::exception& e) {
+      what = e.what();
+    } catch (...) {
+    }
+    if (options.serial_fallback) {
+      DIME_LOG(WARNING) << "RunDimeParallel worker fault (" << what
+                        << "); falling back to the serial engine";
+      *out = RunDime(pg, positive, negative, control);
+    } else {
+      *out = DimeResult();
+      out->flagged_by_prefix.assign(negative.size(), {});
+      out->status = InternalError("worker thread fault: " + what);
+    }
+    return true;
+  }
+  if (!failures->control_status.ok() && !partitions_done) {
+    // Deadline/cancellation during step 1: same contract as RunDime — no
+    // half-merged partitions, empty scrollbar, explaining status.
+    *out = DimeResult();
+    out->flagged_by_prefix.assign(negative.size(), {});
+    out->status = failures->control_status;
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 DimeResult RunDimeParallel(const PreparedGroup& pg,
                            const std::vector<PositiveRule>& positive,
                            const std::vector<NegativeRule>& negative,
-                           const ParallelOptions& options) {
+                           const ParallelOptions& options,
+                           const RunControl& control) {
   DimeResult result;
   const int n = static_cast<int>(pg.size());
   if (n == 0) {
@@ -34,33 +122,43 @@ DimeResult RunDimeParallel(const PreparedGroup& pg,
   std::vector<std::vector<std::pair<int, int>>> edges(threads);
   std::vector<size_t> checks(threads, 0);
   {
+    WorkerFailures failures;
     // Rows are dealt round-robin: row i has n-1-i pairs, so interleaving
     // balances the triangular workload.
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) {
-      workers.emplace_back([&, t]() {
-        // Accumulate locally: shared per-thread slots would false-share a
-        // cache line across all workers.
-        size_t local_checks = 0;
-        std::vector<std::pair<int, int>> local_edges;
-        for (int i = static_cast<int>(t); i < n;
-             i += static_cast<int>(threads)) {
-          for (int j = i + 1; j < n; ++j) {
-            for (const PositiveRule& rule : positive) {
-              ++local_checks;
-              if (EvalPositiveRule(pg, rule, i, j)) {
-                local_edges.emplace_back(i, j);
-                break;
-              }
+    RunWorkers(threads, &failures, [&](unsigned t) {
+      if (DIME_FAULT_POINT("parallel/worker-fault")) {
+        throw std::runtime_error("injected worker fault (step 1)");
+      }
+      // Accumulate locally: shared per-thread slots would false-share a
+      // cache line across all workers.
+      size_t local_checks = 0;
+      std::vector<std::pair<int, int>> local_edges;
+      for (int i = static_cast<int>(t); i < n;
+           i += static_cast<int>(threads)) {
+        if (failures.ShouldStop()) return;
+        Status st =
+            internal::CheckRunControl(control, "dime_parallel/positive-row");
+        if (!st.ok()) {
+          failures.RecordControl(std::move(st));
+          return;
+        }
+        for (int j = i + 1; j < n; ++j) {
+          for (const PositiveRule& rule : positive) {
+            ++local_checks;
+            if (EvalPositiveRule(pg, rule, i, j)) {
+              local_edges.emplace_back(i, j);
+              break;
             }
           }
         }
-        checks[t] = local_checks;
-        edges[t] = std::move(local_edges);
-      });
+      }
+      checks[t] = local_checks;
+      edges[t] = std::move(local_edges);
+    });
+    if (ResolveFailures(&failures, pg, positive, negative, options, control,
+                        /*partitions_done=*/false, &result)) {
+      return result;
     }
-    for (std::thread& w : workers) w.join();
   }
   UnionFind uf(static_cast<size_t>(n));
   for (unsigned t = 0; t < threads; ++t) {
@@ -78,43 +176,69 @@ DimeResult RunDimeParallel(const PreparedGroup& pg,
     const std::vector<int>& pivot_entities = result.partitions[result.pivot];
     std::atomic<size_t> next{0};
     std::vector<size_t> neg_checks(threads, 0);
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) {
-      workers.emplace_back([&, t]() {
-        size_t local_checks = 0;
-        while (true) {
-          size_t p = next.fetch_add(1);
-          if (p >= result.partitions.size()) break;
-          if (static_cast<int>(p) == result.pivot) continue;
-          for (size_t r = 0;
-               r < negative.size() && first_flagging[p] < 0; ++r) {
-            for (int e : result.partitions[p]) {
-              bool all_dissimilar = true;
-              for (int e_star : pivot_entities) {
-                ++local_checks;
-                if (!EvalNegativeRule(pg, negative[r], e, e_star)) {
-                  all_dissimilar = false;
-                  break;
-                }
-              }
-              if (all_dissimilar) {
-                first_flagging[p] = static_cast<int>(r);
+    WorkerFailures failures;
+    RunWorkers(threads, &failures, [&](unsigned t) {
+      if (DIME_FAULT_POINT("parallel/worker-fault")) {
+        throw std::runtime_error("injected worker fault (step 3)");
+      }
+      size_t local_checks = 0;
+      while (true) {
+        if (failures.ShouldStop()) break;
+        Status st = internal::CheckRunControl(
+            control, "dime_parallel/negative-partition");
+        if (!st.ok()) {
+          failures.RecordControl(std::move(st));
+          break;
+        }
+        size_t p = next.fetch_add(1);
+        if (p >= result.partitions.size()) break;
+        if (static_cast<int>(p) == result.pivot) continue;
+        for (size_t r = 0;
+             r < negative.size() && first_flagging[p] < 0; ++r) {
+          for (int e : result.partitions[p]) {
+            bool all_dissimilar = true;
+            for (int e_star : pivot_entities) {
+              ++local_checks;
+              if (!EvalNegativeRule(pg, negative[r], e, e_star)) {
+                all_dissimilar = false;
                 break;
               }
             }
+            if (all_dissimilar) {
+              first_flagging[p] = static_cast<int>(r);
+              break;
+            }
           }
         }
-        neg_checks[t] = local_checks;
-      });
+      }
+      neg_checks[t] = local_checks;
+    });
+    if (ResolveFailures(&failures, pg, positive, negative, options, control,
+                        /*partitions_done=*/true, &result)) {
+      return result;
     }
-    for (std::thread& w : workers) w.join();
+    // Deadline during step 3: partitions the workers finished keep their
+    // flags (a subset of the full run's — monotone scrollbar), the rest
+    // stay unflagged, and the status reports the truncation.
+    {
+      std::lock_guard<std::mutex> lock(failures.mu);
+      if (!failures.control_status.ok()) {
+        result.status = failures.control_status;
+      }
+    }
     for (size_t c : neg_checks) result.stats.negative_pair_checks += c;
   }
   result.first_flagging_rule = first_flagging;
   result.flagged_by_prefix = internal::BuildScrollbar(
       result.partitions, result.pivot, first_flagging, negative.size());
   return result;
+}
+
+DimeResult RunDimeParallel(const PreparedGroup& pg,
+                           const std::vector<PositiveRule>& positive,
+                           const std::vector<NegativeRule>& negative,
+                           const ParallelOptions& options) {
+  return RunDimeParallel(pg, positive, negative, options, RunControl{});
 }
 
 }  // namespace dime

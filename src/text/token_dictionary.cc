@@ -48,7 +48,14 @@ void TokenDictionary::BuildGlobalOrder() {
 }
 
 std::vector<uint32_t> TokenDictionary::DocumentFrequencyByRank() const {
-  DIME_CHECK(HasGlobalOrder()) << "call BuildGlobalOrder() first";
+  if (!HasGlobalOrder()) {
+    // Missed BuildGlobalOrder() is a caller bug, but not one worth dying
+    // for: degrade to insertion order (rank == id) with a warning.
+    DIME_LOG(WARNING)
+        << "DocumentFrequencyByRank before BuildGlobalOrder(); "
+           "degrading to insertion order";
+    return doc_freq_;
+  }
   std::vector<uint32_t> by_rank(tokens_.size(), 0);
   for (TokenId id = 0; id < tokens_.size(); ++id) {
     by_rank[rank_[id]] = doc_freq_[id];
@@ -58,7 +65,13 @@ std::vector<uint32_t> TokenDictionary::DocumentFrequencyByRank() const {
 
 std::vector<TokenId> TokenDictionary::SortByRank(
     std::vector<TokenId> ids) const {
-  DIME_CHECK(HasGlobalOrder()) << "call BuildGlobalOrder() first";
+  if (!HasGlobalOrder()) {
+    DIME_LOG(WARNING) << "SortByRank before BuildGlobalOrder(); "
+                         "degrading to insertion order";
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return ids;
+  }
   std::sort(ids.begin(), ids.end(), [this](TokenId a, TokenId b) {
     return rank_[a] < rank_[b];
   });

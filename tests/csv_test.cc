@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 namespace dime {
 namespace {
 
@@ -37,6 +39,65 @@ TEST(TsvTest, ReadMissingFileFails) {
   std::vector<TsvRow> rows;
   EXPECT_FALSE(ReadTsvFile("/nonexistent/path/file.tsv", &rows));
   EXPECT_TRUE(rows.empty());
+}
+
+TEST(TsvTest, ParseCrlfLineEndings) {
+  std::vector<TsvRow> rows = ParseTsv("a\tb\r\nc\td\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (TsvRow{"a", "b"}));
+  EXPECT_EQ(rows[1], (TsvRow{"c", "d"}));
+}
+
+TEST(TsvTest, ParseTrailingLineWithoutNewline) {
+  std::vector<TsvRow> rows = ParseTsv("a\tb\nc\td");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (TsvRow{"c", "d"}));
+
+  rows = ParseTsv("a\tb\nc\td\r");  // trailing CR, no LF
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (TsvRow{"c", "d"}));
+}
+
+TEST(TsvTest, ReadTsvDistinguishesEmptyFromMissing) {
+  // Empty file: OK with zero rows.
+  std::string path = testing::TempDir() + "/dime_tsv_empty.tsv";
+  ASSERT_TRUE(WriteTsvFile(path, {}));
+  StatusOr<std::vector<TsvRow>> empty = ReadTsv(path);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  // Missing file: NOT_FOUND, not an empty success.
+  StatusOr<std::vector<TsvRow>> missing =
+      ReadTsv("/nonexistent/path/file.tsv");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TsvTest, ReadTsvFileShimTreatsEmptyAsSuccess) {
+  std::string path = testing::TempDir() + "/dime_tsv_empty2.tsv";
+  ASSERT_TRUE(WriteTsvFile(path, {}));
+  std::vector<TsvRow> rows{{"stale"}};
+  EXPECT_TRUE(ReadTsvFile(path, &rows));
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(TsvTest, ReadTsvHandlesCrlfFiles) {
+  std::string path = testing::TempDir() + "/dime_tsv_crlf.tsv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "a\tb\r\nc\td";  // CRLF + trailing line without newline
+  }
+  StatusOr<std::vector<TsvRow>> rows = ReadTsv(path);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (TsvRow{"a", "b"}));
+  EXPECT_EQ((*rows)[1], (TsvRow{"c", "d"}));
+}
+
+TEST(TsvTest, WriteTsvToUnwritablePathFails) {
+  Status s = WriteTsv("/nonexistent/dir/file.tsv", {{"a"}});
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
 }
 
 TEST(TsvTest, MultiValueRoundTrip) {

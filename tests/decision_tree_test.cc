@@ -102,6 +102,33 @@ TEST(DecisionTreeTest, ExtractsLowerBoundRules) {
   }
 }
 
+TEST(DecisionTreeTest, HostileTrainingSetsAreInvalidArgument) {
+  DecisionTree tree;
+  Status empty = tree.Train({});
+  EXPECT_EQ(empty.code(), StatusCode::kInvalidArgument);
+  // An untrained tree predicts false instead of crashing.
+  EXPECT_FALSE(tree.Predict({0.5}));
+  EXPECT_EQ(tree.num_nodes(), 0u);
+
+  Status ragged = tree.Train({Pair({1.0, 2.0}, true), Pair({1.0}, false)});
+  EXPECT_EQ(ragged.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(tree.num_nodes(), 0u);
+}
+
+TEST(DecisionTreeTest, PredictWithShortFeatureVectorTakesLeftBranch) {
+  std::vector<LabeledPair> pairs;
+  Random rng(9);
+  for (int i = 0; i < 60; ++i) {
+    double f1 = rng.UniformDouble();
+    pairs.push_back(Pair({rng.UniformDouble(), f1}, f1 >= 0.5));
+  }
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Train(pairs).ok());
+  // Missing feature values behave like -inf (left branch), not a crash.
+  EXPECT_FALSE(tree.Predict({}));
+  EXPECT_FALSE(tree.Predict({0.9}));
+}
+
 TEST(DecisionTreeTest, LearnerPluggableIntoCrossValidation) {
   std::vector<LabeledPair> pairs;
   Random rng(15);

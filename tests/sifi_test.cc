@@ -63,6 +63,40 @@ TEST(SifiTest, PredictSemantics) {
   EXPECT_FALSE(SifiPredict(structure, thresholds, {1.0, 0.5}));
 }
 
+TEST(SifiTest, HostileTrainingSetsAreInvalidArgument) {
+  SifiStructure structure;
+  structure.conjunctions = {{0}};
+
+  // Empty training set.
+  StatusOr<SifiResult> empty = TrainSifi({}, structure);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+
+  // Inconsistent feature widths.
+  StatusOr<SifiResult> ragged =
+      TrainSifi({Pair({1.0, 2.0}, true), Pair({1.0}, false)}, structure);
+  ASSERT_FALSE(ragged.ok());
+  EXPECT_EQ(ragged.status().code(), StatusCode::kInvalidArgument);
+
+  // Structure referencing a feature slot outside the space.
+  SifiStructure bad;
+  bad.conjunctions = {{5}};
+  StatusOr<SifiResult> out_of_range =
+      TrainSifi({Pair({1.0}, true), Pair({0.0}, false)}, bad);
+  ASSERT_FALSE(out_of_range.ok());
+  EXPECT_EQ(out_of_range.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SifiTest, SifiSearchShimDegradesToMatchNothing) {
+  SifiStructure structure;
+  structure.conjunctions = {{0}};
+  SifiResult r = SifiSearch({}, structure);  // must not abort
+  EXPECT_EQ(r.objective, 0);
+  ASSERT_EQ(r.thresholds.size(), 1u);
+  // Unattainable thresholds: the fitted predictor matches nothing.
+  EXPECT_FALSE(SifiPredict(structure, r.thresholds, {1e12}));
+}
+
 TEST(SifiTest, LearnerPluggableIntoCrossValidation) {
   // Larger sample of the planted concept for stable folds.
   Random rng(3);

@@ -1,0 +1,166 @@
+// Unit tests for the Status / StatusOr error layer: codes, messages,
+// propagation macros, and the RunControl deadline/cancellation plumbing.
+
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/deadline.h"
+
+namespace dime {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(SchemaMismatchError("x").code(), StatusCode::kSchemaMismatch);
+  EXPECT_EQ(DeadlineExceededError("x").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(CancelledError("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(NotFoundError("no such file").message(), "no such file");
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  Status s = ParseError("bad header");
+  EXPECT_EQ(s.ToString(), "PARSE_ERROR: bad header");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(OkStatus(), Status());
+  EXPECT_EQ(IoError("m"), IoError("m"));
+  EXPECT_NE(IoError("m"), IoError("n"));
+  EXPECT_NE(IoError("m"), ParseError("m"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.status().ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(-1), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<std::vector<int>> v = NotFoundError("gone");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v.value_or({7}), std::vector<int>{7});
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v = std::string("abc");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->size(), 3u);
+}
+
+TEST(StatusOrTest, OkStatusNormalizedToInternal) {
+  StatusOr<int> v = OkStatus();
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInternal);
+}
+
+Status FailWhen(bool fail) {
+  return fail ? IoError("boom") : OkStatus();
+}
+
+Status Chained(bool fail) {
+  DIME_RETURN_IF_ERROR(FailWhen(fail));
+  return InvalidArgumentError("reached the end");
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(Chained(true).code(), StatusCode::kIoError);
+  EXPECT_EQ(Chained(false).code(), StatusCode::kInvalidArgument);
+}
+
+StatusOr<int> MaybeInt(bool fail) {
+  if (fail) return ParseError("no int");
+  return 5;
+}
+
+Status Doubled(bool fail, int* out) {
+  DIME_ASSIGN_OR_RETURN(int v, MaybeInt(fail));
+  DIME_ASSIGN_OR_RETURN(int w, MaybeInt(fail));
+  *out = v + w;
+  return OkStatus();
+}
+
+TEST(StatusMacroTest, AssignOrReturnBindsValueOrPropagates) {
+  int out = 0;
+  EXPECT_TRUE(Doubled(false, &out).ok());
+  EXPECT_EQ(out, 10);
+  out = 0;
+  EXPECT_EQ(Doubled(true, &out).code(), StatusCode::kParseError);
+  EXPECT_EQ(out, 0);
+}
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_FALSE(d.HasExpired());
+  EXPECT_FALSE(Deadline::Infinite().HasExpired());
+}
+
+TEST(DeadlineTest, ExpiredExpires) {
+  EXPECT_TRUE(Deadline::Expired().HasExpired());
+  EXPECT_FALSE(Deadline::Expired().is_infinite());
+}
+
+TEST(DeadlineTest, AfterMillisEventuallyExpires) {
+  Deadline d = Deadline::AfterMillis(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(d.HasExpired());
+  EXPECT_FALSE(Deadline::AfterMillis(60000).HasExpired());
+}
+
+TEST(CancellationTokenTest, CancelFlips) {
+  CancellationToken token;
+  EXPECT_FALSE(token.IsCancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.IsCancelled());
+}
+
+TEST(RunControlTest, DefaultIsUnbounded) {
+  RunControl control;
+  EXPECT_TRUE(control.IsUnbounded());
+  EXPECT_TRUE(control.Check("here").ok());
+}
+
+TEST(RunControlTest, ExpiredDeadlineChecksNonOk) {
+  RunControl control;
+  control.deadline = Deadline::Expired();
+  EXPECT_FALSE(control.IsUnbounded());
+  Status s = control.Check("step 3");
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(s.message().find("step 3"), std::string::npos);
+}
+
+TEST(RunControlTest, CancellationDominatesDeadline) {
+  CancellationToken token;
+  token.Cancel();
+  RunControl control;
+  control.deadline = Deadline::Expired();
+  control.cancel = &token;
+  EXPECT_EQ(control.Check("x").code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace dime
