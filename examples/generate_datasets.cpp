@@ -7,10 +7,10 @@
 // and the LDA theme hierarchy fitted on the exported corpus). Everything
 // can then be replayed with dime_cli, e.g.:
 //
-//   dime_cli dime_datasets/scholar/page_0.tsv \
-//     --rules dime_datasets/scholar/rules.txt \
-//     --ontology dime_datasets/scholar/venues.ontology \
-//     --ontology dime_datasets/scholar/venues.ontology --ontology-mode keyword
+//   dime_cli dime_datasets/scholar/page_0.tsv
+//       --rules dime_datasets/scholar/rules.txt
+//       --ontology dime_datasets/scholar/venues.ontology
+//       --ontology-mode keyword
 
 #include <cstdio>
 

@@ -1,0 +1,46 @@
+#ifndef DIME_COMMON_CHECK_H_
+#define DIME_COMMON_CHECK_H_
+
+#include "src/common/logging.h"
+#include "src/common/mutex.h"
+
+/// \file check.h
+/// Debug-only invariant checks. DIME_CHECK (logging.h) fires in every
+/// build; the DIME_DCHECK family compiles to nothing under NDEBUG — the
+/// condition is type-checked but never evaluated, so it may be
+/// arbitrarily expensive (full scrollbar-monotonicity scans at engine
+/// phase boundaries, say) without taxing release binaries.
+///
+/// Usage:
+///   DIME_DCHECK(pivot < n) << "pivot out of range: " << pivot;
+///   DIME_DCHECK_LE(prev.size(), cur.size());
+///   DIME_DCHECK_HELD(mu_);   // static: tells Clang TSA the lock is held
+///
+/// DIME_DCHECK aborts with the streamed message in debug builds (it is
+/// DIME_CHECK there); in release it is dead code the optimizer deletes.
+
+#ifndef NDEBUG
+#define DIME_DCHECK(condition) DIME_CHECK(condition)
+#else
+// `while (false)` keeps the condition and any streamed operands compiling
+// (no unused-variable warnings, no #ifdef at call sites) while guaranteeing
+// zero evaluations at runtime.
+#define DIME_DCHECK(condition) \
+  while (false) DIME_CHECK(condition)
+#endif
+
+#define DIME_DCHECK_EQ(a, b) DIME_DCHECK((a) == (b))
+#define DIME_DCHECK_NE(a, b) DIME_DCHECK((a) != (b))
+#define DIME_DCHECK_LT(a, b) DIME_DCHECK((a) < (b))
+#define DIME_DCHECK_LE(a, b) DIME_DCHECK((a) <= (b))
+#define DIME_DCHECK_GT(a, b) DIME_DCHECK((a) > (b))
+#define DIME_DCHECK_GE(a, b) DIME_DCHECK((a) >= (b))
+
+/// Asserts to the thread-safety analysis that `mu` (a dime::Mutex) is
+/// held by the current thread. Purely static in every build — std::mutex
+/// cannot report its holder at runtime — but under Clang it makes a
+/// missing-lock path a compile error rather than a race. Use at the top
+/// of private helpers that a locked caller invokes.
+#define DIME_DCHECK_HELD(mu) (mu).AssertHeld()
+
+#endif  // DIME_COMMON_CHECK_H_

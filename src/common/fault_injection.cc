@@ -1,7 +1,9 @@
 #include "src/common/fault_injection.h"
 
-#include <mutex>
 #include <unordered_map>
+
+#include "src/common/check.h"
+#include "src/common/mutex.h"
 
 namespace dime {
 namespace {
@@ -11,64 +13,86 @@ struct Failpoint {
   int skip = 0;   ///< hits to let pass before firing
 };
 
-std::mutex& Mutex() {
-  static std::mutex& m = *new std::mutex();
-  return m;
-}
+/// All failpoint configuration lives behind one mutex; the armed_count_
+/// atomic is only a fast-path hint (see the comment on it below).
+struct Registry {
+  Mutex mu;
+  std::unordered_map<std::string, Failpoint> armed DIME_GUARDED_BY(mu);
+};
 
-std::unordered_map<std::string, Failpoint>& Armed() {
-  static auto& map = *new std::unordered_map<std::string, Failpoint>();
-  return map;
+Registry& Reg() {
+  static Registry& r = *new Registry();  // leaked: safe at any exit order
+  return r;
 }
 
 }  // namespace
 
 std::atomic<int> FaultInjection::armed_count_{0};
 
+// Memory-order note (the hint/config pairing): Arm/Disarm write the
+// Failpoint config inside Reg().mu and then publish the new registry size
+// to armed_count_ with a RELEASE store; AnyArmed() reads it with an
+// ACQUIRE load. The acquire/release pair guarantees that a thread whose
+// fast path observes count > 0 also observes the config write that made
+// it non-zero once it takes the mutex — previously the store/load were
+// both relaxed, so the hint could in principle be reordered ahead of the
+// (mutex-guarded) config write and a concurrently-armed failpoint be
+// missed or observed half-published. The slow path (Triggered) is still
+// fully serialized by Reg().mu; the atomic is never the source of truth.
+// A fast path that reads a stale 0 is acceptable by design: arming a
+// failpoint is only guaranteed to be visible to threads started (or
+// otherwise synchronized-with) after Arm() returns.
+
 void FaultInjection::Arm(const std::string& name, int count, int skip) {
-  std::lock_guard<std::mutex> lock(Mutex());
+  Registry& r = Reg();
+  MutexLock lock(&r.mu);
   if (count <= 0) {
-    Armed().erase(name);
+    r.armed.erase(name);
   } else {
-    Armed()[name] = Failpoint{count, skip < 0 ? 0 : skip};
+    r.armed[name] = Failpoint{count, skip < 0 ? 0 : skip};
   }
-  armed_count_.store(static_cast<int>(Armed().size()),
-                     std::memory_order_relaxed);
+  armed_count_.store(static_cast<int>(r.armed.size()),
+                     std::memory_order_release);
 }
 
 void FaultInjection::Disarm(const std::string& name) {
-  std::lock_guard<std::mutex> lock(Mutex());
-  Armed().erase(name);
-  armed_count_.store(static_cast<int>(Armed().size()),
-                     std::memory_order_relaxed);
+  Registry& r = Reg();
+  MutexLock lock(&r.mu);
+  r.armed.erase(name);
+  armed_count_.store(static_cast<int>(r.armed.size()),
+                     std::memory_order_release);
 }
 
 void FaultInjection::DisarmAll() {
-  std::lock_guard<std::mutex> lock(Mutex());
-  Armed().clear();
-  armed_count_.store(0, std::memory_order_relaxed);
+  Registry& r = Reg();
+  MutexLock lock(&r.mu);
+  r.armed.clear();
+  armed_count_.store(0, std::memory_order_release);
 }
 
 bool FaultInjection::Triggered(const char* name) {
-  std::lock_guard<std::mutex> lock(Mutex());
-  auto it = Armed().find(name);
-  if (it == Armed().end()) return false;
+  Registry& r = Reg();
+  MutexLock lock(&r.mu);
+  auto it = r.armed.find(name);
+  if (it == r.armed.end()) return false;
   if (it->second.skip > 0) {
     --it->second.skip;
     return false;
   }
+  DIME_DCHECK_GT(it->second.count, 0);
   if (--it->second.count <= 0) {
-    Armed().erase(it);
-    armed_count_.store(static_cast<int>(Armed().size()),
-                       std::memory_order_relaxed);
+    r.armed.erase(it);
+    armed_count_.store(static_cast<int>(r.armed.size()),
+                       std::memory_order_release);
   }
   return true;
 }
 
 int FaultInjection::Remaining(const std::string& name) {
-  std::lock_guard<std::mutex> lock(Mutex());
-  auto it = Armed().find(name);
-  return it == Armed().end() ? 0 : it->second.count;
+  Registry& r = Reg();
+  MutexLock lock(&r.mu);
+  auto it = r.armed.find(name);
+  return it == r.armed.end() ? 0 : it->second.count;
 }
 
 }  // namespace dime

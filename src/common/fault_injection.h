@@ -12,7 +12,7 @@
 /// as a Status instead of a crash.
 ///
 /// When nothing is armed — always, outside tests — a failpoint costs one
-/// relaxed atomic load.
+/// acquire atomic load (uncontended; free on x86).
 ///
 /// Failpoint names in the library:
 ///   "io/read"                TSV/file reads fail with IO_ERROR
@@ -46,9 +46,11 @@ class FaultInjection {
   /// Remaining triggers for `name` (0 if not armed).
   static int Remaining(const std::string& name);
 
-  /// Fast path: true iff any failpoint is armed anywhere.
+  /// Fast path: true iff any failpoint is armed anywhere. Acquire pairs
+  /// with the release store in Arm/Disarm so an observed non-zero count
+  /// implies the arming write is visible (full rationale in the .cc).
   static bool AnyArmed() {
-    return armed_count_.load(std::memory_order_relaxed) > 0;
+    return armed_count_.load(std::memory_order_acquire) > 0;
   }
 
  private:
@@ -76,7 +78,7 @@ class ScopedFailpoint {
 }  // namespace dime
 
 /// True when the named failpoint fires. Evaluates to false with a single
-/// relaxed atomic load unless a test armed something.
+/// acquire atomic load unless a test armed something.
 #define DIME_FAULT_POINT(name)              \
   (::dime::FaultInjection::AnyArmed() &&    \
    ::dime::FaultInjection::Triggered(name))

@@ -2,10 +2,32 @@
 
 #include <atomic>
 
+#include "src/common/mutex.h"
+
 namespace dime {
 namespace {
 
+// The minimum level is a single word read on every DIME_LOG statement:
+// an atomic (not the sink mutex) so the common filtered-out case costs
+// one relaxed load and no lock. Relaxed is enough — the level is a
+// monotone-ish tuning knob, not a synchronization edge; no other data is
+// published through it.
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+// The sink, by contrast, is multi-step state (pointer swap + stream
+// write + flush) shared by every logging thread, so it is a Mutex with
+// DIME_GUARDED_BY — the convention documented in mutex.h.
+struct Sink {
+  Mutex mu;
+  /// Test override; nullptr = std::cerr. (std::cerr itself cannot be
+  /// stored here at static-init time without ordering hazards.)
+  std::ostream* override_stream DIME_GUARDED_BY(mu) = nullptr;
+};
+
+Sink& LogSink() {
+  static Sink& s = *new Sink();  // leaked: usable during static destruction
+  return s;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -25,10 +47,20 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-LogLevel MinLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
 
 void SetMinLogLevel(LogLevel level) {
-  g_min_level.store(static_cast<int>(level));
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+std::ostream* SetLogStream(std::ostream* stream) {
+  Sink& sink = LogSink();
+  MutexLock lock(&sink.mu);
+  std::ostream* previous = sink.override_stream;
+  sink.override_stream = stream;
+  return previous;
 }
 
 namespace internal {
@@ -40,7 +72,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (level_ >= MinLogLevel() || level_ == LogLevel::kFatal) {
-    std::cerr << stream_.str() << std::endl;
+    // One locked write per emitted line: lines from concurrent threads
+    // come out whole, never interleaved character-by-character.
+    Sink& sink = LogSink();
+    MutexLock lock(&sink.mu);
+    std::ostream& out =
+        sink.override_stream != nullptr ? *sink.override_stream : std::cerr;
+    out << stream_.str() << std::endl;
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

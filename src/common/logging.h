@@ -30,6 +30,14 @@ LogLevel MinLogLevel();
 /// Sets the process-wide minimum emitted level (default: kInfo).
 void SetMinLogLevel(LogLevel level);
 
+/// Redirects the log sink to `stream` (nullptr restores std::cerr) and
+/// returns the previous override (nullptr when the sink was std::cerr).
+/// The sink is mutex-guarded: concurrent DIME_LOG lines never interleave
+/// mid-line, and a SetLogStream cannot race an in-flight flush. The
+/// caller keeps ownership of `stream` and must keep it alive until the
+/// override is replaced.
+std::ostream* SetLogStream(std::ostream* stream);
+
 namespace internal {
 
 /// Accumulates one log line and flushes it (with a level prefix) on

@@ -1,0 +1,104 @@
+#ifndef DIME_COMMON_MUTEX_H_
+#define DIME_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "src/common/thread_annotations.h"
+
+/// \file mutex.h
+/// Capability-annotated synchronization primitives. `Mutex`, `MutexLock`,
+/// and `CondVar` are zero-cost wrappers over the std:: equivalents whose
+/// only addition is the Clang Thread Safety attributes from
+/// thread_annotations.h: pairing a field declared
+/// `DIME_GUARDED_BY(mu_)` with these wrappers makes unlocked access a
+/// compile error under Clang (-Werror=thread-safety) instead of a latent
+/// data race.
+///
+/// Convention (see DESIGN.md "Concurrency correctness"):
+///   - multi-word shared state (maps, vectors, Status, exception_ptr)
+///     → a Mutex plus DIME_GUARDED_BY on every field it protects;
+///   - single-word monotone flags and counters read on hot paths
+///     → std::atomic with an explicit memory_order and a comment
+///       justifying the order.
+
+namespace dime {
+
+class CondVar;
+
+/// A std::mutex declared as a Clang TSA capability. Non-reentrant.
+class DIME_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DIME_ACQUIRE() { mu_.lock(); }
+  void Unlock() DIME_RELEASE() { mu_.unlock(); }
+
+  /// Returns true (and holds the lock) iff the mutex was free.
+  bool TryLock() DIME_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tells the static analysis the lock is held without acquiring it.
+  /// A pure compile-time assertion — no runtime effect (std::mutex cannot
+  /// report its holder). Used by DIME_DCHECK_HELD at function boundaries
+  /// the analysis cannot see through.
+  void AssertHeld() const DIME_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for a Mutex; the scoped-capability annotation lets the
+/// analysis treat the guard's lifetime as the critical section.
+class DIME_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) DIME_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() DIME_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable usable with Mutex. Wait() requires the caller to
+/// hold the mutex (enforced by the analysis) and re-holds it on return.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases *mu and blocks until notified; re-acquires *mu
+  /// before returning. Spurious wakeups are possible — wait in a loop.
+  void Wait(Mutex* mu) DIME_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // Ownership stays with the caller's critical section.
+  }
+
+  /// Like Wait, but gives up after `timeout`. Returns false on timeout,
+  /// true when notified (either way *mu is held again on return).
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex* mu, std::chrono::duration<Rep, Period> timeout)
+      DIME_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    bool notified = cv_.wait_for(lock, timeout) == std::cv_status::no_timeout;
+    lock.release();
+    return notified;
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dime
+
+#endif  // DIME_COMMON_MUTEX_H_

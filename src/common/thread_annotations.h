@@ -1,0 +1,97 @@
+#ifndef DIME_COMMON_THREAD_ANNOTATIONS_H_
+#define DIME_COMMON_THREAD_ANNOTATIONS_H_
+
+/// \file thread_annotations.h
+/// Macros wrapping Clang's Thread Safety Analysis attributes
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). They let the
+/// compiler prove, at build time, that every access to a shared field
+/// happens with the right lock held:
+///
+///   class Account {
+///    public:
+///     void Deposit(int amount) DIME_EXCLUDES(mu_) {
+///       MutexLock lock(&mu_);
+///       balance_ += amount;
+///     }
+///    private:
+///     Mutex mu_;
+///     int balance_ DIME_GUARDED_BY(mu_) = 0;
+///   };
+///
+/// Under Clang, the analysis runs when the build enables -Wthread-safety
+/// (the top-level CMakeLists does, with -Werror=thread-safety, whenever
+/// the compiler is Clang). Under GCC and MSVC every macro expands to
+/// nothing, so the annotations are pure documentation there — zero cost
+/// in all configurations.
+
+#if defined(__clang__) && !defined(SWIG)
+#define DIME_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define DIME_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+/// Declares a class to be a lockable capability ("mutex" by convention).
+#define DIME_CAPABILITY(x) DIME_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII class whose lifetime scopes a capability.
+#define DIME_SCOPED_CAPABILITY \
+  DIME_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Data member may only be accessed while holding `x`.
+#define DIME_GUARDED_BY(x) DIME_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer member: the *pointed-to* data may only be accessed holding `x`.
+#define DIME_PT_GUARDED_BY(x) \
+  DIME_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock prevention).
+#define DIME_ACQUIRED_BEFORE(...) \
+  DIME_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define DIME_ACQUIRED_AFTER(...) \
+  DIME_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// Caller must hold the capability (exclusively / shared) on entry.
+#define DIME_REQUIRES(...) \
+  DIME_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define DIME_REQUIRES_SHARED(...) \
+  DIME_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires / releases the capability.
+#define DIME_ACQUIRE(...) \
+  DIME_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define DIME_ACQUIRE_SHARED(...) \
+  DIME_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+#define DIME_RELEASE(...) \
+  DIME_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define DIME_RELEASE_SHARED(...) \
+  DIME_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+#define DIME_RELEASE_GENERIC(...) \
+  DIME_THREAD_ANNOTATION_ATTRIBUTE__(release_generic_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `...` (usually true).
+#define DIME_TRY_ACQUIRE(...) \
+  DIME_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+#define DIME_TRY_ACQUIRE_SHARED(...)        \
+  DIME_THREAD_ANNOTATION_ATTRIBUTE__(      \
+      try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (prevents self-deadlock).
+#define DIME_EXCLUDES(...) \
+  DIME_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Asserts (to the analysis, not at runtime) that the capability is held.
+#define DIME_ASSERT_CAPABILITY(x) \
+  DIME_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+#define DIME_ASSERT_SHARED_CAPABILITY(x) \
+  DIME_THREAD_ANNOTATION_ATTRIBUTE__(assert_shared_capability(x))
+
+/// Function returns a reference to the capability guarding its result.
+#define DIME_RETURN_CAPABILITY(x) \
+  DIME_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use only with a
+/// comment explaining why the analysis cannot see the invariant.
+#define DIME_NO_THREAD_SAFETY_ANALYSIS \
+  DIME_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // DIME_COMMON_THREAD_ANNOTATIONS_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/check.h"
 #include "src/common/fault_injection.h"
 #include "src/common/logging.h"
 #include "src/index/union_find.h"
@@ -38,6 +39,57 @@ std::vector<std::vector<int>> BuildScrollbar(
     std::sort(flagged.begin(), flagged.end());
   }
   return by_prefix;
+}
+
+void DcheckResultInvariants(const DimeResult& result, size_t group_size,
+                            size_t num_rules) {
+#ifndef NDEBUG
+  DIME_DCHECK_EQ(result.flagged_by_prefix.size(), num_rules);
+  if (result.pivot >= 0) {
+    DIME_DCHECK_LT(static_cast<size_t>(result.pivot),
+                   result.partitions.size());
+    // Step 2 contract: no partition is strictly larger than the pivot,
+    // and none of equal size precedes it (ties break to smaller index).
+    const size_t pivot_size = result.partitions[result.pivot].size();
+    for (size_t p = 0; p < result.partitions.size(); ++p) {
+      DIME_DCHECK_LE(result.partitions[p].size(), pivot_size)
+          << "partition " << p << " is larger than pivot " << result.pivot;
+      if (static_cast<int>(p) < result.pivot) {
+        DIME_DCHECK_LT(result.partitions[p].size(), pivot_size)
+            << "pivot tie must break to the smaller index, but partition "
+            << p << " matches pivot " << result.pivot;
+      }
+    }
+  }
+  const std::vector<int>* prev = nullptr;
+  for (size_t k = 0; k < result.flagged_by_prefix.size(); ++k) {
+    const std::vector<int>& flagged = result.flagged_by_prefix[k];
+    DIME_DCHECK(std::is_sorted(flagged.begin(), flagged.end()));
+    if (prev != nullptr) {
+      // Scrollbar monotonicity (Fig. 3): each prefix's flagged set
+      // contains the previous prefix's.
+      DIME_DCHECK(
+          std::includes(flagged.begin(), flagged.end(), prev->begin(),
+                        prev->end()))
+          << "scrollbar not monotone at prefix " << k;
+    }
+    prev = &flagged;
+    for (int e : flagged) {
+      DIME_DCHECK_GE(e, 0);
+      DIME_DCHECK_LT(static_cast<size_t>(e), group_size)
+          << "flagged entity outside the group at prefix " << k;
+      if (result.pivot >= 0) {
+        const std::vector<int>& pe = result.partitions[result.pivot];
+        DIME_DCHECK(!std::binary_search(pe.begin(), pe.end(), e))
+            << "pivot entity " << e << " flagged at prefix " << k;
+      }
+    }
+  }
+#else
+  (void)result;
+  (void)group_size;
+  (void)num_rules;
+#endif
 }
 
 Status CheckRunControl(const RunControl& control, const char* where) {
@@ -144,6 +196,7 @@ DimeResult RunDime(const PreparedGroup& pg,
   result.first_flagging_rule = first_flagging;
   result.flagged_by_prefix = internal::BuildScrollbar(
       result.partitions, result.pivot, first_flagging, negative.size());
+  internal::DcheckResultInvariants(result, pg.size(), negative.size());
   return result;
 }
 

@@ -129,6 +129,17 @@ std::vector<std::vector<int>> BuildScrollbar(
     const std::vector<std::vector<int>>& partitions, int pivot,
     const std::vector<int>& first_flagging_rule, size_t num_rules);
 
+/// Debug-only (DIME_DCHECK) validation of the engine output contract,
+/// called by every engine at its final phase boundary:
+///   - the pivot is a maximum-size partition (ties to the smaller index);
+///   - the scrollbar is monotone: flagged_by_prefix[k-1] ⊆ [k];
+///   - every flagged entity is in the group ([0, group_size)) and outside
+///     the pivot partition;
+///   - flagged_by_prefix has exactly `num_rules` prefixes.
+/// Free in NDEBUG builds (the body compiles away).
+void DcheckResultInvariants(const DimeResult& result, size_t group_size,
+                            size_t num_rules);
+
 }  // namespace internal
 }  // namespace dime
 

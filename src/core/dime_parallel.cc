@@ -2,12 +2,13 @@
 
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/common/check.h"
 #include "src/common/fault_injection.h"
 #include "src/common/logging.h"
+#include "src/common/mutex.h"
 #include "src/index/union_find.h"
 
 namespace dime {
@@ -22,20 +23,34 @@ unsigned ResolveThreads(unsigned requested) {
 /// Shared failure state of one fan-out: the first captured worker
 /// exception and the first non-OK control status. `stop` makes the other
 /// workers drain quickly once either is set.
+///
+/// The multi-word fields (exception_ptr, Status) are DIME_GUARDED_BY the
+/// mutex — under Clang's -Werror=thread-safety, reading or writing them
+/// without holding `mu` is a compile error, e.g. removing the annotation
+/// discipline here fails the build with:
+///
+///   error: reading variable 'exception' requires holding mutex 'mu'
+///       [-Werror,-Wthread-safety-analysis]
+///
+/// (and, symmetrically, deleting one DIME_GUARDED_BY silences exactly the
+/// checks that keep unlocked access out — which is why every shared field
+/// carries one). `stop` stays a relaxed atomic by the mutex.h convention:
+/// it is a single-word monotone flag polled in the hot row loop, carries
+/// no payload, and a stale read only costs one extra row of work.
 struct WorkerFailures {
   std::atomic<bool> stop{false};
-  std::mutex mu;
-  std::exception_ptr exception;      // guarded by mu
-  Status control_status;             // guarded by mu
+  Mutex mu;
+  std::exception_ptr exception DIME_GUARDED_BY(mu);
+  Status control_status DIME_GUARDED_BY(mu);
 
-  void RecordException(std::exception_ptr e) {
-    std::lock_guard<std::mutex> lock(mu);
+  void RecordException(std::exception_ptr e) DIME_EXCLUDES(mu) {
+    MutexLock lock(&mu);
     if (exception == nullptr) exception = std::move(e);
     stop.store(true, std::memory_order_relaxed);
   }
 
-  void RecordControl(Status st) {
-    std::lock_guard<std::mutex> lock(mu);
+  void RecordControl(Status st) DIME_EXCLUDES(mu) {
+    MutexLock lock(&mu);
     if (control_status.ok()) control_status = std::move(st);
     stop.store(true, std::memory_order_relaxed);
   }
@@ -71,8 +86,9 @@ bool ResolveFailures(WorkerFailures* failures, const PreparedGroup& pg,
                      const std::vector<PositiveRule>& positive,
                      const std::vector<NegativeRule>& negative,
                      const ParallelOptions& options, const RunControl& control,
-                     bool partitions_done, DimeResult* out) {
-  std::lock_guard<std::mutex> lock(failures->mu);
+                     bool partitions_done, DimeResult* out)
+    DIME_EXCLUDES(failures->mu) {
+  MutexLock lock(&failures->mu);
   if (failures->exception != nullptr) {
     std::string what = "worker thread failed";
     try {
@@ -169,6 +185,8 @@ DimeResult RunDimeParallel(const PreparedGroup& pg,
 
   // ---- Step 2. -----------------------------------------------------------
   result.pivot = internal::PickPivot(result.partitions);
+  DIME_DCHECK(result.partitions.empty() || result.pivot >= 0)
+      << "non-empty group must yield a pivot";
 
   // ---- Step 3: one non-pivot partition per task. --------------------------
   std::vector<int> first_flagging(result.partitions.size(), -1);
@@ -221,7 +239,7 @@ DimeResult RunDimeParallel(const PreparedGroup& pg,
     // flags (a subset of the full run's — monotone scrollbar), the rest
     // stay unflagged, and the status reports the truncation.
     {
-      std::lock_guard<std::mutex> lock(failures.mu);
+      MutexLock lock(&failures.mu);
       if (!failures.control_status.ok()) {
         result.status = failures.control_status;
       }
@@ -231,6 +249,7 @@ DimeResult RunDimeParallel(const PreparedGroup& pg,
   result.first_flagging_rule = first_flagging;
   result.flagged_by_prefix = internal::BuildScrollbar(
       result.partitions, result.pivot, first_flagging, negative.size());
+  internal::DcheckResultInvariants(result, pg.size(), negative.size());
   return result;
 }
 

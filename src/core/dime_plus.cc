@@ -4,6 +4,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "src/common/check.h"
 #include "src/common/logging.h"
 #include "src/index/inverted_index.h"
 #include "src/index/union_find.h"
@@ -257,6 +258,7 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
   result.first_flagging_rule = first_flagging;
   result.flagged_by_prefix = internal::BuildScrollbar(
       result.partitions, result.pivot, first_flagging, negative.size());
+  internal::DcheckResultInvariants(result, pg.size(), negative.size());
   return result;
 }
 

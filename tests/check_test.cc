@@ -1,0 +1,82 @@
+#include "src/common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace dime {
+namespace {
+
+TEST(DcheckTest, PassingConditionIsSilent) {
+  DIME_DCHECK(1 + 1 == 2) << "never printed";
+  DIME_DCHECK_EQ(4, 2 + 2);
+  DIME_DCHECK_NE(1, 2);
+  DIME_DCHECK_LT(1, 2);
+  DIME_DCHECK_LE(2, 2);
+  DIME_DCHECK_GT(3, 2);
+  DIME_DCHECK_GE(3, 3);
+}
+
+TEST(DcheckTest, ReleaseSkipsEvaluationDebugEvaluatesOnce) {
+  int evaluations = 0;
+  DIME_DCHECK([&] {
+    ++evaluations;
+    return true;
+  }()) << "condition is true; must not fire either way";
+#ifdef NDEBUG
+  // Release contract: the condition is type-checked but never run, so an
+  // arbitrarily expensive invariant scan costs nothing.
+  EXPECT_EQ(evaluations, 0);
+#else
+  EXPECT_EQ(evaluations, 1);
+#endif
+}
+
+TEST(DcheckTest, StreamedOperandsNotEvaluatedInRelease) {
+  int message_builds = 0;
+  auto side_effect = [&]() {
+    ++message_builds;
+    return "detail";
+  };
+  DIME_DCHECK(true) << side_effect();
+#ifdef NDEBUG
+  EXPECT_EQ(message_builds, 0);
+#else
+  // Debug with a passing condition: the ternary short-circuits before the
+  // stream is touched, so the message is not built there either.
+  EXPECT_EQ(message_builds, 0);
+#endif
+}
+
+#ifndef NDEBUG
+using DcheckDeathTest = ::testing::Test;
+
+TEST(DcheckDeathTest, FailingDcheckAbortsWithMessage) {
+  EXPECT_DEATH(DIME_DCHECK(2 + 2 == 5) << "arithmetic drifted",
+               "Check failed: 2 \\+ 2 == 5 .*arithmetic drifted");
+}
+
+TEST(DcheckDeathTest, ComparisonMacroAborts) {
+  int lo = 1, hi = 2;
+  EXPECT_DEATH(DIME_DCHECK_GE(lo, hi), "Check failed");
+}
+#endif  // !NDEBUG
+
+TEST(CheckDeathTest, CheckStillFiresInEveryBuild) {
+  // DIME_CHECK (logging.h) is the always-on sibling; DIME_DCHECK must not
+  // have weakened it.
+  EXPECT_DEATH(DIME_CHECK(false) << "always fatal", "always fatal");
+}
+
+TEST(DcheckHeldTest, IsStaticOnlyAndRuntimeFree) {
+  Mutex mu;
+  // DIME_DCHECK_HELD feeds Clang's thread-safety analysis; at runtime it
+  // must be a no-op whether or not the lock is actually held (std::mutex
+  // cannot report its holder). Both of these therefore execute fine:
+  DIME_DCHECK_HELD(mu);
+  {
+    MutexLock lock(&mu);
+    DIME_DCHECK_HELD(mu);
+  }
+}
+
+}  // namespace
+}  // namespace dime

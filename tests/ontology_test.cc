@@ -72,7 +72,9 @@ TEST(OntologyTest, SimilarityIsSymmetricAndBounded) {
     EXPECT_DOUBLE_EQ(s, tree.Similarity(b, a));
     EXPECT_GE(s, 0.0);
     EXPECT_LE(s, 1.0);
-    if (a == b) EXPECT_DOUBLE_EQ(s, 1.0);
+    if (a == b) {
+      EXPECT_DOUBLE_EQ(s, 1.0);
+    }
   }
 }
 

@@ -53,7 +53,9 @@ TEST(CandidatesTest, NegativeThresholdsComeFromNegativeExamples) {
   EXPECT_EQ(f0, (std::set<double>{0, 1}));
   // The max observed value is vacuous for <= rules and must be absent.
   for (const auto& c : candidates) {
-    if (c.spec == 1) EXPECT_LT(c.threshold, 1.0);
+    if (c.spec == 1) {
+      EXPECT_LT(c.threshold, 1.0);
+    }
   }
 }
 
@@ -84,7 +86,9 @@ TEST(GreedyTest, RecoversThePlantedScholarRules) {
   // Every learned rule must be clean on the training data.
   for (const auto& rule : result.rules) {
     for (const auto& p : pairs) {
-      if (!p.positive) EXPECT_FALSE(rule.SatisfiedGe(p.features));
+      if (!p.positive) {
+        EXPECT_FALSE(rule.SatisfiedGe(p.features));
+      }
     }
   }
 }
@@ -95,7 +99,9 @@ TEST(GreedyTest, NegativeRulesCoverNegatives) {
   EXPECT_GT(result.objective, 0);
   for (const auto& rule : result.rules) {
     for (const auto& p : pairs) {
-      if (p.positive) EXPECT_FALSE(rule.SatisfiedLe(p.features));
+      if (p.positive) {
+        EXPECT_FALSE(rule.SatisfiedLe(p.features));
+      }
     }
   }
   // The planted concept's complement is expressible: expect full coverage.

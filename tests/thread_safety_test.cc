@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/fault_injection.h"
+#include "src/common/logging.h"
+#include "src/core/corpus.h"
+#include "src/core/dime_parallel.h"
+#include "src/datagen/presets.h"
+#include "src/datagen/scholar_gen.h"
+
+/// \file thread_safety_test.cc
+/// Concurrency stress for the parallel engines: RunDimeParallel and
+/// RunCorpus hammered while another thread arms/disarms failpoints,
+/// expires deadlines, and flips cancellation tokens. The assertions are
+/// the engine output contract (status coded, flagged ⊆ group, scrollbar
+/// monotone); the real payoff is running this binary under TSan (build
+/// with -DDIME_SANITIZE=thread, or just `tools/analyze.sh --tsan`), where
+/// any lock-discipline slip in WorkerFailures, CorpusProgress, the
+/// failpoint registry, or the log sink becomes a hard failure.
+///
+/// Labeled `tsan_heavy` in tests/CMakeLists.txt: quick loops may skip it
+/// with `ctest -LE tsan_heavy`; the TSan CI leg always runs it.
+
+namespace dime {
+namespace {
+
+bool IsExpectedEngineStatus(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kOk:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kCancelled:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// The release-build version of the engine invariants (DcheckResult-
+/// Invariants is compiled out under NDEBUG, so the stress re-checks).
+void ExpectResultContract(const DimeResult& r, size_t group_size,
+                          size_t num_rules) {
+  EXPECT_TRUE(IsExpectedEngineStatus(r.status)) << r.status.ToString();
+  ASSERT_EQ(r.flagged_by_prefix.size(), num_rules);
+  const std::vector<int>* prev = nullptr;
+  for (const std::vector<int>& flagged : r.flagged_by_prefix) {
+    EXPECT_TRUE(std::is_sorted(flagged.begin(), flagged.end()));
+    for (int e : flagged) {
+      EXPECT_GE(e, 0);
+      EXPECT_LT(static_cast<size_t>(e), group_size);
+    }
+    if (prev != nullptr) {
+      EXPECT_TRUE(std::includes(flagged.begin(), flagged.end(),
+                                prev->begin(), prev->end()))
+          << "scrollbar prefix lost entities";
+    }
+    prev = &flagged;
+  }
+}
+
+class ThreadSafetyTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjection::DisarmAll(); }
+};
+
+TEST_F(ThreadSafetyTest, ParallelEngineUnderFailpointAndDeadlineChurn) {
+  ScholarSetup setup = MakeScholarSetup();
+  ScholarGenOptions gen;
+  gen.num_correct = 40;
+  gen.seed = 77;
+  Group group = GenerateScholarGroup("Chaos Owner", gen);
+  PreparedGroup pg =
+      PrepareGroup(group, setup.positive, setup.negative, setup.context);
+
+  std::atomic<bool> done{false};
+  // Chaos thread: continuously re-arms worker faults and injected
+  // deadline pressure with varying skip counts, so expiry lands in step 1
+  // on some iterations and step 3 on others, racing engine fan-outs.
+  std::thread chaos([&]() {
+    int round = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      FaultInjection::Arm("parallel/worker-fault", /*count=*/1,
+                          /*skip=*/round % 5);
+      FaultInjection::Arm("engine/deadline", /*count=*/1,
+                          /*skip=*/(round * 3) % 17);
+      std::this_thread::yield();
+      FaultInjection::Disarm("parallel/worker-fault");
+      FaultInjection::Disarm("engine/deadline");
+      ++round;
+    }
+  });
+
+  for (int iter = 0; iter < 150; ++iter) {
+    ParallelOptions options;
+    options.num_threads = 4;
+    options.serial_fallback = (iter % 2 == 0);
+    CancellationToken token;
+    RunControl control;
+    control.cancel = &token;
+    if (iter % 3 == 0) {
+      control.deadline = Deadline::AfterMillis(iter % 2);
+    }
+    std::thread canceller;
+    if (iter % 4 == 0) {
+      canceller = std::thread([&token]() { token.Cancel(); });
+    }
+    DimeResult r = RunDimeParallel(pg, setup.positive, setup.negative,
+                                   options, control);
+    if (canceller.joinable()) canceller.join();
+    ExpectResultContract(r, pg.size(), setup.negative.size());
+  }
+  done.store(true, std::memory_order_relaxed);
+  chaos.join();
+}
+
+TEST_F(ThreadSafetyTest, CorpusUnderConcurrentCancellationAndFaults) {
+  ScholarSetup setup = MakeScholarSetup();
+  std::vector<Group> groups;
+  for (int i = 0; i < 12; ++i) {
+    ScholarGenOptions gen;
+    gen.num_correct = 25;
+    gen.seed = 500 + i;
+    groups.push_back(
+        GenerateScholarGroup("Stress Owner " + std::to_string(i), gen));
+  }
+
+  for (int iter = 0; iter < 25; ++iter) {
+    CancellationToken token;
+    CorpusOptions options;
+    options.num_threads = 4;
+    options.use_dime_plus = (iter % 2 == 0);
+    options.control.cancel = &token;
+    if (iter % 3 == 1) {
+      options.control.deadline = Deadline::AfterMillis(1);
+    }
+    // Fault a bounded number of groups mid-corpus; cancellation races the
+    // pool from outside.
+    FaultInjection::Arm("engine/deadline", /*count=*/2, /*skip=*/iter % 7);
+    std::thread canceller([&token]() {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      token.Cancel();
+    });
+    std::vector<DimeResult> results = RunCorpus(
+        groups, setup.positive, setup.negative, setup.context, options);
+    canceller.join();
+    FaultInjection::DisarmAll();
+
+    ASSERT_EQ(results.size(), groups.size());
+    for (size_t g = 0; g < results.size(); ++g) {
+      // Gated groups carry num_rules+1 prefixes (corpus convention);
+      // engine-run groups carry num_rules.
+      EXPECT_TRUE(IsExpectedEngineStatus(results[g].status))
+          << results[g].status.ToString();
+      for (const std::vector<int>& flagged : results[g].flagged_by_prefix) {
+        for (int e : flagged) {
+          EXPECT_GE(e, 0);
+          EXPECT_LT(static_cast<size_t>(e),
+                    groups[g].entities.size());
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ThreadSafetyTest, FailpointRegistryArmDisarmChurn) {
+  // The fast path (acquire load) races Arm/Disarm (mutex + release store)
+  // from many threads; under TSan this validates the memory-order pairing
+  // documented in fault_injection.cc. Trigger accounting stays exact: the
+  // registry never fires more times than it was armed for.
+  constexpr int kHammers = 6;
+  constexpr int kRounds = 400;
+  std::atomic<bool> done{false};
+  std::atomic<long> fired{0};
+  std::vector<std::thread> hammers;
+  hammers.reserve(kHammers);
+  for (int t = 0; t < kHammers; ++t) {
+    hammers.emplace_back([&]() {
+      while (!done.load(std::memory_order_relaxed)) {
+        if (DIME_FAULT_POINT("stress/churn")) {
+          fired.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  long armed_total = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    int count = 1 + round % 3;
+    FaultInjection::Arm("stress/churn", count);
+    armed_total += count;
+    std::this_thread::yield();
+    FaultInjection::Disarm("stress/churn");
+  }
+  done.store(true, std::memory_order_relaxed);
+  for (std::thread& h : hammers) h.join();
+  EXPECT_LE(fired.load(), armed_total);
+  EXPECT_EQ(FaultInjection::Remaining("stress/churn"), 0);
+}
+
+TEST_F(ThreadSafetyTest, ConcurrentLogLinesNeverInterleave) {
+  std::ostringstream captured;
+  std::ostream* previous = SetLogStream(&captured);
+  constexpr int kThreads = 6;
+  constexpr int kLines = 80;
+  {
+    std::vector<std::thread> writers;
+    writers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([t]() {
+        for (int i = 0; i < kLines; ++i) {
+          DIME_LOG(WARNING) << "writer=" << t << " line=" << i << " end";
+        }
+      });
+    }
+    for (std::thread& w : writers) w.join();
+  }
+  SetLogStream(previous);
+
+  // Every captured line must be whole: mutex-guarded sink means no
+  // character-level interleaving between threads.
+  std::istringstream in(captured.str());
+  std::string line;
+  int well_formed = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.rfind("[WARNING ", 0), 0) << "mangled line: " << line;
+    EXPECT_NE(line.find("writer="), std::string::npos);
+    EXPECT_EQ(line.substr(line.size() - 4), " end") << line;
+    ++well_formed;
+  }
+  EXPECT_EQ(well_formed, kThreads * kLines);
+}
+
+}  // namespace
+}  // namespace dime

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Dynamic-analysis driver: builds and tests the repo under ASan+UBSan and
+# TSan in separate build trees (the two are mutually exclusive in one
+# binary — CMake enforces that too).
+#
+# Usage:
+#   tools/analyze.sh            # both legs
+#   tools/analyze.sh --asan     # address+undefined only
+#   tools/analyze.sh --tsan     # thread only
+#   tools/analyze.sh --tsan -j8 # bounded parallelism
+#
+# The TSan leg exports TSAN_OPTIONS pointing at tools/tsan.supp so known
+# benign reports in third-party code stay suppressed; keep that file empty
+# of first-party entries — a race in src/ is a bug, not a suppression.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+RUN_ASAN=1
+RUN_TSAN=1
+
+for arg in "$@"; do
+  case "$arg" in
+    --asan) RUN_TSAN=0 ;;
+    --tsan) RUN_ASAN=0 ;;
+    -j*) JOBS="${arg#-j}" ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+run_leg() {
+  local name="$1" sanitize="$2" build_dir="$ROOT/build-$1"
+  echo "=== [$name] configure ($sanitize) ==="
+  cmake -B "$build_dir" -S "$ROOT" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DDIME_SANITIZE="$sanitize" \
+        -DDIME_WERROR=ON
+  echo "=== [$name] build ==="
+  cmake --build "$build_dir" -j "$JOBS"
+  echo "=== [$name] test ==="
+  (cd "$build_dir" && ctest --output-on-failure -j "$JOBS")
+}
+
+if [[ "$RUN_ASAN" == 1 ]]; then
+  ASAN_OPTIONS="detect_leaks=1" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    run_leg asan "address;undefined"
+fi
+
+if [[ "$RUN_TSAN" == 1 ]]; then
+  TSAN_OPTIONS="suppressions=$ROOT/tools/tsan.supp:halt_on_error=1:second_deadlock_stack=1" \
+    run_leg tsan "thread"
+fi
+
+echo "=== analyze.sh: all requested legs passed ==="

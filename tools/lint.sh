@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# clang-tidy runner over the first-party sources (src/, tests/, bench/,
+# examples/), using the checks pinned in .clang-tidy.
+#
+# Usage:
+#   tools/lint.sh             # lint everything (skips politely if
+#                             # clang-tidy is not installed)
+#   tools/lint.sh --strict    # missing clang-tidy is an error (CI)
+#   tools/lint.sh src/core    # lint one subtree
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+STRICT=0
+PATHS=()
+
+for arg in "$@"; do
+  case "$arg" in
+    --strict) STRICT=1 ;;
+    *) PATHS+=("$arg") ;;
+  esac
+done
+[[ ${#PATHS[@]} -eq 0 ]] && PATHS=(src tests bench examples)
+
+TIDY="$(command -v clang-tidy || true)"
+if [[ -z "$TIDY" ]]; then
+  if [[ "$STRICT" == 1 ]]; then
+    echo "lint.sh: clang-tidy not found and --strict was given" >&2
+    exit 1
+  fi
+  echo "lint.sh: clang-tidy not installed; skipping (use --strict to fail)"
+  exit 0
+fi
+
+# clang-tidy needs a compilation database; build one in a dedicated tree
+# so lint never dirties the main build/.
+DB_DIR="$ROOT/build-tidy"
+cmake -B "$DB_DIR" -S "$ROOT" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+
+FILES=()
+for p in "${PATHS[@]}"; do
+  while IFS= read -r f; do FILES+=("$f"); done \
+    < <(find "$ROOT/$p" -name '*.cc' | sort)
+done
+
+echo "lint.sh: running $TIDY on ${#FILES[@]} files"
+STATUS=0
+"$TIDY" -p "$DB_DIR" --quiet "${FILES[@]}" || STATUS=$?
+exit "$STATUS"
