@@ -1,0 +1,137 @@
+// Serving-layer throughput (google-benchmark): end-to-end DimeService
+// checks through the real admission queue and worker pool, at worker
+// counts {1, 4, 8}. Three request mixes:
+//   * BM_ServerCheckMiss   — every request is a distinct group (cache off
+//                            the table): measures queue + engine cost;
+//   * BM_ServerCheckHit    — every request repeats one group: measures
+//                            the cache-hit fast path (no worker hop);
+//   * BM_ServerMixedLoad   — a rotation over a small page set with the
+//                            cache on, the steady-state serving shape.
+// Same JSON output shape as the other benches: run with
+//   --benchmark_format=json
+// to get machine-readable rows (counters: requests/sec via items/sec).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/datagen/presets.h"
+#include "src/datagen/scholar_gen.h"
+#include "src/server/service.h"
+
+namespace dime {
+namespace {
+
+/// Scholar preset + `pages` generated pages (page_0..), sized small so a
+/// single check costs ~a few hundred microseconds and the bench exercises
+/// the serving machinery rather than the engine interior.
+ServingCorpus MakeBenchCorpus(size_t pages) {
+  ScholarSetup setup = MakeScholarSetup();
+  ServingCorpus corpus;
+  corpus.schema = setup.schema;
+  corpus.positive = std::move(setup.positive);
+  corpus.negative = std::move(setup.negative);
+  corpus.context = setup.context;
+  corpus.owned_trees.push_back(std::move(setup.venue_tree));
+  for (size_t i = 0; i < pages; ++i) {
+    ScholarGenOptions gen;
+    gen.num_correct = 60;
+    gen.seed = 9000 + i * 31;
+    Group page = GenerateScholarGroup("Bench Owner " + std::to_string(i), gen);
+    page.name = "page_" + std::to_string(i);
+    corpus.groups.push_back(std::move(page));
+  }
+  return corpus;
+}
+
+std::unique_ptr<DimeService> MakeService(unsigned workers, size_t pages,
+                                         size_t cache_capacity) {
+  ServiceOptions options;
+  options.num_workers = workers;
+  options.queue_capacity = 256;  // headroom: measure service, not shedding
+  options.cache_capacity = cache_capacity;
+  return std::make_unique<DimeService>(MakeBenchCorpus(pages), options);
+}
+
+/// Every iteration checks a different page with the cache bypassed: the
+/// engines always run, so this is the queue + worker-pool + engine cost.
+void BM_ServerCheckMiss(benchmark::State& state) {
+  const unsigned workers = static_cast<unsigned>(state.range(0));
+  constexpr size_t kPages = 8;
+  auto service = MakeService(workers, kPages, /*cache_capacity=*/0);
+  size_t next = 0;
+  for (auto _ : state) {
+    CheckRequest request;
+    request.group_name = "page_" + std::to_string(next++ % kPages);
+    request.bypass_cache = true;
+    auto reply = service->Check(request);
+    if (!reply.ok() || !reply->result->status.ok()) {
+      state.SkipWithError("check failed");
+      break;
+    }
+    benchmark::DoNotOptimize(reply->result->flagged().size());
+  }
+  state.SetItemsProcessed(state.iterations());
+  service->Shutdown();
+}
+BENCHMARK(BM_ServerCheckMiss)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Every iteration repeats the same group: after the first miss all
+/// requests are answered from the LRU cache without touching the queue.
+void BM_ServerCheckHit(benchmark::State& state) {
+  const unsigned workers = static_cast<unsigned>(state.range(0));
+  auto service = MakeService(workers, /*pages=*/1, /*cache_capacity=*/16);
+  CheckRequest request;
+  request.group_name = "page_0";
+  // Warm the cache outside the timed region.
+  auto warm = service->Check(request);
+  if (!warm.ok()) {
+    state.SkipWithError("warm-up check failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto reply = service->Check(request);
+    benchmark::DoNotOptimize(reply.ok() && reply->cache_hit);
+  }
+  state.SetItemsProcessed(state.iterations());
+  service->Shutdown();
+}
+BENCHMARK(BM_ServerCheckHit)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Steady-state mix: rotate over a page set larger than one but smaller
+/// than the cache, so the first lap misses and later laps hit.
+void BM_ServerMixedLoad(benchmark::State& state) {
+  const unsigned workers = static_cast<unsigned>(state.range(0));
+  constexpr size_t kPages = 4;
+  auto service = MakeService(workers, kPages, /*cache_capacity=*/16);
+  size_t next = 0;
+  for (auto _ : state) {
+    CheckRequest request;
+    request.group_name = "page_" + std::to_string(next++ % kPages);
+    auto reply = service->Check(request);
+    if (!reply.ok()) {
+      state.SkipWithError("check failed");
+      break;
+    }
+    benchmark::DoNotOptimize(reply->cache_hit);
+  }
+  state.SetItemsProcessed(state.iterations());
+  StatsSnapshot stats = service->Stats();
+  state.counters["cache_hits"] =
+      benchmark::Counter(static_cast<double>(stats.cache_hits));
+  state.counters["cache_misses"] =
+      benchmark::Counter(static_cast<double>(stats.cache_misses));
+  service->Shutdown();
+}
+BENCHMARK(BM_ServerMixedLoad)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace dime
+
+BENCHMARK_MAIN();

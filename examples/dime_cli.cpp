@@ -8,8 +8,21 @@
 //                        [--ontology <tree.txt> --ontology-mode exact|keyword]
 //                        [--deadline-ms <n>]
 //
+// Client mode — one request to a running dime_server, then exit:
+//   dime_cli --client --port <n> [--host 127.0.0.1] [group.tsv]
+//            [--request check|stats|ping|shutdown] [--group-name <name>]
+//            [--deadline-ms <n>] [--engine e] [--no-cache]
+//            [--timeout-ms <n>] [--id <s>]
+// The raw response line is printed to stdout and the process exits with
+// the Status-coded exit code of the response's "status" field (see
+// src/common/exit_code.h) — so shell scripts can branch on exactly what
+// the server answered. Connection failures exit UNAVAILABLE (11).
+//
 // --deadline-ms bounds the run: on expiry the scrollbar computed so far is
-// printed (still monotone, a subset of the full answer) with a note.
+// printed (still monotone, a subset of the full answer) with a note, and
+// the process exits DEADLINE_EXCEEDED (7).
+//
+// All exit codes follow the single mapping in src/common/exit_code.h.
 //
 // The TSV format is the one produced by GroupToTsv: a header row starting
 // with "_id" listing the attribute names (optional trailing "_error"
@@ -31,6 +44,7 @@
 #include <vector>
 
 #include "src/common/deadline.h"
+#include "src/common/exit_code.h"
 #include "src/core/dime_parallel.h"
 #include "src/core/dime_plus.h"
 #include "src/core/metrics.h"
@@ -38,8 +52,106 @@
 #include "src/datagen/scholar_gen.h"
 #include "src/ontology/builtin.h"
 #include "src/rules/rule_io.h"
+#include "src/server/tcp_server.h"
+#include "src/server/wire.h"
 
 namespace {
+
+/// Exit code for a usage / bad-flag error (the classic `2`).
+int UsageError(const char* fmt, const char* detail = nullptr) {
+  std::fprintf(stderr, fmt, detail == nullptr ? "" : detail);
+  std::fprintf(stderr, "\n");
+  return dime::ExitCodeForStatusCode(dime::StatusCode::kInvalidArgument);
+}
+
+/// --client: send exactly one request to a running dime_server, print the
+/// raw response line, and exit with the Status-coded exit code of the
+/// response (UNAVAILABLE when the server cannot be reached at all).
+int RunClient(int argc, char** argv) {
+  using namespace dime;
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int timeout_ms = 30000;
+  std::string request_type = "check";
+  std::string group_path;
+  WireRequest request;
+
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value after %s\n", arg.c_str());
+        std::exit(ExitCodeForStatusCode(StatusCode::kInvalidArgument));
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      host = next();
+    } else if (arg == "--port") {
+      port = static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (arg == "--timeout-ms") {
+      timeout_ms = static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (arg == "--request") {
+      request_type = next();
+    } else if (arg == "--group-name") {
+      request.group_name = next();
+    } else if (arg == "--deadline-ms") {
+      request.deadline_ms = std::strtol(next(), nullptr, 10);
+    } else if (arg == "--engine") {
+      request.engine = next();
+    } else if (arg == "--no-cache") {
+      request.no_cache = true;
+    } else if (arg == "--id") {
+      request.id = next();
+    } else if (!arg.empty() && arg[0] != '-') {
+      group_path = arg;
+    } else {
+      return UsageError("unknown --client flag: %s", arg.c_str());
+    }
+  }
+  if (port <= 0) return UsageError("--client needs --port <n>");
+
+  if (request_type == "check") {
+    request.type = WireRequest::Type::kCheck;
+    if (!group_path.empty()) {
+      // Ship the group inline: the server fingerprints content, so the
+      // same file sent twice is a cache hit.
+      Group group;
+      Status loaded = LoadGroup(group_path, group_path, &group);
+      if (!loaded.ok()) {
+        return ExitWithStatus(loaded, ("loading " + group_path).c_str());
+      }
+      request.group_tsv = GroupToTsv(group);
+    } else if (request.group_name.empty()) {
+      return UsageError(
+          "--client check needs a group.tsv argument or --group-name");
+    }
+  } else if (request_type == "stats") {
+    request.type = WireRequest::Type::kStats;
+  } else if (request_type == "ping") {
+    request.type = WireRequest::Type::kPing;
+  } else if (request_type == "shutdown") {
+    request.type = WireRequest::Type::kShutdown;
+  } else {
+    return UsageError("--request must be check, stats, ping, or shutdown");
+  }
+
+  StatusOr<std::string> response =
+      SendRequestLine(host, port, SerializeRequest(request), timeout_ms);
+  if (!response.ok()) {
+    return ExitWithStatus(response.status(),
+                          ("dime_server at " + host + ":" +
+                           std::to_string(port))
+                              .c_str());
+  }
+  std::printf("%s\n", response->c_str());
+  Status decoded = StatusFromResponseLine(*response);
+  if (!decoded.ok()) {
+    std::fprintf(stderr, "server answered: %s\n",
+                 decoded.ToString().c_str());
+  }
+  return ExitCodeForStatus(decoded);
+}
 
 int Demo() {
   using namespace dime;
@@ -50,9 +162,9 @@ int Demo() {
   gen.seed = 99;
   Group page = GenerateScholarGroup("Demo Owner", gen);
   std::string path = "/tmp/dime_demo_group.tsv";
-  if (!SaveGroupTsv(page, path)) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return 1;
+  Status saved = SaveGroup(page, path);
+  if (!saved.ok()) {
+    return ExitWithStatus(saved, ("writing " + path).c_str());
   }
   std::printf("Wrote a demo page to %s; now try:\n\n", path.c_str());
   std::printf("  dime_cli %s \\\n"
@@ -72,6 +184,7 @@ int Demo() {
 int main(int argc, char** argv) {
   using namespace dime;
   if (argc < 2) return Demo();
+  if (std::strcmp(argv[1], "--client") == 0) return RunClient(argc, argv);
 
   std::string path = argv[1];
   std::vector<std::string> positive_texts, negative_texts;
@@ -86,7 +199,7 @@ int main(int argc, char** argv) {
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "missing value after %s\n", arg.c_str());
-        std::exit(2);
+        std::exit(ExitCodeForStatusCode(StatusCode::kInvalidArgument));
       }
       return argv[++i];
     };
@@ -103,25 +216,21 @@ int main(int argc, char** argv) {
       ontology_modes.push_back("exact");
     } else if (arg == "--ontology-mode") {
       if (ontology_modes.empty()) {
-        std::fprintf(stderr, "--ontology-mode needs a preceding --ontology\n");
-        return 2;
+        return UsageError("--ontology-mode needs a preceding --ontology");
       }
       ontology_modes.back() = next();
     } else if (arg == "--engine") {
       engine = next();
       if (engine != "naive" && engine != "plus" && engine != "parallel") {
-        std::fprintf(stderr, "--engine must be naive, plus, or parallel\n");
-        return 2;
+        return UsageError("--engine must be naive, plus, or parallel");
       }
     } else if (arg == "--deadline-ms") {
       deadline_ms = std::strtol(next(), nullptr, 10);
       if (deadline_ms <= 0) {
-        std::fprintf(stderr, "--deadline-ms needs a positive integer\n");
-        return 2;
+        return UsageError("--deadline-ms needs a positive integer");
       }
     } else {
-      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
-      return 2;
+      return UsageError("unknown flag: %s", arg.c_str());
     }
   }
 
@@ -129,10 +238,9 @@ int main(int argc, char** argv) {
   Status loaded = LoadGroup(path, path, &group);
   if (!loaded.ok()) {
     // The code tells the user what actually went wrong: a missing file, a
-    // failed read, a malformed header, or a row/schema disagreement.
-    std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(),
-                 loaded.ToString().c_str());
-    return 1;
+    // failed read, a malformed header, or a row/schema disagreement — and
+    // the exit code (exit_code.h) forwards that distinction to the shell.
+    return ExitWithStatus(loaded, ("loading " + path).c_str());
   }
   std::printf("Loaded %zu entities with %zu attributes%s.\n", group.size(),
               group.schema.size(),
@@ -150,9 +258,9 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < ontology_paths.size(); ++i) {
     auto tree = std::make_unique<Ontology>();
     if (!Ontology::LoadFromFile(ontology_paths[i], tree.get())) {
-      std::fprintf(stderr, "cannot load ontology %s\n",
-                   ontology_paths[i].c_str());
-      return 1;
+      return ExitWithStatus(
+          NotFoundError("cannot load ontology " + ontology_paths[i]),
+          "startup");
     }
     MapMode mode = ontology_modes[i] == "keyword" ? MapMode::kKeyword
                                                   : MapMode::kExactName;
@@ -166,35 +274,31 @@ int main(int argc, char** argv) {
     std::string error;
     if (!LoadRuleSet(rules_path, group.schema, &positive, &negative,
                      &error)) {
-      std::fprintf(stderr, "cannot load rules from %s: %s\n",
-                   rules_path.c_str(), error.c_str());
-      return 2;
+      return ExitWithStatus(
+          ParseError("cannot load rules from " + rules_path + ": " + error),
+          "startup");
     }
   }
   for (const std::string& text : positive_texts) {
     PositiveRule rule;
     if (!ParsePositiveRule(text, group.schema, &rule)) {
-      std::fprintf(stderr, "bad positive rule: %s\n", text.c_str());
-      return 2;
+      return UsageError("bad positive rule: %s", text.c_str());
     }
     positive.push_back(std::move(rule));
   }
   for (const std::string& text : negative_texts) {
     NegativeRule rule;
     if (!ParseNegativeRule(text, group.schema, &rule)) {
-      std::fprintf(stderr, "bad negative rule: %s\n", text.c_str());
-      return 2;
+      return UsageError("bad negative rule: %s", text.c_str());
     }
     negative.push_back(std::move(rule));
   }
   if (positive.empty()) {
-    std::fprintf(stderr, "need at least one --positive rule\n");
-    return 2;
+    return UsageError("need at least one --positive rule");
   }
   std::string invalid = ValidateRules(group.schema, positive, negative, context);
   if (!invalid.empty()) {
-    std::fprintf(stderr, "invalid rules: %s\n", invalid.c_str());
-    return 2;
+    return UsageError("invalid rules: %s", invalid.c_str());
   }
 
   RunControl control;
@@ -228,5 +332,7 @@ int main(int argc, char** argv) {
       std::printf("  %s\n", group.entities[e].id.c_str());
     }
   }
-  return 0;
+  // A truncated run printed its partial scrollbar above, but the shell
+  // still learns it was partial: DEADLINE_EXCEEDED exits 7, CANCELLED 8.
+  return ExitCodeForStatus(result.status);
 }

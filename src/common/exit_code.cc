@@ -1,0 +1,14 @@
+#include "src/common/exit_code.h"
+
+#include <cstdio>
+
+namespace dime {
+
+int ExitWithStatus(const Status& status, const char* context) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", context, status.ToString().c_str());
+  }
+  return ExitCodeForStatus(status);
+}
+
+}  // namespace dime

@@ -1,0 +1,53 @@
+#ifndef DIME_COMMON_EXIT_CODE_H_
+#define DIME_COMMON_EXIT_CODE_H_
+
+#include "src/common/status.h"
+
+/// \file exit_code.h
+/// The single place where a Status becomes a process exit code. Every
+/// binary in this repo (dime_cli, dime_server, the examples) reports
+/// failure through this mapping instead of ad-hoc `return 1`, so shell
+/// scripts and CI can branch on *which* failure occurred:
+///
+///   exit code | StatusCode          | typical cause
+///   ----------+---------------------+------------------------------------
+///        0    | OK                  | success
+///        1    | (none)              | reserved: failure without a Status
+///        2    | INVALID_ARGUMENT    | bad flag / malformed rule
+///        3    | NOT_FOUND           | missing file / unknown group name
+///        4    | IO_ERROR            | read or write failed mid-stream
+///        5    | PARSE_ERROR         | malformed TSV / JSON request
+///        6    | SCHEMA_MISMATCH     | row width or schema disagreement
+///        7    | DEADLINE_EXCEEDED   | run truncated by a deadline
+///        8    | CANCELLED           | run stopped by a cancellation token
+///        9    | INTERNAL            | captured fault / invariant failure
+///       10    | RESOURCE_EXHAUSTED  | server queue full (load shed)
+///       11    | UNAVAILABLE         | server shutting down / unreachable
+///
+/// The scheme is `static_cast<int>(code) + 1`, which stays stable because
+/// StatusCode values are append-only. Exit code 2 for usage errors matches
+/// the long-standing CLI convention (and getopt's).
+
+namespace dime {
+
+/// Exit code 1: a failure that never produced a Status (reserved — the
+/// binaries in this repo should not be able to reach it).
+inline constexpr int kExitCodeNoStatus = 1;
+
+/// Maps a StatusCode to its process exit code (see the table above).
+inline constexpr int ExitCodeForStatusCode(StatusCode code) {
+  return code == StatusCode::kOk ? 0 : static_cast<int>(code) + 1;
+}
+
+/// Convenience overload for a whole Status.
+inline int ExitCodeForStatus(const Status& status) {
+  return ExitCodeForStatusCode(status.code());
+}
+
+/// Prints `context: <status>` to stderr (when non-OK) and returns the
+/// status's exit code — the one-liner for `return` statements in main().
+int ExitWithStatus(const Status& status, const char* context);
+
+}  // namespace dime
+
+#endif  // DIME_COMMON_EXIT_CODE_H_

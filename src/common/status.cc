@@ -22,8 +22,26 @@ const char* StatusCodeName(StatusCode code) {
       return "CANCELLED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
+}
+
+bool StatusCodeFromName(std::string_view name, StatusCode* code) {
+  // Iterate the enum range instead of string-matching by hand so a code
+  // added to StatusCodeName is automatically parseable.
+  for (int c = static_cast<int>(StatusCode::kOk);
+       c <= static_cast<int>(StatusCode::kUnavailable); ++c) {
+    StatusCode candidate = static_cast<StatusCode>(c);
+    if (name == StatusCodeName(candidate)) {
+      *code = candidate;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::string Status::ToString() const {

@@ -3,6 +3,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 /// \file status.h
@@ -45,10 +46,21 @@ enum class StatusCode : int {
   kCancelled = 7,
   /// An internal invariant failed (captured worker-thread fault).
   kInternal = 8,
+  /// A bounded resource is full and the request was shed rather than
+  /// queued (serving-layer admission control; retry later).
+  kResourceExhausted = 9,
+  /// The service is shutting down (or not yet started) and cannot take
+  /// new work; unlike RESOURCE_EXHAUSTED, retrying will not help.
+  kUnavailable = 10,
 };
 
 /// Human-readable name of a code ("NOT_FOUND", ...).
 const char* StatusCodeName(StatusCode code);
+
+/// Inverse of StatusCodeName: true and sets *code when `name` is a known
+/// code name ("OK", "RESOURCE_EXHAUSTED", ...). Used by wire clients that
+/// must reconstruct a Status from its serialized name.
+bool StatusCodeFromName(std::string_view name, StatusCode* code);
 
 class Status {
  public:
@@ -99,6 +111,12 @@ inline Status CancelledError(std::string message) {
 }
 inline Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+inline Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+inline Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 
 /// Either a T or a non-OK Status. Accessing the value of a non-OK

@@ -1,0 +1,103 @@
+#ifndef DIME_SERVER_REQUEST_QUEUE_H_
+#define DIME_SERVER_REQUEST_QUEUE_H_
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "src/common/mutex.h"
+
+/// \file request_queue.h
+/// The admission-control boundary of the serving layer: a bounded MPMC
+/// queue that NEVER blocks producers. A full queue rejects the push
+/// immediately (the service turns that into RESOURCE_EXHAUSTED), because
+/// under overload a fast "try later" keeps tail latency bounded while a
+/// blocking enqueue would stack up transport threads until everything
+/// times out at once.
+///
+/// Consumers (the worker pool) block in BlockingPop. Close() starts a
+/// graceful drain: producers are turned away with kClosed, consumers keep
+/// popping until the queue is empty and then get nullopt — so work that
+/// was admitted before shutdown is still executed, never dropped.
+
+namespace dime {
+
+enum class QueuePushResult {
+  kAccepted,  ///< item enqueued
+  kFull,      ///< bounded capacity reached — shed the request
+  kClosed,    ///< Close() was called — the service is shutting down
+};
+
+template <typename T>
+class BoundedRequestQueue {
+ public:
+  /// `capacity` must be >= 1 (a zero-capacity queue would reject every
+  /// request, which is a configuration error, not a policy).
+  explicit BoundedRequestQueue(size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  BoundedRequestQueue(const BoundedRequestQueue&) = delete;
+  BoundedRequestQueue& operator=(const BoundedRequestQueue&) = delete;
+
+  /// Non-blocking admission decision. O(1); never waits.
+  QueuePushResult TryPush(T item) DIME_EXCLUDES(mu_) {
+    {
+      MutexLock lock(&mu_);
+      if (closed_) return QueuePushResult::kClosed;
+      if (items_.size() >= capacity_) return QueuePushResult::kFull;
+      items_.push_back(std::move(item));
+    }
+    // Signal outside the critical section: the woken consumer re-acquires
+    // mu_ in BlockingPop, so signaling under the lock would just make it
+    // block again immediately.
+    ready_.Signal();
+    return QueuePushResult::kAccepted;
+  }
+
+  /// Blocks until an item is available or the queue is closed AND empty.
+  /// nullopt means "drained and closed" — the consumer should exit.
+  std::optional<T> BlockingPop() DIME_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (items_.empty() && !closed_) {
+      ready_.Wait(&mu_);
+    }
+    if (items_.empty()) return std::nullopt;  // closed_ and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Begins the graceful drain (idempotent). Producers see kClosed from
+  /// now on; consumers finish the backlog and then get nullopt.
+  void Close() DIME_EXCLUDES(mu_) {
+    {
+      MutexLock lock(&mu_);
+      closed_ = true;
+    }
+    ready_.SignalAll();
+  }
+
+  size_t size() const DIME_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return items_.size();
+  }
+
+  bool closed() const DIME_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return closed_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable Mutex mu_;
+  CondVar ready_;
+  std::deque<T> items_ DIME_GUARDED_BY(mu_);
+  bool closed_ DIME_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace dime
+
+#endif  // DIME_SERVER_REQUEST_QUEUE_H_

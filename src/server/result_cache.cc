@@ -1,0 +1,74 @@
+#include "src/server/result_cache.h"
+
+namespace dime {
+namespace {
+
+/// 64-bit FNV-1a with a caller-chosen offset basis. The standard basis
+/// gives the canonical hash; a second, distinct basis gives a stream that
+/// disagrees with the first on any input differing in at least one byte
+/// position's contribution — good enough independence for a cache key.
+uint64_t Fnv1a64(std::string_view bytes, uint64_t basis) {
+  constexpr uint64_t kPrime = 0x100000001b3ULL;
+  uint64_t h = basis;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= kPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+Fingerprint FingerprintBytes(std::string_view bytes) {
+  constexpr uint64_t kStandardBasis = 0xcbf29ce484222325ULL;
+  // Arbitrary second basis (digits of pi); any constant != the standard
+  // basis yields an independent stream.
+  constexpr uint64_t kAltBasis = 0x243f6a8885a308d3ULL;
+  return Fingerprint{Fnv1a64(bytes, kStandardBasis),
+                     Fnv1a64(bytes, kAltBasis)};
+}
+
+ResultCache::ResultCache(size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<const DimeResult> ResultCache::Lookup(const Fingerprint& key) {
+  MutexLock lock(&mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++counters_.misses;
+    return nullptr;
+  }
+  ++counters_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh: move to front
+  return it->second->value;
+}
+
+void ResultCache::Insert(const Fingerprint& key,
+                         std::shared_ptr<const DimeResult> value) {
+  if (capacity_ == 0) return;
+  MutexLock lock(&mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Concurrent misses on the same key both compute and both insert;
+    // refresh rather than duplicate.
+    it->second->value = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+  lru_.push_front(Entry{key, std::move(value)});
+  index_[key] = lru_.begin();
+  ++counters_.insertions;
+}
+
+ResultCache::Counters ResultCache::counters() const {
+  MutexLock lock(&mu_);
+  Counters out = counters_;
+  out.size = lru_.size();
+  return out;
+}
+
+}  // namespace dime

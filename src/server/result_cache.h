@@ -1,0 +1,114 @@
+#ifndef DIME_SERVER_RESULT_CACHE_H_
+#define DIME_SERVER_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/mutex.h"
+#include "src/core/dime.h"
+
+/// \file result_cache.h
+/// The serving layer's result cache: repeated or overlapping "check group
+/// G" requests skip the engine entirely when the *content* of the request
+/// is identical to one already answered.
+///
+/// Cache key. A request's outcome is fully determined by (engine, rule
+/// set, group content): the engines are deterministic and the context /
+/// ontologies are fixed for the lifetime of a service. The key is
+/// therefore a 128-bit fingerprint over the canonical serializations —
+/// RuleSetToText for the rules, GroupToTsv for the group — prefixed with
+/// the engine name. Hashing content instead of the client's group *name*
+/// means a re-crawled page with identical entities still hits, and a page
+/// that changed by one entity misses (no stale answers).
+///
+/// Only complete (result.ok()) results are inserted: a deadline-truncated
+/// scrollbar is valid but partial, and caching it would pin the partial
+/// answer for future callers with laxer deadlines.
+///
+/// Collisions: two distinct requests colliding on all 128 bits of two
+/// independent FNV-1a streams is vanishingly unlikely at any realistic
+/// cache size; we accept that instead of storing full serializations,
+/// which would multiply the cache's memory footprint.
+
+namespace dime {
+
+/// 128 bits of content hash (two independent 64-bit FNV-1a streams).
+struct Fingerprint {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  bool operator==(const Fingerprint& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+  bool operator!=(const Fingerprint& other) const { return !(*this == other); }
+};
+
+struct FingerprintHash {
+  size_t operator()(const Fingerprint& fp) const {
+    // lo is already a mixed 64-bit hash; fold hi in for map dispersion.
+    return static_cast<size_t>(fp.lo ^ (fp.hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Fingerprints a byte string (two FNV-1a variants with distinct offset
+/// bases, so the halves are independent).
+Fingerprint FingerprintBytes(std::string_view bytes);
+
+/// Thread-safe LRU cache from request fingerprint to a completed engine
+/// result. Values are shared_ptr<const ...> so a hit can be returned (and
+/// later evicted) without copying the result's vectors under the lock.
+class ResultCache {
+ public:
+  /// capacity == 0 disables the cache: Lookup always misses (and counts
+  /// the miss, so /stats still shows traffic), Insert is a no-op.
+  explicit ResultCache(size_t capacity);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// The cached result for `key`, or nullptr. A hit refreshes the entry's
+  /// LRU position. Counts one hit or one miss.
+  std::shared_ptr<const DimeResult> Lookup(const Fingerprint& key)
+      DIME_EXCLUDES(mu_);
+
+  /// Inserts (or refreshes) `key`. Evicts the least-recently-used entry
+  /// when at capacity. Inserting a result that is not ok() is a caller
+  /// bug — enforced with DIME_DCHECK at the call site's layer.
+  void Insert(const Fingerprint& key, std::shared_ptr<const DimeResult> value)
+      DIME_EXCLUDES(mu_);
+
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    size_t size = 0;
+  };
+  Counters counters() const DIME_EXCLUDES(mu_);
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    Fingerprint key;
+    std::shared_ptr<const DimeResult> value;
+  };
+  using LruList = std::list<Entry>;
+
+  const size_t capacity_;
+  mutable Mutex mu_;
+  /// Most-recently-used at the front.
+  LruList lru_ DIME_GUARDED_BY(mu_);
+  std::unordered_map<Fingerprint, LruList::iterator, FingerprintHash> index_
+      DIME_GUARDED_BY(mu_);
+  Counters counters_ DIME_GUARDED_BY(mu_);
+};
+
+}  // namespace dime
+
+#endif  // DIME_SERVER_RESULT_CACHE_H_

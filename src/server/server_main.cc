@@ -1,0 +1,236 @@
+// dime_server: the resident DIME service. Loads a corpus (rules +
+// ontologies + optional preloaded groups) ONCE and answers repeated
+// "check group G" requests over the line-delimited JSON protocol of
+// src/server/wire.h on a TCP socket.
+//
+// Usage:
+//   dime_server --demo [--demo-pages N]           # generated Scholar corpus
+//   dime_server --group page.tsv [--group ...] --rules rules.txt
+//               [--venue-ontology]
+//               [--ontology tree.txt --ontology-mode exact|keyword]
+//   common flags:
+//               [--host 127.0.0.1] [--port 0]     # port 0 = ephemeral
+//               [--workers N] [--queue-cap N] [--cache-cap N]
+//               [--default-deadline-ms N] [--engine naive|plus|parallel]
+//               [--idle-timeout-ms N]
+//
+// On startup the server prints exactly one line
+//   dime_server listening on <host>:<port>
+// to stdout (flushed), so scripts can scrape the bound port when using
+// --port 0. It exits 0 after a clean {"type":"shutdown"} round trip;
+// failures exit with the Status-coded mapping of src/common/exit_code.h.
+//
+// Smoke test from a shell (see also `dime_cli --client`):
+//   dime_server --demo --port 7421 &
+//   dime_cli --client --port 7421 --request ping
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/exit_code.h"
+#include "src/datagen/presets.h"
+#include "src/ontology/builtin.h"
+#include "src/datagen/scholar_gen.h"
+#include "src/rules/rule_io.h"
+#include "src/server/tcp_server.h"
+
+namespace {
+
+using namespace dime;
+
+/// The generated demo corpus: the Scholar preset rules/ontologies plus a
+/// few medium pages named page_0..page_{n-1} (addressable via the
+/// "group" request field).
+ServingCorpus MakeDemoCorpus(size_t pages) {
+  ScholarSetup setup = MakeScholarSetup();
+  ServingCorpus corpus;
+  corpus.schema = setup.schema;
+  corpus.positive = std::move(setup.positive);
+  corpus.negative = std::move(setup.negative);
+  corpus.context = setup.context;
+  // Moving the unique_ptr keeps the raw pointers in context.ontologies
+  // valid: they point at the tree object, not at the unique_ptr.
+  corpus.owned_trees.push_back(std::move(setup.venue_tree));
+  for (size_t i = 0; i < pages; ++i) {
+    ScholarGenOptions gen;
+    gen.num_correct = 120;
+    gen.seed = 1000 + i * 17;
+    gen.garbage_pubs = 3 + i % 4;
+    gen.chem_namesake_pubs = 2 + i % 3;
+    Group page = GenerateScholarGroup("Demo Owner " + std::to_string(i), gen);
+    page.name = "page_" + std::to_string(i);
+    corpus.groups.push_back(std::move(page));
+  }
+  return corpus;
+}
+
+int Usage(const char* msg) {
+  std::fprintf(stderr, "dime_server: %s (run with --help for usage)\n", msg);
+  return ExitCodeForStatusCode(StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool demo = false;
+  size_t demo_pages = 4;
+  std::vector<std::string> group_paths;
+  std::string rules_path;
+  bool use_venue_ontology = false;
+  std::vector<std::string> ontology_paths;
+  std::vector<std::string> ontology_modes;
+  TcpServerOptions transport;
+  ServiceOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value after %s\n", arg.c_str());
+        std::exit(ExitCodeForStatusCode(StatusCode::kInvalidArgument));
+      }
+      return argv[++i];
+    };
+    if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--demo-pages") {
+      demo_pages = static_cast<size_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--group") {
+      group_paths.push_back(next());
+    } else if (arg == "--rules") {
+      rules_path = next();
+    } else if (arg == "--venue-ontology") {
+      use_venue_ontology = true;
+    } else if (arg == "--ontology") {
+      ontology_paths.push_back(next());
+      ontology_modes.push_back("exact");
+    } else if (arg == "--ontology-mode") {
+      if (ontology_modes.empty()) {
+        return Usage("--ontology-mode needs a preceding --ontology");
+      }
+      ontology_modes.back() = next();
+    } else if (arg == "--host") {
+      transport.host = next();
+    } else if (arg == "--port") {
+      transport.port = static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (arg == "--workers") {
+      options.num_workers =
+          static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--queue-cap") {
+      options.queue_capacity =
+          static_cast<size_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--cache-cap") {
+      options.cache_capacity =
+          static_cast<size_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--default-deadline-ms") {
+      options.default_deadline_ms = std::strtol(next(), nullptr, 10);
+    } else if (arg == "--engine") {
+      EngineKind kind;
+      if (!EngineKindFromName(next(), &kind)) {
+        return Usage("--engine must be naive, plus, or parallel");
+      }
+      options.default_engine = kind;
+    } else if (arg == "--idle-timeout-ms") {
+      transport.idle_timeout_ms =
+          static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (arg == "--help") {
+      std::printf(
+          "dime_server --demo | --group <tsv>... --rules <file>\n"
+          "  [--venue-ontology] [--ontology <tree> --ontology-mode m]\n"
+          "  [--host H] [--port N] [--workers N] [--queue-cap N]\n"
+          "  [--cache-cap N] [--default-deadline-ms N] [--engine e]\n"
+          "  [--idle-timeout-ms N] [--demo-pages N]\n");
+      return 0;
+    } else {
+      return Usage(("unknown flag: " + arg).c_str());
+    }
+  }
+
+  ServingCorpus corpus;
+  if (demo) {
+    if (!group_paths.empty() || !rules_path.empty()) {
+      return Usage("--demo and --group/--rules are mutually exclusive");
+    }
+    corpus = MakeDemoCorpus(demo_pages);
+  } else {
+    if (group_paths.empty()) {
+      return Usage("need --demo or at least one --group");
+    }
+    if (rules_path.empty()) return Usage("need --rules with --group");
+    for (const std::string& path : group_paths) {
+      Group group;
+      Status loaded = LoadGroup(path, path, &group);
+      if (!loaded.ok()) {
+        return ExitWithStatus(loaded, ("loading " + path).c_str());
+      }
+      if (group.name.empty()) group.name = path;
+      corpus.groups.push_back(std::move(group));
+    }
+    corpus.schema = corpus.groups.front().schema;
+    if (use_venue_ontology) {
+      corpus.context.ontologies.push_back(
+          OntologyRef{&VenueOntology(), MapMode::kExactName});
+      corpus.context.ontologies.push_back(
+          OntologyRef{&VenueOntology(), MapMode::kKeyword});
+    }
+    for (size_t i = 0; i < ontology_paths.size(); ++i) {
+      auto tree = std::make_unique<Ontology>();
+      if (!Ontology::LoadFromFile(ontology_paths[i], tree.get())) {
+        return ExitWithStatus(
+            NotFoundError("cannot load ontology " + ontology_paths[i]),
+            "startup");
+      }
+      MapMode mode = ontology_modes[i] == "keyword" ? MapMode::kKeyword
+                                                    : MapMode::kExactName;
+      corpus.context.ontologies.push_back(OntologyRef{tree.get(), mode});
+      corpus.owned_trees.push_back(std::move(tree));
+    }
+    std::string error;
+    if (!LoadRuleSet(rules_path, corpus.schema, &corpus.positive,
+                     &corpus.negative, &error)) {
+      return ExitWithStatus(
+          ParseError("cannot load rules from " + rules_path + ": " + error),
+          "startup");
+    }
+  }
+  std::string invalid = ValidateRules(corpus.schema, corpus.positive,
+                                      corpus.negative, corpus.context);
+  if (!invalid.empty()) {
+    return ExitWithStatus(InvalidArgumentError("invalid rules: " + invalid),
+                          "startup");
+  }
+
+  DimeService service(std::move(corpus), options);
+  TcpServer server(&service, transport);
+  Status started = server.Start();
+  if (!started.ok()) return ExitWithStatus(started, "startup");
+
+  std::printf("dime_server listening on %s:%d\n", transport.host.c_str(),
+              server.port());
+  std::printf(
+      "  corpus: %zu preloaded group(s), %zu positive / %zu negative "
+      "rule(s); workers=%u queue=%zu cache=%zu engine=%s\n",
+      service.corpus().groups.size(), service.corpus().positive.size(),
+      service.corpus().negative.size(), service.options().num_workers,
+      service.options().queue_capacity, service.options().cache_capacity,
+      EngineKindName(service.options().default_engine));
+  std::fflush(stdout);
+
+  server.Wait();  // until a {"type":"shutdown"} request
+  server.Stop();
+  service.Shutdown();
+
+  StatsSnapshot stats = service.Stats();
+  std::printf(
+      "dime_server: clean shutdown (accepted=%llu rejected=%llu "
+      "cache_hits=%llu cache_misses=%llu)\n",
+      static_cast<unsigned long long>(stats.accepted),
+      static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.cache_misses));
+  return 0;
+}

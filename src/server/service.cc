@@ -1,0 +1,291 @@
+#include "src/server/service.h"
+
+#include <bit>
+#include <exception>
+#include <future>
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/rules/rule_io.h"
+
+namespace dime {
+namespace {
+
+ServiceOptions NormalizeOptions(ServiceOptions options) {
+  if (options.num_workers == 0) options.num_workers = 1;
+  return options;
+}
+
+std::shared_ptr<const DimeResult> ResultWithStatus(Status status) {
+  auto result = std::make_shared<DimeResult>();
+  result->status = std::move(status);
+  return result;
+}
+
+}  // namespace
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kNaive:
+      return "naive";
+    case EngineKind::kPlus:
+      return "plus";
+    case EngineKind::kParallel:
+      return "parallel";
+  }
+  return "unknown";
+}
+
+bool EngineKindFromName(std::string_view name, EngineKind* kind) {
+  if (name == "naive") {
+    *kind = EngineKind::kNaive;
+  } else if (name == "plus") {
+    *kind = EngineKind::kPlus;
+  } else if (name == "parallel") {
+    *kind = EngineKind::kParallel;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// One admitted request, owned by the queue until a worker picks it up.
+/// The deadline inside `control` is anchored at ADMISSION time, so time
+/// spent waiting in the queue counts against it — a request that waited
+/// out its whole budget is answered DEADLINE_EXCEEDED without touching
+/// the engine.
+struct DimeService::PendingCheck {
+  const Group* group = nullptr;
+  EngineKind engine = EngineKind::kPlus;
+  RunControl control;
+  Fingerprint fp;
+  bool cache_insert = true;
+  Deadline::Clock::time_point admit_time;
+  std::promise<CheckReply> promise;
+};
+
+DimeService::DimeService(ServingCorpus corpus, ServiceOptions options)
+    : corpus_(std::move(corpus)),
+      options_(NormalizeOptions(std::move(options))),
+      rules_text_(
+          RuleSetToText(corpus_.schema, corpus_.positive, corpus_.negative)),
+      cache_(options_.cache_capacity),
+      queue_(options_.queue_capacity) {
+  workers_.reserve(options_.num_workers);
+  for (unsigned i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+DimeService::~DimeService() { Shutdown(); }
+
+void DimeService::Shutdown() {
+  queue_.Close();
+  MutexLock lock(&shutdown_mu_);
+  if (workers_joined_) return;
+  for (std::thread& worker : workers_) worker.join();
+  workers_joined_ = true;
+}
+
+const Group* DimeService::FindGroup(std::string_view name) const {
+  for (const Group& group : corpus_.groups) {
+    if (group.name == name) return &group;
+  }
+  return nullptr;
+}
+
+Fingerprint DimeService::RequestFingerprint(EngineKind engine,
+                                            const Group& group) const {
+  std::string tsv = GroupToTsv(group);
+  std::string bytes;
+  // '\x1f' (unit separator) cannot occur in the TSV or rule grammars, so
+  // the concatenation is unambiguous (no component can absorb another).
+  bytes.reserve(rules_text_.size() + tsv.size() + 16);
+  bytes += EngineKindName(engine);
+  bytes += '\x1f';
+  bytes += rules_text_;
+  bytes += '\x1f';
+  bytes += tsv;
+  return FingerprintBytes(bytes);
+}
+
+StatusOr<CheckReply> DimeService::Check(const CheckRequest& request) {
+  const Group* group = request.group;
+  if (group == nullptr) {
+    if (request.group_name.empty()) {
+      return InvalidArgumentError(
+          "check request names no group (inline group or group_name "
+          "required)");
+    }
+    group = FindGroup(request.group_name);
+    if (group == nullptr) {
+      return NotFoundError("unknown group '" + request.group_name + "'");
+    }
+  } else if (group->schema.attribute_names() !=
+             corpus_.schema.attribute_names()) {
+    return SchemaMismatchError(
+        "inline group schema does not match the serving corpus schema");
+  }
+
+  EngineKind engine = request.engine.value_or(options_.default_engine);
+  Fingerprint fp = RequestFingerprint(engine, *group);
+  Deadline::Clock::time_point admit_time = Deadline::Clock::now();
+
+  if (!request.bypass_cache) {
+    if (std::shared_ptr<const DimeResult> hit = cache_.Lookup(fp)) {
+      RecordAdmitted();
+      RecordCompleted(admit_time);
+      return CheckReply{std::move(hit), /*cache_hit=*/true};
+    }
+  }
+
+  auto pending = std::make_unique<PendingCheck>();
+  pending->group = group;
+  pending->engine = engine;
+  int64_t deadline_ms = request.deadline_ms > 0 ? request.deadline_ms
+                                                : options_.default_deadline_ms;
+  if (deadline_ms > 0) {
+    pending->control.deadline = Deadline::AfterMillis(deadline_ms);
+  }
+  pending->fp = fp;
+  pending->cache_insert = !request.bypass_cache;
+  pending->admit_time = admit_time;
+  std::future<CheckReply> reply = pending->promise.get_future();
+
+  switch (queue_.TryPush(std::move(pending))) {
+    case QueuePushResult::kAccepted:
+      break;
+    case QueuePushResult::kFull:
+      RecordRejected();
+      return ResourceExhaustedError(
+          "request queue full (capacity " +
+          std::to_string(queue_.capacity()) + "); retry later");
+    case QueuePushResult::kClosed:
+      return UnavailableError("service is shutting down");
+  }
+  RecordAdmitted();
+  return reply.get();
+}
+
+void DimeService::WorkerLoop() {
+  while (std::optional<std::unique_ptr<PendingCheck>> item =
+             queue_.BlockingPop()) {
+    std::unique_ptr<PendingCheck>& pending = *item;
+    if (options_.worker_pre_run_hook) options_.worker_pre_run_hook();
+    CheckReply reply = Execute(*pending);
+    RecordCompleted(pending->admit_time);
+    pending->promise.set_value(std::move(reply));
+  }
+}
+
+CheckReply DimeService::Execute(PendingCheck& pending) {
+  Status admitted = pending.control.Check("server/worker-start");
+  if (!admitted.ok()) {
+    // The deadline ran out while the request sat in the queue: answer
+    // with an empty-but-valid result, exactly like RunCorpus does for
+    // groups that start after expiry.
+    return CheckReply{ResultWithStatus(std::move(admitted)), false};
+  }
+
+  auto result = std::make_shared<DimeResult>();
+  // A resident server must confine a faulting request to that request:
+  // capture anything the engines throw (e.g. bad_alloc on a pathological
+  // group) as an INTERNAL result instead of unwinding through the pool.
+  try {
+    PreparedGroup pg = PrepareGroup(*pending.group, corpus_.positive,
+                                    corpus_.negative, corpus_.context);
+    switch (pending.engine) {
+      case EngineKind::kNaive:
+        *result =
+            RunDime(pg, corpus_.positive, corpus_.negative, pending.control);
+        break;
+      case EngineKind::kPlus:
+        *result = RunDimePlus(pg, corpus_.positive, corpus_.negative,
+                              options_.dime_plus, pending.control);
+        break;
+      case EngineKind::kParallel:
+        *result = RunDimeParallel(pg, corpus_.positive, corpus_.negative,
+                                  options_.parallel, pending.control);
+        break;
+    }
+  } catch (const std::exception& e) {
+    *result = DimeResult{};
+    result->status = InternalError(std::string("engine fault: ") + e.what());
+  } catch (...) {
+    *result = DimeResult{};
+    result->status = InternalError("engine fault: unknown exception");
+  }
+
+  std::shared_ptr<const DimeResult> shared = std::move(result);
+  if (pending.cache_insert && shared->status.ok()) {
+    cache_.Insert(pending.fp, shared);
+  }
+  return CheckReply{std::move(shared), false};
+}
+
+void DimeService::RecordAdmitted() {
+  MutexLock lock(&stats_mu_);
+  ++accepted_;
+}
+
+void DimeService::RecordRejected() {
+  MutexLock lock(&stats_mu_);
+  ++rejected_;
+}
+
+void DimeService::RecordCompleted(Deadline::Clock::time_point admit_time) {
+  uint64_t micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          Deadline::Clock::now() - admit_time)
+          .count());
+  int bucket = static_cast<int>(std::bit_width(micros));
+  if (bucket >= kLatencyBuckets) bucket = kLatencyBuckets - 1;
+  MutexLock lock(&stats_mu_);
+  ++completed_;
+  ++latency_buckets_[bucket];
+}
+
+namespace {
+
+/// Upper bound (ms) of the histogram bucket containing quantile `q`.
+double PercentileFromBuckets(const uint64_t* buckets, int num_buckets,
+                             double q) {
+  uint64_t total = 0;
+  for (int i = 0; i < num_buckets; ++i) total += buckets[i];
+  if (total == 0) return 0.0;
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(total));
+  if (target == 0) target = 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < num_buckets; ++i) {
+    seen += buckets[i];
+    if (seen >= target) {
+      // Bucket i covers [2^(i-1), 2^i) microseconds.
+      return static_cast<double>(1ULL << i) / 1000.0;
+    }
+  }
+  return static_cast<double>(1ULL << (num_buckets - 1)) / 1000.0;
+}
+
+}  // namespace
+
+StatsSnapshot DimeService::Stats() const {
+  StatsSnapshot s;
+  ResultCache::Counters cache = cache_.counters();
+  s.cache_hits = cache.hits;
+  s.cache_misses = cache.misses;
+  s.cache_size = cache.size;
+  s.cache_capacity = cache_.capacity();
+  s.queue_depth = queue_.size();
+  s.queue_capacity = queue_.capacity();
+  s.workers = options_.num_workers;
+  MutexLock lock(&stats_mu_);
+  s.accepted = accepted_;
+  s.rejected = rejected_;
+  s.completed = completed_;
+  s.p50_ms = PercentileFromBuckets(latency_buckets_, kLatencyBuckets, 0.50);
+  s.p99_ms = PercentileFromBuckets(latency_buckets_, kLatencyBuckets, 0.99);
+  return s;
+}
+
+}  // namespace dime

@@ -1,0 +1,202 @@
+#ifndef DIME_SERVER_SERVICE_H_
+#define DIME_SERVER_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/common/deadline.h"
+#include "src/common/mutex.h"
+#include "src/common/status.h"
+#include "src/core/corpus.h"
+#include "src/core/dime_parallel.h"
+#include "src/core/dime_plus.h"
+#include "src/server/request_queue.h"
+#include "src/server/result_cache.h"
+
+/// \file service.h
+/// The resident DIME service: loads a corpus (rules, ontologies, optional
+/// preloaded groups) ONCE and answers repeated "check group G" requests
+/// without re-ingesting anything. This is the in-process API; the TCP
+/// transport (tcp_server.h) is a thin line-JSON wrapper around it, so
+/// tests, benches and the CLI can drive the service without sockets.
+///
+/// Request lifecycle:
+///
+///   Check() ── fingerprint ──> result cache ── hit ──> reply (no engine)
+///                 │ miss
+///                 v
+///         bounded queue  ── full ──> RESOURCE_EXHAUSTED (shed, never block)
+///                 │ admitted
+///                 v
+///         worker pool ──> PrepareGroup + Run{Dime,DimePlus,DimeParallel}
+///                 │          (per-request deadline via RunControl,
+///                 │           anchored at ADMISSION so queue wait counts)
+///                 v
+///         cache insert (complete results only) ──> reply
+///
+/// Shutdown() closes the queue: admitted work drains, new work gets
+/// UNAVAILABLE. Every piece of shared state is a PR-2 annotated Mutex /
+/// DIME_GUARDED_BY field, so Clang TSA and the TSan CI leg cover the
+/// serving layer exactly like the engines.
+
+namespace dime {
+
+/// Which engine executes a check.
+enum class EngineKind { kNaive, kPlus, kParallel };
+
+/// "naive" / "plus" / "parallel".
+const char* EngineKindName(EngineKind kind);
+bool EngineKindFromName(std::string_view name, EngineKind* kind);
+
+/// Everything the service holds resident: the schema the rules were
+/// parsed against, the rule set, the evaluation context (with owned
+/// ontology trees backing the context's refs), and optional preloaded
+/// groups addressable by name.
+struct ServingCorpus {
+  Schema schema;
+  std::vector<PositiveRule> positive;
+  std::vector<NegativeRule> negative;
+  DimeContext context;
+  /// Backing storage for `context.ontologies` pointers (moving the
+  /// unique_ptrs keeps the raw pointers stable).
+  std::vector<std::unique_ptr<Ontology>> owned_trees;
+  /// Preloaded groups, addressable by Group::name in CheckRequest.
+  std::vector<Group> groups;
+};
+
+struct ServiceOptions {
+  /// Worker threads executing engine runs. 0 is normalized to 1.
+  unsigned num_workers = 4;
+  /// Bounded queue depth; a push beyond it is shed with
+  /// RESOURCE_EXHAUSTED (admission control, see request_queue.h).
+  size_t queue_capacity = 64;
+  /// LRU result-cache entries; 0 disables caching.
+  size_t cache_capacity = 128;
+  /// Deadline applied when a request does not carry one. <= 0: unbounded.
+  int64_t default_deadline_ms = 0;
+  EngineKind default_engine = EngineKind::kPlus;
+  DimePlusOptions dime_plus;
+  ParallelOptions parallel;
+  /// Test-only: invoked by a worker before executing each admitted
+  /// request. Lets tests hold the pool at a barrier to fill the queue
+  /// deterministically. Must not throw.
+  std::function<void()> worker_pre_run_hook;
+};
+
+struct CheckRequest {
+  /// Inline group to check (borrowed; must outlive the Check call). When
+  /// null, `group_name` selects a preloaded corpus group.
+  const Group* group = nullptr;
+  std::string group_name;
+  /// <= 0: the service default applies.
+  int64_t deadline_ms = 0;
+  /// Engine override; nullopt = service default.
+  std::optional<EngineKind> engine;
+  /// Skip the cache entirely (no lookup, no insert) — for measurement.
+  bool bypass_cache = false;
+};
+
+struct CheckReply {
+  /// Never null. result->status is OK for a complete run and
+  /// DEADLINE_EXCEEDED / CANCELLED / INTERNAL for a truncated or faulted
+  /// one (partial results follow the engine contract in dime.h).
+  std::shared_ptr<const DimeResult> result;
+  bool cache_hit = false;
+};
+
+/// Counter snapshot served by the "stats" request type.
+struct StatsSnapshot {
+  uint64_t accepted = 0;      ///< admitted: cache hits + queued requests
+  uint64_t rejected = 0;      ///< shed with RESOURCE_EXHAUSTED
+  uint64_t completed = 0;     ///< replies delivered (hits + engine runs)
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  size_t cache_size = 0;
+  size_t cache_capacity = 0;
+  size_t queue_depth = 0;
+  size_t queue_capacity = 0;
+  unsigned workers = 0;
+  /// Admission-to-reply latency percentiles over completed requests, in
+  /// milliseconds (log-bucketed histogram: values are bucket upper
+  /// bounds, i.e. within 2x of exact).
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+class DimeService {
+ public:
+  DimeService(ServingCorpus corpus, ServiceOptions options);
+  /// Shuts down (drains admitted work) if Shutdown was not called.
+  ~DimeService();
+
+  DimeService(const DimeService&) = delete;
+  DimeService& operator=(const DimeService&) = delete;
+
+  /// Synchronous check: admits, waits for the reply. The Status arm is
+  /// for requests that never executed — RESOURCE_EXHAUSTED (queue full),
+  /// UNAVAILABLE (shutting down), NOT_FOUND (unknown group name),
+  /// SCHEMA_MISMATCH (inline group disagrees with the corpus schema),
+  /// INVALID_ARGUMENT (no group at all). Engine-level truncation is NOT
+  /// an error arm: it lands in reply.result->status with partial results.
+  StatusOr<CheckReply> Check(const CheckRequest& request);
+
+  StatsSnapshot Stats() const;
+
+  /// Graceful drain: admitted requests finish, new ones get UNAVAILABLE.
+  /// Idempotent; blocks until the workers exit.
+  void Shutdown();
+
+  /// Preloaded group by name, or nullptr. Stable for the service's
+  /// lifetime (the corpus is immutable once loaded).
+  const Group* FindGroup(std::string_view name) const;
+
+  const ServingCorpus& corpus() const { return corpus_; }
+  const ServiceOptions& options() const { return options_; }
+
+  /// The cache key for (engine, corpus rule set, group content) — the
+  /// fingerprint described in result_cache.h. Exposed for tests.
+  Fingerprint RequestFingerprint(EngineKind engine, const Group& group) const;
+
+ private:
+  struct PendingCheck;
+
+  void WorkerLoop();
+  /// Executes one admitted request end to end (engine + cache insert).
+  CheckReply Execute(PendingCheck& pending);
+  void RecordAdmitted() DIME_EXCLUDES(stats_mu_);
+  void RecordRejected() DIME_EXCLUDES(stats_mu_);
+  void RecordCompleted(Deadline::Clock::time_point admit_time)
+      DIME_EXCLUDES(stats_mu_);
+
+  const ServingCorpus corpus_;
+  const ServiceOptions options_;
+  /// RuleSetToText(schema, positive, negative), computed once — the rule
+  /// component of every cache key.
+  const std::string rules_text_;
+
+  ResultCache cache_;
+  BoundedRequestQueue<std::unique_ptr<PendingCheck>> queue_;
+  std::vector<std::thread> workers_;  // written only in ctor / Shutdown
+
+  mutable Mutex shutdown_mu_;
+  bool workers_joined_ DIME_GUARDED_BY(shutdown_mu_) = false;
+
+  mutable Mutex stats_mu_;
+  uint64_t accepted_ DIME_GUARDED_BY(stats_mu_) = 0;
+  uint64_t rejected_ DIME_GUARDED_BY(stats_mu_) = 0;
+  uint64_t completed_ DIME_GUARDED_BY(stats_mu_) = 0;
+  /// Log-bucketed latency histogram: bucket i counts requests whose
+  /// admission-to-reply latency was in [2^(i-1), 2^i) microseconds.
+  static constexpr int kLatencyBuckets = 40;
+  uint64_t latency_buckets_[kLatencyBuckets] DIME_GUARDED_BY(stats_mu_) = {};
+};
+
+}  // namespace dime
+
+#endif  // DIME_SERVER_SERVICE_H_

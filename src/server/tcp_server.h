@@ -1,0 +1,98 @@
+#ifndef DIME_SERVER_TCP_SERVER_H_
+#define DIME_SERVER_TCP_SERVER_H_
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/status.h"
+#include "src/server/service.h"
+
+/// \file tcp_server.h
+/// The socket transport around DimeService: accepts TCP connections and
+/// speaks the line-delimited JSON protocol of wire.h. One thread per
+/// connection — the transport threads only parse, block in
+/// DimeService::Check (where admission control lives), and serialize, so
+/// engine concurrency is bounded by the service's worker pool, not by
+/// the connection count. Connection threads are joined on Stop().
+///
+/// Shutdown paths:
+///  * a client sends {"type":"shutdown"}: the ack is written, then
+///    Wait() unblocks — the caller (server_main) runs Stop() and drains
+///    the service;
+///  * the owner calls Stop() directly (tests): the listen socket is shut
+///    down, the accept loop exits, every connection thread is joined.
+
+namespace dime {
+
+struct TcpServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read it back with port() after Start().
+  int port = 0;
+  int backlog = 64;
+  /// Per-connection receive timeout; a client idle for longer is
+  /// disconnected so stuck peers cannot pin transport threads forever.
+  /// <= 0 disables the timeout.
+  int idle_timeout_ms = 0;
+};
+
+class TcpServer {
+ public:
+  /// `service` is borrowed and must outlive the server.
+  TcpServer(DimeService* service, TcpServerOptions options);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens, and spawns the accept loop. IO_ERROR when the
+  /// socket cannot be created/bound (e.g. the port is taken).
+  Status Start();
+
+  /// The bound port (valid after a successful Start).
+  int port() const { return port_; }
+
+  /// Blocks until Stop() is called or a shutdown request arrives.
+  void Wait();
+
+  /// Stops accepting, closes the listen socket, joins the accept loop
+  /// and every connection thread. Idempotent. Does NOT shut down the
+  /// service (the owner decides when to drain it).
+  void Stop();
+
+  /// True once a {"type":"shutdown"} request has been acked.
+  bool shutdown_requested() const;
+
+  /// Transport-level dispatch: one request line in, one response line
+  /// out. Exposed so tests can exercise the protocol without sockets.
+  std::string Dispatch(const std::string& line);
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  DimeService* const service_;
+  const TcpServerOptions options_;
+  int listen_fd_ = -1;  // written in Start() before the accept thread spawns
+  int port_ = 0;
+  std::thread accept_thread_;
+
+  mutable Mutex mu_;
+  std::vector<std::thread> connections_ DIME_GUARDED_BY(mu_);
+  bool stopping_ DIME_GUARDED_BY(mu_) = false;
+  bool shutdown_requested_ DIME_GUARDED_BY(mu_) = false;
+  CondVar wake_;
+};
+
+/// Client-side helper (dime_cli --client, tests, benches): connects to
+/// host:port, sends `line` (a '\n' is appended when missing), reads one
+/// response line. UNAVAILABLE when the server is unreachable, IO_ERROR /
+/// DEADLINE_EXCEEDED on broken or timed-out reads.
+StatusOr<std::string> SendRequestLine(const std::string& host, int port,
+                                      const std::string& line,
+                                      int timeout_ms = 30000);
+
+}  // namespace dime
+
+#endif  // DIME_SERVER_TCP_SERVER_H_

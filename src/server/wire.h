@@ -1,0 +1,120 @@
+#ifndef DIME_SERVER_WIRE_H_
+#define DIME_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/server/service.h"
+
+/// \file wire.h
+/// The server's wire protocol: line-delimited JSON over a byte stream.
+/// One request per line, one response line per request, in order. The
+/// grammar is deliberately tiny (see DESIGN.md "Serving layer"):
+///
+///   request  := '{' members '}' '\n'        (a FLAT json object: values
+///                                            are strings, numbers, bools
+///                                            or null — never nested)
+///   fields   := "type"        "check" | "stats" | "ping" | "shutdown"
+///               "id"          echoed verbatim in the response (optional)
+///               -- check only:
+///               "group"       name of a preloaded corpus group
+///               "group_tsv"   inline group in GroupToTsv format
+///               "deadline_ms" number; 0/absent = server default
+///               "engine"      "naive" | "plus" | "parallel"
+///               "no_cache"    bool; true bypasses the result cache
+///
+/// Responses are also single-line JSON objects; every one carries
+/// "status" (a StatusCode name, "OK" on success) and echoes "id". Arrays
+/// appear only in responses, so the request parser stays flat; the
+/// parser still captures nested values as raw text (kRaw) so a client
+/// can parse a response with the same function.
+///
+/// Unknown request fields are ignored (forward compatibility); unknown
+/// "type" values are answered with INVALID_ARGUMENT.
+
+namespace dime {
+
+/// One parsed JSON scalar. kRaw holds the unparsed text of a nested
+/// array/object value (responses only; requests never nest).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kRaw };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;  ///< decoded for kString; verbatim for kRaw
+};
+
+/// A flat JSON object (field order is irrelevant to the protocol).
+using JsonObject = std::map<std::string, JsonValue, std::less<>>;
+
+/// Parses one line holding exactly one JSON object. PARSE_ERROR on
+/// malformed input or trailing garbage.
+StatusOr<JsonObject> ParseJsonObjectLine(std::string_view line);
+
+/// JSON string escaping of `s` (no surrounding quotes).
+std::string JsonEscape(std::string_view s);
+
+/// Builds one single-line JSON object; Finish() terminates it with '\n'
+/// (the line delimiter IS the message delimiter).
+class JsonLineWriter {
+ public:
+  JsonLineWriter() : out_("{") {}
+  void AddString(std::string_view key, std::string_view value);
+  void AddInt(std::string_view key, int64_t value);
+  void AddUint(std::string_view key, uint64_t value);
+  void AddDouble(std::string_view key, double value);
+  void AddBool(std::string_view key, bool value);
+  void AddCountArray(std::string_view key, const std::vector<size_t>& values);
+  void AddStringArray(std::string_view key,
+                      const std::vector<std::string>& values);
+  std::string Finish();
+
+ private:
+  void Key(std::string_view key);
+  std::string out_;
+  bool first_ = true;
+};
+
+/// A decoded request.
+struct WireRequest {
+  enum class Type { kCheck, kStats, kPing, kShutdown };
+  Type type = Type::kCheck;
+  std::string id;
+  std::string group_name;
+  std::string group_tsv;
+  int64_t deadline_ms = 0;
+  std::string engine;  ///< empty = server default
+  bool no_cache = false;
+};
+
+/// Decodes a request line. PARSE_ERROR for malformed JSON,
+/// INVALID_ARGUMENT for a well-formed object with a missing/unknown
+/// "type" or a wrong-typed known field.
+StatusOr<WireRequest> ParseRequestLine(std::string_view line);
+
+/// Encodes a request (the client side of ParseRequestLine).
+std::string SerializeRequest(const WireRequest& request);
+
+/// Response serializers (each returns one '\n'-terminated line).
+std::string SerializeErrorResponse(const std::string& id,
+                                   const Status& status);
+/// `group` must be the group the reply was computed on (entity ids).
+std::string SerializeCheckResponse(const std::string& id, const Group& group,
+                                   const CheckReply& reply);
+std::string SerializeStatsResponse(const std::string& id,
+                                   const StatsSnapshot& stats);
+std::string SerializePingResponse(const std::string& id);
+std::string SerializeShutdownResponse(const std::string& id);
+
+/// Client-side helper: the Status encoded in a response line — OK when
+/// "status" is "OK", the decoded code + "error" message otherwise, and
+/// PARSE_ERROR when the line is not a valid response at all.
+Status StatusFromResponseLine(std::string_view line);
+
+}  // namespace dime
+
+#endif  // DIME_SERVER_WIRE_H_

@@ -1,0 +1,141 @@
+#include "src/common/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+// Direct coverage of the deadline / cancellation edge cases that the
+// engine tests only exercise indirectly: already-expired deadlines,
+// infinite deadlines, zero and negative durations, and the precedence
+// contract of RunControl::Check (an explicit cancellation beats a timer).
+
+namespace dime {
+namespace {
+
+TEST(DeadlineEdgeTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_FALSE(d.HasExpired());
+}
+
+TEST(DeadlineEdgeTest, InfiniteNeverExpires) {
+  Deadline d = Deadline::Infinite();
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_FALSE(d.HasExpired());
+  // Still infinite after time passes.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_FALSE(d.HasExpired());
+}
+
+TEST(DeadlineEdgeTest, ExpiredIsAlreadyExpired) {
+  Deadline d = Deadline::Expired();
+  EXPECT_FALSE(d.is_infinite());
+  EXPECT_TRUE(d.HasExpired());
+}
+
+TEST(DeadlineEdgeTest, ZeroDurationExpiresImmediately) {
+  // After(0) anchors the deadline at "now"; by the time anyone can ask,
+  // the clock has reached (or passed) it.
+  Deadline d = Deadline::AfterMillis(0);
+  EXPECT_TRUE(d.HasExpired());
+}
+
+TEST(DeadlineEdgeTest, NegativeDurationIsExpired) {
+  Deadline d = Deadline::After(std::chrono::milliseconds(-5));
+  EXPECT_FALSE(d.is_infinite());
+  EXPECT_TRUE(d.HasExpired());
+}
+
+TEST(DeadlineEdgeTest, FutureDeadlineNotYetExpired) {
+  Deadline d = Deadline::After(std::chrono::hours(1));
+  EXPECT_FALSE(d.is_infinite());
+  EXPECT_FALSE(d.HasExpired());
+}
+
+TEST(DeadlineEdgeTest, ShortDeadlineExpiresAfterSleeping) {
+  Deadline d = Deadline::AfterMillis(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(d.HasExpired());
+}
+
+TEST(DeadlineEdgeTest, ExplicitTimePointConstructorIsFinite) {
+  Deadline d(Deadline::Clock::now() + std::chrono::seconds(10));
+  EXPECT_FALSE(d.is_infinite());
+  EXPECT_FALSE(d.HasExpired());
+}
+
+TEST(CancellationTokenEdgeTest, StartsUncancelled) {
+  CancellationToken token;
+  EXPECT_FALSE(token.IsCancelled());
+}
+
+TEST(CancellationTokenEdgeTest, CancelIsStickyAndIdempotent) {
+  CancellationToken token;
+  token.Cancel();
+  EXPECT_TRUE(token.IsCancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.IsCancelled());
+}
+
+TEST(RunControlEdgeTest, DefaultIsUnbounded) {
+  RunControl control;
+  EXPECT_TRUE(control.IsUnbounded());
+  EXPECT_TRUE(control.Check("here").ok());
+}
+
+TEST(RunControlEdgeTest, FiniteDeadlineIsBounded) {
+  RunControl control;
+  control.deadline = Deadline::After(std::chrono::hours(1));
+  EXPECT_FALSE(control.IsUnbounded());
+  EXPECT_TRUE(control.Check("here").ok());
+}
+
+TEST(RunControlEdgeTest, TokenAloneIsBounded) {
+  CancellationToken token;
+  RunControl control;
+  control.cancel = &token;
+  EXPECT_FALSE(control.IsUnbounded());
+  EXPECT_TRUE(control.Check("here").ok());
+}
+
+TEST(RunControlEdgeTest, ExpiredDeadlineReportsDeadlineExceeded) {
+  RunControl control;
+  control.deadline = Deadline::Expired();
+  Status status = control.Check("partition 3");
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  // The truncation point is identifiable from the message.
+  EXPECT_NE(status.message().find("partition 3"), std::string::npos);
+}
+
+TEST(RunControlEdgeTest, CancellationReportsCancelled) {
+  CancellationToken token;
+  token.Cancel();
+  RunControl control;
+  control.cancel = &token;
+  Status status = control.Check("row 7");
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_NE(status.message().find("row 7"), std::string::npos);
+}
+
+TEST(RunControlEdgeTest, CancellationTakesPrecedenceOverExpiredDeadline) {
+  // Both fired: the explicit user action must win — a caller that
+  // cancelled wants CANCELLED semantics (no retry), not a timeout.
+  CancellationToken token;
+  token.Cancel();
+  RunControl control;
+  control.cancel = &token;
+  control.deadline = Deadline::Expired();
+  EXPECT_EQ(control.Check("x").code(), StatusCode::kCancelled);
+}
+
+TEST(RunControlEdgeTest, UncancelledTokenDoesNotMaskDeadline) {
+  CancellationToken token;
+  RunControl control;
+  control.cancel = &token;
+  control.deadline = Deadline::Expired();
+  EXPECT_EQ(control.Check("x").code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace dime

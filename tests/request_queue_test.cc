@@ -1,0 +1,159 @@
+#include "src/server/request_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dime {
+namespace {
+
+TEST(BoundedRequestQueueTest, PushPopFifo) {
+  BoundedRequestQueue<int> q(4);
+  EXPECT_EQ(q.TryPush(1), QueuePushResult::kAccepted);
+  EXPECT_EQ(q.TryPush(2), QueuePushResult::kAccepted);
+  EXPECT_EQ(q.TryPush(3), QueuePushResult::kAccepted);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.BlockingPop(), std::optional<int>(1));
+  EXPECT_EQ(q.BlockingPop(), std::optional<int>(2));
+  EXPECT_EQ(q.BlockingPop(), std::optional<int>(3));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedRequestQueueTest, FullQueueRejectsWithoutBlocking) {
+  BoundedRequestQueue<int> q(2);
+  EXPECT_EQ(q.TryPush(1), QueuePushResult::kAccepted);
+  EXPECT_EQ(q.TryPush(2), QueuePushResult::kAccepted);
+  // Admission control: the third push is shed immediately, not queued.
+  EXPECT_EQ(q.TryPush(3), QueuePushResult::kFull);
+  EXPECT_EQ(q.size(), 2u);
+  // Popping one frees a slot.
+  EXPECT_TRUE(q.BlockingPop().has_value());
+  EXPECT_EQ(q.TryPush(4), QueuePushResult::kAccepted);
+}
+
+TEST(BoundedRequestQueueTest, ZeroCapacityIsClampedToOne) {
+  BoundedRequestQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_EQ(q.TryPush(1), QueuePushResult::kAccepted);
+  EXPECT_EQ(q.TryPush(2), QueuePushResult::kFull);
+}
+
+TEST(BoundedRequestQueueTest, CloseTurnsProducersAway) {
+  BoundedRequestQueue<std::string> q(4);
+  EXPECT_EQ(q.TryPush("a"), QueuePushResult::kAccepted);
+  q.Close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(q.TryPush("b"), QueuePushResult::kClosed);
+}
+
+TEST(BoundedRequestQueueTest, CloseDrainsBacklogBeforeNullopt) {
+  BoundedRequestQueue<int> q(4);
+  ASSERT_EQ(q.TryPush(1), QueuePushResult::kAccepted);
+  ASSERT_EQ(q.TryPush(2), QueuePushResult::kAccepted);
+  q.Close();
+  // Admitted work is never dropped: both items come out, THEN nullopt.
+  EXPECT_EQ(q.BlockingPop(), std::optional<int>(1));
+  EXPECT_EQ(q.BlockingPop(), std::optional<int>(2));
+  EXPECT_EQ(q.BlockingPop(), std::nullopt);
+  EXPECT_EQ(q.BlockingPop(), std::nullopt);  // stays drained
+}
+
+TEST(BoundedRequestQueueTest, CloseIsIdempotent) {
+  BoundedRequestQueue<int> q(2);
+  q.Close();
+  q.Close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(q.BlockingPop(), std::nullopt);
+}
+
+TEST(BoundedRequestQueueTest, CloseWakesBlockedConsumer) {
+  BoundedRequestQueue<int> q(2);
+  std::atomic<bool> got_nullopt{false};
+  std::thread consumer([&] {
+    if (!q.BlockingPop().has_value()) got_nullopt.store(true);
+  });
+  // Give the consumer a chance to block in BlockingPop, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  consumer.join();
+  EXPECT_TRUE(got_nullopt.load());
+}
+
+TEST(BoundedRequestQueueTest, PushWakesBlockedConsumer) {
+  BoundedRequestQueue<int> q(2);
+  std::atomic<int> popped{0};
+  std::thread consumer([&] {
+    auto item = q.BlockingPop();
+    if (item.has_value()) popped.store(*item);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_EQ(q.TryPush(42), QueuePushResult::kAccepted);
+  consumer.join();
+  EXPECT_EQ(popped.load(), 42);
+}
+
+TEST(BoundedRequestQueueTest, MoveOnlyPayload) {
+  BoundedRequestQueue<std::unique_ptr<int>> q(2);
+  EXPECT_EQ(q.TryPush(std::make_unique<int>(7)), QueuePushResult::kAccepted);
+  auto item = q.BlockingPop();
+  ASSERT_TRUE(item.has_value());
+  ASSERT_NE(*item, nullptr);
+  EXPECT_EQ(**item, 7);
+}
+
+// Many producers racing many consumers: every accepted item is popped
+// exactly once, and nothing admitted before Close is lost. This is the
+// test the TSan leg cares about.
+TEST(BoundedRequestQueueTest, ConcurrentProducersAndConsumers) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 200;
+  BoundedRequestQueue<int> q(16);
+
+  std::atomic<int> accepted{0};
+  std::atomic<long long> pushed_sum{0};
+  std::atomic<long long> popped_sum{0};
+  std::atomic<int> popped_count{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (true) {
+        auto item = q.BlockingPop();
+        if (!item.has_value()) return;
+        popped_sum.fetch_add(*item);
+        popped_count.fetch_add(1);
+      }
+    });
+  }
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int value = p * kPerProducer + i + 1;
+        // Retry on kFull — shedding is the caller's policy; here the test
+        // wants every value through to check conservation.
+        while (q.TryPush(value) == QueuePushResult::kFull) {
+          std::this_thread::yield();
+        }
+        accepted.fetch_add(1);
+        pushed_sum.fetch_add(value);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(accepted.load(), kProducers * kPerProducer);
+  EXPECT_EQ(popped_count.load(), accepted.load());
+  EXPECT_EQ(popped_sum.load(), pushed_sum.load());
+}
+
+}  // namespace
+}  // namespace dime

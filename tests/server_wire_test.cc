@@ -1,0 +1,315 @@
+#include "src/server/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/core/entity.h"
+
+namespace dime {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON object parsing
+
+TEST(JsonParseTest, FlatObjectAllScalarKinds) {
+  auto parsed = ParseJsonObjectLine(
+      R"({"s":"hello","n":42,"neg":-3.5,"t":true,"f":false,"z":null})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonObject& obj = *parsed;
+  ASSERT_EQ(obj.size(), 6u);
+  EXPECT_EQ(obj.at("s").kind, JsonValue::Kind::kString);
+  EXPECT_EQ(obj.at("s").string_value, "hello");
+  EXPECT_EQ(obj.at("n").kind, JsonValue::Kind::kNumber);
+  EXPECT_EQ(obj.at("n").number_value, 42.0);
+  EXPECT_EQ(obj.at("neg").number_value, -3.5);
+  EXPECT_EQ(obj.at("t").kind, JsonValue::Kind::kBool);
+  EXPECT_TRUE(obj.at("t").bool_value);
+  EXPECT_FALSE(obj.at("f").bool_value);
+  EXPECT_EQ(obj.at("z").kind, JsonValue::Kind::kNull);
+}
+
+TEST(JsonParseTest, EscapesDecoded) {
+  auto parsed = ParseJsonObjectLine(
+      R"({"s":"a\"b\\c\/d\n\t\r\b\f"})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->at("s").string_value, "a\"b\\c/d\n\t\r\b\f");
+}
+
+TEST(JsonParseTest, UnicodeEscapes) {
+  // é = é (2-byte UTF-8), 中 = 中 (3-byte), and the surrogate
+  // pair 😀 = 😀 (4-byte).
+  auto parsed = ParseJsonObjectLine(
+      R"({"s":"café 中 😀"})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->at("s").string_value,
+            "caf\xc3\xa9 \xe4\xb8\xad \xf0\x9f\x98\x80");
+}
+
+TEST(JsonParseTest, NestedValuesCapturedRaw) {
+  auto parsed = ParseJsonObjectLine(
+      R"({"arr":[1,2,3],"obj":{"k":"v"},"after":"x"})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->at("arr").kind, JsonValue::Kind::kRaw);
+  EXPECT_EQ(parsed->at("arr").string_value, "[1,2,3]");
+  EXPECT_EQ(parsed->at("obj").kind, JsonValue::Kind::kRaw);
+  EXPECT_EQ(parsed->at("obj").string_value, R"({"k":"v"})");
+  // Parsing continues correctly past the raw capture.
+  EXPECT_EQ(parsed->at("after").string_value, "x");
+}
+
+TEST(JsonParseTest, WhitespaceTolerated) {
+  auto parsed = ParseJsonObjectLine("  { \"a\" : 1 , \"b\" : \"x\" }  ");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->at("a").number_value, 1.0);
+}
+
+TEST(JsonParseTest, MalformedInputsAreParseErrors) {
+  for (const char* bad :
+       {"", "{", "}", "{\"a\":}", "{\"a\" 1}", "{\"a\":1,}", "not json",
+        "{\"a\":1} trailing", "[1,2]", "{\"a\":\"unterminated}",
+        "{\"a\":1 \"b\":2}", "{\"s\":\"bad \\u12 escape\"}"}) {
+    auto parsed = ParseJsonObjectLine(bad);
+    ASSERT_FALSE(parsed.ok()) << "accepted: " << bad;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kParseError) << bad;
+  }
+}
+
+TEST(JsonEscapeTest, RoundTripsThroughParser) {
+  const std::string nasty = "quote\" backslash\\ newline\n tab\t ctrl\x01 ok";
+  std::string line = "{\"k\":\"" + JsonEscape(nasty) + "\"}";
+  auto parsed = ParseJsonObjectLine(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->at("k").string_value, nasty);
+}
+
+// ---------------------------------------------------------------------------
+// JsonLineWriter
+
+TEST(JsonLineWriterTest, BuildsSingleTerminatedLine) {
+  JsonLineWriter writer;
+  writer.AddString("type", "check");
+  writer.AddInt("n", -5);
+  writer.AddUint("u", 7);
+  writer.AddBool("b", true);
+  std::string line = writer.Finish();
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  // The writer's output parses back with our own parser.
+  auto parsed = ParseJsonObjectLine(
+      std::string_view(line.data(), line.size() - 1));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->at("type").string_value, "check");
+  EXPECT_EQ(parsed->at("n").number_value, -5.0);
+  EXPECT_EQ(parsed->at("u").number_value, 7.0);
+  EXPECT_TRUE(parsed->at("b").bool_value);
+}
+
+TEST(JsonLineWriterTest, ArraysCaptureAsRaw) {
+  JsonLineWriter writer;
+  writer.AddCountArray("counts", {3, 0, 12});
+  writer.AddStringArray("names", {"a\"b", "c"});
+  std::string line = writer.Finish();
+  auto parsed = ParseJsonObjectLine(
+      std::string_view(line.data(), line.size() - 1));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->at("counts").kind, JsonValue::Kind::kRaw);
+  EXPECT_EQ(parsed->at("counts").string_value, "[3,0,12]");
+  EXPECT_EQ(parsed->at("names").kind, JsonValue::Kind::kRaw);
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+
+TEST(WireRequestTest, SerializeParseRoundTrip) {
+  WireRequest request;
+  request.type = WireRequest::Type::kCheck;
+  request.id = "req-1";
+  request.group_name = "page_0";
+  request.deadline_ms = 250;
+  request.engine = "parallel";
+  request.no_cache = true;
+  auto parsed = ParseRequestLine(SerializeRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->type, WireRequest::Type::kCheck);
+  EXPECT_EQ(parsed->id, "req-1");
+  EXPECT_EQ(parsed->group_name, "page_0");
+  EXPECT_EQ(parsed->deadline_ms, 250);
+  EXPECT_EQ(parsed->engine, "parallel");
+  EXPECT_TRUE(parsed->no_cache);
+}
+
+TEST(WireRequestTest, GroupTsvRoundTripsWithEmbeddedEscapes) {
+  WireRequest request;
+  request.type = WireRequest::Type::kCheck;
+  request.group_tsv = "id\ttitle\nr1\tA \"quoted\" title\n";
+  auto parsed = ParseRequestLine(SerializeRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->group_tsv, request.group_tsv);
+}
+
+TEST(WireRequestTest, AllTypesRoundTrip) {
+  for (WireRequest::Type type :
+       {WireRequest::Type::kCheck, WireRequest::Type::kStats,
+        WireRequest::Type::kPing, WireRequest::Type::kShutdown}) {
+    WireRequest request;
+    request.type = type;
+    auto parsed = ParseRequestLine(SerializeRequest(request));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->type, type);
+  }
+}
+
+TEST(WireRequestTest, UnknownFieldsIgnored) {
+  auto parsed = ParseRequestLine(
+      R"({"type":"ping","future_field":"whatever","another":123})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->type, WireRequest::Type::kPing);
+}
+
+TEST(WireRequestTest, MissingTypeIsInvalidArgument) {
+  auto parsed = ParseRequestLine(R"({"group":"page_0"})");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireRequestTest, UnknownTypeIsInvalidArgument) {
+  auto parsed = ParseRequestLine(R"({"type":"frobnicate"})");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireRequestTest, WrongTypedKnownFieldIsInvalidArgument) {
+  auto parsed = ParseRequestLine(R"({"type":"check","deadline_ms":"soon"})");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireRequestTest, MalformedJsonIsParseError) {
+  auto parsed = ParseRequestLine("{\"type\":\"check\"");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+
+TEST(WireResponseTest, PingAndShutdownCarryOkStatus) {
+  EXPECT_TRUE(StatusFromResponseLine(SerializePingResponse("p1")).ok());
+  EXPECT_TRUE(StatusFromResponseLine(SerializeShutdownResponse("")).ok());
+  auto parsed = ParseJsonObjectLine(SerializePingResponse("p1").substr(
+      0, SerializePingResponse("p1").size() - 1));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->at("id").string_value, "p1");
+}
+
+TEST(WireResponseTest, ErrorResponseRoundTripsStatus) {
+  Status original =
+      ResourceExhaustedError("request queue full (capacity 4); retry later");
+  std::string line = SerializeErrorResponse("r9", original);
+  Status decoded = StatusFromResponseLine(line);
+  EXPECT_EQ(decoded.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(decoded.message().find("queue full"), std::string::npos);
+}
+
+TEST(WireResponseTest, EveryStatusCodeSurvivesTheWire) {
+  for (int code = static_cast<int>(StatusCode::kCancelled);
+       code <= static_cast<int>(StatusCode::kUnavailable); ++code) {
+    Status original(static_cast<StatusCode>(code), "msg");
+    Status decoded =
+        StatusFromResponseLine(SerializeErrorResponse("", original));
+    EXPECT_EQ(decoded.code(), original.code())
+        << StatusCodeName(original.code());
+  }
+}
+
+TEST(WireResponseTest, CheckResponseCarriesScrollbarShape) {
+  Group group;
+  group.schema = Schema({"id", "title"});
+  for (int i = 0; i < 4; ++i) {
+    Entity e;
+    e.id = "e" + std::to_string(i);
+    e.values = {{e.id}, {"t"}};
+    group.entities.push_back(std::move(e));
+  }
+  auto result = std::make_shared<DimeResult>();
+  result->partitions = {{0, 1, 2}, {3}};
+  result->pivot = 0;
+  result->flagged_by_prefix = {{3}};
+  CheckReply reply;
+  reply.result = result;
+  reply.cache_hit = true;
+
+  std::string line = SerializeCheckResponse("c1", group, reply);
+  EXPECT_TRUE(StatusFromResponseLine(line).ok());
+  auto parsed =
+      ParseJsonObjectLine(std::string_view(line.data(), line.size() - 1));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->at("id").string_value, "c1");
+  EXPECT_EQ(parsed->at("status").string_value, "OK");
+  EXPECT_TRUE(parsed->at("cached").bool_value);
+  EXPECT_EQ(parsed->at("pivot_size").number_value, 3.0);
+  // Arrays arrive as raw captures; the flagged entity id is in there.
+  EXPECT_NE(parsed->at("flagged").string_value.find("e3"), std::string::npos);
+}
+
+TEST(WireResponseTest, TruncatedCheckResponseKeepsPartialsAndStatus) {
+  Group group;
+  group.schema = Schema({"id"});
+  Entity e;
+  e.id = "only";
+  e.values = {{"only"}};
+  group.entities.push_back(std::move(e));
+  auto result = std::make_shared<DimeResult>();
+  result->status = DeadlineExceededError("deadline expired at partition 1");
+  result->partitions = {{0}};
+  result->pivot = 0;
+  CheckReply reply;
+  reply.result = result;
+
+  std::string line = SerializeCheckResponse("", group, reply);
+  Status decoded = StatusFromResponseLine(line);
+  EXPECT_EQ(decoded.code(), StatusCode::kDeadlineExceeded);
+  auto parsed =
+      ParseJsonObjectLine(std::string_view(line.data(), line.size() - 1));
+  ASSERT_TRUE(parsed.ok());
+  // Partial scrollbar still present alongside the non-OK status.
+  EXPECT_EQ(parsed->at("pivot_size").number_value, 1.0);
+}
+
+TEST(WireResponseTest, StatsResponseCarriesCounters) {
+  StatsSnapshot stats;
+  stats.accepted = 10;
+  stats.rejected = 2;
+  stats.completed = 9;
+  stats.cache_hits = 4;
+  stats.cache_misses = 6;
+  stats.queue_capacity = 64;
+  stats.workers = 8;
+  stats.p50_ms = 1.024;
+  stats.p99_ms = 16.384;
+  std::string line = SerializeStatsResponse("s1", stats);
+  EXPECT_TRUE(StatusFromResponseLine(line).ok());
+  auto parsed =
+      ParseJsonObjectLine(std::string_view(line.data(), line.size() - 1));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->at("accepted").number_value, 10.0);
+  EXPECT_EQ(parsed->at("rejected").number_value, 2.0);
+  EXPECT_EQ(parsed->at("cache_hits").number_value, 4.0);
+  EXPECT_EQ(parsed->at("cache_misses").number_value, 6.0);
+  EXPECT_EQ(parsed->at("workers").number_value, 8.0);
+  EXPECT_GT(parsed->at("p99_ms").number_value, 0.0);
+}
+
+TEST(WireResponseTest, NonResponseLineIsParseError) {
+  EXPECT_EQ(StatusFromResponseLine("garbage").code(),
+            StatusCode::kParseError);
+  // A well-formed object without "status" is not a response.
+  EXPECT_EQ(StatusFromResponseLine(R"({"id":"x"})").code(),
+            StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace dime

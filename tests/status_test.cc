@@ -6,11 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/common/deadline.h"
+#include "src/common/exit_code.h"
 
 namespace dime {
 namespace {
@@ -160,6 +162,51 @@ TEST(RunControlTest, CancellationDominatesDeadline) {
   control.deadline = Deadline::Expired();
   control.cancel = &token;
   EXPECT_EQ(control.Check("x").code(), StatusCode::kCancelled);
+}
+
+TEST(StatusTest, ServingCodesHaveStableValuesAndNames) {
+  // Append-only enum: these integers ride in exit codes and on the wire.
+  EXPECT_EQ(static_cast<int>(StatusCode::kResourceExhausted), 9);
+  EXPECT_EQ(static_cast<int>(StatusCode::kUnavailable), 10);
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_EQ(ResourceExhaustedError("q full").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(UnavailableError("draining").code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusTest, StatusCodeFromNameRoundTripsEveryCode) {
+  for (int i = 0; i <= static_cast<int>(StatusCode::kUnavailable); ++i) {
+    StatusCode code = static_cast<StatusCode>(i);
+    StatusCode decoded;
+    ASSERT_TRUE(StatusCodeFromName(StatusCodeName(code), &decoded))
+        << StatusCodeName(code);
+    EXPECT_EQ(decoded, code);
+  }
+  StatusCode decoded;
+  EXPECT_FALSE(StatusCodeFromName("NOT_A_CODE", &decoded));
+  EXPECT_FALSE(StatusCodeFromName("", &decoded));
+  EXPECT_FALSE(StatusCodeFromName("ok", &decoded));  // names are exact
+}
+
+TEST(ExitCodeTest, OkIsZeroOneIsReservedAndCodesAreDistinct) {
+  EXPECT_EQ(ExitCodeForStatusCode(StatusCode::kOk), 0);
+  EXPECT_EQ(ExitCodeForStatus(OkStatus()), 0);
+  std::set<int> seen;
+  for (int i = 0; i <= static_cast<int>(StatusCode::kUnavailable); ++i) {
+    int exit_code = ExitCodeForStatusCode(static_cast<StatusCode>(i));
+    // 1 stays reserved for failures with no Status at all.
+    EXPECT_NE(exit_code, kExitCodeNoStatus);
+    EXPECT_TRUE(seen.insert(exit_code).second)
+        << "duplicate exit code " << exit_code;
+  }
+  // The documented mapping (exit_code.h): code + 1 for non-OK.
+  EXPECT_EQ(ExitCodeForStatusCode(StatusCode::kInvalidArgument), 2);
+  EXPECT_EQ(ExitCodeForStatusCode(StatusCode::kDeadlineExceeded), 7);
+  EXPECT_EQ(ExitCodeForStatusCode(StatusCode::kUnavailable), 11);
+  EXPECT_EQ(ExitCodeForStatus(NotFoundError("x")),
+            ExitCodeForStatusCode(StatusCode::kNotFound));
 }
 
 }  // namespace

@@ -1,0 +1,233 @@
+#include "src/server/tcp_server.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/core/entity.h"
+#include "src/datagen/presets.h"
+#include "src/datagen/scholar_gen.h"
+#include "src/server/wire.h"
+
+namespace dime {
+namespace {
+
+ServingCorpus MakeTestCorpus() {
+  ScholarSetup setup = MakeScholarSetup();
+  ServingCorpus corpus;
+  corpus.schema = setup.schema;
+  corpus.positive = std::move(setup.positive);
+  corpus.negative = std::move(setup.negative);
+  corpus.context = setup.context;
+  corpus.owned_trees.push_back(std::move(setup.venue_tree));
+  ScholarGenOptions gen;
+  gen.num_correct = 40;
+  gen.seed = 77;
+  Group page = GenerateScholarGroup("Owner", gen);
+  page.name = "page_0";
+  corpus.groups.push_back(std::move(page));
+  return corpus;
+}
+
+JsonObject MustParse(const std::string& line) {
+  std::string_view body(line);
+  if (!body.empty() && body.back() == '\n') body.remove_suffix(1);
+  auto parsed = ParseJsonObjectLine(body);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString() << " in: " << line;
+  return parsed.ok() ? *parsed : JsonObject{};
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch-level protocol tests (no sockets): transport behavior minus
+// the TCP plumbing, fast enough for every CI leg.
+
+class DispatchTest : public ::testing::Test {
+ protected:
+  DispatchTest()
+      : service_(MakeTestCorpus(), ServiceOptions{}),
+        server_(&service_, TcpServerOptions{}) {}
+
+  DimeService service_;
+  TcpServer server_;
+};
+
+TEST_F(DispatchTest, Ping) {
+  JsonObject response = MustParse(server_.Dispatch(R"({"type":"ping"})"));
+  EXPECT_EQ(response.at("status").string_value, "OK");
+}
+
+TEST_F(DispatchTest, CheckPreloadedGroupTwiceSecondIsCached) {
+  const std::string request = R"({"type":"check","group":"page_0"})";
+  JsonObject first = MustParse(server_.Dispatch(request));
+  EXPECT_EQ(first.at("status").string_value, "OK");
+  EXPECT_FALSE(first.at("cached").bool_value);
+  EXPECT_GT(first.at("partitions").number_value, 0.0);
+
+  JsonObject second = MustParse(server_.Dispatch(request));
+  EXPECT_EQ(second.at("status").string_value, "OK");
+  EXPECT_TRUE(second.at("cached").bool_value);
+}
+
+TEST_F(DispatchTest, CheckInlineGroupTsv) {
+  // Round-trip an existing group through its TSV serialization.
+  std::string tsv = GroupToTsv(service_.corpus().groups[0]);
+  WireRequest request;
+  request.type = WireRequest::Type::kCheck;
+  request.id = "inline-1";
+  request.group_tsv = tsv;
+  JsonObject response = MustParse(server_.Dispatch(SerializeRequest(request)));
+  EXPECT_EQ(response.at("status").string_value, "OK");
+  EXPECT_EQ(response.at("id").string_value, "inline-1");
+}
+
+TEST_F(DispatchTest, StatsReflectsTraffic) {
+  server_.Dispatch(R"({"type":"check","group":"page_0"})");
+  server_.Dispatch(R"({"type":"check","group":"page_0"})");
+  JsonObject stats = MustParse(server_.Dispatch(R"({"type":"stats"})"));
+  EXPECT_EQ(stats.at("status").string_value, "OK");
+  EXPECT_EQ(stats.at("accepted").number_value, 2.0);
+  EXPECT_EQ(stats.at("cache_hits").number_value, 1.0);
+  EXPECT_EQ(stats.at("cache_misses").number_value, 1.0);
+}
+
+TEST_F(DispatchTest, UnknownGroupIsNotFound) {
+  JsonObject response =
+      MustParse(server_.Dispatch(R"({"type":"check","group":"nope"})"));
+  EXPECT_EQ(response.at("status").string_value, "NOT_FOUND");
+}
+
+TEST_F(DispatchTest, BadEngineNameIsInvalidArgument) {
+  JsonObject response = MustParse(server_.Dispatch(
+      R"({"type":"check","group":"page_0","engine":"warp"})"));
+  EXPECT_EQ(response.at("status").string_value, "INVALID_ARGUMENT");
+}
+
+TEST_F(DispatchTest, MalformedLineIsParseError) {
+  JsonObject response = MustParse(server_.Dispatch("this is not json"));
+  EXPECT_EQ(response.at("status").string_value, "PARSE_ERROR");
+}
+
+TEST_F(DispatchTest, MalformedGroupTsvIsError) {
+  WireRequest request;
+  request.type = WireRequest::Type::kCheck;
+  request.group_tsv = "not\ta\tvalid\theader for this corpus schema\nx\n";
+  JsonObject response = MustParse(server_.Dispatch(SerializeRequest(request)));
+  EXPECT_NE(response.at("status").string_value, "OK");
+}
+
+TEST_F(DispatchTest, IdIsEchoedOnErrors) {
+  JsonObject response = MustParse(server_.Dispatch(
+      R"({"type":"check","group":"nope","id":"err-7"})"));
+  EXPECT_EQ(response.at("id").string_value, "err-7");
+}
+
+// ---------------------------------------------------------------------------
+// Socket-level tests: a real server on an ephemeral port, driven by the
+// same SendRequestLine helper the CLI client uses.
+
+class SocketTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    service_ = std::make_unique<DimeService>(MakeTestCorpus(),
+                                             ServiceOptions{});
+    server_ = std::make_unique<TcpServer>(service_.get(), TcpServerOptions{});
+    Status started = server_->Start();
+    ASSERT_TRUE(started.ok()) << started.ToString();
+    ASSERT_GT(server_->port(), 0);  // ephemeral port was bound
+  }
+
+  void TearDown() override {
+    server_->Stop();
+    service_->Shutdown();
+  }
+
+  std::string MustSend(const std::string& line) {
+    StatusOr<std::string> response =
+        SendRequestLine("127.0.0.1", server_->port(), line);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    return response.ok() ? *response : std::string();
+  }
+
+  std::unique_ptr<DimeService> service_;
+  std::unique_ptr<TcpServer> server_;
+};
+
+TEST_F(SocketTest, PingRoundTrip) {
+  std::string response = MustSend(R"({"type":"ping","id":"p1"})");
+  EXPECT_TRUE(StatusFromResponseLine(response).ok());
+  EXPECT_EQ(MustParse(response).at("id").string_value, "p1");
+}
+
+TEST_F(SocketTest, CheckThenCachedCheckThenStats) {
+  const std::string check = R"({"type":"check","group":"page_0"})";
+  JsonObject first = MustParse(MustSend(check));
+  EXPECT_EQ(first.at("status").string_value, "OK");
+  EXPECT_FALSE(first.at("cached").bool_value);
+
+  JsonObject second = MustParse(MustSend(check));
+  EXPECT_TRUE(second.at("cached").bool_value);
+
+  JsonObject stats = MustParse(MustSend(R"({"type":"stats"})"));
+  EXPECT_EQ(stats.at("cache_hits").number_value, 1.0);
+}
+
+TEST_F(SocketTest, ParallelClientsAllGetAnswers) {
+  constexpr int kClients = 6;
+  std::vector<std::thread> clients;
+  std::vector<std::string> responses(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([this, c, &responses] {
+      StatusOr<std::string> response = SendRequestLine(
+          "127.0.0.1", server_->port(),
+          R"({"type":"check","group":"page_0"})");
+      if (response.ok()) responses[c] = *response;
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (const std::string& response : responses) {
+    ASSERT_FALSE(response.empty());
+    EXPECT_TRUE(StatusFromResponseLine(response).ok());
+  }
+}
+
+TEST_F(SocketTest, MalformedLineGetsErrorResponseNotDisconnect) {
+  std::string response = MustSend("{broken");
+  EXPECT_EQ(StatusFromResponseLine(response).code(),
+            StatusCode::kParseError);
+}
+
+TEST_F(SocketTest, ShutdownRequestUnblocksWait) {
+  std::thread waiter([this] { server_->Wait(); });
+  std::string ack = MustSend(R"({"type":"shutdown"})");
+  EXPECT_TRUE(StatusFromResponseLine(ack).ok());
+  waiter.join();  // Wait() returned because shutdown was requested
+  EXPECT_TRUE(server_->shutdown_requested());
+}
+
+TEST_F(SocketTest, StopIsIdempotent) {
+  server_->Stop();
+  server_->Stop();
+}
+
+TEST(TcpServerLifecycleTest, ConnectAfterStopIsUnavailable) {
+  DimeService service(MakeTestCorpus(), ServiceOptions{});
+  int port = 0;
+  {
+    TcpServer server(&service, TcpServerOptions{});
+    ASSERT_TRUE(server.Start().ok());
+    port = server.port();
+    server.Stop();
+  }
+  StatusOr<std::string> response =
+      SendRequestLine("127.0.0.1", port, R"({"type":"ping"})",
+                      /*timeout_ms=*/2000);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace dime
