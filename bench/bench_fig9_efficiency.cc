@@ -5,7 +5,15 @@
 //
 // The shape to reproduce: DIME+ < DIME << CR, SVM, with the gap widening
 // with group size (the paper reports DIME+ 2-10x faster than DIME).
+//
+//   --json <path>   additionally write the rows as one JSON object
+//   --label <s>     tag for the JSON entry (default "current"); tools/
+//                   bench.sh uses it to keep pre-/post-optimization runs
+//                   apart in the repo-root BENCH_fig9.json
+//   --allow-debug   record despite a non-Release build (see bench_util.h)
 
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -26,6 +34,15 @@ using bench::QuickMode;
 struct Timings {
   double dime, dime_plus, cr, svm;
 };
+
+/// One printed table line, kept for the optional --json dump.
+struct Row {
+  const char* dataset;
+  size_t entities;
+  Timings t;
+};
+
+std::vector<Row> g_rows;
 
 Timings TimeAll(const Group& group, const std::vector<PositiveRule>& pos,
                 const std::vector<NegativeRule>& neg,
@@ -92,6 +109,7 @@ void RunScholar() {
     Group group = GenerateScholarGroup("Big Page", big);
     Timings t = TimeAll(group, setup.positive, setup.negative, setup.context,
                         setup.cr, setup.features, svm);
+    g_rows.push_back(Row{"scholar", group.size(), t});
     std::printf("%-8zu | %8.3f %8.3f %8.3f %8.3f\n", group.size(), t.dime,
                 t.dime_plus, t.cr, t.svm);
   }
@@ -130,17 +148,63 @@ void RunAmazon() {
 
     Timings t = TimeAll(corpus[0], setup.positive, setup.negative,
                         setup.context, setup.cr, setup.features, svm);
+    g_rows.push_back(Row{"amazon_e40", corpus[0].size(), t});
     std::printf("%-8zu | %8.3f %8.3f %8.3f %8.3f\n", corpus[0].size(), t.dime,
                 t.dime_plus, t.cr, t.svm);
   }
 }
 
+/// One entry object: {"label": ..., "build_type": ..., "rows": [...]}.
+/// tools/bench.sh wraps entries from different builds into the repo-root
+/// BENCH_fig9.json.
+bool WriteJson(const std::string& path, const std::string& label) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fig9_efficiency\",\n");
+  std::fprintf(f, "  \"label\": \"%s\",\n", label.c_str());
+  std::fprintf(f, "  \"build_type\": \"%s\",\n",
+               bench::BuiltWithAssertions() ? "debug" : "release");
+  std::fprintf(f, "  \"quick\": %s,\n", QuickMode() ? "true" : "false");
+  std::fprintf(f, "  \"rows\": [\n");
+  for (size_t i = 0; i < g_rows.size(); ++i) {
+    const Row& r = g_rows[i];
+    std::fprintf(f,
+                 "    {\"dataset\": \"%s\", \"entities\": %zu, "
+                 "\"dime_s\": %.3f, \"dime_plus_s\": %.3f, \"cr_s\": %.3f, "
+                 "\"svm_s\": %.3f}%s\n",
+                 r.dataset, r.entities, r.t.dime, r.t.dime_plus, r.t.cr,
+                 r.t.svm, i + 1 < g_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu rows, label \"%s\")\n", path.c_str(),
+              g_rows.size(), label.c_str());
+  return true;
+}
+
 }  // namespace
 }  // namespace dime
 
-int main() {
+int main(int argc, char** argv) {
+  if (!dime::bench::GuardReleaseBuild(&argc, argv)) return 1;
+  std::string json_path;
+  std::string label = "current";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) {
+      label = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
   dime::RunScholar();
   std::printf("\n");
   dime::RunAmazon();
+  if (!json_path.empty() && !dime::WriteJson(json_path, label)) return 1;
   return 0;
 }

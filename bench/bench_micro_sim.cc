@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/common/random.h"
 #include "src/datagen/scholar_gen.h"
 #include "src/datagen/presets.h"
@@ -55,6 +56,60 @@ void BM_JaccardSim(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_JaccardSim)->Arg(8)->Arg(64);
+
+// The threshold-aware path on a pair that cannot reach the requirement:
+// random same-size sets overlap ~25% here, so demanding a full match
+// trips the cannot-reach bound within a few merge steps. Compare against
+// BM_SetIntersection, which always walks both inputs to the end.
+void BM_IntersectionAtLeastReject(benchmark::State& state) {
+  Random rng(1);
+  size_t size = static_cast<size_t>(state.range(0));
+  auto a = RandomSortedSet(&rng, size, static_cast<uint32_t>(size * 4));
+  auto b = RandomSortedSet(&rng, size, static_cast<uint32_t>(size * 4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectionAtLeast(a, b, size));
+  }
+}
+BENCHMARK(BM_IntersectionAtLeastReject)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// The cannot-miss side: identical sets with a requirement of half their
+// size decide after size/2 matches.
+void BM_IntersectionAtLeastAccept(benchmark::State& state) {
+  Random rng(1);
+  size_t size = static_cast<size_t>(state.range(0));
+  auto a = RandomSortedSet(&rng, size, static_cast<uint32_t>(size * 4));
+  auto b = a;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectionAtLeast(a, b, size / 2 + 1));
+  }
+}
+BENCHMARK(BM_IntersectionAtLeastAccept)->Arg(16)->Arg(64)->Arg(256);
+
+// Skewed sizes take the galloping path: the short side drives binary
+// probes into the long one instead of merging through it.
+void BM_IntersectionAtLeastGallop(benchmark::State& state) {
+  Random rng(1);
+  size_t size = static_cast<size_t>(state.range(0));
+  auto a = RandomSortedSet(&rng, 8, static_cast<uint32_t>(size * 4));
+  auto b = RandomSortedSet(&rng, size, static_cast<uint32_t>(size * 4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectionAtLeast(a, b, 4));
+  }
+}
+BENCHMARK(BM_IntersectionAtLeastGallop)->Arg(256)->Arg(1024)->Arg(4096);
+
+// The predicate entry point the engines actually call: thresholded
+// Jaccard at 0.9 over ~25%-overlap inputs (rejects early).
+void BM_JaccardAtLeast(benchmark::State& state) {
+  Random rng(2);
+  size_t size = static_cast<size_t>(state.range(0));
+  auto a = RandomSortedSet(&rng, size, static_cast<uint32_t>(size * 4));
+  auto b = RandomSortedSet(&rng, size, static_cast<uint32_t>(size * 4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SetSimilarityAtLeast(SimFunc::kJaccard, a, b, 0.9));
+  }
+}
+BENCHMARK(BM_JaccardAtLeast)->Arg(8)->Arg(64)->Arg(256);
 
 std::string RandomString(Random* rng, size_t len) {
   std::string s;
@@ -147,6 +202,25 @@ void BM_WeightedJaccard(benchmark::State& state) {
 }
 BENCHMARK(BM_WeightedJaccard)->Arg(8)->Arg(64);
 
+// Thresholded weighted Jaccard with precomputed per-entity mass, as
+// PredicateHolds calls it: the running upper bound rejects theta=0.9
+// pairs without draining both rank lists.
+void BM_WeightedJaccardAtLeast(benchmark::State& state) {
+  Random rng(5);
+  size_t size = static_cast<size_t>(state.range(0));
+  auto a = RandomSortedSet(&rng, size, static_cast<uint32_t>(size * 4));
+  auto b = RandomSortedSet(&rng, size, static_cast<uint32_t>(size * 4));
+  std::vector<double> weights(size * 4, 1.0);
+  for (double& w : weights) w = 0.1 + rng.UniformDouble() * 3.0;
+  const double mass_a = TotalWeight(a, weights);
+  const double mass_b = TotalWeight(b, weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WeightedSimilarityAtLeast(
+        SimFunc::kWeightedJaccard, a, b, weights, mass_a, mass_b, 0.9));
+  }
+}
+BENCHMARK(BM_WeightedJaccardAtLeast)->Arg(8)->Arg(64);
+
 void BM_SimilaritySelfJoin(benchmark::State& state) {
   Random rng(7);
   size_t n = static_cast<size_t>(state.range(0));
@@ -188,4 +262,14 @@ BENCHMARK(BM_PrepareGroup)->Arg(100)->Arg(400);
 }  // namespace
 }  // namespace dime
 
-BENCHMARK_MAIN();
+// Hand-rolled main instead of BENCHMARK_MAIN: the Release guard must see
+// argv before google-benchmark does (and strip --allow-debug, which
+// benchmark would reject as unrecognized).
+int main(int argc, char** argv) {
+  if (!dime::bench::GuardReleaseBuild(&argc, argv)) return 1;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,48 @@ namespace bench {
 inline bool QuickMode() {
   const char* v = std::getenv("DIME_BENCH_QUICK");
   return v != nullptr && v[0] == '1';
+}
+
+/// True when assertions are compiled in (no NDEBUG): DIME_DCHECK bodies
+/// and unoptimized code make such timings incomparable to Release runs.
+inline constexpr bool BuiltWithAssertions() {
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
+
+/// Every benchmark binary calls this first. A non-Release build refuses
+/// to record numbers — a debug timing silently landing in a BENCH_*.json
+/// is worse than no timing — unless the operator explicitly passes
+/// --allow-debug (which is consumed from argv either way). Returns true
+/// when the run may proceed.
+inline bool GuardReleaseBuild(int* argc, char** argv) {
+  bool allow_debug = false;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--allow-debug") == 0) {
+      allow_debug = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  if (!BuiltWithAssertions()) return true;
+  if (allow_debug) {
+    std::fprintf(stderr,
+                 "WARNING: assertions are compiled in (non-Release build); "
+                 "timings recorded under --allow-debug are not comparable "
+                 "to Release numbers.\n");
+    return true;
+  }
+  std::fprintf(stderr,
+               "refusing to benchmark a non-Release build (NDEBUG is not "
+               "defined, so DIME_DCHECKs run inside the timed region).\n"
+               "Configure with -DCMAKE_BUILD_TYPE=Release, or pass "
+               "--allow-debug to record anyway.\n");
+  return false;
 }
 
 inline void PrintRule(char c = '-', int width = 78) {

@@ -6,7 +6,7 @@
 //                        [--rules <ruleset.txt>]
 //                        [--engine naive|plus|parallel] [--venue-ontology]
 //                        [--ontology <tree.txt> --ontology-mode exact|keyword]
-//                        [--deadline-ms <n>]
+//                        [--deadline-ms <n>] [--stats]
 //
 // Client mode — one request to a running dime_server, then exit:
 //   dime_cli --client --port <n> [--host 127.0.0.1] [group.tsv]
@@ -21,6 +21,11 @@
 // --deadline-ms bounds the run: on expiry the scrollbar computed so far is
 // printed (still monotone, a subset of the full answer) with a note, and
 // the process exits DEADLINE_EXCEEDED (7).
+//
+// --stats prints the engine's work counters (DimeResult::Stats) after the
+// scrollbar — pair checks, filter survivors, transitivity skips and
+// kernel early exits — so rule and engine choices can be compared without
+// a profiler.
 //
 // All exit codes follow the single mapping in src/common/exit_code.h.
 //
@@ -191,6 +196,7 @@ int main(int argc, char** argv) {
   bool use_venue_ontology = false;
   std::string engine = "plus";
   long deadline_ms = -1;
+  bool show_stats = false;
   std::vector<std::string> ontology_paths;
   std::vector<std::string> ontology_modes;
   std::string rules_path;
@@ -229,6 +235,8 @@ int main(int argc, char** argv) {
       if (deadline_ms <= 0) {
         return UsageError("--deadline-ms needs a positive integer");
       }
+    } else if (arg == "--stats") {
+      show_stats = true;
     } else {
       return UsageError("unknown flag: %s", arg.c_str());
     }
@@ -331,6 +339,21 @@ int main(int argc, char** argv) {
     for (int e : result.flagged_by_prefix[k]) {
       std::printf("  %s\n", group.entities[e].id.c_str());
     }
+  }
+  if (show_stats) {
+    const DimeResult::Stats& s = result.stats;
+    std::printf("stats:\n");
+    std::printf("  positive_pair_checks           %zu\n",
+                s.positive_pair_checks);
+    std::printf("  negative_pair_checks           %zu\n",
+                s.negative_pair_checks);
+    std::printf("  candidate_pairs                %zu\n", s.candidate_pairs);
+    std::printf("  partitions_pruned_by_filter    %zu\n",
+                s.partitions_pruned_by_filter);
+    std::printf("  pairs_skipped_by_transitivity  %zu\n",
+                s.pairs_skipped_by_transitivity);
+    std::printf("  kernel_early_exits             %zu\n",
+                s.kernel_early_exits);
   }
   // A truncated run printed its partial scrollbar above, but the shell
   // still learns it was partial: DEADLINE_EXCEEDED exits 7, CANCELLED 8.

@@ -6,6 +6,7 @@
 #include "src/common/fault_injection.h"
 #include "src/common/logging.h"
 #include "src/index/union_find.h"
+#include "src/sim/set_similarity.h"
 
 namespace dime {
 namespace internal {
@@ -129,6 +130,9 @@ DimeResult RunDime(const PreparedGroup& pg,
     result.flagged_by_prefix.assign(negative.size(), {});
     return result;
   }
+  // Snapshot the thread's kernel counter so the result reports this run's
+  // early exits only (the engine is single-threaded, so the delta is ours).
+  const uint64_t kernel_exits_before = KernelEarlyExits();
 
   // Step 1: check every entity pair against the disjunction of positive
   // rules; connected components of the match graph are the partitions.
@@ -196,6 +200,7 @@ DimeResult RunDime(const PreparedGroup& pg,
   result.first_flagging_rule = first_flagging;
   result.flagged_by_prefix = internal::BuildScrollbar(
       result.partitions, result.pivot, first_flagging, negative.size());
+  result.stats.kernel_early_exits = KernelEarlyExits() - kernel_exits_before;
   internal::DcheckResultInvariants(result, pg.size(), negative.size());
   return result;
 }

@@ -72,6 +72,13 @@ struct DimeResult {
     size_t negative_pair_checks = 0;   ///< rule evaluations in step 3
     size_t candidate_pairs = 0;        ///< pairs surviving the filter (DIME+)
     size_t partitions_pruned_by_filter = 0;  ///< step-3 signature prunes
+    /// Candidate pairs never verified because both entities were already
+    /// in one partition (DIME+ transitivity skip, including whole inverted
+    /// lists skipped at once).
+    size_t pairs_skipped_by_transitivity = 0;
+    /// Threshold-aware similarity kernel invocations that decided before
+    /// consuming their whole inputs (sim/set_similarity.h).
+    size_t kernel_early_exits = 0;
   };
   Stats stats;
 

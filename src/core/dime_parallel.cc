@@ -10,6 +10,7 @@
 #include "src/common/logging.h"
 #include "src/common/mutex.h"
 #include "src/index/union_find.h"
+#include "src/sim/set_similarity.h"
 
 namespace dime {
 namespace {
@@ -137,6 +138,9 @@ DimeResult RunDimeParallel(const PreparedGroup& pg,
   // ---- Step 1: scan row blocks concurrently, merge edges afterwards. ----
   std::vector<std::vector<std::pair<int, int>>> edges(threads);
   std::vector<size_t> checks(threads, 0);
+  // The kernel early-exit counter is thread-local; each worker reports its
+  // delta through its slot and the coordinator sums them.
+  std::vector<uint64_t> kernel_exits(threads, 0);
   {
     WorkerFailures failures;
     // Rows are dealt round-robin: row i has n-1-i pairs, so interleaving
@@ -145,6 +149,7 @@ DimeResult RunDimeParallel(const PreparedGroup& pg,
       if (DIME_FAULT_POINT("parallel/worker-fault")) {
         throw std::runtime_error("injected worker fault (step 1)");
       }
+      const uint64_t exits_before = KernelEarlyExits();
       // Accumulate locally: shared per-thread slots would false-share a
       // cache line across all workers.
       size_t local_checks = 0;
@@ -170,6 +175,7 @@ DimeResult RunDimeParallel(const PreparedGroup& pg,
       }
       checks[t] = local_checks;
       edges[t] = std::move(local_edges);
+      kernel_exits[t] = KernelEarlyExits() - exits_before;
     });
     if (ResolveFailures(&failures, pg, positive, negative, options, control,
                         /*partitions_done=*/false, &result)) {
@@ -179,6 +185,7 @@ DimeResult RunDimeParallel(const PreparedGroup& pg,
   UnionFind uf(static_cast<size_t>(n));
   for (unsigned t = 0; t < threads; ++t) {
     result.stats.positive_pair_checks += checks[t];
+    result.stats.kernel_early_exits += kernel_exits[t];
     for (const auto& [i, j] : edges[t]) uf.Union(i, j);
   }
   result.partitions = uf.Components();
@@ -194,11 +201,13 @@ DimeResult RunDimeParallel(const PreparedGroup& pg,
     const std::vector<int>& pivot_entities = result.partitions[result.pivot];
     std::atomic<size_t> next{0};
     std::vector<size_t> neg_checks(threads, 0);
+    std::vector<uint64_t> neg_kernel_exits(threads, 0);
     WorkerFailures failures;
     RunWorkers(threads, &failures, [&](unsigned t) {
       if (DIME_FAULT_POINT("parallel/worker-fault")) {
         throw std::runtime_error("injected worker fault (step 3)");
       }
+      const uint64_t exits_before = KernelEarlyExits();
       size_t local_checks = 0;
       while (true) {
         if (failures.ShouldStop()) break;
@@ -230,6 +239,7 @@ DimeResult RunDimeParallel(const PreparedGroup& pg,
         }
       }
       neg_checks[t] = local_checks;
+      neg_kernel_exits[t] = KernelEarlyExits() - exits_before;
     });
     if (ResolveFailures(&failures, pg, positive, negative, options, control,
                         /*partitions_done=*/true, &result)) {
@@ -245,6 +255,7 @@ DimeResult RunDimeParallel(const PreparedGroup& pg,
       }
     }
     for (size_t c : neg_checks) result.stats.negative_pair_checks += c;
+    for (uint64_t x : neg_kernel_exits) result.stats.kernel_early_exits += x;
   }
   result.first_flagging_rule = first_flagging;
   result.flagged_by_prefix = internal::BuildScrollbar(

@@ -9,6 +9,7 @@
 #include "src/index/inverted_index.h"
 #include "src/index/union_find.h"
 #include "src/index/verification.h"
+#include "src/sim/set_similarity.h"
 
 namespace dime {
 namespace {
@@ -39,6 +40,9 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
     result.flagged_by_prefix.assign(negative.size(), {});
     return result;
   }
+  // Snapshot the thread's kernel counter so the result reports this run's
+  // early exits only (the engine is single-threaded, so the delta is ours).
+  const uint64_t kernel_exits_before = KernelEarlyExits();
 
   // A deadline hit before partitioning completes discards step 1 (half
   // merged partitions are not valid output); the status explains why.
@@ -48,6 +52,8 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
     result.first_flagging_rule.clear();
     result.flagged_by_prefix.assign(negative.size(), {});
     result.status = std::move(st);
+    result.stats.kernel_early_exits =
+        KernelEarlyExits() - kernel_exits_before;
     return result;
   };
 
@@ -110,7 +116,10 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
     for (const PositiveCandidate& c : candidates) {
       Status st = control_hit();
       if (!st.ok()) return truncate_before_partitions(std::move(st));
-      if (options.transitivity_skip && uf.Connected(c.e1, c.e2)) continue;
+      if (options.transitivity_skip && uf.Connected(c.e1, c.e2)) {
+        ++result.stats.pairs_skipped_by_transitivity;
+        continue;
+      }
       ++result.stats.positive_pair_checks;
       if (EvalPositiveRule(pg, positive[c.rule], c.e1, c.e2)) {
         uf.Union(c.e1, c.e2);
@@ -119,15 +128,45 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
   } else {
     Status stream_status;
     for (size_t r = 0; r < positive.size() && stream_status.ok(); ++r) {
-      indexes[r].ForEachCandidate(
-          options.benefit_order, [&](int e1, int e2) {
-            stream_status = control_hit();
-            if (!stream_status.ok()) return false;
-            if (options.transitivity_skip && uf.Connected(e1, e2)) {
-              return true;
+      indexes[r].ForEachList(
+          options.benefit_order, [&](const int* list, size_t len) {
+            // Whole-list transitivity skip: once every entity on a list
+            // shares one partition, none of its |l|(|l|-1)/2 pairs can
+            // change the components — decide that in O(|l|) instead of
+            // enumerating them. This is where the flood from stop-word-like
+            // signatures (e.g. the page owner's name on every entity) goes
+            // from ~16ns a pair to nothing.
+            if (options.transitivity_skip) {
+              bool all_connected = true;
+              for (size_t i = 1; i < len; ++i) {
+                if (!uf.Connected(list[0], list[i])) {
+                  all_connected = false;
+                  break;
+                }
+              }
+              if (all_connected) {
+                result.stats.pairs_skipped_by_transitivity +=
+                    len * (len - 1) / 2;
+                return true;
+              }
             }
-            ++result.stats.positive_pair_checks;
-            if (EvalPositiveRule(pg, positive[r], e1, e2)) uf.Union(e1, e2);
+            for (size_t i = 0; i < len; ++i) {
+              for (size_t j = i + 1; j < len; ++j) {
+                int e1 = list[i], e2 = list[j];
+                if (e1 == e2) continue;
+                if (e1 > e2) std::swap(e1, e2);
+                stream_status = control_hit();
+                if (!stream_status.ok()) return false;
+                if (options.transitivity_skip && uf.Connected(e1, e2)) {
+                  ++result.stats.pairs_skipped_by_transitivity;
+                  continue;
+                }
+                ++result.stats.positive_pair_checks;
+                if (EvalPositiveRule(pg, positive[r], e1, e2)) {
+                  uf.Union(e1, e2);
+                }
+              }
+            }
             return true;
           });
     }
@@ -167,6 +206,13 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
       }
     };
 
+    // Dense per-member shared-signature counter: one slot per pivot
+    // position, reset between members through the dirty list — the
+    // hash-map pair counter this replaces spent more time hashing
+    // (member, pivot) keys than verifying rules on large pivots.
+    std::vector<uint32_t> shared_with_pivot(pivot_entities.size(), 0);
+    std::vector<uint32_t> dirty;
+
     for (size_t p = 0; p < result.partitions.size(); ++p) {
       if (static_cast<int>(p) == result.pivot) continue;
       // Partition-boundary deadline check: stopping here leaves the rest
@@ -178,27 +224,21 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
         break;
       }
       const std::vector<int>& members = result.partitions[p];
+      std::vector<std::vector<uint64_t>> member_sigs(members.size());
       for (size_t r = 0; r < negative.size() && first_flagging[p] < 0; ++r) {
         ensure_rule(r);
 
-        // Filter: collect the partition's signatures and the per-pair
-        // shared counts against the pivot in one pass.
+        // Filter: generate each member's signatures once (they are reused
+        // for the shared counts below) and test whether any matches a
+        // pivot signature.
         bool any_shared = false;
-        // shared[(member m, pivot i)] -> count
-        std::unordered_map<uint64_t, uint32_t> shared;
-        std::vector<size_t> member_sig_count(members.size(), 0);
         for (size_t m = 0; m < members.size(); ++m) {
-          std::vector<uint64_t> sigs =
-              gens[r]->NegativeRuleSignatures(members[m]);
-          member_sig_count[m] = sigs.size();
-          for (uint64_t s : sigs) {
-            auto it = pivot_lists[r].find(s);
-            if (it == pivot_lists[r].end()) continue;
-            any_shared = true;
-            for (int i : it->second) {
-              uint64_t key = (static_cast<uint64_t>(m) << 32) |
-                             static_cast<uint32_t>(i);
-              ++shared[key];
+          member_sigs[m] = gens[r]->NegativeRuleSignatures(members[m]);
+          if (any_shared) continue;
+          for (uint64_t s : member_sigs[m]) {
+            if (pivot_lists[r].find(s) != pivot_lists[r].end()) {
+              any_shared = true;
+              break;
             }
           }
         }
@@ -216,23 +256,44 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
         // checked most-likely-similar first (shared signatures up, cost
         // down), so a violating pair — which ends this member's scan — is
         // found as early as possible.
+        //
+        // Only the dirty positions (shared > 0) can have positive benefit:
+        // SimilarProbability(0, ·, ·) is 0 and the cost clamp keeps shared
+        // benefits strictly above it, so the zero-shared majority forms a
+        // tied block that the full sort would place last, ordered by
+        // ascending e_star — which is pivot order, because Components()
+        // emits each partition sorted by entity id. Building and sorting
+        // candidates for the dirty list alone and then scanning the
+        // zero-shared remainder in pivot order therefore verifies pairs in
+        // exactly the order the full materialization did, without the
+        // O(|pivot|) probability/cost computations and sort per member.
+        std::vector<NegativeCandidate> cands;
         for (size_t m = 0;
              m < members.size() && first_flagging[p] < 0; ++m) {
-          std::vector<NegativeCandidate> cands;
-          cands.reserve(pivot_entities.size());
-          for (size_t i = 0; i < pivot_entities.size(); ++i) {
-            uint64_t key =
-                (static_cast<uint64_t>(m) << 32) | static_cast<uint32_t>(i);
-            auto it = shared.find(key);
-            uint32_t sh = it == shared.end() ? 0 : it->second;
-            double prob = SimilarProbability(sh, member_sig_count[m],
-                                             pivot_sigs[r][i].size());
-            double cost = RuleVerificationCost(pg, negative[r].predicates,
-                                               members[m], pivot_entities[i]);
-            cands.push_back(NegativeCandidate{PositiveBenefit(prob, cost),
-                                              members[m], pivot_entities[i]});
+          // Scatter this member's shared counts into the dense slots.
+          for (uint64_t s : member_sigs[m]) {
+            auto it = pivot_lists[r].find(s);
+            if (it == pivot_lists[r].end()) continue;
+            for (int i : it->second) {
+              if (shared_with_pivot[i]++ == 0) {
+                dirty.push_back(static_cast<uint32_t>(i));
+              }
+            }
           }
+          bool all_dissimilar = true;
           if (options.benefit_order) {
+            cands.clear();
+            cands.reserve(dirty.size());
+            for (uint32_t i : dirty) {
+              double prob = SimilarProbability(shared_with_pivot[i],
+                                               member_sigs[m].size(),
+                                               pivot_sigs[r][i].size());
+              double cost = RuleVerificationCost(
+                  pg, negative[r].predicates, members[m], pivot_entities[i]);
+              cands.push_back(NegativeCandidate{PositiveBenefit(prob, cost),
+                                                members[m],
+                                                pivot_entities[i]});
+            }
             std::sort(cands.begin(), cands.end(),
                       [](const NegativeCandidate& a,
                          const NegativeCandidate& b) {
@@ -241,15 +302,38 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
                         }
                         return a.e_star < b.e_star;
                       });
-          }
-          bool all_dissimilar = true;
-          for (const NegativeCandidate& c : cands) {
-            ++result.stats.negative_pair_checks;
-            if (!EvalNegativeRule(pg, negative[r], c.e, c.e_star)) {
-              all_dissimilar = false;
-              break;
+            for (const NegativeCandidate& c : cands) {
+              ++result.stats.negative_pair_checks;
+              if (!EvalNegativeRule(pg, negative[r], c.e, c.e_star)) {
+                all_dissimilar = false;
+                break;
+              }
+            }
+            if (all_dissimilar) {
+              for (size_t i = 0; i < pivot_entities.size(); ++i) {
+                if (shared_with_pivot[i] != 0) continue;  // verified above
+                ++result.stats.negative_pair_checks;
+                if (!EvalNegativeRule(pg, negative[r], members[m],
+                                      pivot_entities[i])) {
+                  all_dissimilar = false;
+                  break;
+                }
+              }
+            }
+          } else {
+            // Without benefit ordering the old materialized order was just
+            // pivot order; scan it directly.
+            for (size_t i = 0; i < pivot_entities.size(); ++i) {
+              ++result.stats.negative_pair_checks;
+              if (!EvalNegativeRule(pg, negative[r], members[m],
+                                    pivot_entities[i])) {
+                all_dissimilar = false;
+                break;
+              }
             }
           }
+          for (uint32_t d : dirty) shared_with_pivot[d] = 0;
+          dirty.clear();
           if (all_dissimilar) first_flagging[p] = static_cast<int>(r);
         }
       }
@@ -258,6 +342,7 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
   result.first_flagging_rule = first_flagging;
   result.flagged_by_prefix = internal::BuildScrollbar(
       result.partitions, result.pivot, first_flagging, negative.size());
+  result.stats.kernel_early_exits = KernelEarlyExits() - kernel_exits_before;
   internal::DcheckResultInvariants(result, pg.size(), negative.size());
   return result;
 }

@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
+#include "src/sim/set_similarity.h"
 #include "src/text/tokenizer.h"
 
 namespace dime {
@@ -64,14 +65,14 @@ void IncrementalDime::PrepareEntity(int e) {
       std::vector<TokenId> ids = attr.value_dict.InternDocument(tokens);
       std::sort(ids.begin(), ids.end());
       ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-      attr.value_ranks.emplace_back(ids.begin(), ids.end());
+      attr.value_ranks.Append(ids);
     }
     if (attr.has_words) {
       std::vector<TokenId> ids = attr.word_dict.InternDocument(
           WordTokenizeUnique(JoinAttributeText(value)));
       std::sort(ids.begin(), ids.end());
       ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-      attr.word_ranks.emplace_back(ids.begin(), ids.end());
+      attr.word_ranks.Append(ids);
     }
     if (attr.has_text) {
       attr.text.push_back(JoinAttributeText(value));
@@ -79,7 +80,7 @@ void IncrementalDime::PrepareEntity(int e) {
           QGrams(attr.text.back(), pg_.context.qgram_q));
       std::sort(ids.begin(), ids.end());
       ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-      attr.qgram_ranks.emplace_back(ids.begin(), ids.end());
+      attr.qgram_ranks.Append(ids);
     }
     for (auto& [oi, nodes] : attr.nodes) {
       const OntologyRef& ref = pg_.context.ontologies[oi];
@@ -99,8 +100,12 @@ int IncrementalDime::AddEntity(Entity entity) {
 
   // Connect the arrival: one pass over existing entities, skipping those
   // already in a partition we joined (transitivity).
+  const uint64_t kernel_exits_before = KernelEarlyExits();
   for (int j = 0; j < e; ++j) {
-    if (uf_.Connected(e, j)) continue;
+    if (uf_.Connected(e, j)) {
+      ++cached_.stats.pairs_skipped_by_transitivity;
+      continue;
+    }
     for (const PositiveRule& rule : positive_) {
       ++cached_.stats.positive_pair_checks;
       if (EvalPositiveRule(pg_, rule, e, j)) {
@@ -109,6 +114,8 @@ int IncrementalDime::AddEntity(Entity entity) {
       }
     }
   }
+  cached_.stats.kernel_early_exits +=
+      KernelEarlyExits() - kernel_exits_before;
   dirty_ = true;
   return e;
 }

@@ -114,6 +114,39 @@ int MapAttributeToNode(const Ontology& tree, MapMode mode,
 
 namespace {
 
+/// Translates interned documents to sorted unique global-rank runs and
+/// packs them into the column's arena, one entity per row.
+void FlattenRanks(const std::vector<std::vector<TokenId>>& ids,
+                  const TokenDictionary& dict, RankColumn* column) {
+  size_t total = 0;
+  for (const auto& doc : ids) total += doc.size();
+  column->Reserve(ids.size(), total);
+  std::vector<uint32_t> ranks;  // scratch, reused across entities
+  for (const auto& doc : ids) {
+    ranks.clear();
+    ranks.reserve(doc.size());
+    for (TokenId id : doc) ranks.push_back(dict.GlobalRank(id));
+    std::sort(ranks.begin(), ranks.end());
+    ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+    column->Append(ranks);
+  }
+}
+
+/// Precomputes per-entity total weight and squared weight norm so the
+/// threshold-aware weighted kernels never re-scan a side for its mass.
+void ComputeMasses(const RankColumn& column,
+                   const std::vector<double>& weights,
+                   std::vector<double>* mass, std::vector<double>* sqnorm) {
+  const size_t n = column.num_entities();
+  mass->resize(n);
+  sqnorm->resize(n);
+  for (size_t e = 0; e < n; ++e) {
+    RankSpan v = column.view(e);
+    (*mass)[e] = TotalWeight(v, weights);
+    (*sqnorm)[e] = SquaredWeightNorm(v, weights);
+  }
+}
+
 PreparedGroup PrepareImpl(const Group& group,
                           const std::vector<Predicate>& predicates,
                           const DimeContext& context) {
@@ -145,15 +178,9 @@ PreparedGroup PrepareImpl(const Group& group,
       attr.value_dict.BuildGlobalOrder();
       attr.value_weights =
           IdfWeightsByRank(attr.value_dict.DocumentFrequencyByRank(), n);
-      attr.value_ranks.resize(n);
-      for (size_t e = 0; e < n; ++e) {
-        std::vector<uint32_t> ranks;
-        ranks.reserve(ids[e].size());
-        for (TokenId id : ids[e]) ranks.push_back(attr.value_dict.GlobalRank(id));
-        std::sort(ranks.begin(), ranks.end());
-        ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
-        attr.value_ranks[e] = std::move(ranks);
-      }
+      FlattenRanks(ids, attr.value_dict, &attr.value_ranks);
+      ComputeMasses(attr.value_ranks, attr.value_weights, &attr.value_mass,
+                    &attr.value_sqnorm);
     }
 
     if (need.words) {
@@ -166,15 +193,9 @@ PreparedGroup PrepareImpl(const Group& group,
       attr.word_dict.BuildGlobalOrder();
       attr.word_weights =
           IdfWeightsByRank(attr.word_dict.DocumentFrequencyByRank(), n);
-      attr.word_ranks.resize(n);
-      for (size_t e = 0; e < n; ++e) {
-        std::vector<uint32_t> ranks;
-        ranks.reserve(ids[e].size());
-        for (TokenId id : ids[e]) ranks.push_back(attr.word_dict.GlobalRank(id));
-        std::sort(ranks.begin(), ranks.end());
-        ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
-        attr.word_ranks[e] = std::move(ranks);
-      }
+      FlattenRanks(ids, attr.word_dict, &attr.word_ranks);
+      ComputeMasses(attr.word_ranks, attr.word_weights, &attr.word_mass,
+                    &attr.word_sqnorm);
     }
 
     if (need.text) {
@@ -188,17 +209,7 @@ PreparedGroup PrepareImpl(const Group& group,
             QGrams(attr.text[e], context.qgram_q));
       }
       attr.qgram_dict.BuildGlobalOrder();
-      attr.qgram_ranks.resize(n);
-      for (size_t e = 0; e < n; ++e) {
-        std::vector<uint32_t> ranks;
-        ranks.reserve(ids[e].size());
-        for (TokenId id : ids[e]) {
-          ranks.push_back(attr.qgram_dict.GlobalRank(id));
-        }
-        std::sort(ranks.begin(), ranks.end());
-        ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
-        attr.qgram_ranks[e] = std::move(ranks);
-      }
+      FlattenRanks(ids, attr.qgram_dict, &attr.qgram_ranks);
     }
 
     for (int oi : need.ontology_indexes) {
@@ -316,15 +327,16 @@ double PredicateSimilarity(const PreparedGroup& pg, const Predicate& pred,
                            int e1, int e2) {
   const PreparedAttr& attr = pg.attrs[pred.attr];
   if (IsSetBased(pred.func)) {
-    const auto& ranks =
+    const RankColumn& ranks =
         pred.mode == TokenMode::kValueList ? attr.value_ranks : attr.word_ranks;
-    return SetSimilarity(pred.func, ranks[e1], ranks[e2]);
+    return SetSimilarity(pred.func, ranks.view(e1), ranks.view(e2));
   }
   if (IsWeightedSetBased(pred.func)) {
     const bool values = pred.mode == TokenMode::kValueList;
-    const auto& ranks = values ? attr.value_ranks : attr.word_ranks;
+    const RankColumn& ranks = values ? attr.value_ranks : attr.word_ranks;
     const auto& weights = values ? attr.value_weights : attr.word_weights;
-    return WeightedSetSimilarity(pred.func, ranks[e1], ranks[e2], weights);
+    return WeightedSetSimilarity(pred.func, ranks.view(e1), ranks.view(e2),
+                                 weights);
   }
   if (pred.func == SimFunc::kEditSim) {
     return EditSimilarity(attr.text[e1], attr.text[e2]);
@@ -338,8 +350,33 @@ double PredicateSimilarity(const PreparedGroup& pg, const Predicate& pred,
 
 bool PredicateHolds(const PreparedGroup& pg, const Predicate& pred,
                     Direction dir, int e1, int e2) {
+  const PreparedAttr& attr = pg.attrs[pred.attr];
+  if (IsSetBased(pred.func)) {
+    const RankColumn& ranks =
+        pred.mode == TokenMode::kValueList ? attr.value_ranks : attr.word_ranks;
+    return dir == Direction::kGe
+               ? SetSimilarityAtLeast(pred.func, ranks.view(e1),
+                                      ranks.view(e2), pred.threshold)
+               : SetSimilarityAtMost(pred.func, ranks.view(e1),
+                                     ranks.view(e2), pred.threshold);
+  }
+  if (IsWeightedSetBased(pred.func)) {
+    const bool values = pred.mode == TokenMode::kValueList;
+    const RankColumn& ranks = values ? attr.value_ranks : attr.word_ranks;
+    const auto& weights = values ? attr.value_weights : attr.word_weights;
+    // Per-side mass: total weight for wjaccard, squared norm for wcosine.
+    const auto& mass = pred.func == SimFunc::kWeightedJaccard
+                           ? (values ? attr.value_mass : attr.word_mass)
+                           : (values ? attr.value_sqnorm : attr.word_sqnorm);
+    return dir == Direction::kGe
+               ? WeightedSimilarityAtLeast(pred.func, ranks.view(e1),
+                                           ranks.view(e2), weights, mass[e1],
+                                           mass[e2], pred.threshold)
+               : WeightedSimilarityAtMost(pred.func, ranks.view(e1),
+                                          ranks.view(e2), weights, mass[e1],
+                                          mass[e2], pred.threshold);
+  }
   if (pred.func == SimFunc::kEditSim && dir == Direction::kGe) {
-    const PreparedAttr& attr = pg.attrs[pred.attr];
     return EditSimilarityAtLeast(attr.text[e1], attr.text[e2],
                                  pred.threshold);
   }
@@ -369,9 +406,9 @@ double RuleVerificationCost(const PreparedGroup& pg,
   for (const Predicate& p : predicates) {
     const PreparedAttr& attr = pg.attrs[p.attr];
     if (IsSetBased(p.func) || IsWeightedSetBased(p.func)) {
-      const auto& ranks =
+      const RankColumn& ranks =
           p.mode == TokenMode::kValueList ? attr.value_ranks : attr.word_ranks;
-      cost += static_cast<double>(ranks[e1].size() + ranks[e2].size());
+      cost += static_cast<double>(ranks.size(e1) + ranks.size(e2));
     } else if (p.func == SimFunc::kEditSim) {
       size_t min_len = std::min(attr.text[e1].size(), attr.text[e2].size());
       size_t band = MaxEditDistanceForSim(

@@ -9,6 +9,7 @@
 #include "src/core/entity.h"
 #include "src/ontology/ontology.h"
 #include "src/rules/rule.h"
+#include "src/sim/rank_span.h"
 #include "src/text/token_dictionary.h"
 
 /// \file preprocess.h
@@ -23,8 +24,52 @@
 ///
 /// Preparation is driven by the rules that will actually run, so only the
 /// representations a rule references are built.
+///
+/// Rank vectors live in one contiguous arena per attribute/mode (a CSR
+/// layout: arena + per-entity offsets) rather than a vector-of-vectors.
+/// The verification hot path touches two entities' ranks per candidate
+/// pair in essentially random order; with the arena those reads are two
+/// offset lookups into memory laid out in entity order instead of two
+/// pointer chases to independently heap-allocated vectors, and building
+/// the group does one allocation per attribute/mode instead of one per
+/// entity.
 
 namespace dime {
+
+/// One attribute/mode's rank vectors for every entity, flattened CSR-style:
+/// entity e's strictly ascending ranks live at arena[offsets[e] ..
+/// offsets[e+1]). Built once by preparation (append-only; the incremental
+/// engine appends entities at the tail) and read through borrowed
+/// RankSpan views.
+class RankColumn {
+ public:
+  /// Pre-sizes for `entities` rows totalling `total_ranks` elements.
+  void Reserve(size_t entities, size_t total_ranks) {
+    offsets_.reserve(entities + 1);
+    arena_.reserve(total_ranks);
+  }
+
+  /// Appends one entity's rank run (must be strictly ascending).
+  void Append(const uint32_t* data, size_t len) {
+    arena_.insert(arena_.end(), data, data + len);
+    offsets_.push_back(arena_.size());
+  }
+  void Append(const std::vector<uint32_t>& v) { Append(v.data(), v.size()); }
+
+  /// Borrowed view of entity e's ranks. Stable across Append (offsets are
+  /// resolved on each call), but not across destruction of the column.
+  RankSpan view(size_t e) const {
+    return RankSpan(arena_.data() + offsets_[e], offsets_[e + 1] - offsets_[e]);
+  }
+
+  size_t size(size_t e) const { return offsets_[e + 1] - offsets_[e]; }
+  size_t num_entities() const { return offsets_.size() - 1; }
+  size_t total_ranks() const { return arena_.size(); }
+
+ private:
+  std::vector<uint32_t> arena_;
+  std::vector<size_t> offsets_{0};
+};
 
 /// How an attribute value is mapped onto an ontology node.
 enum class MapMode : int {
@@ -55,19 +100,25 @@ struct PreparedAttr {
   bool has_words = false;
   bool has_text = false;
 
-  /// Per entity: ascending rank vectors for TokenMode::kValueList.
-  std::vector<std::vector<uint32_t>> value_ranks;
-  /// Per entity: ascending rank vectors for TokenMode::kWords.
-  std::vector<std::vector<uint32_t>> word_ranks;
+  /// Ascending rank runs for TokenMode::kValueList, one per entity.
+  RankColumn value_ranks;
+  /// Ascending rank runs for TokenMode::kWords, one per entity.
+  RankColumn word_ranks;
   /// IDF weight of each token, indexed by rank (parallel to the rank
   /// spaces above); built alongside the rank vectors and consumed by the
   /// weighted similarity functions.
   std::vector<double> value_weights;
   std::vector<double> word_weights;
+  /// Per entity: precomputed total weight (weighted Jaccard) and squared
+  /// weight norm (weighted cosine) of the value/word rank runs, so the
+  /// threshold-aware weighted kernels get their per-side masses without a
+  /// per-pair pass.
+  std::vector<double> value_mass, word_mass;
+  std::vector<double> value_sqnorm, word_sqnorm;
   /// Per entity: lower-cased joined text (character-based functions).
   std::vector<std::string> text;
-  /// Per entity: ascending rank vectors over q-grams of `text`.
-  std::vector<std::vector<uint32_t>> qgram_ranks;
+  /// Ascending rank runs over q-grams of `text`, one per entity.
+  RankColumn qgram_ranks;
   /// Per ontology index: per entity mapped node (kNoNode when unmapped).
   std::unordered_map<int, std::vector<int>> nodes;
 
@@ -134,8 +185,11 @@ PreparedGroup PrepareGroupForPredicates(const Group& group,
 double PredicateSimilarity(const PreparedGroup& pg, const Predicate& pred,
                            int e1, int e2);
 
-/// Threshold-aware check (uses the banded edit-distance verifier, so its
-/// cost matches the paper's verification cost model).
+/// Threshold-aware check: routes set-based predicates through
+/// IntersectionAtLeast-derived kernels, weighted predicates through the
+/// bounded merge, and kGe edit similarity through the banded verifier —
+/// each stops at the decision point instead of computing the exact value,
+/// while deciding bit-identically to `Compare(PredicateSimilarity(...))`.
 bool PredicateHolds(const PreparedGroup& pg, const Predicate& pred,
                     Direction dir, int e1, int e2);
 

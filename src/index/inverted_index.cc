@@ -2,66 +2,110 @@
 
 #include <algorithm>
 
+#include "src/common/check.h"
+
 namespace dime {
 
 void InvertedIndex::Add(int entity, const std::vector<uint64_t>& sigs) {
-  for (uint64_t sig : sigs) lists_[sig].push_back(entity);
-  sig_counts_[entity] += sigs.size();
+  DIME_CHECK(!frozen_) << "InvertedIndex::Add after first query";
+  DIME_CHECK_GE(entity, 0);
+  for (uint64_t sig : sigs) postings_.emplace_back(sig, entity);
+  if (static_cast<size_t>(entity) >= sig_counts_.size()) {
+    sig_counts_.resize(static_cast<size_t>(entity) + 1, 0);
+  }
+  sig_counts_[entity] += static_cast<uint32_t>(sigs.size());
+}
+
+void InvertedIndex::EnsureFrozen() const {
+  if (frozen_) return;
+  frozen_ = true;
+  // Stable: postings with the same signature keep insertion order, i.e.
+  // each run reads exactly like the per-list append order of a hash-map
+  // build.
+  std::stable_sort(postings_.begin(), postings_.end(),
+                   [](const std::pair<uint64_t, int>& a,
+                      const std::pair<uint64_t, int>& b) {
+                     return a.first < b.first;
+                   });
+  entities_.reserve(postings_.size());
+  list_starts_.push_back(0);
+  for (size_t i = 0; i < postings_.size(); ++i) {
+    if (i > 0 && postings_[i].first != postings_[i - 1].first) {
+      list_starts_.push_back(i);
+    }
+    entities_.push_back(postings_[i].second);
+  }
+  if (!postings_.empty()) list_starts_.push_back(postings_.size());
+  postings_.clear();
+  postings_.shrink_to_fit();
+}
+
+std::vector<uint32_t> InvertedIndex::EnumerationOrder(
+    bool short_lists_first) const {
+  std::vector<uint32_t> order;
+  const size_t num = list_starts_.empty() ? 0 : list_starts_.size() - 1;
+  for (size_t l = 0; l < num; ++l) {
+    if (list_starts_[l + 1] - list_starts_[l] > 1) {
+      order.push_back(static_cast<uint32_t>(l));
+    }
+  }
+  if (short_lists_first) {
+    std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+      size_t la = list_starts_[a + 1] - list_starts_[a];
+      size_t lb = list_starts_[b + 1] - list_starts_[b];
+      if (la != lb) return la < lb;
+      int fa = entities_[list_starts_[a]];
+      int fb = entities_[list_starts_[b]];
+      if (fa != fb) return fa < fb;  // deterministic tie-break
+      return a < b;                  // then signature-sorted position
+    });
+  }
+  return order;
 }
 
 std::vector<InvertedIndex::CandidatePair> InvertedIndex::CandidatePairs()
     const {
-  // Count co-occurrences across lists.
-  std::unordered_map<uint64_t, uint32_t> counts;
-  for (const auto& [sig, list] : lists_) {
-    for (size_t i = 0; i < list.size(); ++i) {
-      for (size_t j = i + 1; j < list.size(); ++j) {
-        int a = list[i], b = list[j];
+  EnsureFrozen();
+  // Materialize every co-occurrence as an (e1 << 32 | e2) key, then sort
+  // and run-length encode: the keys come out grouped per pair and ordered
+  // by (e1, e2) in one shot.
+  std::vector<uint64_t> keys;
+  for (uint32_t l : EnumerationOrder(/*short_lists_first=*/false)) {
+    const size_t begin = list_starts_[l], end = list_starts_[l + 1];
+    for (size_t i = begin; i < end; ++i) {
+      for (size_t j = i + 1; j < end; ++j) {
+        int a = entities_[i], b = entities_[j];
         if (a == b) continue;
         if (a > b) std::swap(a, b);
-        uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
-                       static_cast<uint32_t>(b);
-        ++counts[key];
+        keys.push_back((static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+                       static_cast<uint32_t>(b));
       }
     }
   }
+  std::sort(keys.begin(), keys.end());
   std::vector<CandidatePair> pairs;
-  pairs.reserve(counts.size());
-  for (const auto& [key, shared] : counts) {
+  for (size_t i = 0; i < keys.size();) {
+    size_t j = i;
+    while (j < keys.size() && keys[j] == keys[i]) ++j;
     CandidatePair p;
-    p.e1 = static_cast<int>(key >> 32);
-    p.e2 = static_cast<int>(key & 0xFFFFFFFFULL);
-    p.shared = shared;
+    p.e1 = static_cast<int>(keys[i] >> 32);
+    p.e2 = static_cast<int>(keys[i] & 0xFFFFFFFFULL);
+    p.shared = static_cast<uint32_t>(j - i);
     pairs.push_back(p);
+    i = j;
   }
-  // Deterministic order for downstream sorting.
-  std::sort(pairs.begin(), pairs.end(),
-            [](const CandidatePair& a, const CandidatePair& b) {
-              if (a.e1 != b.e1) return a.e1 < b.e1;
-              return a.e2 < b.e2;
-            });
   return pairs;
 }
 
 void InvertedIndex::ForEachCandidate(
     bool short_lists_first,
     const std::function<bool(int, int)>& callback) const {
-  std::vector<const std::vector<int>*> ordered;
-  ordered.reserve(lists_.size());
-  for (const auto& [sig, list] : lists_) {
-    if (list.size() > 1) ordered.push_back(&list);
-  }
-  if (short_lists_first) {
-    std::sort(ordered.begin(), ordered.end(),
-              [](const std::vector<int>* a, const std::vector<int>* b) {
-                if (a->size() != b->size()) return a->size() < b->size();
-                return (*a)[0] < (*b)[0];  // deterministic tie-break
-              });
-  }
-  for (const std::vector<int>* list : ordered) {
-    for (size_t i = 0; i < list->size(); ++i) {
-      for (size_t j = i + 1; j < list->size(); ++j) {
-        int a = (*list)[i], b = (*list)[j];
+  EnsureFrozen();
+  for (uint32_t l : EnumerationOrder(short_lists_first)) {
+    const size_t begin = list_starts_[l], end = list_starts_[l + 1];
+    for (size_t i = begin; i < end; ++i) {
+      for (size_t j = i + 1; j < end; ++j) {
+        int a = entities_[i], b = entities_[j];
         if (a == b) continue;
         if (a > b) std::swap(a, b);
         if (!callback(a, b)) return;
@@ -70,17 +114,37 @@ void InvertedIndex::ForEachCandidate(
   }
 }
 
+void InvertedIndex::ForEachList(
+    bool short_lists_first,
+    const std::function<bool(const int*, size_t)>& callback) const {
+  EnsureFrozen();
+  for (uint32_t l : EnumerationOrder(short_lists_first)) {
+    const size_t begin = list_starts_[l], end = list_starts_[l + 1];
+    if (!callback(entities_.data() + begin, end - begin)) return;
+  }
+}
+
 size_t InvertedIndex::CandidateVolume() const {
+  EnsureFrozen();
   size_t volume = 0;
-  for (const auto& [sig, list] : lists_) {
-    volume += list.size() * (list.size() - 1) / 2;
+  const size_t num = list_starts_.empty() ? 0 : list_starts_.size() - 1;
+  for (size_t l = 0; l < num; ++l) {
+    size_t len = list_starts_[l + 1] - list_starts_[l];
+    volume += len * (len - 1) / 2;
   }
   return volume;
 }
 
 size_t InvertedIndex::SignatureCount(int entity) const {
-  auto it = sig_counts_.find(entity);
-  return it == sig_counts_.end() ? 0 : it->second;
+  if (entity < 0 || static_cast<size_t>(entity) >= sig_counts_.size()) {
+    return 0;
+  }
+  return sig_counts_[entity];
+}
+
+size_t InvertedIndex::num_lists() const {
+  EnsureFrozen();
+  return list_starts_.empty() ? 0 : list_starts_.size() - 1;
 }
 
 }  // namespace dime

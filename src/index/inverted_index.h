@@ -4,7 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 /// \file inverted_index.h
@@ -12,6 +12,13 @@
 /// entities on the same list is a candidate; the number of lists a pair
 /// co-occurs on is its shared-signature count, which approximates the
 /// similar probability used by benefit-ordered verification.
+///
+/// Postings are kept in one flat (signature, entity) arena. Add() appends;
+/// the first query freezes the index by stable-sorting the arena by
+/// signature, after which each list is a contiguous run enumerated with
+/// sequential reads — no hash-map nodes, no per-list allocations. The
+/// stable sort preserves insertion order within each list. Add() after a
+/// query is a programming error (checked).
 
 namespace dime {
 
@@ -20,12 +27,12 @@ class InvertedIndex {
   InvertedIndex() = default;
 
   /// Adds `entity` to the list of every signature in `sigs` and records
-  /// |sigs| as the entity's signature count.
+  /// |sigs| as the entity's signature count. Entities must be >= 0.
   void Add(int entity, const std::vector<uint64_t>& sigs);
 
   /// Enumerates candidate pairs (e1 < e2) and their shared-signature
-  /// counts. Quadratic in the longest list, which is what the signature
-  /// schemes keep short.
+  /// counts, ordered by (e1, e2). Quadratic in the longest list, which is
+  /// what the signature schemes keep short.
   struct CandidatePair {
     int e1;
     int e2;
@@ -42,17 +49,40 @@ class InvertedIndex {
   void ForEachCandidate(bool short_lists_first,
                         const std::function<bool(int, int)>& callback) const;
 
+  /// Streams whole posting lists (only those with >= 2 entries) in the
+  /// order ForEachCandidate would visit them, handing the caller the
+  /// contiguous entity run of each list. Lets callers that can decide a
+  /// list wholesale (e.g. every member already in one partition) skip its
+  /// |l|(|l|-1)/2 pairs in O(|l|). The callback returns false to stop.
+  void ForEachList(
+      bool short_lists_first,
+      const std::function<bool(const int*, size_t)>& callback) const;
+
   /// Total candidate-pair instances (sum over lists of |list| choose 2).
   size_t CandidateVolume() const;
 
   /// Signature count of an entity previously Add()ed (0 otherwise).
   size_t SignatureCount(int entity) const;
 
-  size_t num_lists() const { return lists_.size(); }
+  /// Number of distinct signatures (lists of any length).
+  size_t num_lists() const;
 
  private:
-  std::unordered_map<uint64_t, std::vector<int>> lists_;
-  std::unordered_map<int, size_t> sig_counts_;
+  /// Sorts the arena into per-signature runs; idempotent.
+  void EnsureFrozen() const;
+  /// Indexes (into the frozen run table) of lists with >= 2 entries, in
+  /// enumeration order.
+  std::vector<uint32_t> EnumerationOrder(bool short_lists_first) const;
+
+  // Build side: (signature, entity) in insertion order. Cleared on freeze.
+  mutable std::vector<std::pair<uint64_t, int>> postings_;
+  std::vector<uint32_t> sig_counts_;  // indexed by entity id
+
+  // Frozen side: entities_ holds the concatenated lists; list i spans
+  // entities_[list_starts_[i] .. list_starts_[i + 1]).
+  mutable bool frozen_ = false;
+  mutable std::vector<int> entities_;
+  mutable std::vector<size_t> list_starts_;
 };
 
 }  // namespace dime

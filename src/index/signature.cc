@@ -80,7 +80,7 @@ SignatureGenerator::SignatureGenerator(const PreparedGroup& pg,
     for (size_t e = 0; e < n; ++e) {
       size_t d = MaxEditDistanceForSim(attr.text[e].size(), tau);
       size_t prefix = static_cast<size_t>(pg.context.qgram_q) * d + 1;
-      if (prefix > attr.qgram_ranks[e].size()) {
+      if (prefix > attr.qgram_ranks.size(e)) {
         editsim_universal_[i] = true;
         break;
       }
@@ -118,9 +118,9 @@ std::vector<uint64_t> SignatureGenerator::PredicateSignatures(
   std::vector<uint64_t> sigs;
 
   if (IsSetBased(p.func)) {
-    const auto& ranks = p.mode == TokenMode::kValueList
-                            ? attr.value_ranks[entity]
-                            : attr.word_ranks[entity];
+    const RankSpan ranks = p.mode == TokenMode::kValueList
+                               ? attr.value_ranks.view(entity)
+                               : attr.word_ranks.view(entity);
     double theta;
     if (p.func == SimFunc::kOverlap) {
       theta = dir_ == Direction::kGe
@@ -153,8 +153,8 @@ std::vector<uint64_t> SignatureGenerator::PredicateSignatures(
 
   if (IsWeightedSetBased(p.func)) {
     const bool values = p.mode == TokenMode::kValueList;
-    const auto& ranks =
-        values ? attr.value_ranks[entity] : attr.word_ranks[entity];
+    const RankSpan ranks =
+        values ? attr.value_ranks.view(entity) : attr.word_ranks.view(entity);
     const auto& weights = values ? attr.value_weights : attr.word_weights;
     double theta = dir_ == Direction::kGe ? p.threshold : p.threshold + 1e-9;
     if (theta <= 0.0) {
@@ -181,7 +181,7 @@ std::vector<uint64_t> SignatureGenerator::PredicateSignatures(
     }
     double tau = dir_ == Direction::kGe ? p.threshold : p.threshold + 1e-9;
     if (tau > 1.0) return sigs;  // unsatisfiable with any partner
-    const auto& grams = attr.qgram_ranks[entity];
+    const RankSpan grams = attr.qgram_ranks.view(entity);
     size_t d = MaxEditDistanceForSim(attr.text[entity].size(), tau);
     size_t prefix = static_cast<size_t>(pg_.context.qgram_q) * d + 1;
     DIME_CHECK_LE(prefix, grams.size());  // else editsim_universal_ is set

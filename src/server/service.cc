@@ -217,11 +217,18 @@ CheckReply DimeService::Execute(PendingCheck& pending) {
     result->status = InternalError("engine fault: unknown exception");
   }
 
+  RecordEngineStats(*result);
   std::shared_ptr<const DimeResult> shared = std::move(result);
   if (pending.cache_insert && shared->status.ok()) {
     cache_.Insert(pending.fp, shared);
   }
   return CheckReply{std::move(shared), false};
+}
+
+void DimeService::RecordEngineStats(const DimeResult& result) {
+  MutexLock lock(&stats_mu_);
+  engine_transitivity_skips_ += result.stats.pairs_skipped_by_transitivity;
+  engine_kernel_exits_ += result.stats.kernel_early_exits;
 }
 
 void DimeService::RecordAdmitted() {
@@ -283,6 +290,8 @@ StatsSnapshot DimeService::Stats() const {
   s.accepted = accepted_;
   s.rejected = rejected_;
   s.completed = completed_;
+  s.pairs_skipped_by_transitivity = engine_transitivity_skips_;
+  s.kernel_early_exits = engine_kernel_exits_;
   s.p50_ms = PercentileFromBuckets(latency_buckets_, kLatencyBuckets, 0.50);
   s.p99_ms = PercentileFromBuckets(latency_buckets_, kLatencyBuckets, 0.99);
   return s;

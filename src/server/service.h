@@ -122,6 +122,10 @@ struct StatsSnapshot {
   size_t queue_depth = 0;
   size_t queue_capacity = 0;
   unsigned workers = 0;
+  /// Cumulative DimeResult::Stats counters over every engine run this
+  /// service executed (cache hits add nothing — no engine ran).
+  uint64_t pairs_skipped_by_transitivity = 0;
+  uint64_t kernel_early_exits = 0;
   /// Admission-to-reply latency percentiles over completed requests, in
   /// milliseconds (log-bucketed histogram: values are bucket upper
   /// bounds, i.e. within 2x of exact).
@@ -173,6 +177,7 @@ class DimeService {
   void RecordRejected() DIME_EXCLUDES(stats_mu_);
   void RecordCompleted(Deadline::Clock::time_point admit_time)
       DIME_EXCLUDES(stats_mu_);
+  void RecordEngineStats(const DimeResult& result) DIME_EXCLUDES(stats_mu_);
 
   const ServingCorpus corpus_;
   const ServiceOptions options_;
@@ -195,6 +200,8 @@ class DimeService {
   /// admission-to-reply latency was in [2^(i-1), 2^i) microseconds.
   static constexpr int kLatencyBuckets = 40;
   uint64_t latency_buckets_[kLatencyBuckets] DIME_GUARDED_BY(stats_mu_) = {};
+  uint64_t engine_transitivity_skips_ DIME_GUARDED_BY(stats_mu_) = 0;
+  uint64_t engine_kernel_exits_ DIME_GUARDED_BY(stats_mu_) = 0;
 };
 
 }  // namespace dime

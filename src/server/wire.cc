@@ -478,6 +478,9 @@ std::string SerializeStatsResponse(const std::string& id,
   w.AddUint("queue_depth", stats.queue_depth);
   w.AddUint("queue_capacity", stats.queue_capacity);
   w.AddUint("workers", stats.workers);
+  w.AddUint("pairs_skipped_by_transitivity",
+            stats.pairs_skipped_by_transitivity);
+  w.AddUint("kernel_early_exits", stats.kernel_early_exits);
   w.AddDouble("p50_ms", stats.p50_ms);
   w.AddDouble("p99_ms", stats.p99_ms);
   return w.Finish();

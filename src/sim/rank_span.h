@@ -1,0 +1,52 @@
+#ifndef DIME_SIM_RANK_SPAN_H_
+#define DIME_SIM_RANK_SPAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+/// \file rank_span.h
+/// A borrowed, non-owning view over one entity's canonical token
+/// representation: a strictly ascending run of global token ranks. The
+/// similarity kernels take these instead of `const std::vector<uint32_t>&`
+/// so they can read straight out of the CSR arenas built by preprocessing
+/// (core/preprocess.h) without per-pair copies; plain vectors still
+/// convert implicitly, so call sites that own their data are unchanged.
+
+namespace dime {
+
+struct RankSpan {
+  const uint32_t* ptr = nullptr;
+  size_t len = 0;
+
+  constexpr RankSpan() = default;
+  constexpr RankSpan(const uint32_t* p, size_t n) : ptr(p), len(n) {}
+  // Implicit by design: every pre-arena call site passes a vector.
+  RankSpan(const std::vector<uint32_t>& v) : ptr(v.data()), len(v.size()) {}
+  // For literal arguments in tests; the backing array of an
+  // initializer_list only lives to the end of the full expression, so
+  // never store a span constructed this way. (GCC warns about exactly
+  // that storage hazard; passing a literal straight into a kernel is the
+  // one safe use, which is all this constructor is for.)
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winit-list-lifetime"
+#endif
+  RankSpan(std::initializer_list<uint32_t> il)
+      : ptr(il.begin()), len(il.size()) {}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+  const uint32_t* begin() const { return ptr; }
+  const uint32_t* end() const { return ptr + len; }
+  const uint32_t* data() const { return ptr; }
+  size_t size() const { return len; }
+  bool empty() const { return len == 0; }
+  uint32_t operator[](size_t i) const { return ptr[i]; }
+};
+
+}  // namespace dime
+
+#endif  // DIME_SIM_RANK_SPAN_H_

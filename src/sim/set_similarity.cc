@@ -6,47 +6,213 @@
 #include "src/common/logging.h"
 
 namespace dime {
+namespace {
 
-size_t IntersectionSize(const std::vector<uint32_t>& a,
-                        const std::vector<uint32_t>& b) {
-  size_t i = 0, j = 0, count = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] == b[j]) {
+thread_local uint64_t tls_kernel_early_exits = 0;
+
+// When the longer input is at least this many times the shorter one, the
+// merge switches to galloping (exponential probe + binary search) through
+// the longer side. 8 is the usual crossover for intersection joins: below
+// it the branchy search costs more than it saves.
+constexpr size_t kGallopFactor = 8;
+
+// First position in [first, last) with *pos >= value, found by doubling
+// probes from `first` and a binary search over the final bracket. O(log d)
+// for a hit d elements away, against O(d) for a linear merge.
+const uint32_t* Gallop(const uint32_t* first, const uint32_t* last,
+                       uint32_t value) {
+  size_t step = 1;
+  const uint32_t* probe = first;
+  while (probe < last && *probe < value) {
+    first = probe + 1;
+    probe = (static_cast<size_t>(last - first) > step) ? first + step : last;
+    step *= 2;
+  }
+  return std::lower_bound(first, probe, value);
+}
+
+}  // namespace
+
+namespace internal {
+void BumpKernelEarlyExit() { ++tls_kernel_early_exits; }
+}  // namespace internal
+
+uint64_t KernelEarlyExits() { return tls_kernel_early_exits; }
+
+size_t IntersectionSize(RankSpan a, RankSpan b) {
+  const uint32_t* pa = a.begin();
+  const uint32_t* ea = a.end();
+  const uint32_t* pb = b.begin();
+  const uint32_t* eb = b.end();
+  size_t count = 0;
+  while (pa < ea && pb < eb) {
+    if (*pa == *pb) {
       ++count;
-      ++i;
-      ++j;
-    } else if (a[i] < b[j]) {
-      ++i;
+      ++pa;
+      ++pb;
+    } else if (*pa < *pb) {
+      ++pa;
     } else {
-      ++j;
+      ++pb;
     }
   }
   return count;
 }
 
-double OverlapSim(const std::vector<uint32_t>& a,
-                  const std::vector<uint32_t>& b) {
+bool IntersectionAtLeast(RankSpan a, RankSpan b, size_t required) {
+  if (required == 0) return true;
+  if (a.len > b.len) std::swap(a, b);
+  if (required > a.len) {
+    internal::BumpKernelEarlyExit();
+    return false;
+  }
+  const uint32_t* pa = a.begin();
+  const uint32_t* ea = a.end();
+  const uint32_t* pb = b.begin();
+  const uint32_t* eb = b.end();
+  const bool gallop = b.len >= kGallopFactor * a.len;
+  size_t count = 0;
+  while (pa < ea && pb < eb) {
+    // Cannot-reach: even matching every remaining element of the smaller
+    // side leaves the count short of `required`.
+    const size_t rem = std::min(static_cast<size_t>(ea - pa),
+                                static_cast<size_t>(eb - pb));
+    if (count + rem < required) {
+      internal::BumpKernelEarlyExit();
+      return false;
+    }
+    if (gallop) {
+      pb = Gallop(pb, eb, *pa);
+      if (pb == eb) break;
+      if (*pb == *pa) {
+        ++count;
+        ++pb;
+      }
+      ++pa;
+    } else if (*pa == *pb) {
+      ++count;
+      ++pa;
+      ++pb;
+    } else if (*pa < *pb) {
+      ++pa;
+    } else {
+      ++pb;
+      continue;  // count unchanged; skip the cannot-miss check
+    }
+    // Cannot-miss: the decision is already made, stop consuming input.
+    if (count >= required) {
+      if (pa < ea && pb < eb) internal::BumpKernelEarlyExit();
+      return true;
+    }
+  }
+  return count >= required;
+}
+
+double SetSimilarityFromOverlap(SimFunc func, size_t overlap, size_t size_a,
+                                size_t size_b) {
+  // Each case repeats the floating-point expression of the matching exact
+  // kernel verbatim so derived threshold decisions are bit-identical.
+  switch (func) {
+    case SimFunc::kOverlap:
+      return static_cast<double>(overlap);
+    case SimFunc::kJaccard: {
+      if (size_a == 0 && size_b == 0) return 1.0;
+      size_t uni = size_a + size_b - overlap;
+      return static_cast<double>(overlap) / static_cast<double>(uni);
+    }
+    case SimFunc::kDice:
+      if (size_a == 0 && size_b == 0) return 1.0;
+      return 2.0 * static_cast<double>(overlap) /
+             static_cast<double>(size_a + size_b);
+    case SimFunc::kCosine:
+      if (size_a == 0 && size_b == 0) return 1.0;
+      if (size_a == 0 || size_b == 0) return 0.0;
+      return static_cast<double>(overlap) /
+             std::sqrt(static_cast<double>(size_a) *
+                       static_cast<double>(size_b));
+    default:
+      DIME_LOG(FATAL) << "SetSimilarityFromOverlap called with non-set "
+                      << "function " << SimFuncName(func);
+      return 0.0;
+  }
+}
+
+size_t MinOverlapForAtLeast(SimFunc func, size_t size_a, size_t size_b,
+                            double theta) {
+  // sim(o) is nondecreasing in o for every set function at fixed sizes, so
+  // the satisfying overlaps form a suffix of [0, min]; binary-search its
+  // start with the exact comparison Predicate::Compare would apply.
+  const size_t max_o = std::min(size_a, size_b);
+  size_t lo = 0, hi = max_o + 1;  // max_o + 1 == unsatisfiable
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (SetSimilarityFromOverlap(func, mid, size_a, size_b) >=
+        theta - kSimCompareEps) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+bool SetSimilarityAtLeast(SimFunc func, RankSpan a, RankSpan b, double theta) {
+  const size_t required = MinOverlapForAtLeast(func, a.len, b.len, theta);
+  if (required > std::min(a.len, b.len)) {
+    internal::BumpKernelEarlyExit();  // decided from sizes alone
+    return false;
+  }
+  if (required == 0) {
+    internal::BumpKernelEarlyExit();
+    return true;
+  }
+  return IntersectionAtLeast(a, b, required);
+}
+
+bool SetSimilarityAtMost(SimFunc func, RankSpan a, RankSpan b, double sigma) {
+  // Smallest overlap that violates `sim <= sigma + eps`; the check holds
+  // iff the actual overlap stays below it.
+  const size_t max_o = std::min(a.len, b.len);
+  size_t lo = 0, hi = max_o + 1;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (SetSimilarityFromOverlap(func, mid, a.len, b.len) >
+        sigma + kSimCompareEps) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (lo > max_o) {
+    internal::BumpKernelEarlyExit();  // no overlap can violate
+    return true;
+  }
+  if (lo == 0) {
+    internal::BumpKernelEarlyExit();  // violated before any overlap
+    return false;
+  }
+  return !IntersectionAtLeast(a, b, lo);
+}
+
+double OverlapSim(RankSpan a, RankSpan b) {
   return static_cast<double>(IntersectionSize(a, b));
 }
 
-double JaccardSim(const std::vector<uint32_t>& a,
-                  const std::vector<uint32_t>& b) {
+double JaccardSim(RankSpan a, RankSpan b) {
   if (a.empty() && b.empty()) return 1.0;
   size_t inter = IntersectionSize(a, b);
   size_t uni = a.size() + b.size() - inter;
   return static_cast<double>(inter) / static_cast<double>(uni);
 }
 
-double DiceSim(const std::vector<uint32_t>& a,
-               const std::vector<uint32_t>& b) {
+double DiceSim(RankSpan a, RankSpan b) {
   if (a.empty() && b.empty()) return 1.0;
   size_t inter = IntersectionSize(a, b);
   return 2.0 * static_cast<double>(inter) /
          static_cast<double>(a.size() + b.size());
 }
 
-double CosineSim(const std::vector<uint32_t>& a,
-                 const std::vector<uint32_t>& b) {
+double CosineSim(RankSpan a, RankSpan b) {
   if (a.empty() && b.empty()) return 1.0;
   if (a.empty() || b.empty()) return 0.0;
   size_t inter = IntersectionSize(a, b);
@@ -55,8 +221,7 @@ double CosineSim(const std::vector<uint32_t>& a,
                    static_cast<double>(b.size()));
 }
 
-double SetSimilarity(SimFunc func, const std::vector<uint32_t>& a,
-                     const std::vector<uint32_t>& b) {
+double SetSimilarity(SimFunc func, RankSpan a, RankSpan b) {
   switch (func) {
     case SimFunc::kOverlap:
       return OverlapSim(a, b);
@@ -81,24 +246,22 @@ double SetSimilarityStrings(SimFunc func, std::vector<std::string> a,
   };
   canonicalize(&a);
   canonicalize(&b);
-  // Map each distinct string to a rank in the merged sorted order so the
-  // integer kernels can be reused.
-  std::vector<std::string> all;
-  all.reserve(a.size() + b.size());
-  all.insert(all.end(), a.begin(), a.end());
-  all.insert(all.end(), b.begin(), b.end());
-  std::sort(all.begin(), all.end());
-  all.erase(std::unique(all.begin(), all.end()), all.end());
-  auto to_ids = [&all](const std::vector<std::string>& v) {
-    std::vector<uint32_t> ids;
-    ids.reserve(v.size());
-    for (const std::string& s : v) {
-      ids.push_back(static_cast<uint32_t>(
-          std::lower_bound(all.begin(), all.end(), s) - all.begin()));
+  // Both sides are sorted and deduplicated, so one merge pass counts the
+  // overlap directly — no merged vocabulary, no re-sort, no binary search.
+  size_t i = 0, j = 0, overlap = 0;
+  while (i < a.size() && j < b.size()) {
+    int cmp = a[i].compare(b[j]);
+    if (cmp == 0) {
+      ++overlap;
+      ++i;
+      ++j;
+    } else if (cmp < 0) {
+      ++i;
+    } else {
+      ++j;
     }
-    return ids;  // already ascending because v is sorted
-  };
-  return SetSimilarity(func, to_ids(a), to_ids(b));
+  }
+  return SetSimilarityFromOverlap(func, overlap, a.size(), b.size());
 }
 
 size_t SetPrefixLength(SimFunc func, size_t size, double theta) {

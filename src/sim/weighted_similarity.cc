@@ -1,11 +1,26 @@
 #include "src/sim/weighted_similarity.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/sim/set_similarity.h"
 
 namespace dime {
 namespace {
+
+// Safety margin for the conservative early exits in the threshold-aware
+// kernels. An early answer is only taken when the bound clears the decision
+// threshold by at least this much; otherwise the merge completes and the
+// exact comparison runs. The margin must dwarf floating-point accumulation
+// error in the running sums (absolute error ~1e-12 for realistic idf
+// magnitudes and set sizes) while still firing on clearly-decided pairs.
+constexpr double kEarlyExitMargin = 1e-7;
+
+// How often (in merge steps) the early-exit bounds are evaluated. The
+// bounds cost two divisions; amortizing them over a block keeps the
+// no-exit path within a few percent of the plain merge.
+constexpr size_t kBoundCheckStride = 16;
 
 double WeightOf(const std::vector<double>& weights, uint32_t rank) {
   // A rank outside the weight table means the caller mixed rank spaces;
@@ -13,8 +28,28 @@ double WeightOf(const std::vector<double>& weights, uint32_t rank) {
   return rank < weights.size() ? weights[rank] : 1.0;
 }
 
-double SquaredNorm(const std::vector<uint32_t>& v,
-                   const std::vector<double>& weights) {
+// Shared state of the weighted-Jaccard merge: `inter` / `uni` accumulate in
+// the exact order of WeightedJaccardSim; `cons_a` / `cons_b` track consumed
+// per-side mass for the conservative bounds.
+struct JaccardMerge {
+  double inter = 0.0;
+  double uni = 0.0;
+  double cons_a = 0.0;
+  double cons_b = 0.0;
+};
+
+// Decision outcome of a bound check: undecided, or decided with a value.
+enum class Bound { kUndecided, kTrue, kFalse };
+
+}  // namespace
+
+double TotalWeight(RankSpan v, const std::vector<double>& weights) {
+  double sum = 0.0;
+  for (uint32_t r : v) sum += WeightOf(weights, r);
+  return sum;
+}
+
+double SquaredWeightNorm(RankSpan v, const std::vector<double>& weights) {
   double sum = 0.0;
   for (uint32_t r : v) {
     double w = WeightOf(weights, r);
@@ -23,10 +58,7 @@ double SquaredNorm(const std::vector<uint32_t>& v,
   return sum;
 }
 
-}  // namespace
-
-double WeightedJaccardSim(const std::vector<uint32_t>& a,
-                          const std::vector<uint32_t>& b,
+double WeightedJaccardSim(RankSpan a, RankSpan b,
                           const std::vector<double>& weights) {
   if (a.empty() && b.empty()) return 1.0;
   double inter = 0.0, uni = 0.0;
@@ -51,8 +83,7 @@ double WeightedJaccardSim(const std::vector<uint32_t>& a,
   return uni <= 0.0 ? 0.0 : inter / uni;
 }
 
-double WeightedCosineSim(const std::vector<uint32_t>& a,
-                         const std::vector<uint32_t>& b,
+double WeightedCosineSim(RankSpan a, RankSpan b,
                          const std::vector<double>& weights) {
   if (a.empty() && b.empty()) return 1.0;
   if (a.empty() || b.empty()) return 0.0;
@@ -70,13 +101,12 @@ double WeightedCosineSim(const std::vector<uint32_t>& a,
       ++j;
     }
   }
-  double denom =
-      std::sqrt(SquaredNorm(a, weights) * SquaredNorm(b, weights));
+  double denom = std::sqrt(SquaredWeightNorm(a, weights) *
+                           SquaredWeightNorm(b, weights));
   return denom <= 0.0 ? 0.0 : dot / denom;
 }
 
-double WeightedSetSimilarity(SimFunc func, const std::vector<uint32_t>& a,
-                             const std::vector<uint32_t>& b,
+double WeightedSetSimilarity(SimFunc func, RankSpan a, RankSpan b,
                              const std::vector<double>& weights) {
   switch (func) {
     case SimFunc::kWeightedJaccard:
@@ -90,7 +120,184 @@ double WeightedSetSimilarity(SimFunc func, const std::vector<uint32_t>& a,
   }
 }
 
-size_t WeightedPrefixLength(SimFunc func, const std::vector<uint32_t>& ranks,
+namespace {
+
+// Conservative bracket [lb, ub] on the final weighted-Jaccard similarity
+// given the merge state and the total per-side masses. The best case for
+// the remaining suffixes is that the lighter one matches entirely; the
+// worst case is that nothing more matches.
+Bound JaccardBound(const JaccardMerge& m, double mass_a, double mass_b,
+                   double lo_cut, double hi_cut) {
+  double rem_a = std::max(mass_a - m.cons_a, 0.0);
+  double rem_b = std::max(mass_b - m.cons_b, 0.0);
+  double gain = std::min(rem_a, rem_b);
+  double uni_min = m.uni + rem_a + rem_b - gain;
+  double uni_max = m.uni + rem_a + rem_b;
+  double ub = uni_min <= 0.0 ? 1.0 : (m.inter + gain) / uni_min;
+  double lb = uni_max <= 0.0 ? 0.0 : m.inter / uni_max;
+  if (ub < lo_cut) return Bound::kFalse;  // cannot reach the threshold
+  if (lb > hi_cut) return Bound::kTrue;   // cannot fall back below it
+  return Bound::kUndecided;
+}
+
+// Runs the weighted-Jaccard merge with early exits; `decide_ge` is the
+// comparison applied on completion (and the orientation of the early
+// exits): true => deciding `sim >= theta - eps`, false => `sim <= sigma +
+// eps` (reported through the same Bound values: kTrue means the *check*
+// holds).
+bool JaccardThreshold(RankSpan a, RankSpan b,
+                      const std::vector<double>& weights, double mass_a,
+                      double mass_b, double threshold, bool decide_ge) {
+  const double eps = kSimCompareEps;
+  if (a.empty() && b.empty()) {
+    internal::BumpKernelEarlyExit();
+    return decide_ge ? 1.0 >= threshold - eps : 1.0 <= threshold + eps;
+  }
+  // Cut lines for the conservative bracket. For >= theta: below lo_cut the
+  // pair can never pass, above hi_cut it can never fail. For <= sigma the
+  // roles flip, handled by flipping the returned decision.
+  const double decision = decide_ge ? threshold - eps : threshold + eps;
+  const double lo_cut = decision - kEarlyExitMargin;
+  const double hi_cut = decision + kEarlyExitMargin;
+  JaccardMerge m;
+  size_t i = 0, j = 0, steps = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      double w = WeightOf(weights, a[i]);
+      m.inter += w;
+      m.uni += w;
+      m.cons_a += w;
+      m.cons_b += w;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      double w = WeightOf(weights, a[i]);
+      m.uni += w;
+      m.cons_a += w;
+      ++i;
+    } else {
+      double w = WeightOf(weights, b[j]);
+      m.uni += w;
+      m.cons_b += w;
+      ++j;
+    }
+    if (++steps % kBoundCheckStride == 0) {
+      Bound bound = JaccardBound(m, mass_a, mass_b, lo_cut, hi_cut);
+      if (bound != Bound::kUndecided) {
+        internal::BumpKernelEarlyExit();
+        bool ge = bound == Bound::kTrue;  // sim certainly >= decision line
+        return decide_ge ? ge : !ge;
+      }
+    }
+  }
+  // Completion path: identical accumulation order to WeightedJaccardSim,
+  // identical final expression, identical comparison — bit-for-bit the
+  // same decision as the exact kernel.
+  for (; i < a.size(); ++i) m.uni += WeightOf(weights, a[i]);
+  for (; j < b.size(); ++j) m.uni += WeightOf(weights, b[j]);
+  double sim = m.uni <= 0.0 ? 0.0 : m.inter / m.uni;
+  return decide_ge ? sim >= threshold - eps : sim <= threshold + eps;
+}
+
+// Same structure for weighted cosine: `dot` accumulates in exact-kernel
+// order; the remaining dot product is bounded by Cauchy-Schwarz over the
+// unconsumed suffix norms.
+bool CosineThreshold(RankSpan a, RankSpan b,
+                     const std::vector<double>& weights, double sqnorm_a,
+                     double sqnorm_b, double threshold, bool decide_ge) {
+  const double eps = kSimCompareEps;
+  if (a.empty() && b.empty()) {
+    internal::BumpKernelEarlyExit();
+    return decide_ge ? 1.0 >= threshold - eps : 1.0 <= threshold + eps;
+  }
+  if (a.empty() || b.empty()) {
+    internal::BumpKernelEarlyExit();
+    return decide_ge ? 0.0 >= threshold - eps : 0.0 <= threshold + eps;
+  }
+  const double denom = std::sqrt(sqnorm_a * sqnorm_b);
+  const double decision = decide_ge ? threshold - eps : threshold + eps;
+  // Work on the dot-product scale: sim ≷ decision  <=>  dot ≷ decision *
+  // denom, with the margin scaled the same way (only used with slack, so
+  // the rescaling rounding is immaterial).
+  const double lo_cut = decision * denom - kEarlyExitMargin * (denom + 1.0);
+  const double hi_cut = decision * denom + kEarlyExitMargin * (denom + 1.0);
+  double dot = 0.0, cons_a = 0.0, cons_b = 0.0;
+  size_t i = 0, j = 0, steps = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      double w = WeightOf(weights, a[i]);
+      double w2 = w * w;
+      dot += w2;
+      cons_a += w2;
+      cons_b += w2;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      double w = WeightOf(weights, a[i]);
+      cons_a += w * w;
+      ++i;
+    } else {
+      double w = WeightOf(weights, b[j]);
+      cons_b += w * w;
+      ++j;
+    }
+    if (++steps % kBoundCheckStride == 0) {
+      double rem_a = std::max(sqnorm_a - cons_a, 0.0);
+      double rem_b = std::max(sqnorm_b - cons_b, 0.0);
+      double gain = std::sqrt(rem_a * rem_b);  // Cauchy-Schwarz
+      bool decided_true = dot > hi_cut;            // final dot >= dot
+      bool decided_false = dot + gain < lo_cut;    // final dot <= dot + gain
+      if (decided_true || decided_false) {
+        internal::BumpKernelEarlyExit();
+        bool ge = decided_true;
+        return decide_ge ? ge : !ge;
+      }
+    }
+  }
+  // Completion: same denominator expression and comparison as the exact
+  // kernel (sqnorm_a/b are computed by SquaredWeightNorm over the same
+  // spans, so the product under the sqrt is bit-identical).
+  double sim = denom <= 0.0 ? 0.0 : dot / denom;
+  return decide_ge ? sim >= threshold - eps : sim <= threshold + eps;
+}
+
+}  // namespace
+
+bool WeightedSimilarityAtLeast(SimFunc func, RankSpan a, RankSpan b,
+                               const std::vector<double>& weights,
+                               double mass_a, double mass_b, double theta) {
+  switch (func) {
+    case SimFunc::kWeightedJaccard:
+      return JaccardThreshold(a, b, weights, mass_a, mass_b, theta,
+                              /*decide_ge=*/true);
+    case SimFunc::kWeightedCosine:
+      return CosineThreshold(a, b, weights, mass_a, mass_b, theta,
+                             /*decide_ge=*/true);
+    default:
+      DIME_LOG(FATAL) << "WeightedSimilarityAtLeast: " << SimFuncName(func)
+                      << " is not weighted-set-based";
+      return false;
+  }
+}
+
+bool WeightedSimilarityAtMost(SimFunc func, RankSpan a, RankSpan b,
+                              const std::vector<double>& weights,
+                              double mass_a, double mass_b, double sigma) {
+  switch (func) {
+    case SimFunc::kWeightedJaccard:
+      return JaccardThreshold(a, b, weights, mass_a, mass_b, sigma,
+                              /*decide_ge=*/false);
+    case SimFunc::kWeightedCosine:
+      return CosineThreshold(a, b, weights, mass_a, mass_b, sigma,
+                             /*decide_ge=*/false);
+    default:
+      DIME_LOG(FATAL) << "WeightedSimilarityAtMost: " << SimFuncName(func)
+                      << " is not weighted-set-based";
+      return false;
+  }
+}
+
+size_t WeightedPrefixLength(SimFunc func, RankSpan ranks,
                             const std::vector<double>& weights,
                             double threshold) {
   if (ranks.empty()) return 0;
@@ -103,11 +310,10 @@ size_t WeightedPrefixLength(SimFunc func, const std::vector<uint32_t>& ranks,
   //   wcosine:  sim <= ||suffix|| / ||A||   (Cauchy-Schwarz)
   double total;
   if (func == SimFunc::kWeightedJaccard) {
-    total = 0.0;
-    for (uint32_t r : ranks) total += WeightOf(weights, r);
+    total = TotalWeight(ranks, weights);
   } else {
     DIME_CHECK(func == SimFunc::kWeightedCosine);
-    total = SquaredNorm(ranks, weights);
+    total = SquaredWeightNorm(ranks, weights);
   }
   if (total <= 0.0) return ranks.size();
 

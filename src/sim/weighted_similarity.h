@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/sim/rank_span.h"
 #include "src/sim/similarity.h"
 
 /// \file weighted_similarity.h
@@ -14,24 +15,54 @@
 /// tokens by ascending document frequency, rank order == descending
 /// weight order, which is exactly the ordering weighted prefix filtering
 /// needs.
+///
+/// Alongside the exact kernels there are threshold-aware variants
+/// (`WeightedSimilarityAtLeast` / `AtMost`) used by the verification hot
+/// path. Unlike the unweighted kernels these cannot reduce the decision to
+/// an integer overlap, so they interleave conservative bound checks with
+/// the exact merge: an early answer is only taken when the bound clears
+/// the threshold by a safety margin that dwarfs floating-point accumulation
+/// error, and otherwise the merge runs to completion accumulating in the
+/// exact same order as the exact kernel — so the decision is always
+/// bit-identical to computing the exact similarity and comparing.
 
 namespace dime {
 
 /// w(A ∩ B) / w(A ∪ B); 1.0 when both sets are empty.
-double WeightedJaccardSim(const std::vector<uint32_t>& a,
-                          const std::vector<uint32_t>& b,
+double WeightedJaccardSim(RankSpan a, RankSpan b,
                           const std::vector<double>& weights);
 
 /// Binary-tf cosine: Σ_{t∈A∩B} w_t² / (‖A‖‖B‖) with ‖X‖ = sqrt(Σ w²);
 /// 1.0 when both sets are empty.
-double WeightedCosineSim(const std::vector<uint32_t>& a,
-                         const std::vector<uint32_t>& b,
+double WeightedCosineSim(RankSpan a, RankSpan b,
                          const std::vector<double>& weights);
 
 /// Dispatches on `func` (must satisfy IsWeightedSetBased).
-double WeightedSetSimilarity(SimFunc func, const std::vector<uint32_t>& a,
-                             const std::vector<uint32_t>& b,
+double WeightedSetSimilarity(SimFunc func, RankSpan a, RankSpan b,
                              const std::vector<double>& weights);
+
+/// Total weight w(X) of a value — the precomputed per-entity mass the
+/// weighted-Jaccard threshold kernels take. Summation is in rank order so
+/// preprocessing and the kernels agree bit for bit.
+double TotalWeight(RankSpan v, const std::vector<double>& weights);
+
+/// Squared norm Σ w² of a value, in rank order; the precomputed per-entity
+/// mass the weighted-cosine threshold kernels take.
+double SquaredWeightNorm(RankSpan v, const std::vector<double>& weights);
+
+/// Threshold-aware check `func(a, b) >= theta - eps` (eps = 1e-9, matching
+/// Predicate::Compare). `mass_a` / `mass_b` are TotalWeight for
+/// kWeightedJaccard and SquaredWeightNorm for kWeightedCosine, computed
+/// over the same spans and weights. Bit-identical to evaluating the exact
+/// kernel and comparing.
+bool WeightedSimilarityAtLeast(SimFunc func, RankSpan a, RankSpan b,
+                               const std::vector<double>& weights,
+                               double mass_a, double mass_b, double theta);
+
+/// Threshold-aware check `func(a, b) <= sigma + eps`; same contract.
+bool WeightedSimilarityAtMost(SimFunc func, RankSpan a, RankSpan b,
+                              const std::vector<double>& weights,
+                              double mass_a, double mass_b, double sigma);
 
 /// Weighted prefix filtering: the shortest prefix of `ranks` (descending
 /// weight) such that no partner intersecting only the suffix can reach
@@ -39,7 +70,7 @@ double WeightedSetSimilarity(SimFunc func, const std::vector<uint32_t>& a,
 /// prefix(A) ∩ prefix(B) != ∅. Returns 0 when the value cannot reach the
 /// threshold with any partner (empty value), `ranks.size()` when no
 /// filtering is possible (threshold <= 0).
-size_t WeightedPrefixLength(SimFunc func, const std::vector<uint32_t>& ranks,
+size_t WeightedPrefixLength(SimFunc func, RankSpan ranks,
                             const std::vector<double>& weights,
                             double threshold);
 

@@ -1,0 +1,108 @@
+// Golden-equality guard for the engine output on the fig6 corpora: an
+// FNV-1a digest of everything user-visible in a DimeResult (partitions,
+// pivot, first flagging rule, scrollbar) must match the values captured
+// before the flat-layout/threshold-kernel rework — and RunDime and
+// RunDimePlus must agree with each other on every corpus.
+//
+// Purpose: the threshold-aware kernels (sim/set_similarity.h) claim
+// decisions bit-identical to the exact kernels, and the CSR arenas claim
+// pure layout change. Any drift — a reordered float expression, an
+// epsilon convention change, a lost entity — lands here as a digest
+// mismatch before it can silently shift the reproduced figures. Stats are
+// deliberately NOT digested: counters may change as instrumentation does.
+//
+// If a deliberate semantic change invalidates these digests, regenerate
+// them by printing DigestResult for each corpus below and update the
+// constants in the same change that explains why the output moved.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/dime_plus.h"
+#include "src/datagen/amazon_gen.h"
+#include "src/datagen/presets.h"
+#include "src/datagen/scholar_gen.h"
+
+namespace dime {
+namespace {
+
+uint64_t Fnv(uint64_t h, uint64_t v) {
+  h ^= v;
+  return h * 1099511628211ULL;
+}
+
+uint64_t DigestResult(const DimeResult& r) {
+  uint64_t h = 1469598103934665603ULL;
+  h = Fnv(h, r.partitions.size());
+  for (const auto& part : r.partitions) {
+    h = Fnv(h, part.size());
+    for (int e : part) h = Fnv(h, static_cast<uint64_t>(e));
+  }
+  h = Fnv(h, static_cast<uint64_t>(r.pivot));
+  for (int f : r.first_flagging_rule) {
+    h = Fnv(h, static_cast<uint64_t>(static_cast<int64_t>(f)));
+  }
+  h = Fnv(h, r.flagged_by_prefix.size());
+  for (const auto& flagged : r.flagged_by_prefix) {
+    h = Fnv(h, flagged.size());
+    for (int e : flagged) h = Fnv(h, static_cast<uint64_t>(e));
+  }
+  return h;
+}
+
+TEST(GoldenEqualityTest, ScholarFig6Corpora) {
+  // Captured at the PR base (pre-rework) with the same generation
+  // parameters as bench_fig6_accuracy's scholar sweep.
+  const uint64_t kGolden[] = {0x18548ceb1f8a4b09ULL, 0x1ff4ea4100f80f7bULL,
+                              0xb76ef4a60a06fbe9ULL};
+  ScholarSetup setup = MakeScholarSetup();
+  ScholarGenOptions gen;
+  gen.num_correct = 120;
+  for (uint64_t i = 0; i < 3; ++i) {
+    gen.seed = 100 + i;
+    Group group = GenerateScholarGroup("Scholar " + std::to_string(i), gen);
+    PreparedGroup pg =
+        PrepareGroup(group, setup.positive, setup.negative, setup.context);
+    DimeResult naive = RunDime(pg, setup.positive, setup.negative);
+    DimeResult plus = RunDimePlus(pg, setup.positive, setup.negative);
+    EXPECT_EQ(DigestResult(naive), kGolden[i]) << "seed " << gen.seed;
+    EXPECT_EQ(DigestResult(plus), kGolden[i]) << "seed " << gen.seed;
+  }
+}
+
+TEST(GoldenEqualityTest, AmazonFig6Corpora) {
+  // error_rate x group index -> digest, captured at the PR base.
+  const uint64_t kGolden[2][2] = {
+      {0x6019e2e4cea3b8bbULL, 0x83408148d2aea0daULL},  // e = 0.1
+      {0x22d8105c1679cf12ULL, 0xdbcc5902bdf191bcULL},  // e = 0.4
+  };
+  AmazonGenOptions gen;
+  gen.num_correct = 80;
+  int ei = 0;
+  for (double e : {0.1, 0.4}) {
+    gen.error_rate = e;
+    std::vector<Group> groups;
+    for (int c : {0, 6}) {
+      gen.seed = 40 + c;
+      groups.push_back(GenerateAmazonGroup(c, gen));
+    }
+    AmazonSetup setup = MakeAmazonSetup(groups);
+    for (size_t g = 0; g < groups.size(); ++g) {
+      PreparedGroup pg = PrepareGroup(groups[g], setup.positive,
+                                      setup.negative, setup.context);
+      DimeResult naive = RunDime(pg, setup.positive, setup.negative);
+      DimeResult plus = RunDimePlus(pg, setup.positive, setup.negative);
+      EXPECT_EQ(DigestResult(naive), kGolden[ei][g])
+          << "e=" << e << " group=" << g;
+      EXPECT_EQ(DigestResult(plus), kGolden[ei][g])
+          << "e=" << e << " group=" << g;
+    }
+    ++ei;
+  }
+}
+
+}  // namespace
+}  // namespace dime

@@ -61,13 +61,14 @@ TEST(PreprocessTest, RankVectorsAreStrictlyAscending) {
       Pred(1, SimFunc::kOverlap, TokenMode::kValueList, 1.0),
       Pred(0, SimFunc::kJaccard, TokenMode::kWords, 0.5)};
   PreparedGroup pg = PrepareGroupForPredicates(g, preds, MakeContext());
-  for (const auto& ranks : pg.attrs[1].value_ranks) {
+  for (size_t e = 0; e < pg.attrs[1].value_ranks.num_entities(); ++e) {
+    RankSpan ranks = pg.attrs[1].value_ranks.view(e);
     for (size_t i = 1; i < ranks.size(); ++i) {
       EXPECT_LT(ranks[i - 1], ranks[i]);
     }
   }
   // e2's title has 5 word tokens but "data" appears twice: 4 distinct.
-  EXPECT_EQ(pg.attrs[0].word_ranks[1].size(), 4u);
+  EXPECT_EQ(pg.attrs[0].word_ranks.size(1), 4u);
 }
 
 TEST(PreprocessTest, AuthorsAreCaseInsensitive) {

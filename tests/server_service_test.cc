@@ -94,6 +94,12 @@ TEST(DimeServiceTest, CheckPreloadedGroupByName) {
   EXPECT_EQ(stats.rejected, 0u);
   EXPECT_EQ(stats.cache_misses, 1u);
   EXPECT_EQ(stats.cache_hits, 0u);
+  // One engine run so far: the service's cumulative engine counters must
+  // equal that run's own stats exactly.
+  EXPECT_EQ(stats.pairs_skipped_by_transitivity,
+            reply->result->stats.pairs_skipped_by_transitivity);
+  EXPECT_EQ(stats.kernel_early_exits,
+            reply->result->stats.kernel_early_exits);
 }
 
 TEST(DimeServiceTest, SecondIdenticalCheckIsACacheHit) {

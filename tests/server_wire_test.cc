@@ -288,6 +288,8 @@ TEST(WireResponseTest, StatsResponseCarriesCounters) {
   stats.cache_misses = 6;
   stats.queue_capacity = 64;
   stats.workers = 8;
+  stats.pairs_skipped_by_transitivity = 123;
+  stats.kernel_early_exits = 456;
   stats.p50_ms = 1.024;
   stats.p99_ms = 16.384;
   std::string line = SerializeStatsResponse("s1", stats);
@@ -300,6 +302,8 @@ TEST(WireResponseTest, StatsResponseCarriesCounters) {
   EXPECT_EQ(parsed->at("cache_hits").number_value, 4.0);
   EXPECT_EQ(parsed->at("cache_misses").number_value, 6.0);
   EXPECT_EQ(parsed->at("workers").number_value, 8.0);
+  EXPECT_EQ(parsed->at("pairs_skipped_by_transitivity").number_value, 123.0);
+  EXPECT_EQ(parsed->at("kernel_early_exits").number_value, 456.0);
   EXPECT_GT(parsed->at("p99_ms").number_value, 0.0);
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <iterator>
 
 #include "src/common/random.h"
 
@@ -131,6 +132,147 @@ INSTANTIATE_TEST_SUITE_P(
         std::make_tuple(SimFunc::kDice, 0.75),
         std::make_tuple(SimFunc::kCosine, 0.4),
         std::make_tuple(SimFunc::kCosine, 0.7)));
+
+// ---- Differential tests: threshold-aware kernels vs naive references ----
+//
+// The threshold kernels promise decisions bit-identical to "compute the
+// exact kernel, then compare". These tests hold them to it over random
+// inputs covering every early-exit path: empty sides, heavy skew (the
+// galloping branch), near-duplicates (cannot-miss) and disjoint sets
+// (cannot-reach), with thresholds sampled on and around the achieved
+// similarity so the epsilon handling is exercised at the boundary.
+
+size_t RefIntersection(const V& a, const V& b) {
+  V out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out.size();
+}
+
+V RandomSet(Random* rng, size_t max_size, uint32_t universe) {
+  V v;
+  size_t target = rng->Uniform(max_size + 1);
+  for (uint32_t t = 0; t < universe && v.size() < target; ++t) {
+    if (rng->Uniform(universe) < target) v.push_back(t);
+  }
+  return v;
+}
+
+TEST(ThresholdKernelTest, IntersectionAtLeastMatchesNaiveCount) {
+  Random rng(31);
+  for (int trial = 0; trial < 2000; ++trial) {
+    // A quarter of the trials are heavily skewed to hit the gallop path.
+    size_t max_a = rng.Bernoulli(0.25) ? 4 : 32;
+    size_t max_b = rng.Bernoulli(0.25) ? 256 : 32;
+    V a = RandomSet(&rng, max_a, 512);
+    V b = RandomSet(&rng, max_b, 512);
+    if (rng.Bernoulli(0.1)) b = a;  // identical pair: cannot-miss exits
+    const size_t exact = RefIntersection(a, b);
+    ASSERT_EQ(IntersectionSize(a, b), exact);
+    const size_t limit = std::min(a.size(), b.size()) + 2;
+    for (size_t required = 0; required <= limit; ++required) {
+      EXPECT_EQ(IntersectionAtLeast(a, b, required), exact >= required)
+          << "|a|=" << a.size() << " |b|=" << b.size()
+          << " required=" << required << " exact=" << exact;
+    }
+  }
+}
+
+TEST(ThresholdKernelTest, SetSimilarityFromOverlapMatchesExactKernels) {
+  Random rng(32);
+  for (int trial = 0; trial < 1000; ++trial) {
+    V a = RandomSet(&rng, 24, 64);
+    V b = RandomSet(&rng, 24, 64);
+    size_t o = RefIntersection(a, b);
+    for (SimFunc f : {SimFunc::kOverlap, SimFunc::kJaccard, SimFunc::kDice,
+                      SimFunc::kCosine}) {
+      // Bit-identical, not just close: threshold decisions depend on it.
+      EXPECT_EQ(SetSimilarity(f, a, b),
+                SetSimilarityFromOverlap(f, o, a.size(), b.size()));
+    }
+  }
+}
+
+TEST(ThresholdKernelTest, MinOverlapForAtLeastIsTheExactBoundary) {
+  for (SimFunc f : {SimFunc::kOverlap, SimFunc::kJaccard, SimFunc::kDice,
+                    SimFunc::kCosine}) {
+    for (size_t sa = 0; sa <= 10; ++sa) {
+      for (size_t sb = 0; sb <= 10; ++sb) {
+        for (double theta : {0.0, 0.2, 0.5, 2.0 / 3.0, 0.75, 1.0, 2.0, 5.0}) {
+          size_t min_o = MinOverlapForAtLeast(f, sa, sb, theta);
+          ASSERT_LE(min_o, std::min(sa, sb) + 1);
+          for (size_t o = 0; o <= std::min(sa, sb); ++o) {
+            bool holds =
+                SetSimilarityFromOverlap(f, o, sa, sb) >= theta - kSimCompareEps;
+            EXPECT_EQ(holds, o >= min_o)
+                << SimFuncName(f) << " sa=" << sa << " sb=" << sb
+                << " theta=" << theta << " o=" << o << " min_o=" << min_o;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ThresholdKernelTest, AtLeastAtMostMatchExactComparison) {
+  Random rng(33);
+  for (int trial = 0; trial < 1500; ++trial) {
+    V a = RandomSet(&rng, rng.Bernoulli(0.2) ? 3 : 24,
+                    rng.Bernoulli(0.25) ? 16 : 96);
+    V b = RandomSet(&rng, rng.Bernoulli(0.2) ? 96 : 24,
+                    rng.Bernoulli(0.25) ? 16 : 96);
+    for (SimFunc f : {SimFunc::kOverlap, SimFunc::kJaccard, SimFunc::kDice,
+                      SimFunc::kCosine}) {
+      const double sim = SetSimilarity(f, a, b);
+      const double max_t = f == SimFunc::kOverlap ? 6.0 : 1.0;
+      // Random thresholds plus the achieved value and its neighborhood:
+      // the boundary is where the epsilon convention must match.
+      for (double theta : {rng.UniformDouble() * max_t, sim,
+                           sim - 1e-12, sim + 1e-12, sim - 1e-6, sim + 1e-6}) {
+        EXPECT_EQ(SetSimilarityAtLeast(f, a, b, theta),
+                  sim >= theta - kSimCompareEps)
+            << SimFuncName(f) << " sim=" << sim << " theta=" << theta;
+        EXPECT_EQ(SetSimilarityAtMost(f, a, b, theta),
+                  sim <= theta + kSimCompareEps)
+            << SimFuncName(f) << " sim=" << sim << " sigma=" << theta;
+      }
+    }
+  }
+}
+
+TEST(ThresholdKernelTest, PrefixLengthStaysWithinValueSize) {
+  Random rng(34);
+  for (int trial = 0; trial < 500; ++trial) {
+    size_t size = rng.Uniform(40);
+    for (SimFunc f : {SimFunc::kOverlap, SimFunc::kJaccard, SimFunc::kDice,
+                      SimFunc::kCosine}) {
+      double theta = f == SimFunc::kOverlap
+                         ? static_cast<double>(rng.Uniform(8))
+                         : rng.UniformDouble();
+      size_t pl = SetPrefixLength(f, size, theta);
+      EXPECT_LE(pl, size);
+    }
+  }
+  // kOverlap closed form: |v| - theta + 1, clamped.
+  EXPECT_EQ(SetPrefixLength(SimFunc::kOverlap, 6, 2.0), 5u);
+  EXPECT_EQ(SetPrefixLength(SimFunc::kOverlap, 6, 7.0), 0u);
+}
+
+TEST(ThresholdKernelTest, EarlyExitCounterIsMonotoneAndBumps) {
+  V a, b;
+  for (uint32_t i = 0; i < 64; ++i) a.push_back(i);
+  for (uint32_t i = 100; i < 164; ++i) b.push_back(i);
+  const uint64_t before = KernelEarlyExits();
+  // Disjoint ranges with a full-size requirement: the cannot-reach bound
+  // must fire well before either input is consumed.
+  EXPECT_FALSE(IntersectionAtLeast(a, b, 64));
+  const uint64_t after = KernelEarlyExits();
+  EXPECT_GT(after, before);
+  // required == 0 is decided without looking at data; still counts as an
+  // early exit or not, but must never decrease the counter.
+  EXPECT_TRUE(IntersectionAtLeast(a, b, 0));
+  EXPECT_GE(KernelEarlyExits(), after);
+}
 
 TEST(SimFuncTest, NamesRoundTrip) {
   for (SimFunc f : {SimFunc::kOverlap, SimFunc::kJaccard, SimFunc::kDice,

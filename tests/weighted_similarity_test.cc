@@ -131,6 +131,68 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(SimFunc::kWeightedCosine, 0.5),
                       std::make_tuple(SimFunc::kWeightedCosine, 0.8)));
 
+// Differential check of the weighted threshold kernels: the decision must
+// be bit-identical to evaluating the exact kernel and comparing with the
+// Predicate::Compare epsilon, across random pairs and thresholds sampled
+// on and around the achieved similarity (where the conservative early-exit
+// margin must hand over to the exact completion path).
+TEST(WeightedThresholdTest, AtLeastAtMostMatchExactComparison) {
+  Random rng(17);
+  std::vector<double> w;
+  for (int i = 0; i < 64; ++i) w.push_back(0.1 + rng.UniformDouble() * 4.0);
+  std::sort(w.rbegin(), w.rend());  // rank order == descending weight
+
+  for (int trial = 0; trial < 1500; ++trial) {
+    V a, b;
+    double density_a = rng.Bernoulli(0.2) ? 0.05 : 0.4;
+    double density_b = rng.Bernoulli(0.2) ? 0.9 : 0.4;
+    for (uint32_t t = 0; t < 64; ++t) {
+      if (rng.Bernoulli(density_a)) a.push_back(t);
+      if (rng.Bernoulli(density_b)) b.push_back(t);
+    }
+    if (rng.Bernoulli(0.1)) b = a;
+    for (SimFunc f : {SimFunc::kWeightedJaccard, SimFunc::kWeightedCosine}) {
+      const double mass_a = f == SimFunc::kWeightedJaccard
+                                ? TotalWeight(a, w)
+                                : SquaredWeightNorm(a, w);
+      const double mass_b = f == SimFunc::kWeightedJaccard
+                                ? TotalWeight(b, w)
+                                : SquaredWeightNorm(b, w);
+      const double sim = WeightedSetSimilarity(f, a, b, w);
+      for (double t : {rng.UniformDouble(), sim, sim - 1e-12, sim + 1e-12,
+                       sim - 1e-6, sim + 1e-6, 0.0, 1.0}) {
+        EXPECT_EQ(WeightedSimilarityAtLeast(f, a, b, w, mass_a, mass_b, t),
+                  sim >= t - kSimCompareEps)
+            << SimFuncName(f) << " sim=" << sim << " theta=" << t;
+        EXPECT_EQ(WeightedSimilarityAtMost(f, a, b, w, mass_a, mass_b, t),
+                  sim <= t + kSimCompareEps)
+            << SimFuncName(f) << " sim=" << sim << " sigma=" << t;
+      }
+    }
+  }
+}
+
+// The masses PrepareGroup caches must equal what the kernels would
+// recompute — same summation order, so exact equality.
+TEST(WeightedThresholdTest, PrecomputedMassesMatchKernelRecomputation) {
+  Random rng(19);
+  std::vector<double> w;
+  for (int i = 0; i < 32; ++i) w.push_back(0.1 + rng.UniformDouble() * 4.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    V v;
+    for (uint32_t t = 0; t < 32; ++t) {
+      if (rng.Bernoulli(0.5)) v.push_back(t);
+    }
+    double total = 0.0, sq = 0.0;
+    for (uint32_t r : v) {
+      total += w[r];
+      sq += w[r] * w[r];
+    }
+    EXPECT_EQ(TotalWeight(v, w), total);
+    EXPECT_EQ(SquaredWeightNorm(v, w), sq);
+  }
+}
+
 TEST(WeightedPredicateTest, EndToEndThroughPreparedGroup) {
   Group g;
   g.schema = Schema({"Title", "Authors"});

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Refreshes the repo-root benchmark records:
+#
+#   BENCH_micro_sim.json  kernel/primitive micro-benchmarks (google-benchmark)
+#   BENCH_fig9.json       Fig. 9 end-to-end engine efficiency
+#
+# Each file holds a list of entries. The "pre-optimization" entry is the
+# committed snapshot taken at the flat-layout PR's base commit
+# (bench/baselines/*_pre.json — regenerate by checking out that commit and
+# running the same binaries); the "post-optimization" entry is measured
+# fresh by this script from a Release build of the current tree.
+#
+# Usage: tools/bench.sh [--quick]
+#   --quick   DIME_BENCH_QUICK=1 for the fig9 bench (small sizes; the JSON
+#             is then tagged "quick": true and not comparable to full runs)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+BUILD=build-bench
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== configuring + building $BUILD (Release) =="
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" -j --target bench_micro_sim bench_fig9_efficiency
+
+echo "== micro kernels =="
+"$BUILD/bench/bench_micro_sim" \
+  --benchmark_out_format=json --benchmark_out="$TMP/micro_post.json"
+
+echo "== fig9 efficiency =="
+if [ "$QUICK" = 1 ]; then
+  DIME_BENCH_QUICK=1 "$BUILD/bench/bench_fig9_efficiency" \
+    --json "$TMP/fig9_post.json" --label post-optimization
+else
+  "$BUILD/bench/bench_fig9_efficiency" \
+    --json "$TMP/fig9_post.json" --label post-optimization
+fi
+
+# Wrap pre + post into the repo-root records. The google-benchmark JSON is
+# trimmed to the comparable core (name / real_time / time_unit) so the
+# file diffs stay readable.
+jq -n \
+  --slurpfile pre bench/baselines/micro_sim_pre.json \
+  --slurpfile post "$TMP/micro_post.json" \
+  '{bench: "micro_sim",
+    entries: [
+      {label: "pre-optimization",
+       context: ($pre[0].context | {date, library_build_type}),
+       benchmarks: [$pre[0].benchmarks[]
+                    | {name, real_time, time_unit}]},
+      {label: "post-optimization",
+       context: ($post[0].context | {date, library_build_type}),
+       benchmarks: [$post[0].benchmarks[]
+                    | {name, real_time, time_unit}]}
+    ]}' > BENCH_micro_sim.json
+
+jq -n \
+  --slurpfile pre bench/baselines/fig9_pre.json \
+  --slurpfile post "$TMP/fig9_post.json" \
+  '{bench: "fig9_efficiency", entries: [$pre[0], $post[0]]}' \
+  > BENCH_fig9.json
+
+echo "== wrote BENCH_micro_sim.json and BENCH_fig9.json =="
+printf '%-18s %-10s %9s %8s %12s\n' label dataset entities dime_s dime_plus_s
+jq -r '.entries[] | .label as $l
+       | .rows[] | [$l, .dataset, .entities, .dime_s, .dime_plus_s]
+       | @tsv' BENCH_fig9.json |
+  awk -F'\t' '{printf "%-18s %-10s %9s %8s %12s\n", $1, $2, $3, $4, $5}'
