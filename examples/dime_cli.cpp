@@ -8,6 +8,13 @@
 //                        [--ontology <tree.txt> --ontology-mode exact|keyword]
 //                        [--deadline-ms <n>] [--stats]
 //
+// Snapshot mode — run over a prepared binary snapshot (dime_snapshot):
+//   dime_cli --snapshot <corpus.snap> [--group-name <name>]
+//            [--engine naive|plus|parallel] [--deadline-ms <n>] [--stats]
+// Loads the corpus with zero preparation (the snapshot already holds rank
+// columns, masses, signatures and frozen indexes) and checks the named
+// group (default: the first one).
+//
 // Client mode — one request to a running dime_server, then exit:
 //   dime_cli --client --port <n> [--host 127.0.0.1] [group.tsv]
 //            [--request check|stats|ping|shutdown] [--group-name <name>]
@@ -59,6 +66,7 @@
 #include "src/rules/rule_io.h"
 #include "src/server/tcp_server.h"
 #include "src/server/wire.h"
+#include "src/store/snapshot.h"
 
 namespace {
 
@@ -184,12 +192,133 @@ int Demo() {
   return 0;
 }
 
+/// Shared tail of the run modes: scrollbar, optional PRF, optional stats.
+void PrintRunResult(const dime::Group& group, const dime::DimeResult& result,
+                    bool show_stats) {
+  using namespace dime;
+  std::printf("%zu partitions; pivot has %zu entities.\n",
+              result.partitions.size(), result.PivotEntities().size());
+  for (size_t k = 0; k < result.flagged_by_prefix.size(); ++k) {
+    std::printf("scrollbar %zu: %zu suggested mis-categorized entities",
+                k + 1, result.flagged_by_prefix[k].size());
+    if (group.has_truth()) {
+      Prf prf = EvaluateFlagged(group, result.flagged_by_prefix[k]);
+      std::printf("  (P=%.2f R=%.2f)", prf.precision, prf.recall);
+    }
+    std::printf("\n");
+    for (int e : result.flagged_by_prefix[k]) {
+      std::printf("  %s\n", group.entities[e].id.c_str());
+    }
+  }
+  if (show_stats) {
+    const DimeResult::Stats& s = result.stats;
+    std::printf("stats:\n");
+    std::printf("  positive_pair_checks           %zu\n",
+                s.positive_pair_checks);
+    std::printf("  negative_pair_checks           %zu\n",
+                s.negative_pair_checks);
+    std::printf("  candidate_pairs                %zu\n", s.candidate_pairs);
+    std::printf("  partitions_pruned_by_filter    %zu\n",
+                s.partitions_pruned_by_filter);
+    std::printf("  pairs_skipped_by_transitivity  %zu\n",
+                s.pairs_skipped_by_transitivity);
+    std::printf("  kernel_early_exits             %zu\n",
+                s.kernel_early_exits);
+  }
+}
+
+/// --snapshot: warm-start from a dime_snapshot image and check one group.
+int RunSnapshot(int argc, char** argv) {
+  using namespace dime;
+  std::string path;
+  std::string group_name;
+  std::string engine = "plus";
+  long deadline_ms = -1;
+  bool show_stats = false;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value after %s\n", arg.c_str());
+        std::exit(ExitCodeForStatusCode(StatusCode::kInvalidArgument));
+      }
+      return argv[++i];
+    };
+    if (arg == "--group-name") {
+      group_name = next();
+    } else if (arg == "--engine") {
+      engine = next();
+      if (engine != "naive" && engine != "plus" && engine != "parallel") {
+        return UsageError("--engine must be naive, plus, or parallel");
+      }
+    } else if (arg == "--deadline-ms") {
+      deadline_ms = std::strtol(next(), nullptr, 10);
+      if (deadline_ms <= 0) {
+        return UsageError("--deadline-ms needs a positive integer");
+      }
+    } else if (arg == "--stats") {
+      show_stats = true;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return UsageError("unknown --snapshot flag: %s", arg.c_str());
+    }
+  }
+  if (path.empty()) return UsageError("--snapshot needs a snapshot file");
+
+  StatusOr<LoadedSnapshot> loaded = LoadSnapshot(path);
+  if (!loaded.ok()) {
+    return ExitWithStatus(loaded.status(), ("loading " + path).c_str());
+  }
+  size_t pick = 0;
+  if (!group_name.empty()) {
+    bool found = false;
+    for (size_t i = 0; i < loaded->groups.size(); ++i) {
+      if (loaded->groups[i].name == group_name) {
+        pick = i;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return ExitWithStatus(
+          NotFoundError("snapshot has no group named '" + group_name + "'"),
+          "snapshot");
+    }
+  }
+  const Group& group = loaded->groups[pick];
+  const PreparedGroup& pg = *loaded->prepared[pick];
+  std::printf("Loaded %zu entities from snapshot group '%s' (%s, no "
+              "preparation).\n",
+              group.size(), group.name.c_str(),
+              loaded->mapped ? "mmap" : "read fallback");
+
+  RunControl control;
+  if (deadline_ms > 0) control.deadline = Deadline::AfterMillis(deadline_ms);
+  DimeResult result;
+  if (engine == "naive") {
+    result = RunDime(pg, loaded->positive, loaded->negative, control);
+  } else if (engine == "parallel") {
+    result = RunDimeParallel(pg, loaded->positive, loaded->negative, {},
+                             control);
+  } else {
+    result = RunDimePlus(pg, loaded->positive, loaded->negative, {}, control);
+  }
+  if (!result.ok()) {
+    std::fprintf(stderr, "note: run truncated (%s); results are partial\n",
+                 result.status.ToString().c_str());
+  }
+  PrintRunResult(group, result, show_stats);
+  return ExitCodeForStatus(result.status);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace dime;
   if (argc < 2) return Demo();
   if (std::strcmp(argv[1], "--client") == 0) return RunClient(argc, argv);
+  if (std::strcmp(argv[1], "--snapshot") == 0) return RunSnapshot(argc, argv);
 
   std::string path = argv[1];
   std::vector<std::string> positive_texts, negative_texts;
@@ -326,35 +455,7 @@ int main(int argc, char** argv) {
                  result.status.ToString().c_str());
   }
 
-  std::printf("%zu partitions; pivot has %zu entities.\n",
-              result.partitions.size(), result.PivotEntities().size());
-  for (size_t k = 0; k < result.flagged_by_prefix.size(); ++k) {
-    std::printf("scrollbar %zu: %zu suggested mis-categorized entities",
-                k + 1, result.flagged_by_prefix[k].size());
-    if (group.has_truth()) {
-      Prf prf = EvaluateFlagged(group, result.flagged_by_prefix[k]);
-      std::printf("  (P=%.2f R=%.2f)", prf.precision, prf.recall);
-    }
-    std::printf("\n");
-    for (int e : result.flagged_by_prefix[k]) {
-      std::printf("  %s\n", group.entities[e].id.c_str());
-    }
-  }
-  if (show_stats) {
-    const DimeResult::Stats& s = result.stats;
-    std::printf("stats:\n");
-    std::printf("  positive_pair_checks           %zu\n",
-                s.positive_pair_checks);
-    std::printf("  negative_pair_checks           %zu\n",
-                s.negative_pair_checks);
-    std::printf("  candidate_pairs                %zu\n", s.candidate_pairs);
-    std::printf("  partitions_pruned_by_filter    %zu\n",
-                s.partitions_pruned_by_filter);
-    std::printf("  pairs_skipped_by_transitivity  %zu\n",
-                s.pairs_skipped_by_transitivity);
-    std::printf("  kernel_early_exits             %zu\n",
-                s.kernel_early_exits);
-  }
+  PrintRunResult(group, result, show_stats);
   // A truncated run printed its partial scrollbar above, but the shell
   // still learns it was partial: DEADLINE_EXCEEDED exits 7, CANCELLED 8.
   return ExitCodeForStatus(result.status);

@@ -1,0 +1,64 @@
+#include "src/common/checksum.h"
+
+#include <array>
+#include <cstring>
+
+namespace dime {
+namespace {
+
+// Slice-by-8 tables for the reflected IEEE polynomial 0xEDB88320.
+// kCrcTables[0] is the classic byte-at-a-time table; table k folds a byte
+// that sits k positions further into the stream. Built once at
+// static-init time (constexpr, so actually at compile time).
+constexpr std::array<std::array<uint32_t, 256>, 8> MakeCrc32Tables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    tables[0][i] = crc;
+  }
+  for (int k = 1; k < 8; ++k) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      tables[k][i] =
+          (tables[k - 1][i] >> 8) ^ tables[0][tables[k - 1][i] & 0xFFu];
+    }
+  }
+  return tables;
+}
+
+constexpr std::array<std::array<uint32_t, 256>, 8> kCrcTables =
+    MakeCrc32Tables();
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  // Slice-by-8 main loop: consume two little-endian 32-bit words per
+  // iteration (~1 GB/s vs ~300 MB/s bytewise — the snapshot loader
+  // checksums every section on warm start, so this is on the cold-start
+  // critical path after all). The word-folding trick is only valid for
+  // little-endian loads; big-endian hosts take the bytewise tail loop.
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  while (len >= 8) {
+    uint32_t lo, hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = kCrcTables[7][lo & 0xFFu] ^ kCrcTables[6][(lo >> 8) & 0xFFu] ^
+          kCrcTables[5][(lo >> 16) & 0xFFu] ^ kCrcTables[4][lo >> 24] ^
+          kCrcTables[3][hi & 0xFFu] ^ kCrcTables[2][(hi >> 8) & 0xFFu] ^
+          kCrcTables[1][(hi >> 16) & 0xFFu] ^ kCrcTables[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
+#endif
+  for (size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ kCrcTables[0][(crc ^ p[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace dime

@@ -12,6 +12,12 @@
 /// between values (e.g., author lists). This mirrors the flat-file dumps of
 /// the paper's crawled datasets.
 ///
+/// Cells follow RFC 4180-style quoting: a cell beginning with '"' runs to
+/// the matching closing quote ("" escapes a literal quote), and tabs, CR,
+/// and LF inside a quoted cell are data, not structure — so quoted fields
+/// may span physical lines. FormatTsv/WriteTsv quote symmetrically, only
+/// when a cell needs it.
+///
 /// The Status APIs are the source of truth; the bool forms are thin shims
 /// kept for existing call sites and cannot distinguish a missing file from
 /// an IO error from an empty file.

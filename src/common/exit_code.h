@@ -23,6 +23,7 @@
 ///        9    | INTERNAL            | captured fault / invariant failure
 ///       10    | RESOURCE_EXHAUSTED  | server queue full (load shed)
 ///       11    | UNAVAILABLE         | server shutting down / unreachable
+///       12    | DATA_LOSS           | corrupt snapshot (checksum mismatch)
 ///
 /// The scheme is `static_cast<int>(code) + 1`, which stays stable because
 /// StatusCode values are append-only. Exit code 2 for usage errors matches

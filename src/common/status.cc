@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "RESOURCE_EXHAUSTED";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
   }
   return "UNKNOWN";
 }
@@ -34,7 +36,7 @@ bool StatusCodeFromName(std::string_view name, StatusCode* code) {
   // Iterate the enum range instead of string-matching by hand so a code
   // added to StatusCodeName is automatically parseable.
   for (int c = static_cast<int>(StatusCode::kOk);
-       c <= static_cast<int>(StatusCode::kUnavailable); ++c) {
+       c <= static_cast<int>(StatusCode::kDataLoss); ++c) {
     StatusCode candidate = static_cast<StatusCode>(c);
     if (name == StatusCodeName(candidate)) {
       *code = candidate;

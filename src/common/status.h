@@ -52,6 +52,11 @@ enum class StatusCode : int {
   /// The service is shutting down (or not yet started) and cannot take
   /// new work; unlike RESOURCE_EXHAUSTED, retrying will not help.
   kUnavailable = 10,
+  /// Stored data is unrecoverably damaged: a checksum mismatch or an
+  /// internally inconsistent snapshot section. Unlike PARSE_ERROR (the
+  /// bytes never were valid), DATA_LOSS means valid data was written and
+  /// has since been corrupted; re-create the artifact from its source.
+  kDataLoss = 11,
 };
 
 /// Human-readable name of a code ("NOT_FOUND", ...).
@@ -117,6 +122,9 @@ inline Status ResourceExhaustedError(std::string message) {
 }
 inline Status UnavailableError(std::string message) {
   return Status(StatusCode::kUnavailable, std::move(message));
+}
+inline Status DataLossError(std::string message) {
+  return Status(StatusCode::kDataLoss, std::move(message));
 }
 
 /// Either a T or a non-OK Status. Accessing the value of a non-OK

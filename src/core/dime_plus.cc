@@ -44,6 +44,21 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
   // early exits only (the engine is single-threaded, so the delta is ours).
   const uint64_t kernel_exits_before = KernelEarlyExits();
 
+  // Precomputed signature artifacts (snapshot warm start) are used only
+  // when they were built for exactly this rule set and these signature
+  // options; otherwise fall back to on-demand generation — stale
+  // artifacts cost time, never correctness.
+  const PreparedRuleArtifacts* artifacts = pg.artifacts.get();
+  if (artifacts != nullptr &&
+      (artifacts->positive_indexes.size() != positive.size() ||
+       artifacts->negative_sigs.size() != negative.size() ||
+       artifacts->max_tuple_signatures !=
+           options.signatures.max_tuple_signatures)) {
+    DIME_LOG(WARNING) << "prepared rule artifacts do not match the rule "
+                         "set/options of this run; regenerating signatures";
+    artifacts = nullptr;
+  }
+
   // A deadline hit before partitioning completes discards step 1 (half
   // merged partitions are not valid output); the status explains why.
   auto truncate_before_partitions = [&](Status st) {
@@ -59,17 +74,24 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
 
   // ---- Step 1: signature-filtered partitioning. -------------------------
   UnionFind uf(static_cast<size_t>(n));
-  std::vector<InvertedIndex> indexes(positive.size());
+  std::vector<InvertedIndex> owned_indexes(
+      artifacts == nullptr ? positive.size() : 0);
+  auto index_for = [&](size_t r) -> const InvertedIndex& {
+    return artifacts != nullptr ? artifacts->positive_indexes[r]
+                                : owned_indexes[r];
+  };
   size_t candidate_volume = 0;
   for (size_t r = 0; r < positive.size(); ++r) {
     Status st = internal::CheckRunControl(control, "dime_plus/index-rule");
     if (!st.ok()) return truncate_before_partitions(std::move(st));
-    SignatureGenerator gen(pg, positive[r].predicates, Direction::kGe,
-                           /*rule_tag=*/r + 1, options.signatures);
-    for (int e = 0; e < n; ++e) {
-      indexes[r].Add(e, gen.PositiveRuleSignatures(e));
+    if (artifacts == nullptr) {
+      SignatureGenerator gen(pg, positive[r].predicates, Direction::kGe,
+                             /*rule_tag=*/r + 1, options.signatures);
+      for (int e = 0; e < n; ++e) {
+        owned_indexes[r].Add(e, gen.PositiveRuleSignatures(e));
+      }
     }
-    candidate_volume += indexes[r].CandidateVolume();
+    candidate_volume += index_for(r).CandidateVolume();
   }
   result.stats.candidate_pairs = candidate_volume;
 
@@ -94,11 +116,11 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
   if (options.benefit_order && candidate_volume <= options.exact_benefit_cap) {
     std::vector<PositiveCandidate> candidates;
     for (size_t r = 0; r < positive.size(); ++r) {
-      for (const InvertedIndex::CandidatePair& cp :
-           indexes[r].CandidatePairs()) {
+      const InvertedIndex& index = index_for(r);
+      for (const InvertedIndex::CandidatePair& cp : index.CandidatePairs()) {
         double prob =
-            SimilarProbability(cp.shared, indexes[r].SignatureCount(cp.e1),
-                               indexes[r].SignatureCount(cp.e2));
+            SimilarProbability(cp.shared, index.SignatureCount(cp.e1),
+                               index.SignatureCount(cp.e2));
         double cost =
             RuleVerificationCost(pg, positive[r].predicates, cp.e1, cp.e2);
         candidates.push_back(PositiveCandidate{PositiveBenefit(prob, cost),
@@ -128,7 +150,7 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
   } else {
     Status stream_status;
     for (size_t r = 0; r < positive.size() && stream_status.ok(); ++r) {
-      indexes[r].ForEachList(
+      index_for(r).ForEachList(
           options.benefit_order, [&](const int* list, size_t len) {
             // Whole-list transitivity skip: once every entity on a list
             // shares one partition, none of its |l|(|l|-1)/2 pairs can
@@ -184,22 +206,38 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
   if (result.pivot >= 0 && !negative.empty()) {
     const std::vector<int>& pivot_entities = result.partitions[result.pivot];
 
-    // Lazily built per negative rule: the generator, each pivot entity's
-    // signature set, and a sig -> pivot-entities map used both as the
-    // partition-level filter and for shared-count estimation.
+    // Lazily built per negative rule: the generator (on-demand path only),
+    // each pivot entity's signature set, and a sig -> pivot-entities map
+    // used both as the partition-level filter and for shared-count
+    // estimation. Signature runs are handled as borrowed spans so the
+    // artifact path reads straight out of the (possibly memory-mapped)
+    // columns without copying.
     std::vector<std::unique_ptr<SignatureGenerator>> gens(negative.size());
-    std::vector<std::vector<std::vector<uint64_t>>> pivot_sigs(
+    std::vector<std::vector<std::vector<uint64_t>>> pivot_sigs_owned(
         negative.size());
+    std::vector<std::vector<SignatureSpan>> pivot_sigs(negative.size());
     std::vector<std::unordered_map<uint64_t, std::vector<int>>> pivot_lists(
         negative.size());
+    std::vector<bool> rule_ready(negative.size(), false);
     auto ensure_rule = [&](size_t r) {
-      if (gens[r] != nullptr) return;
-      gens[r] = std::make_unique<SignatureGenerator>(
-          pg, negative[r].predicates, Direction::kLe,
-          /*rule_tag=*/0x1000 + r, options.signatures);
+      if (rule_ready[r]) return;
+      rule_ready[r] = true;
+      if (artifacts == nullptr) {
+        gens[r] = std::make_unique<SignatureGenerator>(
+            pg, negative[r].predicates, Direction::kLe,
+            /*rule_tag=*/0x1000 + r, options.signatures);
+        pivot_sigs_owned[r].resize(pivot_entities.size());
+      }
       pivot_sigs[r].resize(pivot_entities.size());
       for (size_t i = 0; i < pivot_entities.size(); ++i) {
-        pivot_sigs[r][i] = gens[r]->NegativeRuleSignatures(pivot_entities[i]);
+        if (artifacts != nullptr) {
+          pivot_sigs[r][i] =
+              artifacts->negative_sigs[r].row(pivot_entities[i]);
+        } else {
+          pivot_sigs_owned[r][i] =
+              gens[r]->NegativeRuleSignatures(pivot_entities[i]);
+          pivot_sigs[r][i] = SignatureSpan(pivot_sigs_owned[r][i]);
+        }
         for (uint64_t s : pivot_sigs[r][i]) {
           pivot_lists[r][s].push_back(static_cast<int>(i));
         }
@@ -224,7 +262,8 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
         break;
       }
       const std::vector<int>& members = result.partitions[p];
-      std::vector<std::vector<uint64_t>> member_sigs(members.size());
+      std::vector<std::vector<uint64_t>> member_sigs_owned(members.size());
+      std::vector<SignatureSpan> member_sigs(members.size());
       for (size_t r = 0; r < negative.size() && first_flagging[p] < 0; ++r) {
         ensure_rule(r);
 
@@ -233,7 +272,12 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
         // pivot signature.
         bool any_shared = false;
         for (size_t m = 0; m < members.size(); ++m) {
-          member_sigs[m] = gens[r]->NegativeRuleSignatures(members[m]);
+          if (artifacts != nullptr) {
+            member_sigs[m] = artifacts->negative_sigs[r].row(members[m]);
+          } else {
+            member_sigs_owned[m] = gens[r]->NegativeRuleSignatures(members[m]);
+            member_sigs[m] = SignatureSpan(member_sigs_owned[m]);
+          }
           if (any_shared) continue;
           for (uint64_t s : member_sigs[m]) {
             if (pivot_lists[r].find(s) != pivot_lists[r].end()) {

@@ -2,10 +2,12 @@
 #define DIME_CORE_PREPROCESS_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/check.h"
 #include "src/core/entity.h"
 #include "src/ontology/ontology.h"
 #include "src/rules/rule.h"
@@ -38,9 +40,18 @@ namespace dime {
 
 /// One attribute/mode's rank vectors for every entity, flattened CSR-style:
 /// entity e's strictly ascending ranks live at arena[offsets[e] ..
-/// offsets[e+1]). Built once by preparation (append-only; the incremental
-/// engine appends entities at the tail) and read through borrowed
-/// RankSpan views.
+/// offsets[e+1]). Two storage modes share the read API:
+///
+///  * owned    — built by preparation (append-only; the incremental engine
+///               appends entities at the tail), backed by vectors;
+///  * borrowed — BorrowStorage() points the column at externally owned
+///               arrays (the snapshot store maps these straight off disk,
+///               zero-copy). A borrowed column is immutable; the caller
+///               guarantees the backing outlives the column.
+///
+/// Offsets are uint64_t so the owned layout is bit-identical to the
+/// serialized one — a snapshot load is a pointer swap, not a widening
+/// copy.
 class RankColumn {
  public:
   /// Pre-sizes for `entities` rows totalling `total_ranks` elements.
@@ -49,26 +60,65 @@ class RankColumn {
     arena_.reserve(total_ranks);
   }
 
-  /// Appends one entity's rank run (must be strictly ascending).
+  /// Appends one entity's rank run (must be strictly ascending). Only
+  /// valid on an owned column.
   void Append(const uint32_t* data, size_t len) {
+    DIME_DCHECK(!borrowed());
     arena_.insert(arena_.end(), data, data + len);
     offsets_.push_back(arena_.size());
   }
   void Append(const std::vector<uint32_t>& v) { Append(v.data(), v.size()); }
 
-  /// Borrowed view of entity e's ranks. Stable across Append (offsets are
-  /// resolved on each call), but not across destruction of the column.
-  RankSpan view(size_t e) const {
-    return RankSpan(arena_.data() + offsets_[e], offsets_[e + 1] - offsets_[e]);
+  /// Points the column at external storage: `offsets` has `rows + 1`
+  /// monotone entries with offsets[0] == 0; `arena` holds
+  /// offsets[rows] elements. Replaces any owned content.
+  void BorrowStorage(const uint32_t* arena, const uint64_t* offsets,
+                     size_t rows) {
+    arena_.clear();
+    offsets_.clear();
+    ext_arena_ = arena;
+    ext_offsets_ = offsets;
+    ext_rows_ = rows;
   }
 
-  size_t size(size_t e) const { return offsets_[e + 1] - offsets_[e]; }
-  size_t num_entities() const { return offsets_.size() - 1; }
-  size_t total_ranks() const { return arena_.size(); }
+  bool borrowed() const { return ext_offsets_ != nullptr; }
+
+  /// Borrowed view of entity e's ranks. Stable across Append (offsets are
+  /// resolved on each call), but not across destruction of the column (or
+  /// of the external backing, in borrowed mode).
+  RankSpan view(size_t e) const {
+    const uint64_t* off = offsets_ptr();
+    return RankSpan(arena_ptr() + off[e], off[e + 1] - off[e]);
+  }
+
+  size_t size(size_t e) const {
+    const uint64_t* off = offsets_ptr();
+    return off[e + 1] - off[e];
+  }
+  size_t num_entities() const {
+    return borrowed() ? ext_rows_ : offsets_.size() - 1;
+  }
+  size_t total_ranks() const {
+    return borrowed() ? ext_offsets_[ext_rows_] : arena_.size();
+  }
+
+  /// Raw storage, mode-independent (snapshot serialization).
+  const uint32_t* arena_ptr() const {
+    return borrowed() ? ext_arena_ : arena_.data();
+  }
+  const uint64_t* offsets_ptr() const {
+    return borrowed() ? ext_offsets_ : offsets_.data();
+  }
 
  private:
+  // Owned mode. A copied column copies these and re-derives the data
+  // pointers per call, so copies are safe in either mode.
   std::vector<uint32_t> arena_;
-  std::vector<size_t> offsets_{0};
+  std::vector<uint64_t> offsets_{0};
+  // Borrowed mode (null when owned).
+  const uint32_t* ext_arena_ = nullptr;
+  const uint64_t* ext_offsets_ = nullptr;
+  size_t ext_rows_ = 0;
 };
 
 /// How an attribute value is mapped onto an ontology node.
@@ -127,11 +177,19 @@ struct PreparedAttr {
   TokenDictionary qgram_dict;
 };
 
+struct PreparedRuleArtifacts;  // src/index/signature.h
+
 /// A Group plus everything the engines need to evaluate rules on it.
 struct PreparedGroup {
   const Group* group = nullptr;
   DimeContext context;
   std::vector<PreparedAttr> attrs;  ///< parallel to the schema
+
+  /// Optional precomputed per-rule signatures and frozen indexes (snapshot
+  /// warm start). RunDimePlus consumes these instead of regenerating when
+  /// they match its rule set and signature options; a null pointer (the
+  /// normal PrepareGroup output) means "generate on demand".
+  std::shared_ptr<const PreparedRuleArtifacts> artifacts;
 
   size_t size() const { return group->size(); }
 };

@@ -21,7 +21,8 @@ void InvertedIndex::EnsureFrozen() const {
   frozen_ = true;
   // Stable: postings with the same signature keep insertion order, i.e.
   // each run reads exactly like the per-list append order of a hash-map
-  // build.
+  // build. Determinism here is what makes a dumped frozen index
+  // re-adoptable bit-for-bit.
   std::stable_sort(postings_.begin(), postings_.end(),
                    [](const std::pair<uint64_t, int>& a,
                       const std::pair<uint64_t, int>& b) {
@@ -40,25 +41,52 @@ void InvertedIndex::EnsureFrozen() const {
   postings_.shrink_to_fit();
 }
 
+InvertedIndex::FrozenView InvertedIndex::FrozenData() const {
+  EnsureFrozen();
+  if (ext_.list_starts) return ext_;
+  FrozenView view;
+  view.sig_counts = sig_counts_.data();
+  view.sig_counts_len = sig_counts_.size();
+  view.list_starts = list_starts_.data();
+  view.list_starts_len = list_starts_.size();
+  view.entities = entities_.data();
+  view.entities_len = entities_.size();
+  return view;
+}
+
+void InvertedIndex::AdoptFrozen(const FrozenView& view) {
+  DIME_CHECK_GE(view.list_starts_len, 1u);
+  postings_.clear();
+  postings_.shrink_to_fit();
+  sig_counts_.clear();
+  entities_.clear();
+  list_starts_.clear();
+  ext_ = view;
+  frozen_ = true;
+}
+
 std::vector<uint32_t> InvertedIndex::EnumerationOrder(
     bool short_lists_first) const {
+  const uint64_t* starts = frozen_starts();
+  const int* ents = frozen_entities();
   std::vector<uint32_t> order;
-  const size_t num = list_starts_.empty() ? 0 : list_starts_.size() - 1;
+  const size_t num = frozen_num_lists();
   for (size_t l = 0; l < num; ++l) {
-    if (list_starts_[l + 1] - list_starts_[l] > 1) {
+    if (starts[l + 1] - starts[l] > 1) {
       order.push_back(static_cast<uint32_t>(l));
     }
   }
   if (short_lists_first) {
-    std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
-      size_t la = list_starts_[a + 1] - list_starts_[a];
-      size_t lb = list_starts_[b + 1] - list_starts_[b];
-      if (la != lb) return la < lb;
-      int fa = entities_[list_starts_[a]];
-      int fb = entities_[list_starts_[b]];
-      if (fa != fb) return fa < fb;  // deterministic tie-break
-      return a < b;                  // then signature-sorted position
-    });
+    std::sort(order.begin(), order.end(),
+              [starts, ents](uint32_t a, uint32_t b) {
+                uint64_t la = starts[a + 1] - starts[a];
+                uint64_t lb = starts[b + 1] - starts[b];
+                if (la != lb) return la < lb;
+                int fa = ents[starts[a]];
+                int fb = ents[starts[b]];
+                if (fa != fb) return fa < fb;  // deterministic tie-break
+                return a < b;  // then signature-sorted position
+              });
   }
   return order;
 }
@@ -66,15 +94,17 @@ std::vector<uint32_t> InvertedIndex::EnumerationOrder(
 std::vector<InvertedIndex::CandidatePair> InvertedIndex::CandidatePairs()
     const {
   EnsureFrozen();
+  const uint64_t* starts = frozen_starts();
+  const int* ents = frozen_entities();
   // Materialize every co-occurrence as an (e1 << 32 | e2) key, then sort
   // and run-length encode: the keys come out grouped per pair and ordered
   // by (e1, e2) in one shot.
   std::vector<uint64_t> keys;
   for (uint32_t l : EnumerationOrder(/*short_lists_first=*/false)) {
-    const size_t begin = list_starts_[l], end = list_starts_[l + 1];
+    const size_t begin = starts[l], end = starts[l + 1];
     for (size_t i = begin; i < end; ++i) {
       for (size_t j = i + 1; j < end; ++j) {
-        int a = entities_[i], b = entities_[j];
+        int a = ents[i], b = ents[j];
         if (a == b) continue;
         if (a > b) std::swap(a, b);
         keys.push_back((static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
@@ -101,11 +131,13 @@ void InvertedIndex::ForEachCandidate(
     bool short_lists_first,
     const std::function<bool(int, int)>& callback) const {
   EnsureFrozen();
+  const uint64_t* starts = frozen_starts();
+  const int* ents = frozen_entities();
   for (uint32_t l : EnumerationOrder(short_lists_first)) {
-    const size_t begin = list_starts_[l], end = list_starts_[l + 1];
+    const size_t begin = starts[l], end = starts[l + 1];
     for (size_t i = begin; i < end; ++i) {
       for (size_t j = i + 1; j < end; ++j) {
-        int a = entities_[i], b = entities_[j];
+        int a = ents[i], b = ents[j];
         if (a == b) continue;
         if (a > b) std::swap(a, b);
         if (!callback(a, b)) return;
@@ -118,33 +150,37 @@ void InvertedIndex::ForEachList(
     bool short_lists_first,
     const std::function<bool(const int*, size_t)>& callback) const {
   EnsureFrozen();
+  const uint64_t* starts = frozen_starts();
+  const int* ents = frozen_entities();
   for (uint32_t l : EnumerationOrder(short_lists_first)) {
-    const size_t begin = list_starts_[l], end = list_starts_[l + 1];
-    if (!callback(entities_.data() + begin, end - begin)) return;
+    const size_t begin = starts[l], end = starts[l + 1];
+    if (!callback(ents + begin, end - begin)) return;
   }
 }
 
 size_t InvertedIndex::CandidateVolume() const {
   EnsureFrozen();
+  const uint64_t* starts = frozen_starts();
   size_t volume = 0;
-  const size_t num = list_starts_.empty() ? 0 : list_starts_.size() - 1;
+  const size_t num = frozen_num_lists();
   for (size_t l = 0; l < num; ++l) {
-    size_t len = list_starts_[l + 1] - list_starts_[l];
+    size_t len = starts[l + 1] - starts[l];
     volume += len * (len - 1) / 2;
   }
   return volume;
 }
 
 size_t InvertedIndex::SignatureCount(int entity) const {
-  if (entity < 0 || static_cast<size_t>(entity) >= sig_counts_.size()) {
-    return 0;
-  }
-  return sig_counts_[entity];
+  const uint32_t* counts = ext_.sig_counts ? ext_.sig_counts
+                                           : sig_counts_.data();
+  const size_t n = ext_.sig_counts ? ext_.sig_counts_len : sig_counts_.size();
+  if (entity < 0 || static_cast<size_t>(entity) >= n) return 0;
+  return counts[entity];
 }
 
 size_t InvertedIndex::num_lists() const {
   EnsureFrozen();
-  return list_starts_.empty() ? 0 : list_starts_.size() - 1;
+  return frozen_num_lists();
 }
 
 }  // namespace dime

@@ -19,6 +19,12 @@
 /// sequential reads — no hash-map nodes, no per-list allocations. The
 /// stable sort preserves insertion order within each list. Add() after a
 /// query is a programming error (checked).
+///
+/// The frozen side can also be *borrowed*: AdoptFrozen() points the index
+/// at externally owned arrays (the snapshot store maps a previously
+/// frozen index straight off disk, zero-copy). Because freezing is a
+/// deterministic stable sort, dumping FrozenData() and adopting it back
+/// reproduces the exact enumeration order of the original build.
 
 namespace dime {
 
@@ -67,6 +73,28 @@ class InvertedIndex {
   /// Number of distinct signatures (lists of any length).
   size_t num_lists() const;
 
+  /// Borrowed view of the frozen state, for serialization. `list_starts`
+  /// always has num_lists + 1 entries (a single 0 for an empty index);
+  /// list i spans entities[list_starts[i] .. list_starts[i + 1]).
+  /// Pointers are owned by the index (or by whatever AdoptFrozen borrowed
+  /// from) and are stable until the index is destroyed.
+  struct FrozenView {
+    const uint32_t* sig_counts = nullptr;  // indexed by entity id
+    size_t sig_counts_len = 0;
+    const uint64_t* list_starts = nullptr;
+    size_t list_starts_len = 0;  // num_lists + 1, always >= 1
+    const int* entities = nullptr;
+    size_t entities_len = 0;
+  };
+
+  /// Freezes (if not already) and exposes the frozen arrays.
+  FrozenView FrozenData() const;
+
+  /// Points the frozen side at externally owned arrays (snapshot load).
+  /// Requires view.list_starts_len >= 1 and the backing to outlive the
+  /// index. Replaces any built state; Add() afterwards is an error.
+  void AdoptFrozen(const FrozenView& view);
+
  private:
   /// Sorts the arena into per-signature runs; idempotent.
   void EnsureFrozen() const;
@@ -74,15 +102,30 @@ class InvertedIndex {
   /// enumeration order.
   std::vector<uint32_t> EnumerationOrder(bool short_lists_first) const;
 
+  // Frozen-side accessors, mode-independent. Callers must EnsureFrozen()
+  // first.
+  const int* frozen_entities() const {
+    return ext_.entities ? ext_.entities : entities_.data();
+  }
+  const uint64_t* frozen_starts() const {
+    return ext_.list_starts ? ext_.list_starts : list_starts_.data();
+  }
+  size_t frozen_num_lists() const {
+    if (ext_.list_starts) return ext_.list_starts_len - 1;
+    return list_starts_.empty() ? 0 : list_starts_.size() - 1;
+  }
+
   // Build side: (signature, entity) in insertion order. Cleared on freeze.
   mutable std::vector<std::pair<uint64_t, int>> postings_;
   std::vector<uint32_t> sig_counts_;  // indexed by entity id
 
-  // Frozen side: entities_ holds the concatenated lists; list i spans
-  // entities_[list_starts_[i] .. list_starts_[i + 1]).
+  // Frozen side, owned mode: entities_ holds the concatenated lists; list
+  // i spans entities_[list_starts_[i] .. list_starts_[i + 1]).
   mutable bool frozen_ = false;
   mutable std::vector<int> entities_;
-  mutable std::vector<size_t> list_starts_;
+  mutable std::vector<uint64_t> list_starts_;
+  // Frozen side, borrowed mode (pointers null when owned).
+  FrozenView ext_;
 };
 
 }  // namespace dime

@@ -5,9 +5,15 @@
 //
 // Usage:
 //   dime_server --demo [--demo-pages N]           # generated Scholar corpus
+//   dime_server --snapshot corpus.snap            # warm start (dime_snapshot)
 //   dime_server --group page.tsv [--group ...] --rules rules.txt
 //               [--venue-ontology]
 //               [--ontology tree.txt --ontology-mode exact|keyword]
+//
+// --snapshot may be combined with --demo or --group/--rules: a snapshot
+// that fails to load (corrupt, truncated, newer format) logs a warning
+// and the server degrades to the TSV/demo corpus instead of crashing;
+// with no fallback source the load error is fatal.
 //   common flags:
 //               [--host 127.0.0.1] [--port 0]     # port 0 = ephemeral
 //               [--workers N] [--queue-cap N] [--cache-cap N]
@@ -37,6 +43,7 @@
 #include "src/datagen/scholar_gen.h"
 #include "src/rules/rule_io.h"
 #include "src/server/tcp_server.h"
+#include "src/store/snapshot.h"
 
 namespace {
 
@@ -78,6 +85,7 @@ int Usage(const char* msg) {
 int main(int argc, char** argv) {
   bool demo = false;
   size_t demo_pages = 4;
+  std::string snapshot_path;
   std::vector<std::string> group_paths;
   std::string rules_path;
   bool use_venue_ontology = false;
@@ -97,6 +105,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--demo") {
       demo = true;
+    } else if (arg == "--snapshot") {
+      snapshot_path = next();
     } else if (arg == "--demo-pages") {
       demo_pages = static_cast<size_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--group") {
@@ -139,7 +149,8 @@ int main(int argc, char** argv) {
           static_cast<int>(std::strtol(next(), nullptr, 10));
     } else if (arg == "--help") {
       std::printf(
-          "dime_server --demo | --group <tsv>... --rules <file>\n"
+          "dime_server --demo | --snapshot <file> | --group <tsv>... "
+          "--rules <file>\n"
           "  [--venue-ontology] [--ontology <tree> --ontology-mode m]\n"
           "  [--host H] [--port N] [--workers N] [--queue-cap N]\n"
           "  [--cache-cap N] [--default-deadline-ms N] [--engine e]\n"
@@ -151,14 +162,44 @@ int main(int argc, char** argv) {
   }
 
   ServingCorpus corpus;
-  if (demo) {
+  bool warm_started = false;
+  if (!snapshot_path.empty()) {
+    StatusOr<LoadedSnapshot> loaded = LoadSnapshot(snapshot_path);
+    if (loaded.ok()) {
+      const bool mapped = loaded->mapped;
+      corpus = CorpusFromSnapshot(std::move(loaded).value());
+      warm_started = true;
+      std::printf("dime_server: warm start from %s (%s, fingerprint "
+                  "%016llx%016llx)\n",
+                  snapshot_path.c_str(),
+                  mapped ? "mmap" : "read fallback",
+                  static_cast<unsigned long long>(
+                      corpus.content_fingerprint_hi),
+                  static_cast<unsigned long long>(
+                      corpus.content_fingerprint_lo));
+    } else if (demo || !group_paths.empty()) {
+      // Degrade, never crash: a damaged snapshot costs the warm start,
+      // not the service.
+      std::fprintf(stderr,
+                   "dime_server: WARNING: snapshot %s unusable (%s); "
+                   "falling back to TSV ingestion\n",
+                   snapshot_path.c_str(),
+                   loaded.status().ToString().c_str());
+    } else {
+      return ExitWithStatus(loaded.status(),
+                            ("loading snapshot " + snapshot_path).c_str());
+    }
+  }
+  if (warm_started) {
+    // Snapshot wins; any --demo/--group/--rules were only the fallback.
+  } else if (demo) {
     if (!group_paths.empty() || !rules_path.empty()) {
       return Usage("--demo and --group/--rules are mutually exclusive");
     }
     corpus = MakeDemoCorpus(demo_pages);
   } else {
     if (group_paths.empty()) {
-      return Usage("need --demo or at least one --group");
+      return Usage("need --demo, --snapshot, or at least one --group");
     }
     if (rules_path.empty()) return Usage("need --rules with --group");
     for (const std::string& path : group_paths) {

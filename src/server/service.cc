@@ -65,6 +65,21 @@ struct DimeService::PendingCheck {
   std::promise<CheckReply> promise;
 };
 
+ServingCorpus CorpusFromSnapshot(LoadedSnapshot snapshot) {
+  ServingCorpus corpus;
+  corpus.schema = std::move(snapshot.schema);
+  corpus.positive = std::move(snapshot.positive);
+  corpus.negative = std::move(snapshot.negative);
+  corpus.context = std::move(snapshot.context);
+  corpus.shared_trees = std::move(snapshot.owned_trees);
+  corpus.groups = std::move(snapshot.groups);
+  corpus.prepared = std::move(snapshot.prepared);
+  corpus.content_fingerprint_lo = snapshot.fingerprint_lo;
+  corpus.content_fingerprint_hi = snapshot.fingerprint_hi;
+  corpus.backing = std::move(snapshot.backing);
+  return corpus;
+}
+
 DimeService::DimeService(ServingCorpus corpus, ServiceOptions options)
     : corpus_(std::move(corpus)),
       options_(NormalizeOptions(std::move(options))),
@@ -72,6 +87,12 @@ DimeService::DimeService(ServingCorpus corpus, ServiceOptions options)
           RuleSetToText(corpus_.schema, corpus_.positive, corpus_.negative)),
       cache_(options_.cache_capacity),
       queue_(options_.queue_capacity) {
+  for (size_t i = 0;
+       i < corpus_.prepared.size() && i < corpus_.groups.size(); ++i) {
+    if (corpus_.prepared[i] != nullptr) {
+      prepared_by_group_[&corpus_.groups[i]] = corpus_.prepared[i].get();
+    }
+  }
   workers_.reserve(options_.num_workers);
   for (unsigned i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -107,7 +128,13 @@ Fingerprint DimeService::RequestFingerprint(EngineKind engine,
   bytes += rules_text_;
   bytes += '\x1f';
   bytes += tsv;
-  return FingerprintBytes(bytes);
+  Fingerprint fp = FingerprintBytes(bytes);
+  // Fold the corpus content fingerprint in (zero for TSV-ingested
+  // corpora, so their keys are unchanged): two services warm-started from
+  // different snapshots of the "same" group can never share a cache slot.
+  fp.lo ^= corpus_.content_fingerprint_lo * 0x9e3779b97f4a7c15ULL;
+  fp.hi ^= corpus_.content_fingerprint_hi * 0xc2b2ae3d27d4eb4fULL;
+  return fp;
 }
 
 StatusOr<CheckReply> DimeService::Check(const CheckRequest& request) {
@@ -193,19 +220,29 @@ CheckReply DimeService::Execute(PendingCheck& pending) {
   // capture anything the engines throw (e.g. bad_alloc on a pathological
   // group) as an INTERNAL result instead of unwinding through the pool.
   try {
-    PreparedGroup pg = PrepareGroup(*pending.group, corpus_.positive,
-                                    corpus_.negative, corpus_.context);
+    // Snapshot-preloaded groups come fully prepared (with rule artifacts
+    // attached) — the warm-start payoff is skipping this PrepareGroup.
+    PreparedGroup local;
+    const PreparedGroup* pg;
+    auto preloaded = prepared_by_group_.find(pending.group);
+    if (preloaded != prepared_by_group_.end()) {
+      pg = preloaded->second;
+    } else {
+      local = PrepareGroup(*pending.group, corpus_.positive,
+                           corpus_.negative, corpus_.context);
+      pg = &local;
+    }
     switch (pending.engine) {
       case EngineKind::kNaive:
         *result =
-            RunDime(pg, corpus_.positive, corpus_.negative, pending.control);
+            RunDime(*pg, corpus_.positive, corpus_.negative, pending.control);
         break;
       case EngineKind::kPlus:
-        *result = RunDimePlus(pg, corpus_.positive, corpus_.negative,
+        *result = RunDimePlus(*pg, corpus_.positive, corpus_.negative,
                               options_.dime_plus, pending.control);
         break;
       case EngineKind::kParallel:
-        *result = RunDimeParallel(pg, corpus_.positive, corpus_.negative,
+        *result = RunDimeParallel(*pg, corpus_.positive, corpus_.negative,
                                   options_.parallel, pending.control);
         break;
     }

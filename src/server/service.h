@@ -8,6 +8,7 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/deadline.h"
@@ -18,6 +19,7 @@
 #include "src/core/dime_plus.h"
 #include "src/server/request_queue.h"
 #include "src/server/result_cache.h"
+#include "src/store/snapshot.h"
 
 /// \file service.h
 /// The resident DIME service: loads a corpus (rules, ontologies, optional
@@ -66,9 +68,29 @@ struct ServingCorpus {
   /// Backing storage for `context.ontologies` pointers (moving the
   /// unique_ptrs keeps the raw pointers stable).
   std::vector<std::unique_ptr<Ontology>> owned_trees;
+  /// Snapshot-loaded ontology trees (the loader owns them shared).
+  std::vector<std::shared_ptr<const Ontology>> shared_trees;
   /// Preloaded groups, addressable by Group::name in CheckRequest.
   std::vector<Group> groups;
+  /// Parallel to `groups` when warm-started from a snapshot (empty when
+  /// groups were TSV-ingested): fully prepared groups with rule artifacts
+  /// attached, arenas borrowed from `backing`. Workers serve these
+  /// directly instead of calling PrepareGroup per request.
+  std::vector<std::shared_ptr<const PreparedGroup>> prepared;
+  /// Content fingerprint of the snapshot backing this corpus (both zero
+  /// when not snapshot-loaded). Folded into every result-cache key so a
+  /// cache carried across corpus swaps can never serve a stale result.
+  uint64_t content_fingerprint_lo = 0;
+  uint64_t content_fingerprint_hi = 0;
+  /// Keep-alive for the mapped bytes `prepared` borrows from.
+  std::shared_ptr<const void> backing;
 };
+
+/// Adapts a loaded snapshot into a serving corpus: groups, rules,
+/// context, prepared groups and the backing mapping all move over;
+/// internal pointers (prepared[i]->group, ontology refs) stay valid
+/// because vector storage moves wholesale.
+ServingCorpus CorpusFromSnapshot(LoadedSnapshot snapshot);
 
 struct ServiceOptions {
   /// Worker threads executing engine runs. 0 is normalized to 1.
@@ -181,6 +203,9 @@ class DimeService {
 
   const ServingCorpus corpus_;
   const ServiceOptions options_;
+  /// corpus_.prepared indexed by group pointer (empty for TSV corpora).
+  /// Immutable after construction.
+  std::unordered_map<const Group*, const PreparedGroup*> prepared_by_group_;
   /// RuleSetToText(schema, positive, negative), computed once — the rule
   /// component of every cache key.
   const std::string rules_text_;

@@ -1,0 +1,151 @@
+#ifndef DIME_STORE_BYTES_H_
+#define DIME_STORE_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file bytes.h
+/// Byte-level encode/decode helpers for the snapshot format. Values are
+/// written native-endian via memcpy (the file header carries an
+/// endianness marker; a mismatched file is rejected at load rather than
+/// byte-swapped — the zero-copy loader could not swap in place anyway).
+///
+/// The writer keeps every multi-byte array 8-byte aligned *relative to
+/// the file start*; since mmap returns page-aligned bases and the
+/// read() fallback allocates 8-aligned buffers, a relative offset that
+/// is 8-aligned yields an absolutely aligned pointer — which is what
+/// lets the loader hand arenas to the engines without a fixup pass.
+
+namespace dime {
+
+/// Append-only byte buffer with alignment control.
+class ByteSink {
+ public:
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Raw(const void* data, size_t len) {
+    out_.append(static_cast<const char*>(data), len);
+  }
+  /// u64 length + bytes (caller aligns afterwards if needed).
+  void String(std::string_view s) {
+    U64(s.size());
+    Raw(s.data(), s.size());
+  }
+  /// Zero-pads to the next 8-byte boundary.
+  void Align8() { out_.append((8 - out_.size() % 8) % 8, '\0'); }
+
+  /// u64 count + elements + pad. The element type must be trivially
+  /// copyable; the count is in elements, not bytes.
+  template <typename T>
+  void Array(const T* data, size_t count) {
+    U64(count);
+    Align8();
+    Raw(data, count * sizeof(T));
+    Align8();
+  }
+
+  size_t size() const { return out_.size(); }
+  const std::string& str() const { return out_; }
+  std::string&& Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked reader over a borrowed byte range. Every accessor
+/// returns false (leaving outputs untouched) instead of reading past the
+/// end, so a structurally inconsistent section degrades to a clean error
+/// instead of undefined behavior. `base` must be 8-aligned for the
+/// aligned Claim/ReadArray accessors to guarantee aligned pointers.
+class ByteReader {
+ public:
+  ByteReader(const void* base, size_t size)
+      : base_(static_cast<const uint8_t*>(base)), size_(size) {}
+
+  bool U32(uint32_t* v) { return Fixed(v); }
+  bool U64(uint64_t* v) { return Fixed(v); }
+  bool F64(double* v) { return Fixed(v); }
+
+  bool String(std::string* s) {
+    uint64_t len;
+    if (!U64(&len)) return false;
+    if (len > size_ - pos_) return false;
+    s->assign(reinterpret_cast<const char*>(base_ + pos_),
+              static_cast<size_t>(len));
+    pos_ += static_cast<size_t>(len);
+    return true;
+  }
+
+  bool Align8() {
+    size_t target = (pos_ + 7) & ~size_t{7};
+    if (target > size_) return false;
+    pos_ = target;
+    return true;
+  }
+
+  /// Borrows `count` elements of T written by ByteSink::Array-style
+  /// layout minus the count (see ReadArrayHeader): advances past
+  /// count * sizeof(T) bytes and returns an aligned pointer into the
+  /// underlying buffer, or null on bounds/alignment violation.
+  template <typename T>
+  const T* Claim(size_t count) {
+    if (!Align8()) return nullptr;
+    size_t bytes = count * sizeof(T);
+    if (count > size_ / sizeof(T) || bytes > size_ - pos_) return nullptr;
+    const uint8_t* p = base_ + pos_;
+    if (reinterpret_cast<uintptr_t>(p) % alignof(T) != 0) return nullptr;
+    pos_ += bytes;
+    if (!Align8()) return nullptr;
+    return reinterpret_cast<const T*>(p);
+  }
+
+  /// Counterpart of ByteSink::Array: u64 count + aligned elements. On
+  /// success `*out` points into the buffer (zero-copy) and `*count` holds
+  /// the element count.
+  template <typename T>
+  bool BorrowArray(const T** out, uint64_t* count) {
+    uint64_t n;
+    if (!U64(&n)) return false;
+    const T* p = Claim<T>(static_cast<size_t>(n));
+    if (p == nullptr && n > 0) return false;
+    *out = p;
+    *count = n;
+    return true;
+  }
+
+  /// Copying counterpart of ByteSink::Array for small arrays that the
+  /// loaded structures own (weights, node lists).
+  template <typename T>
+  bool ReadArray(std::vector<T>* out) {
+    const T* p = nullptr;
+    uint64_t n = 0;
+    if (!BorrowArray(&p, &n)) return false;
+    out->assign(p, p + n);
+    return true;
+  }
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+ private:
+  template <typename T>
+  bool Fixed(T* v) {
+    if (sizeof(T) > size_ - pos_) return false;
+    std::memcpy(v, base_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  const uint8_t* base_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dime
+
+#endif  // DIME_STORE_BYTES_H_

@@ -1,0 +1,131 @@
+#ifndef DIME_STORE_SNAPSHOT_H_
+#define DIME_STORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/entity.h"
+#include "src/core/preprocess.h"
+#include "src/index/signature.h"
+#include "src/rules/rule.h"
+
+/// \file snapshot.h
+/// Versioned binary corpus snapshots: the offline/online split for
+/// serving. `WriteSnapshot` runs full preparation (rank columns, masses,
+/// signatures, frozen inverted indexes) once and persists the result;
+/// `LoadSnapshot` maps it back with the big arrays *borrowed* from the
+/// mapping — a warm start does no tokenization, no sorting, no index
+/// build, and shares its read-only pages with every other process
+/// serving the same snapshot. See snapshot_format.h for the layout and
+/// DESIGN.md §7.4 for lifetime rules.
+///
+/// Error taxonomy on load:
+///   NOT_FOUND    the file cannot be opened
+///   IO_ERROR     open succeeded, reading/mapping failed
+///   PARSE_ERROR  not a snapshot (bad magic), truncated, endianness
+///                mismatch, or a format version newer than this binary
+///   DATA_LOSS    checksum mismatch or internally inconsistent section —
+///                the file was a valid snapshot once and is damaged now
+/// Loaders never crash on hostile bytes: every section parse is
+/// bounds-checked, and nothing is trusted before its CRC passes.
+
+namespace dime {
+
+/// What to persist. Pointers are borrowed for the duration of the call.
+struct SnapshotWriteRequest {
+  const std::vector<Group>* groups = nullptr;
+  const std::vector<PositiveRule>* positive = nullptr;
+  const std::vector<NegativeRule>* negative = nullptr;
+  /// Evaluation context; ontology pointers must be live during the call.
+  const DimeContext* context = nullptr;
+  /// Options the per-group rule artifacts are generated under (must match
+  /// the serving configuration for RunDimePlus to consume them).
+  SignatureOptions signature_options;
+  /// Also persist the token dictionaries (needed only by consumers that
+  /// extend a loaded group, e.g. the incremental engine; the serving path
+  /// never touches them). Costs file size.
+  bool include_dictionaries = true;
+};
+
+/// Serializes the fully prepared corpus into an in-memory snapshot image.
+StatusOr<std::string> SerializeSnapshot(const SnapshotWriteRequest& request);
+
+/// SerializeSnapshot + atomic-ish write to `path` (write then flush; no
+/// rename dance — snapshots are build artifacts, not live-updated state).
+Status WriteSnapshot(const SnapshotWriteRequest& request,
+                     const std::string& path);
+
+struct SnapshotLoadOptions {
+  /// Prefer mmap; the read()-into-buffer fallback is automatic when mmap
+  /// is unavailable (failpoint "store/mmap" forces it).
+  bool prefer_mmap = true;
+  /// Restore token dictionaries when the snapshot carries them. Off by
+  /// default: the serving path never reads them, and skipping the restore
+  /// keeps warm starts cheap.
+  bool load_dictionaries = false;
+};
+
+/// A loaded snapshot. `prepared[i]` is parallel to `groups[i]` and
+/// borrows its arenas from `backing` — keep the whole struct (or at
+/// least `backing`, `groups` and `owned_trees`) alive for as long as any
+/// engine touches the prepared groups. The struct is movable; moving
+/// preserves all internal pointers (vector storage moves wholesale), but
+/// `groups` must not be resized afterwards.
+struct LoadedSnapshot {
+  Schema schema;
+  std::vector<PositiveRule> positive;
+  std::vector<NegativeRule> negative;
+  /// Context with ontology refs pointing into `owned_trees`.
+  DimeContext context;
+  std::vector<std::shared_ptr<const Ontology>> owned_trees;
+  std::vector<Group> groups;
+  /// Fully prepared groups with artifacts attached, arenas borrowed from
+  /// `backing`; prepared[i]->group == &groups[i].
+  std::vector<std::shared_ptr<const PreparedGroup>> prepared;
+  /// Content fingerprint from the snapshot tail (128-bit FNV-1a over the
+  /// section payloads) — fold into any cache key derived from this data.
+  uint64_t fingerprint_lo = 0;
+  uint64_t fingerprint_hi = 0;
+  /// True when served from an mmap (false on the read() fallback).
+  bool mapped = false;
+  /// Keep-alive for the bytes everything above borrows from.
+  std::shared_ptr<const void> backing;
+};
+
+/// Opens, checks (magic, version, CRCs) and fully parses a snapshot.
+StatusOr<LoadedSnapshot> LoadSnapshot(
+    const std::string& path,
+    const SnapshotLoadOptions& options = SnapshotLoadOptions());
+
+/// Directory-level metadata for `dime_snapshot inspect`: validates the
+/// header, tail and table (including tail_crc) but does not checksum or
+/// parse section payloads.
+struct SnapshotInfo {
+  uint32_t version = 0;
+  uint64_t file_size = 0;
+  uint64_t fingerprint_lo = 0;
+  uint64_t fingerprint_hi = 0;
+  struct Section {
+    uint32_t id = 0;
+    uint32_t index = 0;  ///< group ordinal for per-group sections
+    uint64_t offset = 0;
+    uint64_t length = 0;
+    uint32_t crc32 = 0;
+  };
+  std::vector<Section> sections;
+};
+StatusOr<SnapshotInfo> InspectSnapshot(const std::string& path);
+
+/// Integrity check: verifies every section CRC and fully parses the file
+/// (everything LoadSnapshot would reject, this rejects). With `deep`, it
+/// additionally re-prepares every group from its embedded TSV and
+/// requires the freshly serialized prepared/artifact sections to be
+/// byte-identical to the stored ones — a behavioral round-trip proof.
+Status VerifySnapshot(const std::string& path, bool deep = false);
+
+}  // namespace dime
+
+#endif  // DIME_STORE_SNAPSHOT_H_

@@ -1,0 +1,324 @@
+// dime_snapshot: build, inspect, and verify versioned binary corpus
+// snapshots (src/store/snapshot.h). A snapshot front-loads the entire
+// preparation pipeline — tokenization, rank columns, masses, signatures,
+// frozen inverted indexes — so `dime_server --snapshot` and
+// `dime_cli --snapshot` warm-start by mmap instead of re-ingesting TSV.
+//
+// Usage:
+//   dime_snapshot build --output corpus.snap
+//       --demo [--demo-pages N]                   # generated Scholar corpus
+//     | --preset scholar-2999 | --preset amazon-10000
+//     | --group page.tsv [--group ...] --rules rules.txt
+//       [--venue-ontology]
+//       [--ontology tree.txt --ontology-mode exact|keyword]
+//     [--no-dictionaries]
+//   dime_snapshot inspect corpus.snap
+//   dime_snapshot verify corpus.snap [--deep]
+//
+// Exit codes follow src/common/exit_code.h (0 OK; DATA_LOSS => 12, ...).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/exit_code.h"
+#include "src/datagen/amazon_gen.h"
+#include "src/datagen/presets.h"
+#include "src/datagen/scholar_gen.h"
+#include "src/ontology/builtin.h"
+#include "src/rules/rule_io.h"
+#include "src/store/snapshot.h"
+#include "src/store/snapshot_format.h"
+
+namespace {
+
+using namespace dime;
+
+int Usage(const char* msg) {
+  std::fprintf(stderr, "dime_snapshot: %s (run with --help for usage)\n",
+               msg);
+  return ExitCodeForStatusCode(StatusCode::kInvalidArgument);
+}
+
+void PrintHelp() {
+  std::printf(
+      "dime_snapshot build --output <file>\n"
+      "    --demo [--demo-pages N] | --preset scholar-2999|amazon-10000 |\n"
+      "    --group <tsv>... --rules <file> [--venue-ontology]\n"
+      "    [--ontology <tree> --ontology-mode exact|keyword]\n"
+      "    [--no-dictionaries]\n"
+      "dime_snapshot inspect <file>\n"
+      "dime_snapshot verify <file> [--deep]\n");
+}
+
+/// The corpus dime_server --demo serves, reproduced exactly so a demo
+/// snapshot serves byte-identical replies (the CI round-trip check
+/// depends on this).
+struct BuiltCorpus {
+  Schema schema;
+  std::vector<PositiveRule> positive;
+  std::vector<NegativeRule> negative;
+  DimeContext context;
+  std::vector<std::unique_ptr<Ontology>> owned_trees;
+  std::vector<Group> groups;
+};
+
+BuiltCorpus MakeDemoCorpus(size_t pages) {
+  ScholarSetup setup = MakeScholarSetup();
+  BuiltCorpus corpus;
+  corpus.schema = setup.schema;
+  corpus.positive = std::move(setup.positive);
+  corpus.negative = std::move(setup.negative);
+  corpus.context = setup.context;
+  corpus.owned_trees.push_back(std::move(setup.venue_tree));
+  for (size_t i = 0; i < pages; ++i) {
+    ScholarGenOptions gen;
+    gen.num_correct = 120;
+    gen.seed = 1000 + i * 17;
+    gen.garbage_pubs = 3 + i % 4;
+    gen.chem_namesake_pubs = 2 + i % 3;
+    Group page = GenerateScholarGroup("Demo Owner " + std::to_string(i), gen);
+    page.name = "page_" + std::to_string(i);
+    corpus.groups.push_back(std::move(page));
+  }
+  return corpus;
+}
+
+/// The bench corpora (bench_snapshot_load / BENCH_snapshot.json).
+BuiltCorpus MakeScholar2999() {
+  ScholarSetup setup = MakeScholarSetup();
+  BuiltCorpus corpus;
+  corpus.schema = setup.schema;
+  corpus.positive = std::move(setup.positive);
+  corpus.negative = std::move(setup.negative);
+  corpus.context = setup.context;
+  corpus.owned_trees.push_back(std::move(setup.venue_tree));
+  ScholarGenOptions gen;
+  gen.num_correct = 2982;
+  gen.coauthor_pool = 190;
+  gen.seed = 6000;
+  Group page = GenerateScholarGroup("Big Page", gen);
+  corpus.groups.push_back(std::move(page));
+  return corpus;
+}
+
+BuiltCorpus MakeAmazon10000() {
+  AmazonGenOptions gen;
+  gen.error_rate = 0.4;
+  gen.num_correct = 6000;
+  gen.window = 12;
+  gen.seed = 14000;
+  Group group = GenerateAmazonGroup(5, gen);
+  AmazonSetup setup = MakeAmazonSetup({group});
+  BuiltCorpus corpus;
+  corpus.schema = setup.schema;
+  corpus.positive = std::move(setup.positive);
+  corpus.negative = std::move(setup.negative);
+  corpus.context = setup.context;
+  corpus.owned_trees.push_back(std::move(setup.theme_tree));
+  corpus.groups.push_back(std::move(group));
+  return corpus;
+}
+
+int RunBuild(int argc, char** argv) {
+  std::string output;
+  bool demo = false;
+  size_t demo_pages = 4;
+  std::string preset;
+  std::vector<std::string> group_paths;
+  std::string rules_path;
+  bool use_venue_ontology = false;
+  std::vector<std::string> ontology_paths;
+  std::vector<std::string> ontology_modes;
+  bool include_dictionaries = true;
+
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value after %s\n", arg.c_str());
+        std::exit(ExitCodeForStatusCode(StatusCode::kInvalidArgument));
+      }
+      return argv[++i];
+    };
+    if (arg == "--output") {
+      output = next();
+    } else if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--demo-pages") {
+      demo_pages = static_cast<size_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--preset") {
+      preset = next();
+    } else if (arg == "--group") {
+      group_paths.push_back(next());
+    } else if (arg == "--rules") {
+      rules_path = next();
+    } else if (arg == "--venue-ontology") {
+      use_venue_ontology = true;
+    } else if (arg == "--ontology") {
+      ontology_paths.push_back(next());
+      ontology_modes.push_back("exact");
+    } else if (arg == "--ontology-mode") {
+      if (ontology_modes.empty()) {
+        return Usage("--ontology-mode needs a preceding --ontology");
+      }
+      ontology_modes.back() = next();
+    } else if (arg == "--no-dictionaries") {
+      include_dictionaries = false;
+    } else if (arg == "--help") {
+      PrintHelp();
+      return 0;
+    } else {
+      return Usage(("unknown flag: " + arg).c_str());
+    }
+  }
+  if (output.empty()) return Usage("build needs --output");
+  const int sources = (demo ? 1 : 0) + (preset.empty() ? 0 : 1) +
+                      (group_paths.empty() ? 0 : 1);
+  if (sources != 1) {
+    return Usage("build needs exactly one of --demo, --preset, --group");
+  }
+
+  BuiltCorpus corpus;
+  if (demo) {
+    corpus = MakeDemoCorpus(demo_pages);
+  } else if (!preset.empty()) {
+    if (preset == "scholar-2999") {
+      corpus = MakeScholar2999();
+    } else if (preset == "amazon-10000") {
+      corpus = MakeAmazon10000();
+    } else {
+      return Usage("--preset must be scholar-2999 or amazon-10000");
+    }
+  } else {
+    if (rules_path.empty()) return Usage("need --rules with --group");
+    for (const std::string& path : group_paths) {
+      Group group;
+      Status loaded = LoadGroup(path, path, &group);
+      if (!loaded.ok()) {
+        return ExitWithStatus(loaded, ("loading " + path).c_str());
+      }
+      if (group.name.empty()) group.name = path;
+      corpus.groups.push_back(std::move(group));
+    }
+    corpus.schema = corpus.groups.front().schema;
+    if (use_venue_ontology) {
+      corpus.context.ontologies.push_back(
+          OntologyRef{&VenueOntology(), MapMode::kExactName});
+      corpus.context.ontologies.push_back(
+          OntologyRef{&VenueOntology(), MapMode::kKeyword});
+    }
+    for (size_t i = 0; i < ontology_paths.size(); ++i) {
+      auto tree = std::make_unique<Ontology>();
+      if (!Ontology::LoadFromFile(ontology_paths[i], tree.get())) {
+        return ExitWithStatus(
+            NotFoundError("cannot load ontology " + ontology_paths[i]),
+            "build");
+      }
+      MapMode mode = ontology_modes[i] == "keyword" ? MapMode::kKeyword
+                                                    : MapMode::kExactName;
+      corpus.context.ontologies.push_back(OntologyRef{tree.get(), mode});
+      corpus.owned_trees.push_back(std::move(tree));
+    }
+    std::string error;
+    if (!LoadRuleSet(rules_path, corpus.schema, &corpus.positive,
+                     &corpus.negative, &error)) {
+      return ExitWithStatus(
+          ParseError("cannot load rules from " + rules_path + ": " + error),
+          "build");
+    }
+  }
+
+  SnapshotWriteRequest request;
+  request.groups = &corpus.groups;
+  request.positive = &corpus.positive;
+  request.negative = &corpus.negative;
+  request.context = &corpus.context;
+  request.include_dictionaries = include_dictionaries;
+  Status written = WriteSnapshot(request, output);
+  if (!written.ok()) return ExitWithStatus(written, "build");
+
+  StatusOr<SnapshotInfo> info = InspectSnapshot(output);
+  if (!info.ok()) return ExitWithStatus(info.status(), "build");
+  std::printf(
+      "dime_snapshot: wrote %s (v%u, %llu bytes, %zu sections, %zu "
+      "group(s), fingerprint %016llx%016llx)\n",
+      output.c_str(), info->version,
+      static_cast<unsigned long long>(info->file_size),
+      info->sections.size(), corpus.groups.size(),
+      static_cast<unsigned long long>(info->fingerprint_hi),
+      static_cast<unsigned long long>(info->fingerprint_lo));
+  return 0;
+}
+
+int RunInspect(int argc, char** argv) {
+  std::string path;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help") {
+      PrintHelp();
+      return 0;
+    }
+    if (!path.empty()) return Usage("inspect takes exactly one file");
+    path = arg;
+  }
+  if (path.empty()) return Usage("inspect needs a snapshot file");
+  StatusOr<SnapshotInfo> info = InspectSnapshot(path);
+  if (!info.ok()) return ExitWithStatus(info.status(), "inspect");
+  std::printf("%s: DIME snapshot v%u, %llu bytes\n", path.c_str(),
+              info->version,
+              static_cast<unsigned long long>(info->file_size));
+  std::printf("fingerprint: %016llx%016llx\n",
+              static_cast<unsigned long long>(info->fingerprint_hi),
+              static_cast<unsigned long long>(info->fingerprint_lo));
+  std::printf("%-14s %6s %12s %12s %10s\n", "section", "index", "offset",
+              "length", "crc32");
+  for (const SnapshotInfo::Section& sec : info->sections) {
+    std::printf("%-14s %6u %12llu %12llu   %08x\n",
+                SnapshotSectionIdName(sec.id), sec.index,
+                static_cast<unsigned long long>(sec.offset),
+                static_cast<unsigned long long>(sec.length), sec.crc32);
+  }
+  return 0;
+}
+
+int RunVerify(int argc, char** argv) {
+  std::string path;
+  bool deep = false;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--deep") {
+      deep = true;
+    } else if (arg == "--help") {
+      PrintHelp();
+      return 0;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return Usage("verify takes exactly one file");
+    }
+  }
+  if (path.empty()) return Usage("verify needs a snapshot file");
+  Status verified = VerifySnapshot(path, deep);
+  if (!verified.ok()) return ExitWithStatus(verified, "verify");
+  std::printf("%s: OK%s\n", path.c_str(), deep ? " (deep)" : "");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage("need a sub-command: build, inspect, verify");
+  std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "help") {
+    PrintHelp();
+    return 0;
+  }
+  if (cmd == "build") return RunBuild(argc - 2, argv + 2);
+  if (cmd == "inspect") return RunInspect(argc - 2, argv + 2);
+  if (cmd == "verify") return RunVerify(argc - 2, argv + 2);
+  return Usage(("unknown sub-command: " + cmd).c_str());
+}

@@ -1,0 +1,646 @@
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/checksum.h"
+#include "src/core/entity.h"
+#include "src/core/preprocess.h"
+#include "src/index/signature.h"
+#include "src/ontology/ontology.h"
+#include "src/rules/rule_io.h"
+#include "src/store/bytes.h"
+#include "src/store/snapshot.h"
+#include "src/store/snapshot_format.h"
+#include "src/store/snapshot_internal.h"
+
+namespace dime {
+namespace snapshot_internal {
+namespace {
+
+using Section = SnapshotInfo::Section;
+
+std::string SectionLabel(const Section& sec) {
+  std::string label = SnapshotSectionIdName(sec.id);
+  label += "[";
+  label += std::to_string(sec.index);
+  label += "]";
+  return label;
+}
+
+Status Malformed(const Section& sec, const char* what) {
+  return DataLossError("snapshot section " + SectionLabel(sec) +
+                       " is inconsistent: " + what);
+}
+
+/// Validates that a borrowed CSR offsets array is usable as-is: starts at
+/// zero, never decreases, and ends exactly at the arena length. Without
+/// this a crafted (or bit-rotted but CRC-colliding) file could make
+/// view() read out of bounds.
+bool OffsetsWellFormed(const uint64_t* offsets, uint64_t rows,
+                       uint64_t arena_len) {
+  if (offsets == nullptr) return false;
+  if (offsets[0] != 0 || offsets[rows] != arena_len) return false;
+  for (uint64_t e = 0; e < rows; ++e) {
+    if (offsets[e] > offsets[e + 1]) return false;
+  }
+  return true;
+}
+
+Status ParseRankColumn(ByteReader* reader, const Section& sec, uint64_t rows,
+                       RankColumn* out) {
+  uint64_t stored_rows;
+  if (!reader->U64(&stored_rows)) return Malformed(sec, "truncated column");
+  if (stored_rows != rows) return Malformed(sec, "column row count");
+  const uint64_t* offsets = nullptr;
+  uint64_t offsets_len = 0;
+  const uint32_t* arena = nullptr;
+  uint64_t arena_len = 0;
+  if (!reader->BorrowArray(&offsets, &offsets_len) ||
+      !reader->BorrowArray(&arena, &arena_len)) {
+    return Malformed(sec, "truncated column arrays");
+  }
+  if (offsets_len != rows + 1 ||
+      !OffsetsWellFormed(offsets, rows, arena_len)) {
+    return Malformed(sec, "column offsets");
+  }
+  out->BorrowStorage(arena, offsets, rows);
+  return OkStatus();
+}
+
+Status ParseSignatureColumn(ByteReader* reader, const Section& sec,
+                            uint64_t rows, SignatureColumn* out) {
+  uint64_t stored_rows;
+  if (!reader->U64(&stored_rows)) return Malformed(sec, "truncated column");
+  if (stored_rows != rows) return Malformed(sec, "column row count");
+  const uint64_t* offsets = nullptr;
+  uint64_t offsets_len = 0;
+  const uint64_t* arena = nullptr;
+  uint64_t arena_len = 0;
+  if (!reader->BorrowArray(&offsets, &offsets_len) ||
+      !reader->BorrowArray(&arena, &arena_len)) {
+    return Malformed(sec, "truncated column arrays");
+  }
+  if (offsets_len != rows + 1 ||
+      !OffsetsWellFormed(offsets, rows, arena_len)) {
+    return Malformed(sec, "column offsets");
+  }
+  out->BorrowStorage(arena, offsets, rows);
+  return OkStatus();
+}
+
+Status ParseDoubles(ByteReader* reader, const Section& sec,
+                    std::vector<double>* out) {
+  if (!reader->ReadArray(out)) return Malformed(sec, "truncated doubles");
+  return OkStatus();
+}
+
+/// kPrepared: everything but the group pointer, context and dictionaries.
+Status ParsePreparedSection(const Section& sec, ByteReader reader,
+                            uint64_t expected_entities, size_t schema_size,
+                            size_t num_ontologies, PreparedGroup* pg) {
+  uint64_t n, n_attrs;
+  if (!reader.U64(&n) || !reader.U64(&n_attrs)) {
+    return Malformed(sec, "truncated header");
+  }
+  if (n != expected_entities) return Malformed(sec, "entity count");
+  if (n_attrs != schema_size) return Malformed(sec, "attribute count");
+  pg->attrs.resize(n_attrs);
+  for (PreparedAttr& attr : pg->attrs) {
+    uint32_t flags, pad;
+    if (!reader.U32(&flags) || !reader.U32(&pad)) {
+      return Malformed(sec, "truncated attribute flags");
+    }
+    attr.has_value_list = (flags & 1) != 0;
+    attr.has_words = (flags & 2) != 0;
+    attr.has_text = (flags & 4) != 0;
+    if (attr.has_value_list) {
+      DIME_RETURN_IF_ERROR(
+          ParseRankColumn(&reader, sec, n, &attr.value_ranks));
+      DIME_RETURN_IF_ERROR(ParseDoubles(&reader, sec, &attr.value_weights));
+      DIME_RETURN_IF_ERROR(ParseDoubles(&reader, sec, &attr.value_mass));
+      DIME_RETURN_IF_ERROR(ParseDoubles(&reader, sec, &attr.value_sqnorm));
+      if (attr.value_mass.size() != n || attr.value_sqnorm.size() != n) {
+        return Malformed(sec, "mass array size");
+      }
+    }
+    if (attr.has_words) {
+      DIME_RETURN_IF_ERROR(ParseRankColumn(&reader, sec, n, &attr.word_ranks));
+      DIME_RETURN_IF_ERROR(ParseDoubles(&reader, sec, &attr.word_weights));
+      DIME_RETURN_IF_ERROR(ParseDoubles(&reader, sec, &attr.word_mass));
+      DIME_RETURN_IF_ERROR(ParseDoubles(&reader, sec, &attr.word_sqnorm));
+      if (attr.word_mass.size() != n || attr.word_sqnorm.size() != n) {
+        return Malformed(sec, "mass array size");
+      }
+    }
+    if (attr.has_text) {
+      uint64_t n_text;
+      if (!reader.U64(&n_text)) return Malformed(sec, "truncated text");
+      if (n_text != n) return Malformed(sec, "text count");
+      attr.text.resize(n_text);
+      for (std::string& t : attr.text) {
+        if (!reader.String(&t)) return Malformed(sec, "truncated text");
+      }
+      if (!reader.Align8()) return Malformed(sec, "truncated text padding");
+      DIME_RETURN_IF_ERROR(
+          ParseRankColumn(&reader, sec, n, &attr.qgram_ranks));
+    }
+    uint64_t n_nodes;
+    if (!reader.U64(&n_nodes)) return Malformed(sec, "truncated node maps");
+    for (uint64_t k = 0; k < n_nodes; ++k) {
+      uint64_t onto_index;
+      if (!reader.U64(&onto_index)) return Malformed(sec, "truncated nodes");
+      if (onto_index >= num_ontologies) {
+        return Malformed(sec, "ontology index out of range");
+      }
+      std::vector<int> nodes;
+      if (!reader.ReadArray(&nodes)) return Malformed(sec, "truncated nodes");
+      if (nodes.size() != n) return Malformed(sec, "node list size");
+      attr.nodes.emplace(static_cast<int>(onto_index), std::move(nodes));
+    }
+  }
+  if (!reader.done()) return Malformed(sec, "trailing bytes");
+  return OkStatus();
+}
+
+Status ParseArtifactsSection(const Section& sec, ByteReader reader,
+                             uint64_t n_entities, size_t n_positive,
+                             size_t n_negative, size_t max_tuple_signatures,
+                             PreparedRuleArtifacts* artifacts) {
+  uint64_t stored_pos, stored_neg;
+  if (!reader.U64(&stored_pos) || !reader.U64(&stored_neg)) {
+    return Malformed(sec, "truncated header");
+  }
+  if (stored_pos != n_positive || stored_neg != n_negative) {
+    return Malformed(sec, "rule counts disagree with the rules section");
+  }
+  artifacts->max_tuple_signatures = max_tuple_signatures;
+  artifacts->positive_indexes.resize(n_positive);
+  for (InvertedIndex& index : artifacts->positive_indexes) {
+    InvertedIndex::FrozenView view;
+    const uint32_t* sig_counts = nullptr;
+    const uint64_t* list_starts = nullptr;
+    const int* entities = nullptr;
+    uint64_t n_counts = 0, n_starts = 0, n_ents = 0;
+    if (!reader.BorrowArray(&sig_counts, &n_counts) ||
+        !reader.BorrowArray(&list_starts, &n_starts) ||
+        !reader.BorrowArray(&entities, &n_ents)) {
+      return Malformed(sec, "truncated frozen index");
+    }
+    if (n_starts < 1 || n_counts > n_entities) {
+      return Malformed(sec, "frozen index shape");
+    }
+    if (list_starts[0] != 0 || list_starts[n_starts - 1] != n_ents) {
+      return Malformed(sec, "frozen index list starts");
+    }
+    for (uint64_t l = 0; l + 1 < n_starts; ++l) {
+      if (list_starts[l] > list_starts[l + 1]) {
+        return Malformed(sec, "frozen index list starts");
+      }
+    }
+    // Entity ids feed UnionFind and partition arrays untrusted otherwise.
+    for (uint64_t i = 0; i < n_ents; ++i) {
+      if (entities[i] < 0 ||
+          static_cast<uint64_t>(entities[i]) >= n_entities) {
+        return Malformed(sec, "frozen index entity out of range");
+      }
+    }
+    view.sig_counts = sig_counts;
+    view.sig_counts_len = n_counts;
+    view.list_starts = list_starts;
+    view.list_starts_len = n_starts;
+    view.entities = entities;
+    view.entities_len = n_ents;
+    index.AdoptFrozen(view);
+  }
+  artifacts->negative_sigs.resize(n_negative);
+  for (SignatureColumn& column : artifacts->negative_sigs) {
+    DIME_RETURN_IF_ERROR(
+        ParseSignatureColumn(&reader, sec, n_entities, &column));
+  }
+  if (!reader.done()) return Malformed(sec, "trailing bytes");
+  return OkStatus();
+}
+
+Status ParseDictionary(ByteReader* reader, const Section& sec,
+                       TokenDictionary* dict) {
+  uint64_t n_tokens;
+  if (!reader->U64(&n_tokens)) return Malformed(sec, "truncated dictionary");
+  std::vector<std::string> tokens(n_tokens);
+  for (std::string& t : tokens) {
+    if (!reader->String(&t)) return Malformed(sec, "truncated token");
+  }
+  if (!reader->Align8()) return Malformed(sec, "truncated padding");
+  std::vector<uint32_t> df;
+  if (!reader->ReadArray(&df)) return Malformed(sec, "truncated frequencies");
+  if (df.size() != tokens.size()) return Malformed(sec, "frequency count");
+  dict->Restore(std::move(tokens), std::move(df));
+  return OkStatus();
+}
+
+Status ParseDictionariesSection(const Section& sec, ByteReader reader,
+                                PreparedGroup* pg) {
+  uint64_t n_attrs;
+  if (!reader.U64(&n_attrs)) return Malformed(sec, "truncated header");
+  if (n_attrs != pg->attrs.size()) return Malformed(sec, "attribute count");
+  for (PreparedAttr& attr : pg->attrs) {
+    uint32_t flags, pad;
+    if (!reader.U32(&flags) || !reader.U32(&pad)) {
+      return Malformed(sec, "truncated flags");
+    }
+    if (flags != ((attr.has_value_list ? 1u : 0u) |
+                  (attr.has_words ? 2u : 0u) | (attr.has_text ? 4u : 0u))) {
+      return Malformed(sec, "flags disagree with the prepared section");
+    }
+    if (attr.has_value_list) {
+      DIME_RETURN_IF_ERROR(ParseDictionary(&reader, sec, &attr.value_dict));
+    }
+    if (attr.has_words) {
+      DIME_RETURN_IF_ERROR(ParseDictionary(&reader, sec, &attr.word_dict));
+    }
+    if (attr.has_text) {
+      DIME_RETURN_IF_ERROR(ParseDictionary(&reader, sec, &attr.qgram_dict));
+    }
+  }
+  if (!reader.done()) return Malformed(sec, "trailing bytes");
+  return OkStatus();
+}
+
+}  // namespace
+
+StatusOr<RawSnapshot> OpenRaw(const std::string& path,
+                              const SnapshotLoadOptions& options,
+                              bool check_section_crcs) {
+  MappedFile::Options file_options;
+  file_options.prefer_mmap = options.prefer_mmap;
+  StatusOr<MappedFile> opened = MappedFile::Open(path, file_options);
+  if (!opened.ok()) return opened.status();
+  RawSnapshot raw;
+  raw.file = std::make_shared<MappedFile>(std::move(opened).value());
+  const uint8_t* data = raw.file->data();
+  const size_t size = raw.file->size();
+
+  if (size < kSnapshotHeaderSize + kSnapshotTailSize) {
+    return ParseError(path + ": truncated snapshot (" +
+                      std::to_string(size) + " bytes)");
+  }
+  if (std::memcmp(data, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return ParseError(path + ": not a DIME snapshot (bad magic)");
+  }
+  uint32_t version;
+  std::memcpy(&version, data + 8, sizeof(version));
+  if (version > kSnapshotFormatVersion) {
+    return ParseError(path + ": snapshot format version " +
+                      std::to_string(version) +
+                      " is newer than supported version " +
+                      std::to_string(kSnapshotFormatVersion));
+  }
+  if (version == 0) return ParseError(path + ": snapshot format version 0");
+  if (data[12] != SnapshotNativeEndianMarker()) {
+    return ParseError(path +
+                      ": snapshot was written on a machine with different "
+                      "endianness");
+  }
+  raw.version = version;
+
+  // Tail, from the back.
+  const uint8_t* tail = data + size - kSnapshotTailSize;
+  uint64_t table_offset, tail_magic;
+  uint32_t section_count, tail_version, tail_crc;
+  std::memcpy(&table_offset, tail, 8);
+  std::memcpy(&section_count, tail + 8, 4);
+  std::memcpy(&tail_version, tail + 12, 4);
+  std::memcpy(&raw.fingerprint_lo, tail + 16, 8);
+  std::memcpy(&raw.fingerprint_hi, tail + 24, 8);
+  std::memcpy(&tail_crc, tail + 32, 4);
+  std::memcpy(&tail_magic, tail + 40, 8);
+  if (tail_magic != kSnapshotTailMagic) {
+    return ParseError(path + ": snapshot footer missing (truncated file?)");
+  }
+  if (tail_version != version) {
+    return ParseError(path + ": header/footer version mismatch");
+  }
+  const uint64_t table_len =
+      static_cast<uint64_t>(section_count) * kSnapshotSectionEntrySize;
+  if (table_offset < kSnapshotHeaderSize ||
+      table_offset > size - kSnapshotTailSize ||
+      table_len != size - kSnapshotTailSize - table_offset) {
+    return ParseError(path + ": snapshot section table out of bounds");
+  }
+  // tail_crc covers the table and the tail fields before the crc itself;
+  // checking it first means a corrupted directory is never walked.
+  const uint32_t expect_crc =
+      Crc32(data + table_offset, table_len + 32);
+  if (expect_crc != tail_crc) {
+    return DataLossError(path + ": snapshot directory checksum mismatch");
+  }
+
+  raw.sections.resize(section_count);
+  for (uint32_t s = 0; s < section_count; ++s) {
+    const uint8_t* entry = data + table_offset +
+                           static_cast<size_t>(s) * kSnapshotSectionEntrySize;
+    Section& sec = raw.sections[s];
+    std::memcpy(&sec.id, entry, 4);
+    std::memcpy(&sec.index, entry + 4, 4);
+    std::memcpy(&sec.offset, entry + 8, 8);
+    std::memcpy(&sec.length, entry + 16, 8);
+    std::memcpy(&sec.crc32, entry + 24, 4);
+    if (sec.offset < kSnapshotHeaderSize || sec.offset % 8 != 0 ||
+        sec.offset > table_offset || sec.length > table_offset - sec.offset) {
+      return DataLossError(path + ": snapshot section " + SectionLabel(sec) +
+                           " out of bounds");
+    }
+    if (check_section_crcs &&
+        Crc32(data + sec.offset, sec.length) != sec.crc32) {
+      return DataLossError(path + ": snapshot section " + SectionLabel(sec) +
+                           " checksum mismatch");
+    }
+  }
+  return raw;
+}
+
+const Section* FindSection(const RawSnapshot& raw, uint32_t id,
+                           uint32_t index) {
+  for (const Section& sec : raw.sections) {
+    if (sec.id == id && sec.index == index) return &sec;
+  }
+  return nullptr;
+}
+
+StatusOr<LoadedSnapshot> LoadFromRaw(RawSnapshot raw,
+                                     const SnapshotLoadOptions& options) {
+  const uint8_t* data = raw.file->data();
+  auto section_reader = [&](const Section& sec) {
+    return ByteReader(data + sec.offset, sec.length);
+  };
+  auto require = [&](SnapshotSectionId id,
+                     uint32_t index) -> StatusOr<const Section*> {
+    const Section* sec = FindSection(raw, static_cast<uint32_t>(id), index);
+    if (sec == nullptr) {
+      return ParseError(std::string("snapshot is missing section ") +
+                        SnapshotSectionIdName(static_cast<uint32_t>(id)) +
+                        "[" + std::to_string(index) + "]");
+    }
+    return sec;
+  };
+
+  LoadedSnapshot loaded;
+  loaded.fingerprint_lo = raw.fingerprint_lo;
+  loaded.fingerprint_hi = raw.fingerprint_hi;
+  loaded.mapped = raw.file->mapped();
+
+  // meta
+  DIME_ASSIGN_OR_RETURN(const Section* meta_sec,
+                        require(SnapshotSectionId::kMeta, 0));
+  uint32_t qgram_q, has_dicts;
+  uint64_t group_count, max_tuple_signatures, attr_count;
+  {
+    ByteReader meta = section_reader(*meta_sec);
+    if (!meta.U32(&qgram_q) || !meta.U32(&has_dicts) ||
+        !meta.U64(&group_count) || !meta.U64(&max_tuple_signatures) ||
+        !meta.U64(&attr_count)) {
+      return Malformed(*meta_sec, "truncated header");
+    }
+    std::vector<std::string> names(attr_count);
+    for (std::string& name : names) {
+      if (!meta.String(&name)) return Malformed(*meta_sec, "truncated name");
+    }
+    loaded.schema = Schema(std::move(names));
+    if (group_count == 0) return Malformed(*meta_sec, "zero groups");
+  }
+  loaded.context.qgram_q = static_cast<int>(qgram_q);
+
+  // ontologies (before rules: ValidateRules needs them in context)
+  DIME_ASSIGN_OR_RETURN(const Section* onto_sec,
+                        require(SnapshotSectionId::kOntologies, 0));
+  {
+    ByteReader onto = section_reader(*onto_sec);
+    uint64_t n_onto;
+    if (!onto.U64(&n_onto)) return Malformed(*onto_sec, "truncated header");
+    for (uint64_t i = 0; i < n_onto; ++i) {
+      uint32_t mode, pad;
+      std::string text;
+      if (!onto.U32(&mode) || !onto.U32(&pad) || !onto.String(&text)) {
+        return Malformed(*onto_sec, "truncated ontology");
+      }
+      if (mode > static_cast<uint32_t>(MapMode::kFuzzyName)) {
+        return Malformed(*onto_sec, "unknown map mode");
+      }
+      auto tree = std::make_shared<Ontology>();
+      if (!Ontology::FromText(text, tree.get())) {
+        return Malformed(*onto_sec, "ontology text does not parse");
+      }
+      loaded.context.ontologies.push_back(
+          OntologyRef{tree.get(), static_cast<MapMode>(mode)});
+      loaded.owned_trees.push_back(std::move(tree));
+    }
+  }
+
+  // rules
+  DIME_ASSIGN_OR_RETURN(const Section* rules_sec,
+                        require(SnapshotSectionId::kRules, 0));
+  {
+    std::string text(reinterpret_cast<const char*>(data + rules_sec->offset),
+                     rules_sec->length);
+    std::string error;
+    if (!RuleSetFromText(text, loaded.schema, &loaded.positive,
+                         &loaded.negative, &error)) {
+      return Malformed(*rules_sec, "rule set does not parse");
+    }
+  }
+
+  // groups + prepared + artifacts (+ dictionaries)
+  loaded.groups.resize(group_count);
+  std::vector<std::shared_ptr<PreparedGroup>> prepared(group_count);
+  for (uint64_t i = 0; i < group_count; ++i) {
+    const uint32_t index = static_cast<uint32_t>(i);
+    DIME_ASSIGN_OR_RETURN(const Section* group_sec,
+                          require(SnapshotSectionId::kGroup, index));
+    {
+      ByteReader rd = section_reader(*group_sec);
+      Group& group = loaded.groups[i];
+      uint64_t attr_count = 0;
+      if (!rd.String(&group.name) || !rd.U64(&attr_count)) {
+        return Malformed(*group_sec, "truncated group");
+      }
+      if (attr_count != loaded.schema.size()) {
+        return Malformed(*group_sec, "group schema disagrees with meta");
+      }
+      for (uint64_t a = 0; a < attr_count; ++a) {
+        std::string attr_name;
+        if (!rd.String(&attr_name)) {
+          return Malformed(*group_sec, "truncated group schema");
+        }
+        if (attr_name != loaded.schema.AttributeName(static_cast<int>(a))) {
+          return Malformed(*group_sec, "group schema disagrees with meta");
+        }
+      }
+      group.schema = loaded.schema;
+      uint32_t has_truth = 0, pad = 0;
+      uint64_t entity_count = 0;
+      if (!rd.U32(&has_truth) || !rd.U32(&pad) || !rd.U64(&entity_count) ||
+          has_truth > 1 || pad != 0) {
+        return Malformed(*group_sec, "bad group header");
+      }
+      // Every entity costs at least one u64 (its id length) plus one u64
+      // per attribute, so a count past this bound cannot be honest.
+      if (entity_count > rd.remaining() / ((attr_count + 1) * 8)) {
+        return Malformed(*group_sec, "entity count exceeds section");
+      }
+      group.entities.resize(static_cast<size_t>(entity_count));
+      for (Entity& entity : group.entities) {
+        if (!rd.String(&entity.id)) {
+          return Malformed(*group_sec, "truncated entity");
+        }
+        entity.values.resize(static_cast<size_t>(attr_count));
+        for (AttributeValue& value : entity.values) {
+          uint64_t value_count = 0;
+          if (!rd.U64(&value_count) ||
+              value_count > rd.remaining() / 8) {
+            return Malformed(*group_sec, "truncated entity");
+          }
+          value.resize(static_cast<size_t>(value_count));
+          for (std::string& s : value) {
+            if (!rd.String(&s)) {
+              return Malformed(*group_sec, "truncated entity");
+            }
+          }
+        }
+      }
+      if (has_truth != 0) {
+        if (!rd.ReadArray(&group.truth) ||
+            group.truth.size() != group.entities.size()) {
+          return Malformed(*group_sec, "truncated ground truth");
+        }
+      }
+      if (!rd.done()) {
+        return Malformed(*group_sec, "trailing bytes after group");
+      }
+    }
+    const uint64_t n = loaded.groups[i].size();
+
+    DIME_ASSIGN_OR_RETURN(const Section* prep_sec,
+                          require(SnapshotSectionId::kPrepared, index));
+    prepared[i] = std::make_shared<PreparedGroup>();
+    DIME_RETURN_IF_ERROR(ParsePreparedSection(
+        *prep_sec, section_reader(*prep_sec), n, loaded.schema.size(),
+        loaded.context.ontologies.size(), prepared[i].get()));
+
+    DIME_ASSIGN_OR_RETURN(const Section* art_sec,
+                          require(SnapshotSectionId::kArtifacts, index));
+    auto artifacts = std::make_shared<PreparedRuleArtifacts>();
+    DIME_RETURN_IF_ERROR(ParseArtifactsSection(
+        *art_sec, section_reader(*art_sec), n, loaded.positive.size(),
+        loaded.negative.size(), max_tuple_signatures, artifacts.get()));
+    prepared[i]->artifacts = std::move(artifacts);
+
+    if (has_dicts != 0 && options.load_dictionaries) {
+      DIME_ASSIGN_OR_RETURN(const Section* dict_sec,
+                            require(SnapshotSectionId::kDictionaries, index));
+      DIME_RETURN_IF_ERROR(ParseDictionariesSection(
+          *dict_sec, section_reader(*dict_sec), prepared[i].get()));
+    }
+  }
+
+  // The groups vector is final now: fix the back pointers and contexts.
+  for (uint64_t i = 0; i < group_count; ++i) {
+    prepared[i]->group = &loaded.groups[i];
+    prepared[i]->context = loaded.context;
+  }
+  loaded.prepared.assign(prepared.begin(), prepared.end());
+  loaded.backing = raw.file;
+  return loaded;
+}
+
+}  // namespace snapshot_internal
+
+StatusOr<LoadedSnapshot> LoadSnapshot(const std::string& path,
+                                      const SnapshotLoadOptions& options) {
+  DIME_ASSIGN_OR_RETURN(
+      snapshot_internal::RawSnapshot raw,
+      snapshot_internal::OpenRaw(path, options,
+                                 /*check_section_crcs=*/true));
+  return snapshot_internal::LoadFromRaw(std::move(raw), options);
+}
+
+StatusOr<SnapshotInfo> InspectSnapshot(const std::string& path) {
+  DIME_ASSIGN_OR_RETURN(
+      snapshot_internal::RawSnapshot raw,
+      snapshot_internal::OpenRaw(path, SnapshotLoadOptions(),
+                                 /*check_section_crcs=*/false));
+  SnapshotInfo info;
+  info.version = raw.version;
+  info.file_size = raw.file->size();
+  info.fingerprint_lo = raw.fingerprint_lo;
+  info.fingerprint_hi = raw.fingerprint_hi;
+  info.sections = raw.sections;
+  return info;
+}
+
+Status VerifySnapshot(const std::string& path, bool deep) {
+  SnapshotLoadOptions options;
+  options.load_dictionaries = true;
+  DIME_ASSIGN_OR_RETURN(
+      snapshot_internal::RawSnapshot raw,
+      snapshot_internal::OpenRaw(path, options,
+                                 /*check_section_crcs=*/true));
+  // Full parse: everything the serving path would trust must parse.
+  std::shared_ptr<MappedFile> file = raw.file;
+  std::vector<SnapshotInfo::Section> sections = raw.sections;
+  DIME_ASSIGN_OR_RETURN(LoadedSnapshot loaded,
+                        snapshot_internal::LoadFromRaw(std::move(raw),
+                                                       options));
+  if (!deep) return OkStatus();
+
+  // Deep: re-prepare every group from its embedded TSV and require the
+  // freshly serialized prepared/artifact bytes to match the stored ones —
+  // preparation is deterministic, so any divergence means the snapshot
+  // does not faithfully represent its own source data.
+  SignatureOptions sig_options;
+  sig_options.max_tuple_signatures =
+      loaded.prepared.empty() || loaded.prepared[0]->artifacts == nullptr
+          ? sig_options.max_tuple_signatures
+          : loaded.prepared[0]->artifacts->max_tuple_signatures;
+  for (size_t i = 0; i < loaded.groups.size(); ++i) {
+    PreparedGroup fresh = PrepareGroup(loaded.groups[i], loaded.positive,
+                                       loaded.negative, loaded.context);
+    std::shared_ptr<const PreparedRuleArtifacts> artifacts =
+        BuildPreparedRuleArtifacts(fresh, loaded.positive, loaded.negative,
+                                   sig_options);
+    struct Expectation {
+      SnapshotSectionId id;
+      std::string bytes;
+    };
+    const Expectation expectations[] = {
+        {SnapshotSectionId::kPrepared,
+         snapshot_internal::SerializePreparedSection(fresh)},
+        {SnapshotSectionId::kArtifacts,
+         snapshot_internal::SerializeArtifactsSection(*artifacts)},
+    };
+    for (const Expectation& expect : expectations) {
+      const SnapshotInfo::Section* sec = nullptr;
+      for (const SnapshotInfo::Section& s : sections) {
+        if (s.id == static_cast<uint32_t>(expect.id) &&
+            s.index == static_cast<uint32_t>(i)) {
+          sec = &s;
+          break;
+        }
+      }
+      if (sec == nullptr || sec->length != expect.bytes.size() ||
+          std::memcmp(file->data() + sec->offset, expect.bytes.data(),
+                      expect.bytes.size()) != 0) {
+        return DataLossError(
+            "deep verification failed: stored " +
+            std::string(
+                SnapshotSectionIdName(static_cast<uint32_t>(expect.id))) +
+            " section of group '" + loaded.groups[i].name +
+            "' differs from a fresh preparation");
+      }
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace dime

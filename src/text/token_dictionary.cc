@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "src/common/check.h"
 #include "src/common/logging.h"
 
 namespace dime {
@@ -61,6 +62,20 @@ std::vector<uint32_t> TokenDictionary::DocumentFrequencyByRank() const {
     by_rank[rank_[id]] = doc_freq_[id];
   }
   return by_rank;
+}
+
+void TokenDictionary::Restore(std::vector<std::string> tokens,
+                              std::vector<uint32_t> doc_freq) {
+  DIME_DCHECK_EQ(tokens.size(), doc_freq.size());
+  tokens_ = std::move(tokens);
+  doc_freq_ = std::move(doc_freq);
+  index_.clear();
+  index_.reserve(tokens_.size());
+  for (TokenId id = 0; id < tokens_.size(); ++id) {
+    index_.emplace(tokens_[id], id);
+  }
+  rank_.clear();
+  BuildGlobalOrder();
 }
 
 std::vector<TokenId> TokenDictionary::SortByRank(

@@ -100,6 +100,78 @@ TEST(TsvTest, WriteTsvToUnwritablePathFails) {
   EXPECT_EQ(s.code(), StatusCode::kNotFound);
 }
 
+TEST(TsvTest, QuotedFieldMayContainDelimiter) {
+  std::vector<TsvRow> rows = ParseTsv("\"a\tb\"\tc\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (TsvRow{"a\tb", "c"}));
+}
+
+TEST(TsvTest, QuotedFieldMayContainNewlines) {
+  std::vector<TsvRow> rows = ParseTsv("\"line1\nline2\"\tnext\nplain\tx\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (TsvRow{"line1\nline2", "next"}));
+  EXPECT_EQ(rows[1], (TsvRow{"plain", "x"}));
+}
+
+TEST(TsvTest, DoubledQuoteEscapesQuote) {
+  std::vector<TsvRow> rows = ParseTsv("\"say \"\"hi\"\"\"\tb\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (TsvRow{"say \"hi\"", "b"}));
+}
+
+TEST(TsvTest, QuoteOnlyStartsQuotingAtCellStart) {
+  // A quote mid-cell is literal data, per RFC 4180 practice.
+  std::vector<TsvRow> rows = ParseTsv("5\" disk\tb\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (TsvRow{"5\" disk", "b"}));
+}
+
+TEST(TsvTest, TrailingEmptyColumnSurvives) {
+  std::vector<TsvRow> rows = ParseTsv("a\tb\t\nc\t\t\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (TsvRow{"a", "b", ""}));
+  EXPECT_EQ(rows[1], (TsvRow{"c", "", ""}));
+}
+
+TEST(TsvTest, LeadingEmptyColumnSurvives) {
+  std::vector<TsvRow> rows = ParseTsv("\ta\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (TsvRow{"", "a"}));
+}
+
+TEST(TsvTest, FormatQuotesOnlyWhenNeeded) {
+  std::vector<TsvRow> rows{{"plain", "has\ttab", "has\nnewline", "has\"quote",
+                            "\"starts quoted\""}};
+  std::string text = FormatTsv(rows);
+  // Plain cells stay unquoted (byte-compat with pre-quoting snapshots).
+  EXPECT_EQ(text.substr(0, 6), "plain\t");
+  EXPECT_EQ(ParseTsv(text), rows);
+}
+
+TEST(TsvTest, QuotedRoundTripThroughFile) {
+  std::string path = testing::TempDir() + "/dime_tsv_quoted.tsv";
+  std::vector<TsvRow> rows{{"Title", "Notes"},
+                           {"KATARA", "tab\there and\nnewline"},
+                           {"Next", "plain"}};
+  ASSERT_TRUE(WriteTsvFile(path, rows));
+  std::vector<TsvRow> readback;
+  ASSERT_TRUE(ReadTsvFile(path, &readback));
+  EXPECT_EQ(readback, rows);
+}
+
+TEST(TsvTest, CrlfInsideQuotedFieldIsLiteralData) {
+  std::vector<TsvRow> rows = ParseTsv("\"a\r\nb\"\tc\r\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (TsvRow{"a\r\nb", "c"}));
+}
+
+TEST(TsvTest, UnterminatedQuoteConsumesToEndOfInput) {
+  // Degenerate input: never crashes, yields the open cell as-is.
+  std::vector<TsvRow> rows = ParseTsv("\"never closed\tstill same cell");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (TsvRow{"never closed\tstill same cell"}));
+}
+
 TEST(TsvTest, MultiValueRoundTrip) {
   std::vector<std::string> values{"Nan Tang", "Guoliang Li"};
   EXPECT_EQ(SplitMultiValue(JoinMultiValue(values)), values);

@@ -15,6 +15,14 @@
 // them by printing DigestResult for each corpus below and update the
 // constants in the same change that explains why the output moved.
 
+// The SnapshotRoundTrip* tests extend the same guard across the storage
+// layer: a corpus prepared from TSV and the same corpus loaded zero-copy
+// from a binary snapshot (src/store/) must drive both engines to
+// bit-identical results — same digests AND same pair-check counters — on
+// the bench-scale corpora (scholar-2999, amazon-10000). Any snapshot
+// serialization drift (a float squeezed through text, a reordered arena,
+// a lost posting list) lands here.
+
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -25,6 +33,7 @@
 #include "src/datagen/amazon_gen.h"
 #include "src/datagen/presets.h"
 #include "src/datagen/scholar_gen.h"
+#include "src/store/snapshot.h"
 
 namespace dime {
 namespace {
@@ -102,6 +111,91 @@ TEST(GoldenEqualityTest, AmazonFig6Corpora) {
     }
     ++ei;
   }
+}
+
+/// Runs both engines over `groups` twice — once freshly prepared from the
+/// in-memory (TSV-equivalent) corpus, once over the snapshot written to
+/// `path` and loaded back zero-copy — and demands bit-identical digests
+/// and pair-check counters. The warm run deliberately uses the rules that
+/// round-tripped through the snapshot, not the originals.
+void ExpectSnapshotRoundTripIdentity(const std::vector<Group>& groups,
+                                     const std::vector<PositiveRule>& positive,
+                                     const std::vector<NegativeRule>& negative,
+                                     const DimeContext& context,
+                                     const std::string& path) {
+  SnapshotWriteRequest request;
+  request.groups = &groups;
+  request.positive = &positive;
+  request.negative = &negative;
+  request.context = &context;
+  Status written = WriteSnapshot(request, path);
+  ASSERT_TRUE(written.ok()) << written.ToString();
+
+  StatusOr<LoadedSnapshot> loaded = LoadSnapshot(path, SnapshotLoadOptions());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->groups.size(), groups.size());
+  EXPECT_TRUE(loaded->fingerprint_lo != 0 || loaded->fingerprint_hi != 0);
+
+  for (size_t g = 0; g < groups.size(); ++g) {
+    SCOPED_TRACE("group " + groups[g].name);
+    PreparedGroup cold = PrepareGroup(groups[g], positive, negative, context);
+    const PreparedGroup& warm = *loaded->prepared[g];
+    ASSERT_EQ(warm.size(), cold.size());
+
+    DimeResult cold_naive = RunDime(cold, positive, negative);
+    DimeResult warm_naive =
+        RunDime(warm, loaded->positive, loaded->negative);
+    EXPECT_EQ(DigestResult(warm_naive), DigestResult(cold_naive));
+    EXPECT_EQ(warm_naive.stats.positive_pair_checks,
+              cold_naive.stats.positive_pair_checks);
+    EXPECT_EQ(warm_naive.stats.negative_pair_checks,
+              cold_naive.stats.negative_pair_checks);
+
+    DimeResult cold_plus = RunDimePlus(cold, positive, negative);
+    DimeResult warm_plus =
+        RunDimePlus(warm, loaded->positive, loaded->negative);
+    EXPECT_EQ(DigestResult(warm_plus), DigestResult(cold_plus));
+    EXPECT_EQ(DigestResult(warm_plus), DigestResult(cold_naive));
+    EXPECT_EQ(warm_plus.stats.positive_pair_checks,
+              cold_plus.stats.positive_pair_checks);
+    EXPECT_EQ(warm_plus.stats.negative_pair_checks,
+              cold_plus.stats.negative_pair_checks);
+    EXPECT_EQ(warm_plus.stats.candidate_pairs, cold_plus.stats.candidate_pairs);
+    EXPECT_EQ(warm_plus.stats.pairs_skipped_by_transitivity,
+              cold_plus.stats.pairs_skipped_by_transitivity);
+  }
+}
+
+TEST(GoldenEqualityTest, SnapshotRoundTripScholar2999) {
+  // Same generation parameters as `dime_snapshot build --preset
+  // scholar-2999` and bench_snapshot_load.
+  ScholarSetup setup = MakeScholarSetup();
+  ScholarGenOptions gen;
+  gen.num_correct = 2982;
+  gen.coauthor_pool = 190;
+  gen.seed = 6000;
+  std::vector<Group> groups;
+  groups.push_back(GenerateScholarGroup("Big Page", gen));
+  ExpectSnapshotRoundTripIdentity(
+      groups, setup.positive, setup.negative, setup.context,
+      testing::TempDir() + "/golden_scholar2999.snap");
+}
+
+TEST(GoldenEqualityTest, SnapshotRoundTripAmazon10000) {
+  // Same generation parameters as `dime_snapshot build --preset
+  // amazon-10000` and bench_snapshot_load.
+  AmazonGenOptions gen;
+  gen.error_rate = 0.4;
+  gen.num_correct = 6000;
+  gen.window = 12;
+  gen.seed = 14000;
+  Group group = GenerateAmazonGroup(5, gen);
+  AmazonSetup setup = MakeAmazonSetup({group});
+  std::vector<Group> groups;
+  groups.push_back(std::move(group));
+  ExpectSnapshotRoundTripIdentity(
+      groups, setup.positive, setup.negative, setup.context,
+      testing::TempDir() + "/golden_amazon10000.snap");
 }
 
 }  // namespace

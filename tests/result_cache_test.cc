@@ -42,6 +42,31 @@ TEST(FingerprintTest, HalvesAreIndependentStreams) {
   }
 }
 
+TEST(FingerprintTest, CorpusFingerprintFoldSeparatesSnapshots) {
+  // The service folds the snapshot content fingerprint into every cache
+  // key (DimeService::RequestFingerprint): same request bytes under two
+  // different corpus fingerprints must land in different cache slots, and
+  // the zero fingerprint (TSV corpora) must leave the key unchanged.
+  Fingerprint request = FingerprintBytes("plus\x1frules\x1fgroup-content");
+  auto fold = [&](uint64_t corpus_lo, uint64_t corpus_hi) {
+    Fingerprint fp = request;
+    fp.lo ^= corpus_lo * 0x9e3779b97f4a7c15ULL;
+    fp.hi ^= corpus_hi * 0xc2b2ae3d27d4eb4fULL;
+    return fp;
+  };
+  Fingerprint snapshot_a = fold(0x1111, 0x2222);
+  Fingerprint snapshot_b = fold(0x1111, 0x2223);
+  EXPECT_EQ(fold(0, 0), request);
+  EXPECT_NE(snapshot_a, request);
+  EXPECT_NE(snapshot_a, snapshot_b);
+
+  ResultCache cache(4);
+  cache.Insert(snapshot_a, MakeResult(1));
+  EXPECT_NE(cache.Lookup(snapshot_a), nullptr);
+  EXPECT_EQ(cache.Lookup(snapshot_b), nullptr);
+  EXPECT_EQ(cache.Lookup(request), nullptr);
+}
+
 TEST(ResultCacheTest, MissThenHit) {
   ResultCache cache(4);
   Fingerprint key = FingerprintBytes("k1");

@@ -216,6 +216,63 @@ TEST(DimeServiceTest, FingerprintSeparatesEnginesAndTracksContent) {
   EXPECT_NE(service.RequestFingerprint(EngineKind::kPlus, mutated), plus);
 }
 
+TEST(DimeServiceTest, SnapshotWarmStartServesIdenticalResults) {
+  ServingCorpus tsv = MakeTestCorpus();
+  const std::string path = ::testing::TempDir() + "/service_corpus.snap";
+  SnapshotWriteRequest request;
+  request.groups = &tsv.groups;
+  request.positive = &tsv.positive;
+  request.negative = &tsv.negative;
+  request.context = &tsv.context;
+  ASSERT_TRUE(WriteSnapshot(request, path).ok());
+
+  StatusOr<LoadedSnapshot> loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  DimeService warm(CorpusFromSnapshot(std::move(loaded).value()),
+                   ServiceOptions{});
+  DimeService cold(std::move(tsv), ServiceOptions{});
+
+  for (const char* name : {"page_0", "page_1"}) {
+    CheckRequest check;
+    check.group_name = name;
+    StatusOr<CheckReply> warm_reply = warm.Check(check);
+    StatusOr<CheckReply> cold_reply = cold.Check(check);
+    ASSERT_TRUE(warm_reply.ok() && cold_reply.ok()) << name;
+    EXPECT_EQ(warm_reply->result->partitions, cold_reply->result->partitions)
+        << name;
+    EXPECT_EQ(warm_reply->result->flagged_by_prefix,
+              cold_reply->result->flagged_by_prefix)
+        << name;
+    EXPECT_EQ(warm_reply->result->pivot, cold_reply->result->pivot) << name;
+  }
+}
+
+TEST(DimeServiceTest, SnapshotFingerprintFoldsIntoCacheKeys) {
+  ServingCorpus tsv = MakeTestCorpus();
+  const std::string path = ::testing::TempDir() + "/service_fp.snap";
+  SnapshotWriteRequest request;
+  request.groups = &tsv.groups;
+  request.positive = &tsv.positive;
+  request.negative = &tsv.negative;
+  request.context = &tsv.context;
+  ASSERT_TRUE(WriteSnapshot(request, path).ok());
+  StatusOr<LoadedSnapshot> loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok());
+  DimeService warm(CorpusFromSnapshot(std::move(loaded).value()),
+                   ServiceOptions{});
+  DimeService cold(std::move(tsv), ServiceOptions{});
+
+  // Same group content, same rules — but the warm service carries a
+  // nonzero corpus fingerprint, so its cache keys cannot collide with
+  // the TSV service's (a cache migrated across corpus swaps stays safe).
+  const Group& page = cold.corpus().groups[0];
+  EXPECT_NE(warm.RequestFingerprint(EngineKind::kPlus, page),
+            cold.RequestFingerprint(EngineKind::kPlus, page));
+  EXPECT_TRUE(warm.corpus().content_fingerprint_lo != 0 ||
+              warm.corpus().content_fingerprint_hi != 0);
+  EXPECT_EQ(cold.corpus().content_fingerprint_lo, 0u);
+}
+
 TEST(DimeServiceTest, FullQueueShedsWithResourceExhaustedNotBlocking) {
   WorkerGate gate;
   ServiceOptions options;

@@ -34,7 +34,19 @@ TEST(StatusTest, FactoriesCarryCodeAndMessage) {
   EXPECT_EQ(DeadlineExceededError("x").code(), StatusCode::kDeadlineExceeded);
   EXPECT_EQ(CancelledError("x").code(), StatusCode::kCancelled);
   EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(DataLossError("x").code(), StatusCode::kDataLoss);
   EXPECT_EQ(NotFoundError("no such file").message(), "no such file");
+}
+
+TEST(StatusTest, DataLossNameAndExitCodeRoundTrip) {
+  Status s = DataLossError("snapshot section prepared[0] checksum mismatch");
+  EXPECT_EQ(s.ToString(),
+            "DATA_LOSS: snapshot section prepared[0] checksum mismatch");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "DATA_LOSS");
+  StatusCode parsed;
+  ASSERT_TRUE(StatusCodeFromName("DATA_LOSS", &parsed));
+  EXPECT_EQ(parsed, StatusCode::kDataLoss);
+  EXPECT_EQ(ExitCodeForStatusCode(StatusCode::kDataLoss), 12);
 }
 
 TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {

@@ -3,6 +3,8 @@
 #
 #   BENCH_micro_sim.json  kernel/primitive micro-benchmarks (google-benchmark)
 #   BENCH_fig9.json       Fig. 9 end-to-end engine efficiency
+#   BENCH_snapshot.json   snapshot store cold-start (TSV ingest+prepare vs
+#                         mmap snapshot load; DESIGN.md §7.4)
 #
 # Each file holds a list of entries. The "pre-optimization" entry is the
 # committed snapshot taken at the flat-layout PR's base commit
@@ -30,7 +32,8 @@ trap 'rm -rf "$TMP"' EXIT
 
 echo "== configuring + building $BUILD (Release) =="
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD" -j --target bench_micro_sim bench_fig9_efficiency
+cmake --build "$BUILD" -j \
+  --target bench_micro_sim bench_fig9_efficiency bench_snapshot_load
 
 echo "== micro kernels =="
 "$BUILD/bench/bench_micro_sim" \
@@ -43,6 +46,17 @@ if [ "$QUICK" = 1 ]; then
 else
   "$BUILD/bench/bench_fig9_efficiency" \
     --json "$TMP/fig9_post.json" --label post-optimization
+fi
+
+echo "== snapshot store cold start =="
+# Quick mode only drops the best-of-3 repetitions; the corpora stay the
+# same (they are the fixed presets the golden round-trip tests pin).
+if [ "$QUICK" = 1 ]; then
+  DIME_BENCH_QUICK=1 "$BUILD/bench/bench_snapshot_load" \
+    --json "$TMP/snapshot_current.json" --label current
+else
+  "$BUILD/bench/bench_snapshot_load" \
+    --json "$TMP/snapshot_current.json" --label current
 fi
 
 # Wrap pre + post into the repo-root records. The google-benchmark JSON is
@@ -69,9 +83,24 @@ jq -n \
   '{bench: "fig9_efficiency", entries: [$pre[0], $post[0]]}' \
   > BENCH_fig9.json
 
-echo "== wrote BENCH_micro_sim.json and BENCH_fig9.json =="
+# The snapshot store is a new subsystem, so its "baseline" entry is the
+# committed record from the PR that introduced it rather than a pre-change
+# measurement of the same code path.
+jq -n \
+  --slurpfile pre bench/baselines/snapshot_pre.json \
+  --slurpfile post "$TMP/snapshot_current.json" \
+  '{bench: "snapshot_load", entries: [$pre[0], $post[0]]}' \
+  > BENCH_snapshot.json
+
+echo "== wrote BENCH_micro_sim.json, BENCH_fig9.json and BENCH_snapshot.json =="
 printf '%-18s %-10s %9s %8s %12s\n' label dataset entities dime_s dime_plus_s
 jq -r '.entries[] | .label as $l
        | .rows[] | [$l, .dataset, .entities, .dime_s, .dime_plus_s]
        | @tsv' BENCH_fig9.json |
   awk -F'\t' '{printf "%-18s %-10s %9s %8s %12s\n", $1, $2, $3, $4, $5}'
+printf '%-18s %-14s %14s %14s %9s\n' \
+  label dataset tsv_prep_s snap_load_s speedup
+jq -r '.entries[] | .label as $l
+       | .rows[] | [$l, .dataset, .tsv_ingest_prepare_s, .snapshot_load_s,
+                    .speedup] | @tsv' BENCH_snapshot.json |
+  awk -F'\t' '{printf "%-18s %-14s %14s %14s %8sx\n", $1, $2, $3, $4, $5}'
