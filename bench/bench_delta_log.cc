@@ -1,0 +1,219 @@
+// Delta-log microbench (DESIGN.md §7.5): the numbers behind the server's
+// incremental-vs-bulk threshold. For a scholar page of N entities and a
+// delta of K appended records, we time
+//
+//   append      DeltaLogWriter::Append of the K records (fsync-free
+//               stdio flush, what a live emitter pays per event)
+//   validate    ReadDeltaLog — CRC walk of the whole log
+//   incremental ReplayDeltaThroughIncremental: K AddEntity arrivals on a
+//               warm engine (no rebuild; the append-only fast path)
+//   bulk        ApplyDeltaRecords onto a copy + PrepareGroup, i.e. what
+//               DimeService::ApplyDeltaLog pays per group to mint a
+//               fully-warm epoch
+//
+// The crossover between `incremental` and `bulk` is the evidence for
+// dime_server's --delta-threshold-bytes default: below it, streaming
+// arrivals wins; above it, one re-prepare amortizes better.
+//
+//   --json <path>   additionally write the rows as one JSON object
+//   --label <s>     tag for the JSON entry (default "current")
+//   --allow-debug   record despite a non-Release build (see bench_util.h)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/timer.h"
+#include "src/core/dime_plus.h"
+#include "src/datagen/presets.h"
+#include "src/datagen/scholar_gen.h"
+#include "src/store/delta_log.h"
+
+namespace dime {
+namespace {
+
+using bench::PrintRule;
+using bench::PrintTitle;
+using bench::QuickMode;
+
+struct Row {
+  size_t base_entities = 0;
+  size_t delta_records = 0;
+  size_t log_bytes = 0;
+  double append_s = 0;
+  double validate_s = 0;
+  double incremental_s = 0;
+  double bulk_s = 0;
+};
+
+std::vector<Row> g_rows;
+
+template <typename Fn>
+double BestOf(int reps, Fn&& fn) {
+  double best = -1;
+  for (int i = 0; i < reps; ++i) {
+    WallTimer timer;
+    fn();
+    double s = timer.ElapsedSeconds();
+    if (best < 0 || s < best) best = s;
+  }
+  return best;
+}
+
+/// A delta of `k` schema-conformant adds against `page` — fresh ids, the
+/// values of existing entities (cheap, realistic token mix).
+std::vector<DeltaRecord> MakeAdds(const Group& page, size_t k) {
+  std::vector<DeltaRecord> records;
+  records.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    DeltaRecord record;
+    record.op = DeltaRecord::Op::kAdd;
+    record.group = page.name;
+    record.entity_id = "delta_" + std::to_string(i);
+    record.values = page.entities[i % page.entities.size()].values;
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+void RunCase(const ScholarSetup& setup, const Group& base, size_t k,
+             const std::string& tmp_dir) {
+  const int reps = QuickMode() ? 1 : 3;
+  Row row;
+  row.base_entities = base.size();
+  row.delta_records = k;
+
+  std::vector<DeltaRecord> records = MakeAdds(base, k);
+  const std::string path =
+      tmp_dir + "/bench_delta_" + std::to_string(k) + ".dlog";
+
+  row.append_s = BestOf(reps, [&] {
+    std::remove(path.c_str());
+    StatusOr<DeltaLogWriter> writer = DeltaLogWriter::Open(path);
+    if (!writer.ok()) {
+      std::fprintf(stderr, "Open: %s\n", writer.status().ToString().c_str());
+      std::exit(1);
+    }
+    for (const DeltaRecord& record : records) {
+      Status s = writer->Append(record);
+      if (!s.ok()) {
+        std::fprintf(stderr, "Append: %s\n", s.ToString().c_str());
+        std::exit(1);
+      }
+    }
+  });
+
+  row.validate_s = BestOf(reps, [&] {
+    StatusOr<DeltaLogContents> log = ReadDeltaLog(path);
+    if (!log.ok() || log->records.size() != k) {
+      std::fprintf(stderr, "ReadDeltaLog failed for k=%zu\n", k);
+      std::exit(1);
+    }
+    row.log_bytes = static_cast<size_t>(log->valid_bytes);
+  });
+
+  // (a) Streaming path: K AddEntity arrivals, no rebuild (adds only).
+  row.incremental_s = BestOf(reps, [&] {
+    StatusOr<std::unique_ptr<IncrementalDime>> engine =
+        ReplayDeltaThroughIncremental(base, records, setup.positive,
+                                      setup.negative, setup.context);
+    if (!engine.ok() || (*engine)->group().size() != base.size() + k) {
+      std::fprintf(stderr, "incremental replay failed for k=%zu\n", k);
+      std::exit(1);
+    }
+  });
+
+  // (b) Bulk path: merge into a copy, re-prepare the whole group — the
+  // per-group cost of minting a warm epoch in ApplyDeltaLog.
+  row.bulk_s = BestOf(reps, [&] {
+    Group merged = base;
+    Status s = ApplyDeltaRecords(records, &merged);
+    if (!s.ok()) {
+      std::fprintf(stderr, "ApplyDeltaRecords: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+    PreparedGroup pg = PrepareGroup(merged, setup.positive, setup.negative,
+                                    setup.context);
+    if (pg.size() != base.size() + k) std::exit(1);
+  });
+
+  std::printf("%8zu | %6zu | %9zu | %10.6f %10.6f | %12.4f %12.4f\n",
+              row.base_entities, row.delta_records, row.log_bytes,
+              row.append_s, row.validate_s, row.incremental_s, row.bulk_s);
+  g_rows.push_back(row);
+  std::remove(path.c_str());
+}
+
+bool WriteJson(const std::string& path, const std::string& label) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"delta_log\",\n");
+  std::fprintf(f, "  \"label\": \"%s\",\n", label.c_str());
+  std::fprintf(f, "  \"build_type\": \"%s\",\n",
+               bench::BuiltWithAssertions() ? "debug" : "release");
+  std::fprintf(f, "  \"quick\": %s,\n", QuickMode() ? "true" : "false");
+  std::fprintf(f, "  \"rows\": [\n");
+  for (size_t i = 0; i < g_rows.size(); ++i) {
+    const Row& r = g_rows[i];
+    std::fprintf(f,
+                 "    {\"base_entities\": %zu, \"delta_records\": %zu, "
+                 "\"log_bytes\": %zu, \"append_s\": %.6f, "
+                 "\"validate_s\": %.6f, \"incremental_s\": %.6f, "
+                 "\"bulk_s\": %.6f}%s\n",
+                 r.base_entities, r.delta_records, r.log_bytes, r.append_s,
+                 r.validate_s, r.incremental_s, r.bulk_s,
+                 i + 1 < g_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu rows, label \"%s\")\n", path.c_str(),
+              g_rows.size(), label.c_str());
+  return true;
+}
+
+void Run(const std::string& tmp_dir) {
+  ScholarSetup setup = MakeScholarSetup();
+  ScholarGenOptions gen;
+  gen.num_correct = QuickMode() ? 300 : 2000;
+  gen.seed = 6000;
+  Group base = GenerateScholarGroup("Delta Base", gen);
+  base.name = "page_0";
+
+  PrintTitle("Delta log: append / validate / incremental vs bulk merge");
+  std::printf("%8s | %6s | %9s | %10s %10s | %12s %12s\n", "#base", "#delta",
+              "log(B)", "append(s)", "check(s)", "incr(s)", "bulk(s)");
+  PrintRule();
+  for (size_t k : {size_t{1}, size_t{10}, size_t{100}}) {
+    RunCase(setup, base, k, tmp_dir);
+  }
+}
+
+}  // namespace
+}  // namespace dime
+
+int main(int argc, char** argv) {
+  if (!dime::bench::GuardReleaseBuild(&argc, argv)) return 1;
+  std::string json_path;
+  std::string label = "current";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) {
+      label = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  const char* env_tmp = std::getenv("TMPDIR");
+  std::string tmp_dir = env_tmp != nullptr ? env_tmp : "/tmp";
+  dime::Run(tmp_dir);
+  if (!json_path.empty() && !dime::WriteJson(json_path, label)) return 1;
+  return 0;
+}

@@ -17,13 +17,17 @@
 //
 // Client mode — one request to a running dime_server, then exit:
 //   dime_cli --client --port <n> [--host 127.0.0.1] [group.tsv]
-//            [--request check|stats|ping|shutdown] [--group-name <name>]
+//            [--request check|stats|ping|shutdown|reload]
+//            [--group-name <name>]
 //            [--deadline-ms <n>] [--engine e] [--no-cache]
-//            [--timeout-ms <n>] [--id <s>]
+//            [--timeout-ms <n>] [--id <s>] [--no-retry]
 // The raw response line is printed to stdout and the process exits with
 // the Status-coded exit code of the response's "status" field (see
 // src/common/exit_code.h) — so shell scripts can branch on exactly what
-// the server answered. Connection failures exit UNAVAILABLE (11).
+// the server answered. An unreachable server (connection refused — e.g.
+// the race between starting dime_server and its first accept) is retried
+// up to 3 times with jittered exponential backoff before exiting
+// UNAVAILABLE (11); --no-retry fails fast on the first refusal.
 //
 // --deadline-ms bounds the run: on expiry the scrollbar computed so far is
 // printed (still monotone, a subset of the full answer) with a note, and
@@ -48,14 +52,19 @@
 //
 // Run with no arguments for a self-contained demo on a generated page.
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/deadline.h"
+#include "src/common/random.h"
 #include "src/common/exit_code.h"
 #include "src/core/dime_parallel.h"
 #include "src/core/dime_plus.h"
@@ -77,6 +86,41 @@ int UsageError(const char* fmt, const char* detail = nullptr) {
   return dime::ExitCodeForStatusCode(dime::StatusCode::kInvalidArgument);
 }
 
+/// Sends `line`, retrying an unreachable server (UNAVAILABLE: connection
+/// refused, or a connect cut short by a signal) with jittered exponential
+/// backoff — 3 attempts, ~100ms then ~200ms between them. Only connect
+/// failures retry: once a connection existed, the request may have been
+/// acted on, and blindly resending a non-idempotent verb (shutdown,
+/// reload) would be wrong.
+dime::StatusOr<std::string> SendWithRetry(const std::string& host, int port,
+                                          const std::string& line,
+                                          int timeout_ms, bool retry) {
+  using namespace dime;
+  constexpr int kAttempts = 3;
+  // Seeded per process: backoff jitter must differ between the N clients
+  // a script launches at once, not across reruns of one client.
+  Random jitter(static_cast<uint64_t>(::getpid()) * 0x9e3779b97f4a7c15ULL +
+                static_cast<uint64_t>(timeout_ms));
+  StatusOr<std::string> response = UnavailableError("no attempt made");
+  for (int attempt = 0; attempt < (retry ? kAttempts : 1); ++attempt) {
+    if (attempt > 0) {
+      int64_t base_ms = 100LL << (attempt - 1);
+      int64_t sleep_ms = base_ms / 2 + jitter.UniformInt(0, base_ms);
+      std::fprintf(stderr,
+                   "dime_cli: server unreachable (attempt %d/%d); retrying "
+                   "in %lldms\n",
+                   attempt, kAttempts, static_cast<long long>(sleep_ms));
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+    response = SendRequestLine(host, port, line, timeout_ms);
+    if (response.ok() ||
+        response.status().code() != StatusCode::kUnavailable) {
+      return response;
+    }
+  }
+  return response;
+}
+
 /// --client: send exactly one request to a running dime_server, print the
 /// raw response line, and exit with the Status-coded exit code of the
 /// response (UNAVAILABLE when the server cannot be reached at all).
@@ -85,6 +129,7 @@ int RunClient(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 0;
   int timeout_ms = 30000;
+  bool retry = true;
   std::string request_type = "check";
   std::string group_path;
   WireRequest request;
@@ -116,6 +161,8 @@ int RunClient(int argc, char** argv) {
       request.no_cache = true;
     } else if (arg == "--id") {
       request.id = next();
+    } else if (arg == "--no-retry") {
+      retry = false;
     } else if (!arg.empty() && arg[0] != '-') {
       group_path = arg;
     } else {
@@ -145,12 +192,15 @@ int RunClient(int argc, char** argv) {
     request.type = WireRequest::Type::kPing;
   } else if (request_type == "shutdown") {
     request.type = WireRequest::Type::kShutdown;
+  } else if (request_type == "reload") {
+    request.type = WireRequest::Type::kReload;
   } else {
-    return UsageError("--request must be check, stats, ping, or shutdown");
+    return UsageError(
+        "--request must be check, stats, ping, shutdown, or reload");
   }
 
-  StatusOr<std::string> response =
-      SendRequestLine(host, port, SerializeRequest(request), timeout_ms);
+  StatusOr<std::string> response = SendWithRetry(
+      host, port, SerializeRequest(request), timeout_ms, retry);
   if (!response.ok()) {
     return ExitWithStatus(response.status(),
                           ("dime_server at " + host + ":" +

@@ -18,6 +18,13 @@
 ///   "io/read"                TSV/file reads fail with IO_ERROR
 ///   "parallel/worker-fault"  a RunDimeParallel worker throws
 ///   "engine/deadline"        engines behave as if the deadline expired
+///   "store/mmap"             snapshot loads take the read() fallback
+///   "store/swap"             ReloadFromSnapshot fails (UNAVAILABLE)
+///                            before anything is installed
+///   "store/delta-corrupt"    the next delta-log record fails its CRC
+///                            check (DATA_LOSS degradation path)
+///   "epoch/unmap-delay"      a retiring epoch sleeps before unmapping,
+///                            widening the swap/serve race for tests
 ///
 /// Usage (in a test):
 ///   ScopedFailpoint fp("io/read");          // arm for 1 hit

@@ -64,6 +64,12 @@ void ResultCache::Insert(const Fingerprint& key,
   ++counters_.insertions;
 }
 
+void ResultCache::Clear() {
+  MutexLock lock(&mu_);
+  index_.clear();
+  lru_.clear();
+}
+
 ResultCache::Counters ResultCache::counters() const {
   MutexLock lock(&mu_);
   Counters out = counters_;

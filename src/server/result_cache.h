@@ -82,6 +82,11 @@ class ResultCache {
   void Insert(const Fingerprint& key, std::shared_ptr<const DimeResult> value)
       DIME_EXCLUDES(mu_);
 
+  /// Drops every entry (hit/miss counters survive). Used on corpus epoch
+  /// swaps: key fingerprints already prevent cross-epoch hits, so this is
+  /// hygiene — superseded entries would only occupy LRU slots.
+  void Clear() DIME_EXCLUDES(mu_);
+
   struct Counters {
     uint64_t hits = 0;
     uint64_t misses = 0;

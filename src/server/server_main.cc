@@ -19,30 +19,54 @@
 //               [--workers N] [--queue-cap N] [--cache-cap N]
 //               [--default-deadline-ms N] [--engine naive|plus|parallel]
 //               [--idle-timeout-ms N]
+//   live corpus (see DESIGN.md "Live corpus & epochs"):
+//               [--watch] [--watch-interval-ms N]  # poll --snapshot for a
+//                                                  # fingerprint change and
+//                                                  # swap the new file in
+//               [--delta-log log.dlt]              # apply pending deltas on
+//                                                  # reload / past threshold
+//               [--delta-threshold-bytes N]
+//
+// The corpus is served through refcounted epochs (src/store/epoch.h): a
+// reload — from the admin {"type":"reload"} verb, the --watch poller, or
+// a delta-log merge — publishes a new epoch atomically. In-flight
+// requests finish on the epoch they started on; a reload that fails
+// leaves the last good epoch serving (logged warning, never a crash).
 //
 // On startup the server prints exactly one line
 //   dime_server listening on <host>:<port>
 // to stdout (flushed), so scripts can scrape the bound port when using
-// --port 0. It exits 0 after a clean {"type":"shutdown"} round trip;
+// --port 0. It exits 0 after a clean {"type":"shutdown"} round trip OR a
+// SIGTERM/SIGINT (stop accepting, drain admitted work, flush stats);
 // failures exit with the Status-coded mapping of src/common/exit_code.h.
 //
 // Smoke test from a shell (see also `dime_cli --client`):
 //   dime_server --demo --port 7421 &
 //   dime_cli --client --port 7421 --request ping
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/exit_code.h"
+#include "src/common/logging.h"
 #include "src/datagen/presets.h"
 #include "src/ontology/builtin.h"
 #include "src/datagen/scholar_gen.h"
 #include "src/rules/rule_io.h"
 #include "src/server/tcp_server.h"
+#include "src/store/delta_log.h"
 #include "src/store/snapshot.h"
 
 namespace {
@@ -80,6 +104,89 @@ int Usage(const char* msg) {
   return ExitCodeForStatusCode(StatusCode::kInvalidArgument);
 }
 
+/// Shared between the wire "reload" handler and the --watch poller.
+struct LiveCorpusState {
+  DimeService* service = nullptr;
+  std::string snapshot_path;   ///< empty: no snapshot source
+  std::string delta_log_path;  ///< empty: no delta source
+
+  Mutex mu;
+  /// Fingerprint of the snapshot FILE last loaded (not the serving
+  /// epoch's — a delta merge moves the epoch fingerprint past the
+  /// file's, and the watcher must not re-load an unchanged file).
+  uint64_t loaded_fp_lo DIME_GUARDED_BY(mu) = 0;
+  uint64_t loaded_fp_hi DIME_GUARDED_BY(mu) = 0;
+};
+
+uint64_t FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+/// A delta log that was merged into an epoch is rotated aside so its
+/// records are not applied twice; external producers simply start a
+/// fresh log at the original path.
+void RotateDeltaLog(const std::string& path, uint64_t sequence) {
+  std::string rotated = path + ".applied." + std::to_string(sequence);
+  if (std::rename(path.c_str(), rotated.c_str()) != 0) {
+    DIME_LOG(WARNING) << "cannot rotate applied delta log " << path << ": "
+                      << std::strerror(errno);
+  }
+}
+
+/// The full reload sequence: re-read the snapshot (when configured),
+/// then merge any pending delta log on top. Any failure leaves the last
+/// good epoch serving; a bad delta log after a good snapshot load keeps
+/// the snapshot epoch (logged, degraded, never crashed).
+StatusOr<ReloadOutcome> ReloadSources(LiveCorpusState* state) {
+  StatusOr<ReloadOutcome> outcome =
+      InvalidArgumentError("no corpus source to reload");
+  bool have_snapshot_epoch = false;
+  if (!state->snapshot_path.empty()) {
+    outcome = state->service->ReloadFromSnapshot(state->snapshot_path);
+    if (!outcome.ok()) return outcome;
+    have_snapshot_epoch = true;
+    MutexLock lock(&state->mu);
+    state->loaded_fp_lo = outcome->fingerprint_lo;
+    state->loaded_fp_hi = outcome->fingerprint_hi;
+  }
+  if (!state->delta_log_path.empty() &&
+      FileSize(state->delta_log_path) > kDeltaLogHeaderSize) {
+    StatusOr<ReloadOutcome> merged =
+        state->service->ApplyDeltaLog(state->delta_log_path);
+    if (merged.ok()) {
+      if (merged->torn_tail) {
+        DIME_LOG(WARNING) << "delta log " << state->delta_log_path
+                          << " had a torn final record (dropped; the "
+                             "applied prefix is intact)";
+      }
+      RotateDeltaLog(state->delta_log_path, merged->sequence);
+      return merged;
+    }
+    if (have_snapshot_epoch) {
+      DIME_LOG(WARNING) << "delta log " << state->delta_log_path
+                        << " unusable (" << merged.status().ToString()
+                        << "); serving the snapshot epoch without it";
+      return outcome;
+    }
+    return merged;
+  }
+  return outcome;
+}
+
+/// Self-pipe for SIGTERM/SIGINT: the handler only write()s (async-signal
+/// safe); a helper thread turns the byte into TcpServer::RequestShutdown
+/// so the server drains through the same path as a wire shutdown.
+int g_signal_pipe_write = -1;
+
+extern "C" void HandleTermSignal(int signo) {
+  unsigned char byte = static_cast<unsigned char>(signo);
+  if (g_signal_pipe_write >= 0) {
+    [[maybe_unused]] ssize_t n = ::write(g_signal_pipe_write, &byte, 1);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -91,6 +198,10 @@ int main(int argc, char** argv) {
   bool use_venue_ontology = false;
   std::vector<std::string> ontology_paths;
   std::vector<std::string> ontology_modes;
+  bool watch = false;
+  int watch_interval_ms = 500;
+  std::string delta_log_path;
+  uint64_t delta_threshold_bytes = 4096;
   TcpServerOptions transport;
   ServiceOptions options;
 
@@ -123,6 +234,15 @@ int main(int argc, char** argv) {
         return Usage("--ontology-mode needs a preceding --ontology");
       }
       ontology_modes.back() = next();
+    } else if (arg == "--watch") {
+      watch = true;
+    } else if (arg == "--watch-interval-ms") {
+      watch_interval_ms = static_cast<int>(std::strtol(next(), nullptr, 10));
+      if (watch_interval_ms < 10) watch_interval_ms = 10;
+    } else if (arg == "--delta-log") {
+      delta_log_path = next();
+    } else if (arg == "--delta-threshold-bytes") {
+      delta_threshold_bytes = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--host") {
       transport.host = next();
     } else if (arg == "--port") {
@@ -154,11 +274,16 @@ int main(int argc, char** argv) {
           "  [--venue-ontology] [--ontology <tree> --ontology-mode m]\n"
           "  [--host H] [--port N] [--workers N] [--queue-cap N]\n"
           "  [--cache-cap N] [--default-deadline-ms N] [--engine e]\n"
-          "  [--idle-timeout-ms N] [--demo-pages N]\n");
+          "  [--idle-timeout-ms N] [--demo-pages N]\n"
+          "  [--watch] [--watch-interval-ms N]\n"
+          "  [--delta-log <file>] [--delta-threshold-bytes N]\n");
       return 0;
     } else {
       return Usage(("unknown flag: " + arg).c_str());
     }
+  }
+  if (watch && snapshot_path.empty()) {
+    return Usage("--watch needs --snapshot (it polls that file)");
   }
 
   ServingCorpus corpus;
@@ -245,33 +370,150 @@ int main(int argc, char** argv) {
                           "startup");
   }
 
+  const uint64_t boot_fp_lo = corpus.content_fingerprint_lo;
+  const uint64_t boot_fp_hi = corpus.content_fingerprint_hi;
   DimeService service(std::move(corpus), options);
+
+  LiveCorpusState live;
+  live.service = &service;
+  live.snapshot_path = warm_started || !snapshot_path.empty()
+                           ? snapshot_path
+                           : std::string();
+  live.delta_log_path = delta_log_path;
+  {
+    MutexLock lock(&live.mu);
+    live.loaded_fp_lo = boot_fp_lo;
+    live.loaded_fp_hi = boot_fp_hi;
+  }
+  if (!live.snapshot_path.empty() || !live.delta_log_path.empty()) {
+    transport.reload_handler = [&live]() { return ReloadSources(&live); };
+  }
+
   TcpServer server(&service, transport);
   Status started = server.Start();
   if (!started.ok()) return ExitWithStatus(started, "startup");
 
+  // Graceful SIGTERM/SIGINT: handler writes one byte to a pipe; the
+  // helper thread requests shutdown, and main drains exactly like a wire
+  // shutdown (stop accepting, drain admitted work, flush stats, exit 0).
+  int signal_pipe[2] = {-1, -1};
+  std::thread signal_thread;
+  if (::pipe(signal_pipe) == 0) {
+    g_signal_pipe_write = signal_pipe[1];
+    std::signal(SIGTERM, HandleTermSignal);
+    std::signal(SIGINT, HandleTermSignal);
+    signal_thread = std::thread([&server, fd = signal_pipe[0]] {
+      unsigned char byte = 0;
+      while (true) {
+        ssize_t n = ::read(fd, &byte, 1);
+        if (n < 0 && errno == EINTR) continue;
+        break;
+      }
+      if (byte != 0) {
+        std::fprintf(stderr, "dime_server: caught signal %d; draining\n",
+                     static_cast<int>(byte));
+      }
+      server.RequestShutdown();
+    });
+  }
+
+  // --watch: poll the snapshot file's tail fingerprint (InspectSnapshot
+  // validates header/tail without parsing payloads — cheap) and swap a
+  // changed file in; also merge the delta log once it crosses the size
+  // threshold (the "recompute in bulk" trigger).
+  std::atomic<bool> watch_stop{false};
+  std::thread watcher;
+  if (watch || (!delta_log_path.empty() && !live.snapshot_path.empty()) ||
+      (!delta_log_path.empty() && demo)) {
+    watcher = std::thread([&] {
+      uint64_t last_bad_delta_size = 0;
+      while (!watch_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(watch_interval_ms));
+        if (watch_stop.load(std::memory_order_relaxed)) break;
+        bool snapshot_changed = false;
+        if (watch && !live.snapshot_path.empty()) {
+          StatusOr<SnapshotInfo> info = InspectSnapshot(live.snapshot_path);
+          if (info.ok()) {
+            MutexLock lock(&live.mu);
+            snapshot_changed = info->fingerprint_lo != live.loaded_fp_lo ||
+                               info->fingerprint_hi != live.loaded_fp_hi;
+          }
+        }
+        uint64_t delta_size =
+            live.delta_log_path.empty() ? 0 : FileSize(live.delta_log_path);
+        bool delta_ready =
+            delta_size >= kDeltaLogHeaderSize + delta_threshold_bytes &&
+            delta_size != last_bad_delta_size;
+        if (!snapshot_changed && !delta_ready) continue;
+        StatusOr<ReloadOutcome> outcome =
+            snapshot_changed
+                ? ReloadSources(&live)
+                : service.ApplyDeltaLog(live.delta_log_path);
+        if (outcome.ok()) {
+          if (!snapshot_changed) {
+            RotateDeltaLog(live.delta_log_path, outcome->sequence);
+          }
+          last_bad_delta_size = 0;
+          std::printf("dime_server: swapped in epoch %llu (%zu group(s), "
+                      "%zu delta record(s))\n",
+                      static_cast<unsigned long long>(outcome->sequence),
+                      outcome->groups, outcome->delta_records);
+          std::fflush(stdout);
+        } else {
+          // Degrade: the last good epoch keeps serving. Remember the
+          // failing delta size so an unchanged bad log warns once, not
+          // once per poll.
+          if (delta_ready) last_bad_delta_size = delta_size;
+          DIME_LOG(WARNING)
+              << "live reload failed (" << outcome.status().ToString()
+              << "); serving last good epoch "
+              << service.Stats().epoch_sequence;
+        }
+      }
+    });
+  }
+
   std::printf("dime_server listening on %s:%d\n", transport.host.c_str(),
               server.port());
-  std::printf(
-      "  corpus: %zu preloaded group(s), %zu positive / %zu negative "
-      "rule(s); workers=%u queue=%zu cache=%zu engine=%s\n",
-      service.corpus().groups.size(), service.corpus().positive.size(),
-      service.corpus().negative.size(), service.options().num_workers,
-      service.options().queue_capacity, service.options().cache_capacity,
-      EngineKindName(service.options().default_engine));
+  {
+    std::shared_ptr<const CorpusEpoch> epoch = service.CurrentEpoch();
+    std::printf(
+        "  corpus: %zu preloaded group(s), %zu positive / %zu negative "
+        "rule(s); workers=%u queue=%zu cache=%zu engine=%s\n",
+        epoch->corpus().groups.size(), epoch->corpus().positive.size(),
+        epoch->corpus().negative.size(), service.options().num_workers,
+        service.options().queue_capacity, service.options().cache_capacity,
+        EngineKindName(service.options().default_engine));
+  }
   std::fflush(stdout);
 
-  server.Wait();  // until a {"type":"shutdown"} request
+  server.Wait();  // until a shutdown request or SIGTERM/SIGINT
+
+  watch_stop.store(true, std::memory_order_relaxed);
+  if (signal_thread.joinable()) {
+    // Wake the helper if no signal ever arrived (byte 0 = not a signal).
+    unsigned char zero = 0;
+    [[maybe_unused]] ssize_t n = ::write(signal_pipe[1], &zero, 1);
+    signal_thread.join();
+  }
   server.Stop();
   service.Shutdown();
+  if (watcher.joinable()) watcher.join();
+  if (signal_pipe[0] >= 0) {
+    g_signal_pipe_write = -1;
+    ::close(signal_pipe[0]);
+    ::close(signal_pipe[1]);
+  }
 
   StatsSnapshot stats = service.Stats();
   std::printf(
       "dime_server: clean shutdown (accepted=%llu rejected=%llu "
-      "cache_hits=%llu cache_misses=%llu)\n",
+      "cache_hits=%llu cache_misses=%llu epochs=%llu)\n",
       static_cast<unsigned long long>(stats.accepted),
       static_cast<unsigned long long>(stats.rejected),
       static_cast<unsigned long long>(stats.cache_hits),
-      static_cast<unsigned long long>(stats.cache_misses));
+      static_cast<unsigned long long>(stats.cache_misses),
+      static_cast<unsigned long long>(stats.epochs_installed));
   return 0;
 }

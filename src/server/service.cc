@@ -7,7 +7,7 @@
 #include <utility>
 
 #include "src/common/check.h"
-#include "src/rules/rule_io.h"
+#include "src/common/fault_injection.h"
 
 namespace dime {
 namespace {
@@ -54,8 +54,11 @@ bool EngineKindFromName(std::string_view name, EngineKind* kind) {
 /// The deadline inside `control` is anchored at ADMISSION time, so time
 /// spent waiting in the queue counts against it — a request that waited
 /// out its whole budget is answered DEADLINE_EXCEEDED without touching
-/// the engine.
+/// the engine. `epoch` is the generation pinned at admission: the worker
+/// serves from it even if a swap lands while the request waits, and the
+/// pin keeps `group` valid when it points into the epoch's corpus.
 struct DimeService::PendingCheck {
+  std::shared_ptr<const CorpusEpoch> epoch;
   const Group* group = nullptr;
   EngineKind engine = EngineKind::kPlus;
   RunControl control;
@@ -65,34 +68,12 @@ struct DimeService::PendingCheck {
   std::promise<CheckReply> promise;
 };
 
-ServingCorpus CorpusFromSnapshot(LoadedSnapshot snapshot) {
-  ServingCorpus corpus;
-  corpus.schema = std::move(snapshot.schema);
-  corpus.positive = std::move(snapshot.positive);
-  corpus.negative = std::move(snapshot.negative);
-  corpus.context = std::move(snapshot.context);
-  corpus.shared_trees = std::move(snapshot.owned_trees);
-  corpus.groups = std::move(snapshot.groups);
-  corpus.prepared = std::move(snapshot.prepared);
-  corpus.content_fingerprint_lo = snapshot.fingerprint_lo;
-  corpus.content_fingerprint_hi = snapshot.fingerprint_hi;
-  corpus.backing = std::move(snapshot.backing);
-  return corpus;
-}
-
 DimeService::DimeService(ServingCorpus corpus, ServiceOptions options)
-    : corpus_(std::move(corpus)),
-      options_(NormalizeOptions(std::move(options))),
-      rules_text_(
-          RuleSetToText(corpus_.schema, corpus_.positive, corpus_.negative)),
+    : options_(NormalizeOptions(std::move(options))),
+      epochs_(options_.epoch_retire_hook),
       cache_(options_.cache_capacity),
       queue_(options_.queue_capacity) {
-  for (size_t i = 0;
-       i < corpus_.prepared.size() && i < corpus_.groups.size(); ++i) {
-    if (corpus_.prepared[i] != nullptr) {
-      prepared_by_group_[&corpus_.groups[i]] = corpus_.prepared[i].get();
-    }
-  }
+  epochs_.Install(std::move(corpus));
   workers_.reserve(options_.num_workers);
   for (unsigned i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -109,35 +90,125 @@ void DimeService::Shutdown() {
   workers_joined_ = true;
 }
 
+std::shared_ptr<const CorpusEpoch> DimeService::CurrentEpoch() const {
+  return epochs_.Pin();
+}
+
 const Group* DimeService::FindGroup(std::string_view name) const {
-  for (const Group& group : corpus_.groups) {
-    if (group.name == name) return &group;
+  return epochs_.Pin()->FindGroup(name);
+}
+
+ReloadOutcome DimeService::InstallCorpus(ServingCorpus corpus) {
+  std::shared_ptr<const CorpusEpoch> epoch =
+      epochs_.Install(std::move(corpus));
+  // Hygiene, not correctness: keys already fold the epoch fingerprint,
+  // so stale entries could never hit — but they would sit in the LRU
+  // evicting useful ones.
+  cache_.Clear();
+  ReloadOutcome outcome;
+  outcome.sequence = epoch->sequence();
+  outcome.fingerprint_lo = epoch->fingerprint_lo();
+  outcome.fingerprint_hi = epoch->fingerprint_hi();
+  outcome.groups = epoch->corpus().groups.size();
+  return outcome;
+}
+
+StatusOr<ReloadOutcome> DimeService::ReloadFromSnapshot(
+    const std::string& path) {
+  if (DIME_FAULT_POINT("store/swap")) {
+    return UnavailableError(
+        "injected fault at store/swap: reload of " + path +
+        " abandoned before install");
   }
-  return nullptr;
+  StatusOr<LoadedSnapshot> loaded = LoadSnapshot(path);
+  if (!loaded.ok()) return loaded.status();
+  return InstallCorpus(CorpusFromSnapshot(std::move(loaded).value()));
+}
+
+StatusOr<ReloadOutcome> DimeService::ApplyDeltaLog(const std::string& path) {
+  StatusOr<DeltaLogContents> log = ReadDeltaLog(path);
+  if (!log.ok()) return log.status();
+
+  std::shared_ptr<const CorpusEpoch> base = epochs_.Pin();
+  const ServingCorpus& old = base->corpus();
+
+  // Every record must name a resident group, or the merge is refused
+  // whole: a half-applied log must never become an epoch.
+  for (size_t r = 0; r < log->records.size(); ++r) {
+    if (base->FindGroup(log->records[r].group) == nullptr) {
+      return NotFoundError("delta record " + std::to_string(r) +
+                           " names unknown group '" + log->records[r].group +
+                           "'");
+    }
+  }
+
+  ServingCorpus next;
+  next.schema = old.schema;
+  next.positive = old.positive;
+  next.negative = old.negative;
+  next.context = old.context;
+  // Ontology trees are shared with the base epoch, so the raw pointers
+  // inside next.context stay valid in both generations.
+  next.shared_trees = old.shared_trees;
+  next.groups = old.groups;  // deep copies — the records mutate these
+
+  size_t applied_total = 0;
+  for (Group& group : next.groups) {
+    size_t applied = 0;
+    Status status = ApplyDeltaRecords(log->records, &group, &applied);
+    if (!status.ok()) return status;
+    applied_total += applied;
+  }
+
+  // Re-prepare so the merged epoch serves fully warm, exactly like a
+  // snapshot load (this is the bulk-recompute half of the incremental
+  // split; the per-request IncrementalDime path stays for small deltas).
+  next.prepared.reserve(next.groups.size());
+  for (const Group& group : next.groups) {
+    next.prepared.push_back(std::make_shared<PreparedGroup>(
+        PrepareGroup(group, next.positive, next.negative, next.context)));
+  }
+
+  ReloadOutcome outcome = InstallCorpus(std::move(next));
+  outcome.delta_records = applied_total;
+  outcome.torn_tail = log->torn_tail;
+  {
+    MutexLock lock(&stats_mu_);
+    delta_records_applied_ += applied_total;
+  }
+  return outcome;
 }
 
 Fingerprint DimeService::RequestFingerprint(EngineKind engine,
                                             const Group& group) const {
+  return RequestFingerprint(engine, group, *epochs_.Pin());
+}
+
+Fingerprint DimeService::RequestFingerprint(EngineKind engine,
+                                            const Group& group,
+                                            const CorpusEpoch& epoch) const {
   std::string tsv = GroupToTsv(group);
   std::string bytes;
   // '\x1f' (unit separator) cannot occur in the TSV or rule grammars, so
   // the concatenation is unambiguous (no component can absorb another).
-  bytes.reserve(rules_text_.size() + tsv.size() + 16);
+  const std::string& rules_text = epoch.rules_text();
+  bytes.reserve(rules_text.size() + tsv.size() + 16);
   bytes += EngineKindName(engine);
   bytes += '\x1f';
-  bytes += rules_text_;
+  bytes += rules_text;
   bytes += '\x1f';
   bytes += tsv;
   Fingerprint fp = FingerprintBytes(bytes);
-  // Fold the corpus content fingerprint in (zero for TSV-ingested
-  // corpora, so their keys are unchanged): two services warm-started from
-  // different snapshots of the "same" group can never share a cache slot.
-  fp.lo ^= corpus_.content_fingerprint_lo * 0x9e3779b97f4a7c15ULL;
-  fp.hi ^= corpus_.content_fingerprint_hi * 0xc2b2ae3d27d4eb4fULL;
+  // Fold the epoch content fingerprint in: two epochs that differ
+  // anywhere (different snapshot, delta-merged successor) can never share
+  // a cache slot, while identical content legitimately can.
+  fp.lo ^= epoch.fingerprint_lo() * 0x9e3779b97f4a7c15ULL;
+  fp.hi ^= epoch.fingerprint_hi() * 0xc2b2ae3d27d4eb4fULL;
   return fp;
 }
 
 StatusOr<CheckReply> DimeService::Check(const CheckRequest& request) {
+  std::shared_ptr<const CorpusEpoch> epoch = epochs_.Pin();
   const Group* group = request.group;
   if (group == nullptr) {
     if (request.group_name.empty()) {
@@ -145,29 +216,33 @@ StatusOr<CheckReply> DimeService::Check(const CheckRequest& request) {
           "check request names no group (inline group or group_name "
           "required)");
     }
-    group = FindGroup(request.group_name);
+    // Resolved against the epoch pinned above — never against a corpus
+    // that a concurrent swap might retire under us.
+    group = epoch->FindGroup(request.group_name);
     if (group == nullptr) {
       return NotFoundError("unknown group '" + request.group_name + "'");
     }
   } else if (group->schema.attribute_names() !=
-             corpus_.schema.attribute_names()) {
+             epoch->corpus().schema.attribute_names()) {
     return SchemaMismatchError(
         "inline group schema does not match the serving corpus schema");
   }
 
   EngineKind engine = request.engine.value_or(options_.default_engine);
-  Fingerprint fp = RequestFingerprint(engine, *group);
+  Fingerprint fp = RequestFingerprint(engine, *group, *epoch);
   Deadline::Clock::time_point admit_time = Deadline::Clock::now();
 
   if (!request.bypass_cache) {
     if (std::shared_ptr<const DimeResult> hit = cache_.Lookup(fp)) {
       RecordAdmitted();
       RecordCompleted(admit_time);
-      return CheckReply{std::move(hit), /*cache_hit=*/true};
+      return CheckReply{std::move(hit), /*cache_hit=*/true, std::move(epoch),
+                        group};
     }
   }
 
   auto pending = std::make_unique<PendingCheck>();
+  pending->epoch = std::move(epoch);
   pending->group = group;
   pending->engine = engine;
   int64_t deadline_ms = request.deadline_ms > 0 ? request.deadline_ms
@@ -207,12 +282,14 @@ void DimeService::WorkerLoop() {
 }
 
 CheckReply DimeService::Execute(PendingCheck& pending) {
+  const ServingCorpus& corpus = pending.epoch->corpus();
   Status admitted = pending.control.Check("server/worker-start");
   if (!admitted.ok()) {
     // The deadline ran out while the request sat in the queue: answer
     // with an empty-but-valid result, exactly like RunCorpus does for
     // groups that start after expiry.
-    return CheckReply{ResultWithStatus(std::move(admitted)), false};
+    return CheckReply{ResultWithStatus(std::move(admitted)), false,
+                      pending.epoch, pending.group};
   }
 
   auto result = std::make_shared<DimeResult>();
@@ -220,29 +297,27 @@ CheckReply DimeService::Execute(PendingCheck& pending) {
   // capture anything the engines throw (e.g. bad_alloc on a pathological
   // group) as an INTERNAL result instead of unwinding through the pool.
   try {
-    // Snapshot-preloaded groups come fully prepared (with rule artifacts
-    // attached) — the warm-start payoff is skipping this PrepareGroup.
+    // Snapshot-preloaded (or delta-merge re-prepared) groups come fully
+    // prepared with rule artifacts attached — the warm-start payoff is
+    // skipping this PrepareGroup.
     PreparedGroup local;
-    const PreparedGroup* pg;
-    auto preloaded = prepared_by_group_.find(pending.group);
-    if (preloaded != prepared_by_group_.end()) {
-      pg = preloaded->second;
-    } else {
-      local = PrepareGroup(*pending.group, corpus_.positive,
-                           corpus_.negative, corpus_.context);
+    const PreparedGroup* pg = pending.epoch->FindPrepared(pending.group);
+    if (pg == nullptr) {
+      local = PrepareGroup(*pending.group, corpus.positive, corpus.negative,
+                           corpus.context);
       pg = &local;
     }
     switch (pending.engine) {
       case EngineKind::kNaive:
         *result =
-            RunDime(*pg, corpus_.positive, corpus_.negative, pending.control);
+            RunDime(*pg, corpus.positive, corpus.negative, pending.control);
         break;
       case EngineKind::kPlus:
-        *result = RunDimePlus(*pg, corpus_.positive, corpus_.negative,
+        *result = RunDimePlus(*pg, corpus.positive, corpus.negative,
                               options_.dime_plus, pending.control);
         break;
       case EngineKind::kParallel:
-        *result = RunDimeParallel(*pg, corpus_.positive, corpus_.negative,
+        *result = RunDimeParallel(*pg, corpus.positive, corpus.negative,
                                   options_.parallel, pending.control);
         break;
     }
@@ -259,7 +334,7 @@ CheckReply DimeService::Execute(PendingCheck& pending) {
   if (pending.cache_insert && shared->status.ok()) {
     cache_.Insert(pending.fp, shared);
   }
-  return CheckReply{std::move(shared), false};
+  return CheckReply{std::move(shared), false, pending.epoch, pending.group};
 }
 
 void DimeService::RecordEngineStats(const DimeResult& result) {
@@ -323,10 +398,14 @@ StatsSnapshot DimeService::Stats() const {
   s.queue_depth = queue_.size();
   s.queue_capacity = queue_.capacity();
   s.workers = options_.num_workers;
+  s.epoch_sequence = epochs_.current_sequence();
+  s.epochs_installed = epochs_.installed();
+  s.epochs_retired = epochs_.retired();
   MutexLock lock(&stats_mu_);
   s.accepted = accepted_;
   s.rejected = rejected_;
   s.completed = completed_;
+  s.delta_records_applied = delta_records_applied_;
   s.pairs_skipped_by_transitivity = engine_transitivity_skips_;
   s.kernel_early_exits = engine_kernel_exits_;
   s.p50_ms = PercentileFromBuckets(latency_buckets_, kLatencyBuckets, 0.50);

@@ -8,7 +8,6 @@
 #include <string>
 #include <string_view>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/deadline.h"
@@ -19,7 +18,8 @@
 #include "src/core/dime_plus.h"
 #include "src/server/request_queue.h"
 #include "src/server/result_cache.h"
-#include "src/store/snapshot.h"
+#include "src/store/delta_log.h"
+#include "src/store/epoch.h"
 
 /// \file service.h
 /// The resident DIME service: loads a corpus (rules, ontologies, optional
@@ -30,7 +30,7 @@
 ///
 /// Request lifecycle:
 ///
-///   Check() ── fingerprint ──> result cache ── hit ──> reply (no engine)
+///   Check() ── pin epoch ── fingerprint ──> result cache ── hit ──> reply
 ///                 │ miss
 ///                 v
 ///         bounded queue  ── full ──> RESOURCE_EXHAUSTED (shed, never block)
@@ -41,6 +41,17 @@
 ///                 │           anchored at ADMISSION so queue wait counts)
 ///                 v
 ///         cache insert (complete results only) ──> reply
+///
+/// Live corpus. The corpus is no longer fixed at construction: it lives
+/// behind an EpochManager (store/epoch.h). Every request pins the current
+/// epoch at admission and serves entirely from it — a reload or delta
+/// merge mid-request cannot mix generations. InstallCorpus /
+/// ReloadFromSnapshot / ApplyDeltaLog publish a new epoch atomically;
+/// the superseded epoch's mmap is unmapped when its last in-flight
+/// request finishes. Cache correctness across swaps comes from the key:
+/// RequestFingerprint folds the epoch's content fingerprint, so entries
+/// cached under one generation can never answer for a different one
+/// (Clear() on install is hygiene, not the safety mechanism).
 ///
 /// Shutdown() closes the queue: admitted work drains, new work gets
 /// UNAVAILABLE. Every piece of shared state is a PR-2 annotated Mutex /
@@ -55,42 +66,6 @@ enum class EngineKind { kNaive, kPlus, kParallel };
 /// "naive" / "plus" / "parallel".
 const char* EngineKindName(EngineKind kind);
 bool EngineKindFromName(std::string_view name, EngineKind* kind);
-
-/// Everything the service holds resident: the schema the rules were
-/// parsed against, the rule set, the evaluation context (with owned
-/// ontology trees backing the context's refs), and optional preloaded
-/// groups addressable by name.
-struct ServingCorpus {
-  Schema schema;
-  std::vector<PositiveRule> positive;
-  std::vector<NegativeRule> negative;
-  DimeContext context;
-  /// Backing storage for `context.ontologies` pointers (moving the
-  /// unique_ptrs keeps the raw pointers stable).
-  std::vector<std::unique_ptr<Ontology>> owned_trees;
-  /// Snapshot-loaded ontology trees (the loader owns them shared).
-  std::vector<std::shared_ptr<const Ontology>> shared_trees;
-  /// Preloaded groups, addressable by Group::name in CheckRequest.
-  std::vector<Group> groups;
-  /// Parallel to `groups` when warm-started from a snapshot (empty when
-  /// groups were TSV-ingested): fully prepared groups with rule artifacts
-  /// attached, arenas borrowed from `backing`. Workers serve these
-  /// directly instead of calling PrepareGroup per request.
-  std::vector<std::shared_ptr<const PreparedGroup>> prepared;
-  /// Content fingerprint of the snapshot backing this corpus (both zero
-  /// when not snapshot-loaded). Folded into every result-cache key so a
-  /// cache carried across corpus swaps can never serve a stale result.
-  uint64_t content_fingerprint_lo = 0;
-  uint64_t content_fingerprint_hi = 0;
-  /// Keep-alive for the mapped bytes `prepared` borrows from.
-  std::shared_ptr<const void> backing;
-};
-
-/// Adapts a loaded snapshot into a serving corpus: groups, rules,
-/// context, prepared groups and the backing mapping all move over;
-/// internal pointers (prepared[i]->group, ontology refs) stay valid
-/// because vector storage moves wholesale.
-ServingCorpus CorpusFromSnapshot(LoadedSnapshot snapshot);
 
 struct ServiceOptions {
   /// Worker threads executing engine runs. 0 is normalized to 1.
@@ -109,6 +84,10 @@ struct ServiceOptions {
   /// request. Lets tests hold the pool at a barrier to fill the queue
   /// deterministically. Must not throw.
   std::function<void()> worker_pre_run_hook;
+  /// Test hook forwarded to the EpochManager: fires with the epoch's
+  /// sequence after a retired epoch is fully destroyed (mmap unmapped).
+  /// Must be thread-safe.
+  std::function<void(uint64_t)> epoch_retire_hook;
 };
 
 struct CheckRequest {
@@ -130,6 +109,26 @@ struct CheckReply {
   /// one (partial results follow the engine contract in dime.h).
   std::shared_ptr<const DimeResult> result;
   bool cache_hit = false;
+  /// The epoch this request was served under (pinned — the reply keeps
+  /// it alive, so `group` below is safe to read). Never null.
+  std::shared_ptr<const CorpusEpoch> epoch;
+  /// The group that was checked: the caller's inline group, or the
+  /// resolved corpus group owned by `epoch`.
+  const Group* group = nullptr;
+};
+
+/// What a successful corpus swap published (InstallCorpus /
+/// ReloadFromSnapshot / ApplyDeltaLog).
+struct ReloadOutcome {
+  uint64_t sequence = 0;  ///< the new epoch's sequence number
+  uint64_t fingerprint_lo = 0;
+  uint64_t fingerprint_hi = 0;
+  size_t groups = 0;  ///< groups resident in the new epoch
+  /// Delta records applied (ApplyDeltaLog only; 0 for snapshot reloads).
+  size_t delta_records = 0;
+  /// A truncated final record was dropped from the delta log (crash
+  /// mid-append; the applied prefix is intact).
+  bool torn_tail = false;
 };
 
 /// Counter snapshot served by the "stats" request type.
@@ -144,6 +143,13 @@ struct StatsSnapshot {
   size_t queue_depth = 0;
   size_t queue_capacity = 0;
   unsigned workers = 0;
+  /// Live-corpus counters: sequence of the epoch currently serving,
+  /// epochs published and fully retired (unmapped) over the service's
+  /// lifetime, and delta records merged in via ApplyDeltaLog.
+  uint64_t epoch_sequence = 0;
+  uint64_t epochs_installed = 0;
+  uint64_t epochs_retired = 0;
+  uint64_t delta_records_applied = 0;
   /// Cumulative DimeResult::Stats counters over every engine run this
   /// service executed (cache hits add nothing — no engine ran).
   uint64_t pairs_skipped_by_transitivity = 0;
@@ -157,6 +163,7 @@ struct StatsSnapshot {
 
 class DimeService {
  public:
+  /// `corpus` becomes epoch 1.
   DimeService(ServingCorpus corpus, ServiceOptions options);
   /// Shuts down (drains admitted work) if Shutdown was not called.
   ~DimeService();
@@ -178,16 +185,44 @@ class DimeService {
   /// Idempotent; blocks until the workers exit.
   void Shutdown();
 
-  /// Preloaded group by name, or nullptr. Stable for the service's
-  /// lifetime (the corpus is immutable once loaded).
+  /// Pins and returns the epoch currently serving. Never null.
+  std::shared_ptr<const CorpusEpoch> CurrentEpoch() const;
+
+  /// Preloaded group by name in the CURRENT epoch, or nullptr. The
+  /// pointer stays valid until the next Install retires that epoch —
+  /// callers that might race a swap should go through CurrentEpoch() and
+  /// hold the pin instead.
   const Group* FindGroup(std::string_view name) const;
 
-  const ServingCorpus& corpus() const { return corpus_; }
+  /// Publishes `corpus` as the next epoch: in-flight requests finish on
+  /// the epoch they pinned, new requests see this one, and the old
+  /// epoch's backing is unmapped when its last pin drops. Also clears the
+  /// result cache (hygiene — key fingerprints already prevent stale
+  /// hits).
+  ReloadOutcome InstallCorpus(ServingCorpus corpus);
+
+  /// Loads `path` and installs it as the next epoch. On any load error
+  /// the current epoch keeps serving untouched. Failpoint "store/swap"
+  /// makes the reload fail (UNAVAILABLE) before anything is installed —
+  /// the degradation path a watcher or admin reload must survive.
+  StatusOr<ReloadOutcome> ReloadFromSnapshot(const std::string& path);
+
+  /// Reads the delta log at `path`, applies its records to a copy of the
+  /// current epoch's groups, re-prepares them, and installs the merged
+  /// corpus as the next epoch (the "recompute in bulk" half of the
+  /// incremental split — see delta_log.h). On any error — unreadable or
+  /// corrupt log (DATA_LOSS), a record naming an unknown group or entity
+  /// — nothing is installed and the current epoch keeps serving.
+  StatusOr<ReloadOutcome> ApplyDeltaLog(const std::string& path);
+
   const ServiceOptions& options() const { return options_; }
 
-  /// The cache key for (engine, corpus rule set, group content) — the
-  /// fingerprint described in result_cache.h. Exposed for tests.
+  /// The cache key for (engine, epoch content, group content) under the
+  /// current epoch — see result_cache.h. Exposed for tests.
   Fingerprint RequestFingerprint(EngineKind engine, const Group& group) const;
+  /// Same, under an explicit epoch (what Check uses internally).
+  Fingerprint RequestFingerprint(EngineKind engine, const Group& group,
+                                 const CorpusEpoch& epoch) const;
 
  private:
   struct PendingCheck;
@@ -201,14 +236,8 @@ class DimeService {
       DIME_EXCLUDES(stats_mu_);
   void RecordEngineStats(const DimeResult& result) DIME_EXCLUDES(stats_mu_);
 
-  const ServingCorpus corpus_;
   const ServiceOptions options_;
-  /// corpus_.prepared indexed by group pointer (empty for TSV corpora).
-  /// Immutable after construction.
-  std::unordered_map<const Group*, const PreparedGroup*> prepared_by_group_;
-  /// RuleSetToText(schema, positive, negative), computed once — the rule
-  /// component of every cache key.
-  const std::string rules_text_;
+  EpochManager epochs_;
 
   ResultCache cache_;
   BoundedRequestQueue<std::unique_ptr<PendingCheck>> queue_;
@@ -221,6 +250,7 @@ class DimeService {
   uint64_t accepted_ DIME_GUARDED_BY(stats_mu_) = 0;
   uint64_t rejected_ DIME_GUARDED_BY(stats_mu_) = 0;
   uint64_t completed_ DIME_GUARDED_BY(stats_mu_) = 0;
+  uint64_t delta_records_applied_ DIME_GUARDED_BY(stats_mu_) = 0;
   /// Log-bucketed latency histogram: bucket i counts requests whose
   /// admission-to-reply latency was in [2^(i-1), 2^i) microseconds.
   static constexpr int kLatencyBuckets = 40;

@@ -86,6 +86,44 @@ bool RecvLine(int fd, std::string* line) {
   }
 }
 
+/// Buffered line reader for connection threads: recv() in chunks, hand
+/// out lines. Retries EINTR; a partial chunk followed by more data is
+/// normal TCP segmentation, not an error.
+class LineReader {
+ public:
+  LineReader(int fd, size_t max_line_bytes)
+      : fd_(fd), max_line_bytes_(max_line_bytes) {}
+
+  /// False on EOF, timeout, hard error, or a line over the cap.
+  bool ReadLine(std::string* line) {
+    line->clear();
+    while (true) {
+      while (pos_ < buffer_.size()) {
+        char c = buffer_[pos_++];
+        if (c == '\n') return true;
+        line->push_back(c);
+        if (line->size() > max_line_bytes_) return false;
+      }
+      buffer_.clear();
+      pos_ = 0;
+      char chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n == 0) return false;  // EOF
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;  // timeout or hard error
+      }
+      buffer_.assign(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  const int fd_;
+  const size_t max_line_bytes_;
+  std::string buffer_;
+  size_t pos_ = 0;
+};
+
 }  // namespace
 
 TcpServer::TcpServer(DimeService* service, TcpServerOptions options)
@@ -164,35 +202,43 @@ std::string TcpServer::Dispatch(const std::string& line) {
       return SerializeStatsResponse(request.id, service_->Stats());
     case WireRequest::Type::kShutdown:
       return SerializeShutdownResponse(request.id);
+    case WireRequest::Type::kReload: {
+      if (!options_.reload_handler) {
+        return SerializeErrorResponse(
+            request.id,
+            InvalidArgumentError("this server has no reloadable corpus "
+                                 "source (started without --snapshot)"));
+      }
+      StatusOr<ReloadOutcome> outcome = options_.reload_handler();
+      if (!outcome.ok()) {
+        return SerializeErrorResponse(request.id, outcome.status());
+      }
+      return SerializeReloadResponse(request.id, *outcome);
+    }
     case WireRequest::Type::kCheck:
       break;
   }
 
-  // check: resolve the group here so the response can name entity ids.
+  // check: named groups are passed through and resolved by Check()
+  // against the epoch it pins — resolving here could hand Check a group
+  // pointer from an epoch a concurrent reload is retiring.
   Group inline_group;
-  const Group* group = nullptr;
+  CheckRequest check;
   if (!request.group_tsv.empty()) {
     Status parsed_group =
         ParseGroupTsv(request.group_tsv, "inline", &inline_group);
     if (!parsed_group.ok()) {
       return SerializeErrorResponse(request.id, parsed_group);
     }
-    group = &inline_group;
+    check.group = &inline_group;
   } else if (!request.group_name.empty()) {
-    group = service_->FindGroup(request.group_name);
-    if (group == nullptr) {
-      return SerializeErrorResponse(
-          request.id,
-          NotFoundError("unknown group '" + request.group_name + "'"));
-    }
+    check.group_name = request.group_name;
   } else {
     return SerializeErrorResponse(
         request.id,
         InvalidArgumentError("check needs \"group\" or \"group_tsv\""));
   }
 
-  CheckRequest check;
-  check.group = group;
   check.deadline_ms = request.deadline_ms;
   check.bypass_cache = request.no_cache;
   if (!request.engine.empty()) {
@@ -207,12 +253,15 @@ std::string TcpServer::Dispatch(const std::string& line) {
 
   StatusOr<CheckReply> reply = service_->Check(check);
   if (!reply.ok()) return SerializeErrorResponse(request.id, reply.status());
-  return SerializeCheckResponse(request.id, *group, *reply);
+  // reply->group is the caller's inline group or a group owned by
+  // reply->epoch, which the reply pins — safe either way.
+  return SerializeCheckResponse(request.id, *reply->group, *reply);
 }
 
 void TcpServer::HandleConnection(int fd) {
+  LineReader reader(fd, options_.max_line_bytes);
   std::string line;
-  while (RecvLine(fd, &line)) {
+  while (reader.ReadLine(&line)) {
     if (line.empty()) continue;  // blank keep-alive lines are legal
     bool is_shutdown = false;
     {
@@ -225,13 +274,17 @@ void TcpServer::HandleConnection(int fd) {
     if (is_shutdown) {
       // Ack written; now unblock Wait(). Ordering matters: the response
       // must be on the wire before the owner can Stop() and exit.
-      MutexLock lock(&mu_);
-      shutdown_requested_ = true;
-      wake_.SignalAll();
+      RequestShutdown();
       break;
     }
   }
   ::close(fd);
+}
+
+void TcpServer::RequestShutdown() {
+  MutexLock lock(&mu_);
+  shutdown_requested_ = true;
+  wake_.SignalAll();
 }
 
 void TcpServer::Wait() {

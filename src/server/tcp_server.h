@@ -1,6 +1,7 @@
 #ifndef DIME_SERVER_TCP_SERVER_H_
 #define DIME_SERVER_TCP_SERVER_H_
 
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,7 +23,10 @@
 ///    Wait() unblocks — the caller (server_main) runs Stop() and drains
 ///    the service;
 ///  * the owner calls Stop() directly (tests): the listen socket is shut
-///    down, the accept loop exits, every connection thread is joined.
+///    down, the accept loop exits, every connection thread is joined;
+///  * a signal handler (or any other thread) calls RequestShutdown():
+///    Wait() unblocks exactly as if a shutdown request had arrived, and
+///    the owner drains through the same path.
 
 namespace dime {
 
@@ -35,6 +39,16 @@ struct TcpServerOptions {
   /// disconnected so stuck peers cannot pin transport threads forever.
   /// <= 0 disables the timeout.
   int idle_timeout_ms = 0;
+  /// A request line longer than this is an abuse signal; the connection
+  /// is cut instead of buffering without bound. The default comfortably
+  /// fits the largest inline group the engines could chew.
+  size_t max_line_bytes = 64u << 20;
+  /// Handles the admin "reload" verb: re-read the corpus source and swap
+  /// it in (the owner knows the paths — typically
+  /// DimeService::ReloadFromSnapshot + ApplyDeltaLog). Null: reload is
+  /// answered INVALID_ARGUMENT. Runs on a transport thread; must be
+  /// thread-safe.
+  std::function<StatusOr<ReloadOutcome>()> reload_handler;
 };
 
 class TcpServer {
@@ -63,6 +77,12 @@ class TcpServer {
 
   /// True once a {"type":"shutdown"} request has been acked.
   bool shutdown_requested() const;
+
+  /// Unblocks Wait() as if a shutdown request had arrived. Safe to call
+  /// from any thread (server_main's signal helper thread calls it after
+  /// the self-pipe trips). Does not stop the server by itself — the
+  /// Wait() caller owns the drain sequence.
+  void RequestShutdown();
 
   /// Transport-level dispatch: one request line in, one response line
   /// out. Exposed so tests can exercise the protocol without sockets.

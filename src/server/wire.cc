@@ -375,6 +375,8 @@ StatusOr<WireRequest> ParseRequestLine(std::string_view line) {
     request.type = WireRequest::Type::kPing;
   } else if (type->string_value == "shutdown") {
     request.type = WireRequest::Type::kShutdown;
+  } else if (type->string_value == "reload") {
+    request.type = WireRequest::Type::kReload;
   } else {
     return InvalidArgumentError("unknown request type '" +
                                 type->string_value + "'");
@@ -419,6 +421,7 @@ std::string SerializeRequest(const WireRequest& request) {
     case WireRequest::Type::kStats: w.AddString("type", "stats"); break;
     case WireRequest::Type::kPing: w.AddString("type", "ping"); break;
     case WireRequest::Type::kShutdown: w.AddString("type", "shutdown"); break;
+    case WireRequest::Type::kReload: w.AddString("type", "reload"); break;
   }
   if (!request.id.empty()) w.AddString("id", request.id);
   if (!request.group_name.empty()) w.AddString("group", request.group_name);
@@ -446,6 +449,7 @@ std::string SerializeCheckResponse(const std::string& id, const Group& group,
   w.AddString("status", StatusCodeName(result.status.code()));
   if (!result.status.ok()) w.AddString("error", result.status.message());
   w.AddBool("cached", reply.cache_hit);
+  if (reply.epoch != nullptr) w.AddUint("epoch", reply.epoch->sequence());
   w.AddUint("partitions", result.partitions.size());
   w.AddUint("pivot_size", result.PivotEntities().size());
   std::vector<size_t> per_prefix;
@@ -478,6 +482,10 @@ std::string SerializeStatsResponse(const std::string& id,
   w.AddUint("queue_depth", stats.queue_depth);
   w.AddUint("queue_capacity", stats.queue_capacity);
   w.AddUint("workers", stats.workers);
+  w.AddUint("epoch", stats.epoch_sequence);
+  w.AddUint("epochs_installed", stats.epochs_installed);
+  w.AddUint("epochs_retired", stats.epochs_retired);
+  w.AddUint("delta_records_applied", stats.delta_records_applied);
   w.AddUint("pairs_skipped_by_transitivity",
             stats.pairs_skipped_by_transitivity);
   w.AddUint("kernel_early_exits", stats.kernel_early_exits);
@@ -499,6 +507,23 @@ std::string SerializeShutdownResponse(const std::string& id) {
   if (!id.empty()) w.AddString("id", id);
   w.AddString("status", "OK");
   w.AddBool("shutting_down", true);
+  return w.Finish();
+}
+
+std::string SerializeReloadResponse(const std::string& id,
+                                    const ReloadOutcome& outcome) {
+  JsonLineWriter w;
+  if (!id.empty()) w.AddString("id", id);
+  w.AddString("status", "OK");
+  w.AddUint("epoch", outcome.sequence);
+  char fp[36];
+  std::snprintf(fp, sizeof(fp), "%016llx%016llx",
+                static_cast<unsigned long long>(outcome.fingerprint_lo),
+                static_cast<unsigned long long>(outcome.fingerprint_hi));
+  w.AddString("fingerprint", fp);
+  w.AddUint("groups", outcome.groups);
+  w.AddUint("delta_records", outcome.delta_records);
+  if (outcome.torn_tail) w.AddBool("torn_tail", true);
   return w.Finish();
 }
 

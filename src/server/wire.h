@@ -19,6 +19,7 @@
 ///                                            are strings, numbers, bools
 ///                                            or null — never nested)
 ///   fields   := "type"        "check" | "stats" | "ping" | "shutdown"
+///                             | "reload"
 ///               "id"          echoed verbatim in the response (optional)
 ///               -- check only:
 ///               "group"       name of a preloaded corpus group
@@ -26,6 +27,11 @@
 ///               "deadline_ms" number; 0/absent = server default
 ///               "engine"      "naive" | "plus" | "parallel"
 ///               "no_cache"    bool; true bypasses the result cache
+///
+/// "reload" asks the server to re-read its corpus source (the snapshot
+/// it was started from, plus any pending delta log) and swap the result
+/// in as a new epoch; the server decides the paths, never the client.
+/// Servers without a reloadable source answer INVALID_ARGUMENT.
 ///
 /// Responses are also single-line JSON objects; every one carries
 /// "status" (a StatusCode name, "OK" on success) and echoes "id". Arrays
@@ -81,7 +87,7 @@ class JsonLineWriter {
 
 /// A decoded request.
 struct WireRequest {
-  enum class Type { kCheck, kStats, kPing, kShutdown };
+  enum class Type { kCheck, kStats, kPing, kShutdown, kReload };
   Type type = Type::kCheck;
   std::string id;
   std::string group_name;
@@ -109,6 +115,10 @@ std::string SerializeStatsResponse(const std::string& id,
                                    const StatsSnapshot& stats);
 std::string SerializePingResponse(const std::string& id);
 std::string SerializeShutdownResponse(const std::string& id);
+/// Successful corpus swap: the new epoch's sequence, fingerprint (hex),
+/// group count and applied delta records.
+std::string SerializeReloadResponse(const std::string& id,
+                                    const ReloadOutcome& outcome);
 
 /// Client-side helper: the Status encoded in a response line — OK when
 /// "status" is "OK", the decoded code + "error" message otherwise, and

@@ -1,0 +1,345 @@
+#include "src/store/delta_log.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/common/checksum.h"
+#include "src/common/fault_injection.h"
+#include "src/store/bytes.h"
+#include "src/store/snapshot_format.h"
+
+namespace dime {
+namespace {
+
+std::string HeaderBytes() {
+  std::string header(kDeltaLogMagic, sizeof(kDeltaLogMagic));
+  ByteSink sink;
+  sink.U32(kDeltaLogFormatVersion);
+  header += sink.str();
+  header += static_cast<char>(SnapshotNativeEndianMarker());
+  header.append(3, '\0');
+  return header;
+}
+
+Status ValidateHeader(const char* data, size_t size) {
+  if (size < kDeltaLogHeaderSize) {
+    return ParseError("delta log shorter than its 16-byte header");
+  }
+  if (std::memcmp(data, kDeltaLogMagic, sizeof(kDeltaLogMagic)) != 0) {
+    return ParseError("not a delta log (bad magic)");
+  }
+  uint32_t version;
+  std::memcpy(&version, data + 8, sizeof(version));
+  if (version > kDeltaLogFormatVersion) {
+    return ParseError("delta log format version " + std::to_string(version) +
+                      " is newer than supported (" +
+                      std::to_string(kDeltaLogFormatVersion) + ")");
+  }
+  if (static_cast<uint8_t>(data[12]) != SnapshotNativeEndianMarker()) {
+    return ParseError("delta log endianness does not match this machine");
+  }
+  return OkStatus();
+}
+
+StatusOr<std::string> ReadWholeFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return NotFoundError("cannot open delta log " + path + ": " +
+                         std::strerror(errno));
+  }
+  std::string bytes;
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    bytes.append(buffer, n);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) return IoError("reading delta log " + path + " failed");
+  return bytes;
+}
+
+/// Parses one record payload. False on structural damage.
+bool DecodePayload(const char* data, size_t size, DeltaRecord* record) {
+  ByteReader reader(data, size);
+  uint32_t op;
+  if (!reader.U32(&op)) return false;
+  if (op < 1 || op > 3) return false;
+  record->op = static_cast<DeltaRecord::Op>(op);
+  if (!reader.String(&record->group)) return false;
+  if (!reader.String(&record->entity_id)) return false;
+  uint64_t value_count;
+  if (!reader.U64(&value_count)) return false;
+  if (value_count > size) return false;  // cheap sanity bound
+  record->values.clear();
+  record->values.reserve(static_cast<size_t>(value_count));
+  for (uint64_t v = 0; v < value_count; ++v) {
+    uint64_t item_count;
+    if (!reader.U64(&item_count)) return false;
+    if (item_count > size) return false;
+    AttributeValue value;
+    value.reserve(static_cast<size_t>(item_count));
+    for (uint64_t i = 0; i < item_count; ++i) {
+      std::string item;
+      if (!reader.String(&item)) return false;
+      value.push_back(std::move(item));
+    }
+    record->values.push_back(std::move(value));
+  }
+  return reader.done();
+}
+
+/// Index of the entity with `id` in `group`, or -1.
+int FindEntity(const Group& group, std::string_view id) {
+  for (size_t i = 0; i < group.entities.size(); ++i) {
+    if (group.entities[i].id == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+const char* DeltaOpName(DeltaRecord::Op op) {
+  switch (op) {
+    case DeltaRecord::Op::kAdd:
+      return "add";
+    case DeltaRecord::Op::kRemove:
+      return "remove";
+    case DeltaRecord::Op::kEdit:
+      return "edit";
+  }
+  return "unknown";
+}
+
+bool DeltaOpFromName(std::string_view name, DeltaRecord::Op* op) {
+  if (name == "add") {
+    *op = DeltaRecord::Op::kAdd;
+  } else if (name == "remove") {
+    *op = DeltaRecord::Op::kRemove;
+  } else if (name == "edit") {
+    *op = DeltaRecord::Op::kEdit;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string EncodeDeltaPayload(const DeltaRecord& record) {
+  ByteSink sink;
+  sink.U32(static_cast<uint32_t>(record.op));
+  sink.String(record.group);
+  sink.String(record.entity_id);
+  sink.U64(record.values.size());
+  for (const AttributeValue& value : record.values) {
+    sink.U64(value.size());
+    for (const std::string& item : value) sink.String(item);
+  }
+  return sink.Take();
+}
+
+StatusOr<DeltaLogWriter> DeltaLogWriter::Open(const std::string& path) {
+  // Validate an existing non-empty file before appending to it: appending
+  // records to something that is not a delta log only manufactures
+  // corruption for the eventual reader.
+  {
+    std::FILE* existing = std::fopen(path.c_str(), "rb");
+    if (existing != nullptr) {
+      char header[kDeltaLogHeaderSize];
+      size_t n = std::fread(header, 1, sizeof(header), existing);
+      std::fclose(existing);
+      if (n > 0) {
+        Status valid = ValidateHeader(header, n);
+        if (!valid.ok()) return valid;
+      }
+    }
+  }
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return IoError("cannot open delta log " + path + " for append: " +
+                   std::strerror(errno));
+  }
+  DeltaLogWriter writer(file);
+  long pos = std::ftell(file);
+  if (pos == 0) {
+    std::string header = HeaderBytes();
+    if (std::fwrite(header.data(), 1, header.size(), file) != header.size() ||
+        std::fflush(file) != 0) {
+      return IoError("cannot write delta log header to " + path);
+    }
+  }
+  return writer;
+}
+
+DeltaLogWriter::~DeltaLogWriter() = default;
+
+Status DeltaLogWriter::Append(const DeltaRecord& record) {
+  if (file_ == nullptr) {
+    return InternalError("DeltaLogWriter used after move");
+  }
+  std::string payload = EncodeDeltaPayload(record);
+  if (payload.size() > kDeltaMaxRecordBytes) {
+    return InvalidArgumentError("delta record exceeds the 64 MiB bound");
+  }
+  ByteSink frame;
+  frame.U32(static_cast<uint32_t>(payload.size()));
+  frame.U32(Crc32(payload));
+  frame.Raw(payload.data(), payload.size());
+  const std::string& bytes = frame.str();
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_.get()) !=
+          bytes.size() ||
+      std::fflush(file_.get()) != 0) {
+    return IoError(std::string("appending delta record failed: ") +
+                   std::strerror(errno));
+  }
+  ++records_appended_;
+  return OkStatus();
+}
+
+StatusOr<DeltaLogContents> ReadDeltaLog(const std::string& path) {
+  StatusOr<std::string> bytes = ReadWholeFile(path);
+  if (!bytes.ok()) return bytes.status();
+  Status header = ValidateHeader(bytes->data(), bytes->size());
+  if (!header.ok()) return header;
+
+  DeltaLogContents contents;
+  size_t pos = kDeltaLogHeaderSize;
+  contents.valid_bytes = pos;
+  while (pos < bytes->size()) {
+    if (bytes->size() - pos < 8) {
+      contents.torn_tail = true;  // frame header cut off mid-append
+      break;
+    }
+    uint32_t length, crc;
+    std::memcpy(&length, bytes->data() + pos, sizeof(length));
+    std::memcpy(&crc, bytes->data() + pos + 4, sizeof(crc));
+    size_t record_index = contents.records.size();
+    if (length > kDeltaMaxRecordBytes) {
+      return DataLossError("delta log " + path + ": record " +
+                           std::to_string(record_index) +
+                           " claims an impossible length " +
+                           std::to_string(length));
+    }
+    if (bytes->size() - pos - 8 < length) {
+      contents.torn_tail = true;  // payload cut off mid-append
+      break;
+    }
+    const char* payload = bytes->data() + pos + 8;
+    uint32_t actual = Crc32(payload, length);
+    if (DIME_FAULT_POINT("store/delta-corrupt")) actual = ~actual;
+    if (actual != crc) {
+      return DataLossError("delta log " + path + ": record " +
+                           std::to_string(record_index) +
+                           " failed its CRC check (acknowledged data is "
+                           "damaged)");
+    }
+    DeltaRecord record;
+    if (!DecodePayload(payload, length, &record)) {
+      return DataLossError("delta log " + path + ": record " +
+                           std::to_string(record_index) +
+                           " passed its CRC but does not parse");
+    }
+    contents.records.push_back(std::move(record));
+    pos += 8 + length;
+    contents.valid_bytes = pos;
+  }
+  return contents;
+}
+
+Status ApplyDeltaRecords(const std::vector<DeltaRecord>& records,
+                         Group* group, size_t* applied) {
+  size_t touched = 0;
+  for (size_t r = 0; r < records.size(); ++r) {
+    const DeltaRecord& record = records[r];
+    if (record.group != group->name) continue;
+    std::string where =
+        "delta record " + std::to_string(r) + " (" +
+        std::string(DeltaOpName(record.op)) + " '" + record.entity_id + "')";
+    int index = FindEntity(*group, record.entity_id);
+    switch (record.op) {
+      case DeltaRecord::Op::kAdd: {
+        if (index >= 0) {
+          return InvalidArgumentError(where + ": entity id already present");
+        }
+        if (record.values.size() != group->schema.size()) {
+          return SchemaMismatchError(
+              where + ": " + std::to_string(record.values.size()) +
+              " values against a " + std::to_string(group->schema.size()) +
+              "-attribute schema");
+        }
+        Entity entity;
+        entity.id = record.entity_id;
+        entity.values = record.values;
+        group->entities.push_back(std::move(entity));
+        if (!group->truth.empty()) group->truth.push_back(0);
+        break;
+      }
+      case DeltaRecord::Op::kRemove: {
+        if (index < 0) return NotFoundError(where + ": no such entity");
+        group->entities.erase(group->entities.begin() + index);
+        if (!group->truth.empty()) {
+          group->truth.erase(group->truth.begin() + index);
+        }
+        break;
+      }
+      case DeltaRecord::Op::kEdit: {
+        if (index < 0) return NotFoundError(where + ": no such entity");
+        if (record.values.size() != group->schema.size()) {
+          return SchemaMismatchError(
+              where + ": " + std::to_string(record.values.size()) +
+              " values against a " + std::to_string(group->schema.size()) +
+              "-attribute schema");
+        }
+        group->entities[index].values = record.values;
+        break;
+      }
+    }
+    ++touched;
+  }
+  if (applied != nullptr) *applied = touched;
+  return OkStatus();
+}
+
+bool DeltaIsAppendOnly(const std::vector<DeltaRecord>& records,
+                       std::string_view group_name) {
+  for (const DeltaRecord& record : records) {
+    if (record.group == group_name && record.op != DeltaRecord::Op::kAdd) {
+      return false;
+    }
+  }
+  return true;
+}
+
+StatusOr<std::unique_ptr<IncrementalDime>> ReplayDeltaThroughIncremental(
+    const Group& base, const std::vector<DeltaRecord>& records,
+    const std::vector<PositiveRule>& positive,
+    const std::vector<NegativeRule>& negative, const DimeContext& context) {
+  auto engine = std::make_unique<IncrementalDime>(base.schema, positive,
+                                                  negative, context);
+  engine->AddGroup(base);
+  // `merged` shadows the engine's group so a remove/edit (which union-find
+  // cannot absorb) can rebuild from the merged state.
+  Group merged = base;
+  for (size_t r = 0; r < records.size(); ++r) {
+    const DeltaRecord& record = records[r];
+    if (record.group != merged.name) continue;
+    std::vector<DeltaRecord> one{record};
+    Status applied = ApplyDeltaRecords(one, &merged);
+    if (!applied.ok()) {
+      return Status(applied.code(),
+                    "replay stopped at record " + std::to_string(r) + ": " +
+                        applied.message());
+    }
+    if (record.op == DeltaRecord::Op::kAdd) {
+      engine->AddEntity(merged.entities.back());
+    } else {
+      // The slow path the header documents: one rebuild per non-append.
+      engine = std::make_unique<IncrementalDime>(base.schema, positive,
+                                                 negative, context);
+      engine->AddGroup(merged);
+    }
+  }
+  return engine;
+}
+
+}  // namespace dime

@@ -1,0 +1,147 @@
+#ifndef DIME_STORE_DELTA_LOG_H_
+#define DIME_STORE_DELTA_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/entity.h"
+#include "src/core/incremental.h"
+
+/// \file delta_log.h
+/// The between-snapshots mutation stream: an append-only, CRC-framed log
+/// of entity add/remove/edit events against a named group. A live
+/// categorization system emits these continuously; the snapshot store
+/// (snapshot.h) freezes a corpus at a point in time, and the delta log is
+/// everything that happened since. The split follows the incremental-ER
+/// playbook: run *small* deltas incrementally (IncrementalDime appends),
+/// recompute *in bulk* when the log grows past a threshold (the serving
+/// layer re-prepares the merged corpus and swaps it in as a new epoch —
+/// see epoch.h and DimeService::ApplyDeltaLog).
+///
+/// On-disk layout (native-endian, like the snapshot format):
+///
+///   header (16 B): magic "DIMEDLT\n" | u32 version | u8 endian | 3 x 0
+///   record*:       u32 payload_len | u32 crc32(payload) | payload
+///   payload:       u32 op | str group | str entity_id
+///                  | u64 value_count { u64 item_count { str item }* }*
+///                  (str = u64 length + bytes; values only for add/edit)
+///
+/// Torn tails vs corruption. A crash mid-append legitimately leaves a
+/// truncated final record; readers drop it and report `torn_tail` — the
+/// acknowledged prefix is intact. A CRC mismatch *inside* the stream is
+/// damage to acknowledged data: DATA_LOSS, and consumers must keep
+/// serving the last good epoch instead of trusting any suffix.
+///
+/// Failpoint "store/delta-corrupt" forces the next record's CRC check to
+/// fail, so every degradation path is deterministic to test.
+
+namespace dime {
+
+inline constexpr char kDeltaLogMagic[8] = {'D', 'I', 'M', 'E',
+                                           'D', 'L', 'T', '\n'};
+inline constexpr uint32_t kDeltaLogFormatVersion = 1;
+inline constexpr size_t kDeltaLogHeaderSize = 16;
+/// A record larger than this is structural damage, not data.
+inline constexpr uint32_t kDeltaMaxRecordBytes = 64u << 20;
+
+/// One corpus mutation event.
+struct DeltaRecord {
+  enum class Op : uint32_t { kAdd = 1, kRemove = 2, kEdit = 3 };
+  Op op = Op::kAdd;
+  std::string group;      ///< Group::name the event applies to
+  std::string entity_id;  ///< Entity::id added / removed / replaced
+  /// Parallel to the corpus schema for kAdd/kEdit; empty for kRemove.
+  std::vector<AttributeValue> values;
+};
+
+const char* DeltaOpName(DeltaRecord::Op op);
+bool DeltaOpFromName(std::string_view name, DeltaRecord::Op* op);
+
+/// Serializes one record payload (no frame). Exposed for tests that build
+/// corrupt frames byte by byte.
+std::string EncodeDeltaPayload(const DeltaRecord& record);
+
+/// Appends records to a delta log file. Creates the file (with header) on
+/// first open; appends after validating the header otherwise. One writer
+/// per log — concurrent writers would interleave frames.
+class DeltaLogWriter {
+ public:
+  /// NOT_FOUND/IO_ERROR when the file cannot be created or opened,
+  /// PARSE_ERROR when `path` exists but is not a delta log.
+  static StatusOr<DeltaLogWriter> Open(const std::string& path);
+
+  DeltaLogWriter(DeltaLogWriter&&) = default;
+  DeltaLogWriter& operator=(DeltaLogWriter&&) = default;
+  ~DeltaLogWriter();
+
+  /// Frames, checksums and appends one record, then flushes the stdio
+  /// buffer (a crash after Append returns can tear at most the record
+  /// the OS was still writing).
+  Status Append(const DeltaRecord& record);
+
+  uint64_t records_appended() const { return records_appended_; }
+
+ private:
+  explicit DeltaLogWriter(std::FILE* file) : file_(file) {}
+
+  struct FileCloser {
+    void operator()(std::FILE* f) const {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+  std::unique_ptr<std::FILE, FileCloser> file_;
+  uint64_t records_appended_ = 0;
+};
+
+struct DeltaLogContents {
+  std::vector<DeltaRecord> records;
+  /// Bytes of the validated prefix (header + intact records).
+  uint64_t valid_bytes = 0;
+  /// True when a truncated final record was dropped (crash mid-append).
+  bool torn_tail = false;
+};
+
+/// Reads and validates a delta log.
+///   NOT_FOUND     the file cannot be opened
+///   IO_ERROR      reading failed
+///   PARSE_ERROR   not a delta log (magic/version/endian)
+///   DATA_LOSS     a CRC mismatch or malformed payload inside the stream;
+///                 the message names the failing record index
+StatusOr<DeltaLogContents> ReadDeltaLog(const std::string& path);
+
+/// Applies `records` to `group` in order. Records naming other groups are
+/// skipped; for the targeted group:
+///   kAdd     appends the entity (INVALID_ARGUMENT on duplicate id or a
+///            value count that disagrees with `group->schema`)
+///   kRemove  erases the entity by id (NOT_FOUND when absent)
+///   kEdit    replaces the entity's values in place (NOT_FOUND / schema
+///            check as above)
+/// On error the group is left in the state reached so far — callers that
+/// need atomicity apply to a copy (DimeService::ApplyDeltaLog does).
+/// `applied`, when non-null, counts the records that touched the group.
+Status ApplyDeltaRecords(const std::vector<DeltaRecord>& records,
+                         Group* group, size_t* applied = nullptr);
+
+/// True iff every record touching `group_name` is a kAdd — the fast path
+/// IncrementalDime can absorb without a rebuild.
+bool DeltaIsAppendOnly(const std::vector<DeltaRecord>& records,
+                       std::string_view group_name);
+
+/// Replays `base` plus the records targeting it through the incremental
+/// engine: appends stream through IncrementalDime::AddEntity (O(n) rule
+/// checks per arrival); a remove/edit forces one rebuild of the engine
+/// from the merged group (union-find cannot split — see incremental.h).
+/// The returned engine's Result() is bit-identical to a batch re-prepare
+/// of the merged group (the golden differential test pins this).
+StatusOr<std::unique_ptr<IncrementalDime>> ReplayDeltaThroughIncremental(
+    const Group& base, const std::vector<DeltaRecord>& records,
+    const std::vector<PositiveRule>& positive,
+    const std::vector<NegativeRule>& negative, const DimeContext& context);
+
+}  // namespace dime
+
+#endif  // DIME_STORE_DELTA_LOG_H_

@@ -1,0 +1,124 @@
+#include "src/store/epoch.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "src/common/fault_injection.h"
+#include "src/core/entity.h"
+#include "src/rules/rule_io.h"
+#include "src/store/snapshot_format.h"
+
+namespace dime {
+
+ServingCorpus CorpusFromSnapshot(LoadedSnapshot snapshot) {
+  ServingCorpus corpus;
+  corpus.schema = std::move(snapshot.schema);
+  corpus.positive = std::move(snapshot.positive);
+  corpus.negative = std::move(snapshot.negative);
+  corpus.context = std::move(snapshot.context);
+  corpus.shared_trees = std::move(snapshot.owned_trees);
+  corpus.groups = std::move(snapshot.groups);
+  corpus.prepared = std::move(snapshot.prepared);
+  corpus.content_fingerprint_lo = snapshot.fingerprint_lo;
+  corpus.content_fingerprint_hi = snapshot.fingerprint_hi;
+  corpus.backing = std::move(snapshot.backing);
+  return corpus;
+}
+
+CorpusEpoch::CorpusEpoch(uint64_t sequence, ServingCorpus corpus)
+    : sequence_(sequence), corpus_(std::move(corpus)) {
+  // Unique ownership becomes shared ownership: a successor epoch built
+  // from this one (delta merge) copies the shared_ptrs and the raw
+  // pointers inside context.ontologies stay valid in both epochs.
+  for (std::unique_ptr<Ontology>& tree : corpus_.owned_trees) {
+    corpus_.shared_trees.emplace_back(std::move(tree));
+  }
+  corpus_.owned_trees.clear();
+
+  rules_text_ =
+      RuleSetToText(corpus_.schema, corpus_.positive, corpus_.negative);
+
+  if (corpus_.content_fingerprint_lo != 0 ||
+      corpus_.content_fingerprint_hi != 0) {
+    fingerprint_lo_ = corpus_.content_fingerprint_lo;
+    fingerprint_hi_ = corpus_.content_fingerprint_hi;
+  } else {
+    // Not snapshot-backed: synthesize the content identity so epoch swaps
+    // of TSV-ingested or delta-merged corpora still invalidate cache keys
+    // by content, exactly like snapshot swaps do.
+    SnapshotFingerprint fp;
+    fp.Update(rules_text_.data(), rules_text_.size());
+    for (const Group& group : corpus_.groups) {
+      std::string tsv = GroupToTsv(group);
+      fp.Update(tsv.data(), tsv.size());
+    }
+    fingerprint_lo_ = fp.lo;
+    fingerprint_hi_ = fp.hi;
+  }
+
+  for (size_t i = 0;
+       i < corpus_.prepared.size() && i < corpus_.groups.size(); ++i) {
+    if (corpus_.prepared[i] != nullptr) {
+      prepared_by_group_[&corpus_.groups[i]] = corpus_.prepared[i].get();
+    }
+  }
+}
+
+const Group* CorpusEpoch::FindGroup(std::string_view name) const {
+  for (const Group& group : corpus_.groups) {
+    if (group.name == name) return &group;
+  }
+  return nullptr;
+}
+
+const PreparedGroup* CorpusEpoch::FindPrepared(const Group* group) const {
+  auto it = prepared_by_group_.find(group);
+  return it == prepared_by_group_.end() ? nullptr : it->second;
+}
+
+void EpochManager::Retirer::operator()(const CorpusEpoch* epoch) const {
+  const uint64_t sequence = epoch->sequence();
+  // Test hook: hold the retiring epoch a beat before unmapping, so chaos
+  // tests can widen the window in which a stale pointer would fault.
+  if (DIME_FAULT_POINT("epoch/unmap-delay")) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  delete epoch;  // frees the corpus; releasing `backing` unmaps the file
+  control->retired.fetch_add(1, std::memory_order_relaxed);
+  if (control->hook) control->hook(sequence);
+}
+
+EpochManager::EpochManager(RetireHook retire_hook)
+    : control_(std::make_shared<ControlBlock>()) {
+  control_->hook = std::move(retire_hook);
+}
+
+std::shared_ptr<const CorpusEpoch> EpochManager::Install(
+    ServingCorpus corpus) {
+  const uint64_t sequence =
+      installed_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // The epoch (fingerprint synthesis, lookup index) is built outside the
+  // lock so a heavyweight install never stalls Pin(). Two racing installs
+  // resolve by sequence: the later one wins, the earlier is retired the
+  // moment its last pin drops.
+  std::shared_ptr<const CorpusEpoch> epoch(
+      new CorpusEpoch(sequence, std::move(corpus)), Retirer{control_});
+  MutexLock lock(&mu_);
+  if (current_ == nullptr || current_->sequence() < sequence) {
+    current_ = epoch;
+  }
+  return epoch;
+}
+
+std::shared_ptr<const CorpusEpoch> EpochManager::Pin() const {
+  MutexLock lock(&mu_);
+  return current_;
+}
+
+uint64_t EpochManager::current_sequence() const {
+  MutexLock lock(&mu_);
+  return current_ == nullptr ? 0 : current_->sequence();
+}
+
+}  // namespace dime

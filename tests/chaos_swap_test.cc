@@ -1,0 +1,174 @@
+// The chaos harness for the live-corpus tentpole: snapshots of the
+// serving corpus swap continuously while concurrent clients hammer
+// Check(). The invariants under fire:
+//
+//   1. zero failed replies — a swap mid-request never surfaces as an
+//      error (admission-control sheds are engineered out by capacity);
+//   2. no cross-epoch mixing — every reply's decisions are byte-identical
+//      to a single-epoch run of whichever epoch served it (the reply
+//      carries its epoch pin, so "whichever" is observable);
+//   3. provable retirement — every superseded epoch's refcount-zero hook
+//      fires exactly once, including with the "epoch/unmap-delay"
+//      failpoint widening the race window.
+//
+// CI runs this under ASan+UBSan and TSan (the `chaos-swap` job); locally
+// it is an ordinary — if deliberately noisy — tier-1 test.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/common/fault_injection.h"
+#include "src/core/dime_plus.h"
+#include "src/datagen/presets.h"
+#include "src/datagen/scholar_gen.h"
+#include "src/server/service.h"
+
+namespace dime {
+namespace {
+
+constexpr int kVariants = 3;
+
+/// Variant v of the serving corpus: same rules and ontologies, same group
+/// name, content that differs per variant (distinct seeds), so a
+/// cross-epoch mixup changes decisions detectably.
+ServingCorpus MakeVariant(int v) {
+  ScholarSetup setup = MakeScholarSetup();
+  ServingCorpus corpus;
+  corpus.schema = setup.schema;
+  corpus.positive = std::move(setup.positive);
+  corpus.negative = std::move(setup.negative);
+  corpus.context = setup.context;
+  corpus.owned_trees.push_back(std::move(setup.venue_tree));
+  ScholarGenOptions gen;
+  gen.num_correct = 30;
+  gen.seed = 500 + v * 31;
+  gen.garbage_pubs = 2 + v;
+  Group page = GenerateScholarGroup("Chaos Owner", gen);
+  page.name = "page_0";
+  corpus.groups.push_back(std::move(page));
+  return corpus;
+}
+
+/// The single-epoch golden answer for variant v, computed with the same
+/// engine the service defaults to.
+DimeResult GoldenFor(int v) {
+  ServingCorpus corpus = MakeVariant(v);
+  return RunDimePlus(corpus.groups[0], corpus.positive, corpus.negative,
+                     corpus.context);
+}
+
+void ExpectSameDecisions(const DimeResult& golden, const DimeResult& got,
+                         uint64_t sequence) {
+  ASSERT_EQ(golden.partitions, got.partitions) << "epoch " << sequence;
+  ASSERT_EQ(golden.pivot, got.pivot) << "epoch " << sequence;
+  ASSERT_EQ(golden.flagged_by_prefix, got.flagged_by_prefix)
+      << "epoch " << sequence;
+}
+
+TEST(ChaosSwapTest, ContinuousSwapUnderConcurrentLoad) {
+  constexpr int kClients = 8;
+  constexpr auto kDuration = std::chrono::milliseconds(2200);
+  constexpr auto kSwapInterval = std::chrono::milliseconds(50);
+
+  std::vector<DimeResult> golden;
+  for (int v = 0; v < kVariants; ++v) golden.push_back(GoldenFor(v));
+
+  std::atomic<uint64_t> retired{0};
+  uint64_t installed_total = 0;
+  {
+    ServiceOptions options;
+    options.num_workers = 4;
+    // Roomy queue: this test must observe zero sheds, so admission
+    // control cannot be the reason a reply went missing.
+    options.queue_capacity = 4096;
+    options.cache_capacity = 64;  // exercise fingerprint safety too
+    options.epoch_retire_hook = [&retired](uint64_t) {
+      retired.fetch_add(1, std::memory_order_relaxed);
+    };
+    DimeService service(MakeVariant(0), options);
+
+    // Widen the unmap race on a sprinkle of retirements.
+    ScopedFailpoint delay("epoch/unmap-delay", /*count=*/5, /*skip=*/3);
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> checks{0};
+
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        CheckRequest request;
+        request.group_name = "page_0";
+        // Half the clients bypass the cache so both the engine path and
+        // the cache path stay under fire throughout.
+        request.bypass_cache = (c % 2 == 0);
+        while (!stop.load(std::memory_order_relaxed)) {
+          StatusOr<CheckReply> reply = service.Check(request);
+          ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+          ASSERT_NE(reply->epoch, nullptr);
+          ASSERT_TRUE(reply->result->status.ok())
+              << reply->result->status.ToString();
+          uint64_t sequence = reply->epoch->sequence();
+          int variant = static_cast<int>((sequence - 1) % kVariants);
+          ExpectSameDecisions(golden[variant], *reply->result, sequence);
+          checks.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+
+    // The swapper: a new epoch roughly every 50ms for the whole run.
+    uint64_t next_sequence = 2;
+    auto deadline = std::chrono::steady_clock::now() + kDuration;
+    while (std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(kSwapInterval);
+      int variant = static_cast<int>((next_sequence - 1) % kVariants);
+      ReloadOutcome outcome = service.InstallCorpus(MakeVariant(variant));
+      ASSERT_EQ(outcome.sequence, next_sequence);
+      ++next_sequence;
+    }
+    installed_total = next_sequence - 1;
+
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread& t : clients) t.join();
+
+    StatsSnapshot stats = service.Stats();
+    EXPECT_EQ(stats.rejected, 0u) << "the roomy queue should never shed";
+    EXPECT_EQ(stats.epochs_installed, installed_total);
+    EXPECT_GE(installed_total, 30u) << "the swapper fell behind badly";
+    EXPECT_GE(checks.load(), static_cast<uint64_t>(kClients))
+        << "clients barely ran";
+    // Every superseded epoch must already be retired: only the current
+    // one (plus any reply pin still in a client's dying scope) may live.
+    EXPECT_GE(retired.load() + 1, installed_total);
+  }
+  // Service destroyed: the last epoch's refcount hit zero too. Nothing
+  // may be missing and nothing may retire twice.
+  EXPECT_EQ(retired.load(), installed_total);
+}
+
+/// The swapper's failure path under load: a reload that dies before
+/// install (failpoint "store/swap") must leave clients entirely
+/// undisturbed on the last good epoch.
+TEST(ChaosSwapTest, FailedReloadLeavesServingUntouched) {
+  DimeService service(MakeVariant(0), ServiceOptions{});
+  DimeResult golden = GoldenFor(0);
+
+  ScopedFailpoint fail("store/swap");
+  StatusOr<ReloadOutcome> outcome =
+      service.ReloadFromSnapshot("/nonexistent/ignored.snap");
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kUnavailable);
+
+  CheckRequest request;
+  request.group_name = "page_0";
+  StatusOr<CheckReply> reply = service.Check(request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->epoch->sequence(), 1u);
+  ExpectSameDecisions(golden, *reply->result, 1);
+}
+
+}  // namespace
+}  // namespace dime

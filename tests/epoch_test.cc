@@ -1,0 +1,165 @@
+// The epoch machinery's contract (store/epoch.h): Install publishes
+// atomically, Pin refcounts one generation for a request's lifetime, and
+// a superseded epoch is destroyed — retire hook, unmapping — exactly when
+// its last pin drops, never earlier. These are the invariants the chaos
+// harness (chaos_swap_test.cc) then hammers under concurrency.
+
+#include "src/store/epoch.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/fault_injection.h"
+#include "src/datagen/presets.h"
+#include "src/datagen/scholar_gen.h"
+
+namespace dime {
+namespace {
+
+ServingCorpus MakeCorpus(int seed = 7, size_t entities = 20) {
+  ScholarSetup setup = MakeScholarSetup();
+  ServingCorpus corpus;
+  corpus.schema = setup.schema;
+  corpus.positive = std::move(setup.positive);
+  corpus.negative = std::move(setup.negative);
+  corpus.context = setup.context;
+  corpus.owned_trees.push_back(std::move(setup.venue_tree));
+  ScholarGenOptions gen;
+  gen.num_correct = entities;
+  gen.seed = seed;
+  Group page = GenerateScholarGroup("Owner", gen);
+  page.name = "page_0";
+  corpus.groups.push_back(std::move(page));
+  return corpus;
+}
+
+/// Thread-safe recorder for retire-hook firings.
+struct RetireLog {
+  std::mutex mu;
+  std::vector<uint64_t> sequences;
+  EpochManager::RetireHook Hook() {
+    return [this](uint64_t sequence) {
+      std::lock_guard<std::mutex> lock(mu);
+      sequences.push_back(sequence);
+    };
+  }
+  std::vector<uint64_t> Snapshot() {
+    std::lock_guard<std::mutex> lock(mu);
+    return sequences;
+  }
+};
+
+TEST(EpochTest, InstallPublishesAndPinSeesLatest) {
+  EpochManager manager;
+  EXPECT_EQ(manager.Pin(), nullptr);
+  EXPECT_EQ(manager.current_sequence(), 0u);
+
+  std::shared_ptr<const CorpusEpoch> first = manager.Install(MakeCorpus(1));
+  EXPECT_EQ(first->sequence(), 1u);
+  EXPECT_EQ(manager.Pin()->sequence(), 1u);
+  EXPECT_EQ(manager.current_sequence(), 1u);
+
+  manager.Install(MakeCorpus(2));
+  EXPECT_EQ(manager.Pin()->sequence(), 2u);
+  EXPECT_EQ(manager.installed(), 2u);
+}
+
+TEST(EpochTest, RetireFiresExactlyWhenLastPinDrops) {
+  RetireLog log;
+  EpochManager manager(log.Hook());
+  manager.Install(MakeCorpus(1));
+  std::shared_ptr<const CorpusEpoch> pin = manager.Pin();
+
+  manager.Install(MakeCorpus(2));
+  // Epoch 1 is superseded but pinned: it must NOT retire yet.
+  EXPECT_TRUE(log.Snapshot().empty());
+  EXPECT_EQ(manager.retired(), 0u);
+  EXPECT_EQ(pin->corpus().groups.size(), 1u);  // still fully usable
+
+  pin.reset();  // last reference drops: destructor + hook run now
+  std::vector<uint64_t> fired = log.Snapshot();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 1u);
+  EXPECT_EQ(manager.retired(), 1u);
+}
+
+TEST(EpochTest, UnpinnedEpochRetiresAtInstall) {
+  RetireLog log;
+  EpochManager manager(log.Hook());
+  manager.Install(MakeCorpus(1));
+  manager.Install(MakeCorpus(2));  // nothing pinned epoch 1
+  std::vector<uint64_t> fired = log.Snapshot();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 1u);
+}
+
+TEST(EpochTest, PinnedEpochOutlivesTheManager) {
+  RetireLog log;
+  std::shared_ptr<const CorpusEpoch> pin;
+  {
+    EpochManager manager(log.Hook());
+    manager.Install(MakeCorpus(1));
+    pin = manager.Pin();
+  }
+  // The manager is gone; the pinned epoch (and the control block its
+  // deleter holds) must still be intact.
+  EXPECT_EQ(pin->FindGroup("page_0")->name, "page_0");
+  EXPECT_TRUE(log.Snapshot().empty());
+  pin.reset();
+  ASSERT_EQ(log.Snapshot().size(), 1u);
+}
+
+TEST(EpochTest, UnmapDelayFailpointStillRetires) {
+  RetireLog log;
+  EpochManager manager(log.Hook());
+  manager.Install(MakeCorpus(1));
+  {
+    ScopedFailpoint delay("epoch/unmap-delay");
+    manager.Install(MakeCorpus(2));  // retire of epoch 1 sleeps, then runs
+  }
+  std::vector<uint64_t> fired = log.Snapshot();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 1u);
+}
+
+TEST(EpochTest, GroupAndPreparedLookup) {
+  EpochManager manager;
+  std::shared_ptr<const CorpusEpoch> epoch = manager.Install(MakeCorpus(1));
+  const Group* group = epoch->FindGroup("page_0");
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group, &epoch->corpus().groups[0]);
+  EXPECT_EQ(epoch->FindGroup("no_such_page"), nullptr);
+  // TSV-ingested corpora carry no prepared groups.
+  EXPECT_EQ(epoch->FindPrepared(group), nullptr);
+}
+
+TEST(EpochTest, TsvCorpusGetsASynthesizedFingerprint) {
+  EpochManager manager;
+  std::shared_ptr<const CorpusEpoch> a = manager.Install(MakeCorpus(1));
+  EXPECT_TRUE(a->fingerprint_lo() != 0 || a->fingerprint_hi() != 0);
+
+  // Identical content synthesizes the identical fingerprint (epochs with
+  // equal content MAY share cache entries)...
+  EpochManager other;
+  std::shared_ptr<const CorpusEpoch> same = other.Install(MakeCorpus(1));
+  EXPECT_EQ(a->fingerprint_lo(), same->fingerprint_lo());
+  EXPECT_EQ(a->fingerprint_hi(), same->fingerprint_hi());
+
+  // ...and any content change moves it.
+  std::shared_ptr<const CorpusEpoch> different =
+      other.Install(MakeCorpus(2));
+  EXPECT_TRUE(a->fingerprint_lo() != different->fingerprint_lo() ||
+              a->fingerprint_hi() != different->fingerprint_hi());
+}
+
+TEST(EpochTest, RulesTextIsCanonical) {
+  EpochManager manager;
+  std::shared_ptr<const CorpusEpoch> epoch = manager.Install(MakeCorpus(1));
+  EXPECT_FALSE(epoch->rules_text().empty());
+}
+
+}  // namespace
+}  // namespace dime

@@ -5,12 +5,14 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/fault_injection.h"
 #include "src/datagen/presets.h"
 #include "src/datagen/scholar_gen.h"
 
@@ -202,7 +204,7 @@ TEST(DimeServiceTest, InlineGroupWithWrongSchemaIsSchemaMismatch) {
 
 TEST(DimeServiceTest, FingerprintSeparatesEnginesAndTracksContent) {
   DimeService service(MakeTestCorpus(), ServiceOptions{});
-  const Group& page = service.corpus().groups[0];
+  const Group& page = service.CurrentEpoch()->corpus().groups[0];
   Fingerprint plus = service.RequestFingerprint(EngineKind::kPlus, page);
   Fingerprint naive = service.RequestFingerprint(EngineKind::kNaive, page);
   EXPECT_NE(plus, naive);
@@ -265,12 +267,16 @@ TEST(DimeServiceTest, SnapshotFingerprintFoldsIntoCacheKeys) {
   // Same group content, same rules — but the warm service carries a
   // nonzero corpus fingerprint, so its cache keys cannot collide with
   // the TSV service's (a cache migrated across corpus swaps stays safe).
-  const Group& page = cold.corpus().groups[0];
+  const Group& page = cold.CurrentEpoch()->corpus().groups[0];
   EXPECT_NE(warm.RequestFingerprint(EngineKind::kPlus, page),
             cold.RequestFingerprint(EngineKind::kPlus, page));
-  EXPECT_TRUE(warm.corpus().content_fingerprint_lo != 0 ||
-              warm.corpus().content_fingerprint_hi != 0);
-  EXPECT_EQ(cold.corpus().content_fingerprint_lo, 0u);
+  EXPECT_TRUE(warm.CurrentEpoch()->corpus().content_fingerprint_lo != 0 ||
+              warm.CurrentEpoch()->corpus().content_fingerprint_hi != 0);
+  EXPECT_EQ(cold.CurrentEpoch()->corpus().content_fingerprint_lo, 0u);
+  // A TSV corpus still gets a (synthesized) epoch fingerprint, so cache
+  // keys track content even without a snapshot.
+  EXPECT_TRUE(cold.CurrentEpoch()->fingerprint_lo() != 0 ||
+              cold.CurrentEpoch()->fingerprint_hi() != 0);
 }
 
 TEST(DimeServiceTest, FullQueueShedsWithResourceExhaustedNotBlocking) {
@@ -459,6 +465,191 @@ TEST(DimeServiceTest, ConcurrentMixedTrafficStaysConsistent) {
   EXPECT_GE(stats.cache_misses, 3u);
   EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.accepted);
   EXPECT_EQ(stats.cache_size, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Live corpus: install / reload / delta merge against a running service.
+
+TEST(LiveCorpusTest, InstallCorpusSwapsEpochAndCacheCannotServeStale) {
+  DimeService service(MakeTestCorpus(/*pages=*/1), ServiceOptions{});
+  size_t original_entities;
+  {
+    CheckRequest request;
+    request.group_name = "page_0";
+    StatusOr<CheckReply> first = service.Check(request);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    EXPECT_EQ(first->epoch->sequence(), 1u);
+    original_entities = first->group->entities.size();
+    StatusOr<CheckReply> second = service.Check(request);
+    ASSERT_TRUE(second.ok());
+    EXPECT_TRUE(second->cache_hit);
+  }
+
+  // Same group name, different content: drop the last entity.
+  ServingCorpus changed = MakeTestCorpus(/*pages=*/1);
+  changed.groups[0].entities.pop_back();
+  ReloadOutcome outcome = service.InstallCorpus(std::move(changed));
+  EXPECT_EQ(outcome.sequence, 2u);
+  EXPECT_EQ(outcome.groups, 1u);
+
+  // The old cached result keyed (engine, rules, content, epoch-fp); the
+  // new epoch's fingerprint differs, so this MUST miss and recompute over
+  // the new content — a stale hit would resurrect a deleted entity.
+  CheckRequest request;
+  request.group_name = "page_0";
+  StatusOr<CheckReply> after = service.Check(request);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_FALSE(after->cache_hit);
+  EXPECT_EQ(after->epoch->sequence(), 2u);
+  EXPECT_EQ(after->group->entities.size(), original_entities - 1);
+
+  StatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.epoch_sequence, 2u);
+  EXPECT_EQ(stats.epochs_installed, 2u);
+  EXPECT_EQ(stats.epochs_retired, 1u);  // nothing pinned epoch 1 anymore
+}
+
+TEST(LiveCorpusTest, ReloadFromSnapshotSwapsToAPreparedEpoch) {
+  ServingCorpus on_disk = MakeTestCorpus(/*pages=*/1);
+  const std::string path = ::testing::TempDir() + "/live_reload.snap";
+  SnapshotWriteRequest write;
+  write.groups = &on_disk.groups;
+  write.positive = &on_disk.positive;
+  write.negative = &on_disk.negative;
+  write.context = &on_disk.context;
+  ASSERT_TRUE(WriteSnapshot(write, path).ok());
+
+  DimeService service(MakeTestCorpus(/*pages=*/1), ServiceOptions{});
+  StatusOr<ReloadOutcome> outcome = service.ReloadFromSnapshot(path);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->sequence, 2u);
+  EXPECT_TRUE(outcome->fingerprint_lo != 0 || outcome->fingerprint_hi != 0);
+
+  CheckRequest request;
+  request.group_name = "page_0";
+  StatusOr<CheckReply> reply = service.Check(request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->epoch->sequence(), 2u);
+  // Snapshot epochs serve warm: the group's rule artifacts came off disk.
+  EXPECT_NE(reply->epoch->FindPrepared(reply->group), nullptr);
+
+  // A reload that cannot load anything leaves the good epoch serving.
+  StatusOr<ReloadOutcome> bad =
+      service.ReloadFromSnapshot("/nonexistent/gone.snap");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(service.CurrentEpoch()->sequence(), 2u);
+}
+
+TEST(LiveCorpusTest, ApplyDeltaLogMergesAndServesMergedCorpus) {
+  ServingCorpus corpus = MakeTestCorpus(/*pages=*/1);
+  const Group& page = corpus.groups[0];
+  const size_t original_entities = page.entities.size();
+
+  DeltaRecord add;
+  add.op = DeltaRecord::Op::kAdd;
+  add.group = "page_0";
+  add.entity_id = "delta_added";
+  add.values = page.entities[0].values;  // schema-conformant by copy
+  DeltaRecord remove;
+  remove.op = DeltaRecord::Op::kRemove;
+  remove.group = "page_0";
+  remove.entity_id = page.entities[1].id;
+
+  const std::string path = ::testing::TempDir() + "/live_merge.dlog";
+  std::remove(path.c_str());
+  {
+    StatusOr<DeltaLogWriter> writer = DeltaLogWriter::Open(path);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    ASSERT_TRUE(writer->Append(add).ok());
+    ASSERT_TRUE(writer->Append(remove).ok());
+  }
+
+  DimeService service(std::move(corpus), ServiceOptions{});
+  StatusOr<ReloadOutcome> outcome = service.ApplyDeltaLog(path);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->sequence, 2u);
+  EXPECT_EQ(outcome->delta_records, 2u);
+  EXPECT_FALSE(outcome->torn_tail);
+
+  CheckRequest request;
+  request.group_name = "page_0";
+  StatusOr<CheckReply> reply = service.Check(request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->epoch->sequence(), 2u);
+  EXPECT_EQ(reply->group->entities.size(), original_entities);  // +1 -1
+  bool found_added = false, found_removed = false;
+  for (const Entity& e : reply->group->entities) {
+    if (e.id == "delta_added") found_added = true;
+    if (e.id == remove.entity_id) found_removed = true;
+  }
+  EXPECT_TRUE(found_added);
+  EXPECT_FALSE(found_removed);
+  // The merged epoch was re-prepared in bulk — it serves warm like a
+  // snapshot load, not via per-request PrepareGroup.
+  EXPECT_NE(reply->epoch->FindPrepared(reply->group), nullptr);
+  EXPECT_EQ(service.Stats().delta_records_applied, 2u);
+}
+
+TEST(LiveCorpusTest, DeltaNamingUnknownGroupIsRefusedWholly) {
+  DeltaRecord stray;
+  stray.op = DeltaRecord::Op::kRemove;
+  stray.group = "no_such_page";
+  stray.entity_id = "whatever";
+  const std::string path = ::testing::TempDir() + "/live_stray.dlog";
+  std::remove(path.c_str());
+  {
+    StatusOr<DeltaLogWriter> writer = DeltaLogWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append(stray).ok());
+  }
+
+  DimeService service(MakeTestCorpus(/*pages=*/1), ServiceOptions{});
+  StatusOr<ReloadOutcome> outcome = service.ApplyDeltaLog(path);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kNotFound);
+  // Nothing was installed: a half-applied log never becomes an epoch.
+  EXPECT_EQ(service.CurrentEpoch()->sequence(), 1u);
+  EXPECT_EQ(service.Stats().delta_records_applied, 0u);
+}
+
+TEST(LiveCorpusTest, CorruptDeltaLogDegradesToLastGoodEpoch) {
+  ServingCorpus corpus = MakeTestCorpus(/*pages=*/1);
+  DeltaRecord add;
+  add.op = DeltaRecord::Op::kAdd;
+  add.group = "page_0";
+  add.entity_id = "never_lands";
+  add.values = corpus.groups[0].entities[0].values;
+  const std::string path = ::testing::TempDir() + "/live_corrupt.dlog";
+  std::remove(path.c_str());
+  {
+    StatusOr<DeltaLogWriter> writer = DeltaLogWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append(add).ok());
+  }
+
+  DimeService service(std::move(corpus), ServiceOptions{});
+  {
+    ScopedFailpoint corrupt("store/delta-corrupt");
+    StatusOr<ReloadOutcome> outcome = service.ApplyDeltaLog(path);
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.status().code(), StatusCode::kDataLoss);
+  }
+  // Damaged acknowledged data refuses the merge; serving is untouched.
+  EXPECT_EQ(service.CurrentEpoch()->sequence(), 1u);
+  CheckRequest request;
+  request.group_name = "page_0";
+  StatusOr<CheckReply> reply = service.Check(request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->epoch->sequence(), 1u);
+  for (const Entity& e : reply->group->entities) {
+    EXPECT_NE(e.id, "never_lands");
+  }
+  // The log itself is intact on disk (the corruption was injected at the
+  // CRC check): disarmed, the same file applies cleanly.
+  StatusOr<ReloadOutcome> retry = service.ApplyDeltaLog(path);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(retry->sequence, 2u);
 }
 
 }  // namespace

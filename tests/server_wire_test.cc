@@ -153,7 +153,8 @@ TEST(WireRequestTest, GroupTsvRoundTripsWithEmbeddedEscapes) {
 TEST(WireRequestTest, AllTypesRoundTrip) {
   for (WireRequest::Type type :
        {WireRequest::Type::kCheck, WireRequest::Type::kStats,
-        WireRequest::Type::kPing, WireRequest::Type::kShutdown}) {
+        WireRequest::Type::kPing, WireRequest::Type::kShutdown,
+        WireRequest::Type::kReload}) {
     WireRequest request;
     request.type = type;
     auto parsed = ParseRequestLine(SerializeRequest(request));
@@ -305,6 +306,35 @@ TEST(WireResponseTest, StatsResponseCarriesCounters) {
   EXPECT_EQ(parsed->at("pairs_skipped_by_transitivity").number_value, 123.0);
   EXPECT_EQ(parsed->at("kernel_early_exits").number_value, 456.0);
   EXPECT_GT(parsed->at("p99_ms").number_value, 0.0);
+}
+
+TEST(WireResponseTest, ReloadResponseCarriesEpochAndFingerprint) {
+  ReloadOutcome outcome;
+  outcome.sequence = 7;
+  outcome.fingerprint_lo = 0x0123456789abcdefULL;
+  outcome.fingerprint_hi = 0xfedcba9876543210ULL;
+  outcome.groups = 3;
+  outcome.delta_records = 12;
+  std::string line = SerializeReloadResponse("r1", outcome);
+  EXPECT_TRUE(StatusFromResponseLine(line).ok());
+  auto parsed =
+      ParseJsonObjectLine(std::string_view(line.data(), line.size() - 1));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->at("id").string_value, "r1");
+  EXPECT_EQ(parsed->at("epoch").number_value, 7.0);
+  EXPECT_EQ(parsed->at("fingerprint").string_value,
+            "0123456789abcdeffedcba9876543210");
+  EXPECT_EQ(parsed->at("groups").number_value, 3.0);
+  EXPECT_EQ(parsed->at("delta_records").number_value, 12.0);
+  // torn_tail is emitted only when true, to keep the happy path terse.
+  EXPECT_EQ(parsed->count("torn_tail"), 0u);
+
+  outcome.torn_tail = true;
+  std::string torn = SerializeReloadResponse("", outcome);
+  auto reparsed =
+      ParseJsonObjectLine(std::string_view(torn.data(), torn.size() - 1));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(reparsed->at("torn_tail").bool_value);
 }
 
 TEST(WireResponseTest, NonResponseLineIsParseError) {

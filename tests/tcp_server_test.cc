@@ -74,7 +74,7 @@ TEST_F(DispatchTest, CheckPreloadedGroupTwiceSecondIsCached) {
 
 TEST_F(DispatchTest, CheckInlineGroupTsv) {
   // Round-trip an existing group through its TSV serialization.
-  std::string tsv = GroupToTsv(service_.corpus().groups[0]);
+  std::string tsv = GroupToTsv(service_.CurrentEpoch()->corpus().groups[0]);
   WireRequest request;
   request.type = WireRequest::Type::kCheck;
   request.id = "inline-1";
@@ -123,6 +123,84 @@ TEST_F(DispatchTest, IdIsEchoedOnErrors) {
   JsonObject response = MustParse(server_.Dispatch(
       R"({"type":"check","group":"nope","id":"err-7"})"));
   EXPECT_EQ(response.at("id").string_value, "err-7");
+}
+
+/// The malformed-input table: every hostile request line fails closed —
+/// a single error response, never a crash, never a partial apply — and
+/// the server keeps answering afterwards.
+TEST_F(DispatchTest, MalformedWireInputTable) {
+  struct Case {
+    const char* name;
+    std::string line;
+    const char* expected_status;
+  };
+  const Case cases[] = {
+      {"truncated json", R"({"type":"check","group":"page_)",
+       "PARSE_ERROR"},
+      {"unterminated string", R"({"type":"check","group":"page_0)",
+       "PARSE_ERROR"},
+      {"nul bytes", std::string("\0\0\0\0", 4), "PARSE_ERROR"},
+      {"embedded nul after json",
+       std::string(R"({"type":"ping"})") + std::string("\0garbage", 8),
+       "PARSE_ERROR"},
+      {"garbage verb", R"({"type":"frobnicate"})", "INVALID_ARGUMENT"},
+      {"wrong-typed verb", R"({"type":17})", "INVALID_ARGUMENT"},
+      {"missing verb", R"({"group":"page_0"})", "INVALID_ARGUMENT"},
+      {"trailing garbage", R"({"type":"ping"} and then some)",
+       "PARSE_ERROR"},
+      {"not an object", R"(["type","ping"])", "PARSE_ERROR"},
+  };
+  for (const Case& c : cases) {
+    JsonObject response = MustParse(server_.Dispatch(c.line));
+    EXPECT_EQ(response.at("status").string_value, c.expected_status)
+        << c.name;
+    // The service is untouched: a well-formed request still works.
+    JsonObject ping = MustParse(server_.Dispatch(R"({"type":"ping"})"));
+    EXPECT_EQ(ping.at("status").string_value, "OK") << "after " << c.name;
+  }
+}
+
+TEST_F(DispatchTest, ReloadWithoutHandlerIsInvalidArgument) {
+  JsonObject response =
+      MustParse(server_.Dispatch(R"({"type":"reload","id":"r1"})"));
+  EXPECT_EQ(response.at("status").string_value, "INVALID_ARGUMENT");
+  EXPECT_EQ(response.at("id").string_value, "r1");
+}
+
+TEST(DispatchReloadTest, ReloadHandlerOutcomeIsSerialized) {
+  DimeService service(MakeTestCorpus(), ServiceOptions{});
+  TcpServerOptions options;
+  options.reload_handler = [&service]() -> StatusOr<ReloadOutcome> {
+    return service.InstallCorpus(MakeTestCorpus());
+  };
+  TcpServer server(&service, options);
+  JsonObject response =
+      MustParse(server.Dispatch(R"({"type":"reload","id":"r2"})"));
+  EXPECT_EQ(response.at("status").string_value, "OK");
+  EXPECT_EQ(response.at("id").string_value, "r2");
+  EXPECT_EQ(response.at("epoch").number_value, 2.0);
+  EXPECT_EQ(response.at("groups").number_value, 1.0);
+  EXPECT_FALSE(response.at("fingerprint").string_value.empty());
+  // The swap took: checks now run against epoch 2.
+  JsonObject check =
+      MustParse(server.Dispatch(R"({"type":"check","group":"page_0"})"));
+  EXPECT_EQ(check.at("epoch").number_value, 2.0);
+}
+
+TEST(DispatchReloadTest, ReloadHandlerErrorPropagates) {
+  DimeService service(MakeTestCorpus(), ServiceOptions{});
+  TcpServerOptions options;
+  options.reload_handler = []() -> StatusOr<ReloadOutcome> {
+    return UnavailableError("injected reload failure");
+  };
+  TcpServer server(&service, options);
+  JsonObject response = MustParse(server.Dispatch(R"({"type":"reload"})"));
+  EXPECT_EQ(response.at("status").string_value, "UNAVAILABLE");
+  // Serving is untouched by the failed reload.
+  JsonObject check =
+      MustParse(server.Dispatch(R"({"type":"check","group":"page_0"})"));
+  EXPECT_EQ(check.at("status").string_value, "OK");
+  EXPECT_EQ(check.at("epoch").number_value, 1.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -211,6 +289,56 @@ TEST_F(SocketTest, ShutdownRequestUnblocksWait) {
 TEST_F(SocketTest, StopIsIdempotent) {
   server_->Stop();
   server_->Stop();
+}
+
+TEST_F(SocketTest, RequestShutdownFromAnotherThreadUnblocksWait) {
+  // The signal path: server_main's SIGTERM helper thread calls
+  // RequestShutdown() instead of a wire request arriving.
+  std::thread waiter([this] { server_->Wait(); });
+  server_->RequestShutdown();
+  waiter.join();
+  EXPECT_TRUE(server_->shutdown_requested());
+  // The server still answers until the owner actually Stop()s it.
+  std::string response = MustSend(R"({"type":"ping"})");
+  EXPECT_TRUE(StatusFromResponseLine(response).ok());
+}
+
+TEST_F(SocketTest, NulBytesOnTheWireFailClosedServerStaysUp) {
+  std::string hostile("\0\0{\"type\":\"ping\"}\0", 18);
+  StatusOr<std::string> response =
+      SendRequestLine("127.0.0.1", server_->port(), hostile);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(StatusFromResponseLine(*response).code(),
+            StatusCode::kParseError);
+  // A fresh connection still works.
+  EXPECT_TRUE(StatusFromResponseLine(MustSend(R"({"type":"ping"})")).ok());
+}
+
+TEST(TcpServerLimitsTest, OversizedLineCutsTheConnectionNotTheServer) {
+  DimeService service(MakeTestCorpus(), ServiceOptions{});
+  TcpServerOptions options;
+  options.max_line_bytes = 1024;  // small cap for the test
+  TcpServer server(&service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // 4 KiB of request against a 1 KiB cap: the connection is cut without
+  // buffering the flood (fails closed — no response line).
+  std::string flood = R"({"type":"check","group_tsv":")";
+  flood.append(4096, 'x');
+  flood += "\"}";
+  StatusOr<std::string> response =
+      SendRequestLine("127.0.0.1", server.port(), flood, /*timeout_ms=*/5000);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kIoError);
+
+  // The listener survives the abusive client.
+  StatusOr<std::string> ping =
+      SendRequestLine("127.0.0.1", server.port(), R"({"type":"ping"})");
+  ASSERT_TRUE(ping.ok()) << ping.status().ToString();
+  EXPECT_TRUE(StatusFromResponseLine(*ping).ok());
+
+  server.Stop();
+  service.Shutdown();
 }
 
 TEST(TcpServerLifecycleTest, ConnectAfterStopIsUnavailable) {
