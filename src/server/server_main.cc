@@ -110,6 +110,14 @@ struct LiveCorpusState {
   std::string snapshot_path;   ///< empty: no snapshot source
   std::string delta_log_path;  ///< empty: no delta source
 
+  /// Serializes every epoch-producing operation — the wire reload
+  /// handler (transport threads) and the watcher poller — across the
+  /// whole reload/merge/rotate sequence. Without it, a slow delta merge
+  /// pinned to an older epoch could Install after a concurrent snapshot
+  /// reload and win by sequence while loaded_fp_* already records the
+  /// new file as loaded — the stale corpus would serve until restart.
+  Mutex reload_mu;
+
   Mutex mu;
   /// Fingerprint of the snapshot FILE last loaded (not the serving
   /// epoch's — a delta merge moves the epoch fingerprint past the
@@ -124,22 +132,14 @@ uint64_t FileSize(const std::string& path) {
   return static_cast<uint64_t>(st.st_size);
 }
 
-/// A delta log that was merged into an epoch is rotated aside so its
-/// records are not applied twice; external producers simply start a
-/// fresh log at the original path.
-void RotateDeltaLog(const std::string& path, uint64_t sequence) {
-  std::string rotated = path + ".applied." + std::to_string(sequence);
-  if (std::rename(path.c_str(), rotated.c_str()) != 0) {
-    DIME_LOG(WARNING) << "cannot rotate applied delta log " << path << ": "
-                      << std::strerror(errno);
-  }
-}
-
 /// The full reload sequence: re-read the snapshot (when configured),
 /// then merge any pending delta log on top. Any failure leaves the last
 /// good epoch serving; a bad delta log after a good snapshot load keeps
-/// the snapshot epoch (logged, degraded, never crashed).
+/// the snapshot epoch (logged, degraded, never crashed). The merged log
+/// is rotated aside inside ApplyDeltaLog, under the log's lock, so live
+/// producers never lose a record (see service.h).
 StatusOr<ReloadOutcome> ReloadSources(LiveCorpusState* state) {
+  MutexLock reload_lock(&state->reload_mu);
   StatusOr<ReloadOutcome> outcome =
       InvalidArgumentError("no corpus source to reload");
   bool have_snapshot_epoch = false;
@@ -153,15 +153,14 @@ StatusOr<ReloadOutcome> ReloadSources(LiveCorpusState* state) {
   }
   if (!state->delta_log_path.empty() &&
       FileSize(state->delta_log_path) > kDeltaLogHeaderSize) {
-    StatusOr<ReloadOutcome> merged =
-        state->service->ApplyDeltaLog(state->delta_log_path);
+    StatusOr<ReloadOutcome> merged = state->service->ApplyDeltaLog(
+        state->delta_log_path, /*rotate_applied=*/true);
     if (merged.ok()) {
       if (merged->torn_tail) {
         DIME_LOG(WARNING) << "delta log " << state->delta_log_path
                           << " had a torn final record (dropped; the "
                              "applied prefix is intact)";
       }
-      RotateDeltaLog(state->delta_log_path, merged->sequence);
       return merged;
     }
     if (have_snapshot_epoch) {
@@ -173,6 +172,15 @@ StatusOr<ReloadOutcome> ReloadSources(LiveCorpusState* state) {
     return merged;
   }
   return outcome;
+}
+
+/// The watcher's delta-only trigger: merge and rotate without re-reading
+/// an unchanged snapshot, serialized with every other epoch-producing
+/// operation.
+StatusOr<ReloadOutcome> MergeDeltaLog(LiveCorpusState* state) {
+  MutexLock reload_lock(&state->reload_mu);
+  return state->service->ApplyDeltaLog(state->delta_log_path,
+                                       /*rotate_applied=*/true);
 }
 
 /// Self-pipe for SIGTERM/SIGINT: the handler only write()s (async-signal
@@ -446,14 +454,10 @@ int main(int argc, char** argv) {
             delta_size >= kDeltaLogHeaderSize + delta_threshold_bytes &&
             delta_size != last_bad_delta_size;
         if (!snapshot_changed && !delta_ready) continue;
-        StatusOr<ReloadOutcome> outcome =
-            snapshot_changed
-                ? ReloadSources(&live)
-                : service.ApplyDeltaLog(live.delta_log_path);
+        StatusOr<ReloadOutcome> outcome = snapshot_changed
+                                              ? ReloadSources(&live)
+                                              : MergeDeltaLog(&live);
         if (outcome.ok()) {
-          if (!snapshot_changed) {
-            RotateDeltaLog(live.delta_log_path, outcome->sequence);
-          }
           last_bad_delta_size = 0;
           std::printf("dime_server: swapped in epoch %llu (%zu group(s), "
                       "%zu delta record(s))\n",

@@ -8,6 +8,7 @@
 
 #include "src/common/check.h"
 #include "src/common/fault_injection.h"
+#include "src/common/logging.h"
 
 namespace dime {
 namespace {
@@ -125,7 +126,34 @@ StatusOr<ReloadOutcome> DimeService::ReloadFromSnapshot(
   return InstallCorpus(CorpusFromSnapshot(std::move(loaded).value()));
 }
 
-StatusOr<ReloadOutcome> DimeService::ApplyDeltaLog(const std::string& path) {
+StatusOr<ReloadOutcome> DimeService::ApplyDeltaLog(const std::string& path,
+                                                   bool rotate_applied) {
+  bool grew = false;
+  if (!rotate_applied) return ApplyDeltaLogAttempt(path, nullptr, &grew);
+  // Merge-then-rotate must be atomic against live producers: a record
+  // appended between the read and the rename would be rotated away
+  // without ever being applied. Every DeltaLogWriter::Append holds the
+  // log's flock, so a size check under the same lock proves quiescence.
+  // The expensive part (re-preparing every group) runs unlocked; only
+  // the final attempt holds producers off for the whole merge, which
+  // guarantees progress under continuous append load.
+  constexpr int kMergeAttempts = 3;
+  for (int attempt = 0; attempt < kMergeAttempts; ++attempt) {
+    DeltaLogLock lock;
+    if (attempt == kMergeAttempts - 1) {
+      Status held = lock.Acquire(path);
+      if (!held.ok()) return held;
+    }
+    grew = false;
+    StatusOr<ReloadOutcome> merged = ApplyDeltaLogAttempt(path, &lock, &grew);
+    if (!grew) return merged;
+  }
+  // Unreachable: the locked final attempt cannot observe growth.
+  return InternalError("delta log merge never converged");
+}
+
+StatusOr<ReloadOutcome> DimeService::ApplyDeltaLogAttempt(
+    const std::string& path, DeltaLogLock* lock, bool* grew_during_merge) {
   StatusOr<DeltaLogContents> log = ReadDeltaLog(path);
   if (!log.ok()) return log.status();
 
@@ -169,12 +197,40 @@ StatusOr<ReloadOutcome> DimeService::ApplyDeltaLog(const std::string& path) {
         PrepareGroup(group, next.positive, next.negative, next.context)));
   }
 
+  if (lock != nullptr) {
+    if (!lock->held()) {
+      if (options_.delta_merge_race_hook) options_.delta_merge_race_hook();
+      Status held = lock->Acquire(path);
+      if (!held.ok()) return held;
+    }
+    StatusOr<uint64_t> size_now = lock->SizeNow();
+    if (!size_now.ok()) return size_now.status();
+    if (*size_now != log->file_bytes) {
+      // A producer appended while we merged: rotating now would discard
+      // its acknowledged records unapplied. Throw this merge away and
+      // redo it from the grown log. (A torn tail from a LIVE writer also
+      // lands here — its append finishes before we can hold the lock —
+      // so a torn tail that survives to the install below is a crashed
+      // producer, safe to drop.)
+      *grew_during_merge = true;
+      return InternalError("delta log grew during merge");
+    }
+  }
+
   ReloadOutcome outcome = InstallCorpus(std::move(next));
   outcome.delta_records = applied_total;
   outcome.torn_tail = log->torn_tail;
   {
-    MutexLock lock(&stats_mu_);
+    MutexLock stats_lock(&stats_mu_);
     delta_records_applied_ += applied_total;
+  }
+  if (lock != nullptr) {
+    Status rotated = lock->RotateTo(path + ".applied." +
+                                    std::to_string(outcome.sequence));
+    if (!rotated.ok()) {
+      DIME_LOG(WARNING) << rotated.ToString()
+                        << " (the merged epoch is installed and serving)";
+    }
   }
   return outcome;
 }

@@ -88,6 +88,13 @@ struct ServiceOptions {
   /// sequence after a retired epoch is fully destroyed (mmap unmapped).
   /// Must be thread-safe.
   std::function<void(uint64_t)> epoch_retire_hook;
+  /// Test-only: invoked by a rotating delta merge (ApplyDeltaLog with
+  /// rotate_applied) after it read the log but before it takes the log's
+  /// lock to verify quiescence — lets tests land a concurrent append at
+  /// exactly the racy moment. Not called on the final, fully-locked
+  /// attempt (an append there would deadlock on the flock). Must not
+  /// throw.
+  std::function<void()> delta_merge_race_hook;
 };
 
 struct CheckRequest {
@@ -213,7 +220,19 @@ class DimeService {
   /// incremental split — see delta_log.h). On any error — unreadable or
   /// corrupt log (DATA_LOSS), a record naming an unknown group or entity
   /// — nothing is installed and the current epoch keeps serving.
-  StatusOr<ReloadOutcome> ApplyDeltaLog(const std::string& path);
+  ///
+  /// With `rotate_applied`, the applied log is renamed aside to
+  /// `<path>.applied.<sequence>` so its records are never merged twice —
+  /// atomically with respect to live producers: the install+rotate only
+  /// happens under the log's flock after verifying the log did not grow
+  /// past the merged prefix (DeltaLogWriter::Append holds the same lock
+  /// per record). A merge raced by appends is discarded and retried; the
+  /// final attempt merges with the lock held, so producers wait instead
+  /// of losing records. Callers (the watcher, the reload verb) must
+  /// serialize rotating merges among themselves — the server's reload
+  /// mutex does.
+  StatusOr<ReloadOutcome> ApplyDeltaLog(const std::string& path,
+                                        bool rotate_applied = false);
 
   const ServiceOptions& options() const { return options_; }
 
@@ -226,6 +245,15 @@ class DimeService {
 
  private:
   struct PendingCheck;
+
+  /// One merge attempt: read, merge, re-prepare, install. When `lock` is
+  /// non-null the install is gated on quiescence (log size under the
+  /// held lock == bytes read) and the applied log is rotated aside;
+  /// `*grew_during_merge` reports a discarded attempt (nothing was
+  /// installed) that the caller should retry.
+  StatusOr<ReloadOutcome> ApplyDeltaLogAttempt(const std::string& path,
+                                               DeltaLogLock* lock,
+                                               bool* grew_during_merge);
 
   void WorkerLoop();
   /// Executes one admitted request end to end (engine + cache insert).

@@ -1,5 +1,10 @@
 #include "src/store/delta_log.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -98,6 +103,65 @@ int FindEntity(const Group& group, std::string_view id) {
   return -1;
 }
 
+/// Opens (creating if needed) the log at `path` for append with its
+/// exclusive flock HELD, writing the 16-byte header iff the file is
+/// empty and validating it otherwise. Whether to write the header is
+/// decided from fstat on the locked descriptor — never ftell on an
+/// append stream, whose initial position is implementation-defined
+/// (C11 7.21.5.3). The caller releases the lock.
+StatusOr<std::FILE*> OpenLogLocked(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return IoError("cannot open delta log " + path + " for append: " +
+                   std::strerror(errno));
+  }
+  auto fail = [fd](Status status) -> StatusOr<std::FILE*> {
+    ::flock(fd, LOCK_UN);
+    ::close(fd);
+    return status;
+  };
+  if (::flock(fd, LOCK_EX) != 0) {
+    return fail(IoError("cannot lock delta log " + path + ": " +
+                        std::strerror(errno)));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    return fail(IoError("cannot stat delta log " + path + ": " +
+                        std::strerror(errno)));
+  }
+  if (st.st_size == 0) {
+    std::string header = HeaderBytes();
+    size_t written = 0;
+    while (written < header.size()) {
+      ssize_t n = ::write(fd, header.data() + written,
+                          header.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return fail(IoError("cannot write delta log header to " + path +
+                            ": " + std::strerror(errno)));
+      }
+      written += static_cast<size_t>(n);
+    }
+  } else {
+    // Appending records to something that is not a delta log only
+    // manufactures corruption for the eventual reader.
+    char header[kDeltaLogHeaderSize];
+    ssize_t n = ::pread(fd, header, sizeof(header), 0);
+    if (n < 0) {
+      return fail(IoError("cannot read delta log header of " + path + ": " +
+                          std::strerror(errno)));
+    }
+    Status valid = ValidateHeader(header, static_cast<size_t>(n));
+    if (!valid.ok()) return fail(valid);
+  }
+  std::FILE* file = ::fdopen(fd, "ab");
+  if (file == nullptr) {
+    return fail(IoError("cannot wrap delta log " + path + " for append: " +
+                        std::strerror(errno)));
+  }
+  return file;
+}
+
 }  // namespace
 
 const char* DeltaOpName(DeltaRecord::Op op) {
@@ -139,39 +203,46 @@ std::string EncodeDeltaPayload(const DeltaRecord& record) {
 }
 
 StatusOr<DeltaLogWriter> DeltaLogWriter::Open(const std::string& path) {
-  // Validate an existing non-empty file before appending to it: appending
-  // records to something that is not a delta log only manufactures
-  // corruption for the eventual reader.
-  {
-    std::FILE* existing = std::fopen(path.c_str(), "rb");
-    if (existing != nullptr) {
-      char header[kDeltaLogHeaderSize];
-      size_t n = std::fread(header, 1, sizeof(header), existing);
-      std::fclose(existing);
-      if (n > 0) {
-        Status valid = ValidateHeader(header, n);
-        if (!valid.ok()) return valid;
-      }
-    }
-  }
-  std::FILE* file = std::fopen(path.c_str(), "ab");
-  if (file == nullptr) {
-    return IoError("cannot open delta log " + path + " for append: " +
-                   std::strerror(errno));
-  }
-  DeltaLogWriter writer(file);
-  long pos = std::ftell(file);
-  if (pos == 0) {
-    std::string header = HeaderBytes();
-    if (std::fwrite(header.data(), 1, header.size(), file) != header.size() ||
-        std::fflush(file) != 0) {
-      return IoError("cannot write delta log header to " + path);
-    }
-  }
-  return writer;
+  StatusOr<std::FILE*> file = OpenLogLocked(path);
+  if (!file.ok()) return file.status();
+  ::flock(fileno(*file), LOCK_UN);
+  return DeltaLogWriter(path, *file);
 }
 
 DeltaLogWriter::~DeltaLogWriter() = default;
+
+Status DeltaLogWriter::LockCurrentLog() {
+  // Bounded only as a safety net: each retrip needs a merge to have
+  // rotated the log in the window between our reopen and relock.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    int fd = fileno(file_.get());
+    if (::flock(fd, LOCK_EX) != 0) {
+      return IoError("cannot lock delta log " + path_ + ": " +
+                     std::strerror(errno));
+    }
+    struct stat ours;
+    if (::fstat(fd, &ours) != 0) {
+      ::flock(fd, LOCK_UN);
+      return IoError("cannot stat delta log " + path_ + ": " +
+                     std::strerror(errno));
+    }
+    struct stat on_disk;
+    if (::stat(path_.c_str(), &on_disk) == 0 &&
+        on_disk.st_dev == ours.st_dev && on_disk.st_ino == ours.st_ino) {
+      return OkStatus();
+    }
+    // The merge rotated the log aside while we held an open descriptor:
+    // appending to the old inode would write records nothing ever reads.
+    // Reopen a fresh log at the path and re-verify — the fresh log can
+    // itself be rotated between the open and the lock.
+    ::flock(fd, LOCK_UN);
+    StatusOr<std::FILE*> fresh = OpenLogLocked(path_);
+    if (!fresh.ok()) return fresh.status();
+    file_.reset(*fresh);  // closes the stale stream
+    // Loop re-verifies; flock on the already-locked fd is a no-op.
+  }
+  return IoError("delta log " + path_ + " kept rotating mid-append");
+}
 
 Status DeltaLogWriter::Append(const DeltaRecord& record) {
   if (file_ == nullptr) {
@@ -186,14 +257,78 @@ Status DeltaLogWriter::Append(const DeltaRecord& record) {
   frame.U32(Crc32(payload));
   frame.Raw(payload.data(), payload.size());
   const std::string& bytes = frame.str();
+  // The whole frame lands under the log's flock: producers never
+  // interleave mid-frame, and a concurrent merge-and-rotate either sees
+  // this record in full or rotates before it (after which LockCurrentLog
+  // has redirected us to a fresh log).
+  Status locked = LockCurrentLog();
+  if (!locked.ok()) return locked;
+  int fd = fileno(file_.get());
   if (std::fwrite(bytes.data(), 1, bytes.size(), file_.get()) !=
           bytes.size() ||
       std::fflush(file_.get()) != 0) {
-    return IoError(std::string("appending delta record failed: ") +
-                   std::strerror(errno));
+    Status failed = IoError(std::string("appending delta record failed: ") +
+                            std::strerror(errno));
+    ::flock(fd, LOCK_UN);
+    return failed;
   }
+  ::flock(fd, LOCK_UN);
   ++records_appended_;
   return OkStatus();
+}
+
+Status DeltaLogLock::Acquire(const std::string& path) {
+  Release();
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    std::string msg =
+        "cannot open delta log " + path + ": " + std::strerror(errno);
+    return errno == ENOENT ? NotFoundError(msg) : IoError(msg);
+  }
+  if (::flock(fd, LOCK_EX) != 0) {
+    Status failed = IoError("cannot lock delta log " + path + ": " +
+                            std::strerror(errno));
+    ::close(fd);
+    return failed;
+  }
+  fd_ = fd;
+  path_ = path;
+  return OkStatus();
+}
+
+StatusOr<uint64_t> DeltaLogLock::SizeNow() const {
+  struct stat st;
+  if (fd_ < 0 || ::fstat(fd_, &st) != 0) {
+    return IoError("cannot stat locked delta log " + path_);
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status DeltaLogLock::RotateTo(const std::string& rotated_path) {
+  if (fd_ < 0) return InternalError("RotateTo without a held lock");
+  if (std::rename(path_.c_str(), rotated_path.c_str()) == 0) {
+    return OkStatus();
+  }
+  std::string rename_error = std::strerror(errno);
+  // Fallback so applied records can never be applied twice: empty the log
+  // in place. Producers blocked on the flock resume against the same
+  // inode (O_APPEND writes land at the new end of file).
+  if (::ftruncate(fd_, static_cast<off_t>(kDeltaLogHeaderSize)) == 0) {
+    return IoError("cannot rotate applied delta log " + path_ + " to " +
+                   rotated_path + " (" + rename_error +
+                   "); truncated it to empty instead");
+  }
+  return DataLossError("cannot rotate applied delta log " + path_ + " (" +
+                       rename_error +
+                       ") nor truncate it: its records would be applied "
+                       "twice on the next merge");
+}
+
+void DeltaLogLock::Release() {
+  if (fd_ < 0) return;
+  ::flock(fd_, LOCK_UN);
+  ::close(fd_);
+  fd_ = -1;
 }
 
 StatusOr<DeltaLogContents> ReadDeltaLog(const std::string& path) {
@@ -203,6 +338,7 @@ StatusOr<DeltaLogContents> ReadDeltaLog(const std::string& path) {
   if (!header.ok()) return header;
 
   DeltaLogContents contents;
+  contents.file_bytes = bytes->size();
   size_t pos = kDeltaLogHeaderSize;
   contents.valid_bytes = pos;
   while (pos < bytes->size()) {

@@ -36,6 +36,16 @@
 /// damage to acknowledged data: DATA_LOSS, and consumers must keep
 /// serving the last good epoch instead of trusting any suffix.
 ///
+/// Producer/merger handoff. Every DeltaLogWriter::Append runs under the
+/// log file's exclusive flock(2), so appends from concurrent producers
+/// (even across processes) never interleave mid-frame. The serving
+/// layer's merge-and-rotate (DimeService::ApplyDeltaLog) takes the same
+/// lock to prove quiescence — the log did not grow past the prefix it
+/// merged — before renaming the applied log aside. A producer whose log
+/// was rotated out from under its open descriptor detects the rename on
+/// its next locked append and transparently reopens a fresh log at the
+/// original path, so no acknowledged record is ever silently dropped.
+///
 /// Failpoint "store/delta-corrupt" forces the next record's CRC check to
 /// fail, so every degradation path is deterministic to test.
 
@@ -66,11 +76,13 @@ bool DeltaOpFromName(std::string_view name, DeltaRecord::Op* op);
 std::string EncodeDeltaPayload(const DeltaRecord& record);
 
 /// Appends records to a delta log file. Creates the file (with header) on
-/// first open; appends after validating the header otherwise. One writer
-/// per log — concurrent writers would interleave frames.
+/// first open; appends after validating the header otherwise. Appends are
+/// serialized by the file's flock, so concurrent producers — and the
+/// serving layer's merge-and-rotate — interoperate safely (see the
+/// handoff protocol above).
 class DeltaLogWriter {
  public:
-  /// NOT_FOUND/IO_ERROR when the file cannot be created or opened,
+  /// IO_ERROR when the file cannot be created, opened, or locked;
   /// PARSE_ERROR when `path` exists but is not a delta log.
   static StatusOr<DeltaLogWriter> Open(const std::string& path);
 
@@ -78,29 +90,76 @@ class DeltaLogWriter {
   DeltaLogWriter& operator=(DeltaLogWriter&&) = default;
   ~DeltaLogWriter();
 
-  /// Frames, checksums and appends one record, then flushes the stdio
-  /// buffer (a crash after Append returns can tear at most the record
-  /// the OS was still writing).
+  /// Frames, checksums and appends one record under the log's flock, then
+  /// flushes the stdio buffer (a crash after Append returns can tear at
+  /// most the record the OS was still writing). If the log was rotated
+  /// aside since the last append, the writer reopens a fresh log at the
+  /// original path first.
   Status Append(const DeltaRecord& record);
 
   uint64_t records_appended() const { return records_appended_; }
 
  private:
-  explicit DeltaLogWriter(std::FILE* file) : file_(file) {}
+  DeltaLogWriter(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  /// Acquires the flock on file_ and guarantees path_ still names its
+  /// inode, reopening a fresh log when a rotation won the race. On OK the
+  /// lock is HELD; the caller releases it.
+  Status LockCurrentLog();
 
   struct FileCloser {
     void operator()(std::FILE* f) const {
       if (f != nullptr) std::fclose(f);
     }
   };
+  std::string path_;
   std::unique_ptr<std::FILE, FileCloser> file_;
   uint64_t records_appended_ = 0;
+};
+
+/// Exclusive hold on a delta log for the merge-and-rotate sequence: the
+/// same flock DeltaLogWriter::Append takes per record, so while held no
+/// producer append is in flight and none can start. Lets the merger
+/// verify that the log did not grow past the prefix it read (quiescence)
+/// and then rename the applied log aside without losing a single
+/// acknowledged record. Not copyable; released on destruction.
+class DeltaLogLock {
+ public:
+  DeltaLogLock() = default;
+  ~DeltaLogLock() { Release(); }
+  DeltaLogLock(const DeltaLogLock&) = delete;
+  DeltaLogLock& operator=(const DeltaLogLock&) = delete;
+
+  /// Opens `path` and blocks until the exclusive flock is held.
+  /// NOT_FOUND when the log does not exist, IO_ERROR otherwise.
+  Status Acquire(const std::string& path);
+  bool held() const { return fd_ >= 0; }
+
+  /// Current size of the locked file in bytes (fstat on the held
+  /// descriptor — immune to a concurrent rename of the path).
+  StatusOr<uint64_t> SizeNow() const;
+
+  /// Renames the locked log to `rotated_path`. If the rename fails,
+  /// truncates the log to its bare header instead — either way the
+  /// applied records can never be applied twice. The lock stays held.
+  Status RotateTo(const std::string& rotated_path);
+
+  void Release();
+
+ private:
+  std::string path_;
+  int fd_ = -1;
 };
 
 struct DeltaLogContents {
   std::vector<DeltaRecord> records;
   /// Bytes of the validated prefix (header + intact records).
   uint64_t valid_bytes = 0;
+  /// Total bytes read from the file — equals valid_bytes unless a torn
+  /// tail was dropped. The merge-and-rotate quiescence check compares
+  /// this against the file size under the log's flock.
+  uint64_t file_bytes = 0;
   /// True when a truncated final record was dropped (crash mid-append).
   bool torn_tail = false;
 };

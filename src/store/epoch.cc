@@ -101,14 +101,17 @@ std::shared_ptr<const CorpusEpoch> EpochManager::Install(
   // The epoch (fingerprint synthesis, lookup index) is built outside the
   // lock so a heavyweight install never stalls Pin(). Two racing installs
   // resolve by sequence: the later one wins, the earlier is retired the
-  // moment its last pin drops.
+  // moment its last pin drops. The WINNER is returned either way, so a
+  // caller reporting the outcome (e.g. an admin reload reply) describes
+  // the epoch that actually serves — never one that lost the race and
+  // will be retired without serving a single request.
   std::shared_ptr<const CorpusEpoch> epoch(
       new CorpusEpoch(sequence, std::move(corpus)), Retirer{control_});
   MutexLock lock(&mu_);
   if (current_ == nullptr || current_->sequence() < sequence) {
-    current_ = epoch;
+    current_ = std::move(epoch);
   }
-  return epoch;
+  return current_;
 }
 
 std::shared_ptr<const CorpusEpoch> EpochManager::Pin() const {

@@ -144,8 +144,11 @@ class EpochManager {
   EpochManager(const EpochManager&) = delete;
   EpochManager& operator=(const EpochManager&) = delete;
 
-  /// Publishes `corpus` as the next epoch and returns it (already
-  /// pinned). The superseded epoch survives until its last pin drops.
+  /// Publishes `corpus` as the next epoch and returns the epoch now
+  /// serving (already pinned) — normally the one just built; when a
+  /// racing Install with a higher sequence won, the winner, so callers
+  /// always report an epoch that actually serves. The superseded epoch
+  /// survives until its last pin drops.
   std::shared_ptr<const CorpusEpoch> Install(ServingCorpus corpus);
 
   /// Pins the current epoch. Null only before the first Install.

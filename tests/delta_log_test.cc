@@ -90,6 +90,7 @@ TEST(DeltaLogTest, RoundTripPreservesEveryField) {
     EXPECT_EQ(contents->records[i].values, expected[i].values) << i;
   }
   EXPECT_EQ(contents->valid_bytes, ReadFileBytes(path).size());
+  EXPECT_EQ(contents->file_bytes, contents->valid_bytes);
 }
 
 TEST(DeltaLogTest, ReopenAppendsAfterValidatingHeader) {
@@ -112,6 +113,73 @@ TEST(DeltaLogTest, ReopenAppendsAfterValidatingHeader) {
   EXPECT_EQ(writer.status().code(), StatusCode::kParseError);
 }
 
+TEST(DeltaLogTest, WriterSurvivesRotationByReopeningAFreshLog) {
+  std::string path = TestPath("delta_rotated.dlt");
+  std::remove(path.c_str());
+  std::string rotated = path + ".applied.2";
+  std::remove(rotated.c_str());
+
+  StatusOr<DeltaLogWriter> writer = DeltaLogWriter::Open(path);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  ASSERT_TRUE(
+      writer->Append(AddRecord("page_0", "before", {{"A"}, {"B"}})).ok());
+
+  // A merge rotates the applied log aside while this writer still holds
+  // an open stream on the old inode (the fd follows the rename).
+  ASSERT_EQ(std::rename(path.c_str(), rotated.c_str()), 0);
+  ASSERT_TRUE(
+      writer->Append(AddRecord("page_0", "after", {{"A"}, {"B"}})).ok());
+
+  // The rotated file kept only the pre-rotation record — the writer did
+  // NOT keep appending to a file nothing will ever merge again...
+  StatusOr<DeltaLogContents> applied = ReadDeltaLog(rotated);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  ASSERT_EQ(applied->records.size(), 1u);
+  EXPECT_EQ(applied->records[0].entity_id, "before");
+
+  // ...the post-rotation record landed in a fresh log at the original
+  // path, complete with its own header.
+  StatusOr<DeltaLogContents> fresh = ReadDeltaLog(path);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  ASSERT_EQ(fresh->records.size(), 1u);
+  EXPECT_EQ(fresh->records[0].entity_id, "after");
+}
+
+TEST(DeltaLogTest, LockHoldsOffAppendsAndRotatesAside) {
+  std::string path = TestPath("delta_locked.dlt");
+  std::remove(path.c_str());
+  std::string rotated = path + ".applied.9";
+  std::remove(rotated.c_str());
+  {
+    StatusOr<DeltaLogWriter> writer = DeltaLogWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(
+        writer->Append(AddRecord("page_0", "p1", {{"A"}, {"B"}})).ok());
+  }
+
+  DeltaLogLock lock;
+  ASSERT_TRUE(lock.Acquire(path).ok());
+  StatusOr<uint64_t> size = lock.SizeNow();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, ReadFileBytes(path).size());
+  ASSERT_TRUE(lock.RotateTo(rotated).ok());
+  lock.Release();
+
+  // The applied log moved aside whole; the original path is free for the
+  // next producer to start a fresh log.
+  StatusOr<DeltaLogContents> applied = ReadDeltaLog(rotated);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied->records.size(), 1u);
+  StatusOr<DeltaLogContents> gone = ReadDeltaLog(path);
+  ASSERT_FALSE(gone.ok());
+  EXPECT_EQ(gone.status().code(), StatusCode::kNotFound);
+
+  // Locking a missing log reports NOT_FOUND (the merge's trigger already
+  // checked the size, so this is a should-not-happen guard).
+  DeltaLogLock missing;
+  EXPECT_EQ(missing.Acquire(path).code(), StatusCode::kNotFound);
+}
+
 TEST(DeltaLogTest, MissingFileIsNotFound) {
   StatusOr<DeltaLogContents> contents =
       ReadDeltaLog(TestPath("no_such_delta.dlt"));
@@ -130,6 +198,10 @@ TEST(DeltaLogTest, TornTailDropsOnlyTheFinalRecord) {
   ASSERT_TRUE(contents.ok()) << contents.status().ToString();
   EXPECT_TRUE(contents->torn_tail);
   EXPECT_EQ(contents->records.size(), 2u);
+  // file_bytes covers the torn bytes too — the quiescence check must see
+  // the whole file, not just the intact prefix.
+  EXPECT_EQ(contents->file_bytes, bytes.size() - 3);
+  EXPECT_LT(contents->valid_bytes, contents->file_bytes);
 
   // Cutting inside the final frame header (< 8 bytes of it present) is
   // the same story.

@@ -62,9 +62,14 @@ TEST(EpochTest, InstallPublishesAndPinSeesLatest) {
   EXPECT_EQ(manager.Pin()->sequence(), 1u);
   EXPECT_EQ(manager.current_sequence(), 1u);
 
-  manager.Install(MakeCorpus(2));
+  std::shared_ptr<const CorpusEpoch> second = manager.Install(MakeCorpus(2));
   EXPECT_EQ(manager.Pin()->sequence(), 2u);
   EXPECT_EQ(manager.installed(), 2u);
+  // Install returns the epoch that is actually SERVING — here the one it
+  // just published (and when a racing install wins, the winner), so a
+  // reload outcome never describes an epoch that lost the race and will
+  // retire without serving.
+  EXPECT_EQ(second.get(), manager.Pin().get());
 }
 
 TEST(EpochTest, RetireFiresExactlyWhenLastPinDrops) {

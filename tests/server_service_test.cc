@@ -652,5 +652,107 @@ TEST(LiveCorpusTest, CorruptDeltaLogDegradesToLastGoodEpoch) {
   EXPECT_EQ(retry->sequence, 2u);
 }
 
+TEST(LiveCorpusTest, RotatingMergeMovesTheAppliedLogAside) {
+  ServingCorpus corpus = MakeTestCorpus(/*pages=*/1);
+  DeltaRecord add;
+  add.op = DeltaRecord::Op::kAdd;
+  add.group = "page_0";
+  add.entity_id = "rotated_in";
+  add.values = corpus.groups[0].entities[0].values;
+
+  const std::string path = ::testing::TempDir() + "/live_rotate.dlog";
+  const std::string rotated = path + ".applied.2";
+  std::remove(path.c_str());
+  std::remove(rotated.c_str());
+  {
+    StatusOr<DeltaLogWriter> writer = DeltaLogWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append(add).ok());
+  }
+
+  DimeService service(std::move(corpus), ServiceOptions{});
+  StatusOr<ReloadOutcome> outcome =
+      service.ApplyDeltaLog(path, /*rotate_applied=*/true);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->sequence, 2u);
+  EXPECT_EQ(outcome->delta_records, 1u);
+
+  // The applied log was renamed to <path>.applied.<sequence>, whole;
+  // nothing is left at the original path to merge twice.
+  StatusOr<DeltaLogContents> applied = ReadDeltaLog(rotated);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(applied->records.size(), 1u);
+  StatusOr<DeltaLogContents> gone = ReadDeltaLog(path);
+  ASSERT_FALSE(gone.ok());
+  EXPECT_EQ(gone.status().code(), StatusCode::kNotFound);
+}
+
+TEST(LiveCorpusTest, RotatingMergeRetriesWhenAProducerAppendsMidMerge) {
+  ServingCorpus corpus = MakeTestCorpus(/*pages=*/1);
+  const std::vector<AttributeValue> values = corpus.groups[0].entities[0].values;
+
+  const std::string path = ::testing::TempDir() + "/live_race.dlog";
+  const std::string rotated = path + ".applied.2";
+  std::remove(path.c_str());
+  std::remove(rotated.c_str());
+  DeltaRecord first;
+  first.op = DeltaRecord::Op::kAdd;
+  first.group = "page_0";
+  first.entity_id = "first";
+  first.values = values;
+  {
+    StatusOr<DeltaLogWriter> writer = DeltaLogWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append(first).ok());
+  }
+
+  // The race the rotation protocol exists for: a producer lands a record
+  // after the merge read the log but before it rotates. Without the
+  // locked quiescence check, "late_arrival" would be rotated away
+  // acknowledged-but-never-applied.
+  ServiceOptions options;
+  std::atomic<int> hook_fires{0};
+  options.delta_merge_race_hook = [&] {
+    if (hook_fires.fetch_add(1) != 0) return;  // interfere once
+    StatusOr<DeltaLogWriter> writer = DeltaLogWriter::Open(path);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    DeltaRecord late;
+    late.op = DeltaRecord::Op::kAdd;
+    late.group = "page_0";
+    late.entity_id = "late_arrival";
+    late.values = values;
+    ASSERT_TRUE(writer->Append(late).ok());
+  };
+
+  DimeService service(std::move(corpus), options);
+  StatusOr<ReloadOutcome> outcome =
+      service.ApplyDeltaLog(path, /*rotate_applied=*/true);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  // The first attempt was discarded (the log grew under it) and the
+  // merge redone from the grown log: BOTH records made the epoch.
+  EXPECT_EQ(hook_fires.load(), 2);
+  EXPECT_EQ(outcome->sequence, 2u);
+  EXPECT_EQ(outcome->delta_records, 2u);
+
+  CheckRequest request;
+  request.group_name = "page_0";
+  StatusOr<CheckReply> reply = service.Check(request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  bool found_first = false, found_late = false;
+  for (const Entity& e : reply->group->entities) {
+    if (e.id == "first") found_first = true;
+    if (e.id == "late_arrival") found_late = true;
+  }
+  EXPECT_TRUE(found_first);
+  EXPECT_TRUE(found_late);
+
+  // Both records were rotated aside together; nothing re-applies.
+  StatusOr<DeltaLogContents> applied = ReadDeltaLog(rotated);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(applied->records.size(), 2u);
+  StatusOr<DeltaLogContents> gone = ReadDeltaLog(path);
+  EXPECT_FALSE(gone.ok());
+}
+
 }  // namespace
 }  // namespace dime
