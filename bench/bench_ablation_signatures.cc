@@ -154,6 +154,7 @@ int main() {
     IncrementalDime engine(setup.schema, setup.positive, setup.negative,
                            setup.context);
     engine.AddGroup(page);
+    // lint: unchecked-status-ok(keep-alive so the timed work is not elided)
     (void)engine.Result();
     double inc_s = t_inc.ElapsedSeconds();
 

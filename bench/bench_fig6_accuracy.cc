@@ -13,6 +13,7 @@
 #include "bench/bench_util.h"
 #include "src/baselines/cr.h"
 #include "src/baselines/svm.h"
+#include "src/common/logging.h"
 #include "src/core/dime_plus.h"
 #include "src/datagen/amazon_gen.h"
 #include "src/datagen/presets.h"
@@ -45,7 +46,7 @@ void RunScholar() {
       train_groups, SampleExamplePairs(train_groups, 80, 70, 7),
       setup.features, setup.context);
   LinearSvm svm;
-  svm.Train(train, SvmOptions{});
+  DIME_CHECK(svm.Train(train, SvmOptions{}).ok());
 
   std::vector<Prf> dime, cr, svm_prf;
   for (size_t i = 0; i < num_groups; ++i) {
@@ -102,7 +103,7 @@ void RunAmazon() {
         train_groups, SampleExamplePairs(train_groups, 80, 80, 9),
         setup.features, setup.context);
     LinearSvm svm;
-    svm.Train(train, SvmOptions{});
+    DIME_CHECK(svm.Train(train, SvmOptions{}).ok());
 
     std::vector<Prf> dime, cr, svm_prf;
     for (const Group& group : groups) {

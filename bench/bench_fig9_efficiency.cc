@@ -19,6 +19,7 @@
 #include "bench/bench_util.h"
 #include "src/baselines/cr.h"
 #include "src/baselines/svm.h"
+#include "src/common/logging.h"
 #include "src/common/timer.h"
 #include "src/core/dime_plus.h"
 #include "src/datagen/amazon_gen.h"
@@ -89,10 +90,12 @@ void RunScholar() {
         GenerateScholarGroup("Trainer " + std::to_string(s), gen));
   }
   LinearSvm svm;
-  svm.Train(ComputeFeatures(train_groups,
-                            SampleExamplePairs(train_groups, 60, 60, 7),
-                            setup.features, setup.context),
-            SvmOptions{});
+  DIME_CHECK(svm.Train(ComputeFeatures(
+                           train_groups,
+                           SampleExamplePairs(train_groups, 60, 60, 7),
+                           setup.features, setup.context),
+                       SvmOptions{})
+                 .ok());
 
   std::vector<size_t> sizes = QuickMode()
                                   ? std::vector<size_t>{500, 1000}
@@ -141,10 +144,12 @@ void RunAmazon() {
     std::vector<Group> train_groups{GenerateAmazonGroup((category + 1) % 20,
                                                         small)};
     LinearSvm svm;
-    svm.Train(ComputeFeatures(train_groups,
-                              SampleExamplePairs(train_groups, 60, 60, 7),
-                              setup.features, setup.context),
-              SvmOptions{});
+    DIME_CHECK(svm.Train(ComputeFeatures(
+                             train_groups,
+                             SampleExamplePairs(train_groups, 60, 60, 7),
+                             setup.features, setup.context),
+                         SvmOptions{})
+                   .ok());
 
     Timings t = TimeAll(corpus[0], setup.positive, setup.negative,
                         setup.context, setup.cr, setup.features, svm);

@@ -13,7 +13,7 @@
 #include "src/common/random.h"
 #include "src/datagen/scholar_gen.h"
 #include "src/datagen/presets.h"
-#include "src/index/signature.h"
+#include "src/core/signature.h"
 #include "src/index/similarity_join.h"
 #include "src/ontology/builtin.h"
 #include "src/sim/edit_distance.h"

@@ -29,7 +29,7 @@
 #include "src/datagen/amazon_gen.h"
 #include "src/datagen/presets.h"
 #include "src/datagen/scholar_gen.h"
-#include "src/index/signature.h"
+#include "src/core/signature.h"
 #include "src/store/snapshot.h"
 
 namespace dime {

@@ -3,7 +3,7 @@
 
 #include <vector>
 
-#include "src/core/entity.h"
+#include "src/entity/entity.h"
 
 /// \file cr.h
 /// The CR baseline: collective relational entity resolution in the style of

@@ -109,7 +109,7 @@ void AppendCell(std::string* out, const std::string& cell, char delim) {
 StatusOr<std::vector<TsvRow>> ReadTsv(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return NotFoundError(path + ": cannot open");
-  if (DIME_FAULT_POINT("io/read")) {
+  if (DIME_FAULT_POINT(failpoints::kIoRead)) {
     return IoError(path + ": injected read fault");
   }
   // Slurp the whole file: quoted fields may span physical lines, so the

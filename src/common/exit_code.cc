@@ -6,6 +6,7 @@ namespace dime {
 
 int ExitWithStatus(const Status& status, const char* context) {
   if (!status.ok()) {
+    // lint: banned-functions-ok(exit-path reporter; single-threaded final write)
     std::fprintf(stderr, "%s: %s\n", context, status.ToString().c_str());
   }
   return ExitCodeForStatus(status);

@@ -14,7 +14,7 @@
 /// When nothing is armed — always, outside tests — a failpoint costs one
 /// acquire atomic load (uncontended; free on x86).
 ///
-/// Failpoint names in the library:
+/// Failpoint registry (every name in the tree, machine-checked):
 ///   "io/read"                TSV/file reads fail with IO_ERROR
 ///   "parallel/worker-fault"  a RunDimeParallel worker throws
 ///   "engine/deadline"        engines behave as if the deadline expired
@@ -25,12 +25,32 @@
 ///                            check (DATA_LOSS degradation path)
 ///   "epoch/unmap-delay"      a retiring epoch sleeps before unmapping,
 ///                            widening the swap/serve race for tests
+///   "stress/churn"           test-only: drives the arm/trigger churn in
+///                            the thread-safety stress harness
 ///
 /// Usage (in a test):
-///   ScopedFailpoint fp("io/read");          // arm for 1 hit
+///   ScopedFailpoint fp(failpoints::kIoRead);   // arm for 1 hit
 ///   EXPECT_EQ(LoadGroup(path, "g").status().code(), StatusCode::kIoError);
 
 namespace dime {
+namespace failpoints {
+
+/// The single source of truth for failpoint names. Arm/trigger call sites
+/// must name one of these constants — never a string literal — so a typo
+/// cannot silently arm (or probe) a failpoint that no code path checks.
+/// `dime_lint`'s failpoint-registry rule enforces all three legs:
+/// call sites reference a constant, every constant fires in at least one
+/// test, and the doc list above matches this block exactly.
+inline constexpr char kIoRead[] = "io/read";
+inline constexpr char kParallelWorkerFault[] = "parallel/worker-fault";
+inline constexpr char kEngineDeadline[] = "engine/deadline";
+inline constexpr char kStoreMmap[] = "store/mmap";
+inline constexpr char kStoreSwap[] = "store/swap";
+inline constexpr char kStoreDeltaCorrupt[] = "store/delta-corrupt";
+inline constexpr char kEpochUnmapDelay[] = "epoch/unmap-delay";
+inline constexpr char kStressChurn[] = "stress/churn";
+
+}  // namespace failpoints
 
 class FaultInjection {
  public:

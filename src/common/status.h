@@ -67,7 +67,13 @@ const char* StatusCodeName(StatusCode code);
 /// must reconstruct a Status from its serialized name.
 bool StatusCodeFromName(std::string_view name, StatusCode* code);
 
-class Status {
+/// Marked [[nodiscard]] at class level: every function returning a Status
+/// (or StatusOr) by value is compiler-enforced checked at every call site,
+/// in every build, without annotating each declaration. The only sanctioned
+/// discard is an explicit `(void)` cast carrying a
+/// `// lint: unchecked-status-ok(<reason>)` waiver — `dime_lint` flags a
+/// bare cast (see tools/lint/).
+class [[nodiscard]] Status {
  public:
   /// Default: OK.
   Status() : code_(StatusCode::kOk) {}
@@ -131,7 +137,7 @@ inline Status DataLossError(std::string message) {
 /// StatusOr is a programming error (asserted in debug; undefined in
 /// release — always check ok() or use DIME_ASSIGN_OR_RETURN).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit from a value (mirrors absl::StatusOr ergonomics).
   StatusOr(T value) : value_(std::move(value)) {}

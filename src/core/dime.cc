@@ -94,7 +94,7 @@ void DcheckResultInvariants(const DimeResult& result, size_t group_size,
 }
 
 Status CheckRunControl(const RunControl& control, const char* where) {
-  if (DIME_FAULT_POINT("engine/deadline")) {
+  if (DIME_FAULT_POINT(failpoints::kEngineDeadline)) {
     return DeadlineExceededError(std::string("injected deadline pressure at ") +
                                  where);
   }

@@ -146,7 +146,7 @@ DimeResult RunDimeParallel(const PreparedGroup& pg,
     // Rows are dealt round-robin: row i has n-1-i pairs, so interleaving
     // balances the triangular workload.
     RunWorkers(threads, &failures, [&](unsigned t) {
-      if (DIME_FAULT_POINT("parallel/worker-fault")) {
+      if (DIME_FAULT_POINT(failpoints::kParallelWorkerFault)) {
         throw std::runtime_error("injected worker fault (step 1)");
       }
       const uint64_t exits_before = KernelEarlyExits();
@@ -204,7 +204,7 @@ DimeResult RunDimeParallel(const PreparedGroup& pg,
     std::vector<uint64_t> neg_kernel_exits(threads, 0);
     WorkerFailures failures;
     RunWorkers(threads, &failures, [&](unsigned t) {
-      if (DIME_FAULT_POINT("parallel/worker-fault")) {
+      if (DIME_FAULT_POINT(failpoints::kParallelWorkerFault)) {
         throw std::runtime_error("injected worker fault (step 3)");
       }
       const uint64_t exits_before = KernelEarlyExits();

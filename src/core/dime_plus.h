@@ -2,7 +2,7 @@
 #define DIME_CORE_DIME_PLUS_H_
 
 #include "src/core/dime.h"
-#include "src/index/signature.h"
+#include "src/core/signature.h"
 
 /// \file dime_plus.h
 /// DIME+ (Algorithm 2): the signature-based filter-verification framework.

@@ -3,7 +3,7 @@
 
 #include <vector>
 
-#include "src/core/entity.h"
+#include "src/entity/entity.h"
 
 /// \file metrics.h
 /// Precision / recall / F-measure of a flagged entity set against a

@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "src/common/check.h"
-#include "src/core/entity.h"
+#include "src/entity/entity.h"
 #include "src/ontology/ontology.h"
 #include "src/rules/rule.h"
 #include "src/sim/rank_span.h"
@@ -177,7 +177,7 @@ struct PreparedAttr {
   TokenDictionary qgram_dict;
 };
 
-struct PreparedRuleArtifacts;  // src/index/signature.h
+struct PreparedRuleArtifacts;  // src/core/signature.h
 
 /// A Group plus everything the engines need to evaluate rules on it.
 struct PreparedGroup {

@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "src/core/dime.h"
-#include "src/core/entity.h"
+#include "src/entity/entity.h"
 #include "src/core/metrics.h"
 
 /// \file review_session.h

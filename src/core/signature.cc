@@ -1,4 +1,4 @@
-#include "src/index/signature.h"
+#include "src/core/signature.h"
 
 #include <algorithm>
 #include <cmath>

@@ -1,5 +1,5 @@
-#ifndef DIME_INDEX_SIGNATURE_H_
-#define DIME_INDEX_SIGNATURE_H_
+#ifndef DIME_CORE_SIGNATURE_H_
+#define DIME_CORE_SIGNATURE_H_
 
 #include <cstdint>
 #include <memory>
@@ -193,4 +193,4 @@ std::shared_ptr<const PreparedRuleArtifacts> BuildPreparedRuleArtifacts(
 
 }  // namespace dime
 
-#endif  // DIME_INDEX_SIGNATURE_H_
+#endif  // DIME_CORE_SIGNATURE_H_

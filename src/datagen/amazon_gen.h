@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "src/core/entity.h"
+#include "src/entity/entity.h"
 
 /// \file amazon_gen.h
 /// Synthetic Amazon-product generator (the substitute for the McAuley

@@ -3,7 +3,7 @@
 
 #include <cstdint>
 
-#include "src/core/entity.h"
+#include "src/entity/entity.h"
 #include "src/rules/rule.h"
 
 /// \file dbgen_gen.h

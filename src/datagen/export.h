@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "src/core/entity.h"
+#include "src/entity/entity.h"
 
 /// \file export.h
 /// Materializes the synthetic benchmark suite to a directory so it can be

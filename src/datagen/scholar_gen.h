@@ -4,7 +4,7 @@
 #include <cstdint>
 #include <string>
 
-#include "src/core/entity.h"
+#include "src/entity/entity.h"
 
 /// \file scholar_gen.h
 /// Synthetic Google-Scholar-page generator (the substitute for the paper's

@@ -1,4 +1,4 @@
-#include "src/core/entity.h"
+#include "src/entity/entity.h"
 
 #include <fstream>
 #include <sstream>
@@ -129,7 +129,7 @@ Status SaveGroup(const Group& group, const std::string& path) {
 Status LoadGroup(const std::string& path, std::string_view name, Group* out) {
   std::ifstream f(path, std::ios::binary);
   if (!f) return NotFoundError(path + ": cannot open");
-  if (DIME_FAULT_POINT("io/read")) {
+  if (DIME_FAULT_POINT(failpoints::kIoRead)) {
     return IoError(path + ": injected read fault");
   }
   std::ostringstream buf;

@@ -1,5 +1,5 @@
-#ifndef DIME_CORE_ENTITY_H_
-#define DIME_CORE_ENTITY_H_
+#ifndef DIME_ENTITY_ENTITY_H_
+#define DIME_ENTITY_ENTITY_H_
 
 #include <cstdint>
 #include <string>
@@ -96,4 +96,4 @@ bool LoadGroupTsv(const std::string& path, std::string_view name, Group* out);
 
 }  // namespace dime
 
-#endif  // DIME_CORE_ENTITY_H_
+#endif  // DIME_ENTITY_ENTITY_H_

@@ -3,7 +3,7 @@
 
 #include <string>
 
-#include "src/core/entity.h"
+#include "src/entity/entity.h"
 #include "src/sim/similarity.h"
 
 /// \file predicate.h

@@ -116,7 +116,7 @@ ReloadOutcome DimeService::InstallCorpus(ServingCorpus corpus) {
 
 StatusOr<ReloadOutcome> DimeService::ReloadFromSnapshot(
     const std::string& path) {
-  if (DIME_FAULT_POINT("store/swap")) {
+  if (DIME_FAULT_POINT(failpoints::kStoreSwap)) {
     return UnavailableError(
         "injected fault at store/swap: reload of " + path +
         " abandoned before install");

@@ -362,7 +362,7 @@ StatusOr<DeltaLogContents> ReadDeltaLog(const std::string& path) {
     }
     const char* payload = bytes->data() + pos + 8;
     uint32_t actual = Crc32(payload, length);
-    if (DIME_FAULT_POINT("store/delta-corrupt")) actual = ~actual;
+    if (DIME_FAULT_POINT(failpoints::kStoreDeltaCorrupt)) actual = ~actual;
     if (actual != crc) {
       return DataLossError("delta log " + path + ": record " +
                            std::to_string(record_index) +

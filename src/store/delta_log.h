@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "src/common/status.h"
-#include "src/core/entity.h"
+#include "src/entity/entity.h"
 #include "src/core/incremental.h"
 
 /// \file delta_log.h

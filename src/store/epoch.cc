@@ -5,7 +5,7 @@
 #include <utility>
 
 #include "src/common/fault_injection.h"
-#include "src/core/entity.h"
+#include "src/entity/entity.h"
 #include "src/rules/rule_io.h"
 #include "src/store/snapshot_format.h"
 
@@ -81,7 +81,7 @@ void EpochManager::Retirer::operator()(const CorpusEpoch* epoch) const {
   const uint64_t sequence = epoch->sequence();
   // Test hook: hold the retiring epoch a beat before unmapping, so chaos
   // tests can widen the window in which a stale pointer would fault.
-  if (DIME_FAULT_POINT("epoch/unmap-delay")) {
+  if (DIME_FAULT_POINT(failpoints::kEpochUnmapDelay)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(25));
   }
   delete epoch;  // frees the corpus; releasing `backing` unmaps the file

@@ -73,7 +73,7 @@ StatusOr<MappedFile> MappedFile::Open(const std::string& path,
                                       const Options& options) {
   MappedFile file;
   bool use_mmap = options.prefer_mmap;
-  if (DIME_FAULT_POINT("store/mmap")) use_mmap = false;
+  if (DIME_FAULT_POINT(failpoints::kStoreMmap)) use_mmap = false;
 #if DIME_HAVE_MMAP
   if (use_mmap) {
     int fd = ::open(path.c_str(), O_RDONLY);

@@ -7,9 +7,9 @@
 #include <vector>
 
 #include "src/common/status.h"
-#include "src/core/entity.h"
+#include "src/entity/entity.h"
 #include "src/core/preprocess.h"
-#include "src/index/signature.h"
+#include "src/core/signature.h"
 #include "src/rules/rule.h"
 
 /// \file snapshot.h

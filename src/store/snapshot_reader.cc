@@ -6,9 +6,9 @@
 #include <vector>
 
 #include "src/common/checksum.h"
-#include "src/core/entity.h"
+#include "src/entity/entity.h"
 #include "src/core/preprocess.h"
-#include "src/index/signature.h"
+#include "src/core/signature.h"
 #include "src/ontology/ontology.h"
 #include "src/rules/rule_io.h"
 #include "src/store/bytes.h"

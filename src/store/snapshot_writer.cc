@@ -7,7 +7,7 @@
 
 #include "src/common/checksum.h"
 #include "src/core/preprocess.h"
-#include "src/index/signature.h"
+#include "src/core/signature.h"
 #include "src/rules/rule_io.h"
 #include "src/store/bytes.h"
 #include "src/store/snapshot.h"

@@ -92,7 +92,7 @@ TEST(ChaosSwapTest, ContinuousSwapUnderConcurrentLoad) {
     DimeService service(MakeVariant(0), options);
 
     // Widen the unmap race on a sprinkle of retirements.
-    ScopedFailpoint delay("epoch/unmap-delay", /*count=*/5, /*skip=*/3);
+    ScopedFailpoint delay(failpoints::kEpochUnmapDelay, /*count=*/5, /*skip=*/3);
 
     std::atomic<bool> stop{false};
     std::atomic<uint64_t> checks{0};
@@ -156,7 +156,7 @@ TEST(ChaosSwapTest, FailedReloadLeavesServingUntouched) {
   DimeService service(MakeVariant(0), ServiceOptions{});
   DimeResult golden = GoldenFor(0);
 
-  ScopedFailpoint fail("store/swap");
+  ScopedFailpoint fail(failpoints::kStoreSwap);
   StatusOr<ReloadOutcome> outcome =
       service.ReloadFromSnapshot("/nonexistent/ignored.snap");
   ASSERT_FALSE(outcome.ok());

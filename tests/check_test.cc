@@ -67,6 +67,7 @@ TEST(CheckDeathTest, CheckStillFiresInEveryBuild) {
 }
 
 TEST(DcheckHeldTest, IsStaticOnlyAndRuntimeFree) {
+  // lint: raw-concurrency-ok(guards nothing; tests DIME_DCHECK_HELD no-op)
   Mutex mu;
   // DIME_DCHECK_HELD feeds Clang's thread-safety analysis; at runtime it
   // must be a no-op whether or not the lock is actually held (std::mutex

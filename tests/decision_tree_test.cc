@@ -23,7 +23,7 @@ TEST(DecisionTreeTest, LearnsAxisAlignedConcept) {
     pairs.push_back(Pair({f0, rng.UniformDouble()}, f0 >= 0.5));
   }
   DecisionTree tree;
-  tree.Train(pairs);
+  ASSERT_TRUE(tree.Train(pairs).ok());
   int correct = 0;
   for (const auto& p : pairs) {
     correct += tree.Predict(p.features) == p.positive ? 1 : 0;
@@ -40,7 +40,7 @@ TEST(DecisionTreeTest, LearnsConjunction) {
     pairs.push_back(Pair({f0, f1}, f0 >= 0.5 && f1 >= 0.5));
   }
   DecisionTree tree;
-  tree.Train(pairs);
+  ASSERT_TRUE(tree.Train(pairs).ok());
   int correct = 0;
   for (const auto& p : pairs) {
     correct += tree.Predict(p.features) == p.positive ? 1 : 0;
@@ -59,13 +59,13 @@ TEST(DecisionTreeTest, DepthLimitCapsComplexity) {
   DecisionTreeOptions shallow;
   shallow.max_depth = 1;
   DecisionTree stump;
-  stump.Train(pairs, shallow);
+  ASSERT_TRUE(stump.Train(pairs, shallow).ok());
   EXPECT_LE(stump.num_nodes(), 3u);
 
   DecisionTreeOptions deep;
   deep.max_depth = 4;
   DecisionTree tree;
-  tree.Train(pairs, deep);
+  ASSERT_TRUE(tree.Train(pairs, deep).ok());
   int stump_correct = 0, tree_correct = 0;
   for (const auto& p : pairs) {
     stump_correct += stump.Predict(p.features) == p.positive ? 1 : 0;
@@ -77,7 +77,7 @@ TEST(DecisionTreeTest, DepthLimitCapsComplexity) {
 TEST(DecisionTreeTest, PureLeafOnConstantLabels) {
   std::vector<LabeledPair> pairs{Pair({0.1}, true), Pair({0.9}, true)};
   DecisionTree tree;
-  tree.Train(pairs);
+  ASSERT_TRUE(tree.Train(pairs).ok());
   EXPECT_EQ(tree.num_nodes(), 1u);
   EXPECT_TRUE(tree.Predict({0.5}));
 }
@@ -91,7 +91,7 @@ TEST(DecisionTreeTest, ExtractsLowerBoundRules) {
     pairs.push_back(Pair({f0}, f0 >= 0.5));
   }
   DecisionTree tree;
-  tree.Train(pairs);
+  ASSERT_TRUE(tree.Train(pairs).ok());
   std::vector<LearnedRule> rules = tree.ExtractPositiveRules();
   ASSERT_FALSE(rules.empty());
   // The extracted rule classifies the training data correctly.

@@ -267,7 +267,7 @@ TEST(DeltaLogTest, MidStreamByteFlipInEveryFieldIsRefused) {
 
 TEST(DeltaLogTest, CorruptFailpointForcesTheCrcPath) {
   std::string path = WriteSampleLog("delta_failpoint.dlt");
-  ScopedFailpoint corrupt("store/delta-corrupt");
+  ScopedFailpoint corrupt(failpoints::kStoreDeltaCorrupt);
   StatusOr<DeltaLogContents> contents = ReadDeltaLog(path);
   ASSERT_FALSE(contents.ok());
   EXPECT_EQ(contents.status().code(), StatusCode::kDataLoss);

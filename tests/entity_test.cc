@@ -1,4 +1,4 @@
-#include "src/core/entity.h"
+#include "src/entity/entity.h"
 
 #include <gtest/gtest.h>
 

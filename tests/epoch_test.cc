@@ -9,10 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "src/common/fault_injection.h"
+#include "src/common/mutex.h"
 #include "src/datagen/presets.h"
 #include "src/datagen/scholar_gen.h"
 
@@ -38,16 +38,16 @@ ServingCorpus MakeCorpus(int seed = 7, size_t entities = 20) {
 
 /// Thread-safe recorder for retire-hook firings.
 struct RetireLog {
-  std::mutex mu;
-  std::vector<uint64_t> sequences;
+  Mutex mu;
+  std::vector<uint64_t> sequences DIME_GUARDED_BY(mu);
   EpochManager::RetireHook Hook() {
     return [this](uint64_t sequence) {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(&mu);
       sequences.push_back(sequence);
     };
   }
   std::vector<uint64_t> Snapshot() {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     return sequences;
   }
 };
@@ -122,7 +122,7 @@ TEST(EpochTest, UnmapDelayFailpointStillRetires) {
   EpochManager manager(log.Hook());
   manager.Install(MakeCorpus(1));
   {
-    ScopedFailpoint delay("epoch/unmap-delay");
+    ScopedFailpoint delay(failpoints::kEpochUnmapDelay);
     manager.Install(MakeCorpus(2));  // retire of epoch 1 sleeps, then runs
   }
   std::vector<uint64_t> fired = log.Snapshot();

@@ -17,7 +17,7 @@
 #include "src/core/dime.h"
 #include "src/core/dime_parallel.h"
 #include "src/core/dime_plus.h"
-#include "src/core/entity.h"
+#include "src/entity/entity.h"
 
 namespace dime {
 namespace {
@@ -29,40 +29,40 @@ class FaultInjectionTest : public ::testing::Test {
 
 TEST_F(FaultInjectionTest, UnarmedNeverTriggers) {
   EXPECT_FALSE(FaultInjection::AnyArmed());
-  EXPECT_FALSE(DIME_FAULT_POINT("io/read"));
+  EXPECT_FALSE(DIME_FAULT_POINT(failpoints::kIoRead));
 }
 
 TEST_F(FaultInjectionTest, ArmCountsDownAndDisarms) {
-  FaultInjection::Arm("io/read", 2);
+  FaultInjection::Arm(failpoints::kIoRead, 2);
   EXPECT_TRUE(FaultInjection::AnyArmed());
-  EXPECT_EQ(FaultInjection::Remaining("io/read"), 2);
-  EXPECT_TRUE(DIME_FAULT_POINT("io/read"));
-  EXPECT_TRUE(DIME_FAULT_POINT("io/read"));
-  EXPECT_FALSE(DIME_FAULT_POINT("io/read"));
+  EXPECT_EQ(FaultInjection::Remaining(failpoints::kIoRead), 2);
+  EXPECT_TRUE(DIME_FAULT_POINT(failpoints::kIoRead));
+  EXPECT_TRUE(DIME_FAULT_POINT(failpoints::kIoRead));
+  EXPECT_FALSE(DIME_FAULT_POINT(failpoints::kIoRead));
   EXPECT_FALSE(FaultInjection::AnyArmed());
 }
 
 TEST_F(FaultInjectionTest, SkipDelaysFiring) {
-  FaultInjection::Arm("engine/deadline", /*count=*/1, /*skip=*/2);
-  EXPECT_FALSE(DIME_FAULT_POINT("engine/deadline"));
-  EXPECT_FALSE(DIME_FAULT_POINT("engine/deadline"));
-  EXPECT_TRUE(DIME_FAULT_POINT("engine/deadline"));
-  EXPECT_FALSE(DIME_FAULT_POINT("engine/deadline"));
+  FaultInjection::Arm(failpoints::kEngineDeadline, /*count=*/1, /*skip=*/2);
+  EXPECT_FALSE(DIME_FAULT_POINT(failpoints::kEngineDeadline));
+  EXPECT_FALSE(DIME_FAULT_POINT(failpoints::kEngineDeadline));
+  EXPECT_TRUE(DIME_FAULT_POINT(failpoints::kEngineDeadline));
+  EXPECT_FALSE(DIME_FAULT_POINT(failpoints::kEngineDeadline));
 }
 
 TEST_F(FaultInjectionTest, FailpointsAreIndependent) {
-  FaultInjection::Arm("io/read", 1);
-  EXPECT_FALSE(DIME_FAULT_POINT("parallel/worker-fault"));
-  EXPECT_TRUE(DIME_FAULT_POINT("io/read"));
+  FaultInjection::Arm(failpoints::kIoRead, 1);
+  EXPECT_FALSE(DIME_FAULT_POINT(failpoints::kParallelWorkerFault));
+  EXPECT_TRUE(DIME_FAULT_POINT(failpoints::kIoRead));
 }
 
 TEST_F(FaultInjectionTest, ScopedFailpointDisarmsOnExit) {
   {
-    ScopedFailpoint fp("io/read", 100);
+    ScopedFailpoint fp(failpoints::kIoRead, 100);
     EXPECT_TRUE(FaultInjection::AnyArmed());
   }
   EXPECT_FALSE(FaultInjection::AnyArmed());
-  EXPECT_FALSE(DIME_FAULT_POINT("io/read"));
+  EXPECT_FALSE(DIME_FAULT_POINT(failpoints::kIoRead));
 }
 
 // ---------------------------------------------------------------------------
@@ -84,7 +84,7 @@ TEST_F(FaultInjectionTest, InjectedReadFailureIsIoError) {
   WriteFile(path, "a\tb\nc\td\n");
 
   {
-    ScopedFailpoint fp("io/read");
+    ScopedFailpoint fp(failpoints::kIoRead);
     StatusOr<std::vector<TsvRow>> rows = ReadTsv(path);
     ASSERT_FALSE(rows.ok());
     EXPECT_EQ(rows.status().code(), StatusCode::kIoError);
@@ -124,7 +124,7 @@ TEST_F(FaultInjectionTest, IoErrorDistinctFromNotFoundAndParseError) {
   EXPECT_EQ(schema.code(), StatusCode::kSchemaMismatch);
 
   // Injected read failure on a perfectly good file: IO_ERROR.
-  ScopedFailpoint fp("io/read");
+  ScopedFailpoint fp(failpoints::kIoRead);
   Status io = LoadGroup(good, "g", &out);
   EXPECT_EQ(io.code(), StatusCode::kIoError);
   EXPECT_NE(io.code(), missing.code());
@@ -204,7 +204,7 @@ TEST_F(FaultInjectionTest, WorkerFaultFallsBackToSerialBitIdentical) {
   DimeResult serial = RunDime(pg, positive, negative);
   ASSERT_TRUE(serial.ok());
 
-  ScopedFailpoint fp("parallel/worker-fault");
+  ScopedFailpoint fp(failpoints::kParallelWorkerFault);
   ParallelOptions options;
   options.num_threads = 2;
   options.serial_fallback = true;
@@ -223,7 +223,7 @@ TEST_F(FaultInjectionTest, WorkerFaultWithoutFallbackIsInternal) {
   std::vector<NegativeRule> negative = OverlapNegative({0, 1});
   PreparedGroup pg = PrepareGroup(g, positive, negative, {});
 
-  ScopedFailpoint fp("parallel/worker-fault");
+  ScopedFailpoint fp(failpoints::kParallelWorkerFault);
   ParallelOptions options;
   options.num_threads = 2;
   options.serial_fallback = false;
@@ -248,7 +248,7 @@ TEST_F(FaultInjectionTest, DeadlinePressureInStepOneDiscardsPartitions) {
 
   // Fires at the very first check: expiry mid-partitioning would leave
   // half-merged partitions, so none are reported.
-  ScopedFailpoint fp("engine/deadline", /*count=*/1000);
+  ScopedFailpoint fp(failpoints::kEngineDeadline, /*count=*/1000);
   DimeResult r = RunDime(pg, positive, negative);
   EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
   EXPECT_TRUE(r.partitions.empty());
@@ -273,7 +273,7 @@ TEST_F(FaultInjectionTest, DeadlinePressureInStepThreeKeepsPartialFlags) {
   // RunDime checks once per row in step 1 (5 rows) and once per non-pivot
   // partition in step 3. Skipping 6 hits positions the failure at the
   // second non-pivot partition: {3} gets evaluated, {4} does not.
-  ScopedFailpoint fp("engine/deadline", /*count=*/1000, /*skip=*/6);
+  ScopedFailpoint fp(failpoints::kEngineDeadline, /*count=*/1000, /*skip=*/6);
   DimeResult partial = RunDime(pg, positive, negative);
   EXPECT_EQ(partial.status.code(), StatusCode::kDeadlineExceeded);
 
@@ -303,7 +303,7 @@ TEST_F(FaultInjectionTest, DeadlinePressureTruncatesDimePlus) {
   DimeResult full = RunDimePlus(pg, positive, negative, {});
   ASSERT_TRUE(full.ok());
 
-  ScopedFailpoint fp("engine/deadline", /*count=*/1000);
+  ScopedFailpoint fp(failpoints::kEngineDeadline, /*count=*/1000);
   DimeResult r = RunDimePlus(pg, positive, negative, {});
   EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
   ASSERT_EQ(r.flagged_by_prefix.size(), full.flagged_by_prefix.size());
@@ -324,7 +324,7 @@ TEST_F(FaultInjectionTest, DeadlinePressureTruncatesParallel) {
 
   ParallelOptions options;
   options.num_threads = 2;
-  ScopedFailpoint fp("engine/deadline", /*count=*/1000);
+  ScopedFailpoint fp(failpoints::kEngineDeadline, /*count=*/1000);
   DimeResult r = RunDimeParallel(pg, positive, negative, options);
   EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
   ASSERT_EQ(r.flagged_by_prefix.size(), full.flagged_by_prefix.size());

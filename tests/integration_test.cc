@@ -112,7 +112,7 @@ TEST(IntegrationTest, DimeBeatsBaselinesOnScholar) {
       ComputeFeatures(world.train_groups, examples, world.setup.features,
                       world.setup.context);
   LinearSvm model;
-  model.Train(pairs, SvmOptions{});
+  ASSERT_TRUE(model.Train(pairs, SvmOptions{}).ok());
   std::vector<Prf> svm_results;
   for (const Group& group : world.test_groups) {
     std::vector<int> flagged =

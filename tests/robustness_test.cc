@@ -12,7 +12,7 @@
 #include "src/common/random.h"
 #include "src/core/dime_parallel.h"
 #include "src/core/dime_plus.h"
-#include "src/core/entity.h"
+#include "src/entity/entity.h"
 #include "src/datagen/presets.h"
 #include "src/datagen/scholar_gen.h"
 

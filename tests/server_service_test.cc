@@ -4,15 +4,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/common/fault_injection.h"
+#include "src/common/mutex.h"
 #include "src/datagen/presets.h"
 #include "src/datagen/scholar_gen.h"
 
@@ -45,24 +44,24 @@ ServingCorpus MakeTestCorpus(size_t pages = 2) {
 /// workers that reached the gate, so tests can wait for a worker to be
 /// provably parked before filling the queue behind it.
 struct WorkerGate {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool open = false;
+  Mutex mu;
+  CondVar cv;
+  bool open DIME_GUARDED_BY(mu) = false;
   std::atomic<int> arrivals{0};
 
   std::function<void()> Hook() {
     return [this] {
       arrivals.fetch_add(1);
-      std::unique_lock<std::mutex> lock(mu);
-      cv.wait(lock, [this] { return open; });
+      MutexLock lock(&mu);
+      while (!open) cv.Wait(&mu);
     };
   }
   void Open() {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(&mu);
       open = true;
     }
-    cv.notify_all();
+    cv.SignalAll();
   }
 };
 
@@ -503,7 +502,14 @@ TEST(LiveCorpusTest, InstallCorpusSwapsEpochAndCacheCannotServeStale) {
   EXPECT_EQ(after->epoch->sequence(), 2u);
   EXPECT_EQ(after->group->entities.size(), original_entities - 1);
 
+  // The worker that served the last epoch-1 request drops its pin a hair
+  // after the reply future is fulfilled; wait out that window instead of
+  // racing it.
   StatsSnapshot stats = service.Stats();
+  for (int i = 0; i < 2000 && stats.epochs_retired == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    stats = service.Stats();
+  }
   EXPECT_EQ(stats.epoch_sequence, 2u);
   EXPECT_EQ(stats.epochs_installed, 2u);
   EXPECT_EQ(stats.epochs_retired, 1u);  // nothing pinned epoch 1 anymore
@@ -630,7 +636,7 @@ TEST(LiveCorpusTest, CorruptDeltaLogDegradesToLastGoodEpoch) {
 
   DimeService service(std::move(corpus), ServiceOptions{});
   {
-    ScopedFailpoint corrupt("store/delta-corrupt");
+    ScopedFailpoint corrupt(failpoints::kStoreDeltaCorrupt);
     StatusOr<ReloadOutcome> outcome = service.ApplyDeltaLog(path);
     ASSERT_FALSE(outcome.ok());
     EXPECT_EQ(outcome.status().code(), StatusCode::kDataLoss);

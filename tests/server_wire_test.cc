@@ -6,7 +6,7 @@
 #include <string>
 #include <string_view>
 
-#include "src/core/entity.h"
+#include "src/entity/entity.h"
 
 namespace dime {
 namespace {

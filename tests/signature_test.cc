@@ -1,7 +1,7 @@
 // Property tests for signature generation (Section IV-B): completeness of
 // the filters that DIME+ relies on for correctness.
 
-#include "src/index/signature.h"
+#include "src/core/signature.h"
 
 #include <gtest/gtest.h>
 

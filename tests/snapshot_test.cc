@@ -121,7 +121,7 @@ TEST_F(SnapshotTest, ReadFallbackMatchesMmap) {
   ASSERT_TRUE(mapped.ok());
   EXPECT_TRUE(mapped->mapped);
 
-  FaultInjection::Arm("store/mmap", /*count=*/1);
+  FaultInjection::Arm(failpoints::kStoreMmap, /*count=*/1);
   StatusOr<LoadedSnapshot> buffered = LoadSnapshot(path);
   ASSERT_TRUE(buffered.ok()) << buffered.status().ToString();
   EXPECT_FALSE(buffered->mapped);
@@ -351,7 +351,7 @@ TEST_F(SnapshotTest, MappedFileRoundTripsBytes) {
             payload);
   EXPECT_EQ(reinterpret_cast<uintptr_t>(mapped->data()) % 8, 0u);
 
-  FaultInjection::Arm("store/mmap", 1);
+  FaultInjection::Arm(failpoints::kStoreMmap, 1);
   StatusOr<MappedFile> buffered = MappedFile::Open(path);
   ASSERT_TRUE(buffered.ok());
   EXPECT_FALSE(buffered->mapped());

@@ -34,7 +34,7 @@ std::vector<LabeledPair> LinearlySeparable(size_t n, uint64_t seed) {
 TEST(LinearSvmTest, LearnsSeparableConcept) {
   auto pairs = LinearlySeparable(200, 5);
   LinearSvm model;
-  model.Train(pairs, SvmOptions{});
+  ASSERT_TRUE(model.Train(pairs, SvmOptions{}).ok());
   int correct = 0;
   for (const auto& p : pairs) {
     correct += model.Predict(p.features) == p.positive ? 1 : 0;
@@ -45,7 +45,7 @@ TEST(LinearSvmTest, LearnsSeparableConcept) {
 TEST(LinearSvmTest, DecisionIsMonotoneInPositiveDirection) {
   auto pairs = LinearlySeparable(200, 9);
   LinearSvm model;
-  model.Train(pairs, SvmOptions{});
+  ASSERT_TRUE(model.Train(pairs, SvmOptions{}).ok());
   EXPECT_LT(model.Decision({0.0, 0.0}), model.Decision({1.0, 1.0}));
 }
 
@@ -61,7 +61,7 @@ TEST(LinearSvmTest, BalancedWeightsHelpMinorityClass) {
   }
   SvmOptions balanced;
   LinearSvm model;
-  model.Train(pairs, balanced);
+  ASSERT_TRUE(model.Train(pairs, balanced).ok());
   size_t tp = 0, fn = 0;
   for (const auto& p : pairs) {
     if (!p.positive) continue;
@@ -73,8 +73,8 @@ TEST(LinearSvmTest, BalancedWeightsHelpMinorityClass) {
 TEST(LinearSvmTest, DeterministicTraining) {
   auto pairs = LinearlySeparable(100, 13);
   LinearSvm a, b;
-  a.Train(pairs, SvmOptions{});
-  b.Train(pairs, SvmOptions{});
+  ASSERT_TRUE(a.Train(pairs, SvmOptions{}).ok());
+  ASSERT_TRUE(b.Train(pairs, SvmOptions{}).ok());
   EXPECT_EQ(a.weights(), b.weights());
   EXPECT_DOUBLE_EQ(a.bias(), b.bias());
 }
@@ -95,7 +95,7 @@ TEST(SvmDiscoverTest, FlagsErrorsInScholarGroup) {
   std::vector<LabeledPair> features =
       ComputeFeatures(train_groups, examples, setup.features, setup.context);
   LinearSvm model;
-  model.Train(features, SvmOptions{});
+  ASSERT_TRUE(model.Train(features, SvmOptions{}).ok());
 
   gen.seed = 50;
   Group test_group = GenerateScholarGroup("Test Owner", gen);

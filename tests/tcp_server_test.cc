@@ -8,7 +8,7 @@
 #include <thread>
 #include <vector>
 
-#include "src/core/entity.h"
+#include "src/entity/entity.h"
 #include "src/datagen/presets.h"
 #include "src/datagen/scholar_gen.h"
 #include "src/server/wire.h"

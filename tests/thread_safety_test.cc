@@ -86,13 +86,13 @@ TEST_F(ThreadSafetyTest, ParallelEngineUnderFailpointAndDeadlineChurn) {
   std::thread chaos([&]() {
     int round = 0;
     while (!done.load(std::memory_order_relaxed)) {
-      FaultInjection::Arm("parallel/worker-fault", /*count=*/1,
+      FaultInjection::Arm(failpoints::kParallelWorkerFault, /*count=*/1,
                           /*skip=*/round % 5);
-      FaultInjection::Arm("engine/deadline", /*count=*/1,
+      FaultInjection::Arm(failpoints::kEngineDeadline, /*count=*/1,
                           /*skip=*/(round * 3) % 17);
       std::this_thread::yield();
-      FaultInjection::Disarm("parallel/worker-fault");
-      FaultInjection::Disarm("engine/deadline");
+      FaultInjection::Disarm(failpoints::kParallelWorkerFault);
+      FaultInjection::Disarm(failpoints::kEngineDeadline);
       ++round;
     }
   });
@@ -142,7 +142,7 @@ TEST_F(ThreadSafetyTest, CorpusUnderConcurrentCancellationAndFaults) {
     }
     // Fault a bounded number of groups mid-corpus; cancellation races the
     // pool from outside.
-    FaultInjection::Arm("engine/deadline", /*count=*/2, /*skip=*/iter % 7);
+    FaultInjection::Arm(failpoints::kEngineDeadline, /*count=*/2, /*skip=*/iter % 7);
     std::thread canceller([&token]() {
       std::this_thread::sleep_for(std::chrono::microseconds(200));
       token.Cancel();
@@ -183,7 +183,7 @@ TEST_F(ThreadSafetyTest, FailpointRegistryArmDisarmChurn) {
   for (int t = 0; t < kHammers; ++t) {
     hammers.emplace_back([&]() {
       while (!done.load(std::memory_order_relaxed)) {
-        if (DIME_FAULT_POINT("stress/churn")) {
+        if (DIME_FAULT_POINT(failpoints::kStressChurn)) {
           fired.fetch_add(1, std::memory_order_relaxed);
         }
       }
@@ -192,15 +192,15 @@ TEST_F(ThreadSafetyTest, FailpointRegistryArmDisarmChurn) {
   long armed_total = 0;
   for (int round = 0; round < kRounds; ++round) {
     int count = 1 + round % 3;
-    FaultInjection::Arm("stress/churn", count);
+    FaultInjection::Arm(failpoints::kStressChurn, count);
     armed_total += count;
     std::this_thread::yield();
-    FaultInjection::Disarm("stress/churn");
+    FaultInjection::Disarm(failpoints::kStressChurn);
   }
   done.store(true, std::memory_order_relaxed);
   for (std::thread& h : hammers) h.join();
   EXPECT_LE(fired.load(), armed_total);
-  EXPECT_EQ(FaultInjection::Remaining("stress/churn"), 0);
+  EXPECT_EQ(FaultInjection::Remaining(failpoints::kStressChurn), 0);
 }
 
 TEST_F(ThreadSafetyTest, ConcurrentLogLinesNeverInterleave) {

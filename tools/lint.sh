@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# clang-tidy runner over the first-party sources (src/, tests/, bench/,
-# examples/), using the checks pinned in .clang-tidy.
+# Lint runner over the first-party sources: dime_lint (the project's own
+# invariant checker, tools/lint/) first, then clang-tidy with the checks
+# pinned in .clang-tidy.
 #
 # Usage:
 #   tools/lint.sh             # lint everything (skips politely if
@@ -19,8 +20,24 @@ for arg in "$@"; do
     *) PATHS+=("$arg") ;;
   esac
 done
-[[ ${#PATHS[@]} -eq 0 ]] && PATHS=(src tests bench examples)
+[[ ${#PATHS[@]} -eq 0 ]] && PATHS=(src tools tests bench examples)
 
+# --- dime_lint: project invariants (DESIGN.md §7.6) ----------------------
+# Reuse a binary from an existing build if present; otherwise compile it
+# directly — it is a single std-only translation unit.
+DIME_LINT=""
+for cand in "$ROOT/build/tools/lint/dime_lint" "$ROOT/build-tidy/tools/lint/dime_lint"; do
+  [[ -x "$cand" ]] && DIME_LINT="$cand" && break
+done
+if [[ -z "$DIME_LINT" ]]; then
+  DIME_LINT="$(mktemp -d)/dime_lint"
+  CXX_BIN="${CXX:-c++}"
+  "$CXX_BIN" -std=c++20 -O2 -o "$DIME_LINT" "$ROOT/tools/lint/dime_lint.cc"
+fi
+echo "lint.sh: running dime_lint on ${PATHS[*]}"
+"$DIME_LINT" --root "$ROOT" "${PATHS[@]}"
+
+# --- clang-tidy ----------------------------------------------------------
 TIDY="$(command -v clang-tidy || true)"
 if [[ -z "$TIDY" ]]; then
   if [[ "$STRICT" == 1 ]]; then
@@ -40,7 +57,7 @@ cmake -B "$DB_DIR" -S "$ROOT" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
 FILES=()
 for p in "${PATHS[@]}"; do
   while IFS= read -r f; do FILES+=("$f"); done \
-    < <(find "$ROOT/$p" -name '*.cc' | sort)
+    < <(find "$ROOT/$p" -name '*.cc' -not -path '*/tools/lint/testdata/*' | sort)
 done
 
 echo "lint.sh: running $TIDY on ${#FILES[@]} files"

@@ -1,0 +1,11 @@
+#include <cstdio>
+
+// *_main.cc is CLI glue (module "bin"): single-threaded stderr diagnostics
+// are allowed here.
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus>\n", argv[0]);
+    return 2;
+  }
+  return 0;
+}

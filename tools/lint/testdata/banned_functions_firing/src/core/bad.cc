@@ -1,0 +1,15 @@
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dime {
+
+void Format(char* out, const char* name) {
+  sprintf(out, "%s", name);
+  strcpy(out, name);
+  char* tok = strtok(out, ",");
+  int jitter = rand();
+  std::fprintf(stderr, "tok=%s jitter=%d\n", tok, jitter);
+}
+
+}  // namespace dime

@@ -1,0 +1,13 @@
+#ifndef FIXTURE_FAULT_INJECTION_H_
+#define FIXTURE_FAULT_INJECTION_H_
+
+/// Failpoint registry (every name in the tree, machine-checked):
+///   "io/read"
+
+namespace dime {
+namespace failpoints {
+inline constexpr char kIoRead[] = "io/read";
+}  // namespace failpoints
+}  // namespace dime
+
+#endif

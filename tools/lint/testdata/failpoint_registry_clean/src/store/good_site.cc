@@ -1,0 +1,7 @@
+#include "src/common/fault_injection.h"
+
+namespace dime {
+
+void Reader() { DIME_FAULT_POINT(failpoints::kIoRead); }
+
+}  // namespace dime

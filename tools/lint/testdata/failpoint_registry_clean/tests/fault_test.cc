@@ -1,0 +1,7 @@
+#include "src/common/fault_injection.h"
+
+namespace dime {
+
+void TestBody() { FaultInjection::Arm(failpoints::kIoRead, 1); }
+
+}  // namespace dime

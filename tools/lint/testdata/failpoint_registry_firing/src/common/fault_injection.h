@@ -1,0 +1,15 @@
+#ifndef FIXTURE_FAULT_INJECTION_H_
+#define FIXTURE_FAULT_INJECTION_H_
+
+/// Failpoint registry (every name in the tree, machine-checked):
+///   "io/read"
+///   "doc/only-entry"
+
+namespace dime {
+namespace failpoints {
+inline constexpr char kIoRead[] = "io/read";
+inline constexpr char kNeverTested[] = "store/never-tested";
+}  // namespace failpoints
+}  // namespace dime
+
+#endif

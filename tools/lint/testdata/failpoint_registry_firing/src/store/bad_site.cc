@@ -1,0 +1,11 @@
+#include "src/common/fault_injection.h"
+
+namespace dime {
+
+void Reader() {
+  DIME_FAULT_POINT("io/read");                             // literal, not a constant
+  const char* unregistered = failpoints::kUnregistered;    // not in the registry
+  static_cast<void>(unregistered);
+}
+
+}  // namespace dime

@@ -1,0 +1,8 @@
+#include "src/common/fault_injection.h"
+
+namespace dime {
+
+// Exercises kIoRead only; kNeverTested has no test coverage.
+void TestBody() { FaultInjection::Arm(failpoints::kIoRead, 1); }
+
+}  // namespace dime

@@ -1,0 +1,8 @@
+#ifndef FIXTURE_BAD_H_
+#define FIXTURE_BAD_H_
+
+// index sits below core in the declared DAG: this include jumps "up".
+#include "src/core/preprocess.h"
+#include "src/sim/similarity.h"
+
+#endif

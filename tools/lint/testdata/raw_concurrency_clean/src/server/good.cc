@@ -1,0 +1,17 @@
+#include "src/common/mutex.h"
+
+namespace dime {
+
+class Cache {
+ public:
+  void Put(int v) {
+    MutexLock lock(&mu_);
+    value_ = v;
+  }
+
+ private:
+  Mutex mu_;
+  int value_ DIME_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace dime

@@ -1,0 +1,23 @@
+#include <mutex>
+
+namespace dime {
+
+class Cache {
+ public:
+  void Put(int v) {
+    std::lock_guard<std::mutex> lock(raw_mu_);
+    value_ = v;
+  }
+
+ private:
+  std::mutex raw_mu_;
+  int value_ = 0;
+};
+
+class Annotatable {
+ private:
+  Mutex mu_;        // annotated type, but nothing carries DIME_GUARDED_BY
+  int value_ = 0;
+};
+
+}  // namespace dime

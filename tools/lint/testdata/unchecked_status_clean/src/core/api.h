@@ -1,0 +1,12 @@
+#ifndef FIXTURE_API_H_
+#define FIXTURE_API_H_
+
+namespace dime {
+
+class Status {};
+
+Status DoThing(int x);
+
+}  // namespace dime
+
+#endif

@@ -1,0 +1,17 @@
+#include "src/core/api.h"
+
+namespace dime {
+
+void Caller() {
+  Status checked = DoThing(1);
+  (void)checked;  // no call in the operand: plain unused-variable silencing
+  // lint: unchecked-status-ok(fire-and-forget warmup; errors surface later)
+  (void)DoThing(2);
+  // A multi-line statement whose continuation line mentions the API is
+  // not a bare call:
+  Status assigned =
+      DoThing(3);
+  (void)assigned;
+}
+
+}  // namespace dime

@@ -1,0 +1,13 @@
+#ifndef FIXTURE_API_H_
+#define FIXTURE_API_H_
+
+namespace dime {
+
+class Status {};
+
+Status DoThing(int x);
+StatusOr<int> TryThing(int x);
+
+}  // namespace dime
+
+#endif

@@ -1,0 +1,12 @@
+#include "src/core/api.h"
+
+namespace dime {
+
+int Compute();
+
+void Caller() {
+  DoThing(1);            // bare call: Status silently dropped
+  (void)DoThing(2);      // (void) discard without a waiver
+}
+
+}  // namespace dime

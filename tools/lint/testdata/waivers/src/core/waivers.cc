@@ -1,0 +1,20 @@
+#include <mutex>
+
+namespace dime {
+
+// A valid inline waiver silences the finding on its own line.
+std::mutex inline_waived;  // lint: raw-concurrency-ok(fixture exercises inline waivers)
+
+// A waiver on a comment-only line covers the next code line, even with
+// further comment lines in between.
+// lint: raw-concurrency-ok(fixture exercises comment-line waivers)
+// (the waiver above still applies to the declaration below)
+std::mutex comment_waived;
+
+// lint: no-such-rule-ok(this rule name does not exist)
+int unknown_rule_target = 0;
+
+// lint: raw-concurrency-ok()
+std::mutex empty_reason;
+
+}  // namespace dime
