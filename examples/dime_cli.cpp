@@ -18,9 +18,15 @@
 // Client mode — one request to a running dime_server, then exit:
 //   dime_cli --client --port <n> [--host 127.0.0.1] [group.tsv]
 //            [--request check|stats|ping|shutdown|reload]
-//            [--group-name <name>]
+//            [--group-name <name>] [--fingerprint <hex>]
 //            [--deadline-ms <n>] [--engine e] [--no-cache]
-//            [--timeout-ms <n>] [--id <s>] [--no-retry]
+//            [--timeout-ms <n>] [--id <s>] [--no-retry] [--http]
+// --http speaks the HTTP/1.1 front door (POST /v1/check etc., see
+// src/server/http.h) instead of the line protocol, through the same
+// retry/backoff path; the printed line is the response BODY, which is
+// the identical wire.h JSON either way. --fingerprint gates a reload on
+// an expected content fingerprint (32 hex digits, as a prior reload
+// response reported).
 // The raw response line is printed to stdout and the process exits with
 // the Status-coded exit code of the response's "status" field (see
 // src/common/exit_code.h) — so shell scripts can branch on exactly what
@@ -58,6 +64,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -73,6 +80,7 @@
 #include "src/datagen/scholar_gen.h"
 #include "src/ontology/builtin.h"
 #include "src/rules/rule_io.h"
+#include "src/server/http.h"
 #include "src/server/tcp_server.h"
 #include "src/server/wire.h"
 #include "src/store/snapshot.h"
@@ -86,15 +94,15 @@ int UsageError(const char* fmt, const char* detail = nullptr) {
   return dime::ExitCodeForStatusCode(dime::StatusCode::kInvalidArgument);
 }
 
-/// Sends `line`, retrying an unreachable server (UNAVAILABLE: connection
-/// refused, or a connect cut short by a signal) with jittered exponential
-/// backoff — 3 attempts, ~100ms then ~200ms between them. Only connect
-/// failures retry: once a connection existed, the request may have been
-/// acted on, and blindly resending a non-idempotent verb (shutdown,
-/// reload) would be wrong.
-dime::StatusOr<std::string> SendWithRetry(const std::string& host, int port,
-                                          const std::string& line,
-                                          int timeout_ms, bool retry) {
+/// Runs `attempt` (one send over either protocol), retrying an
+/// unreachable server (UNAVAILABLE: connection refused, or a connect cut
+/// short by a signal) with jittered exponential backoff — 3 attempts,
+/// ~100ms then ~200ms between them. Only connect failures retry: once a
+/// connection existed, the request may have been acted on, and blindly
+/// resending a non-idempotent verb (shutdown, reload) would be wrong.
+dime::StatusOr<std::string> SendWithRetry(
+    const std::function<dime::StatusOr<std::string>()>& attempt,
+    int timeout_ms, bool retry) {
   using namespace dime;
   constexpr int kAttempts = 3;
   // Seeded per process: backoff jitter must differ between the N clients
@@ -102,17 +110,18 @@ dime::StatusOr<std::string> SendWithRetry(const std::string& host, int port,
   Random jitter(static_cast<uint64_t>(::getpid()) * 0x9e3779b97f4a7c15ULL +
                 static_cast<uint64_t>(timeout_ms));
   StatusOr<std::string> response = UnavailableError("no attempt made");
-  for (int attempt = 0; attempt < (retry ? kAttempts : 1); ++attempt) {
-    if (attempt > 0) {
-      int64_t base_ms = 100LL << (attempt - 1);
+  for (int attempt_no = 0; attempt_no < (retry ? kAttempts : 1);
+       ++attempt_no) {
+    if (attempt_no > 0) {
+      int64_t base_ms = 100LL << (attempt_no - 1);
       int64_t sleep_ms = base_ms / 2 + jitter.UniformInt(0, base_ms);
       std::fprintf(stderr,
                    "dime_cli: server unreachable (attempt %d/%d); retrying "
                    "in %lldms\n",
-                   attempt, kAttempts, static_cast<long long>(sleep_ms));
+                   attempt_no, kAttempts, static_cast<long long>(sleep_ms));
       std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
     }
-    response = SendRequestLine(host, port, line, timeout_ms);
+    response = attempt();
     if (response.ok() ||
         response.status().code() != StatusCode::kUnavailable) {
       return response;
@@ -130,6 +139,7 @@ int RunClient(int argc, char** argv) {
   int port = 0;
   int timeout_ms = 30000;
   bool retry = true;
+  bool http = false;
   std::string request_type = "check";
   std::string group_path;
   WireRequest request;
@@ -163,6 +173,10 @@ int RunClient(int argc, char** argv) {
       request.id = next();
     } else if (arg == "--no-retry") {
       retry = false;
+    } else if (arg == "--http") {
+      http = true;
+    } else if (arg == "--fingerprint") {
+      request.fingerprint = next();
     } else if (!arg.empty() && arg[0] != '-') {
       group_path = arg;
     } else {
@@ -199,8 +213,27 @@ int RunClient(int argc, char** argv) {
         "--request must be check, stats, ping, shutdown, or reload");
   }
 
-  StatusOr<std::string> response = SendWithRetry(
-      host, port, SerializeRequest(request), timeout_ms, retry);
+  std::function<StatusOr<std::string>()> attempt;
+  if (http) {
+    // The route carries the verb; the body is the SAME serialized object
+    // as the line protocol (the server ignores its redundant "type").
+    std::string method =
+        (request.type == WireRequest::Type::kStats ||
+         request.type == WireRequest::Type::kPing)
+            ? "GET"
+            : "POST";
+    std::string target = "/v1/" + request_type;
+    std::string body = SerializeRequest(request);
+    attempt = [&host, port, method, target, body, timeout_ms] {
+      return SendHttpRequest(host, port, method, target, body, timeout_ms);
+    };
+  } else {
+    std::string line = SerializeRequest(request);
+    attempt = [&host, port, line, timeout_ms] {
+      return SendRequestLine(host, port, line, timeout_ms);
+    };
+  }
+  StatusOr<std::string> response = SendWithRetry(attempt, timeout_ms, retry);
   if (!response.ok()) {
     return ExitWithStatus(response.status(),
                           ("dime_server at " + host + ":" +

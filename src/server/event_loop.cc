@@ -1,0 +1,641 @@
+#include "src/server/event_loop.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/server/net_util.h"
+#include "src/server/wire.h"
+
+namespace dime {
+namespace {
+
+/// epoll_event.data.u64 tags for the two non-connection fds; connection
+/// ids start above them.
+constexpr uint64_t kListenerTag = 0;
+constexpr uint64_t kWakeTag = 1;
+constexpr uint64_t kFirstConnId = 2;
+
+/// Per-readiness read budget: with level-triggered epoll the kernel
+/// re-reports leftover bytes, so a bounded drain keeps one firehose
+/// connection from starving the rest of the loop.
+constexpr size_t kReadBudget = 256u << 10;
+
+std::chrono::steady_clock::time_point Now() {
+  return std::chrono::steady_clock::now();
+}
+
+}  // namespace
+
+EventLoopServer::EventLoopServer(DimeService* service,
+                                 EventLoopServerOptions options)
+    : service_(service), options_(std::move(options)) {
+  if (options_.max_connections == 0) options_.max_connections = 1;
+  if (options_.offload_threads == 0) options_.offload_threads = 1;
+  if (options_.max_pipeline_depth < 1) options_.max_pipeline_depth = 1;
+  // One cap for the largest admissible request on either protocol.
+  options_.http_limits.max_body_bytes = options_.max_line_bytes;
+}
+
+EventLoopServer::~EventLoopServer() { Stop(); }
+
+Status EventLoopServer::Start() {
+  StatusOr<int> listener =
+      ListenTcp(options_.host, options_.port, options_.backlog, &port_);
+  if (!listener.ok()) return listener.status();
+  listen_fd_ = *listener;
+  if (!SetNonBlocking(listen_fd_)) {
+    Status status = IoError(std::string("fcntl(listener): ") +
+                            std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+
+  epoll_fd_ = ::epoll_create1(0);
+  wake_fd_ = epoll_fd_ < 0 ? -1 : ::eventfd(0, EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    Status status =
+        IoError(std::string("epoll/eventfd setup: ") + std::strerror(errno));
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    ::close(listen_fd_);
+    epoll_fd_ = -1;
+    listen_fd_ = -1;
+    return status;
+  }
+
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kWakeTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  next_conn_id_ = kFirstConnId;
+  last_sweep_ = Now();
+  loop_thread_ = std::thread([this] { LoopThread(); });
+  offload_threads_.reserve(options_.offload_threads);
+  for (unsigned i = 0; i < options_.offload_threads; ++i) {
+    offload_threads_.emplace_back([this] { OffloadThread(); });
+  }
+  return OkStatus();
+}
+
+void EventLoopServer::WakeLoop() {
+  if (wake_fd_ < 0) return;
+  uint64_t one = 1;
+  // A full eventfd counter still leaves the fd readable, so a failed
+  // write cannot lose the wakeup.
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoopServer::RequestShutdown() {
+  {
+    MutexLock lock(&state_mu_);
+    shutdown_requested_ = true;
+  }
+  state_cv_.SignalAll();
+}
+
+bool EventLoopServer::shutdown_requested() const {
+  MutexLock lock(&state_mu_);
+  return shutdown_requested_;
+}
+
+void EventLoopServer::Wait() {
+  MutexLock lock(&state_mu_);
+  while (!shutdown_requested_ && !stopping_.load()) {
+    state_cv_.Wait(&state_mu_);
+  }
+}
+
+void EventLoopServer::Stop() {
+  bool was_stopping = stopping_.exchange(true);
+  state_cv_.SignalAll();
+  if (was_stopping) {
+    // Idempotent, but a concurrent caller must still not return before
+    // teardown finished; joining below handles the common owner-only
+    // case, and tests only Stop from one thread.
+  }
+  WakeLoop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  {
+    MutexLock lock(&off_mu_);
+    offload_closed_ = true;
+  }
+  off_cv_.SignalAll();
+  for (std::thread& t : offload_threads_) {
+    if (t.joinable()) t.join();
+  }
+  offload_threads_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
+}
+
+void EventLoopServer::LoopThread() {
+  bool draining = false;
+  std::chrono::steady_clock::time_point drain_deadline;
+  struct epoll_event events[128];
+
+  while (true) {
+    int timeout_ms = 1000;
+    if (stopping_.load()) {
+      timeout_ms = 50;
+    } else if (options_.idle_timeout_ms > 0) {
+      timeout_ms = options_.idle_timeout_ms / 4;
+      if (timeout_ms < 10) timeout_ms = 10;
+      if (timeout_ms > 1000) timeout_ms = 1000;
+    }
+    int n = ::epoll_wait(epoll_fd_, events,
+                         static_cast<int>(std::size(events)), timeout_ms);
+    if (n < 0 && errno != EINTR) {
+      DIME_LOG(ERROR) << "epoll_wait: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      uint64_t tag = events[i].data.u64;
+      if (tag == kWakeTag) {
+        uint64_t drain;
+        while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
+        }
+      } else if (tag == kListenerTag) {
+        if (!stopping_.load()) AcceptReady();
+      } else {
+        HandleConnIo(tag, events[i].events);
+      }
+    }
+    ApplyCompletions();
+    SweepIdle();
+
+    if (!stopping_.load()) continue;
+
+    // --- graceful drain ---
+    if (!draining) {
+      draining = true;
+      drain_deadline =
+          Now() + std::chrono::milliseconds(options_.drain_timeout_ms > 0
+                                                ? options_.drain_timeout_ms
+                                                : 0);
+      if (listen_fd_ >= 0) {
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+      // No new frames: admitted work finishes and flushes, reads stop.
+      for (auto& entry : conns_) {
+        Connection* conn = entry.second.get();
+        conn->closing = true;
+        UpdateInterest(conn, conn->events & ~static_cast<uint32_t>(EPOLLIN));
+      }
+    }
+    const bool past_deadline =
+        options_.drain_timeout_ms > 0 && Now() >= drain_deadline;
+    std::vector<uint64_t> doomed;
+    for (auto& entry : conns_) {
+      Connection* conn = entry.second.get();
+      bool flushed = conn->outbox_off >= conn->outbox.size();
+      if (conn->dead || past_deadline ||
+          (conn->inflight == 0 && flushed)) {
+        doomed.push_back(entry.first);
+      }
+    }
+    for (uint64_t id : doomed) DestroyConn(id);
+    // Outstanding dispatches are ALWAYS awaited, even past the drain
+    // deadline: their completion callbacks capture `this`, so exiting
+    // while an engine run is still in flight would be a use-after-free,
+    // exactly the class of bug the completion queue exists to prevent.
+    // (The service's own Shutdown() bounds how long that can take.)
+    bool quiesced;
+    {
+      MutexLock lock(&comp_mu_);
+      quiesced = outstanding_ == 0 && completions_.empty();
+    }
+    if (quiesced && conns_.empty()) break;
+  }
+
+  // The loop owns every connection; nothing else touches them.
+  std::vector<uint64_t> leftover;
+  leftover.reserve(conns_.size());
+  for (auto& entry : conns_) leftover.push_back(entry.first);
+  for (uint64_t id : leftover) DestroyConn(id);
+}
+
+void EventLoopServer::AcceptReady() {
+  while (true) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EMFILE || errno == ENFILE) {
+        DIME_LOG(WARNING) << "accept: " << std::strerror(errno)
+                          << " (fd limit); backing off";
+        return;
+      }
+      return;
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      continue;
+    }
+    int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conn->last_activity = Now();
+    Connection* raw = conn.get();
+    const bool shed = conns_.size() >= options_.max_connections;
+    conns_.emplace(raw->id, std::move(conn));
+    open_connections_.fetch_add(1);
+
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = shed ? 0u : static_cast<uint32_t>(EPOLLIN);
+    ev.data.u64 = raw->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      DestroyConn(raw->id);
+      continue;
+    }
+    raw->events = ev.events;
+
+    if (shed) {
+      // Over the ceiling: answer with ONE clean error and close instead
+      // of accepting-and-stalling. The peer has not sent a byte yet, so
+      // its protocol is unknowable — the notice is line-JSON (the
+      // native protocol; an HTTP client sees a cut connection with a
+      // JSON diagnostic in the stream).
+      connections_shed_.fetch_add(1);
+      raw->closing = true;
+      EnqueueLocalResponse(
+          raw,
+          SerializeErrorResponse(
+              "", ResourceExhaustedError(
+                      "connection ceiling reached (max_connections=" +
+                      std::to_string(options_.max_connections) +
+                      "); retry later")),
+          /*close_after=*/true);
+      Reap(raw->id);
+    }
+  }
+}
+
+void EventLoopServer::HandleConnIo(uint64_t conn_id, uint32_t revents) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Connection* conn = it->second.get();
+
+  if (revents & EPOLLERR) {
+    conn->dead = true;
+    Reap(conn_id);
+    return;
+  }
+  if ((revents & EPOLLIN) && !conn->closing && !conn->paused && !conn->dead) {
+    ReadFromConn(conn);
+  }
+  if (!conn->dead && (revents & EPOLLOUT)) {
+    TryWrite(conn);
+  }
+  if (!conn->dead && (revents & EPOLLHUP) && conn->inflight == 0 &&
+      conn->outbox_off >= conn->outbox.size()) {
+    conn->dead = true;
+  }
+  Reap(conn_id);
+}
+
+void EventLoopServer::ReadFromConn(Connection* conn) {
+  char buf[64 << 10];
+  size_t total = 0;
+  while (total < kReadBudget && !conn->dead && !conn->paused &&
+         !conn->closing) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->inbox.append(buf, static_cast<size_t>(n));
+      conn->last_activity = Now();
+      total += static_cast<size_t>(n);
+      ExtractFrames(conn);
+      continue;
+    }
+    if (n == 0) {
+      // EOF: the peer is done sending; in-flight responses still get
+      // written, then the connection is reaped.
+      conn->closing = true;
+      UpdateInterest(conn, conn->events & ~static_cast<uint32_t>(EPOLLIN));
+      if (conn->inflight == 0 && conn->outbox_off >= conn->outbox.size()) {
+        conn->dead = true;
+      }
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    conn->dead = true;
+    return;
+  }
+}
+
+void EventLoopServer::ExtractFrames(Connection* conn) {
+  while (!conn->paused && !conn->closing && !conn->dead) {
+    if (conn->proto == Proto::kUnknown) {
+      // Blank keep-alive lines are legal line-protocol filler; skip them
+      // before sniffing so they cannot misidentify the protocol.
+      size_t skip = 0;
+      while (skip < conn->inbox.size() &&
+             (conn->inbox[skip] == '\r' || conn->inbox[skip] == '\n')) {
+        ++skip;
+      }
+      if (skip > 0) conn->inbox.erase(0, skip);
+      if (conn->inbox.empty()) return;
+      conn->proto =
+          LooksLikeHttp(conn->inbox) ? Proto::kHttp : Proto::kLine;
+    }
+
+    if (conn->proto == Proto::kLine) {
+      size_t nl = conn->inbox.find('\n', conn->inbox_scan);
+      if (nl == std::string::npos) {
+        conn->inbox_scan = conn->inbox.size();
+        if (conn->inbox.size() > options_.max_line_bytes) {
+          // Same contract as the old transport: an over-cap line is an
+          // abuse signal — cut, no reply.
+          conn->dead = true;
+        }
+        return;
+      }
+      std::string line = conn->inbox.substr(0, nl);
+      conn->inbox.erase(0, nl + 1);
+      conn->inbox_scan = 0;
+      if (line.empty()) continue;
+      if (line.size() > options_.max_line_bytes) {
+        conn->dead = true;
+        return;
+      }
+      OffloadTask task;
+      task.proto = Proto::kLine;
+      task.line = std::move(line);
+      DispatchFrame(conn, std::move(task));
+    } else {
+      HttpRequest request;
+      HttpParseResult parsed =
+          ParseHttpRequest(conn->inbox, options_.http_limits, &request);
+      if (parsed.outcome == HttpParseOutcome::kNeedMore) return;
+      if (parsed.outcome == HttpParseOutcome::kBad) {
+        // Fail closed: one diagnostic response, then cut. It still goes
+        // through the serial path so pipelined good requests ahead of
+        // the bad one answer first.
+        conn->closing = true;
+        UpdateInterest(conn,
+                       conn->events & ~static_cast<uint32_t>(EPOLLIN));
+        EnqueueLocalResponse(
+            conn,
+            SerializeHttpResponse(
+                parsed.error_status,
+                SerializeErrorResponse("", ParseError(parsed.error)),
+                /*keep_alive=*/false),
+            /*close_after=*/true);
+        return;
+      }
+      conn->inbox.erase(0, parsed.consumed);
+      OffloadTask task;
+      task.proto = Proto::kHttp;
+      task.http = std::move(request);
+      DispatchFrame(conn, std::move(task));
+    }
+
+    if (conn->inflight >= options_.max_pipeline_depth) {
+      conn->paused = true;
+      UpdateInterest(conn, conn->events & ~static_cast<uint32_t>(EPOLLIN));
+      return;
+    }
+  }
+}
+
+void EventLoopServer::DispatchFrame(Connection* conn, OffloadTask task) {
+  task.conn_id = conn->id;
+  task.serial = conn->next_serial++;
+  ++conn->inflight;
+  {
+    MutexLock lock(&comp_mu_);
+    ++outstanding_;
+  }
+  {
+    MutexLock lock(&off_mu_);
+    offload_queue_.push_back(std::move(task));
+  }
+  off_cv_.Signal();
+}
+
+void EventLoopServer::EnqueueLocalResponse(Connection* conn,
+                                           std::string bytes,
+                                           bool close_after) {
+  Completion completion;
+  completion.bytes = std::move(bytes);
+  completion.close_after = close_after;
+  uint64_t serial = conn->next_serial++;
+  ++conn->inflight;
+  conn->ready.emplace(serial, std::move(completion));
+  FlushReady(conn);
+}
+
+void EventLoopServer::OffloadThread() {
+  while (true) {
+    OffloadTask task;
+    {
+      MutexLock lock(&off_mu_);
+      while (offload_queue_.empty() && !offload_closed_) {
+        off_cv_.Wait(&off_mu_);
+      }
+      if (offload_queue_.empty()) return;
+      task = std::move(offload_queue_.front());
+      offload_queue_.pop_front();
+    }
+    const uint64_t conn_id = task.conn_id;
+    const uint64_t serial = task.serial;
+    auto post = [this, conn_id, serial](Completion completion) {
+      {
+        MutexLock lock(&comp_mu_);
+        completions_.push_back(
+            PostedCompletion{conn_id, serial, std::move(completion)});
+        --outstanding_;
+      }
+      WakeLoop();
+    };
+
+    if (task.proto == Proto::kLine) {
+      StatusOr<WireRequest> parsed = ParseRequestLine(task.line);
+      if (!parsed.ok()) {
+        Completion completion;
+        completion.bytes = SerializeErrorResponse("", parsed.status());
+        post(std::move(completion));
+        continue;
+      }
+      DispatchRequestAsync(
+          service_, options_.hooks, *parsed,
+          [post](DispatchResult result) {
+            Completion completion;
+            completion.bytes = std::move(result.line);
+            // The old transport closed the connection right after the
+            // shutdown ack hit the wire; keep that contract.
+            completion.close_after = result.shutdown;
+            completion.shutdown = result.shutdown;
+            post(std::move(completion));
+          });
+    } else {
+      RouteHttpRequestAsync(
+          service_, options_.hooks, std::move(task.http),
+          [post](std::string response, bool keep_alive, bool shutdown) {
+            Completion completion;
+            completion.bytes = std::move(response);
+            completion.close_after = !keep_alive || shutdown;
+            completion.shutdown = shutdown;
+            post(std::move(completion));
+          });
+    }
+  }
+}
+
+void EventLoopServer::ApplyCompletions() {
+  std::vector<PostedCompletion> batch;
+  {
+    MutexLock lock(&comp_mu_);
+    batch.swap(completions_);
+  }
+  for (PostedCompletion& posted : batch) {
+    auto it = conns_.find(posted.conn_id);
+    if (it == conns_.end()) {
+      // The connection died while the engine ran. If this was a
+      // shutdown ack it was never delivered, so (like the old
+      // transport, where a failed ack write skipped RequestShutdown)
+      // the server keeps serving.
+      continue;
+    }
+    Connection* conn = it->second.get();
+    conn->ready.emplace(posted.serial, std::move(posted.completion));
+    FlushReady(conn);
+    Reap(posted.conn_id);
+  }
+}
+
+void EventLoopServer::FlushReady(Connection* conn) {
+  auto it = conn->ready.begin();
+  while (it != conn->ready.end() && it->first == conn->flush_serial) {
+    Completion& completion = it->second;
+    conn->outbox.append(completion.bytes);
+    if (completion.close_after) conn->closing = true;
+    if (completion.shutdown) conn->shutdown_after_flush = true;
+    --conn->inflight;
+    ++conn->flush_serial;
+    it = conn->ready.erase(it);
+  }
+  TryWrite(conn);
+  if (!conn->dead && conn->paused &&
+      conn->inflight < options_.max_pipeline_depth) {
+    conn->paused = false;
+    if (!conn->closing) {
+      UpdateInterest(conn, conn->events | EPOLLIN);
+      // Frames may already be buffered; the kernel will not re-report
+      // bytes we already read, so resume framing explicitly.
+      ExtractFrames(conn);
+    }
+  }
+}
+
+void EventLoopServer::TryWrite(Connection* conn) {
+  if (conn->dead) return;
+  while (conn->outbox_off < conn->outbox.size()) {
+    ssize_t n = ::send(conn->fd, conn->outbox.data() + conn->outbox_off,
+                       conn->outbox.size() - conn->outbox_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->outbox_off += static_cast<size_t>(n);
+      conn->last_activity = Now();
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Partial write: arm EPOLLOUT and resume when the kernel says so.
+      UpdateInterest(conn, conn->events | EPOLLOUT);
+      return;
+    }
+    conn->dead = true;
+    return;
+  }
+  conn->outbox.clear();
+  conn->outbox_off = 0;
+  UpdateInterest(conn, conn->events & ~static_cast<uint32_t>(EPOLLOUT));
+  if (conn->shutdown_after_flush) {
+    // The ack bytes are in the kernel's send buffer (the same guarantee
+    // the old SendAll-then-RequestShutdown gave) — now the owner may
+    // drain.
+    conn->shutdown_after_flush = false;
+    RequestShutdown();
+  }
+  if (conn->closing && conn->inflight == 0) conn->dead = true;
+}
+
+void EventLoopServer::UpdateInterest(Connection* conn, uint32_t want) {
+  if (want == conn->events || conn->dead) return;
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = want;
+  ev.data.u64 = conn->id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+    conn->events = want;
+  }
+}
+
+void EventLoopServer::Reap(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it != conns_.end() && it->second->dead) DestroyConn(conn_id);
+}
+
+void EventLoopServer::DestroyConn(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  int fd = it->second->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  // Decrement before close: once close() lands the peer can observe the
+  // EOF, and the gauge must already agree that the connection is gone.
+  open_connections_.fetch_sub(1);
+  ::close(fd);
+  conns_.erase(it);
+}
+
+void EventLoopServer::SweepIdle() {
+  if (options_.idle_timeout_ms <= 0) return;
+  auto now = Now();
+  auto interval = std::chrono::milliseconds(options_.idle_timeout_ms / 4 + 1);
+  if (now - last_sweep_ < interval) return;
+  last_sweep_ = now;
+  auto cutoff = now - std::chrono::milliseconds(options_.idle_timeout_ms);
+  std::vector<uint64_t> doomed;
+  for (auto& entry : conns_) {
+    Connection* conn = entry.second.get();
+    // Only truly idle peers: a connection waiting on its own slow
+    // request (or our unflushed response) is OUR latency, not idleness.
+    if (conn->inflight == 0 && conn->outbox_off >= conn->outbox.size() &&
+        conn->last_activity < cutoff) {
+      doomed.push_back(entry.first);
+    }
+  }
+  for (uint64_t id : doomed) DestroyConn(id);
+}
+
+}  // namespace dime

@@ -1,0 +1,252 @@
+#ifndef DIME_SERVER_EVENT_LOOP_H_
+#define DIME_SERVER_EVENT_LOOP_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/status.h"
+#include "src/server/dispatch.h"
+#include "src/server/http.h"
+#include "src/server/service.h"
+
+/// \file event_loop.h
+/// The non-blocking transport: ONE epoll IO thread multiplexing
+/// thousands of keep-alive connections, speaking both serving protocols
+/// on the same port (sniffed per connection from the first byte):
+///
+///   * the line-JSON protocol of wire.h — byte-identical replies to the
+///     old thread-per-connection transport, and
+///   * the minimal HTTP/1.1 front door of http.h.
+///
+/// Per-connection state machine:
+///
+///   readable ──> inbox ──> frame (line / ParseHttpRequest)
+///      │                      │ dispatched with an in-order serial
+///      │                      v
+///      │               offload pool ──> dispatch.h ──> DimeService
+///      │ (paused past                        │ (check: completes on a
+///      │  the pipeline                       │  service WORKER thread)
+///      │  depth cap)                         v
+///      │               completion queue + eventfd wakeup
+///      │                      │
+///      v                      v
+///   epoll loop <── apply in serial order ──> outbox ──> writable
+///                                            (partial-write resumption)
+///
+/// Worker threads NEVER touch a socket: every completion is posted to a
+/// mutex-guarded queue and the loop is woken through an eventfd, so all
+/// fd lifetime and all writes are single-threaded in the loop — no
+/// write interleaving, no close/write races, and the loop can drop
+/// completions for connections that died while the engine ran.
+///
+/// Backpressure is layered: per-connection pipelining is capped (reads
+/// pause, TCP flow control pushes back on the client); global admission
+/// is the service's bounded queue (RESOURCE_EXHAUSTED per request); and
+/// the connection COUNT is capped — a connection over the ceiling is
+/// answered with one line-JSON RESOURCE_EXHAUSTED error and closed
+/// instead of accepted-and-stalled (the protocol is unknowable before
+/// the client sends a byte, so the shed reply is always line-JSON; an
+/// HTTP client observes a cut connection with a JSON diagnostic).
+///
+/// Readiness is level-triggered with explicit interest masks (EPOLLOUT
+/// armed only while an outbox is non-empty): unlike edge-triggered,
+/// a missed drain can never strand a connection — the kernel re-reports
+/// until the buffer is actually empty.
+///
+/// Graceful drain (Stop(), after SIGTERM or a wire shutdown): the
+/// listener closes, framed-but-unanswered requests complete and their
+/// responses flush, then connections close — bounded by
+/// `drain_timeout_ms` so a peer that stopped reading cannot pin the
+/// process.
+
+namespace dime {
+
+struct EventLoopServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read it back with port() after Start().
+  int port = 0;
+  int backlog = 128;
+  /// A connection with no inbound bytes, no queued work and nothing to
+  /// write for this long is closed. <= 0 disables the sweep.
+  int idle_timeout_ms = 0;
+  /// Line-protocol frame cap (also wired to the HTTP body cap): a
+  /// request line past this cuts the connection instead of buffering
+  /// without bound.
+  size_t max_line_bytes = 64u << 20;
+  /// Connection-count ceiling; connections over it are shed with a
+  /// clean error (see file comment). 0 is normalized to 1.
+  size_t max_connections = 4096;
+  /// Per-connection in-flight frame cap: past it the connection's reads
+  /// pause and TCP flow control takes over. Responses always flush in
+  /// request order regardless.
+  int max_pipeline_depth = 32;
+  /// Threads running parse + dispatch (and the reload handler) off the
+  /// IO loop. Engine work is bounded by the SERVICE's worker pool, not
+  /// by this; 2 is plenty. 0 is normalized to 1.
+  unsigned offload_threads = 2;
+  /// Hard cap on the graceful drain in Stop().
+  int drain_timeout_ms = 5000;
+  /// HTTP front-door caps (max_body_bytes is overridden with
+  /// `max_line_bytes` at Start so both protocols admit the same largest
+  /// request).
+  HttpLimits http_limits;
+  DispatchHooks hooks;
+};
+
+class EventLoopServer {
+ public:
+  /// `service` is borrowed and must outlive the server.
+  EventLoopServer(DimeService* service, EventLoopServerOptions options);
+  ~EventLoopServer();
+
+  EventLoopServer(const EventLoopServer&) = delete;
+  EventLoopServer& operator=(const EventLoopServer&) = delete;
+
+  /// Binds, listens, spawns the IO loop and the offload pool. IO_ERROR
+  /// when the socket (or epoll/eventfd plumbing) cannot be set up.
+  Status Start();
+
+  /// The bound port (valid after a successful Start).
+  int port() const { return port_; }
+
+  /// Blocks until Stop() is called or a shutdown request was acked.
+  void Wait();
+
+  /// Graceful drain + teardown (see file comment). Idempotent. Does NOT
+  /// shut down the service — the owner decides when to drain it.
+  void Stop();
+
+  /// True once a {"type":"shutdown"} / POST /v1/shutdown ack was handed
+  /// to the kernel.
+  bool shutdown_requested() const;
+
+  /// Unblocks Wait() as if a shutdown request had arrived; safe from
+  /// any thread (server_main's signal helper calls it).
+  void RequestShutdown();
+
+  /// Observability for tests and stats.
+  size_t open_connections() const { return open_connections_.load(); }
+  uint64_t connections_shed() const { return connections_shed_.load(); }
+
+ private:
+  enum class Proto { kUnknown, kLine, kHttp };
+
+  /// A finished frame's response, posted by an offload/worker thread
+  /// and applied by the loop in serial order.
+  struct Completion {
+    std::string bytes;
+    bool close_after = false;
+    bool shutdown = false;
+  };
+
+  struct PostedCompletion {
+    uint64_t conn_id = 0;
+    uint64_t serial = 0;
+    Completion completion;
+  };
+
+  /// Loop-thread-confined per-connection state machine (no lock: only
+  /// the IO loop touches it; other threads reach a connection solely by
+  /// posting completions keyed by id).
+  struct Connection {
+    int fd = -1;
+    uint64_t id = 0;
+    Proto proto = Proto::kUnknown;
+    std::string inbox;
+    /// Resume point for the line-framing '\n' scan so a slowly-arriving
+    /// giant line costs linear, not quadratic, time.
+    size_t inbox_scan = 0;
+    std::string outbox;
+    size_t outbox_off = 0;
+    uint32_t events = 0;  ///< current epoll interest mask
+    uint64_t next_serial = 0;
+    uint64_t flush_serial = 0;
+    std::map<uint64_t, Completion> ready;  ///< out-of-order completions
+    int inflight = 0;
+    bool paused = false;   ///< pipeline depth reached: reads off
+    bool closing = false;  ///< no more reads; destroy once flushed+idle
+    /// Condemned: helpers never erase a connection mid-call-chain (the
+    /// caller may still hold the pointer) — they set `dead` and the
+    /// owning entry point reaps it.
+    bool dead = false;
+    bool shutdown_after_flush = false;
+    std::chrono::steady_clock::time_point last_activity;
+  };
+
+  struct OffloadTask {
+    uint64_t conn_id = 0;
+    uint64_t serial = 0;
+    Proto proto = Proto::kUnknown;
+    std::string line;  ///< line-protocol frame
+    HttpRequest http;  ///< HTTP frame
+  };
+
+  void LoopThread();
+  void OffloadThread();
+  void AcceptReady();
+  void HandleConnIo(uint64_t conn_id, uint32_t events);
+  void ReadFromConn(Connection* conn);
+  void ExtractFrames(Connection* conn);
+  void DispatchFrame(Connection* conn, OffloadTask task);
+  /// Enqueues a loop-generated response (shed notice, HTTP parse error)
+  /// through the same in-order serial path as dispatched frames.
+  void EnqueueLocalResponse(Connection* conn, std::string bytes,
+                            bool close_after);
+  void ApplyCompletions();
+  void FlushReady(Connection* conn);
+  void TryWrite(Connection* conn);
+  void UpdateInterest(Connection* conn, uint32_t events);
+  /// Destroys `conn_id` iff its Connection is marked dead (see
+  /// Connection::dead).
+  void Reap(uint64_t conn_id);
+  void DestroyConn(uint64_t conn_id);
+  void SweepIdle();
+  void WakeLoop();
+
+  DimeService* const service_;
+  EventLoopServerOptions options_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd: completions + Stop/shutdown wakeups
+  int port_ = 0;
+  std::thread loop_thread_;
+  std::vector<std::thread> offload_threads_;
+
+  // Loop-thread confined (see Connection).
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 1;
+  std::chrono::steady_clock::time_point last_sweep_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<size_t> open_connections_{0};
+  std::atomic<uint64_t> connections_shed_{0};
+
+  mutable Mutex state_mu_;
+  bool shutdown_requested_ DIME_GUARDED_BY(state_mu_) = false;
+  CondVar state_cv_;
+
+  mutable Mutex comp_mu_;
+  std::vector<PostedCompletion> completions_ DIME_GUARDED_BY(comp_mu_);
+  /// Frames handed to the offload pool whose completion has not been
+  /// posted yet — the drain barrier in Stop().
+  size_t outstanding_ DIME_GUARDED_BY(comp_mu_) = 0;
+
+  mutable Mutex off_mu_;
+  std::deque<OffloadTask> offload_queue_ DIME_GUARDED_BY(off_mu_);
+  bool offload_closed_ DIME_GUARDED_BY(off_mu_) = false;
+  CondVar off_cv_;
+};
+
+}  // namespace dime
+
+#endif  // DIME_SERVER_EVENT_LOOP_H_

@@ -1,0 +1,468 @@
+#include "src/server/http.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/server/net_util.h"
+#include "src/server/wire.h"
+
+namespace dime {
+namespace {
+
+constexpr std::string_view kCrlf = "\r\n";
+constexpr std::string_view kHeadEnd = "\r\n\r\n";
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Content Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Error";
+  }
+}
+
+HttpParseResult Bad(int status, std::string error) {
+  HttpParseResult result;
+  result.outcome = HttpParseOutcome::kBad;
+  result.error_status = status;
+  result.error = std::move(error);
+  return result;
+}
+
+std::string_view TrimOws(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string AsciiLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+/// `value` contains `token` as a comma-separated member (already
+/// lowercased). Good enough for Connection: close / keep-alive.
+bool HasConnectionToken(std::string_view value, std::string_view token) {
+  size_t pos = 0;
+  while (pos <= value.size()) {
+    size_t comma = value.find(',', pos);
+    std::string_view member = value.substr(
+        pos, comma == std::string_view::npos ? std::string_view::npos
+                                             : comma - pos);
+    if (TrimOws(member) == token) return true;
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool LooksLikeHttp(std::string_view prefix) {
+  // Line-JSON requests open with '{'; blank keep-alive lines are CR/LF.
+  // An ASCII uppercase letter can only be an HTTP method — the wire
+  // grammar has no bare letters at line start.
+  if (prefix.empty()) return false;
+  char c = prefix.front();
+  return c >= 'A' && c <= 'Z';
+}
+
+HttpParseResult ParseHttpRequest(std::string_view buffer,
+                                 const HttpLimits& limits, HttpRequest* out) {
+  HttpParseResult result;
+
+  size_t head_end = buffer.find(kHeadEnd);
+  std::string_view head_seen =
+      head_end == std::string_view::npos ? buffer : buffer.substr(0, head_end);
+  // NUL bytes in the header section are a smuggling/abuse signal —
+  // refuse even before the head is complete.
+  if (head_seen.find('\0') != std::string_view::npos) {
+    return Bad(400, "NUL byte in request head");
+  }
+  if (head_end == std::string_view::npos) {
+    // Fail closed on oversized partials instead of buffering forever.
+    size_t line_end = buffer.find(kCrlf);
+    if (line_end == std::string_view::npos &&
+        buffer.size() > limits.max_request_line_bytes) {
+      return Bad(431, "request line exceeds " +
+                          std::to_string(limits.max_request_line_bytes) +
+                          " bytes");
+    }
+    if (buffer.size() > limits.max_header_bytes) {
+      return Bad(431, "header section exceeds " +
+                          std::to_string(limits.max_header_bytes) + " bytes");
+    }
+    return result;  // kNeedMore
+  }
+  if (head_end > limits.max_header_bytes) {
+    return Bad(431, "header section exceeds " +
+                        std::to_string(limits.max_header_bytes) + " bytes");
+  }
+
+  size_t line_end = buffer.find(kCrlf);
+  if (line_end > limits.max_request_line_bytes) {
+    return Bad(431, "request line exceeds " +
+                        std::to_string(limits.max_request_line_bytes) +
+                        " bytes");
+  }
+  std::string_view request_line = buffer.substr(0, line_end);
+  if (request_line.find('\n') != std::string_view::npos) {
+    return Bad(400, "bare LF in request line");
+  }
+
+  // METHOD SP request-target SP HTTP-version — single spaces, no tabs.
+  size_t sp1 = request_line.find(' ');
+  size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return Bad(400, "malformed request line");
+  }
+  std::string_view method = request_line.substr(0, sp1);
+  std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version = request_line.substr(sp2 + 1);
+  if (method.empty() || method.size() > 16) {
+    return Bad(400, "malformed method");
+  }
+  for (char c : method) {
+    if (c < 'A' || c > 'Z') return Bad(400, "malformed method");
+  }
+  if (target.empty() || target.front() != '/') {
+    return Bad(400, "request target must be origin-form (start with '/')");
+  }
+  bool http11;
+  if (version == "HTTP/1.1") {
+    http11 = true;
+  } else if (version == "HTTP/1.0") {
+    http11 = false;
+  } else {
+    return Bad(505, "unsupported protocol version");
+  }
+
+  HttpRequest request;
+  request.method = std::string(method);
+  request.target = std::string(target);
+  request.keep_alive = http11;  // 1.0 defaults to close
+
+  bool have_content_length = false;
+  size_t content_length = 0;
+  size_t header_count = 0;
+  size_t pos = line_end + kCrlf.size();
+  while (pos < head_end) {
+    size_t next = buffer.find(kCrlf, pos);
+    // head_end was found, so every header line has a CRLF terminator.
+    std::string_view line = buffer.substr(pos, next - pos);
+    pos = next + kCrlf.size();
+    if (line.find('\n') != std::string_view::npos) {
+      return Bad(400, "bare LF in header section");
+    }
+    if (line.front() == ' ' || line.front() == '\t') {
+      // Obsolete line folding: deprecated, and a classic smuggling
+      // vector — fail closed.
+      return Bad(400, "folded header line");
+    }
+    if (++header_count > limits.max_headers) {
+      return Bad(431,
+                 "more than " + std::to_string(limits.max_headers) +
+                     " header fields");
+    }
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Bad(400, "malformed header field");
+    }
+    std::string_view raw_name = line.substr(0, colon);
+    if (raw_name.find(' ') != std::string_view::npos ||
+        raw_name.find('\t') != std::string_view::npos) {
+      // Whitespace before the colon desynchronizes naive proxies —
+      // RFC 9112 requires rejection.
+      return Bad(400, "whitespace in header field name");
+    }
+    std::string name = AsciiLower(raw_name);
+    std::string_view value = TrimOws(line.substr(colon + 1));
+
+    if (name == "content-length") {
+      if (value.empty() || value.size() > 18) {
+        return Bad(400, "malformed Content-Length");
+      }
+      size_t parsed = 0;
+      for (char c : value) {
+        if (c < '0' || c > '9') return Bad(400, "malformed Content-Length");
+        parsed = parsed * 10 + static_cast<size_t>(c - '0');
+      }
+      if (have_content_length && parsed != content_length) {
+        return Bad(400, "conflicting Content-Length headers");
+      }
+      have_content_length = true;
+      content_length = parsed;
+      if (content_length > limits.max_body_bytes) {
+        return Bad(413, "body of " + std::to_string(content_length) +
+                            " bytes exceeds the " +
+                            std::to_string(limits.max_body_bytes) +
+                            "-byte cap");
+      }
+    } else if (name == "transfer-encoding") {
+      // Content-Length framing only: skipping an encoding we do not
+      // implement would desynchronize the connection.
+      return Bad(501, "Transfer-Encoding is not supported");
+    } else if (name == "connection") {
+      std::string lowered = AsciiLower(value);
+      if (HasConnectionToken(lowered, "close")) {
+        request.keep_alive = false;
+      } else if (HasConnectionToken(lowered, "keep-alive")) {
+        request.keep_alive = true;
+      }
+    }
+  }
+
+  size_t body_start = head_end + kHeadEnd.size();
+  if (buffer.size() - body_start < content_length) {
+    return result;  // kNeedMore: body still in flight (already capped)
+  }
+  request.body = std::string(buffer.substr(body_start, content_length));
+  *out = std::move(request);
+  result.outcome = HttpParseOutcome::kOk;
+  result.consumed = body_start + content_length;
+  return result;
+}
+
+int HttpStatusForCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kSchemaMismatch:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kUnavailable:
+      return 503;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+    default:
+      return 500;
+  }
+}
+
+std::string SerializeHttpResponse(int http_status, std::string_view body,
+                                  bool keep_alive) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out += "HTTP/1.1 ";
+  out += std::to_string(http_status);
+  out += ' ';
+  out += ReasonPhrase(http_status);
+  out += "\r\nContent-Type: application/json\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\n";
+  if (!keep_alive) out += "Connection: close\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+void RouteHttpRequestAsync(
+    DimeService* service, const DispatchHooks& hooks, HttpRequest request,
+    std::function<void(std::string response, bool keep_alive, bool shutdown)>
+        done) {
+  const bool keep_alive = request.keep_alive;
+  auto fail = [&done, keep_alive](int http_status, const Status& status) {
+    done(SerializeHttpResponse(http_status, SerializeErrorResponse("", status),
+                               keep_alive),
+         keep_alive, false);
+  };
+
+  WireRequest::Type type;
+  bool want_post;
+  if (request.target == "/v1/check") {
+    type = WireRequest::Type::kCheck;
+    want_post = true;
+  } else if (request.target == "/v1/stats") {
+    type = WireRequest::Type::kStats;
+    want_post = false;
+  } else if (request.target == "/v1/ping") {
+    type = WireRequest::Type::kPing;
+    want_post = false;
+  } else if (request.target == "/v1/reload") {
+    type = WireRequest::Type::kReload;
+    want_post = true;
+  } else if (request.target == "/v1/shutdown") {
+    type = WireRequest::Type::kShutdown;
+    want_post = true;
+  } else {
+    fail(404, NotFoundError("no route for '" + request.target + "'"));
+    return;
+  }
+  if (request.method != (want_post ? "POST" : "GET")) {
+    fail(405, InvalidArgumentError(
+                  std::string(want_post ? "POST" : "GET") + " required for " +
+                  request.target));
+    return;
+  }
+
+  // The body is the same flat object the line protocol uses, minus
+  // "type" (the route carries the verb). Empty bodies mean "defaults".
+  JsonObject object;
+  if (!request.body.empty()) {
+    StatusOr<JsonObject> parsed = ParseJsonObjectLine(request.body);
+    if (!parsed.ok()) {
+      fail(400, parsed.status());
+      return;
+    }
+    object = std::move(parsed).value();
+  }
+  StatusOr<WireRequest> wire = RequestFromJson(object, type);
+  if (!wire.ok()) {
+    fail(400, wire.status());
+    return;
+  }
+
+  DispatchRequestAsync(
+      service, hooks, *wire,
+      [keep_alive, done = std::move(done)](DispatchResult result) {
+        done(SerializeHttpResponse(HttpStatusForCode(result.code), result.line,
+                                   keep_alive),
+             keep_alive, result.shutdown);
+      });
+}
+
+StatusOr<std::string> SendHttpRequest(const std::string& host, int port,
+                                      const std::string& method,
+                                      const std::string& target,
+                                      const std::string& body, int timeout_ms,
+                                      int* http_status) {
+  int fd = ConnectToHost(host, port, timeout_ms);
+  if (fd < 0) {
+    return UnavailableError("cannot connect to " + host + ":" +
+                            std::to_string(port) + ": " +
+                            std::strerror(errno));
+  }
+  std::string request;
+  request.reserve(body.size() + 160);
+  request += method;
+  request += ' ';
+  request += target;
+  request += " HTTP/1.1\r\nHost: ";
+  request += host;
+  request += ':';
+  request += std::to_string(port);
+  request += "\r\nContent-Type: application/json\r\nContent-Length: ";
+  request += std::to_string(body.size());
+  request += "\r\nConnection: close\r\n\r\n";
+  request += body;
+  if (!SendAll(fd, request)) {
+    Status status = IoError(std::string("send: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+
+  // Connection: close above means "read to EOF" is a correct fallback,
+  // but Content-Length is still honored when present so a lingering
+  // server cannot stall the client past the response.
+  std::string response;
+  char chunk[4096];
+  size_t head_end = std::string::npos;
+  size_t body_need = std::string::npos;
+  while (true) {
+    if (head_end != std::string::npos && body_need != std::string::npos &&
+        response.size() >= head_end + 4 + body_need) {
+      break;
+    }
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int saved_errno = errno;
+      ::close(fd);
+      if (saved_errno == EAGAIN || saved_errno == EWOULDBLOCK) {
+        return DeadlineExceededError("timed out waiting for the response");
+      }
+      return IoError(std::string("recv: ") + std::strerror(saved_errno));
+    }
+    if (n == 0) break;  // EOF
+    response.append(chunk, static_cast<size_t>(n));
+    if (head_end == std::string::npos) {
+      head_end = response.find("\r\n\r\n");
+      if (head_end != std::string::npos) {
+        // Scan for Content-Length in the received head.
+        std::string_view head(response.data(), head_end);
+        size_t pos = head.find("\r\n");
+        while (pos != std::string_view::npos && pos < head.size()) {
+          pos += 2;
+          size_t next = head.find("\r\n", pos);
+          std::string_view line = head.substr(
+              pos, next == std::string_view::npos ? head.size() - pos
+                                                  : next - pos);
+          size_t colon = line.find(':');
+          if (colon != std::string_view::npos &&
+              AsciiLower(line.substr(0, colon)) == "content-length") {
+            std::string_view value = TrimOws(line.substr(colon + 1));
+            size_t parsed = 0;
+            bool digits = !value.empty();
+            for (char c : value) {
+              if (c < '0' || c > '9') {
+                digits = false;
+                break;
+              }
+              parsed = parsed * 10 + static_cast<size_t>(c - '0');
+            }
+            if (digits) body_need = parsed;
+          }
+          pos = next;
+        }
+      }
+    }
+  }
+  ::close(fd);
+
+  if (head_end == std::string::npos) {
+    return response.empty()
+               ? IoError("connection closed before a response arrived")
+               : ParseError("malformed HTTP response (no header terminator)");
+  }
+  std::string_view status_line(response.data(),
+                               std::string_view(response).find("\r\n"));
+  if (status_line.size() < 12 || status_line.substr(0, 5) != "HTTP/") {
+    return ParseError("malformed HTTP status line");
+  }
+  size_t sp = status_line.find(' ');
+  if (sp == std::string_view::npos || sp + 4 > status_line.size()) {
+    return ParseError("malformed HTTP status line");
+  }
+  int code = 0;
+  for (int i = 0; i < 3; ++i) {
+    char c = status_line[sp + 1 + static_cast<size_t>(i)];
+    if (c < '0' || c > '9') return ParseError("malformed HTTP status code");
+    code = code * 10 + (c - '0');
+  }
+  if (http_status != nullptr) *http_status = code;
+
+  std::string response_body = response.substr(head_end + 4);
+  if (body_need != std::string::npos && response_body.size() > body_need) {
+    response_body.resize(body_need);
+  }
+  return response_body;
+}
+
+}  // namespace dime

@@ -1,0 +1,129 @@
+#ifndef DIME_SERVER_HTTP_H_
+#define DIME_SERVER_HTTP_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/server/dispatch.h"
+
+/// \file http.h
+/// The minimal HTTP/1.1 front door: enough of the protocol for real
+/// clients (curl, load balancer health checks, review tools) to drive
+/// the service, and not a byte more. Hand-rolled in the style of
+/// wire.cc — allocation-light, fail-closed: anything outside the
+/// understood subset is a 4xx and the connection is cut, never a guess.
+///
+/// Understood subset:
+///   * GET / POST, request-target up to the documented caps below
+///   * HTTP/1.0 and HTTP/1.1 (anything else: 505)
+///   * Content-Length framing only (Transfer-Encoding: 501 — chunked
+///     bodies are refused, not skipped)
+///   * keep-alive (1.1 default; "Connection: close" honored; 1.0
+///     defaults to close)
+///
+/// Routes (bodies are wire.h line-JSON, Content-Type application/json —
+/// one schema across both protocols):
+///   POST /v1/check     body = a check request object (same fields as
+///                      the line protocol minus "type")
+///   GET  /v1/stats     stats snapshot
+///   GET  /v1/ping      liveness
+///   POST /v1/reload    optional body {"fingerprint": "..."}
+///   POST /v1/shutdown  graceful drain, identical to the line verb
+///
+/// Status mapping (HttpStatusForCode): OK->200, INVALID_ARGUMENT /
+/// PARSE_ERROR / SCHEMA_MISMATCH->400, NOT_FOUND->404, RESOURCE_EXHAUSTED /
+/// UNAVAILABLE->503, DEADLINE_EXCEEDED->504, everything else->500.
+
+namespace dime {
+
+/// Documented fail-closed caps. A request that exceeds any of them is
+/// answered with the noted status and the connection is cut.
+struct HttpLimits {
+  /// Request line (method + target + version). 431 past this.
+  size_t max_request_line_bytes = 8u << 10;
+  /// Total header section including the request line — the "header
+  /// bomb" cap. 431 past this.
+  size_t max_header_bytes = 32u << 10;
+  /// Individual header count. 431 past this.
+  size_t max_headers = 100;
+  /// Content-Length ceiling (413 past this). Transports wire this to
+  /// their line-protocol max_line_bytes so both protocols admit the
+  /// same largest inline group.
+  size_t max_body_bytes = 64u << 20;
+};
+
+struct HttpRequest {
+  std::string method;  ///< "GET" / "POST" (others parse, route to 405)
+  std::string target;  ///< origin-form, e.g. "/v1/check"
+  std::string body;
+  /// False when the client asked for close (or spoke 1.0 without
+  /// keep-alive): the server must close after this response.
+  bool keep_alive = true;
+};
+
+enum class HttpParseOutcome {
+  kNeedMore,  ///< incomplete request; read more bytes and retry
+  kOk,        ///< one full request parsed; erase `consumed` bytes
+  kBad,       ///< malformed / over a cap: answer `error_status` and cut
+};
+
+struct HttpParseResult {
+  HttpParseOutcome outcome = HttpParseOutcome::kNeedMore;
+  size_t consumed = 0;    ///< kOk: bytes of `buffer` this request used
+  int error_status = 0;   ///< kBad: 400 / 413 / 431 / 501 / 505
+  std::string error;      ///< kBad: one-line reason (response body)
+};
+
+/// Incremental fail-closed parser: call with the connection's whole
+/// unconsumed read buffer each time bytes arrive. Never consumes on
+/// kNeedMore/kBad; on kOk exactly one request landed in *out. NUL bytes
+/// anywhere in the header section are kBad (header smuggling), as are
+/// bare-LF line endings, a non-digit or duplicate-conflicting
+/// Content-Length, and any Transfer-Encoding.
+HttpParseResult ParseHttpRequest(std::string_view buffer,
+                                 const HttpLimits& limits, HttpRequest* out);
+
+/// True when `prefix` (>= 1 byte) looks like the start of an HTTP
+/// request rather than a line-JSON one — the per-connection protocol
+/// sniff. Line-JSON requests always start with '{' (or a blank
+/// keep-alive line), HTTP requests with an ASCII method letter.
+bool LooksLikeHttp(std::string_view prefix);
+
+/// The HTTP status for a wire.h Status code (see file comment).
+int HttpStatusForCode(StatusCode code);
+
+/// Serializes one response. `body` should be a wire.h line-JSON line
+/// (its trailing '\n' doubles as the body terminator); Content-Type is
+/// application/json, Content-Length always present, "Connection: close"
+/// emitted when `keep_alive` is false.
+std::string SerializeHttpResponse(int http_status, std::string_view body,
+                                  bool keep_alive);
+
+/// Routes one parsed request through dispatch.h. `done` is invoked
+/// exactly once (inline or on a service worker thread — see
+/// DispatchRequestAsync) with the full serialized response, whether the
+/// connection survives this response, and whether a shutdown was acked.
+void RouteHttpRequestAsync(
+    DimeService* service, const DispatchHooks& hooks, HttpRequest request,
+    std::function<void(std::string response, bool keep_alive, bool shutdown)>
+        done);
+
+/// Blocking client helper (dime_cli --client --http, tests): one
+/// request, one response. UNAVAILABLE when the server is unreachable
+/// (the retryable arm, exactly like SendRequestLine), IO_ERROR /
+/// DEADLINE_EXCEEDED / PARSE_ERROR otherwise. On success returns the
+/// response BODY (a wire.h line) and stores the HTTP status in
+/// *http_status when non-null.
+StatusOr<std::string> SendHttpRequest(const std::string& host, int port,
+                                      const std::string& method,
+                                      const std::string& target,
+                                      const std::string& body,
+                                      int timeout_ms = 30000,
+                                      int* http_status = nullptr);
+
+}  // namespace dime
+
+#endif  // DIME_SERVER_HTTP_H_

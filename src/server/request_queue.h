@@ -40,8 +40,11 @@ class BoundedRequestQueue {
   BoundedRequestQueue(const BoundedRequestQueue&) = delete;
   BoundedRequestQueue& operator=(const BoundedRequestQueue&) = delete;
 
-  /// Non-blocking admission decision. O(1); never waits.
-  QueuePushResult TryPush(T item) DIME_EXCLUDES(mu_) {
+  /// Non-blocking admission decision. O(1); never waits. A rejected push
+  /// (kFull / kClosed) leaves `item` untouched in the caller's hands —
+  /// the service answers the shed request through state the item still
+  /// owns (its completion callback).
+  QueuePushResult TryPush(T&& item) DIME_EXCLUDES(mu_) {
     {
       MutexLock lock(&mu_);
       if (closed_) return QueuePushResult::kClosed;

@@ -138,19 +138,35 @@ uint64_t FileSize(const std::string& path) {
 /// the snapshot epoch (logged, degraded, never crashed). The merged log
 /// is rotated aside inside ApplyDeltaLog, under the log's lock, so live
 /// producers never lose a record (see service.h).
-StatusOr<ReloadOutcome> ReloadSources(LiveCorpusState* state) {
+///
+/// `fingerprint` is the request's optional expected content fingerprint
+/// (see wire.h). A fingerprint-gated reload is a COORDINATED swap to one
+/// exact corpus, so it is snapshot-only: merging a delta log on top
+/// would change the content fingerprint past the one the coordinator
+/// asked for.
+StatusOr<ReloadOutcome> ReloadSources(LiveCorpusState* state,
+                                      const std::string& fingerprint) {
   MutexLock reload_lock(&state->reload_mu);
   StatusOr<ReloadOutcome> outcome =
       InvalidArgumentError("no corpus source to reload");
   bool have_snapshot_epoch = false;
+  if (!fingerprint.empty() && state->snapshot_path.empty()) {
+    return InvalidArgumentError(
+        "a fingerprint-gated reload needs a snapshot source (started "
+        "without --snapshot)");
+  }
   if (!state->snapshot_path.empty()) {
-    outcome = state->service->ReloadFromSnapshot(state->snapshot_path);
+    outcome =
+        state->service->ReloadFromSnapshot(state->snapshot_path, fingerprint);
     if (!outcome.ok()) return outcome;
     have_snapshot_epoch = true;
-    MutexLock lock(&state->mu);
-    state->loaded_fp_lo = outcome->fingerprint_lo;
-    state->loaded_fp_hi = outcome->fingerprint_hi;
+    if (!outcome->noop) {
+      MutexLock lock(&state->mu);
+      state->loaded_fp_lo = outcome->fingerprint_lo;
+      state->loaded_fp_hi = outcome->fingerprint_hi;
+    }
   }
+  if (!fingerprint.empty()) return outcome;
   if (!state->delta_log_path.empty() &&
       FileSize(state->delta_log_path) > kDeltaLogHeaderSize) {
     StatusOr<ReloadOutcome> merged = state->service->ApplyDeltaLog(
@@ -275,6 +291,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--idle-timeout-ms") {
       transport.idle_timeout_ms =
           static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (arg == "--max-connections") {
+      transport.max_connections =
+          static_cast<size_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--help") {
       std::printf(
           "dime_server --demo | --snapshot <file> | --group <tsv>... "
@@ -282,7 +301,7 @@ int main(int argc, char** argv) {
           "  [--venue-ontology] [--ontology <tree> --ontology-mode m]\n"
           "  [--host H] [--port N] [--workers N] [--queue-cap N]\n"
           "  [--cache-cap N] [--default-deadline-ms N] [--engine e]\n"
-          "  [--idle-timeout-ms N] [--demo-pages N]\n"
+          "  [--idle-timeout-ms N] [--max-connections N] [--demo-pages N]\n"
           "  [--watch] [--watch-interval-ms N]\n"
           "  [--delta-log <file>] [--delta-threshold-bytes N]\n");
       return 0;
@@ -394,7 +413,9 @@ int main(int argc, char** argv) {
     live.loaded_fp_hi = boot_fp_hi;
   }
   if (!live.snapshot_path.empty() || !live.delta_log_path.empty()) {
-    transport.reload_handler = [&live]() { return ReloadSources(&live); };
+    transport.reload_handler = [&live](const std::string& fingerprint) {
+      return ReloadSources(&live, fingerprint);
+    };
   }
 
   TcpServer server(&service, transport);
@@ -454,9 +475,9 @@ int main(int argc, char** argv) {
             delta_size >= kDeltaLogHeaderSize + delta_threshold_bytes &&
             delta_size != last_bad_delta_size;
         if (!snapshot_changed && !delta_ready) continue;
-        StatusOr<ReloadOutcome> outcome = snapshot_changed
-                                              ? ReloadSources(&live)
-                                              : MergeDeltaLog(&live);
+        StatusOr<ReloadOutcome> outcome =
+            snapshot_changed ? ReloadSources(&live, /*fingerprint=*/"")
+                             : MergeDeltaLog(&live);
         if (outcome.ok()) {
           last_bad_delta_size = 0;
           std::printf("dime_server: swapped in epoch %llu (%zu group(s), "

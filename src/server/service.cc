@@ -1,6 +1,7 @@
 #include "src/server/service.h"
 
 #include <bit>
+#include <cstdio>
 #include <exception>
 #include <future>
 #include <string>
@@ -66,7 +67,7 @@ struct DimeService::PendingCheck {
   Fingerprint fp;
   bool cache_insert = true;
   Deadline::Clock::time_point admit_time;
-  std::promise<CheckReply> promise;
+  CheckCallback done;
 };
 
 DimeService::DimeService(ServingCorpus corpus, ServiceOptions options)
@@ -114,8 +115,69 @@ ReloadOutcome DimeService::InstallCorpus(ServingCorpus corpus) {
   return outcome;
 }
 
+std::string FingerprintToWireHex(uint64_t lo, uint64_t hi) {
+  // hi word first: the same order every log line and dime_snapshot
+  // inspect/build print, so a fingerprint copied from either pastes
+  // straight into a gated reload.
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+bool FingerprintFromWireHex(std::string_view hex, uint64_t* lo, uint64_t* hi) {
+  if (hex.size() != 32) return false;
+  uint64_t words[2] = {0, 0};
+  for (int w = 0; w < 2; ++w) {
+    for (int i = 0; i < 16; ++i) {
+      char c = hex[static_cast<size_t>(w * 16 + i)];
+      uint64_t digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<uint64_t>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<uint64_t>(c - 'A') + 10;
+      } else {
+        return false;
+      }
+      words[w] = (words[w] << 4) | digit;
+    }
+  }
+  *hi = words[0];
+  *lo = words[1];
+  return true;
+}
+
 StatusOr<ReloadOutcome> DimeService::ReloadFromSnapshot(
-    const std::string& path) {
+    const std::string& path, const std::string& expected_fingerprint) {
+  uint64_t want_lo = 0;
+  uint64_t want_hi = 0;
+  const bool gated = !expected_fingerprint.empty();
+  if (gated &&
+      !FingerprintFromWireHex(expected_fingerprint, &want_lo, &want_hi)) {
+    return InvalidArgumentError(
+        "reload fingerprint '" + expected_fingerprint +
+        "' is not 32 hex digits (expected the wire form a reload response "
+        "carries)");
+  }
+  if (gated) {
+    std::shared_ptr<const CorpusEpoch> current = epochs_.Pin();
+    if (current->fingerprint_lo() == want_lo &&
+        current->fingerprint_hi() == want_hi) {
+      // The fleet-coordination fast path: this replica already serves the
+      // requested build, so re-loading the file would only churn an
+      // identical epoch (and clear a warm cache) for nothing.
+      ReloadOutcome outcome;
+      outcome.sequence = current->sequence();
+      outcome.fingerprint_lo = current->fingerprint_lo();
+      outcome.fingerprint_hi = current->fingerprint_hi();
+      outcome.groups = current->corpus().groups.size();
+      outcome.noop = true;
+      return outcome;
+    }
+  }
   if (DIME_FAULT_POINT(failpoints::kStoreSwap)) {
     return UnavailableError(
         "injected fault at store/swap: reload of " + path +
@@ -123,7 +185,21 @@ StatusOr<ReloadOutcome> DimeService::ReloadFromSnapshot(
   }
   StatusOr<LoadedSnapshot> loaded = LoadSnapshot(path);
   if (!loaded.ok()) return loaded.status();
-  return InstallCorpus(CorpusFromSnapshot(std::move(loaded).value()));
+  ServingCorpus corpus = CorpusFromSnapshot(std::move(loaded).value());
+  if (gated && (corpus.content_fingerprint_lo != want_lo ||
+                corpus.content_fingerprint_hi != want_hi)) {
+    // The file on disk is not the build the coordinator asked for (a
+    // stale or not-yet-pushed snapshot). Installing it would "succeed"
+    // while silently serving the wrong content — refuse, keep serving
+    // the current epoch.
+    return InvalidArgumentError(
+        "snapshot " + path + " has fingerprint " +
+        FingerprintToWireHex(corpus.content_fingerprint_lo,
+                             corpus.content_fingerprint_hi) +
+        " but the reload requested " + expected_fingerprint +
+        "; nothing was installed");
+  }
+  return InstallCorpus(std::move(corpus));
 }
 
 StatusOr<ReloadOutcome> DimeService::ApplyDeltaLog(const std::string& path,
@@ -264,24 +340,38 @@ Fingerprint DimeService::RequestFingerprint(EngineKind engine,
 }
 
 StatusOr<CheckReply> DimeService::Check(const CheckRequest& request) {
+  // `done` always fires before the worker releases the PendingCheck (or
+  // inline below), so the promise outlives every use of the reference.
+  std::promise<StatusOr<CheckReply>> promise;
+  std::future<StatusOr<CheckReply>> reply = promise.get_future();
+  CheckAsync(request, [&promise](StatusOr<CheckReply> r) {
+    promise.set_value(std::move(r));
+  });
+  return reply.get();
+}
+
+void DimeService::CheckAsync(const CheckRequest& request, CheckCallback done) {
   std::shared_ptr<const CorpusEpoch> epoch = epochs_.Pin();
   const Group* group = request.group;
   if (group == nullptr) {
     if (request.group_name.empty()) {
-      return InvalidArgumentError(
+      done(InvalidArgumentError(
           "check request names no group (inline group or group_name "
-          "required)");
+          "required)"));
+      return;
     }
     // Resolved against the epoch pinned above — never against a corpus
     // that a concurrent swap might retire under us.
     group = epoch->FindGroup(request.group_name);
     if (group == nullptr) {
-      return NotFoundError("unknown group '" + request.group_name + "'");
+      done(NotFoundError("unknown group '" + request.group_name + "'"));
+      return;
     }
   } else if (group->schema.attribute_names() !=
              epoch->corpus().schema.attribute_names()) {
-    return SchemaMismatchError(
-        "inline group schema does not match the serving corpus schema");
+    done(SchemaMismatchError(
+        "inline group schema does not match the serving corpus schema"));
+    return;
   }
 
   EngineKind engine = request.engine.value_or(options_.default_engine);
@@ -292,8 +382,9 @@ StatusOr<CheckReply> DimeService::Check(const CheckRequest& request) {
     if (std::shared_ptr<const DimeResult> hit = cache_.Lookup(fp)) {
       RecordAdmitted();
       RecordCompleted(admit_time);
-      return CheckReply{std::move(hit), /*cache_hit=*/true, std::move(epoch),
-                        group};
+      done(CheckReply{std::move(hit), /*cache_hit=*/true, std::move(epoch),
+                      group});
+      return;
     }
   }
 
@@ -309,21 +400,24 @@ StatusOr<CheckReply> DimeService::Check(const CheckRequest& request) {
   pending->fp = fp;
   pending->cache_insert = !request.bypass_cache;
   pending->admit_time = admit_time;
-  std::future<CheckReply> reply = pending->promise.get_future();
+  pending->done = std::move(done);
 
+  // A rejected TryPush leaves `pending` (and the callback inside it) with
+  // us, so the shed arms below can still answer the caller.
   switch (queue_.TryPush(std::move(pending))) {
     case QueuePushResult::kAccepted:
-      break;
+      RecordAdmitted();
+      return;
     case QueuePushResult::kFull:
       RecordRejected();
-      return ResourceExhaustedError(
-          "request queue full (capacity " +
-          std::to_string(queue_.capacity()) + "); retry later");
+      pending->done(ResourceExhaustedError(
+          "request queue full (capacity " + std::to_string(queue_.capacity()) +
+          "); retry later"));
+      return;
     case QueuePushResult::kClosed:
-      return UnavailableError("service is shutting down");
+      pending->done(UnavailableError("service is shutting down"));
+      return;
   }
-  RecordAdmitted();
-  return reply.get();
 }
 
 void DimeService::WorkerLoop() {
@@ -333,7 +427,7 @@ void DimeService::WorkerLoop() {
     if (options_.worker_pre_run_hook) options_.worker_pre_run_hook();
     CheckReply reply = Execute(*pending);
     RecordCompleted(pending->admit_time);
-    pending->promise.set_value(std::move(reply));
+    pending->done(std::move(reply));
   }
 }
 

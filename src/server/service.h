@@ -136,7 +136,19 @@ struct ReloadOutcome {
   /// A truncated final record was dropped from the delta log (crash
   /// mid-append; the applied prefix is intact).
   bool torn_tail = false;
+  /// Fingerprint-gated reload found the serving epoch already matching:
+  /// nothing was loaded or installed, the fields above describe the
+  /// epoch that keeps serving.
+  bool noop = false;
 };
+
+/// The 128-bit content fingerprint in its canonical wire form: 32 hex
+/// digits, low word first — exactly the "fingerprint" string a reload
+/// response carries (see wire.h), so clients can echo it back verbatim
+/// for a fingerprint-gated reload.
+std::string FingerprintToWireHex(uint64_t lo, uint64_t hi);
+/// Inverse; false unless `hex` is exactly 32 hex digits.
+bool FingerprintFromWireHex(std::string_view hex, uint64_t* lo, uint64_t* hi);
 
 /// Counter snapshot served by the "stats" request type.
 struct StatsSnapshot {
@@ -186,6 +198,17 @@ class DimeService {
   /// an error arm: it lands in reply.result->status with partial results.
   StatusOr<CheckReply> Check(const CheckRequest& request);
 
+  /// Callback flavour of Check, the primitive the event-loop transport
+  /// builds on (event_loop.h): thousands of in-flight requests bounded
+  /// by the admission queue, not by blocked threads. `done` is invoked
+  /// EXACTLY once — inline (before CheckAsync returns) for cache hits
+  /// and every never-admitted error arm, or later on a worker thread for
+  /// queued work. It must not block and must not call back into the
+  /// service. Anything `request.group` points at must stay alive until
+  /// `done` fires.
+  using CheckCallback = std::function<void(StatusOr<CheckReply>)>;
+  void CheckAsync(const CheckRequest& request, CheckCallback done);
+
   StatsSnapshot Stats() const;
 
   /// Graceful drain: admitted requests finish, new ones get UNAVAILABLE.
@@ -212,7 +235,16 @@ class DimeService {
   /// the current epoch keeps serving untouched. Failpoint "store/swap"
   /// makes the reload fail (UNAVAILABLE) before anything is installed —
   /// the degradation path a watcher or admin reload must survive.
-  StatusOr<ReloadOutcome> ReloadFromSnapshot(const std::string& path);
+  ///
+  /// `expected_fingerprint` (the coordinated-swap hook: 32 wire-hex
+  /// digits from FingerprintToWireHex, empty = unconditional) gates the
+  /// swap: if the SERVING epoch already carries that fingerprint the
+  /// reload is a no-op success (outcome.noop, nothing loaded); if the
+  /// snapshot at `path` carries a DIFFERENT fingerprint the reload fails
+  /// INVALID_ARGUMENT without installing anything — a fleet rollout
+  /// pushing "swap to build X" can never half-apply a stale file.
+  StatusOr<ReloadOutcome> ReloadFromSnapshot(
+      const std::string& path, const std::string& expected_fingerprint = "");
 
   /// Reads the delta log at `path`, applies its records to a copy of the
   /// current epoch's groups, re-prepares them, and installs the merged

@@ -1,130 +1,15 @@
 #include "src/server/tcp_server.h"
 
-#include <arpa/inet.h>
-#include <netdb.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
-#include <sys/types.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
 #include <utility>
 
-#include "src/common/logging.h"
-#include "src/server/wire.h"
+#include "src/server/event_loop.h"
+#include "src/server/net_util.h"
 
 namespace dime {
-namespace {
-
-/// Sends all of `data` (handles short writes). False on error.
-bool SendAll(int fd, std::string_view data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                       MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-void SetRecvTimeout(int fd, int timeout_ms) {
-  if (timeout_ms <= 0) return;
-  struct timeval tv;
-  tv.tv_sec = timeout_ms / 1000;
-  tv.tv_usec = (timeout_ms % 1000) * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-}
-
-/// Resolves host:port (numeric or DNS) and connects. -1 on failure.
-int ConnectTo(const std::string& host, int port, int timeout_ms) {
-  struct addrinfo hints;
-  std::memset(&hints, 0, sizeof(hints));
-  hints.ai_family = AF_INET;
-  hints.ai_socktype = SOCK_STREAM;
-  struct addrinfo* result = nullptr;
-  std::string port_str = std::to_string(port);
-  if (::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &result) != 0) {
-    return -1;
-  }
-  int fd = -1;
-  for (struct addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
-    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
-    if (fd < 0) continue;
-    SetRecvTimeout(fd, timeout_ms);
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
-    ::close(fd);
-    fd = -1;
-  }
-  ::freeaddrinfo(result);
-  return fd;
-}
-
-/// Reads bytes until '\n' or EOF. Returns false on error/EOF before any
-/// byte of a line arrived; the line (without '\n') lands in *line.
-bool RecvLine(int fd, std::string* line) {
-  line->clear();
-  char c;
-  while (true) {
-    ssize_t n = ::recv(fd, &c, 1, 0);
-    if (n == 0) return false;  // EOF
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;  // timeout or hard error
-    }
-    if (c == '\n') return true;
-    line->push_back(c);
-    // A line longer than any legal request is an abuse signal; cut the
-    // connection instead of buffering without bound. 64 MiB comfortably
-    // fits the largest inline group the engines could chew anyway.
-    if (line->size() > (64u << 20)) return false;
-  }
-}
-
-/// Buffered line reader for connection threads: recv() in chunks, hand
-/// out lines. Retries EINTR; a partial chunk followed by more data is
-/// normal TCP segmentation, not an error.
-class LineReader {
- public:
-  LineReader(int fd, size_t max_line_bytes)
-      : fd_(fd), max_line_bytes_(max_line_bytes) {}
-
-  /// False on EOF, timeout, hard error, or a line over the cap.
-  bool ReadLine(std::string* line) {
-    line->clear();
-    while (true) {
-      while (pos_ < buffer_.size()) {
-        char c = buffer_[pos_++];
-        if (c == '\n') return true;
-        line->push_back(c);
-        if (line->size() > max_line_bytes_) return false;
-      }
-      buffer_.clear();
-      pos_ = 0;
-      char chunk[4096];
-      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-      if (n == 0) return false;  // EOF
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return false;  // timeout or hard error
-      }
-      buffer_.assign(chunk, static_cast<size_t>(n));
-    }
-  }
-
- private:
-  const int fd_;
-  const size_t max_line_bytes_;
-  std::string buffer_;
-  size_t pos_ = 0;
-};
-
-}  // namespace
 
 TcpServer::TcpServer(DimeService* service, TcpServerOptions options)
     : service_(service), options_(std::move(options)) {}
@@ -132,204 +17,50 @@ TcpServer::TcpServer(DimeService* service, TcpServerOptions options)
 TcpServer::~TcpServer() { Stop(); }
 
 Status TcpServer::Start() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return IoError(std::string("socket: ") + std::strerror(errno));
-  }
-  int reuse = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
-
-  struct sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
-  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return InvalidArgumentError("not an IPv4 address: " + options_.host);
-  }
-  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    Status status = IoError("bind " + options_.host + ":" +
-                            std::to_string(options_.port) + ": " +
-                            std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  if (::listen(listen_fd_, options_.backlog) != 0) {
-    Status status = IoError(std::string("listen: ") + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
-
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-  return OkStatus();
+  EventLoopServerOptions loop_options;
+  loop_options.host = options_.host;
+  loop_options.port = options_.port;
+  loop_options.backlog = options_.backlog;
+  loop_options.idle_timeout_ms = options_.idle_timeout_ms;
+  loop_options.max_line_bytes = options_.max_line_bytes;
+  loop_options.max_connections = options_.max_connections;
+  loop_options.max_pipeline_depth = options_.max_pipeline_depth;
+  loop_options.hooks.reload_handler = options_.reload_handler;
+  server_ =
+      std::make_unique<EventLoopServer>(service_, std::move(loop_options));
+  Status started = server_->Start();
+  if (!started.ok()) server_.reset();
+  return started;
 }
 
-void TcpServer::AcceptLoop() {
-  while (true) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      // shutdown(listen_fd_) in Stop() surfaces as EINVAL; anything else
-      // after `stopping_` is equally a signal to exit.
-      return;
-    }
-    MutexLock lock(&mu_);
-    if (stopping_) {
-      ::close(fd);
-      return;
-    }
-    SetRecvTimeout(fd, options_.idle_timeout_ms);
-    connections_.emplace_back([this, fd] { HandleConnection(fd); });
-  }
-}
-
-std::string TcpServer::Dispatch(const std::string& line) {
-  StatusOr<WireRequest> parsed = ParseRequestLine(line);
-  if (!parsed.ok()) return SerializeErrorResponse("", parsed.status());
-  const WireRequest& request = *parsed;
-
-  switch (request.type) {
-    case WireRequest::Type::kPing:
-      return SerializePingResponse(request.id);
-    case WireRequest::Type::kStats:
-      return SerializeStatsResponse(request.id, service_->Stats());
-    case WireRequest::Type::kShutdown:
-      return SerializeShutdownResponse(request.id);
-    case WireRequest::Type::kReload: {
-      if (!options_.reload_handler) {
-        return SerializeErrorResponse(
-            request.id,
-            InvalidArgumentError("this server has no reloadable corpus "
-                                 "source (started without --snapshot)"));
-      }
-      StatusOr<ReloadOutcome> outcome = options_.reload_handler();
-      if (!outcome.ok()) {
-        return SerializeErrorResponse(request.id, outcome.status());
-      }
-      return SerializeReloadResponse(request.id, *outcome);
-    }
-    case WireRequest::Type::kCheck:
-      break;
-  }
-
-  // check: named groups are passed through and resolved by Check()
-  // against the epoch it pins — resolving here could hand Check a group
-  // pointer from an epoch a concurrent reload is retiring.
-  Group inline_group;
-  CheckRequest check;
-  if (!request.group_tsv.empty()) {
-    Status parsed_group =
-        ParseGroupTsv(request.group_tsv, "inline", &inline_group);
-    if (!parsed_group.ok()) {
-      return SerializeErrorResponse(request.id, parsed_group);
-    }
-    check.group = &inline_group;
-  } else if (!request.group_name.empty()) {
-    check.group_name = request.group_name;
-  } else {
-    return SerializeErrorResponse(
-        request.id,
-        InvalidArgumentError("check needs \"group\" or \"group_tsv\""));
-  }
-
-  check.deadline_ms = request.deadline_ms;
-  check.bypass_cache = request.no_cache;
-  if (!request.engine.empty()) {
-    EngineKind kind;
-    if (!EngineKindFromName(request.engine, &kind)) {
-      return SerializeErrorResponse(
-          request.id,
-          InvalidArgumentError("unknown engine '" + request.engine + "'"));
-    }
-    check.engine = kind;
-  }
-
-  StatusOr<CheckReply> reply = service_->Check(check);
-  if (!reply.ok()) return SerializeErrorResponse(request.id, reply.status());
-  // reply->group is the caller's inline group or a group owned by
-  // reply->epoch, which the reply pins — safe either way.
-  return SerializeCheckResponse(request.id, *reply->group, *reply);
-}
-
-void TcpServer::HandleConnection(int fd) {
-  LineReader reader(fd, options_.max_line_bytes);
-  std::string line;
-  while (reader.ReadLine(&line)) {
-    if (line.empty()) continue;  // blank keep-alive lines are legal
-    bool is_shutdown = false;
-    {
-      StatusOr<WireRequest> peek = ParseRequestLine(line);
-      is_shutdown =
-          peek.ok() && peek->type == WireRequest::Type::kShutdown;
-    }
-    std::string response = Dispatch(line);
-    if (!SendAll(fd, response)) break;
-    if (is_shutdown) {
-      // Ack written; now unblock Wait(). Ordering matters: the response
-      // must be on the wire before the owner can Stop() and exit.
-      RequestShutdown();
-      break;
-    }
-  }
-  ::close(fd);
-}
-
-void TcpServer::RequestShutdown() {
-  MutexLock lock(&mu_);
-  shutdown_requested_ = true;
-  wake_.SignalAll();
-}
+int TcpServer::port() const { return server_ ? server_->port() : 0; }
 
 void TcpServer::Wait() {
-  MutexLock lock(&mu_);
-  while (!stopping_ && !shutdown_requested_) {
-    wake_.Wait(&mu_);
-  }
+  if (server_) server_->Wait();
 }
 
 void TcpServer::Stop() {
-  {
-    MutexLock lock(&mu_);
-    if (stopping_) return;
-    stopping_ = true;
-    wake_.SignalAll();
-  }
-  if (listen_fd_ >= 0) {
-    // shutdown() forces a blocked accept() to return; close() alone does
-    // not reliably wake it and can race a concurrent fd reuse.
-    ::shutdown(listen_fd_, SHUT_RDWR);
-  }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  std::vector<std::thread> connections;
-  {
-    MutexLock lock(&mu_);
-    connections.swap(connections_);
-  }
-  for (std::thread& t : connections) {
-    if (t.joinable()) t.join();
-  }
+  if (server_) server_->Stop();
 }
 
 bool TcpServer::shutdown_requested() const {
-  MutexLock lock(&mu_);
-  return shutdown_requested_;
+  return server_ && server_->shutdown_requested();
+}
+
+void TcpServer::RequestShutdown() {
+  if (server_) server_->RequestShutdown();
+}
+
+std::string TcpServer::Dispatch(const std::string& line) {
+  DispatchHooks hooks;
+  hooks.reload_handler = options_.reload_handler;
+  return DispatchLine(service_, hooks, line).line;
 }
 
 StatusOr<std::string> SendRequestLine(const std::string& host, int port,
                                       const std::string& line,
                                       int timeout_ms) {
-  int fd = ConnectTo(host, port, timeout_ms);
+  int fd = ConnectToHost(host, port, timeout_ms);
   if (fd < 0) {
     return UnavailableError("cannot connect to " + host + ":" +
                             std::to_string(port) + ": " +

@@ -1,54 +1,63 @@
 #ifndef DIME_SERVER_TCP_SERVER_H_
 #define DIME_SERVER_TCP_SERVER_H_
 
-#include <functional>
+#include <cstddef>
+#include <memory>
 #include <string>
-#include <thread>
-#include <vector>
 
-#include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/server/dispatch.h"
 #include "src/server/service.h"
 
 /// \file tcp_server.h
-/// The socket transport around DimeService: accepts TCP connections and
-/// speaks the line-delimited JSON protocol of wire.h. One thread per
-/// connection — the transport threads only parse, block in
-/// DimeService::Check (where admission control lives), and serialize, so
-/// engine concurrency is bounded by the service's worker pool, not by
-/// the connection count. Connection threads are joined on Stop().
+/// The socket transport around DimeService. Since the event-loop
+/// rewrite this is a thin facade over EventLoopServer (event_loop.h):
+/// one epoll IO thread multiplexes every connection, speaking both the
+/// line-JSON protocol of wire.h (byte-identical replies to the old
+/// thread-per-connection transport) and the HTTP/1.1 front door of
+/// http.h on the same port. The facade keeps the name and the API every
+/// caller already uses; the transport mechanics live in event_loop.h.
 ///
-/// Shutdown paths:
-///  * a client sends {"type":"shutdown"}: the ack is written, then
-///    Wait() unblocks — the caller (server_main) runs Stop() and drains
-///    the service;
-///  * the owner calls Stop() directly (tests): the listen socket is shut
-///    down, the accept loop exits, every connection thread is joined;
+/// Shutdown paths (unchanged):
+///  * a client sends {"type":"shutdown"} / POST /v1/shutdown: the ack is
+///    written, then Wait() unblocks — the caller (server_main) runs
+///    Stop() and drains the service;
+///  * the owner calls Stop() directly (tests): graceful drain — in-flight
+///    requests finish and flush, bounded by a drain timeout;
 ///  * a signal handler (or any other thread) calls RequestShutdown():
-///    Wait() unblocks exactly as if a shutdown request had arrived, and
-///    the owner drains through the same path.
+///    Wait() unblocks exactly as if a shutdown request had arrived.
 
 namespace dime {
+
+class EventLoopServer;
 
 struct TcpServerOptions {
   std::string host = "127.0.0.1";
   /// 0 binds an ephemeral port; read it back with port() after Start().
   int port = 0;
   int backlog = 64;
-  /// Per-connection receive timeout; a client idle for longer is
-  /// disconnected so stuck peers cannot pin transport threads forever.
-  /// <= 0 disables the timeout.
+  /// A connection with no inbound bytes, no queued work and nothing left
+  /// to write for this long is disconnected so stuck peers cannot pin
+  /// server state forever. <= 0 disables the timeout.
   int idle_timeout_ms = 0;
   /// A request line longer than this is an abuse signal; the connection
   /// is cut instead of buffering without bound. The default comfortably
-  /// fits the largest inline group the engines could chew.
+  /// fits the largest inline group the engines could chew. Also caps the
+  /// HTTP request body.
   size_t max_line_bytes = 64u << 20;
+  /// Connection-count ceiling: a connection over it is answered with one
+  /// clean RESOURCE_EXHAUSTED error and closed (see event_loop.h).
+  size_t max_connections = 4096;
+  /// Per-connection pipelining cap: past it the connection's reads pause
+  /// and TCP flow control pushes back on the client.
+  int max_pipeline_depth = 32;
   /// Handles the admin "reload" verb: re-read the corpus source and swap
   /// it in (the owner knows the paths — typically
-  /// DimeService::ReloadFromSnapshot + ApplyDeltaLog). Null: reload is
-  /// answered INVALID_ARGUMENT. Runs on a transport thread; must be
-  /// thread-safe.
-  std::function<StatusOr<ReloadOutcome>()> reload_handler;
+  /// DimeService::ReloadFromSnapshot + ApplyDeltaLog). The argument is
+  /// the request's optional expected fingerprint ("" = unconditional;
+  /// see wire.h). Null: reload is answered INVALID_ARGUMENT. Runs on a
+  /// transport offload thread; must be thread-safe.
+  ReloadHandler reload_handler;
 };
 
 class TcpServer {
@@ -60,18 +69,17 @@ class TcpServer {
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
-  /// Binds, listens, and spawns the accept loop. IO_ERROR when the
-  /// socket cannot be created/bound (e.g. the port is taken).
+  /// Binds, listens, and spawns the IO loop. IO_ERROR when the socket
+  /// cannot be created/bound (e.g. the port is taken).
   Status Start();
 
   /// The bound port (valid after a successful Start).
-  int port() const { return port_; }
+  int port() const;
 
   /// Blocks until Stop() is called or a shutdown request arrives.
   void Wait();
 
-  /// Stops accepting, closes the listen socket, joins the accept loop
-  /// and every connection thread. Idempotent. Does NOT shut down the
+  /// Graceful drain + teardown. Idempotent. Does NOT shut down the
   /// service (the owner decides when to drain it).
   void Stop();
 
@@ -89,20 +97,9 @@ class TcpServer {
   std::string Dispatch(const std::string& line);
 
  private:
-  void AcceptLoop();
-  void HandleConnection(int fd);
-
   DimeService* const service_;
-  const TcpServerOptions options_;
-  int listen_fd_ = -1;  // written in Start() before the accept thread spawns
-  int port_ = 0;
-  std::thread accept_thread_;
-
-  mutable Mutex mu_;
-  std::vector<std::thread> connections_ DIME_GUARDED_BY(mu_);
-  bool stopping_ DIME_GUARDED_BY(mu_) = false;
-  bool shutdown_requested_ DIME_GUARDED_BY(mu_) = false;
-  CondVar wake_;
+  TcpServerOptions options_;
+  std::unique_ptr<EventLoopServer> server_;
 };
 
 /// Client-side helper (dime_cli --client, tests, benches): connects to

@@ -359,28 +359,10 @@ std::string JsonLineWriter::Finish() {
   return std::move(out_);
 }
 
-StatusOr<WireRequest> ParseRequestLine(std::string_view line) {
-  DIME_ASSIGN_OR_RETURN(JsonObject object, ParseJsonObjectLine(line));
+StatusOr<WireRequest> RequestFromJson(const JsonObject& object,
+                                      WireRequest::Type type) {
   WireRequest request;
-
-  const JsonValue* type = Find(object, "type");
-  if (type == nullptr || type->kind != JsonValue::Kind::kString) {
-    return InvalidArgumentError("request needs a string \"type\" field");
-  }
-  if (type->string_value == "check") {
-    request.type = WireRequest::Type::kCheck;
-  } else if (type->string_value == "stats") {
-    request.type = WireRequest::Type::kStats;
-  } else if (type->string_value == "ping") {
-    request.type = WireRequest::Type::kPing;
-  } else if (type->string_value == "shutdown") {
-    request.type = WireRequest::Type::kShutdown;
-  } else if (type->string_value == "reload") {
-    request.type = WireRequest::Type::kReload;
-  } else {
-    return InvalidArgumentError("unknown request type '" +
-                                type->string_value + "'");
-  }
+  request.type = type;
 
   // A helper per field type; wrong-typed known fields are rejected rather
   // than silently zeroed, unknown fields are ignored.
@@ -398,6 +380,7 @@ StatusOr<WireRequest> ParseRequestLine(std::string_view line) {
   DIME_RETURN_IF_ERROR(get_string("group", &request.group_name));
   DIME_RETURN_IF_ERROR(get_string("group_tsv", &request.group_tsv));
   DIME_RETURN_IF_ERROR(get_string("engine", &request.engine));
+  DIME_RETURN_IF_ERROR(get_string("fingerprint", &request.fingerprint));
 
   if (const JsonValue* v = Find(object, "deadline_ms")) {
     if (v->kind != JsonValue::Kind::kNumber) {
@@ -412,6 +395,31 @@ StatusOr<WireRequest> ParseRequestLine(std::string_view line) {
     request.no_cache = v->bool_value;
   }
   return request;
+}
+
+StatusOr<WireRequest> ParseRequestLine(std::string_view line) {
+  DIME_ASSIGN_OR_RETURN(JsonObject object, ParseJsonObjectLine(line));
+
+  const JsonValue* type = Find(object, "type");
+  if (type == nullptr || type->kind != JsonValue::Kind::kString) {
+    return InvalidArgumentError("request needs a string \"type\" field");
+  }
+  WireRequest::Type parsed_type;
+  if (type->string_value == "check") {
+    parsed_type = WireRequest::Type::kCheck;
+  } else if (type->string_value == "stats") {
+    parsed_type = WireRequest::Type::kStats;
+  } else if (type->string_value == "ping") {
+    parsed_type = WireRequest::Type::kPing;
+  } else if (type->string_value == "shutdown") {
+    parsed_type = WireRequest::Type::kShutdown;
+  } else if (type->string_value == "reload") {
+    parsed_type = WireRequest::Type::kReload;
+  } else {
+    return InvalidArgumentError("unknown request type '" +
+                                type->string_value + "'");
+  }
+  return RequestFromJson(object, parsed_type);
 }
 
 std::string SerializeRequest(const WireRequest& request) {
@@ -429,6 +437,9 @@ std::string SerializeRequest(const WireRequest& request) {
   if (request.deadline_ms > 0) w.AddInt("deadline_ms", request.deadline_ms);
   if (!request.engine.empty()) w.AddString("engine", request.engine);
   if (request.no_cache) w.AddBool("no_cache", true);
+  if (!request.fingerprint.empty()) {
+    w.AddString("fingerprint", request.fingerprint);
+  }
   return w.Finish();
 }
 
@@ -516,14 +527,12 @@ std::string SerializeReloadResponse(const std::string& id,
   if (!id.empty()) w.AddString("id", id);
   w.AddString("status", "OK");
   w.AddUint("epoch", outcome.sequence);
-  char fp[36];
-  std::snprintf(fp, sizeof(fp), "%016llx%016llx",
-                static_cast<unsigned long long>(outcome.fingerprint_lo),
-                static_cast<unsigned long long>(outcome.fingerprint_hi));
-  w.AddString("fingerprint", fp);
+  w.AddString("fingerprint", FingerprintToWireHex(outcome.fingerprint_lo,
+                                                  outcome.fingerprint_hi));
   w.AddUint("groups", outcome.groups);
   w.AddUint("delta_records", outcome.delta_records);
   if (outcome.torn_tail) w.AddBool("torn_tail", true);
+  if (outcome.noop) w.AddBool("noop", true);
   return w.Finish();
 }
 

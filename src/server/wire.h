@@ -31,7 +31,13 @@
 /// "reload" asks the server to re-read its corpus source (the snapshot
 /// it was started from, plus any pending delta log) and swap the result
 /// in as a new epoch; the server decides the paths, never the client.
-/// Servers without a reloadable source answer INVALID_ARGUMENT.
+/// Servers without a reloadable source answer INVALID_ARGUMENT. An
+/// optional "fingerprint" field (32 wire-hex digits, exactly as a reload
+/// response reports it) makes the swap coordinated: already-matching
+/// servers answer OK with "noop":true without reloading, and a snapshot
+/// whose fingerprint differs from the requested one is refused
+/// INVALID_ARGUMENT instead of installed (see
+/// DimeService::ReloadFromSnapshot).
 ///
 /// Responses are also single-line JSON objects; every one carries
 /// "status" (a StatusCode name, "OK" on success) and echoes "id". Arrays
@@ -95,12 +101,22 @@ struct WireRequest {
   int64_t deadline_ms = 0;
   std::string engine;  ///< empty = server default
   bool no_cache = false;
+  /// reload only: expected content fingerprint (32 wire-hex digits, as a
+  /// prior reload response reported). Empty = unconditional reload.
+  std::string fingerprint;
 };
 
 /// Decodes a request line. PARSE_ERROR for malformed JSON,
 /// INVALID_ARGUMENT for a well-formed object with a missing/unknown
 /// "type" or a wrong-typed known field.
 StatusOr<WireRequest> ParseRequestLine(std::string_view line);
+
+/// Decodes the request FIELDS of `object` under an externally-decided
+/// type, with exactly ParseRequestLine's validation. This is how the
+/// HTTP front door reuses the grammar: there the verb comes from the
+/// route (POST /v1/check), not from a "type" field in the body.
+StatusOr<WireRequest> RequestFromJson(const JsonObject& object,
+                                      WireRequest::Type type);
 
 /// Encodes a request (the client side of ParseRequestLine).
 std::string SerializeRequest(const WireRequest& request);

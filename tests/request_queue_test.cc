@@ -138,7 +138,9 @@ TEST(BoundedRequestQueueTest, ConcurrentProducersAndConsumers) {
         int value = p * kPerProducer + i + 1;
         // Retry on kFull — shedding is the caller's policy; here the test
         // wants every value through to check conservation.
-        while (q.TryPush(value) == QueuePushResult::kFull) {
+        // A rejected push leaves the item with the caller, so moving the
+        // same variable again on retry is sound.
+        while (q.TryPush(std::move(value)) == QueuePushResult::kFull) {
           std::this_thread::yield();
         }
         accepted.fetch_add(1);

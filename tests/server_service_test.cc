@@ -547,6 +547,83 @@ TEST(LiveCorpusTest, ReloadFromSnapshotSwapsToAPreparedEpoch) {
   EXPECT_EQ(service.CurrentEpoch()->sequence(), 2u);
 }
 
+TEST(LiveCorpusTest, FingerprintWireHexRoundTrips) {
+  const std::string hex = FingerprintToWireHex(0x0123456789abcdefULL,
+                                               0xfedcba9876543210ULL);
+  EXPECT_EQ(hex.size(), 32u);
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  ASSERT_TRUE(FingerprintFromWireHex(hex, &lo, &hi));
+  EXPECT_EQ(lo, 0x0123456789abcdefULL);
+  EXPECT_EQ(hi, 0xfedcba9876543210ULL);
+  // Everything that is not exactly 32 hex digits is refused.
+  EXPECT_FALSE(FingerprintFromWireHex("", &lo, &hi));
+  EXPECT_FALSE(FingerprintFromWireHex(hex.substr(1), &lo, &hi));
+  EXPECT_FALSE(FingerprintFromWireHex(hex + "0", &lo, &hi));
+  std::string garbled = hex;
+  garbled[7] = 'g';
+  EXPECT_FALSE(FingerprintFromWireHex(garbled, &lo, &hi));
+}
+
+TEST(LiveCorpusTest, FingerprintGatedReloadNoopsWhenAlreadyServing) {
+  ServingCorpus on_disk = MakeTestCorpus(/*pages=*/1);
+  const std::string path = ::testing::TempDir() + "/gated_noop.snap";
+  SnapshotWriteRequest write;
+  write.groups = &on_disk.groups;
+  write.positive = &on_disk.positive;
+  write.negative = &on_disk.negative;
+  write.context = &on_disk.context;
+  ASSERT_TRUE(WriteSnapshot(write, path).ok());
+
+  DimeService service(MakeTestCorpus(/*pages=*/2), ServiceOptions{});
+  StatusOr<ReloadOutcome> first = service.ReloadFromSnapshot(path);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->sequence, 2u);
+  EXPECT_FALSE(first->noop);
+  const std::string serving_fp =
+      FingerprintToWireHex(first->fingerprint_lo, first->fingerprint_hi);
+
+  // The replica already serves the requested build: success without a
+  // swap — the sequence does not advance and nothing is re-installed.
+  StatusOr<ReloadOutcome> gated = service.ReloadFromSnapshot(path, serving_fp);
+  ASSERT_TRUE(gated.ok()) << gated.status().ToString();
+  EXPECT_TRUE(gated->noop);
+  EXPECT_EQ(gated->sequence, 2u);
+  EXPECT_EQ(gated->fingerprint_lo, first->fingerprint_lo);
+  EXPECT_EQ(gated->fingerprint_hi, first->fingerprint_hi);
+  EXPECT_EQ(service.CurrentEpoch()->sequence(), 2u);
+  EXPECT_EQ(service.Stats().epochs_installed, 2u);
+}
+
+TEST(LiveCorpusTest, FingerprintGatedReloadRejectsAMismatchedSnapshot) {
+  ServingCorpus on_disk = MakeTestCorpus(/*pages=*/1);
+  const std::string path = ::testing::TempDir() + "/gated_mismatch.snap";
+  SnapshotWriteRequest write;
+  write.groups = &on_disk.groups;
+  write.positive = &on_disk.positive;
+  write.negative = &on_disk.negative;
+  write.context = &on_disk.context;
+  ASSERT_TRUE(WriteSnapshot(write, path).ok());
+
+  DimeService service(MakeTestCorpus(/*pages=*/2), ServiceOptions{});
+  // A well-formed fingerprint that matches neither the serving epoch nor
+  // the snapshot: the coordinator asked for a build this file is not.
+  const std::string wrong_fp(32, '0');
+  StatusOr<ReloadOutcome> gated = service.ReloadFromSnapshot(path, wrong_fp);
+  ASSERT_FALSE(gated.ok());
+  EXPECT_EQ(gated.status().code(), StatusCode::kInvalidArgument);
+  // Nothing half-applied: the boot epoch keeps serving.
+  EXPECT_EQ(service.CurrentEpoch()->sequence(), 1u);
+  EXPECT_EQ(service.Stats().epochs_installed, 1u);
+
+  // A malformed gate never even reaches the disk.
+  StatusOr<ReloadOutcome> malformed =
+      service.ReloadFromSnapshot(path, "not-a-fingerprint");
+  ASSERT_FALSE(malformed.ok());
+  EXPECT_EQ(malformed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.CurrentEpoch()->sequence(), 1u);
+}
+
 TEST(LiveCorpusTest, ApplyDeltaLogMergesAndServesMergedCorpus) {
   ServingCorpus corpus = MakeTestCorpus(/*pages=*/1);
   const Group& page = corpus.groups[0];

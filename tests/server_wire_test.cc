@@ -322,8 +322,10 @@ TEST(WireResponseTest, ReloadResponseCarriesEpochAndFingerprint) {
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_EQ(parsed->at("id").string_value, "r1");
   EXPECT_EQ(parsed->at("epoch").number_value, 7.0);
+  // hi word first — the order every log line and dime_snapshot print,
+  // so operators can paste a logged fingerprint into a gated reload.
   EXPECT_EQ(parsed->at("fingerprint").string_value,
-            "0123456789abcdeffedcba9876543210");
+            "fedcba98765432100123456789abcdef");
   EXPECT_EQ(parsed->at("groups").number_value, 3.0);
   EXPECT_EQ(parsed->at("delta_records").number_value, 12.0);
   // torn_tail is emitted only when true, to keep the happy path terse.
@@ -335,6 +337,50 @@ TEST(WireResponseTest, ReloadResponseCarriesEpochAndFingerprint) {
       ParseJsonObjectLine(std::string_view(torn.data(), torn.size() - 1));
   ASSERT_TRUE(reparsed.ok());
   EXPECT_TRUE(reparsed->at("torn_tail").bool_value);
+}
+
+TEST(WireRequestTest, ReloadFingerprintRoundTrips) {
+  WireRequest request;
+  request.type = WireRequest::Type::kReload;
+  request.id = "r9";
+  request.fingerprint = "0123456789abcdeffedcba9876543210";
+  auto parsed = ParseRequestLine(SerializeRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->type, WireRequest::Type::kReload);
+  EXPECT_EQ(parsed->fingerprint, request.fingerprint);
+  // Unconditional reloads stay terse: no fingerprint field at all.
+  WireRequest plain;
+  plain.type = WireRequest::Type::kReload;
+  EXPECT_EQ(SerializeRequest(plain).find("fingerprint"), std::string::npos);
+  auto reparsed = ParseRequestLine(SerializeRequest(plain));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(reparsed->fingerprint.empty());
+}
+
+TEST(WireRequestTest, WrongTypedFingerprintIsInvalidArgument) {
+  auto parsed = ParseRequestLine(R"({"type":"reload","fingerprint":17})");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireResponseTest, NoopReloadResponseSaysSo) {
+  ReloadOutcome outcome;
+  outcome.sequence = 4;
+  outcome.groups = 2;
+  std::string line = SerializeReloadResponse("", outcome);
+  auto parsed =
+      ParseJsonObjectLine(std::string_view(line.data(), line.size() - 1));
+  ASSERT_TRUE(parsed.ok());
+  // Like torn_tail, noop is emitted only when it happened.
+  EXPECT_EQ(parsed->count("noop"), 0u);
+
+  outcome.noop = true;
+  std::string noop_line = SerializeReloadResponse("", outcome);
+  auto reparsed = ParseJsonObjectLine(
+      std::string_view(noop_line.data(), noop_line.size() - 1));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(reparsed->at("noop").bool_value);
+  EXPECT_EQ(reparsed->at("epoch").number_value, 4.0);
 }
 
 TEST(WireResponseTest, NonResponseLineIsParseError) {

@@ -170,7 +170,8 @@ TEST_F(DispatchTest, ReloadWithoutHandlerIsInvalidArgument) {
 TEST(DispatchReloadTest, ReloadHandlerOutcomeIsSerialized) {
   DimeService service(MakeTestCorpus(), ServiceOptions{});
   TcpServerOptions options;
-  options.reload_handler = [&service]() -> StatusOr<ReloadOutcome> {
+  options.reload_handler =
+      [&service](const std::string&) -> StatusOr<ReloadOutcome> {
     return service.InstallCorpus(MakeTestCorpus());
   };
   TcpServer server(&service, options);
@@ -187,10 +188,39 @@ TEST(DispatchReloadTest, ReloadHandlerOutcomeIsSerialized) {
   EXPECT_EQ(check.at("epoch").number_value, 2.0);
 }
 
+TEST(DispatchReloadTest, FingerprintFlowsToTheHandlerAndNoopFlowsBack) {
+  DimeService service(MakeTestCorpus(), ServiceOptions{});
+  TcpServerOptions options;
+  std::string seen_fingerprint;
+  options.reload_handler =
+      [&seen_fingerprint](
+          const std::string& fingerprint) -> StatusOr<ReloadOutcome> {
+    seen_fingerprint = fingerprint;
+    // The service-side gate matched: report the serving epoch untouched.
+    ReloadOutcome outcome;
+    outcome.sequence = 1;
+    outcome.groups = 1;
+    outcome.noop = true;
+    return outcome;
+  };
+  TcpServer server(&service, options);
+  const std::string fp(32, 'a');
+  JsonObject response = MustParse(server.Dispatch(
+      R"({"type":"reload","id":"r3","fingerprint":")" + fp + "\"}"));
+  EXPECT_EQ(seen_fingerprint, fp);
+  EXPECT_EQ(response.at("status").string_value, "OK");
+  EXPECT_TRUE(response.at("noop").bool_value);
+  EXPECT_EQ(response.at("epoch").number_value, 1.0);
+  // An unconditional reload hands the handler an empty gate.
+  MustParse(server.Dispatch(R"({"type":"reload"})"));
+  EXPECT_TRUE(seen_fingerprint.empty());
+}
+
 TEST(DispatchReloadTest, ReloadHandlerErrorPropagates) {
   DimeService service(MakeTestCorpus(), ServiceOptions{});
   TcpServerOptions options;
-  options.reload_handler = []() -> StatusOr<ReloadOutcome> {
+  options.reload_handler =
+      [](const std::string&) -> StatusOr<ReloadOutcome> {
     return UnavailableError("injected reload failure");
   };
   TcpServer server(&service, options);

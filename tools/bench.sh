@@ -5,6 +5,14 @@
 #   BENCH_fig9.json       Fig. 9 end-to-end engine efficiency
 #   BENCH_snapshot.json   snapshot store cold-start (TSV ingest+prepare vs
 #                         mmap snapshot load; DESIGN.md §7.4)
+#   BENCH_server.json     serving-layer throughput/latency (DESIGN.md §7.7):
+#                         tools/loadgen closed-loop rows against a live
+#                         dime_server — line + HTTP protocols up to 1024
+#                         connections on the epoll transport — plus the
+#                         in-process dispatch ceiling from
+#                         bench_server_throughput --json. The frozen
+#                         baseline is the thread-per-connection transport
+#                         (bench/baselines/server_pre.json).
 #
 # Each file holds a list of entries. The "pre-optimization" entry is the
 # committed snapshot taken at the flat-layout PR's base commit
@@ -33,7 +41,8 @@ trap 'rm -rf "$TMP"' EXIT
 echo "== configuring + building $BUILD (Release) =="
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD" -j \
-  --target bench_micro_sim bench_fig9_efficiency bench_snapshot_load
+  --target bench_micro_sim bench_fig9_efficiency bench_snapshot_load \
+           bench_server_throughput dime_server loadgen
 
 echo "== micro kernels =="
 "$BUILD/bench/bench_micro_sim" \
@@ -58,6 +67,49 @@ else
   "$BUILD/bench/bench_snapshot_load" \
     --json "$TMP/snapshot_current.json" --label current
 fi
+
+echo "== server throughput (epoll transport, line + HTTP) =="
+# Same server shape as the frozen baseline so the rows are comparable;
+# quick mode shortens the closed-loop windows, not the sweep.
+SRV_DUR=4
+[ "$QUICK" = 1 ] && SRV_DUR=2
+"$BUILD"/src/dime_server --demo --demo-pages 4 --workers 8 \
+  --queue-cap 8192 --cache-cap 256 --port 0 > "$TMP/server.log" 2>&1 &
+SERVER_PID=$!
+SERVER_PORT=""
+for _ in $(seq 1 100); do
+  SERVER_PORT=$(sed -n \
+    's/^dime_server listening on .*:\([0-9]*\)$/\1/p' "$TMP/server.log")
+  [ -n "$SERVER_PORT" ] && break
+  sleep 0.2
+done
+test -n "$SERVER_PORT"
+
+SRV_ROW=0
+run_loadgen() {  # protocol mix connections
+  "$BUILD"/tools/loadgen/loadgen --port "$SERVER_PORT" \
+    --protocol "$1" --mix "$2" --connections "$3" --threads 4 \
+    --duration-s "$SRV_DUR" --warmup-s 1 --pages 4 \
+    --label "post (event loop)" --json "$TMP/server_row_$SRV_ROW.json"
+  SRV_ROW=$((SRV_ROW + 1))
+}
+# The 64-connection rows line up against the baseline's low end; the
+# 1024-connection rows are the event-loop headline, on both protocols
+# (the baseline has no HTTP rows: the old transport had no front door).
+run_loadgen line hit 64
+run_loadgen line miss 64
+run_loadgen line hit 1024
+run_loadgen line miss 1024
+run_loadgen http hit 1024
+run_loadgen http miss 1024
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || true
+
+# The in-process dispatch ceiling (no sockets): what the service itself
+# sustains, an upper bound no transport can beat.
+"$BUILD"/bench/bench_server_throughput --json "$TMP/server_inproc.json" \
+  --label "post (in-process ceiling)" --threads 4 --duration-s "$SRV_DUR"
 
 # Wrap pre + post into the repo-root records. The google-benchmark JSON is
 # trimmed to the comparable core (name / real_time / time_unit) so the
@@ -92,7 +144,25 @@ jq -n \
   '{bench: "snapshot_load", entries: [$pre[0], $post[0]]}' \
   > BENCH_snapshot.json
 
-echo "== wrote BENCH_micro_sim.json, BENCH_fig9.json and BENCH_snapshot.json =="
+# Like the snapshot store, the serving layer keeps a frozen committed
+# baseline: the thread-per-connection transport this PR replaced.
+jq -n \
+  --slurpfile pre bench/baselines/server_pre.json \
+  --slurpfile inproc "$TMP/server_inproc.json" \
+  --arg cpus "$(nproc)" \
+  --arg recorded "$(date +%Y-%m-%d)" \
+  '{bench: "server_throughput",
+    entries: [
+      $pre[0],
+      {label: "post (event loop)",
+       transport_note: "epoll event loop, line + HTTP on one port",
+       machine: {cpus: ($cpus | tonumber)},
+       server: "--demo --demo-pages 4 --workers 8 --queue-cap 8192 --cache-cap 256 (Release)",
+       recorded: $recorded,
+       rows: ([inputs] + $inproc[0])}
+    ]}' "$TMP"/server_row_*.json > BENCH_server.json
+
+echo "== wrote BENCH_micro_sim.json, BENCH_fig9.json, BENCH_snapshot.json and BENCH_server.json =="
 printf '%-18s %-10s %9s %8s %12s\n' label dataset entities dime_s dime_plus_s
 jq -r '.entries[] | .label as $l
        | .rows[] | [$l, .dataset, .entities, .dime_s, .dime_plus_s]
@@ -104,3 +174,10 @@ jq -r '.entries[] | .label as $l
        | .rows[] | [$l, .dataset, .tsv_ingest_prepare_s, .snapshot_load_s,
                     .speedup] | @tsv' BENCH_snapshot.json |
   awk -F'\t' '{printf "%-18s %-14s %14s %14s %8sx\n", $1, $2, $3, $4, $5}'
+printf '%-28s %-8s %-6s %6s %9s %9s %9s\n' \
+  label proto mix conns qps p50_ms p99_ms
+jq -r '.entries[] | .rows[]
+       | [.label, .transport, .mix, .connections, .qps, .p50_ms, .p99_ms]
+       | @tsv' BENCH_server.json |
+  awk -F'\t' '{printf "%-28s %-8s %-6s %6s %9s %9s %9s\n",
+               $1, $2, $3, $4, $5, $6, $7}'

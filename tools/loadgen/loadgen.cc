@@ -1,0 +1,522 @@
+// loadgen: closed-loop multi-connection load generator for dime_server.
+//
+// Drives a running server over either wire protocol — the line-delimited
+// JSON protocol (src/server/wire.h) or the HTTP/1.1 front door
+// (src/server/http.h) — with N concurrent keep-alive connections, each
+// holding a fixed number of requests in flight (classic closed loop: a
+// new request is issued the moment a response lands, so offered load
+// adapts to the server instead of overrunning it). The client side is
+// its own small epoll loop (a few thousand connections must not mean a
+// few thousand threads in the measuring tool either), sharded over
+// --threads event loops.
+//
+// Usage:
+//   loadgen --port N [--host 127.0.0.1] [--protocol line|http]
+//           [--connections N] [--inflight K] [--threads T]
+//           [--duration-s D] [--warmup-s W]
+//           [--mix hit|miss|mixed] [--pages N]
+//           [--json out.json] [--label L]
+//
+// Mixes (the served corpus is dime_server --demo, pages page_0..):
+//   hit    every request repeats page_0 with the cache on — after the
+//          first miss the server answers from its LRU, so this measures
+//          the transport + service fast path;
+//   miss   rotate over --pages groups with no_cache — every request runs
+//          an engine, measuring queue + worker throughput;
+//   mixed  rotate with the cache on — the steady-state serving shape.
+//
+// Latency is recorded per request (send-to-response on the wire) into a
+// coarse log-bucketed histogram — bucket i counts requests in
+// [2^(i-1), 2^i) microseconds, the same shape DimeService::Stats uses —
+// so p50/p95/p99 are bucket upper bounds (within 2x of exact), which is
+// plenty to rank transports and spot collapse. Counters and the
+// histogram reset when the warmup window ends; only the measured window
+// lands in the report.
+//
+// --json writes one JSON object (one row of the BENCH_server.json
+// schema; tools/bench.sh composes rows into the trajectory file):
+//   {"label":L,"transport":"line","mix":"hit","connections":64,
+//    "inflight":1,"threads":4,"duration_s":5.0,"requests":123456,
+//    "qps":24691.2,"p50_ms":0.5,"p95_ms":1.0,"p99_ms":2.0,
+//    "errors":0,"transport_errors":0}
+// The same schema comes out of `bench_server_throughput --json`, so
+// in-process and over-the-wire numbers land in one trajectory.
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/exit_code.h"
+#include "src/common/status.h"
+#include "src/server/wire.h"
+
+namespace {
+
+using namespace dime;
+
+constexpr int kLatencyBuckets = 40;
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string protocol = "line";  // "line" | "http"
+  int connections = 64;
+  int inflight = 1;
+  int threads = 4;
+  double duration_s = 5.0;
+  double warmup_s = 1.0;
+  std::string mix = "mixed";  // "hit" | "miss" | "mixed"
+  int pages = 4;
+  std::string json_path;
+  std::string label = "loadgen";
+};
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Per-thread tallies; merged single-threaded after join, so no locking.
+struct Stats {
+  uint64_t requests = 0;          ///< responses received (measured window)
+  uint64_t errors = 0;            ///< non-OK response status
+  uint64_t transport_errors = 0;  ///< disconnects / malformed responses
+  uint64_t buckets[kLatencyBuckets] = {};
+
+  void Record(uint64_t micros, bool ok) {
+    ++requests;
+    if (!ok) ++errors;
+    int bucket = 0;
+    while (bucket < kLatencyBuckets - 1 && (1ULL << bucket) <= micros) {
+      ++bucket;
+    }
+    ++buckets[bucket];
+  }
+
+  void Reset() {
+    requests = errors = transport_errors = 0;
+    std::memset(buckets, 0, sizeof(buckets));
+  }
+
+  void Merge(const Stats& other) {
+    requests += other.requests;
+    errors += other.errors;
+    transport_errors += other.transport_errors;
+    for (int i = 0; i < kLatencyBuckets; ++i) buckets[i] += other.buckets[i];
+  }
+
+  double PercentileMs(double q) const {
+    uint64_t total = 0;
+    for (uint64_t b : buckets) total += b;
+    if (total == 0) return 0.0;
+    uint64_t target = static_cast<uint64_t>(q * static_cast<double>(total));
+    if (target == 0) target = 1;
+    uint64_t seen = 0;
+    for (int i = 0; i < kLatencyBuckets; ++i) {
+      seen += buckets[i];
+      if (seen >= target) return static_cast<double>(1ULL << i) / 1000.0;
+    }
+    return static_cast<double>(1ULL << (kLatencyBuckets - 1)) / 1000.0;
+  }
+};
+
+/// One keep-alive connection in the closed loop: `inflight` pipelined
+/// requests stay outstanding; both protocols answer in order, so the
+/// oldest send timestamp always matches the next complete response.
+struct Conn {
+  int fd = -1;
+  std::string inbox;               ///< unread response bytes
+  std::string outbox;              ///< unwritten request bytes
+  size_t outbox_sent = 0;
+  std::deque<uint64_t> sent_at;    ///< send micros, oldest first
+  uint64_t next_page = 0;          ///< per-conn rotation cursor
+  bool dead = false;
+};
+
+int ConnectBlocking(const Options& options) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* result = nullptr;
+  std::string port = std::to_string(options.port);
+  if (::getaddrinfo(options.host.c_str(), port.c_str(), &hints, &result) !=
+      0) {
+    return -1;
+  }
+  int fd = -1;
+  for (struct addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(result);
+  if (fd >= 0) {
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return fd;
+}
+
+/// The next request for this connection per the mix, as raw wire bytes.
+std::string NextRequest(const Options& options, Conn* conn) {
+  std::string group;
+  bool no_cache = false;
+  if (options.mix == "hit") {
+    group = "page_0";
+  } else {
+    group = "page_" + std::to_string(conn->next_page++ %
+                                     static_cast<uint64_t>(options.pages));
+    no_cache = options.mix == "miss";
+  }
+  if (options.protocol == "line") {
+    WireRequest request;
+    request.type = WireRequest::Type::kCheck;
+    request.group_name = group;
+    request.no_cache = no_cache;
+    return SerializeRequest(request);
+  }
+  // HTTP: POST /v1/check with the same flat-JSON body fields, minus the
+  // "type" that the path already carries.
+  JsonLineWriter body;
+  body.AddString("group", group);
+  if (no_cache) body.AddBool("no_cache", true);
+  std::string payload = body.Finish();
+  payload.pop_back();  // Finish() appends the line protocol's '\n'
+  std::string request = "POST /v1/check HTTP/1.1\r\nHost: ";
+  request += options.host;
+  request += "\r\nContent-Type: application/json\r\nContent-Length: ";
+  request += std::to_string(payload.size());
+  request += "\r\n\r\n";
+  request += payload;
+  return request;
+}
+
+/// Consumes one complete response from the front of `inbox` when present.
+/// Returns 1 when a response was consumed (*ok set from its status),
+/// 0 when more bytes are needed, -1 on a malformed/unparseable response.
+int ConsumeResponse(const Options& options, std::string* inbox, bool* ok) {
+  if (options.protocol == "line") {
+    size_t eol = inbox->find('\n');
+    if (eol == std::string::npos) return 0;
+    *ok = StatusFromResponseLine(std::string_view(*inbox).substr(0, eol)).ok();
+    inbox->erase(0, eol + 1);
+    return 1;
+  }
+  // HTTP: status line + headers, then exactly Content-Length body bytes.
+  size_t headers_end = inbox->find("\r\n\r\n");
+  if (headers_end == std::string::npos) return 0;
+  std::string_view head(*inbox);
+  head = head.substr(0, headers_end);
+  if (head.substr(0, 9) != "HTTP/1.1 " || head.size() < 12) return -1;
+  *ok = head.substr(9, 3) == "200";
+  size_t content_length = 0;
+  size_t pos = head.find("\r\n");
+  while (pos != std::string_view::npos) {
+    std::string_view rest = head.substr(pos + 2);
+    // Header names are case-insensitive, but this client only ever talks
+    // to dime_server, which emits the canonical spelling.
+    if (rest.rfind("Content-Length:", 0) == 0) {
+      content_length = static_cast<size_t>(
+          std::strtoull(std::string(rest.substr(15)).c_str(), nullptr, 10));
+    }
+    pos = head.find("\r\n", pos + 2);
+  }
+  size_t total = headers_end + 4 + content_length;
+  if (inbox->size() < total) return 0;
+  inbox->erase(0, total);
+  return 1;
+}
+
+/// One event loop driving `conns` until `deadline_micros`. Measured
+/// window starts at `measure_from_micros` (stats reset there once).
+void RunLoop(const Options& options, std::vector<Conn>* conns,
+             uint64_t measure_from_micros, uint64_t deadline_micros,
+             Stats* stats) {
+  int epfd = ::epoll_create1(0);
+  if (epfd < 0) {
+    stats->transport_errors += static_cast<uint64_t>(conns->size());
+    return;
+  }
+  for (size_t i = 0; i < conns->size(); ++i) {
+    Conn& conn = (*conns)[i];
+    // Prime the closed loop: `inflight` requests head out immediately.
+    for (int k = 0; k < options.inflight; ++k) {
+      conn.outbox += NextRequest(options, &conn);
+      conn.sent_at.push_back(NowMicros());
+    }
+    struct epoll_event ev;
+    ev.events = EPOLLIN | EPOLLOUT;
+    ev.data.u64 = i;
+    if (::epoll_ctl(epfd, EPOLL_CTL_ADD, conn.fd, &ev) != 0) {
+      conn.dead = true;
+      ++stats->transport_errors;
+    }
+  }
+
+  bool measuring = measure_from_micros <= NowMicros();
+  std::vector<struct epoll_event> events(256);
+  char chunk[64 << 10];
+  size_t alive = conns->size();
+  while (alive > 0) {
+    uint64_t now = NowMicros();
+    if (now >= deadline_micros) break;
+    if (!measuring && now >= measure_from_micros) {
+      stats->Reset();
+      measuring = true;
+    }
+    uint64_t next_edge =
+        measuring ? deadline_micros : std::min(measure_from_micros,
+                                               deadline_micros);
+    int timeout_ms = static_cast<int>((next_edge - now) / 1000) + 1;
+    int n = ::epoll_wait(epfd, events.data(), static_cast<int>(events.size()),
+                         timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int e = 0; e < n; ++e) {
+      Conn& conn = (*conns)[events[e].data.u64];
+      if (conn.dead) continue;
+      if (events[e].events & (EPOLLHUP | EPOLLERR)) {
+        conn.dead = true;
+        ++stats->transport_errors;
+        ::epoll_ctl(epfd, EPOLL_CTL_DEL, conn.fd, nullptr);
+        --alive;
+        continue;
+      }
+      if (events[e].events & EPOLLIN) {
+        ssize_t got = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+        if (got <= 0 && !(got < 0 && (errno == EAGAIN || errno == EINTR))) {
+          conn.dead = true;
+          ++stats->transport_errors;
+          ::epoll_ctl(epfd, EPOLL_CTL_DEL, conn.fd, nullptr);
+          --alive;
+          continue;
+        }
+        if (got > 0) conn.inbox.append(chunk, static_cast<size_t>(got));
+        bool ok = false;
+        int consumed;
+        while ((consumed = ConsumeResponse(options, &conn.inbox, &ok)) == 1) {
+          uint64_t sent = conn.sent_at.empty() ? NowMicros()
+                                               : conn.sent_at.front();
+          if (!conn.sent_at.empty()) conn.sent_at.pop_front();
+          stats->Record(NowMicros() - sent, ok);
+          // Closed loop: replace the completed request immediately.
+          conn.outbox += NextRequest(options, &conn);
+          conn.sent_at.push_back(NowMicros());
+        }
+        if (consumed < 0) {
+          conn.dead = true;
+          ++stats->transport_errors;
+          ::epoll_ctl(epfd, EPOLL_CTL_DEL, conn.fd, nullptr);
+          --alive;
+          continue;
+        }
+      }
+      // Flush whatever the socket will take; EPOLLOUT is level-triggered,
+      // so a partial write simply resumes on the next wakeup.
+      while (conn.outbox_sent < conn.outbox.size()) {
+        ssize_t sent = ::send(conn.fd, conn.outbox.data() + conn.outbox_sent,
+                              conn.outbox.size() - conn.outbox_sent,
+                              MSG_NOSIGNAL);
+        if (sent > 0) {
+          conn.outbox_sent += static_cast<size_t>(sent);
+          continue;
+        }
+        if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (sent < 0 && errno == EINTR) continue;
+        conn.dead = true;
+        ++stats->transport_errors;
+        ::epoll_ctl(epfd, EPOLL_CTL_DEL, conn.fd, nullptr);
+        --alive;
+        break;
+      }
+      if (conn.outbox_sent == conn.outbox.size()) {
+        conn.outbox.clear();
+        conn.outbox_sent = 0;
+      }
+    }
+  }
+  for (Conn& conn : *conns) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  ::close(epfd);
+}
+
+int Usage(const char* msg) {
+  std::fprintf(stderr, "loadgen: %s\n", msg);
+  std::fprintf(
+      stderr,
+      "usage: loadgen --port N [--host H] [--protocol line|http]\n"
+      "  [--connections N] [--inflight K] [--threads T]\n"
+      "  [--duration-s D] [--warmup-s W] [--mix hit|miss|mixed]\n"
+      "  [--pages N] [--json out.json] [--label L]\n");
+  return ExitCodeForStatusCode(StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "loadgen: missing value after %s\n",
+                     arg.c_str());
+        std::exit(ExitCodeForStatusCode(StatusCode::kInvalidArgument));
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      options.host = next();
+    } else if (arg == "--port") {
+      options.port = static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (arg == "--protocol") {
+      options.protocol = next();
+    } else if (arg == "--connections") {
+      options.connections = static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (arg == "--inflight") {
+      options.inflight = static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (arg == "--threads") {
+      options.threads = static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (arg == "--duration-s") {
+      options.duration_s = std::strtod(next(), nullptr);
+    } else if (arg == "--warmup-s") {
+      options.warmup_s = std::strtod(next(), nullptr);
+    } else if (arg == "--mix") {
+      options.mix = next();
+    } else if (arg == "--pages") {
+      options.pages = static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (arg == "--json") {
+      options.json_path = next();
+    } else if (arg == "--label") {
+      options.label = next();
+    } else {
+      return Usage(("unknown flag: " + arg).c_str());
+    }
+  }
+  if (options.port <= 0) return Usage("--port is required");
+  if (options.protocol != "line" && options.protocol != "http") {
+    return Usage("--protocol must be line or http");
+  }
+  if (options.mix != "hit" && options.mix != "miss" &&
+      options.mix != "mixed") {
+    return Usage("--mix must be hit, miss, or mixed");
+  }
+  if (options.connections < 1 || options.inflight < 1 ||
+      options.pages < 1 || options.duration_s <= 0) {
+    return Usage("--connections/--inflight/--pages/--duration-s must be > 0");
+  }
+  options.threads = std::clamp(options.threads, 1, options.connections);
+
+  // Connect everything up front (blocking, before the clock starts): a
+  // connect storm is a separate benchmark, not this one.
+  std::vector<std::vector<Conn>> shards(
+      static_cast<size_t>(options.threads));
+  int connected = 0;
+  for (int c = 0; c < options.connections; ++c) {
+    int fd = ConnectBlocking(options);
+    if (fd < 0) continue;
+    Conn conn;
+    conn.fd = fd;
+    conn.next_page = static_cast<uint64_t>(c);  // desynchronize rotations
+    shards[static_cast<size_t>(c % options.threads)].push_back(
+        std::move(conn));
+    ++connected;
+  }
+  if (connected == 0) {
+    std::fprintf(stderr, "loadgen: could not connect to %s:%d: %s\n",
+                 options.host.c_str(), options.port, std::strerror(errno));
+    return ExitCodeForStatusCode(StatusCode::kUnavailable);
+  }
+  if (connected < options.connections) {
+    std::fprintf(stderr,
+                 "loadgen: WARNING: only %d of %d connections established\n",
+                 connected, options.connections);
+  }
+
+  uint64_t start = NowMicros();
+  uint64_t measure_from =
+      start + static_cast<uint64_t>(options.warmup_s * 1e6);
+  uint64_t deadline = measure_from +
+                      static_cast<uint64_t>(options.duration_s * 1e6);
+  std::vector<Stats> per_thread(static_cast<size_t>(options.threads));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(options.threads));
+  for (int t = 0; t < options.threads; ++t) {
+    threads.emplace_back([&, t] {
+      RunLoop(options, &shards[static_cast<size_t>(t)], measure_from,
+              deadline, &per_thread[static_cast<size_t>(t)]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  Stats total;
+  for (const Stats& s : per_thread) total.Merge(s);
+  double qps = static_cast<double>(total.requests) / options.duration_s;
+
+  std::printf(
+      "loadgen: %s/%s %d conn x %d in-flight, %.1fs measured "
+      "(+%.1fs warmup)\n"
+      "  requests=%llu qps=%.1f p50=%.3fms p95=%.3fms p99=%.3fms "
+      "errors=%llu transport_errors=%llu\n",
+      options.protocol.c_str(), options.mix.c_str(), connected,
+      options.inflight, options.duration_s, options.warmup_s,
+      static_cast<unsigned long long>(total.requests), qps,
+      total.PercentileMs(0.50), total.PercentileMs(0.95),
+      total.PercentileMs(0.99),
+      static_cast<unsigned long long>(total.errors),
+      static_cast<unsigned long long>(total.transport_errors));
+
+  if (!options.json_path.empty()) {
+    JsonLineWriter w;
+    w.AddString("label", options.label);
+    w.AddString("transport", options.protocol);
+    w.AddString("mix", options.mix);
+    w.AddInt("connections", connected);
+    w.AddInt("inflight", options.inflight);
+    w.AddInt("threads", options.threads);
+    w.AddDouble("duration_s", options.duration_s);
+    w.AddUint("requests", total.requests);
+    w.AddDouble("qps", qps);
+    w.AddDouble("p50_ms", total.PercentileMs(0.50));
+    w.AddDouble("p95_ms", total.PercentileMs(0.95));
+    w.AddDouble("p99_ms", total.PercentileMs(0.99));
+    w.AddUint("errors", total.errors);
+    w.AddUint("transport_errors", total.transport_errors);
+    std::string row = w.Finish();
+    std::FILE* out = std::fopen(options.json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "loadgen: cannot write %s\n",
+                   options.json_path.c_str());
+      return ExitCodeForStatusCode(StatusCode::kIoError);
+    }
+    std::fwrite(row.data(), 1, row.size(), out);
+    std::fclose(out);
+  }
+  // Transport errors fail the run: a benchmark over a broken transport
+  // is not a measurement.
+  return total.transport_errors == 0
+             ? 0
+             : ExitCodeForStatusCode(StatusCode::kIoError);
+}
