@@ -170,8 +170,7 @@ bool WriteJson(const std::string& path, const std::string& label) {
   }
   std::fprintf(f, "{\n  \"bench\": \"fig9_efficiency\",\n");
   std::fprintf(f, "  \"label\": \"%s\",\n", label.c_str());
-  std::fprintf(f, "  \"build_type\": \"%s\",\n",
-               bench::BuiltWithAssertions() ? "debug" : "release");
+  std::fprintf(f, "  \"build_type\": \"%s\",\n", bench::LibraryBuildType());
   std::fprintf(f, "  \"quick\": %s,\n", QuickMode() ? "true" : "false");
   std::fprintf(f, "  \"rows\": [\n");
   for (size_t i = 0; i < g_rows.size(); ++i) {

@@ -178,9 +178,12 @@ void BM_SignatureGeneration(benchmark::State& state) {
   for (auto _ : state) {
     SignatureGenerator sigs(pg, setup.positive[1].predicates, Direction::kGe,
                             1);
+    // Scratch hoisted out of the entity loop, as the production indexing
+    // loops do (BuildPreparedRuleArtifacts, RunDimePlus step 1).
+    SignatureScratch scratch;
     uint64_t total = 0;
     for (size_t e = 0; e < pg.size(); ++e) {
-      total += sigs.PositiveRuleSignatures(static_cast<int>(e)).size();
+      total += sigs.PositiveRuleSignatures(static_cast<int>(e), &scratch).size();
     }
     benchmark::DoNotOptimize(total);
   }
@@ -268,6 +271,11 @@ BENCHMARK(BM_PrepareGroup)->Arg(100)->Arg(400);
 int main(int argc, char** argv) {
   if (!dime::bench::GuardReleaseBuild(&argc, argv)) return 1;
   benchmark::Initialize(&argc, argv);
+  // google-benchmark's built-in context.library_build_type describes the
+  // system benchmark library; this key records how the dime library
+  // itself was built. tools/bench.sh keys its debug-refusal off it.
+  benchmark::AddCustomContext("dime_library_build_type",
+                              dime::bench::LibraryBuildType());
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

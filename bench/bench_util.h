@@ -34,6 +34,14 @@ inline constexpr bool BuiltWithAssertions() {
 #endif
 }
 
+/// Build type of the dime library linked into this binary, as recorded in
+/// benchmark JSON ("release"/"debug"). Distinct from google-benchmark's
+/// own context.library_build_type, which describes the system benchmark
+/// library, not our code.
+inline const char* LibraryBuildType() {
+  return BuiltWithAssertions() ? "debug" : "release";
+}
+
 /// Every benchmark binary calls this first. A non-Release build refuses
 /// to record numbers — a debug timing silently landing in a BENCH_*.json
 /// is worse than no timing — unless the operator explicitly passes

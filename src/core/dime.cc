@@ -134,6 +134,25 @@ DimeResult RunDime(const PreparedGroup& pg,
   // early exits only (the engine is single-threaded, so the delta is ours).
   const uint64_t kernel_exits_before = KernelEarlyExits();
 
+  // Both pair loops evaluate rules through resolved plans: the
+  // per-predicate ceremony (attribute indexing, token-mode selection, the
+  // ontology node-map lookup) runs once per rule here instead of once per
+  // pair, and each check dispatches straight into the flat threshold-aware
+  // kernels. Short-circuit order is unchanged, so the pair-check counters
+  // are identical to the unplanned path.
+  std::vector<RulePlan> positive_plans;
+  positive_plans.reserve(positive.size());
+  for (const PositiveRule& rule : positive) {
+    positive_plans.push_back(
+        BuildRulePlan(pg, rule.predicates, Direction::kGe));
+  }
+  std::vector<RulePlan> negative_plans;
+  negative_plans.reserve(negative.size());
+  for (const NegativeRule& rule : negative) {
+    negative_plans.push_back(
+        BuildRulePlan(pg, rule.predicates, Direction::kLe));
+  }
+
   // Step 1: check every entity pair against the disjunction of positive
   // rules; connected components of the match graph are the partitions.
   // Aborting mid-scan would leave half-merged partitions, so a deadline
@@ -146,9 +165,9 @@ DimeResult RunDime(const PreparedGroup& pg,
                                        std::move(result));
     }
     for (int j = i + 1; j < n; ++j) {
-      for (const PositiveRule& rule : positive) {
+      for (const RulePlan& plan : positive_plans) {
         ++result.stats.positive_pair_checks;
-        if (EvalPositiveRule(pg, rule, i, j)) {
+        if (EvalRulePlan(plan, i, j)) {
           uf.Union(i, j);
           break;
         }
@@ -184,7 +203,7 @@ DimeResult RunDime(const PreparedGroup& pg,
           bool all_dissimilar = true;
           for (int e_star : pivot_entities) {
             ++result.stats.negative_pair_checks;
-            if (!EvalNegativeRule(pg, negative[r], e, e_star)) {
+            if (!EvalRulePlan(negative_plans[r], e, e_star)) {
               all_dissimilar = false;
               break;
             }

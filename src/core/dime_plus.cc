@@ -87,8 +87,9 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
     if (artifacts == nullptr) {
       SignatureGenerator gen(pg, positive[r].predicates, Direction::kGe,
                              /*rule_tag=*/r + 1, options.signatures);
+      SignatureScratch scratch;
       for (int e = 0; e < n; ++e) {
-        owned_indexes[r].Add(e, gen.PositiveRuleSignatures(e));
+        owned_indexes[r].Add(e, gen.PositiveRuleSignatures(e, &scratch));
       }
     }
     candidate_volume += index_for(r).CandidateVolume();
@@ -219,6 +220,7 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
     std::vector<std::unordered_map<uint64_t, std::vector<int>>> pivot_lists(
         negative.size());
     std::vector<bool> rule_ready(negative.size(), false);
+    SignatureScratch sig_scratch;
     auto ensure_rule = [&](size_t r) {
       if (rule_ready[r]) return;
       rule_ready[r] = true;
@@ -235,7 +237,7 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
               artifacts->negative_sigs[r].row(pivot_entities[i]);
         } else {
           pivot_sigs_owned[r][i] =
-              gens[r]->NegativeRuleSignatures(pivot_entities[i]);
+              gens[r]->NegativeRuleSignatures(pivot_entities[i], &sig_scratch);
           pivot_sigs[r][i] = SignatureSpan(pivot_sigs_owned[r][i]);
         }
         for (uint64_t s : pivot_sigs[r][i]) {
@@ -275,7 +277,8 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
           if (artifacts != nullptr) {
             member_sigs[m] = artifacts->negative_sigs[r].row(members[m]);
           } else {
-            member_sigs_owned[m] = gens[r]->NegativeRuleSignatures(members[m]);
+            member_sigs_owned[m] =
+                gens[r]->NegativeRuleSignatures(members[m], &sig_scratch);
             member_sigs[m] = SignatureSpan(member_sigs_owned[m]);
           }
           if (any_shared) continue;

@@ -376,9 +376,16 @@ bool PredicateHolds(const PreparedGroup& pg, const Predicate& pred,
                                           ranks.view(e2), weights, mass[e1],
                                           mass[e2], pred.threshold);
   }
-  if (pred.func == SimFunc::kEditSim && dir == Direction::kGe) {
-    return EditSimilarityAtLeast(attr.text[e1], attr.text[e2],
-                                 pred.threshold);
+  if (pred.func == SimFunc::kEditSim) {
+    // Both directions decide through the banded bit-parallel kernel: the
+    // kGe path bounds the distance from the threshold, the kLe path from
+    // its complement (EditSimilarityAtMost), so neither computes the full
+    // distance matrix.
+    return dir == Direction::kGe
+               ? EditSimilarityAtLeast(attr.text[e1], attr.text[e2],
+                                       pred.threshold)
+               : EditSimilarityAtMost(attr.text[e1], attr.text[e2],
+                                      pred.threshold);
   }
   return pred.Compare(PredicateSimilarity(pg, pred, e1, e2), dir);
 }
@@ -397,6 +404,79 @@ bool EvalNegativeRule(const PreparedGroup& pg, const NegativeRule& rule,
     if (!PredicateHolds(pg, p, Direction::kLe, e1, e2)) return false;
   }
   return true;
+}
+
+RulePlan BuildRulePlan(const PreparedGroup& pg,
+                       const std::vector<Predicate>& predicates,
+                       Direction dir) {
+  RulePlan plan;
+  plan.reserve(predicates.size());
+  for (const Predicate& pred : predicates) {
+    const PreparedAttr& attr = pg.attrs[pred.attr];
+    PredicatePlan p;
+    p.dir = dir;
+    p.func = pred.func;
+    p.threshold = pred.threshold;
+    if (IsSetBased(pred.func)) {
+      p.kind = PredicatePlan::Kind::kSet;
+      p.ranks = pred.mode == TokenMode::kValueList ? &attr.value_ranks
+                                                   : &attr.word_ranks;
+    } else if (IsWeightedSetBased(pred.func)) {
+      const bool values = pred.mode == TokenMode::kValueList;
+      p.kind = PredicatePlan::Kind::kWeighted;
+      p.ranks = values ? &attr.value_ranks : &attr.word_ranks;
+      p.weights = values ? &attr.value_weights : &attr.word_weights;
+      p.mass = (pred.func == SimFunc::kWeightedJaccard
+                    ? (values ? attr.value_mass : attr.word_mass)
+                    : (values ? attr.value_sqnorm : attr.word_sqnorm))
+                   .data();
+    } else if (pred.func == SimFunc::kEditSim) {
+      p.kind = PredicatePlan::Kind::kEditSim;
+      p.text = attr.text.data();
+    } else {
+      DIME_CHECK(pred.func == SimFunc::kOntology);
+      const auto it = attr.nodes.find(pred.ontology_index);
+      DIME_CHECK(it != attr.nodes.end());
+      p.kind = PredicatePlan::Kind::kOntology;
+      p.nodes = it->second.data();
+      p.tree = pg.context.ontologies[pred.ontology_index].tree;
+    }
+    plan.push_back(p);
+  }
+  return plan;
+}
+
+bool PlanPredicateHolds(const PredicatePlan& p, int e1, int e2) {
+  switch (p.kind) {
+    case PredicatePlan::Kind::kSet:
+      return p.dir == Direction::kGe
+                 ? SetSimilarityAtLeast(p.func, p.ranks->view(e1),
+                                        p.ranks->view(e2), p.threshold)
+                 : SetSimilarityAtMost(p.func, p.ranks->view(e1),
+                                       p.ranks->view(e2), p.threshold);
+    case PredicatePlan::Kind::kWeighted:
+      return p.dir == Direction::kGe
+                 ? WeightedSimilarityAtLeast(p.func, p.ranks->view(e1),
+                                             p.ranks->view(e2), *p.weights,
+                                             p.mass[e1], p.mass[e2],
+                                             p.threshold)
+                 : WeightedSimilarityAtMost(p.func, p.ranks->view(e1),
+                                            p.ranks->view(e2), *p.weights,
+                                            p.mass[e1], p.mass[e2],
+                                            p.threshold);
+    case PredicatePlan::Kind::kEditSim:
+      return p.dir == Direction::kGe
+                 ? EditSimilarityAtLeast(p.text[e1], p.text[e2], p.threshold)
+                 : EditSimilarityAtMost(p.text[e1], p.text[e2], p.threshold);
+    case PredicatePlan::Kind::kOntology: {
+      // Same epsilon as Predicate::Compare.
+      constexpr double kEps = 1e-9;
+      const double sim = p.tree->Similarity(p.nodes[e1], p.nodes[e2]);
+      return p.dir == Direction::kGe ? sim >= p.threshold - kEps
+                                     : sim <= p.threshold + kEps;
+    }
+  }
+  return false;  // unreachable: all kinds handled above
 }
 
 double RuleVerificationCost(const PreparedGroup& pg,

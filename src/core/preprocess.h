@@ -257,6 +257,53 @@ bool EvalPositiveRule(const PreparedGroup& pg, const PositiveRule& rule,
 bool EvalNegativeRule(const PreparedGroup& pg, const NegativeRule& rule,
                       int e1, int e2);
 
+/// One predicate resolved against a PreparedGroup: the kernel kind, the
+/// column pointers and the threshold, hoisted out of the O(n^2) pair
+/// loops. PredicateHolds re-derives all of this on every call (attribute
+/// indexing, token-mode selection, an unordered_map lookup for ontology
+/// predicates); a plan does it once per rule per run, and
+/// PlanPredicateHolds decides bit-identically to
+/// PredicateHolds(pg, pred, dir, e1, e2) with a single switch.
+///
+/// A plan borrows storage from the PreparedGroup it was built against and
+/// is invalidated by any mutation of the group (e.g. the incremental
+/// engine appending entities) — build it, run the pair loops, drop it.
+struct PredicatePlan {
+  enum class Kind : uint8_t { kSet, kWeighted, kEditSim, kOntology };
+  Kind kind = Kind::kSet;
+  Direction dir = Direction::kGe;
+  SimFunc func = SimFunc::kOverlap;
+  double threshold = 0.0;
+  const RankColumn* ranks = nullptr;             ///< kSet / kWeighted
+  const std::vector<double>* weights = nullptr;  ///< kWeighted
+  const double* mass = nullptr;                  ///< kWeighted, per entity
+  const std::string* text = nullptr;             ///< kEditSim, per entity
+  const int* nodes = nullptr;                    ///< kOntology, per entity
+  const Ontology* tree = nullptr;                ///< kOntology
+};
+
+/// A rule's predicates resolved in evaluation order (short-circuit order
+/// is preserved, so pair-check counting and kernel early-exit behaviour
+/// match the unplanned path exactly).
+using RulePlan = std::vector<PredicatePlan>;
+
+/// Resolves `predicates` against `pg` for evaluation under `dir`.
+RulePlan BuildRulePlan(const PreparedGroup& pg,
+                       const std::vector<Predicate>& predicates, Direction dir);
+
+/// Threshold-aware check through a resolved plan; decides bit-identically
+/// to PredicateHolds on the predicate the plan was built from.
+bool PlanPredicateHolds(const PredicatePlan& p, int e1, int e2);
+
+/// True iff every predicate of the plan holds (same short-circuit order
+/// as EvalPositiveRule/EvalNegativeRule).
+inline bool EvalRulePlan(const RulePlan& plan, int e1, int e2) {
+  for (const PredicatePlan& p : plan) {
+    if (!PlanPredicateHolds(p, e1, e2)) return false;
+  }
+  return true;
+}
+
 /// Estimated verification cost C(e1, e2) of a rule, per Section IV-C:
 /// O(|a|+|b|) for set functions, O(theta * min) for edit similarity,
 /// O(depth_a + depth_b) for ontology similarity.

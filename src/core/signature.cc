@@ -6,6 +6,7 @@
 #include "src/common/logging.h"
 #include "src/sim/edit_distance.h"
 #include "src/sim/set_similarity.h"
+#include "src/sim/sig_hash.h"
 #include "src/sim/weighted_similarity.h"
 
 namespace dime {
@@ -18,17 +19,10 @@ constexpr uint64_t kUniversalPayload = 0xFFFFFFFFFFFFFFFFULL;
 /// each other through the index.
 constexpr uint64_t kEmptySetPayload = 0xFFFFFFFFFFFFFFFEULL;
 
-uint64_t SplitMix64(uint64_t z) {
-  z += 0x9e3779b97f4a7c15ULL;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
 }  // namespace
 
 uint64_t MixSignature(uint64_t a, uint64_t b) {
-  return SplitMix64(a * 0x9e3779b97f4a7c15ULL + SplitMix64(b));
+  return SplitMix64(a * kGoldenGamma + SplitMix64(b));
 }
 
 SignatureGenerator::SignatureGenerator(const PreparedGroup& pg,
@@ -88,12 +82,15 @@ SignatureGenerator::SignatureGenerator(const PreparedGroup& pg,
   }
 
   // Average signature counts drive the tuple-vs-anchor decision for
-  // positive rules.
+  // positive rules. Counts come from the CSR sizes alone
+  // (PredicateSignatureCount) — the old throwaway PredicateSignatures
+  // pass hashed and allocated every entity's signatures once just to
+  // .size() them, doubling generation cost.
   avg_sig_count_.assign(predicates.size(), 0.0);
   for (size_t i = 0; i < predicates.size(); ++i) {
     size_t total = 0;
     for (size_t e = 0; e < n; ++e) {
-      total += PredicateSignatures(i, static_cast<int>(e)).size();
+      total += PredicateSignatureCount(i, static_cast<int>(e));
     }
     avg_sig_count_[i] =
         n == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(n);
@@ -110,12 +107,78 @@ SignatureGenerator::SignatureGenerator(const PreparedGroup& pg,
   }
 }
 
+size_t SignatureGenerator::PredicateSignatureCount(size_t pred_idx,
+                                                   int entity) const {
+  // Mirrors PredicateSignatures branch for branch, returning the size the
+  // materialized vector would have without hashing or allocating — every
+  // count is a prefix length readable off the CSR arena. The constructor
+  // averages these, so any drift from the real sizes would change the
+  // tuple-vs-anchor decision; signature_test pins the equivalence.
+  const Predicate& p = predicates_[pred_idx];
+  const PreparedAttr& attr = pg_.attrs[p.attr];
+
+  if (IsSetBased(p.func)) {
+    const size_t size = p.mode == TokenMode::kValueList
+                            ? attr.value_ranks.size(entity)
+                            : attr.word_ranks.size(entity);
+    double theta;
+    if (p.func == SimFunc::kOverlap) {
+      theta = dir_ == Direction::kGe
+                  ? p.threshold
+                  : std::floor(p.threshold + 1e-9) + 1.0;
+      if (theta < 1.0) return 1;  // universal
+    } else {
+      theta = dir_ == Direction::kGe ? p.threshold : p.threshold + 1e-9;
+      if (theta <= 0.0) return 1;  // universal
+      if (theta > 1.0) return 0;   // unsatisfiable
+      if (size == 0) return 1;     // empty-set marker
+    }
+    return SetPrefixLength(p.func, size, theta);
+  }
+
+  if (IsWeightedSetBased(p.func)) {
+    const bool values = p.mode == TokenMode::kValueList;
+    const RankSpan ranks =
+        values ? attr.value_ranks.view(entity) : attr.word_ranks.view(entity);
+    double theta = dir_ == Direction::kGe ? p.threshold : p.threshold + 1e-9;
+    if (theta <= 0.0) return 1;
+    if (theta > 1.0) return 0;
+    if (ranks.empty()) return 1;
+    const auto& weights = values ? attr.value_weights : attr.word_weights;
+    return WeightedPrefixLength(p.func, ranks, weights, theta);
+  }
+
+  if (p.func == SimFunc::kEditSim) {
+    if (editsim_universal_[pred_idx]) return 1;
+    double tau = dir_ == Direction::kGe ? p.threshold : p.threshold + 1e-9;
+    if (tau > 1.0) return 0;
+    size_t d = MaxEditDistanceForSim(attr.text[entity].size(), tau);
+    return static_cast<size_t>(pg_.context.qgram_q) * d + 1;
+  }
+
+  DIME_CHECK(p.func == SimFunc::kOntology);
+  double theta = dir_ == Direction::kGe ? p.threshold : p.threshold + 1e-9;
+  if (theta <= 0.0) return 1;
+  if (theta > 1.0) return 0;
+  auto it = attr.nodes.find(p.ontology_index);
+  DIME_CHECK(it != attr.nodes.end());
+  return it->second[entity] == kNoNode ? 0 : 1;
+}
+
 std::vector<uint64_t> SignatureGenerator::PredicateSignatures(
     size_t pred_idx, int entity) const {
+  std::vector<uint64_t> sigs;
+  PredicateSignatures(pred_idx, entity, &sigs);
+  return sigs;
+}
+
+void SignatureGenerator::PredicateSignatures(
+    size_t pred_idx, int entity, std::vector<uint64_t>* out) const {
   const Predicate& p = predicates_[pred_idx];
   const PreparedAttr& attr = pg_.attrs[p.attr];
   const uint64_t tag = MixSignature(rule_tag_, pred_idx + 1);
-  std::vector<uint64_t> sigs;
+  std::vector<uint64_t>& sigs = *out;
+  sigs.clear();
 
   if (IsSetBased(p.func)) {
     const RankSpan ranks = p.mode == TokenMode::kValueList
@@ -128,27 +191,25 @@ std::vector<uint64_t> SignatureGenerator::PredicateSignatures(
                   : std::floor(p.threshold + 1e-9) + 1.0;
       if (theta < 1.0) {  // any pair qualifies: filtering impossible
         sigs.push_back(MixSignature(tag, kUniversalPayload));
-        return sigs;
+        return;
       }
     } else {
       theta = dir_ == Direction::kGe ? p.threshold : p.threshold + 1e-9;
       if (theta <= 0.0) {
         sigs.push_back(MixSignature(tag, kUniversalPayload));
-        return sigs;
+        return;
       }
-      if (theta > 1.0) return sigs;  // unsatisfiable: no partner possible
+      if (theta > 1.0) return;  // unsatisfiable: no partner possible
       if (ranks.empty()) {
         // Two empty sets have normalized similarity 1: they must meet.
         sigs.push_back(MixSignature(tag, kEmptySetPayload));
-        return sigs;
+        return;
       }
     }
     size_t prefix = SetPrefixLength(p.func, ranks.size(), theta);
-    sigs.reserve(prefix);
-    for (size_t i = 0; i < prefix; ++i) {
-      sigs.push_back(MixSignature(tag, ranks[i]));
-    }
-    return sigs;
+    sigs.resize(prefix);
+    MixHashBatch32(tag, ranks.data(), prefix, sigs.data());
+    return;
   }
 
   if (IsWeightedSetBased(p.func)) {
@@ -159,73 +220,83 @@ std::vector<uint64_t> SignatureGenerator::PredicateSignatures(
     double theta = dir_ == Direction::kGe ? p.threshold : p.threshold + 1e-9;
     if (theta <= 0.0) {
       sigs.push_back(MixSignature(tag, kUniversalPayload));
-      return sigs;
+      return;
     }
-    if (theta > 1.0) return sigs;
+    if (theta > 1.0) return;
     if (ranks.empty()) {
       sigs.push_back(MixSignature(tag, kEmptySetPayload));
-      return sigs;
+      return;
     }
     size_t prefix = WeightedPrefixLength(p.func, ranks, weights, theta);
-    sigs.reserve(prefix);
-    for (size_t i = 0; i < prefix; ++i) {
-      sigs.push_back(MixSignature(tag, ranks[i]));
-    }
-    return sigs;
+    sigs.resize(prefix);
+    MixHashBatch32(tag, ranks.data(), prefix, sigs.data());
+    return;
   }
 
   if (p.func == SimFunc::kEditSim) {
     if (editsim_universal_[pred_idx]) {
       sigs.push_back(MixSignature(tag, kUniversalPayload));
-      return sigs;
+      return;
     }
     double tau = dir_ == Direction::kGe ? p.threshold : p.threshold + 1e-9;
-    if (tau > 1.0) return sigs;  // unsatisfiable with any partner
+    if (tau > 1.0) return;  // unsatisfiable with any partner
     const RankSpan grams = attr.qgram_ranks.view(entity);
     size_t d = MaxEditDistanceForSim(attr.text[entity].size(), tau);
     size_t prefix = static_cast<size_t>(pg_.context.qgram_q) * d + 1;
     DIME_CHECK_LE(prefix, grams.size());  // else editsim_universal_ is set
-    sigs.reserve(prefix);
-    for (size_t i = 0; i < prefix; ++i) {
-      sigs.push_back(MixSignature(tag, grams[i]));
-    }
-    return sigs;
+    sigs.resize(prefix);
+    MixHashBatch32(tag, grams.data(), prefix, sigs.data());
+    return;
   }
 
   DIME_CHECK(p.func == SimFunc::kOntology);
   double theta = dir_ == Direction::kGe ? p.threshold : p.threshold + 1e-9;
   if (theta <= 0.0) {
     sigs.push_back(MixSignature(tag, kUniversalPayload));
-    return sigs;
+    return;
   }
-  if (theta > 1.0) return sigs;
+  if (theta > 1.0) return;
   auto it = attr.nodes.find(p.ontology_index);
   DIME_CHECK(it != attr.nodes.end());
   int node = it->second[entity];
-  if (node == kNoNode) return sigs;  // similarity 0 with everyone
+  if (node == kNoNode) return;  // similarity 0 with everyone
   const Ontology& tree = *pg_.context.ontologies[p.ontology_index].tree;
   int tau = ontology_tau_min_[pred_idx];
   int anc = tau <= tree.Depth(node) ? tree.AncestorAtDepth(node, tau) : node;
   sigs.push_back(MixSignature(tag, static_cast<uint64_t>(anc)));
-  return sigs;
 }
 
 std::vector<uint64_t> SignatureGenerator::PositiveRuleSignatures(
     int entity) const {
+  SignatureScratch scratch;
+  return PositiveRuleSignatures(entity, &scratch);  // copies out of scratch
+}
+
+const std::vector<uint64_t>& SignatureGenerator::PositiveRuleSignatures(
+    int entity, SignatureScratch* scratch) const {
   DIME_CHECK(dir_ == Direction::kGe);
+  std::vector<uint64_t>& combined = scratch->combined;
   if (anchor_only_) {
-    return PredicateSignatures(anchor_, entity);
+    PredicateSignatures(anchor_, entity, &combined);
+    return combined;
   }
-  std::vector<uint64_t> combined{rule_tag_};
+  combined.clear();
+  combined.push_back(rule_tag_);
   for (size_t i = 0; i < predicates_.size(); ++i) {
-    std::vector<uint64_t> sigs = PredicateSignatures(i, entity);
-    if (sigs.empty()) return {};  // cannot satisfy predicate i with anyone
-    std::vector<uint64_t> next;
-    next.reserve(combined.size() * sigs.size());
-    for (uint64_t c : combined) {
-      for (uint64_t s : sigs) next.push_back(MixSignature(c, s));
+    PredicateSignatures(i, entity, &scratch->sigs);
+    const std::vector<uint64_t>& sigs = scratch->sigs;
+    if (sigs.empty()) {  // cannot satisfy predicate i with anyone
+      combined.clear();
+      return combined;
     }
-    combined = std::move(next);
+    std::vector<uint64_t>& next = scratch->next;
+    next.resize(combined.size() * sigs.size());
+    uint64_t* out = next.data();
+    for (uint64_t c : combined) {
+      MixHashBatch64(c, sigs.data(), sigs.size(), out);
+      out += sigs.size();
+    }
+    combined.swap(next);
   }
   std::sort(combined.begin(), combined.end());
   combined.erase(std::unique(combined.begin(), combined.end()),
@@ -235,11 +306,18 @@ std::vector<uint64_t> SignatureGenerator::PositiveRuleSignatures(
 
 std::vector<uint64_t> SignatureGenerator::NegativeRuleSignatures(
     int entity) const {
+  SignatureScratch scratch;
+  return NegativeRuleSignatures(entity, &scratch);  // copies out of scratch
+}
+
+const std::vector<uint64_t>& SignatureGenerator::NegativeRuleSignatures(
+    int entity, SignatureScratch* scratch) const {
   DIME_CHECK(dir_ == Direction::kLe);
-  std::vector<uint64_t> all;
+  std::vector<uint64_t>& all = scratch->combined;
+  all.clear();
   for (size_t i = 0; i < predicates_.size(); ++i) {
-    std::vector<uint64_t> sigs = PredicateSignatures(i, entity);
-    all.insert(all.end(), sigs.begin(), sigs.end());
+    PredicateSignatures(i, entity, &scratch->sigs);
+    all.insert(all.end(), scratch->sigs.begin(), scratch->sigs.end());
   }
   std::sort(all.begin(), all.end());
   all.erase(std::unique(all.begin(), all.end()), all.end());
@@ -256,13 +334,14 @@ std::shared_ptr<const PreparedRuleArtifacts> BuildPreparedRuleArtifacts(
   // Same generators, tags and insertion order as RunDimePlus steps 1 and
   // 3 — a run over these artifacts must be indistinguishable from a run
   // that generated on demand.
+  SignatureScratch scratch;
   artifacts->positive_indexes.resize(positive.size());
   for (size_t r = 0; r < positive.size(); ++r) {
     SignatureGenerator gen(pg, positive[r].predicates, Direction::kGe,
                            /*rule_tag=*/r + 1, options);
     InvertedIndex& index = artifacts->positive_indexes[r];
     for (int e = 0; e < n; ++e) {
-      index.Add(e, gen.PositiveRuleSignatures(e));
+      index.Add(e, gen.PositiveRuleSignatures(e, &scratch));
     }
     index.FrozenData();  // freeze now: the offline step pays the sort
   }
@@ -272,7 +351,7 @@ std::shared_ptr<const PreparedRuleArtifacts> BuildPreparedRuleArtifacts(
                            /*rule_tag=*/0x1000 + r, options);
     SignatureColumn& column = artifacts->negative_sigs[r];
     for (int e = 0; e < n; ++e) {
-      column.Append(gen.NegativeRuleSignatures(e));
+      column.Append(gen.NegativeRuleSignatures(e, &scratch));
     }
   }
   return artifacts;

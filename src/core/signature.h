@@ -43,6 +43,16 @@ struct SignatureOptions {
   size_t max_tuple_signatures = 64;
 };
 
+/// Reusable buffers for the scratch overloads of SignatureGenerator:
+/// hoist one instance out of a per-entity loop and the generator stops
+/// touching the allocator in the hot path (the batched hash kernels then
+/// dominate instead of malloc). Not thread-safe: one scratch per thread.
+struct SignatureScratch {
+  std::vector<uint64_t> sigs;      ///< one predicate's signatures
+  std::vector<uint64_t> combined;  ///< accumulator; results are returned here
+  std::vector<uint64_t> next;      ///< tuple cross-product target
+};
+
 /// Generates signatures for one rule (its predicate list + direction) over
 /// a prepared group.
 class SignatureGenerator {
@@ -57,22 +67,42 @@ class SignatureGenerator {
   /// threshold with any partner.
   std::vector<uint64_t> PredicateSignatures(size_t pred_idx, int entity) const;
 
+  /// As above, written into `*out` (cleared first) so a caller-held buffer
+  /// is reused across entities.
+  void PredicateSignatures(size_t pred_idx, int entity,
+                           std::vector<uint64_t>* out) const;
+
   /// Signatures of `entity` for a positive rule: the (capped)
   /// cross-product combination across predicates. Two entities satisfying
   /// the rule must share one. Empty when some predicate is unsatisfiable
   /// for this entity.
   std::vector<uint64_t> PositiveRuleSignatures(int entity) const;
 
+  /// Allocation-free variant: the result lives in `scratch->combined` and
+  /// the returned reference is valid until the next call with the same
+  /// scratch. Identical contents to the by-value overload.
+  const std::vector<uint64_t>& PositiveRuleSignatures(
+      int entity, SignatureScratch* scratch) const;
+
   /// Signatures of `entity` for a negative rule: the tagged union across
   /// predicates. If the signature sets of two entities are disjoint, the
   /// pair satisfies the rule.
   std::vector<uint64_t> NegativeRuleSignatures(int entity) const;
+
+  /// Allocation-free variant, same contract as the positive one.
+  const std::vector<uint64_t>& NegativeRuleSignatures(
+      int entity, SignatureScratch* scratch) const;
 
   /// True if the positive generator fell back to anchor-only indexing.
   bool anchor_only() const { return anchor_only_; }
   size_t anchor_predicate() const { return anchor_; }
 
  private:
+  /// The size PredicateSignatures(pred_idx, entity) would return, read
+  /// off the CSR arena sizes without hashing or allocating. Used by the
+  /// constructor's average-count pass (the tuple-vs-anchor decision).
+  size_t PredicateSignatureCount(size_t pred_idx, int entity) const;
+
   const PreparedGroup& pg_;
   const std::vector<Predicate>& predicates_;
   Direction dir_;

@@ -3,8 +3,29 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/sim/rank_span.h"
+#include "src/sim/set_similarity.h"
 
 namespace dime {
+namespace {
+
+// Borrowed rank-span view over one frozen list. Entity ids are checked
+// non-negative on Add, so the int run reinterprets losslessly as the
+// uint32 ranks the sim kernels take.
+RankSpan ListSpan(const int* ents, const uint64_t* starts, size_t l) {
+  const int* begin = ents + starts[l];
+  const size_t len = static_cast<size_t>(starts[l + 1] - starts[l]);
+#ifndef NDEBUG
+  for (size_t i = 1; i < len; ++i) {
+    DIME_CHECK_LT(begin[i - 1], begin[i])
+        << "ListOverlap on a non-ascending list (entities must be Add()ed "
+        << "in ascending id order)";
+  }
+#endif
+  return RankSpan(reinterpret_cast<const uint32_t*>(begin), len);
+}
+
+}  // namespace
 
 void InvertedIndex::Add(int entity, const std::vector<uint64_t>& sigs) {
   DIME_CHECK(!frozen_) << "InvertedIndex::Add after first query";
@@ -168,6 +189,27 @@ size_t InvertedIndex::CandidateVolume() const {
     volume += len * (len - 1) / 2;
   }
   return volume;
+}
+
+size_t InvertedIndex::ListOverlap(size_t l1, size_t l2) const {
+  EnsureFrozen();
+  DIME_CHECK_LT(l1, frozen_num_lists());
+  DIME_CHECK_LT(l2, frozen_num_lists());
+  const uint64_t* starts = frozen_starts();
+  const int* ents = frozen_entities();
+  return IntersectionSize(ListSpan(ents, starts, l1),
+                          ListSpan(ents, starts, l2));
+}
+
+bool InvertedIndex::ListsShareAtLeast(size_t l1, size_t l2,
+                                      size_t required) const {
+  EnsureFrozen();
+  DIME_CHECK_LT(l1, frozen_num_lists());
+  DIME_CHECK_LT(l2, frozen_num_lists());
+  const uint64_t* starts = frozen_starts();
+  const int* ents = frozen_entities();
+  return IntersectionAtLeast(ListSpan(ents, starts, l1),
+                             ListSpan(ents, starts, l2), required);
 }
 
 size_t InvertedIndex::SignatureCount(int entity) const {

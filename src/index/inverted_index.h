@@ -67,6 +67,20 @@ class InvertedIndex {
   /// Total candidate-pair instances (sum over lists of |list| choose 2).
   size_t CandidateVolume() const;
 
+  /// Intersection size of frozen lists `l1` and `l2` (indexes into the
+  /// run table, < num_lists()), computed with the sim layer's dispatching
+  /// set kernel (AVX2 block intersection on dense lists, scalar merge
+  /// otherwise). Lists must be strictly ascending, which holds whenever
+  /// entities were Add()ed in ascending id order — the PrepareGroup /
+  /// artifact build order (checked in debug builds).
+  size_t ListOverlap(size_t l1, size_t l2) const;
+
+  /// Threshold-aware twin: true iff lists `l1` and `l2` share at least
+  /// `required` entities, early-exiting through IntersectionAtLeast
+  /// (cannot-reach / cannot-miss, galloping on skewed lengths). Decision
+  /// is identical to `ListOverlap(l1, l2) >= required`.
+  bool ListsShareAtLeast(size_t l1, size_t l2, size_t required) const;
+
   /// Signature count of an entity previously Add()ed (0 otherwise).
   size_t SignatureCount(int entity) const;
 

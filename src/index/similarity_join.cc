@@ -98,12 +98,15 @@ std::vector<JoinPair> SetSimilaritySelfJoin(
     local.candidates += candidates.size();
     for (int s : candidates) {
       ++local.verifications;
+      // Decide first through the threshold-aware kernel — rejected
+      // candidates early-exit (cannot-reach, galloping) without a full
+      // merge; only accepted pairs pay for the exact value the result
+      // carries. Same epsilon (kSimCompareEps), so the accepted set is
+      // exactly the `sim >= threshold - 1e-9` set this replaced.
+      if (!SetSimilarityAtLeast(func, records[s], rec, threshold)) continue;
       double sim = SetSimilarity(func, records[s], rec);
-      if (sim >= threshold - 1e-9) {
-        results.push_back(
-            JoinPair{std::min(r, s), std::max(r, s), sim});
-        ++local.results;
-      }
+      results.push_back(JoinPair{std::min(r, s), std::max(r, s), sim});
+      ++local.results;
     }
     for (size_t i = 0; i < prefix; ++i) {
       prefix_index[rec[i]].push_back(r);

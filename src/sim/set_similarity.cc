@@ -4,6 +4,12 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/sim/simd_dispatch.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define DIME_SIM_HAVE_AVX2 1
+#include <immintrin.h>
+#endif
 
 namespace dime {
 namespace {
@@ -15,6 +21,11 @@ thread_local uint64_t tls_kernel_early_exits = 0;
 // the longer side. 8 is the usual crossover for intersection joins: below
 // it the branchy search costs more than it saves.
 constexpr size_t kGallopFactor = 8;
+
+// Below this many elements on the shorter side the AVX2 block kernel is
+// not worth its setup (loads, lane rotations, the dispatch load itself);
+// the scalar merge wins on the short sets that dominate rule predicates.
+constexpr size_t kSimdMinLen = 16;
 
 // First position in [first, last) with *pos >= value, found by doubling
 // probes from `first` and a binary search over the final bracket. O(log d)
@@ -31,19 +42,8 @@ const uint32_t* Gallop(const uint32_t* first, const uint32_t* last,
   return std::lower_bound(first, probe, value);
 }
 
-}  // namespace
-
-namespace internal {
-void BumpKernelEarlyExit() { ++tls_kernel_early_exits; }
-}  // namespace internal
-
-uint64_t KernelEarlyExits() { return tls_kernel_early_exits; }
-
-size_t IntersectionSize(RankSpan a, RankSpan b) {
-  const uint32_t* pa = a.begin();
-  const uint32_t* ea = a.end();
-  const uint32_t* pb = b.begin();
-  const uint32_t* eb = b.end();
+size_t MergeCount(const uint32_t* pa, const uint32_t* ea, const uint32_t* pb,
+                  const uint32_t* eb) {
   size_t count = 0;
   while (pa < ea && pb < eb) {
     if (*pa == *pb) {
@@ -59,19 +59,12 @@ size_t IntersectionSize(RankSpan a, RankSpan b) {
   return count;
 }
 
-bool IntersectionAtLeast(RankSpan a, RankSpan b, size_t required) {
-  if (required == 0) return true;
-  if (a.len > b.len) std::swap(a, b);
-  if (required > a.len) {
-    internal::BumpKernelEarlyExit();
-    return false;
-  }
-  const uint32_t* pa = a.begin();
-  const uint32_t* ea = a.end();
-  const uint32_t* pb = b.begin();
-  const uint32_t* eb = b.end();
-  const bool gallop = b.len >= kGallopFactor * a.len;
-  size_t count = 0;
+// The scalar threshold-aware merge, resumable from a partially consumed
+// state (`count` matches already seen) so the SIMD kernel can hand its
+// sub-block tail here. `gallop` only makes sense from an unconsumed start.
+bool AtLeastMergeScalar(const uint32_t* pa, const uint32_t* ea,
+                        const uint32_t* pb, const uint32_t* eb, size_t count,
+                        size_t required, bool gallop) {
   while (pa < ea && pb < eb) {
     // Cannot-reach: even matching every remaining element of the smaller
     // side leaves the count short of `required`.
@@ -108,6 +101,146 @@ bool IntersectionAtLeast(RankSpan a, RankSpan b, size_t required) {
   return count >= required;
 }
 
+#ifdef DIME_SIM_HAVE_AVX2
+
+// All-pairs compare of one 8-lane block of `a` against one 8-lane block of
+// `b`: the b block is rotated through all 8 lane alignments and each
+// alignment compared for equality, so the OR of the masks has one set lane
+// per a element present anywhere in the b block. Inputs are strictly
+// ascending (sets), so an a lane matches at most one b lane and the
+// popcount of the movemask is exactly the number of common elements
+// between the two blocks.
+__attribute__((target("avx2"))) inline int BlockMatches8(const uint32_t* pa,
+                                                         const uint32_t* pb) {
+  const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pa));
+  __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pb));
+  const __m256i rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+  __m256i eq = _mm256_cmpeq_epi32(va, vb);
+  for (int r = 1; r < 8; ++r) {
+    vb = _mm256_permutevar8x32_epi32(vb, rot1);
+    eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(va, vb));
+  }
+  return __builtin_popcount(
+      static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(eq))));
+}
+
+// Block-at-a-time sorted intersection (Schlegel-style): compare the two
+// current 8-element blocks all-pairs, then retire whichever block's max is
+// smaller (both on a tie). Every common value is counted exactly once:
+// the two blocks containing it are simultaneously current right before
+// the first of them retires, and no block pair is compared twice because
+// each step retires at least one block.
+__attribute__((target("avx2"))) size_t IntersectionSizeAvx2Impl(
+    const uint32_t* pa, const uint32_t* ea, const uint32_t* pb,
+    const uint32_t* eb) {
+  size_t count = 0;
+  while (ea - pa >= 8 && eb - pb >= 8) {
+    count += static_cast<size_t>(BlockMatches8(pa, pb));
+    const uint32_t amax = pa[7];
+    const uint32_t bmax = pb[7];
+    if (amax <= bmax) pa += 8;
+    if (bmax <= amax) pb += 8;
+  }
+  return count + MergeCount(pa, ea, pb, eb);
+}
+
+// Threshold-aware twin: same block walk with the cannot-reach /
+// cannot-miss exits applied at block granularity. The decision is the
+// one the scalar merge makes — the count only ever grows, so checking it
+// every 8 elements instead of every element cannot flip a verdict, it
+// just consumes at most one extra block before exiting.
+__attribute__((target("avx2"))) bool IntersectionAtLeastAvx2Impl(
+    const uint32_t* pa, const uint32_t* ea, const uint32_t* pb,
+    const uint32_t* eb, size_t required) {
+  size_t count = 0;
+  while (ea - pa >= 8 && eb - pb >= 8) {
+    const size_t rem = std::min(static_cast<size_t>(ea - pa),
+                                static_cast<size_t>(eb - pb));
+    if (count + rem < required) {
+      internal::BumpKernelEarlyExit();
+      return false;
+    }
+    count += static_cast<size_t>(BlockMatches8(pa, pb));
+    const uint32_t amax = pa[7];
+    const uint32_t bmax = pb[7];
+    if (amax <= bmax) pa += 8;
+    if (bmax <= amax) pb += 8;
+    if (count >= required) {
+      if (pa < ea && pb < eb) internal::BumpKernelEarlyExit();
+      return true;
+    }
+  }
+  return AtLeastMergeScalar(pa, ea, pb, eb, count, required,
+                            /*gallop=*/false);
+}
+
+#endif  // DIME_SIM_HAVE_AVX2
+
+inline bool UseAvx2(size_t shorter_len) {
+#ifdef DIME_SIM_HAVE_AVX2
+  return shorter_len >= kSimdMinLen &&
+         ActiveSimdLevel() == SimdLevel::kAvx2;
+#else
+  (void)shorter_len;
+  return false;
+#endif
+}
+
+}  // namespace
+
+namespace internal {
+
+void BumpKernelEarlyExit() { ++tls_kernel_early_exits; }
+
+size_t IntersectionSizeScalar(RankSpan a, RankSpan b) {
+  return MergeCount(a.begin(), a.end(), b.begin(), b.end());
+}
+
+bool IntersectionAtLeastScalar(RankSpan a, RankSpan b, size_t required) {
+  if (required == 0) return true;
+  if (a.len > b.len) std::swap(a, b);
+  if (required > a.len) {
+    internal::BumpKernelEarlyExit();
+    return false;
+  }
+  return AtLeastMergeScalar(a.begin(), a.end(), b.begin(), b.end(), 0,
+                            required, b.len >= kGallopFactor * a.len);
+}
+
+}  // namespace internal
+
+uint64_t KernelEarlyExits() { return tls_kernel_early_exits; }
+
+size_t IntersectionSize(RankSpan a, RankSpan b) {
+#ifdef DIME_SIM_HAVE_AVX2
+  if (UseAvx2(std::min(a.len, b.len))) {
+    return IntersectionSizeAvx2Impl(a.begin(), a.end(), b.begin(), b.end());
+  }
+#endif
+  return MergeCount(a.begin(), a.end(), b.begin(), b.end());
+}
+
+bool IntersectionAtLeast(RankSpan a, RankSpan b, size_t required) {
+  if (required == 0) return true;
+  if (a.len > b.len) std::swap(a, b);
+  if (required > a.len) {
+    internal::BumpKernelEarlyExit();
+    return false;
+  }
+  const bool gallop = b.len >= kGallopFactor * a.len;
+#ifdef DIME_SIM_HAVE_AVX2
+  // The dense (size-balanced) case goes to the block kernel; skewed sizes
+  // keep the galloping merge, which touches O(|a| log |b|) elements and
+  // beats any full-width scan.
+  if (!gallop && UseAvx2(a.len)) {
+    return IntersectionAtLeastAvx2Impl(a.begin(), a.end(), b.begin(), b.end(),
+                                       required);
+  }
+#endif
+  return AtLeastMergeScalar(a.begin(), a.end(), b.begin(), b.end(), 0,
+                            required, gallop);
+}
+
 double SetSimilarityFromOverlap(SimFunc func, size_t overlap, size_t size_a,
                                 size_t size_b) {
   // Each case repeats the floating-point expression of the matching exact
@@ -137,26 +270,81 @@ double SetSimilarityFromOverlap(SimFunc func, size_t overlap, size_t size_a,
   }
 }
 
+namespace {
+
+// Closed-form estimate of the smallest overlap reaching `theta` — the
+// algebraic inversion of each similarity formula, intentionally without
+// any epsilon gymnastics. It lands within one of the true answer; the
+// callers below then nudge it with the exact floating-point predicate, so
+// the result is decided by the same expression the exact kernels evaluate
+// (bit-identical) while the per-pair log(n) binary search — one FP divide
+// or sqrt per probe, hot inside the O(n^2) DIME pair loop — is gone.
+double OverlapGuess(SimFunc func, size_t size_a, size_t size_b,
+                    double theta) {
+  switch (func) {
+    case SimFunc::kOverlap:
+      return theta;
+    case SimFunc::kJaccard:
+      // o / (a + b - o) >= t  <=>  o >= t (a + b) / (1 + t)
+      return theta * static_cast<double>(size_a + size_b) / (1.0 + theta);
+    case SimFunc::kDice:
+      // 2o / (a + b) >= t  <=>  o >= t (a + b) / 2
+      return theta * static_cast<double>(size_a + size_b) / 2.0;
+    case SimFunc::kCosine:
+      // o / sqrt(ab) >= t  <=>  o >= t sqrt(ab)
+      return theta * std::sqrt(static_cast<double>(size_a) *
+                               static_cast<double>(size_b));
+    default:
+      DIME_LOG(FATAL) << "OverlapGuess called with non-set function "
+                      << SimFuncName(func);
+      return 0.0;
+  }
+}
+
+// Clamps a (possibly negative / NaN-free) guess into [0, max_o + 1].
+size_t ClampGuess(double guess, size_t max_o) {
+  if (!(guess > 0.0)) return 0;
+  if (guess >= static_cast<double>(max_o + 1)) return max_o + 1;
+  return static_cast<size_t>(guess);
+}
+
+}  // namespace
+
 size_t MinOverlapForAtLeast(SimFunc func, size_t size_a, size_t size_b,
                             double theta) {
   // sim(o) is nondecreasing in o for every set function at fixed sizes, so
-  // the satisfying overlaps form a suffix of [0, min]; binary-search its
-  // start with the exact comparison Predicate::Compare would apply.
+  // the satisfying overlaps form a suffix of [0, max_o]; start from the
+  // closed-form estimate and walk (at most a step or two) to the exact
+  // boundary of the comparison Predicate::Compare would apply.
   const size_t max_o = std::min(size_a, size_b);
-  size_t lo = 0, hi = max_o + 1;  // max_o + 1 == unsatisfiable
-  while (lo < hi) {
-    size_t mid = lo + (hi - lo) / 2;
-    if (SetSimilarityFromOverlap(func, mid, size_a, size_b) >=
-        theta - kSimCompareEps) {
-      hi = mid;
-    } else {
-      lo = mid + 1;
-    }
-  }
-  return lo;
+  const auto holds = [&](size_t o) {
+    return SetSimilarityFromOverlap(func, o, size_a, size_b) >=
+           theta - kSimCompareEps;
+  };
+  size_t o = ClampGuess(OverlapGuess(func, size_a, size_b, theta), max_o);
+  while (o > 0 && holds(o - 1)) --o;
+  while (o <= max_o && !holds(o)) ++o;
+  return o;  // max_o + 1 == unsatisfiable
 }
 
 bool SetSimilarityAtLeast(SimFunc func, RankSpan a, RankSpan b, double theta) {
+  if (func == SimFunc::kOverlap) {
+    // The dominant predicate of the O(n^2) DIME pair loop; its required
+    // overlap is size-independent, so skip the generic derivation. The
+    // smallest integer o with (double)o >= theta - eps is exactly
+    // ceil(theta - eps) — the very comparison holds_at applies — so the
+    // decision is unchanged.
+    const double t = std::ceil(theta - kSimCompareEps);
+    if (t > static_cast<double>(std::min(a.len, b.len))) {
+      internal::BumpKernelEarlyExit();  // decided from sizes alone
+      return false;
+    }
+    if (t <= 0.0) {
+      internal::BumpKernelEarlyExit();
+      return true;
+    }
+    return IntersectionAtLeast(a, b, static_cast<size_t>(t));
+  }
   const size_t required = MinOverlapForAtLeast(func, a.len, b.len, theta);
   if (required > std::min(a.len, b.len)) {
     internal::BumpKernelEarlyExit();  // decided from sizes alone
@@ -170,19 +358,34 @@ bool SetSimilarityAtLeast(SimFunc func, RankSpan a, RankSpan b, double theta) {
 }
 
 bool SetSimilarityAtMost(SimFunc func, RankSpan a, RankSpan b, double sigma) {
-  // Smallest overlap that violates `sim <= sigma + eps`; the check holds
-  // iff the actual overlap stays below it.
-  const size_t max_o = std::min(a.len, b.len);
-  size_t lo = 0, hi = max_o + 1;
-  while (lo < hi) {
-    size_t mid = lo + (hi - lo) / 2;
-    if (SetSimilarityFromOverlap(func, mid, a.len, b.len) >
-        sigma + kSimCompareEps) {
-      hi = mid;
-    } else {
-      lo = mid + 1;
+  if (func == SimFunc::kOverlap) {
+    // Negative-rule twin of the fast path above: the smallest integer o
+    // with (double)o > sigma + eps is floor(sigma + eps) + 1 (0 when the
+    // bound is negative) — derived with the same FP sum the violation
+    // predicate evaluates, so the decision is unchanged.
+    const double bound = sigma + kSimCompareEps;
+    if (bound < 0.0) {
+      internal::BumpKernelEarlyExit();  // even o = 0 violates
+      return false;
     }
+    const double lo = std::floor(bound) + 1.0;
+    if (lo > static_cast<double>(std::min(a.len, b.len))) {
+      internal::BumpKernelEarlyExit();  // no overlap can violate
+      return true;
+    }
+    return !IntersectionAtLeast(a, b, static_cast<size_t>(lo));
   }
+  // Smallest overlap that violates `sim <= sigma + eps`; the check holds
+  // iff the actual overlap stays below it. Same closed-form-plus-nudge
+  // scheme as MinOverlapForAtLeast, against the violation predicate.
+  const size_t max_o = std::min(a.len, b.len);
+  const auto violates = [&](size_t o) {
+    return SetSimilarityFromOverlap(func, o, a.len, b.len) >
+           sigma + kSimCompareEps;
+  };
+  size_t lo = ClampGuess(OverlapGuess(func, a.len, b.len, sigma), max_o);
+  while (lo > 0 && violates(lo - 1)) --lo;
+  while (lo <= max_o && !violates(lo)) ++lo;
   if (lo > max_o) {
     internal::BumpKernelEarlyExit();  // no overlap can violate
     return true;

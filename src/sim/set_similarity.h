@@ -37,7 +37,12 @@ namespace dime {
 /// holds exactly.
 inline constexpr double kSimCompareEps = 1e-9;
 
-/// Size of the intersection of two strictly ascending runs.
+/// Size of the intersection of two strictly ascending runs. Dispatches to
+/// an AVX2 block kernel (8 lanes, all-pairs block compare) when the CPU
+/// has it and both runs are dense enough; the scalar merge otherwise.
+/// Counts are integers, so both paths return identical values (see
+/// simd_dispatch.h for the twin contract and the DIME_FORCE_SCALAR
+/// override).
 size_t IntersectionSize(RankSpan a, RankSpan b);
 
 /// True iff |a ∩ b| >= required. Early-exits as soon as the overlap
@@ -58,7 +63,10 @@ double SetSimilarityFromOverlap(SimFunc func, size_t overlap, size_t size_a,
 
 /// The smallest intersection size that satisfies `func >= theta - eps`
 /// between inputs of the given sizes, i.e. min(size_a, size_b) + 1 when no
-/// overlap can (unsatisfiable). Exposed for tests.
+/// overlap can (unsatisfiable). Computed from the closed-form inversion of
+/// the similarity formula, nudged to the exact boundary with the same
+/// floating-point predicate the exact kernels evaluate — O(1) instead of
+/// a per-pair binary search. Exposed for tests.
 size_t MinOverlapForAtLeast(SimFunc func, size_t size_a, size_t size_b,
                             double theta);
 
@@ -80,6 +88,13 @@ uint64_t KernelEarlyExits();
 namespace internal {
 /// Bumps the calling thread's early-exit counter (kernel-internal).
 void BumpKernelEarlyExit();
+
+/// Scalar reference twins of the dispatching kernels above: always take
+/// the portable merge path regardless of ActiveSimdLevel(). Differential
+/// tests compare these against the dispatched kernels under both force
+/// modes; not for production use.
+size_t IntersectionSizeScalar(RankSpan a, RankSpan b);
+bool IntersectionAtLeastScalar(RankSpan a, RankSpan b, size_t required);
 }  // namespace internal
 
 /// Overlap similarity |A ∩ B| (a count, not normalized).

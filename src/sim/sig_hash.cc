@@ -1,0 +1,124 @@
+#include "src/sim/sig_hash.h"
+
+#include "src/sim/simd_dispatch.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define DIME_SIM_HAVE_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace dime {
+namespace {
+
+// Below this batch size the vector setup (lane spreads, the dispatch
+// load) costs more than four scalar hashes; typical rule prefixes are a
+// handful of tokens, so the cutoff matters.
+constexpr size_t kBatchMin = 8;
+
+void Batch32Scalar(uint64_t base, const uint32_t* payloads, size_t n,
+                   uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = SplitMix64(base + SplitMix64(payloads[i]));
+  }
+}
+
+void Batch64Scalar(uint64_t base, const uint64_t* payloads, size_t n,
+                   uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = SplitMix64(base + SplitMix64(payloads[i]));
+  }
+}
+
+#ifdef DIME_SIM_HAVE_AVX2
+
+// Lane-wise 64-bit product against a constant: AVX2 has no vpmullq, so
+// compose it from the three 32x32 partial products that land in the low
+// 64 bits.
+__attribute__((target("avx2"))) inline __m256i Mul64(__m256i x, __m256i y) {
+  const __m256i lo = _mm256_mul_epu32(x, y);
+  const __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(_mm256_srli_epi64(x, 32), y),
+                       _mm256_mul_epu32(x, _mm256_srli_epi64(y, 32)));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+__attribute__((target("avx2"))) inline __m256i SplitMix64x4(__m256i z) {
+  z = _mm256_add_epi64(z, _mm256_set1_epi64x(kGoldenGamma));
+  z = Mul64(_mm256_xor_si256(z, _mm256_srli_epi64(z, 30)),
+            _mm256_set1_epi64x(0xbf58476d1ce4e5b9ULL));
+  z = Mul64(_mm256_xor_si256(z, _mm256_srli_epi64(z, 27)),
+            _mm256_set1_epi64x(0x94d049bb133111ebULL));
+  return _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+}
+
+__attribute__((target("avx2"))) void Batch32Avx2(uint64_t base,
+                                                const uint32_t* payloads,
+                                                size_t n, uint64_t* out) {
+  const __m256i vbase = _mm256_set1_epi64x(base);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i p = _mm256_cvtepu32_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(payloads + i)));
+    const __m256i h = SplitMix64x4(_mm256_add_epi64(vbase, SplitMix64x4(p)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), h);
+  }
+  Batch32Scalar(base, payloads + i, n - i, out + i);
+}
+
+__attribute__((target("avx2"))) void Batch64Avx2(uint64_t base,
+                                                const uint64_t* payloads,
+                                                size_t n, uint64_t* out) {
+  const __m256i vbase = _mm256_set1_epi64x(base);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i p =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(payloads + i));
+    const __m256i h = SplitMix64x4(_mm256_add_epi64(vbase, SplitMix64x4(p)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), h);
+  }
+  Batch64Scalar(base, payloads + i, n - i, out + i);
+}
+
+#endif  // DIME_SIM_HAVE_AVX2
+
+}  // namespace
+
+void MixHashBatch32(uint64_t tag, const uint32_t* payloads, size_t n,
+                    uint64_t* out) {
+  const uint64_t base = tag * kGoldenGamma;
+#ifdef DIME_SIM_HAVE_AVX2
+  if (n >= kBatchMin && ActiveSimdLevel() == SimdLevel::kAvx2) {
+    Batch32Avx2(base, payloads, n, out);
+    return;
+  }
+#endif
+  Batch32Scalar(base, payloads, n, out);
+}
+
+void MixHashBatch64(uint64_t tag, const uint64_t* payloads, size_t n,
+                    uint64_t* out) {
+  const uint64_t base = tag * kGoldenGamma;
+#ifdef DIME_SIM_HAVE_AVX2
+  if (n >= kBatchMin && ActiveSimdLevel() == SimdLevel::kAvx2) {
+    Batch64Avx2(base, payloads, n, out);
+    return;
+  }
+#endif
+  Batch64Scalar(base, payloads, n, out);
+}
+
+namespace internal {
+
+void MixHashBatch32Scalar(uint64_t tag, const uint32_t* payloads, size_t n,
+                          uint64_t* out) {
+  Batch32Scalar(tag * kGoldenGamma, payloads, n, out);
+}
+
+void MixHashBatch64Scalar(uint64_t tag, const uint64_t* payloads, size_t n,
+                          uint64_t* out) {
+  Batch64Scalar(tag * kGoldenGamma, payloads, n, out);
+}
+
+}  // namespace internal
+
+}  // namespace dime

@@ -1,0 +1,53 @@
+#ifndef DIME_SIM_SIG_HASH_H_
+#define DIME_SIM_SIG_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file sig_hash.h
+/// The 64-bit mixing primitive behind signature generation
+/// (core/signature.h MixSignature) and its batch forms. Signature
+/// generation hashes every token of every entity's prefix — the
+/// PrepareGroup bottleneck named in DESIGN.md — so the batch kernels walk
+/// a whole rank prefix at once and have AVX2 twins (4 x 64-bit lanes,
+/// with the 64-bit multiply synthesized from 32x32 products). Hashes are
+/// integers: the vector twins produce bit-identical outputs to the scalar
+/// path, dispatch follows simd_dispatch.h.
+
+namespace dime {
+
+/// The SplitMix64 increment; also the multiplier MixSignature applies to
+/// its first argument.
+inline constexpr uint64_t kGoldenGamma = 0x9e3779b97f4a7c15ULL;
+
+/// One SplitMix64 step (finalizer included).
+inline uint64_t SplitMix64(uint64_t z) {
+  z += kGoldenGamma;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// out[i] = SplitMix64(tag * kGoldenGamma + SplitMix64(payloads[i])) for
+/// i in [0, n) — MixSignature(tag, payloads[i]) unrolled over a batch of
+/// 32-bit payloads (a rank or q-gram prefix). `out` must hold n values
+/// and may not alias `payloads`.
+void MixHashBatch32(uint64_t tag, const uint32_t* payloads, size_t n,
+                    uint64_t* out);
+
+/// Same contract over 64-bit payloads (the tuple-signature cross product).
+void MixHashBatch64(uint64_t tag, const uint64_t* payloads, size_t n,
+                    uint64_t* out);
+
+namespace internal {
+/// Portable twins, always scalar regardless of ActiveSimdLevel(); the
+/// differential tests compare the dispatched batches against these.
+void MixHashBatch32Scalar(uint64_t tag, const uint32_t* payloads, size_t n,
+                          uint64_t* out);
+void MixHashBatch64Scalar(uint64_t tag, const uint64_t* payloads, size_t n,
+                          uint64_t* out);
+}  // namespace internal
+
+}  // namespace dime
+
+#endif  // DIME_SIM_SIG_HASH_H_

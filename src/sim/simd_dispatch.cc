@@ -1,0 +1,73 @@
+#include "src/sim/simd_dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace dime {
+namespace {
+
+// The AVX2 kernels are compiled via the function `target` attribute, so
+// they exist whenever the toolchain supports it on x86-64 — no global
+// -mavx2 flag, the baseline ISA of every other translation unit is
+// untouched.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+constexpr bool kAvx2CompiledIn = true;
+bool CpuHasAvx2() { return __builtin_cpu_supports("avx2") != 0; }
+#else
+constexpr bool kAvx2CompiledIn = false;
+bool CpuHasAvx2() { return false; }
+#endif
+
+// -1 = unresolved; otherwise a SimdLevel. Plain relaxed ops: the resolved
+// value is a pure function of (env, CPUID, test override), so racing
+// resolvers write the same value.
+std::atomic<int> g_level{-1};
+std::atomic<bool> g_force_scalar_for_test{false};
+
+bool EnvForcesScalar() {
+  const char* v = std::getenv("DIME_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+SimdLevel Resolve() {
+  if (g_force_scalar_for_test.load(std::memory_order_relaxed)) {
+    return SimdLevel::kScalar;
+  }
+  if (EnvForcesScalar()) return SimdLevel::kScalar;
+  if (kAvx2CompiledIn && CpuHasAvx2()) return SimdLevel::kAvx2;
+  return SimdLevel::kScalar;
+}
+
+}  // namespace
+
+SimdLevel ActiveSimdLevel() {
+  int cached = g_level.load(std::memory_order_relaxed);
+  if (cached >= 0) return static_cast<SimdLevel>(cached);
+  SimdLevel level = Resolve();
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  return level;
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+namespace internal {
+
+void ForceScalarForTest(bool force_scalar) {
+  g_force_scalar_for_test.store(force_scalar, std::memory_order_relaxed);
+  g_level.store(static_cast<int>(Resolve()), std::memory_order_relaxed);
+}
+
+bool Avx2CompiledIn() { return kAvx2CompiledIn; }
+
+}  // namespace internal
+
+}  // namespace dime

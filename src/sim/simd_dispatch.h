@@ -1,0 +1,55 @@
+#ifndef DIME_SIM_SIMD_DISPATCH_H_
+#define DIME_SIM_SIMD_DISPATCH_H_
+
+/// \file simd_dispatch.h
+/// Runtime selection between the portable scalar kernels and their SIMD
+/// twins. This header (plus its .cc) is the single sanctioned home for
+/// CPU-feature probing: everything else asks `ActiveSimdLevel()` and
+/// branches, so the decision is made once, is overridable for testing,
+/// and dime_lint can ban raw `<immintrin.h>` / `__builtin_cpu_supports`
+/// use elsewhere (rule `raw-intrinsics`).
+///
+/// Resolution order, evaluated once on first use and cached:
+///   1. `DIME_FORCE_SCALAR` set to anything but "" or "0" -> kScalar
+///      (the differential-test and incident-escape hatch);
+///   2. the CPU reports AVX2 -> kAvx2;
+///   3. otherwise -> kScalar.
+///
+/// SIMD kernels are twins, not variants: every kernel selected here must
+/// return bit-identical results to its scalar counterpart (integer counts
+/// and threshold decisions only — no reassociated floating-point), so the
+/// level never changes any engine output, only its speed.
+
+namespace dime {
+
+enum class SimdLevel {
+  kScalar = 0,  ///< portable baseline, always available
+  kAvx2 = 1,    ///< 8 x 32-bit lanes (x86-64 AVX2)
+};
+
+/// The level kernels should dispatch on. First call resolves (env var +
+/// CPUID) and caches; later calls are a relaxed atomic load.
+SimdLevel ActiveSimdLevel();
+
+/// Human-readable level name ("scalar", "avx2") for logs and bench rows.
+const char* SimdLevelName(SimdLevel level);
+
+namespace internal {
+
+/// Test hook: true forces kScalar; false restores the real resolution
+/// (env var + CPUID). Takes effect immediately on all threads. Tests use
+/// this to run both kernel families in one process; production code must
+/// use the DIME_FORCE_SCALAR environment variable instead.
+void ForceScalarForTest(bool force_scalar);
+
+/// True when the build can emit AVX2 at all (x86-64 with a toolchain that
+/// honors the target attribute); false means ActiveSimdLevel() can never
+/// return kAvx2. Exposed so tests skip vector-vs-scalar comparisons on
+/// hosts where there is only one family to compare.
+bool Avx2CompiledIn();
+
+}  // namespace internal
+
+}  // namespace dime
+
+#endif  // DIME_SIM_SIMD_DISPATCH_H_

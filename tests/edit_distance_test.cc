@@ -78,6 +78,106 @@ TEST(EditDistanceTest, BandedLengthDifferenceShortCircuit) {
   EXPECT_EQ(EditDistanceWithin("a", "abcdefgh", 3), 4u);  // max_dist + 1
 }
 
+/// Adversarial differential sweep over the machine-word boundaries: every
+/// Myers variant must agree with the DP references exactly where the
+/// single-word/blocked split and the block banding change shape
+/// (n = 63 / 64 / 65 and 127 / 128 / 129), including the degenerate
+/// strings that maximize or minimize match density.
+TEST(EditDistanceTest, MyersVariantsMatchDPAtWordBoundaries) {
+  Random rng(123);
+  const size_t kLens[] = {0, 1, 2, 63, 64, 65, 127, 128, 129};
+  auto random_string = [&rng](size_t len) {
+    std::string s;
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>('a' + rng.Uniform(3)));
+    }
+    return s;
+  };
+  for (size_t la : kLens) {
+    for (size_t lb : kLens) {
+      // Three shapes: all-equal (distance is the length difference),
+      // all-distinct (distance is max(la, lb)), and random low-alphabet.
+      const std::string shapes[][2] = {
+          {std::string(la, 'a'), std::string(lb, 'a')},
+          {std::string(la, 'a'), std::string(lb, 'b')},
+          {random_string(la), random_string(lb)},
+      };
+      for (const auto& shape : shapes) {
+        const std::string& a = shape[0];
+        const std::string& b = shape[1];
+        const size_t expected = internal::EditDistanceDP(a, b);
+        EXPECT_EQ(EditDistance(a, b), expected) << la << "x" << lb;
+        EXPECT_EQ(internal::MyersDistanceBlocked(a, b), expected)
+            << la << "x" << lb;
+        if (std::min(a.size(), b.size()) <= 64) {
+          EXPECT_EQ(internal::MyersDistanceSingleWord(a, b), expected)
+              << la << "x" << lb;
+        }
+      }
+    }
+  }
+}
+
+/// The banded variant at the threshold extremes: max_dist = 0 (pure
+/// equality test) and max_dist >= both lengths (band covers the whole
+/// matrix, must equal the exact distance), across the word boundaries.
+TEST(EditDistanceTest, BandedThresholdExtremesAtWordBoundaries) {
+  Random rng(321);
+  const size_t kLens[] = {0, 1, 63, 64, 65, 128, 129};
+  auto random_string = [&rng](size_t len) {
+    std::string s;
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>('a' + rng.Uniform(3)));
+    }
+    return s;
+  };
+  for (size_t la : kLens) {
+    for (size_t lb : kLens) {
+      const std::string a = random_string(la);
+      const std::string b = random_string(lb);
+      const size_t exact = internal::EditDistanceDP(a, b);
+
+      // max_dist = 0: 0 iff equal, else max_dist + 1 = 1.
+      const size_t at_zero = (a == b) ? 0u : 1u;
+      EXPECT_EQ(EditDistanceWithin(a, b, 0), at_zero) << la << "x" << lb;
+      EXPECT_EQ(internal::MyersDistanceBanded(a, b, 0), at_zero)
+          << la << "x" << lb;
+      EXPECT_EQ(internal::EditDistanceWithinDP(a, b, 0), at_zero)
+          << la << "x" << lb;
+
+      // max_dist >= max(|a|, |b|) >= exact: band is vacuous, result exact.
+      const size_t wide = std::max(a.size(), b.size());
+      EXPECT_EQ(EditDistanceWithin(a, b, wide), exact) << la << "x" << lb;
+      EXPECT_EQ(internal::MyersDistanceBanded(a, b, wide), exact)
+          << la << "x" << lb;
+      EXPECT_EQ(internal::EditDistanceWithinDP(a, b, wide), exact)
+          << la << "x" << lb;
+    }
+  }
+}
+
+/// Randomized differential: banded Myers against the banded DP reference
+/// across mid-range thresholds and strings spanning 1–3 machine words.
+TEST(EditDistanceTest, BandedMatchesBandedDPOnLongRandomStrings) {
+  Random rng(777);
+  for (int trial = 0; trial < 60; ++trial) {
+    auto make = [&rng]() {
+      std::string s;
+      size_t len = 40 + rng.Uniform(120);
+      for (size_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>('a' + rng.Uniform(4)));
+      }
+      return s;
+    };
+    const std::string a = make(), b = make();
+    for (size_t max_dist : {1u, 5u, 20u, 64u, 100u}) {
+      EXPECT_EQ(internal::MyersDistanceBanded(a, b, max_dist),
+                internal::EditDistanceWithinDP(a, b, max_dist))
+          << a.size() << "x" << b.size() << " @" << max_dist;
+    }
+  }
+}
+
 TEST(EditSimilarityTest, Values) {
   EXPECT_DOUBLE_EQ(EditSimilarity("", ""), 1.0);
   EXPECT_DOUBLE_EQ(EditSimilarity("abcd", "abcd"), 1.0);
@@ -101,6 +201,26 @@ TEST(EditSimilarityTest, AtLeastAgreesWithExact) {
       EXPECT_EQ(EditSimilarityAtLeast(a, b, tau),
                 EditSimilarity(a, b) >= tau - 1e-12)
           << a << " vs " << b << " tau=" << tau;
+    }
+  }
+}
+
+TEST(EditSimilarityTest, AtMostAgreesWithExact) {
+  Random rng(55);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto make = [&rng]() {
+      std::string s;
+      size_t len = rng.Uniform(14);
+      for (size_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>('a' + rng.Uniform(3)));
+      }
+      return s;
+    };
+    std::string a = make(), b = make();
+    for (double sigma : {0.0, 0.3, 0.5, 0.8, 1.0}) {
+      EXPECT_EQ(EditSimilarityAtMost(a, b, sigma),
+                EditSimilarity(a, b) <= sigma + 1e-9)
+          << a << " vs " << b << " sigma=" << sigma;
     }
   }
 }

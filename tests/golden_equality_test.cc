@@ -113,16 +113,36 @@ TEST(GoldenEqualityTest, AmazonFig6Corpora) {
   }
 }
 
+/// Absolute expectations for one bench-scale corpus, captured at the PR
+/// base (pre-SIMD/bit-parallel kernels) from a Release build. The digest
+/// pins the user-visible result; the counters pin the *number* of pair
+/// checks each engine performs — the kernel rework may only make each
+/// check faster, never skip or add one, so these are exact equalities,
+/// not bounds. Regenerate by printing DigestResult + DimeResult::Stats
+/// for the corpus in the same change that explains why they moved.
+struct GoldenPins {
+  uint64_t digest = 0;
+  uint64_t naive_positive_checks = 0;
+  uint64_t naive_negative_checks = 0;
+  uint64_t plus_positive_checks = 0;
+  uint64_t plus_negative_checks = 0;
+  uint64_t plus_candidate_pairs = 0;
+  uint64_t plus_pairs_skipped_by_transitivity = 0;
+};
+
 /// Runs both engines over `groups` twice — once freshly prepared from the
 /// in-memory (TSV-equivalent) corpus, once over the snapshot written to
 /// `path` and loaded back zero-copy — and demands bit-identical digests
 /// and pair-check counters. The warm run deliberately uses the rules that
-/// round-tripped through the snapshot, not the originals.
+/// round-tripped through the snapshot, not the originals. When `pins` is
+/// set (single-group corpora), the cold run must also match the frozen
+/// absolute digest and counters.
 void ExpectSnapshotRoundTripIdentity(const std::vector<Group>& groups,
                                      const std::vector<PositiveRule>& positive,
                                      const std::vector<NegativeRule>& negative,
                                      const DimeContext& context,
-                                     const std::string& path) {
+                                     const std::string& path,
+                                     const GoldenPins* pins = nullptr) {
   SnapshotWriteRequest request;
   request.groups = &groups;
   request.positive = &positive;
@@ -163,6 +183,22 @@ void ExpectSnapshotRoundTripIdentity(const std::vector<Group>& groups,
     EXPECT_EQ(warm_plus.stats.candidate_pairs, cold_plus.stats.candidate_pairs);
     EXPECT_EQ(warm_plus.stats.pairs_skipped_by_transitivity,
               cold_plus.stats.pairs_skipped_by_transitivity);
+
+    if (pins != nullptr) {
+      EXPECT_EQ(DigestResult(cold_naive), pins->digest);
+      EXPECT_EQ(DigestResult(cold_plus), pins->digest);
+      EXPECT_EQ(cold_naive.stats.positive_pair_checks,
+                pins->naive_positive_checks);
+      EXPECT_EQ(cold_naive.stats.negative_pair_checks,
+                pins->naive_negative_checks);
+      EXPECT_EQ(cold_plus.stats.positive_pair_checks,
+                pins->plus_positive_checks);
+      EXPECT_EQ(cold_plus.stats.negative_pair_checks,
+                pins->plus_negative_checks);
+      EXPECT_EQ(cold_plus.stats.candidate_pairs, pins->plus_candidate_pairs);
+      EXPECT_EQ(cold_plus.stats.pairs_skipped_by_transitivity,
+                pins->plus_pairs_skipped_by_transitivity);
+    }
   }
 }
 
@@ -176,9 +212,17 @@ TEST(GoldenEqualityTest, SnapshotRoundTripScholar2999) {
   gen.seed = 6000;
   std::vector<Group> groups;
   groups.push_back(GenerateScholarGroup("Big Page", gen));
+  GoldenPins pins;
+  pins.digest = 0x63899cea9b800171ULL;
+  pins.naive_positive_checks = 5294584;
+  pins.naive_negative_checks = 17917;
+  pins.plus_positive_checks = 2994;
+  pins.plus_negative_checks = 11949;
+  pins.plus_candidate_pairs = 10942516;
+  pins.plus_pairs_skipped_by_transitivity = 10939522;
   ExpectSnapshotRoundTripIdentity(
       groups, setup.positive, setup.negative, setup.context,
-      testing::TempDir() + "/golden_scholar2999.snap");
+      testing::TempDir() + "/golden_scholar2999.snap", &pins);
 }
 
 TEST(GoldenEqualityTest, SnapshotRoundTripAmazon10000) {
@@ -193,9 +237,17 @@ TEST(GoldenEqualityTest, SnapshotRoundTripAmazon10000) {
   AmazonSetup setup = MakeAmazonSetup({group});
   std::vector<Group> groups;
   groups.push_back(std::move(group));
+  GoldenPins pins;
+  pins.digest = 0xdd8111edfbf8d618ULL;
+  pins.naive_positive_checks = 149962443;
+  pins.naive_negative_checks = 23313764;
+  pins.plus_positive_checks = 5968;
+  pins.plus_negative_checks = 7566;
+  pins.plus_candidate_pairs = 63611;
+  pins.plus_pairs_skipped_by_transitivity = 42133;
   ExpectSnapshotRoundTripIdentity(
       groups, setup.positive, setup.negative, setup.context,
-      testing::TempDir() + "/golden_amazon10000.snap");
+      testing::TempDir() + "/golden_amazon10000.snap", &pins);
 }
 
 }  // namespace

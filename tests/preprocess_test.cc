@@ -161,6 +161,52 @@ TEST(PreprocessTest, RuleEvaluation) {
   EXPECT_TRUE(EvalNegativeRule(pg, neg[0], 0, 2));
 }
 
+/// The resolved-plan path (BuildRulePlan + EvalRulePlan) must agree with
+/// the per-call dispatch path predicate-by-predicate and pair-by-pair —
+/// RunDime's pair loops depend on this equivalence for its pinned golden
+/// digests and counters.
+TEST(PreprocessTest, RulePlanMatchesUnplannedEvaluation) {
+  Group g = MakeGroup();
+  std::vector<PositiveRule> pos(2);
+  std::vector<NegativeRule> neg(2);
+  ASSERT_TRUE(ParsePositiveRule(
+      "overlap(Authors) >= 1 ^ ontology(Venue) >= 0.75", g.schema, &pos[0]));
+  ASSERT_TRUE(ParsePositiveRule(
+      "jaccard(Title:words) >= 0.3 ^ editsim(Venue) >= 0.4", g.schema,
+      &pos[1]));
+  ASSERT_TRUE(ParseNegativeRule("overlap(Authors) <= 0", g.schema, &neg[0]));
+  ASSERT_TRUE(ParseNegativeRule(
+      "cosine(Title:words) <= 0.5 ^ ontology(Venue) <= 0.25", g.schema,
+      &neg[1]));
+  PreparedGroup pg = PrepareGroup(g, pos, neg, MakeContext());
+  const int n = static_cast<int>(pg.size());
+  for (const PositiveRule& rule : pos) {
+    RulePlan plan = BuildRulePlan(pg, rule.predicates, Direction::kGe);
+    ASSERT_EQ(plan.size(), rule.predicates.size());
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        EXPECT_EQ(EvalRulePlan(plan, i, j), EvalPositiveRule(pg, rule, i, j))
+            << "pair " << i << "," << j;
+        for (size_t p = 0; p < plan.size(); ++p) {
+          EXPECT_EQ(
+              PlanPredicateHolds(plan[p], i, j),
+              PredicateHolds(pg, rule.predicates[p], Direction::kGe, i, j))
+              << "pred " << p << " pair " << i << "," << j;
+        }
+      }
+    }
+  }
+  for (const NegativeRule& rule : neg) {
+    RulePlan plan = BuildRulePlan(pg, rule.predicates, Direction::kLe);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        EXPECT_EQ(EvalRulePlan(plan, i, j), EvalNegativeRule(pg, rule, i, j))
+            << "pair " << i << "," << j;
+      }
+    }
+  }
+}
+
 TEST(ValidateRulesTest, AcceptsTheScholarPresetShapes) {
   Group g = MakeGroup();
   std::vector<PositiveRule> pos(2);

@@ -6,6 +6,7 @@
 #include <iterator>
 
 #include "src/common/random.h"
+#include "src/sim/simd_dispatch.h"
 
 namespace dime {
 namespace {
@@ -272,6 +273,136 @@ TEST(ThresholdKernelTest, EarlyExitCounterIsMonotoneAndBumps) {
   // early exit or not, but must never decrease the counter.
   EXPECT_TRUE(IntersectionAtLeast(a, b, 0));
   EXPECT_GE(KernelEarlyExits(), after);
+}
+
+/// RAII guard: forces the given dispatch mode for one scope and restores
+/// the real resolution (env + CPUID) on exit.
+class ScopedForceScalar {
+ public:
+  explicit ScopedForceScalar(bool force) {
+    internal::ForceScalarForTest(force);
+  }
+  ~ScopedForceScalar() { internal::ForceScalarForTest(false); }
+};
+
+/// Strictly ascending random set: `len` elements with geometric-ish gaps,
+/// so runs of different density exercise both the block kernel's
+/// all-pairs compares and its advance logic.
+V RandomAscending(Random& rng, size_t len, uint32_t max_gap) {
+  V v;
+  uint32_t next = rng.Uniform(3);
+  for (size_t i = 0; i < len; ++i) {
+    v.push_back(next);
+    next += 1 + rng.Uniform(max_gap);
+  }
+  return v;
+}
+
+/// The dispatched kernels against their scalar reference twins, with the
+/// dispatcher forced to each level in turn. Counts are integers, so the
+/// twins must agree exactly on every input — including lengths straddling
+/// the kSimdMinLen cutoff and the 8-lane block width.
+TEST(SimdDifferentialTest, IntersectionKernelsMatchScalarUnderBothLevels) {
+  Random rng(2024);
+  for (bool force_scalar : {false, true}) {
+    ScopedForceScalar guard(force_scalar);
+    for (int trial = 0; trial < 400; ++trial) {
+      const size_t la = rng.Uniform(70);
+      const size_t lb = rng.Uniform(70);
+      const uint32_t gap_a = 1 + rng.Uniform(6);
+      const uint32_t gap_b = 1 + rng.Uniform(6);
+      const V a = RandomAscending(rng, la, gap_a);
+      const V b = RandomAscending(rng, lb, gap_b);
+
+      const size_t expected = internal::IntersectionSizeScalar(a, b);
+      EXPECT_EQ(IntersectionSize(a, b), expected)
+          << "force_scalar=" << force_scalar << " la=" << la << " lb=" << lb;
+
+      for (size_t required : {size_t{0}, size_t{1}, expected,
+                              expected + 1, std::min(la, lb) + 1}) {
+        EXPECT_EQ(IntersectionAtLeast(a, b, required),
+                  internal::IntersectionAtLeastScalar(a, b, required))
+            << "force_scalar=" << force_scalar << " required=" << required;
+      }
+    }
+  }
+}
+
+/// Degenerate shapes the block walker must not trip on: identical runs,
+/// fully disjoint interleaved runs, one side empty, and a shared tail
+/// after a long disjoint prefix.
+TEST(SimdDifferentialTest, IntersectionKernelsMatchScalarOnEdgeShapes) {
+  V identical, evens, odds, tail_a, tail_b;
+  for (uint32_t i = 0; i < 48; ++i) {
+    identical.push_back(i * 3);
+    evens.push_back(i * 2);
+    odds.push_back(i * 2 + 1);
+    tail_a.push_back(i);
+    tail_b.push_back(i < 40 ? i + 1000 : i);
+  }
+  std::sort(tail_b.begin(), tail_b.end());
+  const std::pair<V, V> cases[] = {
+      {identical, identical}, {evens, odds},   {identical, V{}},
+      {V{}, V{}},             {tail_a, tail_b},
+  };
+  for (bool force_scalar : {false, true}) {
+    ScopedForceScalar guard(force_scalar);
+    for (const auto& c : cases) {
+      EXPECT_EQ(IntersectionSize(c.first, c.second),
+                internal::IntersectionSizeScalar(c.first, c.second));
+      for (size_t required : {size_t{0}, size_t{1}, size_t{8}, size_t{48}}) {
+        EXPECT_EQ(IntersectionAtLeast(c.first, c.second, required),
+                  internal::IntersectionAtLeastScalar(c.first, c.second,
+                                                      required));
+      }
+    }
+  }
+}
+
+/// The DIME_FORCE_SCALAR escape hatch and the CPUID path agree on the
+/// level names, and forcing scalar actually changes the reported level on
+/// hosts where AVX2 is compiled in and present.
+TEST(SimdDifferentialTest, ForceScalarControlsActiveLevel) {
+  {
+    ScopedForceScalar guard(true);
+    EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+    EXPECT_STREQ(SimdLevelName(ActiveSimdLevel()), "scalar");
+  }
+  if (internal::Avx2CompiledIn() &&
+      ActiveSimdLevel() == SimdLevel::kAvx2) {
+    EXPECT_STREQ(SimdLevelName(ActiveSimdLevel()), "avx2");
+  }
+}
+
+/// The closed-form threshold inversion against the brute-force scan it
+/// replaced: the smallest overlap o with f(o, sa, sb) >= theta - eps,
+/// linearly searched with the very same floating-point predicate.
+TEST(SimdDifferentialTest, MinOverlapClosedFormMatchesBruteForce) {
+  const SimFunc funcs[] = {SimFunc::kOverlap, SimFunc::kJaccard,
+                           SimFunc::kDice, SimFunc::kCosine};
+  const double thetas[] = {0.0, 1e-9, 0.1, 0.25, 1.0 / 3.0, 0.5,
+                           0.6666666666666666, 0.75, 0.999999999, 1.0,
+                           1.5, 2.0, 5.0};
+  for (SimFunc func : funcs) {
+    for (size_t sa = 0; sa <= 24; ++sa) {
+      for (size_t sb = 0; sb <= 24; ++sb) {
+        const size_t max_o = std::min(sa, sb);
+        for (double theta : thetas) {
+          size_t brute = max_o + 1;
+          for (size_t o = 0; o <= max_o; ++o) {
+            if (SetSimilarityFromOverlap(func, o, sa, sb) >=
+                theta - kSimCompareEps) {
+              brute = o;
+              break;
+            }
+          }
+          EXPECT_EQ(MinOverlapForAtLeast(func, sa, sb, theta), brute)
+              << SimFuncName(func) << " sa=" << sa << " sb=" << sb
+              << " theta=" << theta;
+        }
+      }
+    }
+  }
 }
 
 TEST(SimFuncTest, NamesRoundTrip) {

@@ -1,0 +1,80 @@
+#include "src/sim/sig_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/core/signature.h"
+#include "src/sim/simd_dispatch.h"
+
+namespace dime {
+namespace {
+
+class ScopedForceScalar {
+ public:
+  explicit ScopedForceScalar(bool force) {
+    internal::ForceScalarForTest(force);
+  }
+  ~ScopedForceScalar() { internal::ForceScalarForTest(false); }
+};
+
+TEST(SigHashTest, SplitMix64KnownVector) {
+  // Reference values of the standard SplitMix64 stream seeded with 0:
+  // state += gamma, then finalize — SplitMix64(k * gamma) for k = 0, 1, 2.
+  EXPECT_EQ(SplitMix64(0), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(SplitMix64(kGoldenGamma), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(SplitMix64(2 * kGoldenGamma), 0x06c45d188009454fULL);
+}
+
+TEST(SigHashTest, MixSignatureIsTheBatchFormula) {
+  // core/signature.h MixSignature must be exactly one batch element, so
+  // batched and element-at-a-time generation produce identical arenas.
+  for (uint64_t tag : {0ULL, 1ULL, 0x1000ULL, 0xdeadbeefULL}) {
+    for (uint64_t payload : {0ULL, 7ULL, 0xffffffffULL, 1ULL << 60}) {
+      EXPECT_EQ(MixSignature(tag, payload),
+                SplitMix64(tag * kGoldenGamma + SplitMix64(payload)));
+    }
+  }
+}
+
+/// The dispatched batches against the scalar twins under both dispatch
+/// levels, across sizes straddling the kBatchMin cutoff and the 4-lane
+/// width (0, 1, 3, 4, 5, 7, 8, 9, 31, 100).
+TEST(SigHashTest, BatchesMatchScalarTwinsUnderBothLevels) {
+  Random rng(4242);
+  const size_t sizes[] = {0, 1, 3, 4, 5, 7, 8, 9, 31, 100};
+  for (bool force_scalar : {false, true}) {
+    ScopedForceScalar guard(force_scalar);
+    for (size_t n : sizes) {
+      std::vector<uint32_t> p32;
+      std::vector<uint64_t> p64;
+      for (size_t i = 0; i < n; ++i) {
+        p32.push_back(static_cast<uint32_t>(rng.NextUint64()));
+        p64.push_back(rng.NextUint64());
+      }
+      const uint64_t tag = rng.NextUint64();
+
+      std::vector<uint64_t> got(n), want(n);
+      MixHashBatch32(tag, p32.data(), n, got.data());
+      internal::MixHashBatch32Scalar(tag, p32.data(), n, want.data());
+      EXPECT_EQ(got, want) << "batch32 n=" << n
+                           << " force_scalar=" << force_scalar;
+
+      MixHashBatch64(tag, p64.data(), n, got.data());
+      internal::MixHashBatch64Scalar(tag, p64.data(), n, want.data());
+      EXPECT_EQ(got, want) << "batch64 n=" << n
+                           << " force_scalar=" << force_scalar;
+
+      // And the scalar twin itself is the documented per-element formula.
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(want[i],
+                  SplitMix64(tag * kGoldenGamma + SplitMix64(p64[i])));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dime

@@ -111,28 +111,54 @@ wait "$SERVER_PID" || true
 "$BUILD"/bench/bench_server_throughput --json "$TMP/server_inproc.json" \
   --label "post (in-process ceiling)" --threads 4 --duration-s "$SRV_DUR"
 
+# Post-optimization entries must come from a Release dime library. The
+# binaries refuse debug builds themselves, but --allow-debug (or a stale
+# build directory) could slip a debug timing into the committed records —
+# check the build type each post JSON recorded before wrapping anything.
+MICRO_BT=$(jq -r '.context.dime_library_build_type // "unknown"' \
+  "$TMP/micro_post.json")
+FIG9_BT=$(jq -r '.build_type // "unknown"' "$TMP/fig9_post.json")
+SNAP_BT=$(jq -r '.build_type // "unknown"' "$TMP/snapshot_current.json")
+for bt in "micro:$MICRO_BT" "fig9:$FIG9_BT" "snapshot:$SNAP_BT"; do
+  if [ "${bt#*:}" != "release" ]; then
+    echo "refusing to record post-optimization entries: ${bt%%:*} ran" \
+         "against a '${bt#*:}' dime library (need release)" >&2
+    exit 1
+  fi
+done
+
 # Wrap pre + post into the repo-root records. The google-benchmark JSON is
 # trimmed to the comparable core (name / real_time / time_unit) so the
-# file diffs stay readable.
+# file diffs stay readable. Every row carries library_build_type — the
+# dime library's build type, so a record is self-describing even when
+# copied out of its entry.
 jq -n \
   --slurpfile pre bench/baselines/micro_sim_pre.json \
   --slurpfile post "$TMP/micro_post.json" \
   '{bench: "micro_sim",
     entries: [
       {label: "pre-optimization",
-       context: ($pre[0].context | {date, library_build_type}),
+       context: {date: $pre[0].context.date,
+                 library_build_type: $pre[0].context.dime_library_build_type},
        benchmarks: [$pre[0].benchmarks[]
-                    | {name, real_time, time_unit}]},
+                    | {name, real_time, time_unit,
+                       library_build_type:
+                         $pre[0].context.dime_library_build_type}]},
       {label: "post-optimization",
-       context: ($post[0].context | {date, library_build_type}),
+       context: {date: $post[0].context.date,
+                 library_build_type: $post[0].context.dime_library_build_type},
        benchmarks: [$post[0].benchmarks[]
-                    | {name, real_time, time_unit}]}
+                    | {name, real_time, time_unit,
+                       library_build_type:
+                         $post[0].context.dime_library_build_type}]}
     ]}' > BENCH_micro_sim.json
 
 jq -n \
   --slurpfile pre bench/baselines/fig9_pre.json \
   --slurpfile post "$TMP/fig9_post.json" \
-  '{bench: "fig9_efficiency", entries: [$pre[0], $post[0]]}' \
+  '{bench: "fig9_efficiency",
+    entries: [$pre[0], $post[0]
+              | .rows[].library_build_type = .build_type]}' \
   > BENCH_fig9.json
 
 # The snapshot store is a new subsystem, so its "baseline" entry is the
@@ -141,11 +167,16 @@ jq -n \
 jq -n \
   --slurpfile pre bench/baselines/snapshot_pre.json \
   --slurpfile post "$TMP/snapshot_current.json" \
-  '{bench: "snapshot_load", entries: [$pre[0], $post[0]]}' \
+  '{bench: "snapshot_load",
+    entries: [$pre[0], $post[0]
+              | .rows[].library_build_type = .build_type]}' \
   > BENCH_snapshot.json
 
 # Like the snapshot store, the serving layer keeps a frozen committed
-# baseline: the thread-per-connection transport this PR replaced.
+# baseline: the thread-per-connection transport this PR replaced. The
+# loadgen rows have no build-type field of their own — the server they
+# drove came out of this script's Release build (guarded above), so the
+# rows are stamped here; the frozen baseline rows carry their own stamp.
 jq -n \
   --slurpfile pre bench/baselines/server_pre.json \
   --slurpfile inproc "$TMP/server_inproc.json" \
@@ -159,7 +190,8 @@ jq -n \
        machine: {cpus: ($cpus | tonumber)},
        server: "--demo --demo-pages 4 --workers 8 --queue-cap 8192 --cache-cap 256 (Release)",
        recorded: $recorded,
-       rows: ([inputs] + $inproc[0])}
+       rows: (([inputs] + $inproc[0])
+              | map(. + {library_build_type: "release"}))}
     ]}' "$TMP"/server_row_*.json > BENCH_server.json
 
 echo "== wrote BENCH_micro_sim.json, BENCH_fig9.json, BENCH_snapshot.json and BENCH_server.json =="

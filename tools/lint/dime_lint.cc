@@ -24,6 +24,11 @@
 //   banned-functions    sprintf / strcpy / strtok / rand(), and
 //                       fprintf(stderr, ...) in library code outside the
 //                       mutex-guarded logging sink
+//   raw-intrinsics      <immintrin.h>-family includes outside src/sim/,
+//                       and __builtin_cpu_supports outside the dispatch
+//                       TU (src/sim/simd_dispatch.*) — SIMD stays behind
+//                       the sim layer's dispatch seam so the scalar-twin
+//                       contract and DIME_FORCE_SCALAR keep holding
 //
 // Waivers: a finding is suppressed by a comment on the same line or the
 // line immediately above:
@@ -99,7 +104,7 @@ const std::map<std::string, std::set<std::string>>& AllowedDeps() {
 const std::set<std::string>& KnownRules() {
   static const std::set<std::string> kRules = {
       "unchecked-status", "include-layering", "failpoint-registry",
-      "raw-concurrency", "banned-functions"};
+      "raw-concurrency", "banned-functions", "raw-intrinsics"};
   return kRules;
 }
 
@@ -612,6 +617,43 @@ void CheckBannedFunctions(const SourceFile& f,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: raw-intrinsics.
+//
+// SIMD lives behind the sim layer's dispatch seam (src/sim/simd_dispatch.h):
+// vector kernels and their intrinsics stay in src/sim/, CPU-feature probing
+// stays in the dispatch TU, and everything else branches on
+// ActiveSimdLevel(). An intrinsics include or a raw CPUID probe anywhere
+// else would bypass the DIME_FORCE_SCALAR escape hatch and the
+// bit-identical scalar-twin contract the golden tests pin.
+
+const std::regex kIntrinsicsIncludeRe(
+    R"(^\s*#\s*include\s*[<"](?:[a-z0-9]*intrin|arm_neon|arm_sve)\.h[>"])");
+
+void CheckRawIntrinsics(const SourceFile& f,
+                        std::vector<Finding>* findings) {
+  const bool in_sim = f.rel_path.rfind("src/sim/", 0) == 0;
+  const bool is_dispatch = f.rel_path == "src/sim/simd_dispatch.h" ||
+                           f.rel_path == "src/sim/simd_dispatch.cc";
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    if (!in_sim && std::regex_search(f.raw[i], kIntrinsicsIncludeRe)) {
+      Report(f, i, "raw-intrinsics",
+             "intrinsics header outside src/sim/; put vector kernels in "
+             "the sim layer behind simd_dispatch.h so the scalar-twin "
+             "contract and DIME_FORCE_SCALAR keep holding",
+             findings);
+    }
+    if (!is_dispatch &&
+        f.code[i].find("__builtin_cpu_supports") != std::string::npos) {
+      Report(f, i, "raw-intrinsics",
+             "__builtin_cpu_supports outside src/sim/simd_dispatch.*; ask "
+             "ActiveSimdLevel() instead so the probe is made once, cached, "
+             "and overridable for tests",
+             findings);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver.
 
 struct Options {
@@ -745,6 +787,9 @@ int main(int argc, char** argv) {
   }
   if (enabled("banned-functions")) {
     for (const auto& f : files) CheckBannedFunctions(f, &findings);
+  }
+  if (enabled("raw-intrinsics")) {
+    for (const auto& f : files) CheckRawIntrinsics(f, &findings);
   }
 
   std::sort(findings.begin(), findings.end(),

@@ -45,12 +45,12 @@ bool Contains(const std::string& haystack, const std::string& needle) {
   return haystack.find(needle) != std::string::npos;
 }
 
-TEST(DimeLintCli, ListRulesPrintsAllFive) {
+TEST(DimeLintCli, ListRulesPrintsEveryRule) {
   LintResult r = RunCommand(std::string(DIME_LINT_BINARY) + " --list-rules");
   EXPECT_EQ(r.exit_code, 0);
   for (const char* rule :
        {"unchecked-status", "include-layering", "failpoint-registry",
-        "raw-concurrency", "banned-functions"}) {
+        "raw-concurrency", "banned-functions", "raw-intrinsics"}) {
     EXPECT_TRUE(Contains(r.output, rule)) << "missing rule: " << rule;
   }
 }
@@ -133,6 +133,26 @@ TEST(BannedFunctions, FlagsUnsafeCallsAndLibraryStderr) {
 TEST(BannedFunctions, CleanOnSnprintfLookalikesAndBinStderr) {
   LintResult r = RunLint("banned_functions_clean", "banned-functions");
   EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(RawIntrinsics, FlagsIncludesAndProbesOutsideTheSimSeam) {
+  LintResult r = RunLint("raw_intrinsics_firing", "raw-intrinsics");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_TRUE(Contains(r.output, "intrinsics header outside src/sim/"))
+      << r.output;
+  EXPECT_TRUE(Contains(r.output, "__builtin_cpu_supports outside"))
+      << r.output;
+  // rogue_kernel.cc sits in src/sim/, so its include (line 3) is
+  // sanctioned even though its direct CPUID probe is not.
+  EXPECT_FALSE(Contains(r.output, "rogue_kernel.cc:3")) << r.output;
+  EXPECT_TRUE(Contains(r.output, "rogue_kernel.cc:7")) << r.output;
+  EXPECT_TRUE(Contains(r.output, "3 findings")) << r.output;
+}
+
+TEST(RawIntrinsics, CleanOnSimKernelsDispatchTuAndWaivedShim) {
+  LintResult r = RunLint("raw_intrinsics_clean", "raw-intrinsics");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_TRUE(Contains(r.output, "clean")) << r.output;
 }
 
 // The waivers fixture exercises all three waiver behaviors at once: valid

@@ -1,0 +1,12 @@
+// Core code consults the dispatch seam; naming __builtin_cpu_supports in
+// a comment is not a probe and must not fire.
+#include "src/sim/simd_dispatch.h"
+
+// lint: raw-intrinsics-ok(legacy prefetch shim, retired once callers move)
+#include <xmmintrin.h>
+
+namespace dime {
+
+bool WantWide() { return ActiveSimdLevel() != SimdLevel::kScalar; }
+
+}  // namespace dime

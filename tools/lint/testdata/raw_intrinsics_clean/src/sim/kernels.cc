@@ -1,0 +1,11 @@
+// Vector kernels live in the sim layer, so the intrinsics include is
+// sanctioned here; the kernel still branches on the dispatch seam.
+#include <immintrin.h>
+
+#include "src/sim/simd_dispatch.h"
+
+namespace dime {
+
+int LaneWidth() { return ActiveSimdLevel() == SimdLevel::kAvx2 ? 8 : 1; }
+
+}  // namespace dime

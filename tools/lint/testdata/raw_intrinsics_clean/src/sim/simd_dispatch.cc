@@ -1,0 +1,8 @@
+// The dispatch TU: the single sanctioned home for CPU-feature probing.
+#include "src/sim/simd_dispatch.h"
+
+namespace dime {
+
+bool CpuHasAvx2() { return __builtin_cpu_supports("avx2"); }
+
+}  // namespace dime

@@ -1,0 +1,9 @@
+// Core code reaching for SIMD directly: both the include and the raw
+// CPUID probe must fire.
+#include <immintrin.h>
+
+namespace dime {
+
+bool HasAvx2() { return __builtin_cpu_supports("avx2"); }
+
+}  // namespace dime

@@ -1,0 +1,9 @@
+// In src/sim/ the intrinsics include is sanctioned; the CPUID probe is
+// not — feature detection belongs to the dispatch TU alone.
+#include <immintrin.h>
+
+namespace dime {
+
+int PickLane() { return __builtin_cpu_supports("avx2") ? 8 : 1; }
+
+}  // namespace dime
