@@ -14,6 +14,7 @@
 
 #include "bench/bench_util.h"
 #include "src/baselines/kmeans.h"
+#include "src/common/threads.h"
 #include "src/common/timer.h"
 #include "src/core/dime_parallel.h"
 #include "src/core/dime_plus.h"
@@ -111,9 +112,9 @@ int main() {
   // the paper: step 1's pair space is embarrassingly parallel).
   {
     bench::PrintTitle("Parallel DIME thread scaling (DBGen)");
-    std::printf("(machine reports %u hardware thread(s); speedups are only "
-                "expected beyond 1)\n",
-                std::thread::hardware_concurrency());
+    std::printf("(resolved thread count %u; speedups are only expected "
+                "beyond 1)\n",
+                ResolveThreadCount(0));
     DbgenOptions options;
     options.num_entities = bench::QuickMode() ? 4000 : 12000;
     options.seed = 17;

@@ -4,13 +4,15 @@
 //   dime_cli <group.tsv> --positive "<rule>" [--positive ...]
 //                        --negative "<rule>" [--negative ...]
 //                        [--rules <ruleset.txt>]
-//                        [--engine naive|plus|parallel] [--venue-ontology]
+//                        [--engine naive|plus|parallel|sharded]
+//                        [--threads <n>] [--venue-ontology]
 //                        [--ontology <tree.txt> --ontology-mode exact|keyword]
 //                        [--deadline-ms <n>] [--stats]
 //
 // Snapshot mode — run over a prepared binary snapshot (dime_snapshot):
 //   dime_cli --snapshot <corpus.snap> [--group-name <name>]
-//            [--engine naive|plus|parallel] [--deadline-ms <n>] [--stats]
+//            [--engine naive|plus|parallel|sharded] [--threads <n>]
+//            [--deadline-ms <n>] [--stats]
 // Loads the corpus with zero preparation (the snapshot already holds rank
 // columns, masses, signatures and frozen indexes) and checks the named
 // group (default: the first one).
@@ -75,6 +77,7 @@
 #include "src/common/exit_code.h"
 #include "src/core/dime_parallel.h"
 #include "src/core/dime_plus.h"
+#include "src/exec/sharded_dime.h"
 #include "src/core/metrics.h"
 #include "src/datagen/presets.h"
 #include "src/datagen/scholar_gen.h"
@@ -316,6 +319,7 @@ int RunSnapshot(int argc, char** argv) {
   std::string path;
   std::string group_name;
   std::string engine = "plus";
+  unsigned threads = 0;
   long deadline_ms = -1;
   bool show_stats = false;
   for (int i = 2; i < argc; ++i) {
@@ -331,9 +335,13 @@ int RunSnapshot(int argc, char** argv) {
       group_name = next();
     } else if (arg == "--engine") {
       engine = next();
-      if (engine != "naive" && engine != "plus" && engine != "parallel") {
-        return UsageError("--engine must be naive, plus, or parallel");
+      if (engine != "naive" && engine != "plus" && engine != "parallel" &&
+          engine != "sharded") {
+        return UsageError(
+            "--engine must be naive, plus, parallel, or sharded");
       }
+    } else if (arg == "--threads") {
+      threads = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--deadline-ms") {
       deadline_ms = std::strtol(next(), nullptr, 10);
       if (deadline_ms <= 0) {
@@ -382,8 +390,15 @@ int RunSnapshot(int argc, char** argv) {
   if (engine == "naive") {
     result = RunDime(pg, loaded->positive, loaded->negative, control);
   } else if (engine == "parallel") {
-    result = RunDimeParallel(pg, loaded->positive, loaded->negative, {},
+    ParallelOptions popts;
+    popts.num_threads = threads;
+    result = RunDimeParallel(pg, loaded->positive, loaded->negative, popts,
                              control);
+  } else if (engine == "sharded") {
+    exec::ShardedOptions sopts;
+    sopts.num_threads = threads;
+    result = exec::RunDimePlusSharded(pg, loaded->positive, loaded->negative,
+                                      sopts, control);
   } else {
     result = RunDimePlus(pg, loaded->positive, loaded->negative, {}, control);
   }
@@ -407,6 +422,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> positive_texts, negative_texts;
   bool use_venue_ontology = false;
   std::string engine = "plus";
+  unsigned threads = 0;
   long deadline_ms = -1;
   bool show_stats = false;
   std::vector<std::string> ontology_paths;
@@ -439,9 +455,13 @@ int main(int argc, char** argv) {
       ontology_modes.back() = next();
     } else if (arg == "--engine") {
       engine = next();
-      if (engine != "naive" && engine != "plus" && engine != "parallel") {
-        return UsageError("--engine must be naive, plus, or parallel");
+      if (engine != "naive" && engine != "plus" && engine != "parallel" &&
+          engine != "sharded") {
+        return UsageError(
+            "--engine must be naive, plus, parallel, or sharded");
       }
+    } else if (arg == "--threads") {
+      threads = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--deadline-ms") {
       deadline_ms = std::strtol(next(), nullptr, 10);
       if (deadline_ms <= 0) {
@@ -529,7 +549,13 @@ int main(int argc, char** argv) {
   if (engine == "naive") {
     result = RunDime(pg, positive, negative, control);
   } else if (engine == "parallel") {
-    result = RunDimeParallel(pg, positive, negative, {}, control);
+    ParallelOptions popts;
+    popts.num_threads = threads;
+    result = RunDimeParallel(pg, positive, negative, popts, control);
+  } else if (engine == "sharded") {
+    exec::ShardedOptions sopts;
+    sopts.num_threads = threads;
+    result = exec::RunDimePlusSharded(pg, positive, negative, sopts, control);
   } else {
     result = RunDimePlus(pg, positive, negative, {}, control);
   }

@@ -27,6 +27,7 @@
 ///                            widening the swap/serve race for tests
 ///   "stress/churn"           test-only: drives the arm/trigger churn in
 ///                            the thread-safety stress harness
+///   "exec/task-fault"        a task spawned on the exec scheduler throws
 ///
 /// Usage (in a test):
 ///   ScopedFailpoint fp(failpoints::kIoRead);   // arm for 1 hit
@@ -49,6 +50,7 @@ inline constexpr char kStoreSwap[] = "store/swap";
 inline constexpr char kStoreDeltaCorrupt[] = "store/delta-corrupt";
 inline constexpr char kEpochUnmapDelay[] = "epoch/unmap-delay";
 inline constexpr char kStressChurn[] = "stress/churn";
+inline constexpr char kExecTaskFault[] = "exec/task-fault";
 
 }  // namespace failpoints
 

@@ -8,6 +8,7 @@
 #include "src/common/check.h"
 #include "src/common/logging.h"
 #include "src/common/mutex.h"
+#include "src/common/threads.h"
 
 namespace dime {
 namespace {
@@ -44,11 +45,7 @@ std::vector<DimeResult> RunCorpus(const std::vector<Group>& groups,
   std::vector<DimeResult> results(groups.size());
   if (groups.empty()) return results;
 
-  unsigned threads = options.num_threads;
-  if (threads == 0) {
-    threads = std::thread::hardware_concurrency();
-    if (threads == 0) threads = 1;
-  }
+  unsigned threads = ResolveThreadCount(options.num_threads);
   threads = std::min<unsigned>(threads, static_cast<unsigned>(groups.size()));
 
   CorpusProgress progress;

@@ -14,7 +14,8 @@
 namespace dime {
 
 struct CorpusOptions {
-  /// 0 = std::thread::hardware_concurrency().
+  /// 0 = the ResolveThreadCount precedence (DIME_THREADS env, then
+  /// hardware concurrency).
   unsigned num_threads = 0;
   /// false runs the naive Algorithm 1 instead of DIME+.
   bool use_dime_plus = true;

@@ -4,33 +4,45 @@
 #include "src/core/dime.h"
 
 /// \file dime_parallel.h
-/// Multi-threaded Algorithm 1. The pair space of step 1 is embarrassingly
-/// parallel: row blocks are scanned concurrently and matching edges merged
-/// into one union-find afterwards; step 3's per-partition checks are
-/// independent given the pivot. Results are bit-identical to RunDime —
-/// connected components and the first-flagging-rule computation do not
-/// depend on edge discovery order (covered by tests).
+/// Multi-threaded Algorithm 1. Historically a fork-join engine living in
+/// src/core; it is now a thin wrapper over the sharded execution engine
+/// (src/exec/sharded_dime.h), which decomposes the pair space into
+/// shard-block tasks on a work-stealing pool and merges through a striped
+/// concurrent union-find. The definition lives in src/exec/ (the core
+/// layer does not depend on exec); this header keeps the historical API.
 ///
-/// Fault tolerance: a worker thread that throws no longer takes the
-/// process down via std::terminate. The exception is captured and, by
-/// default, the whole run falls back to the serial engine (bit-identical
-/// result); with `serial_fallback = false` the failure surfaces as an
-/// INTERNAL status on the result instead. Deadlines/cancellation are
-/// honored cooperatively: workers poll the RunControl at row / partition
-/// boundaries and the truncation semantics match RunDime's.
+/// Results are bit-identical to RunDime — connected components and the
+/// first-flagging-rule computation do not depend on edge discovery order
+/// (covered by tests).
+///
+/// Fault tolerance: a task that throws no longer takes the process down
+/// via std::terminate. The exception is captured and, by default, the
+/// whole run falls back to the serial engine (bit-identical result); with
+/// `serial_fallback = false` the failure surfaces as an INTERNAL status
+/// on the result instead. Deadlines/cancellation are honored
+/// cooperatively: tasks poll the RunControl at row / partition boundaries
+/// and the truncation semantics match RunDime's.
 ///
 /// This addresses the practical gap the paper leaves open for very large
 /// groups where even DIME+'s verification phase is CPU-bound.
 
 namespace dime {
 
+namespace exec {
+class WorkStealingPool;
+}  // namespace exec
+
 struct ParallelOptions {
-  /// 0 = std::thread::hardware_concurrency().
+  /// 0 = the exec::ResolveThreadCount precedence (--threads flag value
+  /// passed through here, DIME_THREADS, hardware_concurrency).
   unsigned num_threads = 0;
-  /// When a worker thread throws, rerun the group serially (RunDime) and
-  /// return that result. When false, return an empty result whose status
-  /// is INTERNAL with the exception text.
+  /// When a task throws, rerun the group serially (RunDime) and return
+  /// that result. When false, return an empty result whose status is
+  /// INTERNAL with the exception text.
   bool serial_fallback = true;
+  /// Borrowed scheduler (null = build one for the call). DimeService
+  /// shares its pool across requests through this.
+  exec::WorkStealingPool* pool = nullptr;
 };
 
 /// Parallel counterpart of RunDime(pg, positive, negative, control).

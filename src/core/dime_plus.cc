@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <memory>
-#include <unordered_map>
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
+#include "src/core/dime_plus_internal.h"
 #include "src/index/inverted_index.h"
 #include "src/index/union_find.h"
 #include "src/index/verification.h"
@@ -19,12 +19,6 @@ struct PositiveCandidate {
   int rule;
   int e1;
   int e2;
-};
-
-struct NegativeCandidate {
-  double benefit;
-  int e;       // entity in the partition under test
-  int e_star;  // entity in the pivot
 };
 
 }  // namespace
@@ -207,51 +201,22 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
   if (result.pivot >= 0 && !negative.empty()) {
     const std::vector<int>& pivot_entities = result.partitions[result.pivot];
 
-    // Lazily built per negative rule: the generator (on-demand path only),
-    // each pivot entity's signature set, and a sig -> pivot-entities map
-    // used both as the partition-level filter and for shared-count
-    // estimation. Signature runs are handled as borrowed spans so the
-    // artifact path reads straight out of the (possibly memory-mapped)
-    // columns without copying.
-    std::vector<std::unique_ptr<SignatureGenerator>> gens(negative.size());
-    std::vector<std::vector<std::vector<uint64_t>>> pivot_sigs_owned(
-        negative.size());
-    std::vector<std::vector<SignatureSpan>> pivot_sigs(negative.size());
-    std::vector<std::unordered_map<uint64_t, std::vector<int>>> pivot_lists(
-        negative.size());
-    std::vector<bool> rule_ready(negative.size(), false);
-    SignatureScratch sig_scratch;
-    auto ensure_rule = [&](size_t r) {
-      if (rule_ready[r]) return;
-      rule_ready[r] = true;
-      if (artifacts == nullptr) {
-        gens[r] = std::make_unique<SignatureGenerator>(
-            pg, negative[r].predicates, Direction::kLe,
-            /*rule_tag=*/0x1000 + r, options.signatures);
-        pivot_sigs_owned[r].resize(pivot_entities.size());
+    // Per-rule read-only state (pivot signatures + the sig -> positions
+    // map), built lazily on first use; the per-partition scan itself
+    // lives in dime_plus_internal.h so the sharded engine (src/exec/)
+    // runs the identical code concurrently.
+    std::vector<internal::NegativeRuleContext> contexts(negative.size());
+    internal::NegativeScratch scratch;
+    auto rule_context =
+        [&](size_t r) -> const internal::NegativeRuleContext& {
+      if (!contexts[r].ready) {
+        internal::BuildNegativeRuleContext(pg, negative[r], r, artifacts,
+                                           pivot_entities, options.signatures,
+                                           &scratch.sig, &contexts[r]);
       }
-      pivot_sigs[r].resize(pivot_entities.size());
-      for (size_t i = 0; i < pivot_entities.size(); ++i) {
-        if (artifacts != nullptr) {
-          pivot_sigs[r][i] =
-              artifacts->negative_sigs[r].row(pivot_entities[i]);
-        } else {
-          pivot_sigs_owned[r][i] =
-              gens[r]->NegativeRuleSignatures(pivot_entities[i], &sig_scratch);
-          pivot_sigs[r][i] = SignatureSpan(pivot_sigs_owned[r][i]);
-        }
-        for (uint64_t s : pivot_sigs[r][i]) {
-          pivot_lists[r][s].push_back(static_cast<int>(i));
-        }
-      }
+      return contexts[r];
     };
-
-    // Dense per-member shared-signature counter: one slot per pivot
-    // position, reset between members through the dirty list — the
-    // hash-map pair counter this replaces spent more time hashing
-    // (member, pivot) keys than verifying rules on large pivots.
-    std::vector<uint32_t> shared_with_pivot(pivot_entities.size(), 0);
-    std::vector<uint32_t> dirty;
+    internal::NegativePhaseStats nstats;
 
     for (size_t p = 0; p < result.partitions.size(); ++p) {
       if (static_cast<int>(p) == result.pivot) continue;
@@ -263,128 +228,13 @@ DimeResult RunDimePlus(const PreparedGroup& pg,
         result.status = std::move(st);
         break;
       }
-      const std::vector<int>& members = result.partitions[p];
-      std::vector<std::vector<uint64_t>> member_sigs_owned(members.size());
-      std::vector<SignatureSpan> member_sigs(members.size());
-      for (size_t r = 0; r < negative.size() && first_flagging[p] < 0; ++r) {
-        ensure_rule(r);
-
-        // Filter: generate each member's signatures once (they are reused
-        // for the shared counts below) and test whether any matches a
-        // pivot signature.
-        bool any_shared = false;
-        for (size_t m = 0; m < members.size(); ++m) {
-          if (artifacts != nullptr) {
-            member_sigs[m] = artifacts->negative_sigs[r].row(members[m]);
-          } else {
-            member_sigs_owned[m] =
-                gens[r]->NegativeRuleSignatures(members[m], &sig_scratch);
-            member_sigs[m] = SignatureSpan(member_sigs_owned[m]);
-          }
-          if (any_shared) continue;
-          for (uint64_t s : member_sigs[m]) {
-            if (pivot_lists[r].find(s) != pivot_lists[r].end()) {
-              any_shared = true;
-              break;
-            }
-          }
-        }
-        if (!any_shared) {
-          // No signature of P matches any signature of P*: every cross pair
-          // satisfies the rule, so every member of P is dissimilar from the
-          // whole pivot — flag without verification.
-          first_flagging[p] = static_cast<int>(r);
-          ++result.stats.partitions_pruned_by_filter;
-          break;
-        }
-
-        // Verification: a member flags the partition if it is dissimilar
-        // from EVERY pivot entity. For each member, pivot entities are
-        // checked most-likely-similar first (shared signatures up, cost
-        // down), so a violating pair — which ends this member's scan — is
-        // found as early as possible.
-        //
-        // Only the dirty positions (shared > 0) can have positive benefit:
-        // SimilarProbability(0, ·, ·) is 0 and the cost clamp keeps shared
-        // benefits strictly above it, so the zero-shared majority forms a
-        // tied block that the full sort would place last, ordered by
-        // ascending e_star — which is pivot order, because Components()
-        // emits each partition sorted by entity id. Building and sorting
-        // candidates for the dirty list alone and then scanning the
-        // zero-shared remainder in pivot order therefore verifies pairs in
-        // exactly the order the full materialization did, without the
-        // O(|pivot|) probability/cost computations and sort per member.
-        std::vector<NegativeCandidate> cands;
-        for (size_t m = 0;
-             m < members.size() && first_flagging[p] < 0; ++m) {
-          // Scatter this member's shared counts into the dense slots.
-          for (uint64_t s : member_sigs[m]) {
-            auto it = pivot_lists[r].find(s);
-            if (it == pivot_lists[r].end()) continue;
-            for (int i : it->second) {
-              if (shared_with_pivot[i]++ == 0) {
-                dirty.push_back(static_cast<uint32_t>(i));
-              }
-            }
-          }
-          bool all_dissimilar = true;
-          if (options.benefit_order) {
-            cands.clear();
-            cands.reserve(dirty.size());
-            for (uint32_t i : dirty) {
-              double prob = SimilarProbability(shared_with_pivot[i],
-                                               member_sigs[m].size(),
-                                               pivot_sigs[r][i].size());
-              double cost = RuleVerificationCost(
-                  pg, negative[r].predicates, members[m], pivot_entities[i]);
-              cands.push_back(NegativeCandidate{PositiveBenefit(prob, cost),
-                                                members[m],
-                                                pivot_entities[i]});
-            }
-            std::sort(cands.begin(), cands.end(),
-                      [](const NegativeCandidate& a,
-                         const NegativeCandidate& b) {
-                        if (a.benefit != b.benefit) {
-                          return a.benefit > b.benefit;
-                        }
-                        return a.e_star < b.e_star;
-                      });
-            for (const NegativeCandidate& c : cands) {
-              ++result.stats.negative_pair_checks;
-              if (!EvalNegativeRule(pg, negative[r], c.e, c.e_star)) {
-                all_dissimilar = false;
-                break;
-              }
-            }
-            if (all_dissimilar) {
-              for (size_t i = 0; i < pivot_entities.size(); ++i) {
-                if (shared_with_pivot[i] != 0) continue;  // verified above
-                ++result.stats.negative_pair_checks;
-                if (!EvalNegativeRule(pg, negative[r], members[m],
-                                      pivot_entities[i])) {
-                  all_dissimilar = false;
-                  break;
-                }
-              }
-            }
-          } else {
-            // Without benefit ordering the old materialized order was just
-            // pivot order; scan it directly.
-            for (size_t i = 0; i < pivot_entities.size(); ++i) {
-              ++result.stats.negative_pair_checks;
-              if (!EvalNegativeRule(pg, negative[r], members[m],
-                                    pivot_entities[i])) {
-                all_dissimilar = false;
-                break;
-              }
-            }
-          }
-          for (uint32_t d : dirty) shared_with_pivot[d] = 0;
-          dirty.clear();
-          if (all_dissimilar) first_flagging[p] = static_cast<int>(r);
-        }
-      }
+      first_flagging[p] = internal::FlagPartitionAgainstPivot(
+          pg, negative, artifacts, options.benefit_order, pivot_entities,
+          result.partitions[p], rule_context, &scratch, &nstats);
     }
+    result.stats.negative_pair_checks += nstats.negative_pair_checks;
+    result.stats.partitions_pruned_by_filter +=
+        nstats.partitions_pruned_by_filter;
   }
   result.first_flagging_rule = first_flagging;
   result.flagged_by_prefix = internal::BuildScrollbar(

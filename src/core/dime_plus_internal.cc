@@ -1,0 +1,85 @@
+#include "src/core/dime_plus_internal.h"
+
+#include <algorithm>
+
+namespace dime {
+namespace internal {
+
+void PivotSigMap::Build(const std::vector<SignatureSpan>& pivot_sigs) {
+  std::vector<Entry> entries;
+  size_t total = 0;
+  for (const SignatureSpan& span : pivot_sigs) total += span.size();
+  entries.reserve(total);
+  for (size_t i = 0; i < pivot_sigs.size(); ++i) {
+    for (uint64_t s : pivot_sigs[i]) {
+      entries.emplace_back(s, static_cast<uint32_t>(i));
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  AdoptSorted(std::move(entries));
+}
+
+void PivotSigMap::AdoptSorted(std::vector<Entry> entries) {
+  entries_ = std::move(entries);
+}
+
+PivotSigMap::PosRun PivotSigMap::Find(uint64_t s) const {
+  auto lo = std::lower_bound(
+      entries_.begin(), entries_.end(), s,
+      [](const Entry& e, uint64_t v) { return e.first < v; });
+  auto hi = lo;
+  while (hi != entries_.end() && hi->first == s) ++hi;
+  PosRun run;
+  run.ptr = entries_.data() + (lo - entries_.begin());
+  run.len = static_cast<size_t>(hi - lo);
+  return run;
+}
+
+void EnsureNegativeGenerator(const PreparedGroup& pg,
+                             const NegativeRule& rule, size_t r,
+                             const PreparedRuleArtifacts* artifacts,
+                             const SignatureOptions& sig_options,
+                             NegativeRuleContext* ctx) {
+  if (artifacts != nullptr || ctx->gen != nullptr) return;
+  ctx->gen = std::make_unique<SignatureGenerator>(
+      pg, rule.predicates, Direction::kLe,
+      /*rule_tag=*/0x1000 + r, sig_options);
+}
+
+void GeneratePivotSignatures(const PreparedRuleArtifacts* artifacts, size_t r,
+                             const std::vector<int>& pivot_entities,
+                             size_t begin, size_t end,
+                             SignatureScratch* scratch,
+                             NegativeRuleContext* ctx) {
+  for (size_t i = begin; i < end; ++i) {
+    if (artifacts != nullptr) {
+      ctx->pivot_sigs[i] = artifacts->negative_sigs[r].row(pivot_entities[i]);
+    } else {
+      ctx->pivot_sigs_owned[i] =
+          ctx->gen->NegativeRuleSignatures(pivot_entities[i], scratch);
+      ctx->pivot_sigs[i] = SignatureSpan(ctx->pivot_sigs_owned[i]);
+    }
+  }
+}
+
+void BuildNegativeRuleContext(const PreparedGroup& pg,
+                              const NegativeRule& rule, size_t r,
+                              const PreparedRuleArtifacts* artifacts,
+                              const std::vector<int>& pivot_entities,
+                              const SignatureOptions& sig_options,
+                              SignatureScratch* scratch,
+                              NegativeRuleContext* ctx) {
+  if (ctx->ready) return;
+  EnsureNegativeGenerator(pg, rule, r, artifacts, sig_options, ctx);
+  if (artifacts == nullptr) {
+    ctx->pivot_sigs_owned.resize(pivot_entities.size());
+  }
+  ctx->pivot_sigs.resize(pivot_entities.size());
+  GeneratePivotSignatures(artifacts, r, pivot_entities, 0,
+                          pivot_entities.size(), scratch, ctx);
+  ctx->pivot_map.Build(ctx->pivot_sigs);
+  ctx->ready = true;
+}
+
+}  // namespace internal
+}  // namespace dime

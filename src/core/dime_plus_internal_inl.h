@@ -1,0 +1,168 @@
+#ifndef DIME_CORE_DIME_PLUS_INTERNAL_INL_H_
+#define DIME_CORE_DIME_PLUS_INTERNAL_INL_H_
+
+#include <algorithm>
+
+#include "src/index/verification.h"
+
+/// \file dime_plus_internal_inl.h
+/// Template body of FlagPartitionAgainstPivot (see dime_plus_internal.h).
+/// This is the historical inline code of RunDimePlus step 3, moved — the
+/// comments and control flow are intentionally unchanged, because the
+/// verification order and pair-check counts it produces are pinned by the
+/// golden equality tests.
+
+namespace dime {
+namespace internal {
+
+template <typename RuleContextFn>
+int FlagPartitionAgainstPivot(const PreparedGroup& pg,
+                              const std::vector<NegativeRule>& negative,
+                              const PreparedRuleArtifacts* artifacts,
+                              bool benefit_order,
+                              const std::vector<int>& pivot_entities,
+                              const std::vector<int>& members,
+                              const RuleContextFn& rule_context,
+                              NegativeScratch* scratch,
+                              NegativePhaseStats* stats) {
+  int flag = -1;
+  if (scratch->member_sigs_owned.size() < members.size()) {
+    scratch->member_sigs_owned.resize(members.size());
+  }
+  if (scratch->member_sigs.size() < members.size()) {
+    scratch->member_sigs.resize(members.size());
+  }
+  // Dense per-member shared-signature counter: one slot per pivot
+  // position, reset between members through the dirty list — the
+  // hash-map pair counter this replaces spent more time hashing
+  // (member, pivot) keys than verifying rules on large pivots.
+  if (scratch->shared_with_pivot.size() != pivot_entities.size()) {
+    scratch->shared_with_pivot.assign(pivot_entities.size(), 0);
+    scratch->dirty.clear();
+  }
+  std::vector<SignatureSpan>& member_sigs = scratch->member_sigs;
+  std::vector<uint32_t>& shared_with_pivot = scratch->shared_with_pivot;
+  std::vector<uint32_t>& dirty = scratch->dirty;
+
+  for (size_t r = 0; r < negative.size() && flag < 0; ++r) {
+    const NegativeRuleContext& ctx = rule_context(r);
+
+    // Filter: generate each member's signatures once (they are reused
+    // for the shared counts below) and test whether any matches a
+    // pivot signature.
+    bool any_shared = false;
+    for (size_t m = 0; m < members.size(); ++m) {
+      if (artifacts != nullptr) {
+        member_sigs[m] = artifacts->negative_sigs[r].row(members[m]);
+      } else {
+        scratch->member_sigs_owned[m] =
+            ctx.gen->NegativeRuleSignatures(members[m], &scratch->sig);
+        member_sigs[m] = SignatureSpan(scratch->member_sigs_owned[m]);
+      }
+      if (any_shared) continue;
+      for (uint64_t s : member_sigs[m]) {
+        if (ctx.pivot_map.Contains(s)) {
+          any_shared = true;
+          break;
+        }
+      }
+    }
+    if (!any_shared) {
+      // No signature of P matches any signature of P*: every cross pair
+      // satisfies the rule, so every member of P is dissimilar from the
+      // whole pivot — flag without verification.
+      flag = static_cast<int>(r);
+      ++stats->partitions_pruned_by_filter;
+      break;
+    }
+
+    // Verification: a member flags the partition if it is dissimilar
+    // from EVERY pivot entity. For each member, pivot entities are
+    // checked most-likely-similar first (shared signatures up, cost
+    // down), so a violating pair — which ends this member's scan — is
+    // found as early as possible.
+    //
+    // Only the dirty positions (shared > 0) can have positive benefit:
+    // SimilarProbability(0, ·, ·) is 0 and the cost clamp keeps shared
+    // benefits strictly above it, so the zero-shared majority forms a
+    // tied block that the full sort would place last, ordered by
+    // ascending e_star — which is pivot order, because Components()
+    // emits each partition sorted by entity id. Building and sorting
+    // candidates for the dirty list alone and then scanning the
+    // zero-shared remainder in pivot order therefore verifies pairs in
+    // exactly the order the full materialization did, without the
+    // O(|pivot|) probability/cost computations and sort per member.
+    std::vector<NegativeCandidate>& cands = scratch->cands;
+    for (size_t m = 0; m < members.size() && flag < 0; ++m) {
+      // Scatter this member's shared counts into the dense slots.
+      for (uint64_t s : member_sigs[m]) {
+        PivotSigMap::PosRun run = ctx.pivot_map.Find(s);
+        for (const PivotSigMap::Entry& ent : run) {
+          const uint32_t i = ent.second;
+          if (shared_with_pivot[i]++ == 0) {
+            dirty.push_back(i);
+          }
+        }
+      }
+      bool all_dissimilar = true;
+      if (benefit_order) {
+        cands.clear();
+        cands.reserve(dirty.size());
+        for (uint32_t i : dirty) {
+          double prob = SimilarProbability(shared_with_pivot[i],
+                                           member_sigs[m].size(),
+                                           ctx.pivot_sigs[i].size());
+          double cost = RuleVerificationCost(
+              pg, negative[r].predicates, members[m], pivot_entities[i]);
+          cands.push_back(NegativeCandidate{PositiveBenefit(prob, cost),
+                                            members[m], pivot_entities[i]});
+        }
+        std::sort(cands.begin(), cands.end(),
+                  [](const NegativeCandidate& a, const NegativeCandidate& b) {
+                    if (a.benefit != b.benefit) {
+                      return a.benefit > b.benefit;
+                    }
+                    return a.e_star < b.e_star;
+                  });
+        for (const NegativeCandidate& c : cands) {
+          ++stats->negative_pair_checks;
+          if (!EvalNegativeRule(pg, negative[r], c.e, c.e_star)) {
+            all_dissimilar = false;
+            break;
+          }
+        }
+        if (all_dissimilar) {
+          for (size_t i = 0; i < pivot_entities.size(); ++i) {
+            if (shared_with_pivot[i] != 0) continue;  // verified above
+            ++stats->negative_pair_checks;
+            if (!EvalNegativeRule(pg, negative[r], members[m],
+                                  pivot_entities[i])) {
+              all_dissimilar = false;
+              break;
+            }
+          }
+        }
+      } else {
+        // Without benefit ordering the old materialized order was just
+        // pivot order; scan it directly.
+        for (size_t i = 0; i < pivot_entities.size(); ++i) {
+          ++stats->negative_pair_checks;
+          if (!EvalNegativeRule(pg, negative[r], members[m],
+                                pivot_entities[i])) {
+            all_dissimilar = false;
+            break;
+          }
+        }
+      }
+      for (uint32_t d : dirty) shared_with_pivot[d] = 0;
+      dirty.clear();
+      if (all_dissimilar) flag = static_cast<int>(r);
+    }
+  }
+  return flag;
+}
+
+}  // namespace internal
+}  // namespace dime
+
+#endif  // DIME_CORE_DIME_PLUS_INTERNAL_INL_H_

@@ -101,6 +101,20 @@ Group GenerateDbgenGroup(const DbgenOptions& options) {
   return group;
 }
 
+DbgenOptions DbgenPreset100k(uint64_t seed) {
+  DbgenOptions options;
+  options.num_entities = 100000;
+  options.seed = seed;
+  return options;
+}
+
+DbgenOptions DbgenPreset1M(uint64_t seed) {
+  DbgenOptions options;
+  options.num_entities = 1000000;
+  options.seed = seed;
+  return options;
+}
+
 std::vector<PositiveRule> DbgenPositiveRules() {
   Schema schema = DbgenSchema();
   std::vector<PositiveRule> rules(2);

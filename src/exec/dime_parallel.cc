@@ -1,0 +1,32 @@
+#include "src/core/dime_parallel.h"
+
+#include "src/exec/sharded_dime.h"
+
+/// \file dime_parallel.cc
+/// RunDimeParallel, routed through the sharded execution engine. The
+/// declaration stays in src/core/dime_parallel.h for the historical API;
+/// the definition lives here because core cannot depend on exec (the
+/// include-layering DAG points the other way).
+
+namespace dime {
+
+DimeResult RunDimeParallel(const PreparedGroup& pg,
+                           const std::vector<PositiveRule>& positive,
+                           const std::vector<NegativeRule>& negative,
+                           const ParallelOptions& options,
+                           const RunControl& control) {
+  exec::ShardedOptions sharded;
+  sharded.num_threads = options.num_threads;
+  sharded.pool = options.pool;
+  sharded.serial_fallback = options.serial_fallback;
+  return exec::RunDimeSharded(pg, positive, negative, sharded, control);
+}
+
+DimeResult RunDimeParallel(const PreparedGroup& pg,
+                           const std::vector<PositiveRule>& positive,
+                           const std::vector<NegativeRule>& negative,
+                           const ParallelOptions& options) {
+  return RunDimeParallel(pg, positive, negative, options, RunControl{});
+}
+
+}  // namespace dime

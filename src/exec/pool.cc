@@ -1,0 +1,206 @@
+#include "src/exec/pool.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "src/common/fault_injection.h"
+#include "src/common/threads.h"
+
+namespace dime {
+namespace exec {
+namespace {
+
+/// Identifies the current thread inside a pool: null for external
+/// threads, else the pool and worker index, set for the worker's
+/// lifetime. Lets Spawn route to the worker's own deque and TryRunOneTask
+/// prefer it.
+struct WorkerTls {
+  WorkStealingPool* pool = nullptr;
+  unsigned index = 0;
+};
+thread_local WorkerTls g_worker_tls;
+
+}  // namespace
+
+unsigned ResolveThreadCount(unsigned requested) {
+  return dime::ResolveThreadCount(requested);
+}
+
+WorkStealingPool::WorkStealingPool(const PoolOptions& options) {
+  num_threads_ = ResolveThreadCount(options.num_threads);
+  const unsigned workers = num_threads_ > 0 ? num_threads_ - 1 : 0;
+  queues_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i]() { WorkerLoop(i); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  stop_.store(true, std::memory_order_relaxed);
+  {
+    MutexLock lock(&wake_mu_);
+    ++work_epoch_;
+  }
+  wake_cv_.SignalAll();
+  for (std::thread& w : workers_) w.join();
+}
+
+void WorkStealingPool::Submit(Task task) {
+  WorkerTls& tls = g_worker_tls;
+  if (tls.pool == this) {
+    MutexLock lock(&queues_[tls.index]->mu);
+    queues_[tls.index]->tasks.push_back(std::move(task));
+  } else {
+    MutexLock lock(&inject_mu_);
+    injected_.push_back(std::move(task));
+  }
+  {
+    MutexLock lock(&wake_mu_);
+    ++work_epoch_;
+  }
+  wake_cv_.Signal();
+}
+
+bool WorkStealingPool::PopTask(Task* out) {
+  WorkerTls& tls = g_worker_tls;
+  const bool is_worker = tls.pool == this;
+  // Own deque first (LIFO: the freshest task is the cache-warm one).
+  if (is_worker) {
+    MutexLock lock(&queues_[tls.index]->mu);
+    if (!queues_[tls.index]->tasks.empty()) {
+      *out = std::move(queues_[tls.index]->tasks.back());
+      queues_[tls.index]->tasks.pop_back();
+      return true;
+    }
+  }
+  // Injection queue (external submissions), FIFO.
+  {
+    MutexLock lock(&inject_mu_);
+    if (!injected_.empty()) {
+      *out = std::move(injected_.front());
+      injected_.pop_front();
+      return true;
+    }
+  }
+  // Steal oldest-first from siblings, scanning round-robin from the
+  // thread's successor so victims spread out.
+  const size_t start = is_worker ? tls.index + 1 : 0;
+  for (size_t k = 0; k < queues_.size(); ++k) {
+    WorkerQueue& q = *queues_[(start + k) % queues_.size()];
+    MutexLock lock(&q.mu);
+    if (!q.tasks.empty()) {
+      *out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool WorkStealingPool::TryRunOneTask() {
+  Task task;
+  if (!PopTask(&task)) return false;
+  Execute(task);
+  return true;
+}
+
+void WorkStealingPool::Execute(Task& task) {
+  TaskGroup* group = task.group;
+  if (!group->cancelled()) {
+    try {
+      if (DIME_FAULT_POINT(failpoints::kExecTaskFault)) {
+        throw std::runtime_error("injected exec task fault");
+      }
+      task.fn();
+    } catch (...) {
+      group->RecordException(std::current_exception());
+    }
+  }
+  group->TaskDone();
+}
+
+void WorkStealingPool::WorkerLoop(unsigned index) {
+  g_worker_tls.pool = this;
+  g_worker_tls.index = index;
+  while (true) {
+    uint64_t seen;
+    {
+      MutexLock lock(&wake_mu_);
+      seen = work_epoch_;
+    }
+    if (TryRunOneTask()) continue;
+    if (stop_.load(std::memory_order_relaxed)) break;
+    MutexLock lock(&wake_mu_);
+    if (work_epoch_ == seen && !stop_.load(std::memory_order_relaxed)) {
+      // The timeout is a liveness belt: correctness never depends on it
+      // (the epoch check above closes the lost-wakeup race).
+      wake_cv_.WaitFor(&wake_mu_, std::chrono::milliseconds(50));
+    }
+  }
+  g_worker_tls.pool = nullptr;
+}
+
+TaskGroup::~TaskGroup() {
+  Cancel();
+  Wait();
+}
+
+void TaskGroup::Spawn(std::function<void()> fn) {
+  {
+    MutexLock lock(&mu_);
+    ++pending_;
+  }
+  pool_->Submit(WorkStealingPool::Task{this, std::move(fn)});
+}
+
+void TaskGroup::RecordControl(Status st) {
+  {
+    MutexLock lock(&mu_);
+    if (control_status_.ok()) control_status_ = std::move(st);
+  }
+  Cancel();
+}
+
+void TaskGroup::RecordException(std::exception_ptr e) {
+  {
+    MutexLock lock(&mu_);
+    if (exception_ == nullptr) exception_ = std::move(e);
+  }
+  Cancel();
+}
+
+void TaskGroup::TaskDone() {
+  MutexLock lock(&mu_);
+  --pending_;
+  if (pending_ == 0) done_cv_.SignalAll();
+}
+
+void TaskGroup::Wait() {
+  while (true) {
+    if (pool_->TryRunOneTask()) continue;
+    MutexLock lock(&mu_);
+    if (pending_ == 0) return;
+    // Tasks may still be executing on workers (or new ones may be spawned
+    // by running tasks); poll with a short timed wait so a completion
+    // signal race costs at most one tick.
+    done_cv_.WaitFor(&mu_, std::chrono::milliseconds(1));
+  }
+}
+
+std::exception_ptr TaskGroup::exception() const {
+  MutexLock lock(&mu_);
+  return exception_;
+}
+
+Status TaskGroup::control_status() const {
+  MutexLock lock(&mu_);
+  return control_status_;
+}
+
+}  // namespace exec
+}  // namespace dime

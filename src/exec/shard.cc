@@ -1,0 +1,65 @@
+#include "src/exec/shard.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+
+namespace dime {
+namespace exec {
+namespace {
+
+/// Locality key of an entity: the first (lowest) global rank of the first
+/// rank-columned predicate of the first positive rule — the rarest token
+/// prefix filtering would index first. Entities without ranks sort last.
+std::vector<uint32_t> ShardKeys(const PreparedGroup& pg,
+                                const std::vector<PositiveRule>& positive) {
+  const size_t n = pg.size();
+  std::vector<uint32_t> keys(n, std::numeric_limits<uint32_t>::max());
+  const RankColumn* ranks = nullptr;
+  for (const PositiveRule& rule : positive) {
+    RulePlan plan = BuildRulePlan(pg, rule.predicates, Direction::kGe);
+    for (const PredicatePlan& p : plan) {
+      if (p.ranks != nullptr && p.ranks->num_entities() == n) {
+        ranks = p.ranks;
+        break;
+      }
+    }
+    if (ranks != nullptr) break;
+  }
+  if (ranks != nullptr) {
+    for (size_t e = 0; e < n; ++e) {
+      RankSpan span = ranks->view(e);
+      if (span.len > 0) keys[e] = span.ptr[0];
+    }
+  }
+  return keys;
+}
+
+}  // namespace
+
+ShardPlan BuildSignatureShardPlan(const PreparedGroup& pg,
+                                  const std::vector<PositiveRule>& positive,
+                                  size_t target_shard_size) {
+  ShardPlan plan;
+  const size_t n = pg.size();
+  plan.order.resize(n);
+  std::iota(plan.order.begin(), plan.order.end(), 0);
+  if (n == 0) {
+    plan.starts = {0};
+    return plan;
+  }
+  std::vector<uint32_t> keys = ShardKeys(pg, positive);
+  std::sort(plan.order.begin(), plan.order.end(), [&keys](int a, int b) {
+    if (keys[a] != keys[b]) return keys[a] < keys[b];
+    return a < b;
+  });
+  if (target_shard_size == 0) target_shard_size = 1;
+  const size_t shards = (n + target_shard_size - 1) / target_shard_size;
+  plan.starts.resize(shards + 1);
+  for (size_t s = 0; s <= shards; ++s) plan.starts[s] = n * s / shards;
+  return plan;
+}
+
+}  // namespace exec
+}  // namespace dime

@@ -1,0 +1,49 @@
+#ifndef DIME_EXEC_SHARD_H_
+#define DIME_EXEC_SHARD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/preprocess.h"
+#include "src/rules/rule.h"
+
+/// \file shard.h
+/// Signature-locality sharding of a PreparedGroup's entities (DESIGN.md
+/// §7.9). The sharded engine decomposes the all-pairs space into
+/// intra-shard and shard-pair tasks; any partition of the entities is
+/// correct (every unordered pair lands in exactly one task), so the
+/// layout is chosen for locality: entities are keyed by the first global
+/// rank of the first set-based predicate of the first positive rule — the
+/// same document-frequency order prefix filtering uses — and consecutive
+/// key runs land in one shard. Entities likely to share rare signatures
+/// (and thus to merge) then meet in intra-shard tasks, where the
+/// concurrent union-find is warm.
+///
+/// The plan is deterministic: keys come from the precomputed rank
+/// columns, ties break on entity id, and block cuts depend only on n and
+/// `target_shard_size`.
+
+namespace dime {
+namespace exec {
+
+struct ShardPlan {
+  /// Entity ids in signature-locality order.
+  std::vector<int> order;
+  /// Shard s spans order[starts[s] .. starts[s+1]); starts has
+  /// num_shards() + 1 entries.
+  std::vector<size_t> starts;
+
+  size_t num_shards() const { return starts.empty() ? 0 : starts.size() - 1; }
+  size_t shard_size(size_t s) const { return starts[s + 1] - starts[s]; }
+};
+
+/// Builds the plan for `pg`: ceil(n / target_shard_size) near-equal
+/// blocks in key order. `target_shard_size` is clamped to at least 1.
+ShardPlan BuildSignatureShardPlan(const PreparedGroup& pg,
+                                  const std::vector<PositiveRule>& positive,
+                                  size_t target_shard_size);
+
+}  // namespace exec
+}  // namespace dime
+
+#endif  // DIME_EXEC_SHARD_H_

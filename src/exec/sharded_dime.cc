@@ -1,0 +1,764 @@
+#include "src/exec/sharded_dime.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/fault_injection.h"
+#include "src/common/logging.h"
+#include "src/common/mutex.h"
+#include "src/core/dime_plus_internal.h"
+#include "src/exec/parallel_sort.h"
+#include "src/exec/shard.h"
+#include "src/exec/task_graph.h"
+#include "src/index/inverted_index.h"
+#include "src/index/striped_union_find.h"
+#include "src/sim/set_similarity.h"
+
+namespace dime {
+namespace exec {
+namespace {
+
+/// Resolves the pool to run on: the borrowed one, or a private pool built
+/// for this call and torn down with it.
+struct PoolRef {
+  WorkStealingPool* pool;
+  std::unique_ptr<WorkStealingPool> owned;
+
+  explicit PoolRef(const ShardedOptions& options) {
+    if (options.pool != nullptr) {
+      pool = options.pool;
+    } else {
+      owned = std::make_unique<WorkStealingPool>(
+          PoolOptions{options.num_threads});
+      pool = owned.get();
+    }
+  }
+};
+
+/// Rethrows the group's first task exception, if any. The engines call
+/// this right after Wait(); the catch site at the top level maps the
+/// exception to the documented degradation path (serial fallback or
+/// INTERNAL), exactly as the historical fork-join engine did.
+void RethrowTaskFault(const TaskGroup& group) {
+  std::exception_ptr e = group.exception();
+  if (e != nullptr) std::rethrow_exception(e);
+}
+
+std::string FaultText(const std::exception* e) {
+  return e != nullptr ? e->what() : "worker thread failed";
+}
+
+/// Step-1 truncation / worker-fault result: no partitions (half-merged
+/// components are not valid output), empty scrollbar, explaining status.
+DimeResult AbandonedResult(size_t num_negative, Status st) {
+  DimeResult out;
+  out.flagged_by_prefix.assign(num_negative, {});
+  out.status = std::move(st);
+  return out;
+}
+
+/// Chunky-task sizing: elements per task so every executor gets several
+/// tasks (for stealing to balance) without drowning in scheduling noise.
+size_t ChunkSize(size_t total, unsigned threads, size_t floor_size) {
+  const size_t chunks = static_cast<size_t>(threads) * 4;
+  return std::max(floor_size, (total + chunks - 1) / chunks);
+}
+
+// ---------------------------------------------------------------------------
+// RunDimeSharded: the naive quadratic framework (Algorithm 1) as a task
+// graph of shard blocks.
+// ---------------------------------------------------------------------------
+
+DimeResult RunDimeShardedInner(const PreparedGroup& pg,
+                               const std::vector<PositiveRule>& positive,
+                               const std::vector<NegativeRule>& negative,
+                               const ShardedOptions& options,
+                               const RunControl& control,
+                               WorkStealingPool* pool) {
+  DimeResult result;
+  const int n = static_cast<int>(pg.size());
+  const unsigned threads = pool->thread_count();
+
+  size_t target = options.target_shard_size;
+  if (target == 0) {
+    // Auto: ~4 shards per executor keeps every intra-shard node chunky
+    // while leaving the (quadratically many) pair nodes to balance load.
+    target = ChunkSize(static_cast<size_t>(n), threads, 64);
+  }
+  const ShardPlan plan = BuildSignatureShardPlan(pg, positive, target);
+  const size_t num_shards = plan.num_shards();
+
+  // ---- Step 1: intra-shard nodes unlock shard-pair nodes. ----------------
+  StripedUnionFind uf(static_cast<size_t>(n));
+  std::atomic<size_t> pos_checks{0};
+  std::atomic<uint64_t> kernel_exits{0};
+  TaskGroup group(pool);
+  {
+    TaskGraph graph(&group);
+
+    // Scans every unordered pair with one entity in shard s1 and one in
+    // s2 (s1 == s2: the shard's internal pairs). Pair membership depends
+    // only on the deterministic plan, so every pair is evaluated exactly
+    // once regardless of schedule — positive_pair_checks stays equal to
+    // the serial engine's (the naive framework has no skip path).
+    auto scan_block = [&pg, &positive, &plan, &uf, &control, &group,
+                       &pos_checks, &kernel_exits](size_t s1, size_t s2) {
+      if (DIME_FAULT_POINT(failpoints::kParallelWorkerFault)) {
+        throw std::runtime_error("injected worker fault (step 1)");
+      }
+      const uint64_t exits_before = KernelEarlyExits();
+      size_t local_checks = 0;
+      const size_t b1 = plan.starts[s1], e1 = plan.starts[s1 + 1];
+      const size_t b2 = plan.starts[s2], e2 = plan.starts[s2 + 1];
+      for (size_t i = b1; i < e1; ++i) {
+        Status st =
+            internal::CheckRunControl(control, "dime_parallel/positive-row");
+        if (!st.ok()) {
+          group.RecordControl(std::move(st));
+          break;
+        }
+        const int a = plan.order[i];
+        const size_t j_begin = (s1 == s2) ? i + 1 : b2;
+        for (size_t j = j_begin; j < e2; ++j) {
+          int x = a, y = plan.order[j];
+          if (x > y) std::swap(x, y);
+          for (const PositiveRule& rule : positive) {
+            ++local_checks;
+            if (EvalPositiveRule(pg, rule, x, y)) {
+              uf.Union(x, y);
+              break;
+            }
+          }
+        }
+      }
+      pos_checks.fetch_add(local_checks, std::memory_order_relaxed);
+      kernel_exits.fetch_add(KernelEarlyExits() - exits_before,
+                             std::memory_order_relaxed);
+    };
+
+    // Streaming topology: pair node (s1, s2) unlocks when both inputs
+    // finished their intra-shard pass, while other shards still run.
+    std::vector<int> intra(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      intra[s] = graph.AddNode([&scan_block, s] { scan_block(s, s); });
+    }
+    for (size_t s1 = 0; s1 < num_shards; ++s1) {
+      for (size_t s2 = s1 + 1; s2 < num_shards; ++s2) {
+        const int id =
+            graph.AddNode([&scan_block, s1, s2] { scan_block(s1, s2); });
+        graph.AddEdge(intra[s1], id);
+        graph.AddEdge(intra[s2], id);
+      }
+    }
+    graph.Run();
+    group.Wait();
+  }
+  RethrowTaskFault(group);
+  if (!group.control_status().ok()) {
+    return AbandonedResult(negative.size(), group.control_status());
+  }
+  result.stats.positive_pair_checks = pos_checks.load();
+  result.partitions = uf.Components();
+
+  // ---- Step 2. -----------------------------------------------------------
+  result.pivot = internal::PickPivot(result.partitions);
+  DIME_DCHECK(result.partitions.empty() || result.pivot >= 0)
+      << "non-empty group must yield a pivot";
+
+  // ---- Step 3: one non-pivot partition per task. -------------------------
+  std::vector<int> first_flagging(result.partitions.size(), -1);
+  if (result.pivot >= 0 && !negative.empty()) {
+    const std::vector<int>& pivot_entities = result.partitions[result.pivot];
+    std::atomic<size_t> neg_checks{0};
+    TaskGroup flag_group(pool);
+    for (size_t p = 0; p < result.partitions.size(); ++p) {
+      if (static_cast<int>(p) == result.pivot) continue;
+      flag_group.Spawn([&pg, &negative, &result, &control, &flag_group,
+                        &pivot_entities, &first_flagging, &neg_checks,
+                        &kernel_exits, p] {
+        if (DIME_FAULT_POINT(failpoints::kParallelWorkerFault)) {
+          throw std::runtime_error("injected worker fault (step 3)");
+        }
+        Status st = internal::CheckRunControl(
+            control, "dime_parallel/negative-partition");
+        if (!st.ok()) {
+          flag_group.RecordControl(std::move(st));
+          return;
+        }
+        const uint64_t exits_before = KernelEarlyExits();
+        size_t local_checks = 0;
+        int flag = -1;
+        for (size_t r = 0; r < negative.size() && flag < 0; ++r) {
+          for (int e : result.partitions[p]) {
+            bool all_dissimilar = true;
+            for (int e_star : pivot_entities) {
+              ++local_checks;
+              if (!EvalNegativeRule(pg, negative[r], e, e_star)) {
+                all_dissimilar = false;
+                break;
+              }
+            }
+            if (all_dissimilar) {
+              flag = static_cast<int>(r);
+              break;
+            }
+          }
+        }
+        first_flagging[p] = flag;
+        neg_checks.fetch_add(local_checks, std::memory_order_relaxed);
+        kernel_exits.fetch_add(KernelEarlyExits() - exits_before,
+                               std::memory_order_relaxed);
+      });
+    }
+    flag_group.Wait();
+    RethrowTaskFault(flag_group);
+    // Deadline during step 3: the partitions whose tasks ran keep their
+    // flags (a subset of the full run's — monotone scrollbar), skipped
+    // ones stay unflagged, and the status reports the truncation.
+    if (!flag_group.control_status().ok()) {
+      result.status = flag_group.control_status();
+    }
+    result.stats.negative_pair_checks = neg_checks.load();
+  }
+  result.first_flagging_rule = first_flagging;
+  result.flagged_by_prefix = internal::BuildScrollbar(
+      result.partitions, result.pivot, first_flagging, negative.size());
+  result.stats.kernel_early_exits = kernel_exits.load();
+  internal::DcheckResultInvariants(result, pg.size(), negative.size());
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// RunDimePlusSharded: Algorithm 2 — parallel signature postings, pooled
+// sort into inverted lists, volume-balanced verification, prebuilt
+// negative contexts, one partition scan per task.
+// ---------------------------------------------------------------------------
+
+/// A slice of one inverted list to verify: rows [row_begin, row_end) of
+/// `list` against every later element. Slicing rows keeps a stop-word
+/// flood list (one signature on every entity) from serializing the run.
+struct VerifySlice {
+  size_t rule = 0;
+  const int* list = nullptr;
+  size_t len = 0;
+  size_t row_begin = 0;
+  size_t row_end = 0;
+
+  size_t volume() const {
+    // sum over rows i of (len - 1 - i)
+    const size_t rows = row_end - row_begin;
+    const size_t first = len - 1 - row_begin;
+    const size_t last = len - row_end;
+    return rows * (first + last) / 2;
+  }
+};
+
+/// Per-run freelist of negative-phase scratches. Tasks borrow one for a
+/// partition scan and return it; Wait()-helping callers can interleave
+/// tasks of unrelated concurrent runs, so scratches are keyed by
+/// acquisition, never by worker index.
+struct ScratchFreeList {
+  Mutex mu;
+  std::vector<std::unique_ptr<internal::NegativeScratch>> all
+      DIME_GUARDED_BY(mu);
+  std::vector<internal::NegativeScratch*> free_list DIME_GUARDED_BY(mu);
+
+  internal::NegativeScratch* Acquire() DIME_EXCLUDES(mu) {
+    MutexLock lock(&mu);
+    if (!free_list.empty()) {
+      internal::NegativeScratch* s = free_list.back();
+      free_list.pop_back();
+      return s;
+    }
+    all.push_back(std::make_unique<internal::NegativeScratch>());
+    return all.back().get();
+  }
+  void Release(internal::NegativeScratch* s) DIME_EXCLUDES(mu) {
+    MutexLock lock(&mu);
+    free_list.push_back(s);
+  }
+};
+
+/// One positive rule's inverted lists, from either source: borrowed
+/// frozen artifact arrays, or postings generated and sorted this run.
+struct RuleLists {
+  // Frozen artifact path.
+  const uint64_t* list_starts = nullptr;
+  size_t num_lists = 0;
+  const int* list_entities = nullptr;
+  // Generated path: entity arena in (signature, entity) sorted order,
+  // run r spanning entities[run_starts[r] .. run_starts[r + 1]).
+  std::vector<int> entities;
+  std::vector<size_t> run_starts;
+};
+
+DimeResult RunDimePlusShardedInner(const PreparedGroup& pg,
+                                   const std::vector<PositiveRule>& positive,
+                                   const std::vector<NegativeRule>& negative,
+                                   const ShardedOptions& options,
+                                   const RunControl& control,
+                                   WorkStealingPool* pool) {
+  DimeResult result;
+  const int n = static_cast<int>(pg.size());
+  const unsigned threads = pool->thread_count();
+  const DimePlusOptions& plus = options.plus;
+
+  // Same artifact-compatibility gate as the serial engine: stale
+  // artifacts cost time, never correctness.
+  const PreparedRuleArtifacts* artifacts = pg.artifacts.get();
+  if (artifacts != nullptr &&
+      (artifacts->positive_indexes.size() != positive.size() ||
+       artifacts->negative_sigs.size() != negative.size() ||
+       artifacts->max_tuple_signatures !=
+           plus.signatures.max_tuple_signatures)) {
+    DIME_LOG(WARNING) << "prepared rule artifacts do not match the rule "
+                         "set/options of this run; regenerating signatures";
+    artifacts = nullptr;
+  }
+
+  std::atomic<uint64_t> kernel_exits{0};
+
+  // ---- Step 1a: per-rule inverted lists. ---------------------------------
+  // Artifact path: freeze on the coordinator (idempotent sort) and borrow
+  // the arrays. On-demand path: per-chunk tasks generate (sig, entity)
+  // postings with private scratches; the pool then sorts each rule's
+  // postings into lists. The sort key (sig, entity) reproduces exactly
+  // the runs InvertedIndex's stable freeze builds from ascending Add()s.
+  std::vector<RuleLists> lists(positive.size());
+  {
+    std::vector<std::unique_ptr<SignatureGenerator>> gens(positive.size());
+    std::vector<std::vector<std::vector<std::pair<uint64_t, int>>>> chunks(
+        positive.size());
+    const size_t chunk = ChunkSize(static_cast<size_t>(n), threads, 512);
+    const size_t num_chunks = (static_cast<size_t>(n) + chunk - 1) / chunk;
+    TaskGroup gen_group(pool);
+    for (size_t r = 0; r < positive.size(); ++r) {
+      if (artifacts != nullptr) {
+        InvertedIndex::FrozenView fv =
+            artifacts->positive_indexes[r].FrozenData();
+        lists[r].list_starts = fv.list_starts;
+        lists[r].num_lists = fv.list_starts_len - 1;
+        lists[r].list_entities = fv.entities;
+        continue;
+      }
+      gens[r] = std::make_unique<SignatureGenerator>(
+          pg, positive[r].predicates, Direction::kGe,
+          /*rule_tag=*/r + 1, plus.signatures);
+      chunks[r].resize(num_chunks);
+      for (size_t c = 0; c < num_chunks; ++c) {
+        gen_group.Spawn([&pg, &gens, &chunks, &control, &gen_group, chunk, r,
+                         c, n] {
+          Status st =
+              internal::CheckRunControl(control, "dime_plus/index-rule");
+          if (!st.ok()) {
+            gen_group.RecordControl(std::move(st));
+            return;
+          }
+          SignatureScratch scratch;
+          std::vector<std::pair<uint64_t, int>>& out = chunks[r][c];
+          const size_t end =
+              std::min(static_cast<size_t>(n), (c + 1) * chunk);
+          for (size_t e = c * chunk; e < end; ++e) {
+            const std::vector<uint64_t>& sigs = gens[r]->PositiveRuleSignatures(
+                static_cast<int>(e), &scratch);
+            for (uint64_t s : sigs) {
+              out.emplace_back(s, static_cast<int>(e));
+            }
+          }
+        });
+      }
+    }
+    gen_group.Wait();
+    RethrowTaskFault(gen_group);
+    if (!gen_group.control_status().ok()) {
+      return AbandonedResult(negative.size(), gen_group.control_status());
+    }
+    for (size_t r = 0; r < positive.size(); ++r) {
+      if (artifacts != nullptr) continue;
+      std::vector<std::pair<uint64_t, int>> postings;
+      size_t total = 0;
+      for (const auto& c : chunks[r]) total += c.size();
+      postings.reserve(total);
+      for (auto& c : chunks[r]) {
+        postings.insert(postings.end(), c.begin(), c.end());
+        c.clear();
+        c.shrink_to_fit();
+      }
+      ParallelSort(pool, &postings,
+                   std::less<std::pair<uint64_t, int>>());
+      // Collapse sorted postings into the entity arena + run table.
+      RuleLists& rl = lists[r];
+      rl.entities.resize(postings.size());
+      for (size_t i = 0; i < postings.size(); ++i) {
+        rl.entities[i] = postings[i].second;
+        if (i == 0 || postings[i].first != postings[i - 1].first) {
+          rl.run_starts.push_back(i);
+        }
+      }
+      rl.run_starts.push_back(postings.size());
+    }
+  }
+
+  // ---- Step 1b: volume-balanced candidate verification. ------------------
+  StripedUnionFind uf(static_cast<size_t>(n));
+  std::atomic<size_t> pos_checks{0};
+  std::atomic<size_t> trans_skips{0};
+  size_t candidate_volume = 0;
+  {
+    // Collect every list (len >= 2) as one or more row slices, then pack
+    // slices into near-equal-volume tasks.
+    std::vector<VerifySlice> slices;
+    size_t total_volume = 0;
+    auto add_list = [&](size_t rule, const int* list, size_t len) {
+      candidate_volume += len * (len - 1) / 2;
+      if (len < 2) return;
+      total_volume += len * (len - 1) / 2;
+      slices.push_back(VerifySlice{rule, list, len, 0, len});
+    };
+    for (size_t r = 0; r < positive.size(); ++r) {
+      const RuleLists& rl = lists[r];
+      if (rl.list_starts != nullptr) {
+        for (size_t l = 0; l < rl.num_lists; ++l) {
+          add_list(r, rl.list_entities + rl.list_starts[l],
+                   static_cast<size_t>(rl.list_starts[l + 1] -
+                                       rl.list_starts[l]));
+        }
+      } else {
+        for (size_t l = 0; l + 1 < rl.run_starts.size(); ++l) {
+          add_list(r, rl.entities.data() + rl.run_starts[l],
+                   rl.run_starts[l + 1] - rl.run_starts[l]);
+        }
+      }
+    }
+    result.stats.candidate_pairs = candidate_volume;
+
+    const size_t target_volume =
+        std::max<size_t>(1 << 12, ChunkSize(total_volume, threads, 1));
+    // Split oversized lists (the stop-word flood) by rows so no single
+    // slice dominates the schedule.
+    std::vector<VerifySlice> balanced;
+    balanced.reserve(slices.size());
+    for (const VerifySlice& s : slices) {
+      if (s.volume() <= 2 * target_volume) {
+        balanced.push_back(s);
+        continue;
+      }
+      size_t row = 0;
+      while (row < s.len) {
+        VerifySlice part = s;
+        part.row_begin = row;
+        size_t vol = 0;
+        while (row < s.len && vol < target_volume) {
+          vol += s.len - 1 - row;
+          ++row;
+        }
+        part.row_end = row;
+        balanced.push_back(part);
+      }
+    }
+
+    TaskGroup verify_group(pool);
+    size_t batch_begin = 0, batch_volume = 0;
+    auto spawn_batch = [&](size_t batch_end) {
+      if (batch_end == batch_begin) return;
+      verify_group.Spawn([&pg, &positive, &plus, &uf, &control, &verify_group,
+                          &balanced, &pos_checks, &trans_skips, &kernel_exits,
+                          batch_begin, batch_end] {
+        if (DIME_FAULT_POINT(failpoints::kParallelWorkerFault)) {
+          throw std::runtime_error("injected worker fault (step 1)");
+        }
+        const uint64_t exits_before = KernelEarlyExits();
+        size_t local_checks = 0, local_skips = 0;
+        constexpr size_t kCheckStride = 256;
+        size_t until_check = kCheckStride;
+        for (size_t b = batch_begin; b < batch_end; ++b) {
+          const VerifySlice& s = balanced[b];
+          // Whole-list transitivity skip, valid only when the slice
+          // covers the full list. Connected() never reports falsely
+          // true, so a concurrent merge can only turn a pair skip into
+          // a (redundant but harmless) verification.
+          if (plus.transitivity_skip && s.row_begin == 0 &&
+              s.row_end == s.len) {
+            bool all_connected = true;
+            for (size_t i = 1; i < s.len; ++i) {
+              if (!uf.Connected(s.list[0], s.list[i])) {
+                all_connected = false;
+                break;
+              }
+            }
+            if (all_connected) {
+              local_skips += s.len * (s.len - 1) / 2;
+              continue;
+            }
+          }
+          for (size_t i = s.row_begin; i < s.row_end; ++i) {
+            for (size_t j = i + 1; j < s.len; ++j) {
+              int e1 = s.list[i], e2 = s.list[j];
+              if (e1 == e2) continue;
+              if (e1 > e2) std::swap(e1, e2);
+              if (--until_check == 0) {
+                until_check = kCheckStride;
+                Status st = internal::CheckRunControl(
+                    control, "dime_plus/verify-candidates");
+                if (!st.ok()) {
+                  verify_group.RecordControl(std::move(st));
+                  pos_checks.fetch_add(local_checks,
+                                       std::memory_order_relaxed);
+                  trans_skips.fetch_add(local_skips,
+                                        std::memory_order_relaxed);
+                  kernel_exits.fetch_add(KernelEarlyExits() - exits_before,
+                                         std::memory_order_relaxed);
+                  return;
+                }
+              }
+              if (plus.transitivity_skip && uf.Connected(e1, e2)) {
+                ++local_skips;
+                continue;
+              }
+              ++local_checks;
+              if (EvalPositiveRule(pg, positive[s.rule], e1, e2)) {
+                uf.Union(e1, e2);
+              }
+            }
+          }
+        }
+        pos_checks.fetch_add(local_checks, std::memory_order_relaxed);
+        trans_skips.fetch_add(local_skips, std::memory_order_relaxed);
+        kernel_exits.fetch_add(KernelEarlyExits() - exits_before,
+                               std::memory_order_relaxed);
+      });
+      batch_begin = batch_end;
+      batch_volume = 0;
+    };
+    for (size_t b = 0; b < balanced.size(); ++b) {
+      batch_volume += balanced[b].volume();
+      if (batch_volume >= target_volume) spawn_batch(b + 1);
+    }
+    spawn_batch(balanced.size());
+    verify_group.Wait();
+    RethrowTaskFault(verify_group);
+    if (!verify_group.control_status().ok()) {
+      return AbandonedResult(negative.size(),
+                             verify_group.control_status());
+    }
+  }
+  result.stats.positive_pair_checks = pos_checks.load();
+  result.stats.pairs_skipped_by_transitivity = trans_skips.load();
+  result.partitions = uf.Components();
+
+  // ---- Step 2. -----------------------------------------------------------
+  result.pivot = internal::PickPivot(result.partitions);
+
+  // ---- Step 3: prebuilt rule contexts, one partition scan per task. ------
+  std::vector<int> first_flagging(result.partitions.size(), -1);
+  if (result.pivot >= 0 && !negative.empty()) {
+    const std::vector<int>& pivot_entities = result.partitions[result.pivot];
+
+    // Build every rule's context eagerly (pivot signatures in chunk
+    // tasks, map entries pool-sorted): the serial engine builds lazily
+    // because a rule may never be consulted, but here the partition
+    // scans run concurrently and all share the read-only contexts.
+    std::vector<internal::NegativeRuleContext> contexts(negative.size());
+    bool contexts_ready = true;
+    {
+      TaskGroup ctx_group(pool);
+      const size_t chunk = ChunkSize(pivot_entities.size(), threads, 256);
+      for (size_t r = 0; r < negative.size(); ++r) {
+        internal::NegativeRuleContext& ctx = contexts[r];
+        internal::EnsureNegativeGenerator(pg, negative[r], r, artifacts,
+                                          plus.signatures, &ctx);
+        if (artifacts == nullptr) {
+          ctx.pivot_sigs_owned.resize(pivot_entities.size());
+        }
+        ctx.pivot_sigs.resize(pivot_entities.size());
+        for (size_t b = 0; b < pivot_entities.size(); b += chunk) {
+          const size_t e = std::min(pivot_entities.size(), b + chunk);
+          ctx_group.Spawn([&control, &ctx_group, &pivot_entities, &ctx,
+                           artifacts, r, b, e] {
+            Status st = internal::CheckRunControl(
+                control, "dime_plus/negative-partition");
+            if (!st.ok()) {
+              ctx_group.RecordControl(std::move(st));
+              return;
+            }
+            SignatureScratch scratch;
+            internal::GeneratePivotSignatures(artifacts, r, pivot_entities,
+                                              b, e, &scratch, &ctx);
+          });
+        }
+      }
+      ctx_group.Wait();
+      RethrowTaskFault(ctx_group);
+      if (!ctx_group.control_status().ok()) {
+        // Contract of a step-3 truncation: partitions kept, nothing
+        // flagged yet, status explains.
+        result.status = ctx_group.control_status();
+        contexts_ready = false;
+      }
+    }
+    if (contexts_ready) {
+      for (size_t r = 0; r < negative.size(); ++r) {
+        std::vector<internal::PivotSigMap::Entry> entries;
+        size_t total = 0;
+        for (const SignatureSpan& span : contexts[r].pivot_sigs) {
+          total += span.size();
+        }
+        entries.reserve(total);
+        for (size_t i = 0; i < contexts[r].pivot_sigs.size(); ++i) {
+          for (uint64_t s : contexts[r].pivot_sigs[i]) {
+            entries.emplace_back(s, static_cast<uint32_t>(i));
+          }
+        }
+        ParallelSort(pool, &entries,
+                     std::less<internal::PivotSigMap::Entry>());
+        contexts[r].pivot_map.AdoptSorted(std::move(entries));
+        contexts[r].ready = true;
+      }
+
+      auto rule_context =
+          [&contexts](size_t r) -> const internal::NegativeRuleContext& {
+        return contexts[r];
+      };
+      std::atomic<size_t> neg_checks{0};
+      std::atomic<size_t> pruned{0};
+      ScratchFreeList scratches;
+      TaskGroup flag_group(pool);
+      for (size_t p = 0; p < result.partitions.size(); ++p) {
+        if (static_cast<int>(p) == result.pivot) continue;
+        flag_group.Spawn([&pg, &negative, &plus, &result, &control,
+                          &flag_group, &pivot_entities, &first_flagging,
+                          &rule_context, &scratches, &neg_checks, &pruned,
+                          &kernel_exits, artifacts, p] {
+          if (DIME_FAULT_POINT(failpoints::kParallelWorkerFault)) {
+            throw std::runtime_error("injected worker fault (step 3)");
+          }
+          Status st = internal::CheckRunControl(
+              control, "dime_plus/negative-partition");
+          if (!st.ok()) {
+            flag_group.RecordControl(std::move(st));
+            return;
+          }
+          const uint64_t exits_before = KernelEarlyExits();
+          internal::NegativeScratch* scratch = scratches.Acquire();
+          internal::NegativePhaseStats local;
+          first_flagging[p] = internal::FlagPartitionAgainstPivot(
+              pg, negative, artifacts, plus.benefit_order, pivot_entities,
+              result.partitions[p], rule_context, scratch, &local);
+          scratches.Release(scratch);
+          neg_checks.fetch_add(local.negative_pair_checks,
+                               std::memory_order_relaxed);
+          pruned.fetch_add(local.partitions_pruned_by_filter,
+                           std::memory_order_relaxed);
+          kernel_exits.fetch_add(KernelEarlyExits() - exits_before,
+                                 std::memory_order_relaxed);
+        });
+      }
+      flag_group.Wait();
+      RethrowTaskFault(flag_group);
+      if (!flag_group.control_status().ok()) {
+        result.status = flag_group.control_status();
+      }
+      result.stats.negative_pair_checks = neg_checks.load();
+      result.stats.partitions_pruned_by_filter = pruned.load();
+    }
+  }
+  result.first_flagging_rule = first_flagging;
+  result.flagged_by_prefix = internal::BuildScrollbar(
+      result.partitions, result.pivot, first_flagging, negative.size());
+  result.stats.kernel_early_exits = kernel_exits.load();
+  internal::DcheckResultInvariants(result, pg.size(), negative.size());
+  return result;
+}
+
+/// Shared top level: empty-group short circuit, pool resolution, and the
+/// historical fault contract (serial fallback with a WARNING, or an
+/// INTERNAL status carrying the task's message).
+template <typename Inner, typename SerialFn>
+DimeResult RunWithFaultContract(const PreparedGroup& pg,
+                                const std::vector<NegativeRule>& negative,
+                                const ShardedOptions& options,
+                                const char* engine_name, const Inner& inner,
+                                const SerialFn& serial) {
+  if (pg.size() == 0) {
+    DimeResult result;
+    result.flagged_by_prefix.assign(negative.size(), {});
+    return result;
+  }
+  PoolRef ref(options);
+  try {
+    return inner(ref.pool);
+  } catch (const std::exception& e) {
+    if (options.serial_fallback) {
+      DIME_LOG(WARNING) << engine_name << " worker fault (" << e.what()
+                        << "); falling back to the serial engine";
+      return serial();
+    }
+    return AbandonedResult(negative.size(),
+                           InternalError(std::string("worker thread fault: ") +
+                                         FaultText(&e)));
+  } catch (...) {
+    if (options.serial_fallback) {
+      DIME_LOG(WARNING) << engine_name
+                        << " worker fault; falling back to the serial engine";
+      return serial();
+    }
+    return AbandonedResult(
+        negative.size(),
+        InternalError("worker thread fault: worker thread failed"));
+  }
+}
+
+}  // namespace
+
+DimeResult RunDimeSharded(const PreparedGroup& pg,
+                          const std::vector<PositiveRule>& positive,
+                          const std::vector<NegativeRule>& negative,
+                          const ShardedOptions& options,
+                          const RunControl& control) {
+  return RunWithFaultContract(
+      pg, negative, options, "RunDimeSharded",
+      [&](WorkStealingPool* pool) {
+        return RunDimeShardedInner(pg, positive, negative, options, control,
+                                   pool);
+      },
+      [&] { return RunDime(pg, positive, negative, control); });
+}
+
+DimeResult RunDimeSharded(const PreparedGroup& pg,
+                          const std::vector<PositiveRule>& positive,
+                          const std::vector<NegativeRule>& negative,
+                          const ShardedOptions& options) {
+  return RunDimeSharded(pg, positive, negative, options, RunControl{});
+}
+
+DimeResult RunDimePlusSharded(const PreparedGroup& pg,
+                              const std::vector<PositiveRule>& positive,
+                              const std::vector<NegativeRule>& negative,
+                              const ShardedOptions& options,
+                              const RunControl& control) {
+  return RunWithFaultContract(
+      pg, negative, options, "RunDimePlusSharded",
+      [&](WorkStealingPool* pool) {
+        return RunDimePlusShardedInner(pg, positive, negative, options,
+                                       control, pool);
+      },
+      [&] { return RunDimePlus(pg, positive, negative, options.plus, control); });
+}
+
+DimeResult RunDimePlusSharded(const PreparedGroup& pg,
+                              const std::vector<PositiveRule>& positive,
+                              const std::vector<NegativeRule>& negative,
+                              const ShardedOptions& options) {
+  return RunDimePlusSharded(pg, positive, negative, options, RunControl{});
+}
+
+}  // namespace exec
+}  // namespace dime

@@ -1,0 +1,86 @@
+#ifndef DIME_EXEC_SHARDED_DIME_H_
+#define DIME_EXEC_SHARDED_DIME_H_
+
+#include "src/core/dime.h"
+#include "src/core/dime_plus.h"
+#include "src/exec/pool.h"
+
+/// \file sharded_dime.h
+/// The sharded streaming execution engine (DESIGN.md §7.9): DIME and
+/// DIME+ decomposed into chunky tasks on a WorkStealingPool, with the
+/// positive-phase merges going through a striped concurrent union-find.
+/// Decisions (partitions, pivot, flags) are bit-identical to the serial
+/// engines for any thread count — the partitions are the transitive
+/// closure of the verified positive edges, which no schedule can change,
+/// and the negative phase is per-partition deterministic. Step-1 effort
+/// stats (pair checks / transitivity skips) are schedule-dependent for
+/// the DIME+ path; their sum with skips equals the deterministic
+/// candidate volume.
+///
+/// Failure contract (same as the historical RunDimeParallel):
+///  * a task that throws → serial fallback (bit-identical result) or,
+///    with serial_fallback = false, an INTERNAL status and no partitions;
+///  * deadline/cancellation during step 1 → no partitions, empty
+///    scrollbar, explaining status;
+///  * during step 3 → partitions kept, the flags computed so far kept
+///    (a subset of the full run's; monotone), explaining status.
+
+namespace dime {
+namespace exec {
+
+struct ShardedOptions {
+  /// Total executors when `pool` is null (0 = ResolveThreadCount). With
+  /// a borrowed pool the pool's size wins.
+  unsigned num_threads = 0;
+  /// Borrowed scheduler; null = build a pool for this call. DimeService
+  /// shares one pool across its serving workers through this.
+  WorkStealingPool* pool = nullptr;
+  /// When a task throws, rerun the group serially and return that
+  /// result; when false, surface INTERNAL instead.
+  bool serial_fallback = true;
+  /// DIME+ options for RunDimePlusSharded (signatures, negative-phase
+  /// benefit order, transitivity skip). The positive phase always
+  /// streams lists; exact_benefit_cap is not consulted.
+  DimePlusOptions plus;
+  /// Entities per shard for RunDimeSharded's block decomposition
+  /// (0 = auto: keep roughly 4 shards per executor).
+  size_t target_shard_size = 0;
+};
+
+/// Sharded counterpart of RunDime: all-pairs positive phase decomposed
+/// into intra-shard and shard-pair task-graph nodes (a pair node unlocks
+/// when its two input shards finish), full pivot-vs-member negative
+/// phase as one task per partition. Replaces the historical fork-join
+/// RunDimeParallel, which routes here.
+DimeResult RunDimeSharded(const PreparedGroup& pg,
+                          const std::vector<PositiveRule>& positive,
+                          const std::vector<NegativeRule>& negative,
+                          const ShardedOptions& options,
+                          const RunControl& control);
+
+DimeResult RunDimeSharded(const PreparedGroup& pg,
+                          const std::vector<PositiveRule>& positive,
+                          const std::vector<NegativeRule>& negative,
+                          const ShardedOptions& options = {});
+
+/// Sharded counterpart of RunDimePlus: parallel signature generation,
+/// pool-sorted postings (the inverted lists), volume-balanced candidate
+/// verification into the striped union-find, then the extracted
+/// negative-phase scan (core/dime_plus_internal.h) one partition per
+/// task against prebuilt per-rule contexts. This is the path that takes
+/// dbgen-100k .. 1M groups (see bench_fig9_efficiency --only dbgen).
+DimeResult RunDimePlusSharded(const PreparedGroup& pg,
+                              const std::vector<PositiveRule>& positive,
+                              const std::vector<NegativeRule>& negative,
+                              const ShardedOptions& options,
+                              const RunControl& control);
+
+DimeResult RunDimePlusSharded(const PreparedGroup& pg,
+                              const std::vector<PositiveRule>& positive,
+                              const std::vector<NegativeRule>& negative,
+                              const ShardedOptions& options = {});
+
+}  // namespace exec
+}  // namespace dime
+
+#endif  // DIME_EXEC_SHARDED_DIME_H_

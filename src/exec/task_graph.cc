@@ -1,0 +1,54 @@
+#include "src/exec/task_graph.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace dime {
+namespace exec {
+
+int TaskGraph::AddNode(std::function<void()> fn) {
+  DIME_DCHECK(!started_) << "TaskGraph topology is frozen after Run()";
+  auto node = std::make_unique<Node>();
+  node->fn = std::move(fn);
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void TaskGraph::AddEdge(int from, int to) {
+  DIME_DCHECK(!started_) << "TaskGraph topology is frozen after Run()";
+  DIME_DCHECK(from >= 0 && from < static_cast<int>(nodes_.size()));
+  DIME_DCHECK(to >= 0 && to < static_cast<int>(nodes_.size()));
+  nodes_[from]->dependents.push_back(to);
+  nodes_[to]->unmet.fetch_add(1, std::memory_order_relaxed);
+  ++nodes_[to]->indegree;
+}
+
+void TaskGraph::SubmitNode(int id) {
+  Node* node = nodes_[id].get();
+  group_->Spawn([this, node]() {
+    node->fn();
+    for (int d : node->dependents) {
+      if (nodes_[d]->unmet.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        SubmitNode(d);
+      }
+    }
+  });
+}
+
+void TaskGraph::Run() {
+  DIME_DCHECK(!started_);
+  started_ = true;
+  // Submit the static roots only. A dependent node's `unmet` can reach
+  // zero concurrently (fast workers finishing its inputs mid-loop), but
+  // the decrement-to-zero path already submits it — re-submitting here
+  // would run the node twice.
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i]->indegree == 0) {
+      SubmitNode(static_cast<int>(i));
+    }
+  }
+}
+
+}  // namespace exec
+}  // namespace dime

@@ -1,0 +1,76 @@
+#ifndef DIME_EXEC_TASK_GRAPH_H_
+#define DIME_EXEC_TASK_GRAPH_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/exec/pool.h"
+
+/// \file task_graph.h
+/// Dependency-counted task graph over a TaskGroup. The sharded engine
+/// uses it to stream verification instead of erecting phase barriers: a
+/// cross-shard pair node unlocks the moment its two input shards finish
+/// their intra-shard clustering, while unrelated shards are still being
+/// processed.
+///
+/// Unlock rule (DESIGN.md §7.9): a node is submitted to the pool when its
+/// last unmet dependency completes; the decrement-and-submit runs in the
+/// finishing node's task, so readiness propagates without any
+/// coordinator involvement. Roots (no dependencies) are submitted by
+/// Run().
+///
+/// Cancellation: the group skips the bodies of tasks that were already
+/// submitted, and a skipped body never submits its dependents — the
+/// untouched tail of the graph is simply abandoned. TaskGroup::Wait()
+/// counts only submitted tasks, so abandonment cannot deadlock the wait.
+
+namespace dime {
+namespace exec {
+
+class TaskGraph {
+ public:
+  explicit TaskGraph(TaskGroup* group) : group_(group) {}
+
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Adds a node; returns its id. Topology is frozen by Run().
+  int AddNode(std::function<void()> fn);
+
+  /// Declares that `to` cannot start before `from` completed.
+  void AddEdge(int from, int to);
+
+  /// Submits every root node. Call once; then Wait() on the group.
+  void Run();
+
+ private:
+  struct Node {
+    std::function<void()> fn;
+    /// Dependencies not yet completed; the task that decrements it to 0
+    /// submits the node. Release/acquire so the submitting task sees all
+    /// writes of every dependency.
+    std::atomic<int> unmet{0};
+    /// Static in-degree, written only before Run(). Run() submits nodes
+    /// with indegree == 0 — it must NOT read `unmet`, which workers may
+    /// have already decremented to zero (and submitted) for non-root
+    /// nodes while Run() is still looping; reading it would submit those
+    /// nodes a second time.
+    int indegree = 0;
+    std::vector<int> dependents;
+  };
+
+  void SubmitNode(int id);
+
+  TaskGroup* group_;
+  /// unique_ptr keeps nodes at stable addresses (std::atomic is neither
+  /// movable nor copyable).
+  std::vector<std::unique_ptr<Node>> nodes_;
+  bool started_ = false;
+};
+
+}  // namespace exec
+}  // namespace dime
+
+#endif  // DIME_EXEC_TASK_GRAPH_H_

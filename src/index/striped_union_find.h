@@ -1,0 +1,151 @@
+#ifndef DIME_INDEX_STRIPED_UNION_FIND_H_
+#define DIME_INDEX_STRIPED_UNION_FIND_H_
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/mutex.h"
+#include "src/index/union_find.h"
+
+/// \file striped_union_find.h
+/// Concurrent disjoint-set forest for the sharded execution engine
+/// (src/exec/). Many tasks union verified positive edges into one
+/// structure at once; the final components are the transitive closure of
+/// the unioned edges, which does not depend on the interleaving — so a
+/// quiescent Components() call is bit-identical to feeding the same edges
+/// to the serial UnionFind in any order.
+///
+/// Design:
+///  * parents are std::atomic<int>; Find is lock-free and compresses with
+///    path halving (a CAS that may lose races harmlessly — compression is
+///    an optimization, never a correctness requirement);
+///  * Union takes the stripe locks of the two current roots in ascending
+///    stripe-index order (the documented stripe-lock order; see DESIGN.md
+///    §7.9), re-checks both are still roots under the locks, and links
+///    the larger root index under the smaller. Root indices along any
+///    parent chain are therefore strictly decreasing, which makes cycles
+///    impossible without a global lock;
+///  * there is no union-by-size — maintaining sizes atomically would cost
+///    more than the slightly deeper trees, and path halving keeps chains
+///    short in practice.
+///
+/// Connected() may return a stale `false` under concurrent unions (the
+/// caller then just does redundant work — in the engines, one extra rule
+/// verification); a `true` is always genuine because merges are monotone.
+
+namespace dime {
+
+class StripedUnionFind {
+ public:
+  /// `stripes` is rounded up to at least 1; more stripes = less Union
+  /// contention. The default suits a handful of worker threads.
+  explicit StripedUnionFind(size_t n, size_t stripes = 64)
+      : parent_(n), stripes_(stripes == 0 ? 1 : stripes) {
+    for (size_t i = 0; i < n; ++i) {
+      parent_[i].store(static_cast<int>(i), std::memory_order_relaxed);
+    }
+  }
+
+  size_t size() const { return parent_.size(); }
+
+  /// Representative of `x`'s component. Lock-free; concurrent unions may
+  /// move the root, so two calls can disagree — callers that need a firm
+  /// answer (Union) re-verify under the stripe locks.
+  int Find(int x) const {
+    int cur = x;
+    while (true) {
+      int p = parent_[cur].load(std::memory_order_acquire);
+      if (p == cur) return cur;
+      int gp = parent_[p].load(std::memory_order_acquire);
+      if (gp != p) {
+        // Path halving: point cur at its grandparent. A lost CAS means
+        // someone else already re-pointed it; either way progress holds.
+        parent_[cur].compare_exchange_weak(p, gp, std::memory_order_release,
+                                           std::memory_order_relaxed);
+      }
+      cur = gp;
+    }
+  }
+
+  /// True iff x and y are observed in one component. Never falsely true;
+  /// may be falsely false while unions are in flight (see file comment).
+  bool Connected(int x, int y) const { return Find(x) == Find(y); }
+
+  /// Merges the components of x and y; returns false iff they were
+  /// already connected at linearization time.
+  ///
+  /// The analysis cannot follow locks chosen from runtime data (the two
+  /// roots' stripes), so this method opts out; the invariant it cannot
+  /// see is: both stripe mutexes are acquired in ascending stripe-index
+  /// order and released before returning.
+  bool Union(int x, int y) DIME_NO_THREAD_SAFETY_ANALYSIS {
+    while (true) {
+      int rx = Find(x);
+      int ry = Find(y);
+      if (rx == ry) return false;
+      // Deterministic link direction: larger root index goes under
+      // smaller, so parent chains strictly decrease and cannot cycle.
+      if (rx > ry) std::swap(rx, ry);
+      // Ascending stripe order (equal stripes lock once).
+      const size_t sx = StripeOf(rx), sy = StripeOf(ry);
+      Mutex* first = &stripe(sx < sy ? sx : sy).mu;
+      Mutex* second = &stripe(sx < sy ? sy : sx).mu;
+      first->Lock();
+      if (second != first) second->Lock();
+      bool linked = false;
+      if (parent_[rx].load(std::memory_order_relaxed) == rx &&
+          parent_[ry].load(std::memory_order_relaxed) == ry) {
+        parent_[ry].store(rx, std::memory_order_release);
+        linked = true;
+      }
+      if (second != first) second->Unlock();
+      first->Unlock();
+      if (linked) return true;
+      // One of the roots moved under us; retry from fresh Finds.
+    }
+  }
+
+  /// Materializes components exactly like UnionFind::Components(): each
+  /// component's members ascending, components ordered by smallest
+  /// member. Only valid when no Union is concurrently running (the
+  /// engines call it after the task group that produced the edges has
+  /// been awaited).
+  std::vector<std::vector<int>> Components() const {
+    std::vector<int> root_to_slot(parent_.size(), -1);
+    std::vector<std::vector<int>> components;
+    for (size_t i = 0; i < parent_.size(); ++i) {
+      int root = Find(static_cast<int>(i));
+      if (root_to_slot[root] < 0) {
+        root_to_slot[root] = static_cast<int>(components.size());
+        components.emplace_back();
+      }
+      components[root_to_slot[root]].push_back(static_cast<int>(i));
+    }
+    return components;
+  }
+
+ private:
+  /// One cache line per stripe so neighboring locks do not false-share.
+  struct alignas(64) Stripe {
+    // Stripe locks guard dynamically chosen roots of the parent forest,
+    // so no field can carry a static annotation.
+    // lint: raw-concurrency-ok(guards runtime-chosen parent-forest roots)
+    Mutex mu;
+  };
+
+  size_t StripeOf(int root) const {
+    return static_cast<size_t>(root) % stripes_.size();
+  }
+  Stripe& stripe(size_t s) const { return stripes_[s]; }
+
+  /// mutable: const Find() performs path halving, which rewrites parent
+  /// pointers without changing any component — a logical no-op.
+  mutable std::vector<std::atomic<int>> parent_;
+  mutable std::vector<Stripe> stripes_;
+};
+
+}  // namespace dime
+
+#endif  // DIME_INDEX_STRIPED_UNION_FIND_H_

@@ -17,7 +17,10 @@
 //   common flags:
 //               [--host 127.0.0.1] [--port 0]     # port 0 = ephemeral
 //               [--workers N] [--queue-cap N] [--cache-cap N]
-//               [--default-deadline-ms N] [--engine naive|plus|parallel]
+//               [--threads N]  # engine pool size (default: DIME_THREADS
+//                              # env, then hardware concurrency)
+//               [--default-deadline-ms N]
+//               [--engine naive|plus|parallel|sharded]
 //               [--idle-timeout-ms N]
 //   live corpus (see DESIGN.md "Live corpus & epochs"):
 //               [--watch] [--watch-interval-ms N]  # poll --snapshot for a
@@ -274,6 +277,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--workers") {
       options.num_workers =
           static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--threads") {
+      options.engine_threads =
+          static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--queue-cap") {
       options.queue_capacity =
           static_cast<size_t>(std::strtoul(next(), nullptr, 10));
@@ -285,7 +291,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--engine") {
       EngineKind kind;
       if (!EngineKindFromName(next(), &kind)) {
-        return Usage("--engine must be naive, plus, or parallel");
+        return Usage("--engine must be naive, plus, parallel, or sharded");
       }
       options.default_engine = kind;
     } else if (arg == "--idle-timeout-ms") {
@@ -299,7 +305,8 @@ int main(int argc, char** argv) {
           "dime_server --demo | --snapshot <file> | --group <tsv>... "
           "--rules <file>\n"
           "  [--venue-ontology] [--ontology <tree> --ontology-mode m]\n"
-          "  [--host H] [--port N] [--workers N] [--queue-cap N]\n"
+          "  [--host H] [--port N] [--workers N] [--threads N]\n"
+          "  [--queue-cap N]\n"
           "  [--cache-cap N] [--default-deadline-ms N] [--engine e]\n"
           "  [--idle-timeout-ms N] [--max-connections N] [--demo-pages N]\n"
           "  [--watch] [--watch-interval-ms N]\n"

@@ -10,6 +10,7 @@
 #include "src/common/check.h"
 #include "src/common/fault_injection.h"
 #include "src/common/logging.h"
+#include "src/exec/sharded_dime.h"
 
 namespace dime {
 namespace {
@@ -35,6 +36,8 @@ const char* EngineKindName(EngineKind kind) {
       return "plus";
     case EngineKind::kParallel:
       return "parallel";
+    case EngineKind::kSharded:
+      return "sharded";
   }
   return "unknown";
 }
@@ -46,6 +49,8 @@ bool EngineKindFromName(std::string_view name, EngineKind* kind) {
     *kind = EngineKind::kPlus;
   } else if (name == "parallel") {
     *kind = EngineKind::kParallel;
+  } else if (name == "sharded") {
+    *kind = EngineKind::kSharded;
   } else {
     return false;
   }
@@ -72,6 +77,8 @@ struct DimeService::PendingCheck {
 
 DimeService::DimeService(ServingCorpus corpus, ServiceOptions options)
     : options_(NormalizeOptions(std::move(options))),
+      engine_pool_(std::make_unique<exec::WorkStealingPool>(
+          exec::PoolOptions{options_.engine_threads})),
       epochs_(options_.epoch_retire_hook),
       cache_(options_.cache_capacity),
       queue_(options_.queue_capacity) {
@@ -466,10 +473,22 @@ CheckReply DimeService::Execute(PendingCheck& pending) {
         *result = RunDimePlus(*pg, corpus.positive, corpus.negative,
                               options_.dime_plus, pending.control);
         break;
-      case EngineKind::kParallel:
+      case EngineKind::kParallel: {
+        ParallelOptions popts = options_.parallel;
+        if (popts.pool == nullptr) popts.pool = engine_pool_.get();
         *result = RunDimeParallel(*pg, corpus.positive, corpus.negative,
-                                  options_.parallel, pending.control);
+                                  popts, pending.control);
         break;
+      }
+      case EngineKind::kSharded: {
+        exec::ShardedOptions sopts;
+        sopts.pool = engine_pool_.get();
+        sopts.plus = options_.dime_plus;
+        *result = exec::RunDimePlusSharded(*pg, corpus.positive,
+                                           corpus.negative, sopts,
+                                           pending.control);
+        break;
+      }
     }
   } catch (const std::exception& e) {
     *result = DimeResult{};

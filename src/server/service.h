@@ -16,6 +16,7 @@
 #include "src/core/corpus.h"
 #include "src/core/dime_parallel.h"
 #include "src/core/dime_plus.h"
+#include "src/exec/pool.h"
 #include "src/server/request_queue.h"
 #include "src/server/result_cache.h"
 #include "src/store/delta_log.h"
@@ -61,9 +62,9 @@
 namespace dime {
 
 /// Which engine executes a check.
-enum class EngineKind { kNaive, kPlus, kParallel };
+enum class EngineKind { kNaive, kPlus, kParallel, kSharded };
 
-/// "naive" / "plus" / "parallel".
+/// "naive" / "plus" / "parallel" / "sharded".
 const char* EngineKindName(EngineKind kind);
 bool EngineKindFromName(std::string_view name, EngineKind* kind);
 
@@ -80,6 +81,13 @@ struct ServiceOptions {
   EngineKind default_engine = EngineKind::kPlus;
   DimePlusOptions dime_plus;
   ParallelOptions parallel;
+  /// Executors of the shared scheduler pool the parallel and sharded
+  /// engines run on (one pool for the whole service — serving workers
+  /// spawn task groups into it and help execute while they wait, so
+  /// concurrent requests time-share the same threads instead of
+  /// oversubscribing). 0 = the --threads / DIME_THREADS /
+  /// hardware_concurrency precedence of exec::ResolveThreadCount.
+  unsigned engine_threads = 0;
   /// Test-only: invoked by a worker before executing each admitted
   /// request. Lets tests hold the pool at a barrier to fill the queue
   /// deterministically. Must not throw.
@@ -297,6 +305,9 @@ class DimeService {
   void RecordEngineStats(const DimeResult& result) DIME_EXCLUDES(stats_mu_);
 
   const ServiceOptions options_;
+  /// The shared work-stealing pool (created before, destroyed after, the
+  /// serving workers that submit to it).
+  std::unique_ptr<exec::WorkStealingPool> engine_pool_;
   EpochManager epochs_;
 
   ResultCache cache_;

@@ -1,0 +1,529 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/common/fault_injection.h"
+#include "src/common/random.h"
+#include "src/core/dime.h"
+#include "src/core/dime_plus.h"
+#include "src/datagen/dbgen_gen.h"
+#include "src/datagen/presets.h"
+#include "src/datagen/scholar_gen.h"
+#include "src/exec/parallel_sort.h"
+#include "src/exec/pool.h"
+#include "src/exec/shard.h"
+#include "src/exec/sharded_dime.h"
+#include "src/exec/task_graph.h"
+
+namespace dime {
+namespace exec {
+namespace {
+
+// ---------------------------------------------------------------------------
+// WorkStealingPool / TaskGroup.
+
+TEST(PoolTest, SingleThreadRunsEverythingInline) {
+  WorkStealingPool pool(PoolOptions{1});
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::atomic<int> ran{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 100; ++i) {
+    group.Spawn([&ran] { ran.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(ran.load(), 100);
+  EXPECT_EQ(group.exception(), nullptr);
+  EXPECT_TRUE(group.control_status().ok());
+}
+
+TEST(PoolTest, ManyThreadsRunEveryTaskExactlyOnce) {
+  WorkStealingPool pool(PoolOptions{8});
+  EXPECT_EQ(pool.thread_count(), 8u);
+  constexpr int kTasks = 2000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  TaskGroup group(&pool);
+  for (int i = 0; i < kTasks; ++i) {
+    group.Spawn([&hits, i] { hits[i].fetch_add(1); });
+  }
+  group.Wait();
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(PoolTest, TasksMaySpawnMoreTasksIntoTheirGroup) {
+  WorkStealingPool pool(PoolOptions{4});
+  std::atomic<int> ran{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 16; ++i) {
+    group.Spawn([&group, &ran] {
+      ran.fetch_add(1);
+      group.Spawn([&ran] { ran.fetch_add(1); });
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(PoolTest, FirstExceptionIsCapturedAndGroupCancelled) {
+  WorkStealingPool pool(PoolOptions{2});
+  TaskGroup group(&pool);
+  group.Spawn([] { throw std::runtime_error("boom"); });
+  group.Wait();
+  ASSERT_NE(group.exception(), nullptr);
+  EXPECT_TRUE(group.cancelled());
+  try {
+    std::rethrow_exception(group.exception());
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+}
+
+TEST(PoolTest, RecordControlCancelsAndSurfacesStatus) {
+  WorkStealingPool pool(PoolOptions{2});
+  TaskGroup group(&pool);
+  group.Spawn([&group] {
+    group.RecordControl(DeadlineExceededError("budget spent"));
+  });
+  group.Wait();
+  EXPECT_EQ(group.control_status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(group.cancelled());
+}
+
+TEST(PoolTest, CancelledGroupSkipsUnstartedTaskBodies) {
+  // With a 1-thread pool nothing runs until Wait(), so cancelling before
+  // the wait must skip every body.
+  WorkStealingPool pool(PoolOptions{1});
+  std::atomic<int> ran{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 50; ++i) group.Spawn([&ran] { ran.fetch_add(1); });
+  group.Cancel();
+  group.Wait();
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(PoolTest, TwoGroupsShareOnePoolIndependently) {
+  WorkStealingPool pool(PoolOptions{4});
+  std::atomic<int> a{0}, b{0};
+  TaskGroup ga(&pool);
+  TaskGroup gb(&pool);
+  for (int i = 0; i < 64; ++i) {
+    ga.Spawn([&a] { a.fetch_add(1); });
+    gb.Spawn([&b] { b.fetch_add(1); });
+  }
+  gb.Spawn([] { throw std::runtime_error("only b fails"); });
+  ga.Wait();
+  gb.Wait();
+  EXPECT_EQ(a.load(), 64);
+  EXPECT_EQ(ga.exception(), nullptr);
+  EXPECT_NE(gb.exception(), nullptr);
+}
+
+TEST(PoolTest, ExecTaskFaultFailpointThrowsInsideTheRunner) {
+  ScopedFailpoint fp(failpoints::kExecTaskFault);
+  WorkStealingPool pool(PoolOptions{2});
+  TaskGroup group(&pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) group.Spawn([&ran] { ran.fetch_add(1); });
+  group.Wait();
+  ASSERT_NE(group.exception(), nullptr);
+  try {
+    std::rethrow_exception(group.exception());
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "injected exec task fault");
+  }
+  // The fault consumed one task before its body ran; the cancellation
+  // may have skipped others, but never more than the one that threw.
+  EXPECT_LT(ran.load(), 8);
+}
+
+// ---------------------------------------------------------------------------
+// TaskGraph.
+
+TEST(TaskGraphTest, DependentsRunAfterAllDependencies) {
+  WorkStealingPool pool(PoolOptions{4});
+  TaskGroup group(&pool);
+  TaskGraph graph(&group);
+  // Timestamps from a shared logical clock: every node records when it
+  // ran; edges must be respected regardless of schedule.
+  std::atomic<int> clock{0};
+  constexpr int kShards = 6;
+  std::vector<std::atomic<int>> stamp(kShards + kShards * kShards);
+  std::vector<int> intra(kShards);
+  for (int s = 0; s < kShards; ++s) {
+    intra[s] =
+        graph.AddNode([&stamp, &clock, s] { stamp[s] = clock.fetch_add(1); });
+  }
+  struct Pair {
+    int node;
+    int s1;
+    int s2;
+  };
+  std::vector<Pair> pairs;
+  for (int s1 = 0; s1 < kShards; ++s1) {
+    for (int s2 = s1 + 1; s2 < kShards; ++s2) {
+      const int slot = kShards + s1 * kShards + s2;
+      const int id = graph.AddNode(
+          [&stamp, &clock, slot] { stamp[slot] = clock.fetch_add(1); });
+      graph.AddEdge(intra[s1], id);
+      graph.AddEdge(intra[s2], id);
+      pairs.push_back(Pair{slot, s1, s2});
+    }
+  }
+  graph.Run();
+  group.Wait();
+  ASSERT_EQ(group.exception(), nullptr);
+  for (const Pair& p : pairs) {
+    EXPECT_GT(stamp[p.node].load(), stamp[p.s1].load());
+    EXPECT_GT(stamp[p.node].load(), stamp[p.s2].load());
+  }
+}
+
+TEST(TaskGraphTest, RootsOnlyGraphDegeneratesToPlainSpawns) {
+  WorkStealingPool pool(PoolOptions{2});
+  TaskGroup group(&pool);
+  TaskGraph graph(&group);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    graph.AddNode([&ran] { ran.fetch_add(1); });
+  }
+  graph.Run();
+  group.Wait();
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(TaskGraphTest, NodesRunExactlyOnceEvenWhenWorkersOutpaceRun) {
+  // Regression: Run() used to submit every node whose `unmet` counter
+  // READ zero — but workers finishing fast roots decrement dependents to
+  // zero (and submit them) while Run() is still looping over later
+  // indices, so those dependents ran twice. Decisions survived (Union is
+  // idempotent) but effort stats doubled, breaking dime_cli --stats
+  // byte-identity across thread counts. Instant root bodies + many
+  // dependents make the window wide; assert exactly-once per node.
+  for (int round = 0; round < 20; ++round) {
+    WorkStealingPool pool(PoolOptions{8});
+    TaskGroup group(&pool);
+    TaskGraph graph(&group);
+    constexpr int kRoots = 4;
+    constexpr int kDependents = 64;
+    std::vector<std::atomic<int>> runs(kRoots + kDependents);
+    std::vector<int> roots(kRoots);
+    for (int r = 0; r < kRoots; ++r) {
+      roots[r] = graph.AddNode([&runs, r] { runs[r].fetch_add(1); });
+    }
+    for (int d = 0; d < kDependents; ++d) {
+      const int slot = kRoots + d;
+      const int id = graph.AddNode([&runs, slot] { runs[slot].fetch_add(1); });
+      graph.AddEdge(roots[d % kRoots], id);
+    }
+    graph.Run();
+    group.Wait();
+    ASSERT_EQ(group.exception(), nullptr);
+    for (size_t i = 0; i < runs.size(); ++i) {
+      ASSERT_EQ(runs[i].load(), 1) << "node " << i << " round " << round;
+    }
+  }
+}
+
+TEST(TaskGraphTest, CancellationAbandonsTheUnreachedTail) {
+  // Serial pool: the chain runs strictly head-to-tail on the waiting
+  // thread, so a cancel from the middle abandons the rest.
+  WorkStealingPool pool(PoolOptions{1});
+  TaskGroup group(&pool);
+  TaskGraph graph(&group);
+  std::atomic<int> ran{0};
+  int prev = graph.AddNode([&ran] { ran.fetch_add(1); });
+  int cancelling = graph.AddNode([&group, &ran] {
+    ran.fetch_add(1);
+    group.RecordControl(CancelledError("stop"));
+  });
+  graph.AddEdge(prev, cancelling);
+  int tail = graph.AddNode([&ran] { ran.fetch_add(1); });
+  graph.AddEdge(cancelling, tail);
+  graph.Run();
+  group.Wait();
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_EQ(group.control_status().code(), StatusCode::kCancelled);
+}
+
+// ---------------------------------------------------------------------------
+// ParallelSort.
+
+TEST(ParallelSortTest, SmallInputTakesSerialPathAndSorts) {
+  WorkStealingPool pool(PoolOptions{4});
+  Random rng(11);
+  std::vector<uint64_t> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(rng.Uniform(1u << 20));
+  std::vector<uint64_t> expected = v;
+  std::sort(expected.begin(), expected.end());
+  ParallelSort(&pool, &v, std::less<uint64_t>());
+  EXPECT_EQ(v, expected);
+}
+
+TEST(ParallelSortTest, LargeInputMatchesStdSort) {
+  WorkStealingPool pool(PoolOptions{4});
+  Random rng(12);
+  std::vector<std::pair<uint64_t, int>> v;
+  const size_t n = (1u << 16) + 377;  // above the serial cutoff, odd size
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    v.emplace_back(rng.Uniform(1u << 10), static_cast<int>(i));
+  }
+  std::vector<std::pair<uint64_t, int>> expected = v;
+  std::sort(expected.begin(), expected.end());
+  ParallelSort(&pool, &v, std::less<std::pair<uint64_t, int>>());
+  EXPECT_EQ(v, expected);
+}
+
+// ---------------------------------------------------------------------------
+// Shard planning.
+
+TEST(ShardPlanTest, PlanIsAPermutationWithMonotoneCuts) {
+  DbgenOptions options;
+  options.num_entities = 500;
+  options.seed = 5;
+  Group group = GenerateDbgenGroup(options);
+  std::vector<PositiveRule> pos = DbgenPositiveRules();
+  std::vector<NegativeRule> neg = DbgenNegativeRules();
+  PreparedGroup pg = PrepareGroup(group, pos, neg, {});
+
+  ShardPlan plan = BuildSignatureShardPlan(pg, pos, 64);
+  ASSERT_EQ(plan.order.size(), pg.size());
+  EXPECT_EQ(plan.num_shards(), (pg.size() + 63) / 64);
+  std::vector<int> sorted = plan.order;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(sorted[i], static_cast<int>(i));
+  }
+  ASSERT_GE(plan.starts.size(), 2u);
+  EXPECT_EQ(plan.starts.front(), 0u);
+  EXPECT_EQ(plan.starts.back(), pg.size());
+  for (size_t s = 0; s + 1 < plan.starts.size(); ++s) {
+    EXPECT_LT(plan.starts[s], plan.starts[s + 1]);
+  }
+  // Deterministic: same inputs, same plan.
+  ShardPlan again = BuildSignatureShardPlan(pg, pos, 64);
+  EXPECT_EQ(again.order, plan.order);
+  EXPECT_EQ(again.starts, plan.starts);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded engines vs their serial counterparts.
+
+struct DbgenFixture {
+  Group group;
+  std::vector<PositiveRule> positive;
+  std::vector<NegativeRule> negative;
+  PreparedGroup pg;
+
+  explicit DbgenFixture(size_t n, uint64_t seed = 9) {
+    DbgenOptions options;
+    options.num_entities = n;
+    options.seed = seed;
+    group = GenerateDbgenGroup(options);
+    positive = DbgenPositiveRules();
+    negative = DbgenNegativeRules();
+    pg = PrepareGroup(group, positive, negative, {});
+  }
+};
+
+void ExpectSameDecisions(const DimeResult& a, const DimeResult& b) {
+  EXPECT_EQ(a.partitions, b.partitions);
+  EXPECT_EQ(a.pivot, b.pivot);
+  EXPECT_EQ(a.first_flagging_rule, b.first_flagging_rule);
+  EXPECT_EQ(a.flagged_by_prefix, b.flagged_by_prefix);
+}
+
+TEST(ShardedDimeTest, MatchesSerialNaiveAcrossThreadCounts) {
+  DbgenFixture f(1200);
+  DimeResult serial = RunDime(f.pg, f.positive, f.negative);
+  ASSERT_TRUE(serial.ok());
+  for (unsigned threads : {1u, 2u, 8u}) {
+    ShardedOptions options;
+    options.num_threads = threads;
+    DimeResult sharded =
+        RunDimeSharded(f.pg, f.positive, f.negative, options);
+    ASSERT_TRUE(sharded.ok()) << "threads=" << threads;
+    ExpectSameDecisions(serial, sharded);
+    // The naive framework has no skip path: every pair is checked exactly
+    // once no matter how the pair space is sharded.
+    EXPECT_EQ(sharded.stats.positive_pair_checks,
+              serial.stats.positive_pair_checks)
+        << "threads=" << threads;
+    EXPECT_EQ(sharded.stats.negative_pair_checks,
+              serial.stats.negative_pair_checks)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ShardedDimeTest, TinyShardsStillCoverEveryPair) {
+  DbgenFixture f(300);
+  DimeResult serial = RunDime(f.pg, f.positive, f.negative);
+  ShardedOptions options;
+  options.num_threads = 3;
+  options.target_shard_size = 7;  // dozens of shards, heavy cross traffic
+  DimeResult sharded = RunDimeSharded(f.pg, f.positive, f.negative, options);
+  ASSERT_TRUE(sharded.ok());
+  ExpectSameDecisions(serial, sharded);
+  EXPECT_EQ(sharded.stats.positive_pair_checks,
+            serial.stats.positive_pair_checks);
+}
+
+TEST(ShardedDimePlusTest, MatchesSerialPlusAcrossThreadCounts) {
+  DbgenFixture f(2000);
+  DimeResult serial = RunDimePlus(f.pg, f.positive, f.negative);
+  ASSERT_TRUE(serial.ok());
+  for (unsigned threads : {1u, 2u, 8u}) {
+    ShardedOptions options;
+    options.num_threads = threads;
+    DimeResult sharded =
+        RunDimePlusSharded(f.pg, f.positive, f.negative, options);
+    ASSERT_TRUE(sharded.ok()) << "threads=" << threads;
+    ExpectSameDecisions(serial, sharded);
+    // Deterministic DIME+ stats: the candidate volume, and the step-3
+    // counters (per-partition scans are self-contained).
+    EXPECT_EQ(sharded.stats.candidate_pairs, serial.stats.candidate_pairs);
+    EXPECT_EQ(sharded.stats.negative_pair_checks,
+              serial.stats.negative_pair_checks)
+        << "threads=" << threads;
+    EXPECT_EQ(sharded.stats.partitions_pruned_by_filter,
+              serial.stats.partitions_pruned_by_filter);
+    // Step-1 effort is schedule-dependent, but checks + transitivity
+    // skips always account for the full candidate volume.
+    EXPECT_EQ(sharded.stats.positive_pair_checks +
+                  sharded.stats.pairs_skipped_by_transitivity,
+              sharded.stats.candidate_pairs)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ShardedDimePlusTest, MatchesSerialOnScholarCorpus) {
+  ScholarSetup setup = MakeScholarSetup();
+  ScholarGenOptions gen;
+  gen.num_correct = 400;
+  gen.seed = 321;
+  Group group = GenerateScholarGroup("Sharded Scholar", gen);
+  PreparedGroup pg =
+      PrepareGroup(group, setup.positive, setup.negative, setup.context);
+  DimeResult serial = RunDimePlus(pg, setup.positive, setup.negative);
+  ShardedOptions options;
+  options.num_threads = 4;
+  DimeResult sharded =
+      RunDimePlusSharded(pg, setup.positive, setup.negative, options);
+  ASSERT_TRUE(sharded.ok());
+  ExpectSameDecisions(serial, sharded);
+}
+
+TEST(ShardedDimePlusTest, AblationOptionsAreHonoredIdentically) {
+  DbgenFixture f(800);
+  for (bool benefit : {true, false}) {
+    for (bool transitivity : {true, false}) {
+      DimePlusOptions plus;
+      plus.benefit_order = benefit;
+      plus.transitivity_skip = transitivity;
+      DimeResult serial = RunDimePlus(f.pg, f.positive, f.negative, plus);
+      ShardedOptions options;
+      options.num_threads = 4;
+      options.plus = plus;
+      DimeResult sharded =
+          RunDimePlusSharded(f.pg, f.positive, f.negative, options);
+      ASSERT_TRUE(sharded.ok())
+          << "benefit=" << benefit << " transitivity=" << transitivity;
+      ExpectSameDecisions(serial, sharded);
+      if (!transitivity) {
+        // With the skip disabled, effort is deterministic too: every
+        // candidate instance is verified.
+        EXPECT_EQ(sharded.stats.positive_pair_checks,
+                  serial.stats.candidate_pairs);
+        EXPECT_EQ(sharded.stats.pairs_skipped_by_transitivity, 0u);
+      }
+    }
+  }
+}
+
+TEST(ShardedDimeTest, EmptyGroupShortCircuits) {
+  Group group;
+  group.schema = DbgenSchema();
+  std::vector<PositiveRule> pos = DbgenPositiveRules();
+  std::vector<NegativeRule> neg = DbgenNegativeRules();
+  PreparedGroup pg = PrepareGroup(group, pos, neg, {});
+  ShardedOptions options;
+  options.num_threads = 4;
+  DimeResult naive = RunDimeSharded(pg, pos, neg, options);
+  DimeResult plus = RunDimePlusSharded(pg, pos, neg, options);
+  EXPECT_TRUE(naive.ok());
+  EXPECT_TRUE(plus.ok());
+  EXPECT_TRUE(naive.partitions.empty());
+  EXPECT_TRUE(plus.partitions.empty());
+  ASSERT_EQ(naive.flagged_by_prefix.size(), neg.size());
+  ASSERT_EQ(plus.flagged_by_prefix.size(), neg.size());
+}
+
+TEST(ShardedDimeTest, BorrowedPoolIsReusedAcrossRuns) {
+  DbgenFixture f(400);
+  WorkStealingPool pool(PoolOptions{4});
+  ShardedOptions options;
+  options.pool = &pool;
+  DimeResult serial = RunDime(f.pg, f.positive, f.negative);
+  for (int run = 0; run < 3; ++run) {
+    DimeResult sharded =
+        RunDimeSharded(f.pg, f.positive, f.negative, options);
+    ASSERT_TRUE(sharded.ok());
+    ExpectSameDecisions(serial, sharded);
+  }
+}
+
+TEST(ShardedDimePlusTest, WorkerFaultFallsBackToSerialBitIdentical) {
+  DbgenFixture f(400);
+  DimeResult serial = RunDimePlus(f.pg, f.positive, f.negative);
+  FaultInjection::Arm(failpoints::kParallelWorkerFault, /*count=*/1);
+  ShardedOptions options;
+  options.num_threads = 2;
+  DimeResult sharded =
+      RunDimePlusSharded(f.pg, f.positive, f.negative, options);
+  FaultInjection::DisarmAll();
+  ASSERT_TRUE(sharded.ok());
+  ExpectSameDecisions(serial, sharded);
+}
+
+TEST(ShardedDimePlusTest, WorkerFaultWithoutFallbackIsInternal) {
+  DbgenFixture f(400);
+  FaultInjection::Arm(failpoints::kParallelWorkerFault, /*count=*/1);
+  ShardedOptions options;
+  options.num_threads = 2;
+  options.serial_fallback = false;
+  DimeResult sharded =
+      RunDimePlusSharded(f.pg, f.positive, f.negative, options);
+  FaultInjection::DisarmAll();
+  EXPECT_FALSE(sharded.ok());
+  EXPECT_EQ(sharded.status.code(), StatusCode::kInternal);
+  EXPECT_TRUE(sharded.partitions.empty());
+  ASSERT_EQ(sharded.flagged_by_prefix.size(), f.negative.size());
+}
+
+TEST(ShardedDimePlusTest, ExpiredDeadlineDiscardsPartitions) {
+  DbgenFixture f(400);
+  RunControl control;
+  control.deadline = Deadline::Expired();
+  ShardedOptions options;
+  options.num_threads = 4;
+  DimeResult sharded =
+      RunDimePlusSharded(f.pg, f.positive, f.negative, options, control);
+  EXPECT_EQ(sharded.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(sharded.partitions.empty());
+  EXPECT_EQ(sharded.pivot, -1);
+  ASSERT_EQ(sharded.flagged_by_prefix.size(), f.negative.size());
+  for (const std::vector<int>& flagged : sharded.flagged_by_prefix) {
+    EXPECT_TRUE(flagged.empty());
+  }
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace dime

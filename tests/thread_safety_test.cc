@@ -10,10 +10,14 @@
 
 #include "src/common/fault_injection.h"
 #include "src/common/logging.h"
+#include "src/common/random.h"
 #include "src/core/corpus.h"
 #include "src/core/dime_parallel.h"
 #include "src/datagen/presets.h"
 #include "src/datagen/scholar_gen.h"
+#include "src/exec/sharded_dime.h"
+#include "src/index/striped_union_find.h"
+#include "src/index/union_find.h"
 
 /// \file thread_safety_test.cc
 /// Concurrency stress for the parallel engines: RunDimeParallel and
@@ -201,6 +205,115 @@ TEST_F(ThreadSafetyTest, FailpointRegistryArmDisarmChurn) {
   for (std::thread& h : hammers) h.join();
   EXPECT_LE(fired.load(), armed_total);
   EXPECT_EQ(FaultInjection::Remaining(failpoints::kStressChurn), 0);
+}
+
+TEST_F(ThreadSafetyTest, StripedUnionFindConcurrentUnionsMatchSerial) {
+  // Many threads union a shared edge list in racing interleavings (each
+  // thread a different stride and direction), with concurrent Connected
+  // probes in flight. Once quiescent, Components() must equal the serial
+  // UnionFind fed the same edges — the closure is schedule-independent.
+  // Under TSan this is the lock-discipline check for the stripe locks and
+  // the path-halving CAS.
+  constexpr int kEntities = 2000;
+  constexpr int kEdges = 6000;
+  constexpr int kThreads = 8;
+  Random rng(4242);
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(kEdges);
+  for (int i = 0; i < kEdges; ++i) {
+    edges.emplace_back(static_cast<int>(rng.Uniform(kEntities)),
+                       static_cast<int>(rng.Uniform(kEntities)));
+  }
+  UnionFind serial(kEntities);
+  for (const auto& [a, b] : edges) serial.Union(a, b);
+  const auto expected = serial.Components();
+
+  for (size_t stripes : {1u, 8u, 64u}) {
+    StripedUnionFind striped(kEntities, stripes);
+    std::atomic<size_t> linked{0};
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t]() {
+        size_t local_linked = 0;
+        for (int i = 0; i < kEdges; ++i) {
+          // Thread t starts at a different offset; odd threads walk the
+          // list backwards, maximizing conflicting root pairs.
+          int k = (t % 2 == 0) ? (i + t * 997) % kEdges
+                               : (kEdges - 1 - i + t * 997) % kEdges;
+          if (striped.Union(edges[k].first, edges[k].second)) {
+            ++local_linked;
+          }
+          // Probe under churn for TSan coverage. A false may be stale
+          // (concurrent unions move roots), so only a true is checkable —
+          // and only against the final closure, below.
+          (void)striped.Connected(  // lint: unchecked-status-ok(TSan probe; stale false is legal under churn)
+              edges[k].first, edges[k].second);
+        }
+        linked.fetch_add(local_linked, std::memory_order_relaxed);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    // Exactly n - #components edges linked, no matter who won each race.
+    EXPECT_EQ(linked.load(), kEntities - expected.size())
+        << "stripes=" << stripes;
+    EXPECT_EQ(striped.Components(), expected) << "stripes=" << stripes;
+  }
+}
+
+TEST_F(ThreadSafetyTest, ShardedEngineUnderFailpointAndDeadlineChurn) {
+  // The sharded DIME+ path under the same chaos the parallel engine
+  // endures: worker faults, deadline pressure, mid-flight cancellation,
+  // and a shared borrowed pool — the serving topology. The output
+  // contract must hold for every interleaving.
+  ScholarSetup setup = MakeScholarSetup();
+  ScholarGenOptions gen;
+  gen.num_correct = 40;
+  gen.seed = 177;
+  Group group = GenerateScholarGroup("Sharded Chaos Owner", gen);
+  PreparedGroup pg =
+      PrepareGroup(group, setup.positive, setup.negative, setup.context);
+
+  exec::WorkStealingPool pool(exec::PoolOptions{4});
+  std::atomic<bool> done{false};
+  std::thread chaos([&]() {
+    int round = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      FaultInjection::Arm(failpoints::kParallelWorkerFault, /*count=*/1,
+                          /*skip=*/round % 5);
+      FaultInjection::Arm(failpoints::kExecTaskFault, /*count=*/1,
+                          /*skip=*/(round * 5) % 23);
+      FaultInjection::Arm(failpoints::kEngineDeadline, /*count=*/1,
+                          /*skip=*/(round * 3) % 17);
+      std::this_thread::yield();
+      FaultInjection::Disarm(failpoints::kParallelWorkerFault);
+      FaultInjection::Disarm(failpoints::kExecTaskFault);
+      FaultInjection::Disarm(failpoints::kEngineDeadline);
+      ++round;
+    }
+  });
+
+  for (int iter = 0; iter < 100; ++iter) {
+    exec::ShardedOptions options;
+    options.serial_fallback = (iter % 2 == 0);
+    if (iter % 3 != 0) options.pool = &pool;  // else a private pool
+    CancellationToken token;
+    RunControl control;
+    control.cancel = &token;
+    if (iter % 3 == 0) {
+      control.deadline = Deadline::AfterMillis(iter % 2);
+    }
+    std::thread canceller;
+    if (iter % 4 == 0) {
+      canceller = std::thread([&token]() { token.Cancel(); });
+    }
+    DimeResult r = exec::RunDimePlusSharded(pg, setup.positive,
+                                            setup.negative, options, control);
+    if (canceller.joinable()) canceller.join();
+    ExpectResultContract(r, pg.size(), setup.negative.size());
+  }
+  done.store(true, std::memory_order_relaxed);
+  chaos.join();
 }
 
 TEST_F(ThreadSafetyTest, ConcurrentLogLinesNeverInterleave) {

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "src/common/random.h"
+#include "src/index/striped_union_find.h"
 
 namespace dime {
 namespace {
@@ -62,6 +66,100 @@ TEST(UnionFindTest, RandomizedInvariants) {
   size_t total = 0;
   for (const auto& c : uf.Components()) total += c.size();
   EXPECT_EQ(total, 50u);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: serial UnionFind and (single-threaded) StripedUnionFind
+// against a naive label-propagation DSU, on many random edge workloads.
+// Both structures must agree with the reference on every Union return
+// value, every Connected probe, and the final Components() layout.
+
+struct NaiveDsu {
+  std::vector<int> label;
+
+  explicit NaiveDsu(int n) : label(n) {
+    for (int i = 0; i < n; ++i) label[i] = i;
+  }
+
+  bool Union(int a, int b) {
+    if (label[a] == label[b]) return false;
+    int from = label[a], to = label[b];
+    for (int& l : label) {
+      if (l == from) l = to;
+    }
+    return true;
+  }
+
+  bool Connected(int a, int b) const { return label[a] == label[b]; }
+};
+
+TEST(UnionFindDifferentialTest, RandomWorkloadsMatchNaiveDsu) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Random rng(seed);
+    const int n = 10 + static_cast<int>(rng.Uniform(120));
+    const int ops = 30 + static_cast<int>(rng.Uniform(400));
+    UnionFind serial(n);
+    StripedUnionFind striped(n, /*stripes=*/1 + rng.Uniform(8));
+    NaiveDsu naive(n);
+    for (int op = 0; op < ops; ++op) {
+      int a = static_cast<int>(rng.Uniform(n));
+      int b = static_cast<int>(rng.Uniform(n));
+      bool expected = naive.Union(a, b);
+      EXPECT_EQ(serial.Union(a, b), expected) << "seed=" << seed;
+      EXPECT_EQ(striped.Union(a, b), expected) << "seed=" << seed;
+      int x = static_cast<int>(rng.Uniform(n));
+      int y = static_cast<int>(rng.Uniform(n));
+      EXPECT_EQ(serial.Connected(x, y), naive.Connected(x, y));
+      EXPECT_EQ(striped.Connected(x, y), naive.Connected(x, y));
+    }
+    EXPECT_EQ(striped.Components(), serial.Components()) << "seed=" << seed;
+  }
+}
+
+TEST(StripedUnionFindTest, QuiescentComponentsMatchSerialForAnyEdgeOrder) {
+  // The components are the transitive closure of the edge set; feeding
+  // the same edges in different orders (and with different stripe
+  // counts) must not change Components().
+  Random rng(99);
+  const int n = 200;
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < 300; ++i) {
+    edges.emplace_back(static_cast<int>(rng.Uniform(n)),
+                       static_cast<int>(rng.Uniform(n)));
+  }
+  UnionFind serial(n);
+  for (const auto& [a, b] : edges) serial.Union(a, b);
+  const auto expected = serial.Components();
+
+  for (size_t stripes : {1u, 4u, 64u, 1024u}) {
+    StripedUnionFind striped(n, stripes);
+    // Reverse order: link directions differ, closure must not.
+    for (auto it = edges.rbegin(); it != edges.rend(); ++it) {
+      striped.Union(it->first, it->second);
+    }
+    EXPECT_EQ(striped.Components(), expected) << "stripes=" << stripes;
+  }
+}
+
+TEST(StripedUnionFindTest, SelfUnionAndSingletons) {
+  StripedUnionFind uf(5);
+  EXPECT_EQ(uf.size(), 5u);
+  EXPECT_FALSE(uf.Union(2, 2));
+  EXPECT_TRUE(uf.Connected(3, 3));
+  EXPECT_FALSE(uf.Connected(0, 4));
+  EXPECT_EQ(uf.Components().size(), 5u);
+}
+
+TEST(StripedUnionFindTest, FindCompressesWithoutChangingComponents) {
+  // A long chain 0-1-2-...-k built worst-case-first; repeated Finds must
+  // keep answers stable while path halving rewrites parents.
+  const int n = 64;
+  StripedUnionFind uf(n);
+  for (int i = n - 1; i > 0; --i) uf.Union(i - 1, i);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < n; ++i) EXPECT_EQ(uf.Find(i), 0);
+  }
+  EXPECT_EQ(uf.Components().size(), 1u);
 }
 
 }  // namespace

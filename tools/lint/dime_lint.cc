@@ -94,9 +94,12 @@ const std::map<std::string, std::set<std::string>>& AllowedDeps() {
       {"datagen",
        {"common", "entity", "sim", "text", "index", "ontology", "rules",
         "core", "rulegen", "baselines", "topicmodel"}},
+      {"exec",
+       {"common", "entity", "sim", "text", "index", "ontology", "rules",
+        "core"}},
       {"server",
        {"common", "entity", "sim", "text", "index", "ontology", "rules",
-        "core", "store"}},
+        "core", "store", "exec"}},
   };
   return kAllowed;
 }
